@@ -1,0 +1,65 @@
+//! Criterion benches for offline/one-pass construction (EXP-AGG-OPT /
+//! EXP-AGG-WAV micro view): exact DP vs agglomerative vs wavelet top-B,
+//! across sequence sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamhist_data::utilization_trace;
+use streamhist_optimal::optimal_histogram;
+use streamhist_stream::AgglomerativeHistogram;
+use streamhist_wavelet::WaveletSynopsis;
+
+fn bench_construction(c: &mut Criterion) {
+    let b = 16;
+    let eps = 0.1;
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let data = utilization_trace(n, 21);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("optimal_dp", n), &data, |bch, d| {
+            bch.iter(|| optimal_histogram(d, b));
+        });
+        g.bench_with_input(BenchmarkId::new("agglomerative", n), &data, |bch, d| {
+            bch.iter(|| AgglomerativeHistogram::from_slice(d, b, eps).histogram());
+        });
+        g.bench_with_input(BenchmarkId::new("wavelet_top_b", n), &data, |bch, d| {
+            bch.iter(|| WaveletSynopsis::top_b(d, b));
+        });
+    }
+    // Agglomerative scales to sizes where the DP is infeasible.
+    {
+        let n = 50_000usize;
+        let data = utilization_trace(n, 22);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("agglomerative", n), &data, |bch, d| {
+            bch.iter(|| AgglomerativeHistogram::from_slice(d, b, eps).histogram());
+        });
+        g.bench_with_input(BenchmarkId::new("wavelet_top_b", n), &data, |bch, d| {
+            bch.iter(|| WaveletSynopsis::top_b(d, b));
+        });
+    }
+    g.finish();
+}
+
+fn bench_agglomerative_push(c: &mut Criterion) {
+    let data = utilization_trace(20_000, 23);
+    let mut g = c.benchmark_group("agglomerative_push");
+    g.sample_size(10); // each iteration replays a 20k-point stream
+    g.throughput(Throughput::Elements(data.len() as u64));
+    for &(b, eps) in &[(8usize, 0.5f64), (16, 0.1), (32, 0.1)] {
+        let id = format!("B{b}_eps{eps}");
+        g.bench_function(BenchmarkId::from_parameter(id), |bch| {
+            bch.iter(|| {
+                let mut agg = AgglomerativeHistogram::new(b, eps);
+                for &v in &data {
+                    agg.push(v);
+                }
+                agg.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_agglomerative_push);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the fixed-window algorithm (FIG6-CD /
+//! THM1-SCALING micro view): push throughput and per-materialization
+//! CreateList cost across window length, bucket budget and ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamhist_data::utilization_trace;
+use streamhist_stream::{FixedWindowHistogram, NaiveSlidingWindow};
+
+fn bench_push(c: &mut Criterion) {
+    let stream = utilization_trace(65_536, 8);
+    let mut g = c.benchmark_group("fixed_window_push");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for window in [1_024usize, 4_096] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |bch, &w| {
+            bch.iter(|| {
+                let mut fw = FixedWindowHistogram::new(w, 8, 0.5);
+                for &v in &stream {
+                    fw.push(v);
+                }
+                fw.total_pushed()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixed_window_materialize");
+    g.sample_size(10);
+    for &(window, b, eps) in
+        &[(512usize, 8usize, 0.5f64), (512, 8, 0.1), (2_048, 8, 0.5), (2_048, 16, 0.5), (2_048, 8, 0.1)]
+    {
+        let stream = utilization_trace(window + 8, 9);
+        let mut fw = FixedWindowHistogram::new(window, b, eps);
+        for &v in &stream {
+            fw.push(v);
+        }
+        let id = format!("n{window}_B{b}_eps{eps}");
+        g.bench_function(BenchmarkId::from_parameter(id), |bch| {
+            bch.iter(|| fw.histogram());
+        });
+    }
+    g.finish();
+}
+
+fn bench_vs_naive_dp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("window_materialize_vs_naive");
+    g.sample_size(10);
+    for window in [512usize, 2_048] {
+        let stream = utilization_trace(window + 8, 10);
+        let mut fw = FixedWindowHistogram::new(window, 8, 0.5);
+        let mut naive = NaiveSlidingWindow::new(window, 8);
+        for &v in &stream {
+            fw.push(v);
+            naive.push(v);
+        }
+        g.bench_function(BenchmarkId::new("createlist", window), |bch| {
+            bch.iter(|| fw.histogram());
+        });
+        g.bench_function(BenchmarkId::new("naive_dp", window), |bch| {
+            bch.iter(|| naive.histogram());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_push, bench_materialize, bench_vs_naive_dp);
+criterion_main!(benches);

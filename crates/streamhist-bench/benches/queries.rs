@@ -1,0 +1,123 @@
+//! Criterion benches for query answering on the synopses (the consumer
+//! side of Figure 6): range-sum estimation cost per summary type, plus the
+//! quantile-summary substrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamhist_core::Query;
+use streamhist_data::{utilization_trace, WorkloadGen};
+use streamhist_optimal::optimal_histogram;
+use streamhist_quantile::{GkSummary, MrlSummary, QuantileSummary};
+use streamhist_wavelet::WaveletSynopsis;
+
+fn bench_range_sum(c: &mut Criterion) {
+    let n = 4_096;
+    let b = 32;
+    let data = utilization_trace(n, 31);
+    let hist = optimal_histogram(&data, b);
+    let wav = WaveletSynopsis::top_b(&data, b);
+    let queries: Vec<Query> = WorkloadGen::new(5, n).range_sums(1_000);
+
+    let mut g = c.benchmark_group("range_sum_estimation");
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("histogram", |bch| {
+        bch.iter(|| queries.iter().map(|q| q.estimate(&hist)).sum::<f64>());
+    });
+    g.bench_function("wavelet", |bch| {
+        bch.iter(|| queries.iter().map(|q| q.estimate(&wav)).sum::<f64>());
+    });
+    g.bench_function("exact_scan", |bch| {
+        bch.iter(|| queries.iter().map(|q| q.exact(&data)).sum::<f64>());
+    });
+    g.finish();
+}
+
+fn bench_quantile_summaries(c: &mut Criterion) {
+    let data = utilization_trace(100_000, 41);
+    let mut g = c.benchmark_group("quantile_insert");
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function(BenchmarkId::new("gk", "eps0.01"), |bch| {
+        bch.iter(|| {
+            let mut s = GkSummary::new(0.01);
+            for &v in &data {
+                s.insert(v);
+            }
+            s.stored()
+        });
+    });
+    g.bench_function(BenchmarkId::new("mrl", "k256"), |bch| {
+        bch.iter(|| {
+            let mut s = MrlSummary::new(256);
+            for &v in &data {
+                s.insert(v);
+            }
+            s.stored()
+        });
+    });
+    g.finish();
+
+    let mut gk = GkSummary::new(0.01);
+    for &v in &data {
+        gk.insert(v);
+    }
+    let mut g = c.benchmark_group("quantile_query");
+    g.bench_function("gk_median", |bch| {
+        bch.iter(|| gk.quantile(0.5));
+    });
+    g.finish();
+}
+
+fn bench_codec_and_distance(c: &mut Criterion) {
+    let data = utilization_trace(8_192, 51);
+    let a = optimal_histogram(&data, 64);
+    let b = {
+        let shifted: Vec<f64> = data.iter().map(|v| v * 0.9 + 10.0).collect();
+        optimal_histogram(&shifted, 48)
+    };
+    let bytes = streamhist_core::codec::encode(&a);
+
+    let mut g = c.benchmark_group("codec_and_distance");
+    g.bench_function("encode_64_buckets", |bch| {
+        bch.iter(|| streamhist_core::codec::encode(&a));
+    });
+    g.bench_function("decode_64_buckets", |bch| {
+        bch.iter(|| streamhist_core::codec::decode(&bytes).expect("valid"));
+    });
+    g.bench_function("l2_distance_64v48", |bch| {
+        bch.iter(|| streamhist_core::distance::l2(&a, &b));
+    });
+    g.finish();
+}
+
+fn bench_selectivity_policies(c: &mut Criterion) {
+    use streamhist_freq::{FrequencyVector, ValueHistogram};
+    let values: Vec<i64> = utilization_trace(200_000, 61)
+        .into_iter()
+        .map(|v| (v as i64).clamp(0, 1023))
+        .collect();
+    let freq = FrequencyVector::from_values(values, 0, 1023);
+    let b = 32;
+    let mut g = c.benchmark_group("selectivity_build");
+    g.sample_size(10);
+    g.bench_function("v_optimal", |bch| {
+        bch.iter(|| ValueHistogram::v_optimal(&freq, b));
+    });
+    g.bench_function("v_optimal_approx", |bch| {
+        bch.iter(|| ValueHistogram::v_optimal_approx(&freq, b, 0.1));
+    });
+    g.bench_function("max_diff", |bch| {
+        bch.iter(|| ValueHistogram::max_diff(&freq, b));
+    });
+    g.bench_function("equi_depth", |bch| {
+        bch.iter(|| ValueHistogram::equi_depth(&freq, b));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_range_sum,
+    bench_quantile_summaries,
+    bench_codec_and_distance,
+    bench_selectivity_policies
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! EXP-AGG-OPT — reproduces the paper's §5.2 second summarized experiment:
+//! "We also compared algorithm AgglomerativeHistogram with the optimal
+//! histogram construction algorithm of Jagadish et al. ... The resulting
+//! histograms are comparable in accuracy with those resulting from the
+//! optimal histogram construction algorithm (for various values of ε) and
+//! the savings in construction time are profound; these savings increase
+//! as the size of the underlying data set increases."
+//!
+//! Reported: SSE ratio (should stay within 1+ε) and time speedup (should
+//! grow with n) for several ε.
+//!
+//! Run: `cargo run --release -p streamhist-bench --bin agglomerative_vs_optimal`
+
+use streamhist_bench::{full_scale, timed};
+use streamhist_data::utilization_trace;
+use streamhist_optimal::optimal_histogram;
+use streamhist_stream::AgglomerativeHistogram;
+
+fn main() {
+    let sizes: &[usize] =
+        if full_scale() { &[2_000, 4_000, 8_000, 16_000, 32_000, 64_000] } else { &[1_000, 2_000, 4_000, 8_000, 16_000] };
+    let b = 32;
+    let epss = [0.5f64, 0.1, 0.01];
+    println!("EXP-AGG-OPT: one-pass agglomerative vs optimal DP (B = {b})\n");
+    println!(
+        "{:>8} {:>6} {:>12} {:>12} {:>10} {:>12} {:>12} {:>9}",
+        "n", "eps", "agg SSE", "opt SSE", "SSE ratio", "agg time", "opt time", "speedup"
+    );
+
+    for &n in sizes {
+        let data = utilization_trace(n, 909);
+        let (h_opt, t_opt) = timed(|| optimal_histogram(&data, b));
+        let sse_opt = h_opt.sse(&data);
+        for &eps in &epss {
+            let (h_agg, t_agg) = timed(|| AgglomerativeHistogram::from_slice(&data, b, eps).histogram());
+            let sse_agg = h_agg.sse(&data);
+            let ratio = sse_agg / sse_opt.max(1e-12);
+            println!(
+                "{:>8} {:>6} {:>12.4e} {:>12.4e} {:>10.4} {:>10.3}s {:>10.3}s {:>8.1}x",
+                n,
+                eps,
+                sse_agg,
+                sse_opt,
+                ratio,
+                t_agg.as_secs_f64(),
+                t_opt.as_secs_f64(),
+                t_opt.as_secs_f64() / t_agg.as_secs_f64().max(1e-12)
+            );
+            println!(
+                "csv,agg_vs_opt,{n},{b},{eps},{sse_agg},{sse_opt},{},{}",
+                t_agg.as_secs_f64(),
+                t_opt.as_secs_f64()
+            );
+            assert!(
+                ratio <= 1.0 + eps + 1e-6,
+                "approximation guarantee violated: {ratio} > 1 + {eps}"
+            );
+        }
+    }
+    println!("\n(all SSE ratios verified <= 1 + eps)");
+}

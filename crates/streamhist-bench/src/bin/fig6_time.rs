@@ -1,0 +1,86 @@
+//! FIG6-CD — reproduces the paper's Figure 6(c)-(d): construction /
+//! incremental-maintenance time of fixed-window histograms as the window
+//! length varies, for two bucket budgets, at ε = 0.1 (panel c) and
+//! ε = 0.01 (panel d).
+//!
+//! Paper claims to reproduce: "Fixed window histograms require more time to
+//! compute as B increases or ε decreases. However, the penalty is small";
+//! and (omitted from their figure) the wavelet construction time was "much
+//! worse ... (up to an order of magnitude)".
+//!
+//! Run: `cargo run --release -p streamhist-bench --bin fig6_time`
+//! (set `STREAMHIST_FULL=1` for the 1M-point paper-scale stream).
+
+use std::time::Duration;
+use streamhist_bench::{full_scale, timed};
+use streamhist_data::utilization_trace;
+use streamhist_stream::FixedWindowHistogram;
+use streamhist_wavelet::SlidingWindowWavelet;
+
+fn main() {
+    let (stream_len, materialize_every) =
+        if full_scale() { (1_000_000usize, 4096usize) } else { (50_000, 2048) };
+    let stream = utilization_trace(stream_len, 20_022);
+    let windows = [256usize, 512, 1024, 2048];
+    let bs = [8usize, 16];
+    let epss = [0.1f64, 0.01];
+
+    println!(
+        "FIG6-CD: maintenance time over a {stream_len}-point stream \
+         (histogram materialized every {materialize_every} pushes)\n"
+    );
+    println!(
+        "{:>6} {:>4} {:>6} {:>12} {:>14} {:>12} {:>12}",
+        "window", "B", "eps", "hist total", "hist us/push", "wave total", "ratio"
+    );
+
+    for &eps in &epss {
+        for &b in &bs {
+            for &window in &windows {
+                // Fixed-window histogram: O(1) pushes + periodic CreateList.
+                let mut fw = FixedWindowHistogram::new(window, b, eps);
+                let ((), hist_time) = timed(|| {
+                    for (t, &v) in stream.iter().enumerate() {
+                        fw.push(v);
+                        if t + 1 >= window && (t + 1) % materialize_every == 0 {
+                            std::hint::black_box(fw.histogram());
+                        }
+                    }
+                });
+
+                // Wavelet baseline: recompute from scratch at the same cadence.
+                let mut wv = SlidingWindowWavelet::new(window, b);
+                let ((), wave_time) = timed(|| {
+                    for (t, &v) in stream.iter().enumerate() {
+                        wv.push(v);
+                        if t + 1 >= window && (t + 1) % materialize_every == 0 {
+                            std::hint::black_box(wv.synopsis());
+                        }
+                    }
+                });
+
+                let us_per_push = hist_time.as_secs_f64() * 1e6 / stream_len as f64;
+                println!(
+                    "{:>6} {:>4} {:>6} {:>12} {:>14.2} {:>12} {:>11.2}x",
+                    window,
+                    b,
+                    eps,
+                    fmt_dur(hist_time),
+                    us_per_push,
+                    fmt_dur(wave_time),
+                    wave_time.as_secs_f64() / hist_time.as_secs_f64().max(1e-12)
+                );
+                println!(
+                    "csv,fig6_time,{window},{b},{eps},{},{}",
+                    hist_time.as_secs_f64(),
+                    wave_time.as_secs_f64()
+                );
+            }
+        }
+        println!();
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}

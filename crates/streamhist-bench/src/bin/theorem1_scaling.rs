@@ -1,0 +1,90 @@
+//! THM1-SCALING — sanity-checks the shape of Theorem 1: the fixed-window
+//! materialization cost is `O((B³/ε²) log³ n)` — polylogarithmic in the
+//! window length but polynomial in `B` and `1/ε` — and compares it against
+//! the naive `O(n²B)` per-window DP, locating the crossover where the
+//! paper's algorithm starts winning.
+//!
+//! Run: `cargo run --release -p streamhist-bench --bin theorem1_scaling`
+
+use streamhist_bench::{full_scale, timed};
+use streamhist_data::utilization_trace;
+use streamhist_stream::{FixedWindowHistogram, NaiveSlidingWindow};
+
+fn materialization_cost(window: usize, b: usize, eps: f64, stream: &[f64]) -> (f64, f64, Vec<usize>) {
+    let mut fw = FixedWindowHistogram::new(window, b, eps);
+    for &v in &stream[..window] {
+        fw.push(v);
+    }
+    // Time several materializations at different window positions.
+    let reps = 5usize;
+    let mut total = 0.0;
+    let mut stats = Vec::new();
+    for r in 0..reps {
+        fw.push(stream[window + r]);
+        let ((_, s), t) = timed(|| fw.histogram_with_stats());
+        total += t.as_secs_f64();
+        stats = s.queue_sizes;
+    }
+    // Naive DP on the same windows.
+    let mut naive = NaiveSlidingWindow::new(window, b);
+    for &v in &stream[..window] {
+        naive.push(v);
+    }
+    let mut naive_total = 0.0;
+    for r in 0..reps {
+        naive.push(stream[window + r]);
+        let (h, t) = timed(|| naive.histogram());
+        std::hint::black_box(h);
+        naive_total += t.as_secs_f64();
+    }
+    (total / reps as f64, naive_total / reps as f64, stats)
+}
+
+fn main() {
+    let max_window = if full_scale() { 32_768 } else { 8_192 };
+    let stream = utilization_trace(max_window + 16, 555);
+
+    println!("THM1-SCALING: per-materialization cost, CreateList vs naive O(n^2 B) DP\n");
+    println!(
+        "{:>6} {:>4} {:>6} {:>14} {:>14} {:>9} {:>16}",
+        "window", "B", "eps", "CreateList", "naive DP", "speedup", "queue sizes"
+    );
+
+    // Sweep window length at fixed (B, eps) — cost should grow much slower
+    // than the naive DP's quadratic growth.
+    for &(b, eps) in &[(4usize, 1.0f64), (8, 0.5), (8, 0.1)] {
+        let mut w = 512usize;
+        while w <= max_window {
+            let (fw_t, naive_t, qs) = materialization_cost(w, b, eps, &stream);
+            let qsum: usize = qs.iter().sum();
+            println!(
+                "{:>6} {:>4} {:>6} {:>13.3}ms {:>13.3}ms {:>8.1}x {:>16}",
+                w,
+                b,
+                eps,
+                fw_t * 1e3,
+                naive_t * 1e3,
+                naive_t / fw_t.max(1e-12),
+                format!("sum={qsum}")
+            );
+            println!("csv,thm1_window,{w},{b},{eps},{fw_t},{naive_t},{qsum}");
+            w *= 2;
+        }
+        println!();
+    }
+
+    // Sweep B and eps at a fixed window — cost should grow with B and 1/eps.
+    let w = if full_scale() { 8_192 } else { 4_096 };
+    println!("fixed window = {w}: cost vs B and eps");
+    for &b in &[2usize, 4, 8, 16] {
+        for &eps in &[1.0f64, 0.5, 0.1] {
+            let (fw_t, _, qs) = materialization_cost(w, b, eps, &stream);
+            let qsum: usize = qs.iter().sum();
+            println!(
+                "  B={b:<3} eps={eps:<5} CreateList = {:>9.3}ms  (queue total {qsum})",
+                fw_t * 1e3
+            );
+            println!("csv,thm1_beps,{w},{b},{eps},{fw_t},{qsum}");
+        }
+    }
+}

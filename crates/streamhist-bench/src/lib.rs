@@ -1,0 +1,168 @@
+//! Shared machinery for the experiment harness binaries (one binary per
+//! paper table/figure — see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results).
+//!
+//! Every harness prints a human-readable table **and** machine-readable CSV
+//! rows (prefixed `csv,`) so results can be replotted. Scale is controlled
+//! by the `STREAMHIST_FULL` environment variable: unset runs a
+//! minutes-scale configuration; `STREAMHIST_FULL=1` runs the paper-scale
+//! one (1M-point streams).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+use streamhist_core::{evaluate_queries, AccuracyReport, SequenceSummary};
+use streamhist_data::WorkloadGen;
+use streamhist_stream::FixedWindowHistogram;
+use streamhist_wavelet::SlidingWindowWavelet;
+
+/// Whether the paper-scale configuration was requested
+/// (`STREAMHIST_FULL=1`).
+#[must_use]
+pub fn full_scale() -> bool {
+    std::env::var("STREAMHIST_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Measures one closure, returning its result and the elapsed time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Result of one Figure-6 grid cell: a (window, B, ε) configuration run
+/// over the whole stream.
+#[derive(Debug, Clone)]
+pub struct Fig6Cell {
+    /// Window length `n`.
+    pub window: usize,
+    /// Bucket budget `B`.
+    pub b: usize,
+    /// Approximation parameter `ε`.
+    pub eps: f64,
+    /// Accuracy of the fixed-window histogram across all checkpoints.
+    pub hist: AccuracyReport,
+    /// Accuracy of the from-scratch wavelet synopsis across checkpoints.
+    pub wavelet: AccuracyReport,
+    /// Total time maintaining + materializing the fixed-window histogram.
+    pub hist_time: Duration,
+    /// Total time maintaining + recomputing the wavelet synopsis.
+    pub wavelet_time: Duration,
+    /// Number of checkpoints at which synopses were materialized/queried.
+    pub checkpoints: usize,
+}
+
+/// Runs one Figure-6 cell: stream the data through a fixed-window histogram
+/// and a from-scratch wavelet baseline, materializing and querying both at
+/// `checkpoints` evenly spaced positions (after warm-up) with
+/// `queries_per_checkpoint` random range-sum queries each.
+///
+/// The paper materializes per push; at reproduction scale that is
+/// prohibitive for the degenerate (small-window, tiny-δ) cells, so the
+/// checkpoint cadence is the documented substitution — it preserves the
+/// relative accuracy and the relative time between methods.
+///
+/// # Panics
+///
+/// Panics if the stream is shorter than the window or `checkpoints == 0`.
+#[must_use]
+pub fn run_fig6_cell(
+    stream: &[f64],
+    window: usize,
+    b: usize,
+    eps: f64,
+    checkpoints: usize,
+    queries_per_checkpoint: usize,
+) -> Fig6Cell {
+    assert!(stream.len() >= window, "stream shorter than the window");
+    assert!(checkpoints > 0, "need at least one checkpoint");
+    let stride = (stream.len() - window).max(1) / checkpoints;
+    let stride = stride.max(1);
+
+    let mut fw = FixedWindowHistogram::new(window, b, eps);
+    let mut hist_report = AccuracyReport::empty();
+    let mut hist_time = Duration::ZERO;
+    let mut n_checkpoints = 0usize;
+
+    let ((), t) = timed(|| {
+        for (t, &v) in stream.iter().enumerate() {
+            fw.push(v);
+            if t + 1 >= window && (t + 1 - window).is_multiple_of(stride) {
+                let hist = fw.histogram();
+                n_checkpoints += 1;
+                let truth = fw.window();
+                let queries =
+                    WorkloadGen::new(t as u64, window).range_sums(queries_per_checkpoint);
+                hist_report = hist_report.merge(&evaluate_queries(&truth, &hist, &queries));
+            }
+        }
+    });
+    hist_time += t;
+
+    let mut wv = SlidingWindowWavelet::new(window, b);
+    let mut wavelet_report = AccuracyReport::empty();
+    let mut wavelet_time = Duration::ZERO;
+    let ((), t) = timed(|| {
+        for (t, &v) in stream.iter().enumerate() {
+            wv.push(v);
+            if t + 1 >= window && (t + 1 - window).is_multiple_of(stride) {
+                let syn = wv.synopsis();
+                let truth = wv.window();
+                let queries =
+                    WorkloadGen::new(t as u64, window).range_sums(queries_per_checkpoint);
+                wavelet_report = wavelet_report.merge(&evaluate_queries(&truth, &syn, &queries));
+            }
+        }
+    });
+    wavelet_time += t;
+
+    Fig6Cell {
+        window,
+        b,
+        eps,
+        hist: hist_report,
+        wavelet: wavelet_report,
+        hist_time,
+        wavelet_time,
+        checkpoints: n_checkpoints,
+    }
+}
+
+/// Evaluates one summary over a fresh workload — convenience for harnesses
+/// comparing many methods on a fixed sequence.
+#[must_use]
+pub fn accuracy_of<S: SequenceSummary + ?Sized>(
+    data: &[f64],
+    summary: &S,
+    queries: usize,
+    seed: u64,
+) -> AccuracyReport {
+    let workload = WorkloadGen::new(seed, data.len()).range_sums(queries);
+    evaluate_queries(data, summary, &workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamhist_data::utilization_trace;
+
+    #[test]
+    fn fig6_cell_runs_and_reports() {
+        let stream = utilization_trace(2_000, 3);
+        let cell = run_fig6_cell(&stream, 256, 8, 0.5, 4, 50);
+        assert!(cell.checkpoints >= 4);
+        assert!(cell.hist.queries >= 200);
+        assert!(cell.hist.mean_abs_error.is_finite());
+        assert!(cell.wavelet.mean_abs_error.is_finite());
+        assert!(cell.hist_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn accuracy_of_exact_is_zero() {
+        let data = utilization_trace(500, 9);
+        let exact = streamhist_core::ExactSummary::new(&data);
+        let r = accuracy_of(&data, &exact, 100, 1);
+        assert_eq!(r.mean_abs_error, 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Histogram buckets.
+//!
+//! A bucket collapses the values of a contiguous index range `[start, end]`
+//! into a single representative `height` (their mean, for V-optimal
+//! histograms). This is the `b_i = (s_i, e_i, h_i)` triple of the paper's §3.
+
+/// One bucket of a piecewise-constant sequence approximation.
+///
+/// Index range is inclusive on both ends. The invariants `start <= end` and
+/// `height.is_finite()` are enforced by [`Bucket::new`]; callers constructing
+/// buckets literally are expected to uphold them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// First index covered by the bucket (inclusive).
+    pub start: usize,
+    /// Last index covered by the bucket (inclusive).
+    pub end: usize,
+    /// Representative value for every index in `[start, end]`.
+    ///
+    /// For V-optimal histograms this is the arithmetic mean of the covered
+    /// values, which minimizes the bucket's contribution to the
+    /// sum-squared-error (paper Eq. 1).
+    pub height: f64,
+}
+
+impl Bucket {
+    /// Creates a bucket, panicking on invalid input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `height` is not finite. These are
+    /// programmer errors in the construction algorithms, not recoverable
+    /// runtime conditions.
+    #[must_use]
+    pub fn new(start: usize, end: usize, height: f64) -> Self {
+        assert!(start <= end, "bucket start {start} > end {end}");
+        assert!(height.is_finite(), "bucket height must be finite");
+        Self { start, end, height }
+    }
+
+    /// Number of indices covered by the bucket (always at least 1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Buckets always cover at least one index; provided for clippy's
+    /// `len_without_is_empty` convention.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `idx` falls inside the bucket's range.
+    #[must_use]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.start <= idx && idx <= self.end
+    }
+
+    /// The bucket's estimate of the sum of all values it covers,
+    /// i.e. `len * height`.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.len() as f64 * self.height
+    }
+
+    /// The bucket's estimate of the sum over the intersection of its range
+    /// with `[start, end]` (inclusive). Returns 0 if the intersection is
+    /// empty.
+    #[must_use]
+    pub fn partial_sum(&self, start: usize, end: usize) -> f64 {
+        let lo = self.start.max(start);
+        let hi = self.end.min(end);
+        if lo > hi {
+            0.0
+        } else {
+            (hi - lo + 1) as f64 * self.height
+        }
+    }
+
+    /// The bucket's sum-squared-error against the raw `data` slice (indexed
+    /// by absolute position, so `data` must cover `[start, end]`).
+    ///
+    /// This is `F(b_i)` in the paper's Eq. 1.
+    #[must_use]
+    pub fn sse(&self, data: &[f64]) -> f64 {
+        data[self.start..=self.end]
+            .iter()
+            .map(|v| {
+                let d = v - self.height;
+                d * d
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_counts_inclusive_range() {
+        assert_eq!(Bucket::new(0, 0, 1.0).len(), 1);
+        assert_eq!(Bucket::new(2, 5, 1.0).len(), 4);
+    }
+
+    #[test]
+    fn contains_is_inclusive_on_both_ends() {
+        let b = Bucket::new(2, 5, 0.0);
+        assert!(!b.contains(1));
+        assert!(b.contains(2));
+        assert!(b.contains(5));
+        assert!(!b.contains(6));
+    }
+
+    #[test]
+    fn sum_is_len_times_height() {
+        let b = Bucket::new(3, 6, 2.5);
+        assert_eq!(b.sum(), 10.0);
+    }
+
+    #[test]
+    fn partial_sum_clips_to_intersection() {
+        let b = Bucket::new(2, 5, 2.0);
+        assert_eq!(b.partial_sum(0, 10), 8.0); // whole bucket
+        assert_eq!(b.partial_sum(3, 4), 4.0); // interior
+        assert_eq!(b.partial_sum(0, 2), 2.0); // left edge
+        assert_eq!(b.partial_sum(5, 9), 2.0); // right edge
+        assert_eq!(b.partial_sum(6, 9), 0.0); // disjoint right
+        assert_eq!(b.partial_sum(0, 1), 0.0); // disjoint left
+    }
+
+    #[test]
+    fn sse_matches_direct_computation() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let b = Bucket::new(1, 3, 3.0);
+        // (2-3)^2 + (3-3)^2 + (4-3)^2 = 2
+        assert_eq!(b.sse(&data), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket start")]
+    fn new_rejects_inverted_range() {
+        let _ = Bucket::new(3, 2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn new_rejects_nan_height() {
+        let _ = Bucket::new(0, 1, f64::NAN);
+    }
+}

@@ -1,0 +1,234 @@
+//! Compact binary serialization of histograms.
+//!
+//! The paper's motivating deployments ship synopses between network
+//! elements and collectors ("network elements, like routers and hubs,
+//! produce vast amounts of stream data"), so a histogram needs a wire
+//! format. The encoding is deliberately simple and self-contained:
+//!
+//! ```text
+//! magic  u8      0x48 ('H')
+//! version u8     1
+//! domain  varint domain length n
+//! count   varint number of buckets B
+//! ends    varint x B   delta-encoded bucket lengths (end - prev_end)
+//! heights f64-le x B   bucket heights
+//! ```
+//!
+//! Bucket ends are strictly increasing, so delta coding keeps small-bucket
+//! histograms around `B` bytes of boundary data instead of `8B`.
+
+use crate::bucket::Bucket;
+use crate::histogram::Histogram;
+use std::fmt;
+
+const MAGIC: u8 = 0x48;
+const VERSION: u8 = 1;
+
+/// Errors produced while decoding a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the structure was complete.
+    UnexpectedEnd,
+    /// The magic byte or version did not match.
+    BadHeader,
+    /// A varint ran past 64 bits.
+    VarintOverflow,
+    /// The decoded buckets do not tile the declared domain.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEnd => write!(f, "input truncated"),
+            Self::BadHeader => write!(f, "bad magic/version header"),
+            Self::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            Self::Corrupt(what) => write!(f, "corrupt histogram encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(input: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut out: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = input.get(*pos).ok_or(DecodeError::UnexpectedEnd)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+/// Serializes a histogram to its compact wire format.
+#[must_use]
+pub fn encode(h: &Histogram) -> Vec<u8> {
+    let buckets = h.buckets();
+    let mut out = Vec::with_capacity(4 + buckets.len() * 10);
+    out.push(MAGIC);
+    out.push(VERSION);
+    put_varint(&mut out, h.domain_len() as u64);
+    put_varint(&mut out, buckets.len() as u64);
+    let mut prev: u64 = 0;
+    for b in buckets {
+        let end = b.end as u64 + 1; // store 1-past-end so deltas are >= 1
+        put_varint(&mut out, end - prev);
+        prev = end;
+    }
+    for b in buckets {
+        out.extend_from_slice(&b.height.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a histogram from its wire format, validating the
+/// structural invariants.
+pub fn decode(input: &[u8]) -> Result<Histogram, DecodeError> {
+    let mut pos = 0usize;
+    let magic = *input.get(pos).ok_or(DecodeError::UnexpectedEnd)?;
+    pos += 1;
+    let version = *input.get(pos).ok_or(DecodeError::UnexpectedEnd)?;
+    pos += 1;
+    if magic != MAGIC || version != VERSION {
+        return Err(DecodeError::BadHeader);
+    }
+    let domain_len = get_varint(input, &mut pos)? as usize;
+    let count = get_varint(input, &mut pos)? as usize;
+    if count > domain_len {
+        return Err(DecodeError::Corrupt("more buckets than domain points"));
+    }
+    let mut ends = Vec::with_capacity(count);
+    let mut prev: u64 = 0;
+    for _ in 0..count {
+        let delta = get_varint(input, &mut pos)?;
+        if delta == 0 {
+            return Err(DecodeError::Corrupt("zero-length bucket"));
+        }
+        prev = prev.checked_add(delta).ok_or(DecodeError::VarintOverflow)?;
+        ends.push(prev as usize - 1);
+    }
+    let mut buckets = Vec::with_capacity(count);
+    let mut start = 0usize;
+    for &end in &ends {
+        let bytes = input
+            .get(pos..pos + 8)
+            .ok_or(DecodeError::UnexpectedEnd)?
+            .try_into()
+            .expect("slice of length 8");
+        pos += 8;
+        let height = f64::from_le_bytes(bytes);
+        if !height.is_finite() {
+            return Err(DecodeError::Corrupt("non-finite bucket height"));
+        }
+        buckets.push(Bucket::new(start, end, height));
+        start = end + 1;
+    }
+    Histogram::new(domain_len, buckets)
+        .map_err(|_| DecodeError::Corrupt("buckets do not tile the domain"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Histogram {
+        let data: Vec<f64> = (0..50).map(|i| ((i * 7) % 13) as f64).collect();
+        Histogram::from_bucket_ends(&data, &[4, 9, 30, 49])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let bytes = encode(&h);
+        let back = decode(&bytes).expect("valid encoding");
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_domain() {
+        let h = Histogram::new(0, vec![]).expect("empty");
+        let back = decode(&encode(&h)).expect("valid encoding");
+        assert_eq!(back.domain_len(), 0);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let h = sample();
+        let bytes = encode(&h);
+        // 2 header + <=2 varint domain + 1 count + ~1/bucket + 8/bucket.
+        assert!(bytes.len() <= 2 + 2 + 1 + h.num_buckets() * 10, "{}", bytes.len());
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(err, DecodeError::UnexpectedEnd | DecodeError::BadHeader),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&sample());
+        bytes[0] = 0x00;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn corrupt_height_rejected() {
+        let h = sample();
+        let mut bytes = encode(&h);
+        // Overwrite the first height with NaN.
+        let heights_at = bytes.len() - 8 * h.num_buckets();
+        bytes[heights_at..heights_at + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn zero_delta_rejected() {
+        // Hand-build: domain 2, 2 buckets, deltas [1, 0].
+        let mut bytes = vec![MAGIC, VERSION];
+        put_varint(&mut bytes, 2);
+        put_varint(&mut bytes, 2);
+        put_varint(&mut bytes, 1);
+        put_varint(&mut bytes, 0);
+        bytes.extend_from_slice(&1.0f64.to_le_bytes());
+        bytes.extend_from_slice(&1.0f64.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            out.clear();
+            put_varint(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&out, &mut pos), Ok(v));
+            assert_eq!(pos, out.len());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Sequence-level error metrics between a data sequence and its
+//! approximation.
+//!
+//! The paper's construction algorithms minimize the Sum-Squared-Error (SSE,
+//! Eq. 1); the evaluation section additionally reports query-level errors
+//! (see [`crate::eval`]). These helpers compare any reconstructed sequence
+//! against the raw one and are used throughout the workspace's tests and
+//! harnesses.
+
+/// Sum of squared differences `Σ (data[i] − approx[i])²`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn sum_squared_error(data: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(data.len(), approx.len(), "sequences must have equal length");
+    data.iter()
+        .zip(approx)
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+/// Sum of absolute differences `Σ |data[i] − approx[i]|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn sum_abs_error(data: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(data.len(), approx.len(), "sequences must have equal length");
+    data.iter().zip(approx).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Maximum absolute difference `max |data[i] − approx[i]|` (0 for empty
+/// input). The paper notes in §3 footnote 3 that its results hold for any
+/// point-wise additive error; max-error is the common alternative.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn max_abs_error(data: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(data.len(), approx.len(), "sequences must have equal length");
+    data.iter().zip(approx).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sse_basic() {
+        assert_eq!(sum_squared_error(&[1.0, 2.0], &[1.0, 4.0]), 4.0);
+        assert_eq!(sum_squared_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sae_basic() {
+        assert_eq!(sum_abs_error(&[1.0, 2.0, 3.0], &[2.0, 0.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn max_abs_basic() {
+        assert_eq!(max_abs_error(&[1.0, 2.0, 3.0], &[2.0, -1.0, 3.0]), 3.0);
+        assert_eq!(max_abs_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn sse_length_mismatch_panics() {
+        let _ = sum_squared_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Workload evaluation: the paper's §5 accuracy protocol.
+//!
+//! "Accuracy is measured by reporting the average result obtained by
+//! performing random queries; the starting points as well as the span of the
+//! queries is chosen uniformly and independently." We run each query both
+//! exactly and against the summary, and report the averages of both answers
+//! (Figure 6(a)-(b) plots these series directly) plus derived error
+//! statistics.
+
+use crate::query::{Query, SequenceSummary};
+
+/// Aggregate accuracy statistics for a query workload against one summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Number of queries evaluated.
+    pub queries: usize,
+    /// Mean exact answer (the "Exact" series of Fig. 6(a)-(b)).
+    pub mean_exact: f64,
+    /// Mean estimated answer (the method's series of Fig. 6(a)-(b)).
+    pub mean_estimate: f64,
+    /// Mean absolute error `mean |estimate − exact|`.
+    pub mean_abs_error: f64,
+    /// Mean relative error `mean |estimate − exact| / max(|exact|, 1)`.
+    ///
+    /// The `max(·, 1)` sanitizer is the standard guard against division by
+    /// tiny exact answers.
+    pub mean_rel_error: f64,
+    /// Root-mean-squared error of the estimates.
+    pub rmse: f64,
+    /// Largest absolute error observed.
+    pub max_abs_error: f64,
+}
+
+impl AccuracyReport {
+    /// A report over zero queries (all statistics zero).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            queries: 0,
+            mean_exact: 0.0,
+            mean_estimate: 0.0,
+            mean_abs_error: 0.0,
+            mean_rel_error: 0.0,
+            rmse: 0.0,
+            max_abs_error: 0.0,
+        }
+    }
+
+    /// Merges two reports over disjoint workloads into one (weighted by
+    /// query counts). Used by the harnesses to aggregate across sampled
+    /// window positions.
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        let n = self.queries + other.queries;
+        if n == 0 {
+            return Self::empty();
+        }
+        let (wa, wb) = (self.queries as f64, other.queries as f64);
+        let nf = n as f64;
+        Self {
+            queries: n,
+            mean_exact: (self.mean_exact * wa + other.mean_exact * wb) / nf,
+            mean_estimate: (self.mean_estimate * wa + other.mean_estimate * wb) / nf,
+            mean_abs_error: (self.mean_abs_error * wa + other.mean_abs_error * wb) / nf,
+            mean_rel_error: (self.mean_rel_error * wa + other.mean_rel_error * wb) / nf,
+            rmse: ((self.rmse * self.rmse * wa + other.rmse * other.rmse * wb) / nf).sqrt(),
+            max_abs_error: self.max_abs_error.max(other.max_abs_error),
+        }
+    }
+}
+
+/// Runs `queries` against both the raw `data` and `summary`, returning the
+/// aggregate accuracy statistics.
+///
+/// # Panics
+///
+/// Panics if any query exceeds the bounds of `data` or if
+/// `summary.summary_len() != data.len()`.
+#[must_use]
+pub fn evaluate_queries<S: SequenceSummary + ?Sized>(
+    data: &[f64],
+    summary: &S,
+    queries: &[Query],
+) -> AccuracyReport {
+    assert_eq!(
+        summary.summary_len(),
+        data.len(),
+        "summary domain must match the data length"
+    );
+    if queries.is_empty() {
+        return AccuracyReport::empty();
+    }
+    let mut sum_exact = 0.0;
+    let mut sum_est = 0.0;
+    let mut sum_abs = 0.0;
+    let mut sum_rel = 0.0;
+    let mut sum_sq = 0.0;
+    let mut max_abs = 0.0f64;
+    for q in queries {
+        let exact = q.exact(data);
+        let est = q.estimate(summary);
+        let abs = (est - exact).abs();
+        sum_exact += exact;
+        sum_est += est;
+        sum_abs += abs;
+        sum_rel += abs / exact.abs().max(1.0);
+        sum_sq += abs * abs;
+        max_abs = max_abs.max(abs);
+    }
+    let n = queries.len() as f64;
+    AccuracyReport {
+        queries: queries.len(),
+        mean_exact: sum_exact / n,
+        mean_estimate: sum_est / n,
+        mean_abs_error: sum_abs / n,
+        mean_rel_error: sum_rel / n,
+        rmse: (sum_sq / n).sqrt(),
+        max_abs_error: max_abs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::query::ExactSummary;
+
+    const DATA: [f64; 6] = [1.0, 1.0, 3.0, 3.0, 3.0, 10.0];
+
+    #[test]
+    fn exact_summary_has_zero_error() {
+        let s = ExactSummary::new(&DATA);
+        let qs = vec![
+            Query::Point { idx: 2 },
+            Query::RangeSum { start: 0, end: 5 },
+            Query::RangeAvg { start: 1, end: 3 },
+        ];
+        let r = evaluate_queries(&DATA, &s, &qs);
+        assert_eq!(r.queries, 3);
+        assert_eq!(r.mean_abs_error, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.max_abs_error, 0.0);
+        assert_eq!(r.mean_exact, r.mean_estimate);
+    }
+
+    #[test]
+    fn coarse_histogram_has_positive_error() {
+        let h = Histogram::from_bucket_ends(&DATA, &[5]);
+        let qs = vec![Query::Point { idx: 5 }];
+        let r = evaluate_queries(&DATA, &h, &qs);
+        // estimate 3.5 vs exact 10
+        assert!((r.mean_abs_error - 6.5).abs() < 1e-12);
+        assert!((r.max_abs_error - 6.5).abs() < 1e-12);
+        assert!((r.mean_rel_error - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload_reports_zeroes() {
+        let s = ExactSummary::new(&DATA);
+        let r = evaluate_queries(&DATA, &s, &[]);
+        assert_eq!(r, AccuracyReport::empty());
+    }
+
+    #[test]
+    fn merge_weights_by_query_count() {
+        let a = AccuracyReport {
+            queries: 1,
+            mean_exact: 2.0,
+            mean_estimate: 2.0,
+            mean_abs_error: 0.0,
+            mean_rel_error: 0.0,
+            rmse: 0.0,
+            max_abs_error: 0.0,
+        };
+        let b = AccuracyReport {
+            queries: 3,
+            mean_exact: 6.0,
+            mean_estimate: 4.0,
+            mean_abs_error: 2.0,
+            mean_rel_error: 0.5,
+            rmse: 2.0,
+            max_abs_error: 4.0,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.queries, 4);
+        assert!((m.mean_exact - 5.0).abs() < 1e-12);
+        assert!((m.mean_abs_error - 1.5).abs() < 1e-12);
+        assert_eq!(m.max_abs_error, 4.0);
+        // rmse of merge: sqrt((0*1 + 4*3)/4) = sqrt(3)
+        assert!((m.rmse - 3.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let b = AccuracyReport {
+            queries: 2,
+            mean_exact: 1.0,
+            mean_estimate: 1.5,
+            mean_abs_error: 0.5,
+            mean_rel_error: 0.5,
+            rmse: 0.5,
+            max_abs_error: 0.5,
+        };
+        let m = AccuracyReport::empty().merge(&b);
+        assert_eq!(m, b);
+    }
+}

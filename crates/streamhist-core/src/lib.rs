@@ -1,0 +1,47 @@
+//! # streamhist-core
+//!
+//! Core substrate for the `streamhist` workspace: bucket/histogram
+//! representations, prefix-sum machinery, error metrics, and the query and
+//! evaluation layer shared by every approximation method in the workspace.
+//!
+//! The workspace reproduces *Guha & Koudas, "Approximating a Data Stream for
+//! Querying and Estimation: Algorithms and Performance Evaluation"*
+//! (ICDE 2002). This crate corresponds to the paper's Section 3
+//! ("Histogramming Problem Definition"):
+//!
+//! * [`Bucket`] and [`Histogram`] — the piecewise-constant representation
+//!   `H_B`: a sequence of buckets `b_i = (s_i, e_i, h_i)` where `h_i` is the
+//!   mean of the values in `[s_i, e_i]`.
+//! * [`PrefixSums`] — the `SUM`/`SQSUM` arrays (paper Eq. 3) giving `O(1)`
+//!   evaluation of the bucket error `SQERROR[i, j]` (paper Eq. 2).
+//! * [`SlidingPrefixSums`] — the cyclic `SUM'`/`SQSUM'` arrays of the fixed
+//!   window algorithm (paper §4.5) with the amortized rebase "from some point
+//!   in the past".
+//! * [`Query`] / [`SequenceSummary`] — point, range-sum, range-average and
+//!   range-count queries, evaluated exactly on raw data or approximately on
+//!   any summary (histograms here, wavelet synopses in `streamhist-wavelet`).
+//! * [`evaluate_queries`] — the paper's §5 accuracy protocol: run a workload
+//!   of random queries and report average errors.
+//!
+//! All index domains are 0-based and ranges are inclusive `[start, end]`,
+//! matching the bucket convention of the paper (which is 1-based; we shift).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod codec;
+pub mod distance;
+pub mod error;
+pub mod eval;
+pub mod histogram;
+pub mod prefix;
+pub mod query;
+
+pub use bucket::Bucket;
+pub use codec::{decode, encode, DecodeError};
+pub use error::{max_abs_error, sum_abs_error, sum_squared_error};
+pub use eval::{evaluate_queries, AccuracyReport};
+pub use histogram::{Histogram, HistogramError};
+pub use prefix::{GrowableWindowSums, PrefixSums, SlidingPrefixSums, WindowSums};
+pub use query::{ExactSummary, Query, SequenceSummary};

@@ -1,0 +1,551 @@
+//! Prefix-sum machinery: the paper's `SUM`/`SQSUM` arrays (Eq. 3) and the
+//! sliding `SUM'`/`SQSUM'` variant of the fixed-window algorithm (§4.5).
+//!
+//! Both structures answer the bucket error
+//!
+//! ```text
+//! SQERROR[i, j] = Σ v_l²  −  (Σ v_l)² / (j − i + 1)      (paper Eq. 2)
+//! ```
+//!
+//! in `O(1)`, which is the workhorse of every construction algorithm.
+
+use std::collections::VecDeque;
+
+/// Read interface over the sums of a (window of a) sequence: everything a
+/// histogram construction needs — `O(1)` range sums, sums of squares and
+/// `SQERROR` over window-relative inclusive ranges.
+///
+/// Implemented by [`SlidingPrefixSums`] (count-based windows, the paper's
+/// model) and [`GrowableWindowSums`] (externally-driven eviction, used for
+/// the time-based windows of the paper's Figure 1 description).
+pub trait WindowSums {
+    /// Number of points currently summarized.
+    fn len(&self) -> usize;
+
+    /// Whether the window is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of values over window-relative `[start, end]`.
+    fn range_sum(&self, start: usize, end: usize) -> f64;
+
+    /// Sum of squares over window-relative `[start, end]`.
+    fn range_sqsum(&self, start: usize, end: usize) -> f64;
+
+    /// Mean over window-relative `[start, end]`.
+    fn mean(&self, start: usize, end: usize) -> f64 {
+        self.range_sum(start, end) / (end - start + 1) as f64
+    }
+
+    /// `SQERROR` (paper Eq. 2) over window-relative `[start, end]`,
+    /// clamped at 0.
+    fn sqerror(&self, start: usize, end: usize) -> f64 {
+        let n = (end - start + 1) as f64;
+        let s = self.range_sum(start, end);
+        let q = self.range_sqsum(start, end);
+        (q - s * s / n).max(0.0)
+    }
+}
+
+/// Static prefix sums over a fixed slice: `SUM[0..=n]`, `SQSUM[0..=n]`.
+///
+/// `sum[k]` holds the sum of the first `k` values (so `sum[0] == 0`), and
+/// likewise for squares. Range queries use inclusive 0-based `[start, end]`.
+#[derive(Debug, Clone)]
+pub struct PrefixSums {
+    sum: Vec<f64>,
+    sqsum: Vec<f64>,
+}
+
+impl PrefixSums {
+    /// Computes both arrays in one pass, `O(n)` time and space.
+    #[must_use]
+    pub fn new(data: &[f64]) -> Self {
+        let mut sum = Vec::with_capacity(data.len() + 1);
+        let mut sqsum = Vec::with_capacity(data.len() + 1);
+        sum.push(0.0);
+        sqsum.push(0.0);
+        let (mut s, mut q) = (0.0, 0.0);
+        for &v in data {
+            s += v;
+            q += v * v;
+            sum.push(s);
+            sqsum.push(q);
+        }
+        Self { sum, sqsum }
+    }
+
+    /// Number of underlying values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sum.len() - 1
+    }
+
+    /// Whether the underlying sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of values in `[start, end]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `end >= len` ; debug-asserts
+    /// `start <= end`.
+    #[must_use]
+    pub fn range_sum(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(start <= end);
+        self.sum[end + 1] - self.sum[start]
+    }
+
+    /// Sum of squared values in `[start, end]` (inclusive).
+    #[must_use]
+    pub fn range_sqsum(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(start <= end);
+        self.sqsum[end + 1] - self.sqsum[start]
+    }
+
+    /// Mean of the values in `[start, end]` — the SSE-optimal bucket height.
+    #[must_use]
+    pub fn mean(&self, start: usize, end: usize) -> f64 {
+        self.range_sum(start, end) / (end - start + 1) as f64
+    }
+
+    /// The paper's `SQERROR[start, end]` (Eq. 2): the SSE incurred by
+    /// collapsing `[start, end]` into one bucket at its mean. Clamped at 0
+    /// to absorb floating-point cancellation on near-constant ranges.
+    #[must_use]
+    pub fn sqerror(&self, start: usize, end: usize) -> f64 {
+        let n = (end - start + 1) as f64;
+        let s = self.range_sum(start, end);
+        let q = self.range_sqsum(start, end);
+        (q - s * s / n).max(0.0)
+    }
+}
+
+/// Sliding-window prefix sums: the `SUM'`/`SQSUM'` arrays of the paper's
+/// fixed-window algorithm (§4.5).
+///
+/// Maintains cumulative sums "from some point in the past `ℓ`" so that any
+/// window-relative range query is two subtractions. The anchor is moved
+/// forward to the start of the window every `rebase_period` pushes (the
+/// paper rebases every `n` iterations: `O(n)` work "amortized over n
+/// iterations, can be ignored"). Rebasing also bounds floating-point drift,
+/// because cumulative magnitudes reset relative to the window content.
+///
+/// Indices in queries are **window-relative**: 0 is the oldest retained
+/// point, `len() - 1` the most recent.
+#[derive(Debug, Clone)]
+pub struct SlidingPrefixSums {
+    capacity: usize,
+    /// Cumulative (sum, sqsum) *including* each retained point, measured
+    /// from the current anchor.
+    cum: VecDeque<(f64, f64)>,
+    /// Cumulative (sum, sqsum) of everything evicted since the anchor, i.e.
+    /// the value "just before" window index 0.
+    head: (f64, f64),
+    rebase_period: usize,
+    since_rebase: usize,
+}
+
+impl SlidingPrefixSums {
+    /// Creates an empty window with the paper's default rebase period of
+    /// `capacity` pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self::with_rebase_period(capacity, capacity)
+    }
+
+    /// Creates an empty window with an explicit rebase period (used by the
+    /// ABL-REBASE ablation bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `rebase_period == 0`.
+    #[must_use]
+    pub fn with_rebase_period(capacity: usize, rebase_period: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(rebase_period > 0, "rebase period must be positive");
+        Self {
+            capacity,
+            cum: VecDeque::with_capacity(capacity),
+            head: (0.0, 0.0),
+            rebase_period,
+            since_rebase: 0,
+        }
+    }
+
+    /// Window capacity `n`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of points currently retained (`<= capacity`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether no points have been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Whether the window has reached capacity (every further push evicts).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.cum.len() == self.capacity
+    }
+
+    /// Appends `v`, evicting the temporally oldest point if the window is
+    /// full. Amortized `O(1)`; every `rebase_period`-th push pays `O(len)`
+    /// to move the anchor (paper §4.5).
+    pub fn push(&mut self, v: f64) {
+        if self.cum.len() == self.capacity {
+            let evicted = self.cum.pop_front().expect("full window is non-empty");
+            self.head = evicted;
+        }
+        let (s, q) = self.cum.back().copied().unwrap_or(self.head);
+        self.cum.push_back((s + v, q + v * v));
+        self.since_rebase += 1;
+        if self.since_rebase >= self.rebase_period {
+            self.rebase();
+        }
+    }
+
+    /// Moves the anchor to the start of the window: subtracts `head` from
+    /// every cumulative entry. `O(len)`.
+    fn rebase(&mut self) {
+        let (hs, hq) = self.head;
+        if hs != 0.0 || hq != 0.0 {
+            for e in &mut self.cum {
+                e.0 -= hs;
+                e.1 -= hq;
+            }
+            self.head = (0.0, 0.0);
+        }
+        self.since_rebase = 0;
+    }
+
+    fn cum_before(&self, idx: usize) -> (f64, f64) {
+        if idx == 0 {
+            self.head
+        } else {
+            self.cum[idx - 1]
+        }
+    }
+
+    /// Sum of the window values in window-relative `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end >= len`; debug-asserts `start <= end`.
+    #[must_use]
+    pub fn range_sum(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(start <= end);
+        self.cum[end].0 - self.cum_before(start).0
+    }
+
+    /// Sum of squares of the window values in `[start, end]`.
+    #[must_use]
+    pub fn range_sqsum(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(start <= end);
+        self.cum[end].1 - self.cum_before(start).1
+    }
+
+    /// Mean over window-relative `[start, end]`.
+    #[must_use]
+    pub fn mean(&self, start: usize, end: usize) -> f64 {
+        self.range_sum(start, end) / (end - start + 1) as f64
+    }
+
+    /// `SQERROR` over window-relative `[start, end]` (paper Eq. 2), clamped
+    /// at 0.
+    #[must_use]
+    pub fn sqerror(&self, start: usize, end: usize) -> f64 {
+        let n = (end - start + 1) as f64;
+        let s = self.range_sum(start, end);
+        let q = self.range_sqsum(start, end);
+        (q - s * s / n).max(0.0)
+    }
+}
+
+
+impl WindowSums for SlidingPrefixSums {
+    fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    fn range_sum(&self, start: usize, end: usize) -> f64 {
+        SlidingPrefixSums::range_sum(self, start, end)
+    }
+
+    fn range_sqsum(&self, start: usize, end: usize) -> f64 {
+        SlidingPrefixSums::range_sqsum(self, start, end)
+    }
+}
+
+impl WindowSums for PrefixSums {
+    fn len(&self) -> usize {
+        PrefixSums::len(self)
+    }
+
+    fn range_sum(&self, start: usize, end: usize) -> f64 {
+        PrefixSums::range_sum(self, start, end)
+    }
+
+    fn range_sqsum(&self, start: usize, end: usize) -> f64 {
+        PrefixSums::range_sqsum(self, start, end)
+    }
+}
+
+/// Sliding prefix sums with **externally driven eviction**: the window
+/// grows on [`push`](Self::push) and shrinks only when the caller invokes
+/// [`evict_oldest`](Self::evict_oldest).
+///
+/// This powers the paper's *time-based* fixed windows ("the latest T
+/// seconds of data produced", §1/Figure 1), where how many points leave per
+/// arrival depends on timestamps rather than a fixed count. The amortized
+/// rebase follows the same policy as [`SlidingPrefixSums`]: every
+/// `rebase_period` operations the anchor moves to the window start.
+#[derive(Debug, Clone)]
+pub struct GrowableWindowSums {
+    cum: VecDeque<(f64, f64)>,
+    head: (f64, f64),
+    rebase_period: usize,
+    since_rebase: usize,
+}
+
+impl Default for GrowableWindowSums {
+    fn default() -> Self {
+        Self::new(1024)
+    }
+}
+
+impl GrowableWindowSums {
+    /// Creates an empty window rebasing every `rebase_period` operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rebase_period == 0`.
+    #[must_use]
+    pub fn new(rebase_period: usize) -> Self {
+        assert!(rebase_period > 0, "rebase period must be positive");
+        Self { cum: VecDeque::new(), head: (0.0, 0.0), rebase_period, since_rebase: 0 }
+    }
+
+    /// Appends `v` to the window. Amortized `O(1)`.
+    pub fn push(&mut self, v: f64) {
+        let (s, q) = self.cum.back().copied().unwrap_or(self.head);
+        self.cum.push_back((s + v, q + v * v));
+        self.tick();
+    }
+
+    /// Removes the temporally oldest point. Amortized `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn evict_oldest(&mut self) {
+        let evicted = self.cum.pop_front().expect("evict from an empty window");
+        self.head = evicted;
+        self.tick();
+    }
+
+    fn tick(&mut self) {
+        self.since_rebase += 1;
+        // Rebase costs O(len); waiting for at least `len` operations (or
+        // the configured period, whichever is larger) keeps the amortized
+        // cost O(1) even when the window far outgrows the period.
+        if self.since_rebase >= self.rebase_period.max(self.cum.len()) {
+            let (hs, hq) = self.head;
+            if hs != 0.0 || hq != 0.0 {
+                for e in &mut self.cum {
+                    e.0 -= hs;
+                    e.1 -= hq;
+                }
+                self.head = (0.0, 0.0);
+            }
+            self.since_rebase = 0;
+        }
+    }
+
+    fn cum_before(&self, idx: usize) -> (f64, f64) {
+        if idx == 0 {
+            self.head
+        } else {
+            self.cum[idx - 1]
+        }
+    }
+}
+
+impl WindowSums for GrowableWindowSums {
+    fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    fn range_sum(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(start <= end);
+        self.cum[end].0 - self.cum_before(start).0
+    }
+
+    fn range_sqsum(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(start <= end);
+        self.cum[end].1 - self.cum_before(start).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sqerror(data: &[f64]) -> f64 {
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        data.iter().map(|v| (v - mean) * (v - mean)).sum()
+    }
+
+    #[test]
+    fn prefix_range_sum_matches_naive() {
+        let data = [3.0, 7.0, 5.0, 8.0, 2.0, 6.0, 4.0];
+        let p = PrefixSums::new(&data);
+        assert_eq!(p.len(), 7);
+        for i in 0..data.len() {
+            for j in i..data.len() {
+                let naive: f64 = data[i..=j].iter().sum();
+                assert!((p.range_sum(i, j) - naive).abs() < 1e-9, "range ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sqerror_matches_naive() {
+        let data = [3.0, 7.0, 5.0, 8.0, 2.0, 6.0, 4.0];
+        let p = PrefixSums::new(&data);
+        for i in 0..data.len() {
+            for j in i..data.len() {
+                let naive = naive_sqerror(&data[i..=j]);
+                assert!(
+                    (p.sqerror(i, j) - naive).abs() < 1e-8,
+                    "sqerror ({i},{j}): {} vs {naive}",
+                    p.sqerror(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sqerror_zero_on_constant_run() {
+        let data = [5.0; 10];
+        let p = PrefixSums::new(&data);
+        assert_eq!(p.sqerror(0, 9), 0.0);
+        assert_eq!(p.sqerror(3, 3), 0.0);
+    }
+
+    #[test]
+    fn prefix_sqerror_never_negative() {
+        // Large offsets provoke FP cancellation.
+        let data: Vec<f64> = (0..100).map(|i| 1.0e9 + (i % 3) as f64).collect();
+        let p = PrefixSums::new(&data);
+        for i in 0..data.len() {
+            for j in i..data.len() {
+                assert!(p.sqerror(i, j) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_empty_data() {
+        let p = PrefixSums::new(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn sliding_matches_static_on_every_window() {
+        let data: Vec<f64> = (0..50).map(|i| ((i * 37) % 11) as f64).collect();
+        let cap = 8;
+        let mut w = SlidingPrefixSums::new(cap);
+        for (t, &v) in data.iter().enumerate() {
+            w.push(v);
+            let lo = (t + 1).saturating_sub(cap);
+            let window = &data[lo..=t];
+            assert_eq!(w.len(), window.len());
+            let p = PrefixSums::new(window);
+            for i in 0..window.len() {
+                for j in i..window.len() {
+                    assert!(
+                        (w.range_sum(i, j) - p.range_sum(i, j)).abs() < 1e-9,
+                        "t={t} range ({i},{j})"
+                    );
+                    assert!(
+                        (w.sqerror(i, j) - p.sqerror(i, j)).abs() < 1e-7,
+                        "t={t} sqerror ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_rebase_period_does_not_change_answers() {
+        let data: Vec<f64> = (0..200).map(|i| ((i * 13 + 5) % 17) as f64).collect();
+        let cap = 16;
+        for period in [1, 3, 16, 64, 1000] {
+            let mut w = SlidingPrefixSums::with_rebase_period(cap, period);
+            for (t, &v) in data.iter().enumerate() {
+                w.push(v);
+                let lo = (t + 1).saturating_sub(cap);
+                let expect: f64 = data[lo..=t].iter().sum();
+                assert!(
+                    (w.range_sum(0, w.len() - 1) - expect).abs() < 1e-9,
+                    "period {period} t {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_fill_state_transitions() {
+        let mut w = SlidingPrefixSums::new(3);
+        assert!(w.is_empty());
+        assert!(!w.is_full());
+        w.push(1.0);
+        assert_eq!(w.len(), 1);
+        w.push(2.0);
+        w.push(3.0);
+        assert!(w.is_full());
+        w.push(4.0);
+        assert!(w.is_full());
+        assert_eq!(w.len(), 3);
+        // window is now [2, 3, 4]
+        assert_eq!(w.range_sum(0, 2), 9.0);
+        assert_eq!(w.range_sum(0, 0), 2.0);
+        assert_eq!(w.range_sum(2, 2), 4.0);
+    }
+
+    #[test]
+    fn sliding_mean_and_sqerror() {
+        let mut w = SlidingPrefixSums::new(4);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.push(v);
+        }
+        assert_eq!(w.mean(0, 3), 2.5);
+        assert!((w.sqerror(0, 3) - 5.0).abs() < 1e-12);
+        assert_eq!(w.sqerror(1, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn sliding_zero_capacity_rejected() {
+        let _ = SlidingPrefixSums::new(0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Query types and the [`SequenceSummary`] abstraction.
+//!
+//! The paper's §3 motivates histograms as a synopsis "suitable for obtaining
+//! answers to common queries about the values of points in the buffer, such
+//! as point and range queries", and §5.1 evaluates "range sum queries ...
+//! (similar results are obtained for range queries requesting average or
+//! point queries)". This module defines those query kinds and a trait that
+//! any synopsis (V-optimal histograms, wavelet synopses, quantile-derived
+//! histograms) implements so workloads can be evaluated uniformly.
+
+use crate::histogram::Histogram;
+
+/// A query over a sequence of values indexed `0..n`.
+///
+/// All ranges are inclusive `[start, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// The value at a single index.
+    Point {
+        /// Queried index.
+        idx: usize,
+    },
+    /// The sum of values over a range — the paper's headline workload
+    /// ("aggregate number of bytes over network interfaces for time windows
+    /// of interest").
+    RangeSum {
+        /// Range start (inclusive).
+        start: usize,
+        /// Range end (inclusive).
+        end: usize,
+    },
+    /// The average of values over a range.
+    RangeAvg {
+        /// Range start (inclusive).
+        start: usize,
+        /// Range end (inclusive).
+        end: usize,
+    },
+    /// The number of points in a range. Exact for any index-partitioning
+    /// summary; included for workload completeness.
+    RangeCount {
+        /// Range start (inclusive).
+        start: usize,
+        /// Range end (inclusive).
+        end: usize,
+    },
+}
+
+impl Query {
+    /// The number of indices the query touches.
+    #[must_use]
+    pub fn span(&self) -> usize {
+        match *self {
+            Query::Point { .. } => 1,
+            Query::RangeSum { start, end }
+            | Query::RangeAvg { start, end }
+            | Query::RangeCount { start, end } => end - start + 1,
+        }
+    }
+
+    /// The largest index the query touches (used to validate workloads
+    /// against a domain).
+    #[must_use]
+    pub fn max_index(&self) -> usize {
+        match *self {
+            Query::Point { idx } => idx,
+            Query::RangeSum { end, .. }
+            | Query::RangeAvg { end, .. }
+            | Query::RangeCount { end, .. } => end,
+        }
+    }
+
+    /// Evaluates the query exactly against raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query range exceeds `data`'s bounds.
+    #[must_use]
+    pub fn exact(&self, data: &[f64]) -> f64 {
+        match *self {
+            Query::Point { idx } => data[idx],
+            Query::RangeSum { start, end } => data[start..=end].iter().sum(),
+            Query::RangeAvg { start, end } => {
+                data[start..=end].iter().sum::<f64>() / (end - start + 1) as f64
+            }
+            Query::RangeCount { start, end } => (end - start + 1) as f64,
+        }
+    }
+
+    /// Evaluates the query approximately against a summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query range exceeds the summary's domain.
+    #[must_use]
+    pub fn estimate<S: SequenceSummary + ?Sized>(&self, summary: &S) -> f64 {
+        match *self {
+            Query::Point { idx } => summary.estimate_point(idx),
+            Query::RangeSum { start, end } => summary.estimate_range_sum(start, end),
+            Query::RangeAvg { start, end } => {
+                summary.estimate_range_sum(start, end) / (end - start + 1) as f64
+            }
+            Query::RangeCount { start, end } => (end - start + 1) as f64,
+        }
+    }
+}
+
+/// A compact synopsis of a value sequence that can answer point and
+/// range-sum estimates.
+///
+/// Implemented by [`Histogram`] here, wavelet synopses in
+/// `streamhist-wavelet`, and any other approximation the workspace compares.
+pub trait SequenceSummary {
+    /// Length of the summarized sequence.
+    fn summary_len(&self) -> usize;
+
+    /// Estimate of the value at `idx`.
+    fn estimate_point(&self, idx: usize) -> f64;
+
+    /// Estimate of the sum of values over inclusive `[start, end]`.
+    ///
+    /// The default sums point estimates; implementors should override with
+    /// an `O(B)`-or-better direct computation.
+    fn estimate_range_sum(&self, start: usize, end: usize) -> f64 {
+        (start..=end).map(|i| self.estimate_point(i)).sum()
+    }
+}
+
+impl SequenceSummary for Histogram {
+    fn summary_len(&self) -> usize {
+        self.domain_len()
+    }
+
+    fn estimate_point(&self, idx: usize) -> f64 {
+        self.point(idx)
+    }
+
+    fn estimate_range_sum(&self, start: usize, end: usize) -> f64 {
+        self.range_sum(start, end)
+    }
+}
+
+/// Adapter exposing raw data through the [`SequenceSummary`] interface, so
+/// "Exact" can appear as a series alongside approximations in the harnesses
+/// (as in the paper's Figure 6(a)-(b)).
+#[derive(Debug, Clone, Copy)]
+pub struct ExactSummary<'a> {
+    data: &'a [f64],
+}
+
+impl<'a> ExactSummary<'a> {
+    /// Wraps a data slice.
+    #[must_use]
+    pub fn new(data: &'a [f64]) -> Self {
+        Self { data }
+    }
+}
+
+impl SequenceSummary for ExactSummary<'_> {
+    fn summary_len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn estimate_point(&self, idx: usize) -> f64 {
+        self.data[idx]
+    }
+
+    fn estimate_range_sum(&self, start: usize, end: usize) -> f64 {
+        self.data[start..=end].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    const DATA: [f64; 6] = [1.0, 1.0, 3.0, 3.0, 3.0, 10.0];
+
+    #[test]
+    fn exact_answers() {
+        assert_eq!(Query::Point { idx: 5 }.exact(&DATA), 10.0);
+        assert_eq!(Query::RangeSum { start: 1, end: 4 }.exact(&DATA), 10.0);
+        assert_eq!(Query::RangeAvg { start: 0, end: 1 }.exact(&DATA), 1.0);
+        assert_eq!(Query::RangeCount { start: 2, end: 5 }.exact(&DATA), 4.0);
+    }
+
+    #[test]
+    fn histogram_estimates_are_exact_when_buckets_align() {
+        let h = Histogram::from_bucket_ends(&DATA, &[1, 4, 5]);
+        for q in [
+            Query::Point { idx: 0 },
+            Query::Point { idx: 5 },
+            Query::RangeSum { start: 0, end: 5 },
+            Query::RangeSum { start: 2, end: 4 },
+            Query::RangeAvg { start: 0, end: 1 },
+            Query::RangeCount { start: 0, end: 3 },
+        ] {
+            assert_eq!(q.estimate(&h), q.exact(&DATA), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_estimate_within_bucket_uses_mean() {
+        // One bucket over everything: mean = 3.5
+        let h = Histogram::from_bucket_ends(&DATA, &[5]);
+        assert_eq!(Query::Point { idx: 0 }.estimate(&h), 3.5);
+        assert_eq!(Query::RangeSum { start: 0, end: 1 }.estimate(&h), 7.0);
+    }
+
+    #[test]
+    fn exact_summary_roundtrips() {
+        let s = ExactSummary::new(&DATA);
+        assert_eq!(s.summary_len(), 6);
+        for q in [Query::Point { idx: 3 }, Query::RangeSum { start: 1, end: 5 }] {
+            assert_eq!(q.estimate(&s), q.exact(&DATA));
+        }
+    }
+
+    #[test]
+    fn span_and_max_index() {
+        let q = Query::RangeSum { start: 2, end: 7 };
+        assert_eq!(q.span(), 6);
+        assert_eq!(q.max_index(), 7);
+        assert_eq!(Query::Point { idx: 4 }.span(), 1);
+        assert_eq!(Query::Point { idx: 4 }.max_index(), 4);
+    }
+
+    #[test]
+    fn default_range_sum_sums_points() {
+        struct Const(usize);
+        impl SequenceSummary for Const {
+            fn summary_len(&self) -> usize {
+                self.0
+            }
+            fn estimate_point(&self, _: usize) -> f64 {
+                2.0
+            }
+        }
+        let c = Const(10);
+        assert_eq!(Query::RangeSum { start: 2, end: 4 }.estimate(&c), 6.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the core substrate: prefix sums against naive
+//! computation, histogram structural invariants, query consistency, the
+//! codec roundtrip, and histogram distances.
+
+use proptest::prelude::*;
+use streamhist_core::distance;
+use streamhist_core::{codec, Histogram, PrefixSums, Query, SlidingPrefixSums};
+
+fn data_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000..1000i64, 1..80).prop_map(|v| {
+        v.into_iter().map(|x| x as f64).collect()
+    })
+}
+
+/// A random valid bucket-ends list for a domain of length n.
+fn ends_strategy(n: usize) -> BoxedStrategy<Vec<usize>> {
+    if n <= 1 {
+        return Just(vec![0]).boxed();
+    }
+    prop::collection::btree_set(0..n - 1, 0..(n - 1).min(8))
+        .prop_map(move |set| {
+            let mut ends: Vec<usize> = set.into_iter().collect();
+            ends.push(n - 1);
+            ends
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prefix_sums_match_naive(data in data_strategy()) {
+        let p = PrefixSums::new(&data);
+        let n = data.len();
+        // Sample a few ranges rather than all O(n²).
+        for (a, b) in [(0, n - 1), (0, 0), (n / 2, n - 1), (n / 3, 2 * n / 3)] {
+            let (a, b) = (a.min(b), a.max(b));
+            let naive_sum: f64 = data[a..=b].iter().sum();
+            prop_assert!((p.range_sum(a, b) - naive_sum).abs() < 1e-6);
+            let mean = naive_sum / (b - a + 1) as f64;
+            let naive_sse: f64 = data[a..=b].iter().map(|v| (v - mean) * (v - mean)).sum();
+            prop_assert!((p.sqerror(a, b) - naive_sse).abs() < 1e-4);
+            prop_assert!(p.sqerror(a, b) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sliding_prefix_agrees_with_static(
+        data in data_strategy(),
+        cap in 1usize..20,
+        period in 1usize..50,
+    ) {
+        let mut w = SlidingPrefixSums::with_rebase_period(cap, period);
+        for (t, &v) in data.iter().enumerate() {
+            w.push(v);
+            let lo = (t + 1).saturating_sub(cap);
+            let window = &data[lo..=t];
+            let p = PrefixSums::new(window);
+            let m = window.len();
+            prop_assert!((w.range_sum(0, m - 1) - p.range_sum(0, m - 1)).abs() < 1e-6);
+            prop_assert!((w.sqerror(0, m - 1) - p.sqerror(0, m - 1)).abs() < 1e-4);
+            if m >= 2 {
+                prop_assert!((w.sqerror(1, m - 1) - p.sqerror(1, m - 1)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_from_ends_is_structurally_valid(
+        data in data_strategy(),
+        seed in 0usize..1000,
+    ) {
+        let n = data.len();
+        // Derive deterministic pseudo-random ends from the seed.
+        let mut ends: Vec<usize> = (0..n - 1).filter(|i| (i * 31 + seed) % 7 == 0).collect();
+        ends.push(n - 1);
+        let h = Histogram::from_bucket_ends(&data, &ends);
+        prop_assert_eq!(h.domain_len(), n);
+        // Tiling: reconstruct index coverage.
+        let mut covered = 0usize;
+        for b in h.buckets() {
+            prop_assert_eq!(b.start, covered);
+            covered = b.end + 1;
+        }
+        prop_assert_eq!(covered, n);
+        // Heights are means.
+        for b in h.buckets() {
+            let mean: f64 =
+                data[b.start..=b.end].iter().sum::<f64>() / b.len() as f64;
+            prop_assert!((b.height - mean).abs() < 1e-6);
+        }
+        // Roundtrip of boundaries.
+        prop_assert_eq!(h.bucket_ends(), ends);
+    }
+
+    #[test]
+    fn range_sum_equals_point_sum(data in data_strategy(), b in 1usize..10) {
+        let n = data.len();
+        let ends: Vec<usize> = {
+            let b = b.min(n);
+            (1..=b).map(|k| k * n / b - 1).collect()
+        };
+        let h = Histogram::from_bucket_ends(&data, &ends);
+        for (a, z) in [(0, n - 1), (n / 4, 3 * n / 4), (n - 1, n - 1)] {
+            let (a, z) = (a.min(z), a.max(z));
+            let direct = h.range_sum(a, z);
+            let pointwise: f64 = (a..=z).map(|i| h.point(i)).sum();
+            prop_assert!((direct - pointwise).abs() < 1e-6, "({a},{z})");
+        }
+    }
+
+    #[test]
+    fn whole_domain_range_sum_is_exact(data in data_strategy(), b in 1usize..10) {
+        // Bucket means make the full-domain sum exact regardless of B.
+        let h = Histogram::equi_width(&data, b);
+        let total: f64 = data.iter().sum();
+        prop_assert!((h.range_sum(0, data.len() - 1) - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn codec_roundtrips_arbitrary_histograms(
+        (data, ends) in data_strategy().prop_flat_map(|data| {
+            let n = data.len();
+            (Just(data), ends_strategy(n))
+        }),
+    ) {
+        let h = Histogram::from_bucket_ends(&data, &ends);
+        let bytes = codec::encode(&h);
+        let back = codec::decode(&bytes).expect("roundtrip");
+        prop_assert_eq!(h, back);
+    }
+
+    #[test]
+    fn distances_satisfy_metric_axioms(
+        data in data_strategy(),
+        ba in 1usize..8,
+        bb in 1usize..8,
+        bc in 1usize..8,
+    ) {
+        let a = Histogram::equi_width(&data, ba);
+        let b = {
+            // Different heights: perturb the data.
+            let d2: Vec<f64> = data.iter().map(|v| v * 0.5 + 3.0).collect();
+            Histogram::equi_width(&d2, bb)
+        };
+        let c = {
+            let d3: Vec<f64> = data.iter().rev().copied().collect();
+            Histogram::equi_width(&d3, bc)
+        };
+        for dist in [distance::l1, distance::l2, distance::linf] {
+            // Symmetry, identity, triangle inequality.
+            prop_assert!((dist(&a, &b) - dist(&b, &a)).abs() < 1e-9);
+            prop_assert!(dist(&a, &a).abs() < 1e-9);
+            prop_assert!(dist(&a, &c) <= dist(&a, &b) + dist(&b, &c) + 1e-6);
+            prop_assert!(dist(&a, &b) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn query_estimates_are_finite_and_consistent(
+        data in data_strategy(),
+        b in 1usize..10,
+    ) {
+        let h = Histogram::equi_width(&data, b);
+        let n = data.len();
+        for q in [
+            Query::Point { idx: n / 2 },
+            Query::RangeSum { start: 0, end: n - 1 },
+            Query::RangeAvg { start: 0, end: n - 1 },
+            Query::RangeCount { start: 0, end: n - 1 },
+        ] {
+            let est = q.estimate(&h);
+            prop_assert!(est.is_finite());
+        }
+        // avg * span == sum.
+        let sum = Query::RangeSum { start: 0, end: n - 1 }.estimate(&h);
+        let avg = Query::RangeAvg { start: 0, end: n - 1 }.estimate(&h);
+        prop_assert!((avg * n as f64 - sum).abs() < 1e-6);
+    }
+}

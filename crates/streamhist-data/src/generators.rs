@@ -1,0 +1,501 @@
+//! Seeded synthetic stream processes.
+//!
+//! Each process is an infinite iterator over `f64` values; see the crate
+//! docs for how they map onto the paper's (proprietary) evaluation traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a standard-normal variate via the Box–Muller transform.
+///
+/// `rand` 0.8 ships only uniform primitives; this keeps the workspace inside
+/// the allowed dependency set.
+fn gauss(rng: &mut StdRng) -> f64 {
+    // Guard u1 away from 0 so ln() is finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Collects the first `len` values of a generator into a vector.
+#[must_use]
+pub fn collect<I: Iterator<Item = f64>>(gen: I, len: usize) -> Vec<f64> {
+    gen.take(len).collect()
+}
+
+/// Rounds every value to the nearest integer and clamps into `[lo, hi]`.
+///
+/// The paper assumes "each value x_i is an integer drawn from some bounded
+/// range" (§3); this converts any real-valued process into that model.
+#[must_use]
+pub fn integerize(mut data: Vec<f64>, lo: f64, hi: f64) -> Vec<f64> {
+    for v in &mut data {
+        *v = v.round().clamp(lo, hi);
+    }
+    data
+}
+
+/// Gaussian random walk with drift: `x_{t+1} = x_t + drift + sigma·N(0,1)`.
+///
+/// Models slowly-wandering aggregates (e.g. cumulative byte counters,
+/// stock-like sequences mentioned in the paper's introduction).
+#[derive(Debug)]
+pub struct RandomWalk {
+    rng: StdRng,
+    level: f64,
+    drift: f64,
+    sigma: f64,
+}
+
+impl RandomWalk {
+    /// Creates a walk starting at `start`.
+    #[must_use]
+    pub fn new(seed: u64, start: f64, drift: f64, sigma: f64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), level: start, drift, sigma }
+    }
+}
+
+impl Iterator for RandomWalk {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let out = self.level;
+        self.level += self.drift + self.sigma * gauss(&mut self.rng);
+        Some(out)
+    }
+}
+
+/// Stationary AR(1) process: `x_{t+1} = mean + phi·(x_t − mean) + sigma·N(0,1)`.
+///
+/// Models short-range-correlated utilization fluctuations.
+#[derive(Debug)]
+pub struct Ar1 {
+    rng: StdRng,
+    phi: f64,
+    mean: f64,
+    sigma: f64,
+    state: f64,
+}
+
+impl Ar1 {
+    /// Creates the process started at its mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `|phi| < 1` (stationarity).
+    #[must_use]
+    pub fn new(seed: u64, phi: f64, mean: f64, sigma: f64) -> Self {
+        assert!(phi.abs() < 1.0, "AR(1) requires |phi| < 1 for stationarity");
+        Self { rng: StdRng::seed_from_u64(seed), phi, mean, sigma, state: mean }
+    }
+}
+
+impl Iterator for Ar1 {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let out = self.state;
+        self.state = self.mean + self.phi * (self.state - self.mean)
+            + self.sigma * gauss(&mut self.rng);
+        Some(out)
+    }
+}
+
+/// Two-state on/off burst process with Pareto-tailed burst magnitudes.
+///
+/// Off emits 0; transitions off→on with probability `p_on` per step and
+/// on→off with probability `p_off`. While on, emits `magnitude · P` where
+/// `P` is Pareto(`alpha`)-distributed (heavy tail for small `alpha`),
+/// resampled per burst. Models the self-similar bursts characteristic of
+/// network traffic.
+#[derive(Debug)]
+pub struct BurstyOnOff {
+    rng: StdRng,
+    p_on: f64,
+    p_off: f64,
+    magnitude: f64,
+    alpha: f64,
+    current: Option<f64>,
+}
+
+impl BurstyOnOff {
+    /// Creates the process in the off state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are outside `[0, 1]` or `alpha <= 0`.
+    #[must_use]
+    pub fn new(seed: u64, p_on: f64, p_off: f64, magnitude: f64, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_on) && (0.0..=1.0).contains(&p_off));
+        assert!(alpha > 0.0, "Pareto shape must be positive");
+        Self { rng: StdRng::seed_from_u64(seed), p_on, p_off, magnitude, alpha, current: None }
+    }
+
+    fn pareto(&mut self) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        u.powf(-1.0 / self.alpha)
+    }
+}
+
+impl Iterator for BurstyOnOff {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        match self.current {
+            None => {
+                if self.rng.gen::<f64>() < self.p_on {
+                    let level = self.magnitude * self.pareto();
+                    self.current = Some(level);
+                    Some(level)
+                } else {
+                    Some(0.0)
+                }
+            }
+            Some(level) => {
+                if self.rng.gen::<f64>() < self.p_off {
+                    self.current = None;
+                    Some(0.0)
+                } else {
+                    Some(level)
+                }
+            }
+        }
+    }
+}
+
+/// Piecewise-constant regime process: holds a level, and with probability
+/// `p_shift` per step jumps to a new level `± scale·N(0,1)`.
+///
+/// Models capacity reconfigurations / routing changes — the "shifting a
+/// function downwards" phenomenon the paper's §4.4 uses to motivate the
+/// fixed-window algorithm.
+#[derive(Debug)]
+pub struct LevelShift {
+    rng: StdRng,
+    p_shift: f64,
+    scale: f64,
+    level: f64,
+}
+
+impl LevelShift {
+    /// Creates the process at level 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_shift` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(seed: u64, p_shift: f64, scale: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_shift));
+        Self { rng: StdRng::seed_from_u64(seed), p_shift, scale, level: 0.0 }
+    }
+}
+
+impl Iterator for LevelShift {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.rng.gen::<f64>() < self.p_shift {
+            self.level += self.scale * gauss(&mut self.rng);
+        }
+        Some(self.level)
+    }
+}
+
+/// Sinusoidal baseline with Gaussian noise:
+/// `base + amplitude·sin(2π t / period) + noise·N(0,1)`.
+///
+/// Models the diurnal cycle of service utilization.
+#[derive(Debug)]
+pub struct Diurnal {
+    rng: StdRng,
+    base: f64,
+    amplitude: f64,
+    period: usize,
+    noise: f64,
+    t: usize,
+}
+
+impl Diurnal {
+    /// Creates the process at phase 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    #[must_use]
+    pub fn new(seed: u64, base: f64, amplitude: f64, period: usize, noise: f64) -> Self {
+        assert!(period > 0, "period must be positive");
+        Self { rng: StdRng::seed_from_u64(seed), base, amplitude, period, noise, t: 0 }
+    }
+}
+
+impl Iterator for Diurnal {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let phase = std::f64::consts::TAU * (self.t % self.period) as f64 / self.period as f64;
+        self.t += 1;
+        Some(self.base + self.amplitude * phase.sin() + self.noise * gauss(&mut self.rng))
+    }
+}
+
+/// Sparse spike process: emits 0 except with probability `p_spike`, when it
+/// emits `height·(1 + |N(0,1)|)`. Models fault-count sequences.
+#[derive(Debug)]
+pub struct SpikeTrain {
+    rng: StdRng,
+    p_spike: f64,
+    height: f64,
+}
+
+impl SpikeTrain {
+    /// Creates the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_spike` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(seed: u64, p_spike: f64, height: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_spike));
+        Self { rng: StdRng::seed_from_u64(seed), p_spike, height }
+    }
+}
+
+impl Iterator for SpikeTrain {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.rng.gen::<f64>() < self.p_spike {
+            Some(self.height * (1.0 + gauss(&mut self.rng).abs()))
+        } else {
+            Some(0.0)
+        }
+    }
+}
+
+/// Independent uniform noise on `[lo, hi)` — the adversarial "no structure"
+/// case where every histogram method degrades gracefully.
+#[derive(Debug)]
+pub struct UniformNoise {
+    rng: StdRng,
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformNoise {
+    /// Creates the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[must_use]
+    pub fn new(seed: u64, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "need lo < hi");
+        Self { rng: StdRng::seed_from_u64(seed), lo, hi }
+    }
+}
+
+impl Iterator for UniformNoise {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        Some(self.rng.gen_range(self.lo..self.hi))
+    }
+}
+
+/// Zipfian draws over the integers `1..=universe` with skew `theta`
+/// (`theta = 0` is uniform; larger is more skewed). Used by the
+/// value-domain (quantile/equi-depth) experiments.
+///
+/// Uses inverse-CDF sampling over a precomputed table, `O(log universe)`
+/// per draw.
+#[derive(Debug)]
+pub struct Zipfian {
+    rng: StdRng,
+    cdf: Vec<f64>,
+}
+
+impl Zipfian {
+    /// Creates the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `theta < 0`.
+    #[must_use]
+    pub fn new(seed: u64, universe: usize, theta: f64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(theta >= 0.0, "skew must be non-negative");
+        let mut cdf = Vec::with_capacity(universe);
+        let mut acc = 0.0;
+        for k in 1..=universe {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { rng: StdRng::seed_from_u64(seed), cdf }
+    }
+}
+
+impl Iterator for Zipfian {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let u: f64 = self.rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        Some((idx.min(self.cdf.len() - 1) + 1) as f64)
+    }
+}
+
+/// Pointwise sum of several component processes.
+///
+/// The crate-level [`crate::utilization_trace`] builds the default trace as
+/// `Diurnal + Ar1 + BurstyOnOff + LevelShift`.
+pub struct Mixture {
+    parts: Vec<Box<dyn Iterator<Item = f64>>>,
+}
+
+impl std::fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixture").field("parts", &self.parts.len()).finish()
+    }
+}
+
+impl Mixture {
+    /// Creates the superposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    #[must_use]
+    pub fn new(parts: Vec<Box<dyn Iterator<Item = f64>>>) -> Self {
+        assert!(!parts.is_empty(), "mixture needs at least one component");
+        Self { parts }
+    }
+}
+
+impl Iterator for Mixture {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.parts.iter_mut().map(|p| p.next()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = collect(RandomWalk::new(1, 0.0, 0.1, 1.0), 100);
+        let b = collect(RandomWalk::new(1, 0.0, 0.1, 1.0), 100);
+        assert_eq!(a, b);
+        let c = collect(RandomWalk::new(2, 0.0, 0.1, 1.0), 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_walk_starts_at_start() {
+        let v = collect(RandomWalk::new(3, 42.0, 0.0, 1.0), 1);
+        assert_eq!(v[0], 42.0);
+    }
+
+    #[test]
+    fn ar1_stays_near_mean() {
+        let v = collect(Ar1::new(5, 0.5, 100.0, 1.0), 10_000);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 100.0).abs() < 2.0, "empirical mean {mean} far from 100");
+    }
+
+    #[test]
+    #[should_panic(expected = "stationarity")]
+    fn ar1_rejects_nonstationary_phi() {
+        let _ = Ar1::new(0, 1.5, 0.0, 1.0);
+    }
+
+    #[test]
+    fn bursty_emits_zero_when_off_and_constant_within_burst() {
+        let v = collect(BurstyOnOff::new(7, 0.05, 0.2, 10.0, 1.5), 5000);
+        assert!(v.contains(&0.0), "should spend time off");
+        assert!(v.iter().any(|&x| x > 0.0), "should burst");
+        // Within a burst the level is constant: consecutive positive values
+        // that started together must be equal.
+        let mut saw_constant_run = false;
+        for w in v.windows(2) {
+            if w[0] > 0.0 && w[1] > 0.0 {
+                assert_eq!(w[0], w[1], "burst level must stay constant within a burst");
+                saw_constant_run = true;
+            }
+        }
+        assert!(saw_constant_run, "expected at least one burst of length >= 2");
+    }
+
+    #[test]
+    fn level_shift_is_piecewise_constant() {
+        let v = collect(LevelShift::new(11, 0.05, 10.0), 2000);
+        let distinct: std::collections::BTreeSet<u64> = v.iter().map(|x| x.to_bits()).collect();
+        assert!(distinct.len() > 1, "should shift at least once");
+        assert!(distinct.len() < 300, "should hold levels, not change every step");
+    }
+
+    #[test]
+    fn diurnal_oscillates_around_base() {
+        let v = collect(Diurnal::new(13, 100.0, 50.0, 64, 0.0), 64);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0);
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 140.0, "should reach near base+amplitude, got {max}");
+    }
+
+    #[test]
+    fn spike_train_is_mostly_zero() {
+        let v = collect(SpikeTrain::new(17, 0.01, 100.0), 10_000);
+        let zeros = v.iter().filter(|&&x| x == 0.0).count();
+        assert!(zeros > 9_500, "expected mostly zeros, got {zeros}");
+        assert!(v.iter().any(|&x| x >= 100.0), "spikes must reach the height");
+    }
+
+    #[test]
+    fn uniform_noise_respects_bounds() {
+        let v = collect(UniformNoise::new(19, -2.0, 3.0), 1000);
+        assert!(v.iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn zipfian_skew_prefers_small_values() {
+        let v = collect(Zipfian::new(23, 100, 1.2), 20_000);
+        assert!(v.iter().all(|&x| (1.0..=100.0).contains(&x)));
+        let ones = v.iter().filter(|&&x| x == 1.0).count();
+        let hundreds = v.iter().filter(|&&x| x == 100.0).count();
+        assert!(ones > 10 * (hundreds + 1), "skew should favour rank 1");
+    }
+
+    #[test]
+    fn zipfian_theta_zero_is_roughly_uniform() {
+        let v = collect(Zipfian::new(29, 10, 0.0), 50_000);
+        for k in 1..=10 {
+            let cnt = v.iter().filter(|&&x| x == k as f64).count();
+            assert!(
+                (3_500..6_500).contains(&cnt),
+                "value {k} count {cnt} not near uniform 5000"
+            );
+        }
+    }
+
+    #[test]
+    fn mixture_sums_components() {
+        let m = Mixture::new(vec![
+            Box::new(std::iter::repeat(2.0)),
+            Box::new(std::iter::repeat(3.0)),
+        ]);
+        assert_eq!(collect(m, 4), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn integerize_rounds_and_clamps() {
+        let out = integerize(vec![1.4, 1.6, -3.0, 99.0], 0.0, 50.0);
+        assert_eq!(out, vec![1.0, 2.0, 0.0, 50.0]);
+    }
+}

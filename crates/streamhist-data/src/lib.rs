@@ -1,0 +1,89 @@
+//! # streamhist-data
+//!
+//! Synthetic data-stream generators and query-workload generators for the
+//! `streamhist` workspace.
+//!
+//! The paper (Guha & Koudas, ICDE 2002) evaluates on "real data sets
+//! extracted from AT&T data warehouses, representing utilization information
+//! of one of the services provided by the company" — proprietary traces we
+//! cannot ship. This crate provides the substitution documented in
+//! `DESIGN.md` §2: seeded synthetic processes spanning the distributional
+//! shapes that drive the paper's qualitative results — smooth locally-
+//! correlated segments ([`RandomWalk`], [`Ar1`]), heavy-tailed bursts
+//! ([`BurstyOnOff`], [`SpikeTrain`]), regime changes ([`LevelShift`]), and
+//! diurnal periodicity ([`Diurnal`]) — plus [`Mixture`] superpositions used
+//! as the default "utilization trace" stand-in.
+//!
+//! Every generator is an infinite `Iterator<Item = f64>` driven by a
+//! deterministic [`rand::rngs::StdRng`] seed, so every experiment in the
+//! workspace is exactly reproducible.
+//!
+//! [`workload::WorkloadGen`] implements the paper's §5.1 query protocol:
+//! "the starting points as well as the span of the queries (size of the
+//! requested aggregation range) is chosen uniformly and independently".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod workload;
+
+pub use generators::{
+    collect, integerize, Ar1, BurstyOnOff, Diurnal, LevelShift, Mixture, RandomWalk, SpikeTrain,
+    UniformNoise, Zipfian,
+};
+pub use workload::WorkloadGen;
+
+/// Builds the workspace's default stand-in for the paper's AT&T utilization
+/// trace: a diurnal baseline plus an AR(1) fluctuation plus heavy-tailed
+/// bursts plus occasional level shifts, integerized to non-negative values.
+///
+/// The same `seed` always yields the same trace.
+#[must_use]
+pub fn utilization_trace(len: usize, seed: u64) -> Vec<f64> {
+    let diurnal = Diurnal::new(seed ^ 0x9e37_79b9, 2000.0, 800.0, 4096, 50.0);
+    let ar = Ar1::new(seed ^ 0x7f4a_7c15, 0.95, 0.0, 120.0);
+    let bursts = BurstyOnOff::new(seed ^ 0x1656_67b1, 0.002, 0.05, 1500.0, 1.3);
+    let shifts = LevelShift::new(seed ^ 0xcafe_babe, 0.0005, 600.0);
+    let mixed = Mixture::new(vec![
+        Box::new(diurnal),
+        Box::new(ar),
+        Box::new(bursts),
+        Box::new(shifts),
+    ]);
+    integerize(collect(mixed, len), 0.0, f64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_trace_is_deterministic() {
+        let a = utilization_trace(512, 7);
+        let b = utilization_trace(512, 7);
+        assert_eq!(a, b);
+        let c = utilization_trace(512, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn utilization_trace_is_nonnegative_integers() {
+        let t = utilization_trace(2048, 42);
+        assert_eq!(t.len(), 2048);
+        for &v in &t {
+            assert!(v >= 0.0);
+            assert_eq!(v, v.trunc());
+        }
+    }
+
+    #[test]
+    fn utilization_trace_has_variation() {
+        let t = utilization_trace(4096, 1);
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        let var = t.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64;
+        assert!(var > 0.0, "trace must not be constant");
+        let max = t.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > mean * 1.2, "trace should contain bursts above the mean");
+    }
+}

@@ -1,0 +1,144 @@
+//! Random query-workload generation (the paper's §5.1 protocol).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamhist_core::Query;
+
+/// Generates random queries over a domain of `n` indices, with "the starting
+/// points as well as the span of the queries ... chosen uniformly and
+/// independently" (paper §5.1).
+///
+/// A query is built by drawing `start ~ U[0, n)` and `span ~ U[1, max_span]`,
+/// then clipping the end to the domain.
+#[derive(Debug)]
+pub struct WorkloadGen {
+    rng: StdRng,
+    domain_len: usize,
+    max_span: usize,
+}
+
+impl WorkloadGen {
+    /// Creates a generator over `[0, domain_len)` with spans up to the whole
+    /// domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain_len == 0`.
+    #[must_use]
+    pub fn new(seed: u64, domain_len: usize) -> Self {
+        Self::with_max_span(seed, domain_len, domain_len)
+    }
+
+    /// Creates a generator with an explicit maximum span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain_len == 0` or `max_span == 0`.
+    #[must_use]
+    pub fn with_max_span(seed: u64, domain_len: usize, max_span: usize) -> Self {
+        assert!(domain_len > 0, "domain must be non-empty");
+        assert!(max_span > 0, "max span must be positive");
+        Self { rng: StdRng::seed_from_u64(seed), domain_len, max_span: max_span.min(domain_len) }
+    }
+
+    fn range(&mut self) -> (usize, usize) {
+        let start = self.rng.gen_range(0..self.domain_len);
+        let span = self.rng.gen_range(1..=self.max_span);
+        let end = (start + span - 1).min(self.domain_len - 1);
+        (start, end)
+    }
+
+    /// Draws one random range-sum query.
+    pub fn range_sum(&mut self) -> Query {
+        let (start, end) = self.range();
+        Query::RangeSum { start, end }
+    }
+
+    /// Draws one random range-average query.
+    pub fn range_avg(&mut self) -> Query {
+        let (start, end) = self.range();
+        Query::RangeAvg { start, end }
+    }
+
+    /// Draws one random point query.
+    pub fn point(&mut self) -> Query {
+        Query::Point { idx: self.rng.gen_range(0..self.domain_len) }
+    }
+
+    /// Draws a batch of `count` range-sum queries — the paper's evaluation
+    /// workload.
+    pub fn range_sums(&mut self, count: usize) -> Vec<Query> {
+        (0..count).map(|_| self.range_sum()).collect()
+    }
+
+    /// Draws a mixed batch: one third each of point, range-sum and
+    /// range-average queries (rounded in that priority order).
+    pub fn mixed(&mut self, count: usize) -> Vec<Query> {
+        (0..count)
+            .map(|i| match i % 3 {
+                0 => self.range_sum(),
+                1 => self.range_avg(),
+                _ => self.point(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_stay_in_domain() {
+        let mut g = WorkloadGen::new(1, 100);
+        for _ in 0..1000 {
+            let q = g.range_sum();
+            assert!(q.max_index() < 100, "{q:?}");
+            assert!(q.span() >= 1);
+        }
+    }
+
+    #[test]
+    fn max_span_is_respected() {
+        let mut g = WorkloadGen::with_max_span(2, 1000, 10);
+        for _ in 0..1000 {
+            assert!(g.range_sum().span() <= 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = WorkloadGen::new(9, 64).range_sums(50);
+        let b: Vec<_> = WorkloadGen::new(9, 64).range_sums(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_contains_all_kinds() {
+        let qs = WorkloadGen::new(3, 50).mixed(30);
+        assert!(qs.iter().any(|q| matches!(q, Query::Point { .. })));
+        assert!(qs.iter().any(|q| matches!(q, Query::RangeSum { .. })));
+        assert!(qs.iter().any(|q| matches!(q, Query::RangeAvg { .. })));
+    }
+
+    #[test]
+    fn singleton_domain_works() {
+        let mut g = WorkloadGen::new(4, 1);
+        for _ in 0..10 {
+            let q = g.range_sum();
+            assert_eq!(q, Query::RangeSum { start: 0, end: 0 });
+        }
+    }
+
+    #[test]
+    fn starts_cover_the_domain() {
+        let mut g = WorkloadGen::new(5, 8);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            if let Query::RangeSum { start, .. } = g.range_sum() {
+                seen[start] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "uniform starts should hit every index");
+    }
+}

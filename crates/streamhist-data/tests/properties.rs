@@ -1,0 +1,92 @@
+//! Property tests for the data generators: determinism per seed, value
+//! constraints, and workload validity.
+
+use proptest::prelude::*;
+use streamhist_data::{
+    collect, integerize, utilization_trace, Ar1, BurstyOnOff, Diurnal, LevelShift, RandomWalk,
+    SpikeTrain, UniformNoise, WorkloadGen, Zipfian,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_generator_is_deterministic_per_seed(seed in 0u64..10_000, len in 1usize..200) {
+        macro_rules! check {
+            ($make:expr) => {{
+                let a = collect($make, len);
+                let b = collect($make, len);
+                prop_assert_eq!(a, b);
+            }};
+        }
+        check!(RandomWalk::new(seed, 0.0, 0.1, 1.0));
+        check!(Ar1::new(seed, 0.9, 10.0, 2.0));
+        check!(BurstyOnOff::new(seed, 0.05, 0.2, 5.0, 1.5));
+        check!(LevelShift::new(seed, 0.05, 3.0));
+        check!(Diurnal::new(seed, 10.0, 5.0, 32, 1.0));
+        check!(SpikeTrain::new(seed, 0.1, 7.0));
+        check!(UniformNoise::new(seed, -1.0, 1.0));
+        check!(Zipfian::new(seed, 50, 1.0));
+    }
+
+    #[test]
+    fn generators_produce_finite_values(seed in 0u64..10_000) {
+        let len = 500;
+        let streams: Vec<Vec<f64>> = vec![
+            collect(RandomWalk::new(seed, 0.0, 0.5, 10.0), len),
+            collect(Ar1::new(seed, -0.8, 0.0, 100.0), len),
+            collect(BurstyOnOff::new(seed, 0.5, 0.5, 1e6, 0.8), len),
+            collect(Diurnal::new(seed, 0.0, 1e4, 7, 1e3), len),
+            collect(SpikeTrain::new(seed, 0.9, 1e5), len),
+            utilization_trace(len, seed),
+        ];
+        for s in streams {
+            prop_assert!(s.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn zipfian_stays_in_universe(seed in 0u64..10_000, universe in 1usize..200) {
+        let v = collect(Zipfian::new(seed, universe, 0.8), 300);
+        prop_assert!(v.iter().all(|&x| x >= 1.0 && x <= universe as f64));
+        prop_assert!(v.iter().all(|&x| x == x.trunc()));
+    }
+
+    #[test]
+    fn uniform_respects_bounds(seed in 0u64..10_000, lo in -100i64..0, hi in 1i64..100) {
+        let (lo, hi) = (lo as f64, hi as f64);
+        let v = collect(UniformNoise::new(seed, lo, hi), 500);
+        prop_assert!(v.iter().all(|&x| x >= lo && x < hi));
+    }
+
+    #[test]
+    fn integerize_output_is_integral_and_clamped(
+        vals in prop::collection::vec(-1e6f64..1e6, 1..100),
+        lo in -100i64..0,
+        hi in 1i64..100,
+    ) {
+        let (lo, hi) = (lo as f64, hi as f64);
+        let out = integerize(vals, lo, hi);
+        for v in out {
+            prop_assert!(v >= lo && v <= hi);
+            prop_assert_eq!(v, v.trunc());
+        }
+    }
+
+    #[test]
+    fn workload_queries_are_valid(seed in 0u64..10_000, n in 1usize..500) {
+        let mut g = WorkloadGen::new(seed, n);
+        for q in g.mixed(200) {
+            prop_assert!(q.max_index() < n, "{q:?} out of domain {n}");
+            prop_assert!(q.span() >= 1);
+        }
+    }
+
+    #[test]
+    fn workload_respects_max_span(seed in 0u64..10_000, n in 2usize..500, cap in 1usize..50) {
+        let mut g = WorkloadGen::with_max_span(seed, n, cap);
+        for q in g.range_sums(200) {
+            prop_assert!(q.span() <= cap.min(n));
+        }
+    }
+}

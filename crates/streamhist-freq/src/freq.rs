@@ -1,0 +1,168 @@
+//! Streaming frequency vectors over a bounded integer value domain.
+
+/// Counts of each value in `[lo, hi]`, maintained from a stream in `O(1)`
+/// per arrival.
+///
+/// The bounded-domain assumption matches the paper's §3 ("each value x_i
+/// is an integer drawn from some bounded range") and the classical
+/// selectivity-estimation setting.
+#[derive(Debug, Clone)]
+pub struct FrequencyVector {
+    lo: i64,
+    counts: Vec<u64>,
+    total: u64,
+    out_of_range: u64,
+}
+
+impl FrequencyVector {
+    /// Creates an empty vector over the inclusive value domain `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "need lo <= hi");
+        let width = usize::try_from(hi - lo).expect("domain fits in memory") + 1;
+        Self { lo, counts: vec![0; width], total: 0, out_of_range: 0 }
+    }
+
+    /// Builds the vector from an iterator of values.
+    #[must_use]
+    pub fn from_values<I: IntoIterator<Item = i64>>(values: I, lo: i64, hi: i64) -> Self {
+        let mut f = Self::new(lo, hi);
+        for v in values {
+            f.add(v);
+        }
+        f
+    }
+
+    /// Lowest domain value.
+    #[must_use]
+    pub fn lo(&self) -> i64 {
+        self.lo
+    }
+
+    /// Highest domain value.
+    #[must_use]
+    pub fn hi(&self) -> i64 {
+        self.lo + self.counts.len() as i64 - 1
+    }
+
+    /// Number of distinct values the domain spans.
+    #[must_use]
+    pub fn domain_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of in-range values counted.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations rejected for being outside `[lo, hi]`.
+    #[must_use]
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Counts one observation. Out-of-range values are tallied separately
+    /// and otherwise ignored (streams are noisy; panicking per point is
+    /// not an option for a monitor).
+    pub fn add(&mut self, v: i64) {
+        if v < self.lo || v > self.hi() {
+            self.out_of_range += 1;
+            return;
+        }
+        let idx = (v - self.lo) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// The raw counts, indexed by `value - lo`.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The counts as `f64` (the sequence the histogram constructions run
+    /// over).
+    #[must_use]
+    pub fn frequencies(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+
+    /// The exact count of a single value.
+    #[must_use]
+    pub fn count_of(&self, v: i64) -> u64 {
+        if v < self.lo || v > self.hi() {
+            0
+        } else {
+            self.counts[(v - self.lo) as usize]
+        }
+    }
+
+    /// The exact number of counted values in the inclusive value range
+    /// `[a, b]` (clipped to the domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a > b`.
+    #[must_use]
+    pub fn range_count(&self, a: i64, b: i64) -> u64 {
+        assert!(a <= b, "need a <= b");
+        let lo = a.max(self.lo);
+        let hi = b.min(self.hi());
+        if lo > hi {
+            return 0;
+        }
+        let (i, j) = ((lo - self.lo) as usize, (hi - self.lo) as usize);
+        self.counts[i..=j].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_totals() {
+        let f = FrequencyVector::from_values([1, 2, 2, 3, 3, 3, 10], 1, 5);
+        assert_eq!(f.total(), 6);
+        assert_eq!(f.out_of_range(), 1); // the 10
+        assert_eq!(f.count_of(3), 3);
+        assert_eq!(f.count_of(4), 0);
+        assert_eq!(f.count_of(10), 0);
+    }
+
+    #[test]
+    fn range_count_is_exact_and_clipped() {
+        let f = FrequencyVector::from_values([1, 2, 2, 3, 3, 3, 5], 1, 5);
+        assert_eq!(f.range_count(2, 3), 5);
+        assert_eq!(f.range_count(-10, 100), 7);
+        assert_eq!(f.range_count(4, 4), 0);
+        assert_eq!(f.range_count(6, 9), 0);
+    }
+
+    #[test]
+    fn negative_domains_work() {
+        let f = FrequencyVector::from_values([-3, -3, -1, 0, 2], -3, 2);
+        assert_eq!(f.lo(), -3);
+        assert_eq!(f.hi(), 2);
+        assert_eq!(f.count_of(-3), 2);
+        assert_eq!(f.range_count(-3, -1), 3);
+    }
+
+    #[test]
+    fn frequencies_mirror_counts() {
+        let f = FrequencyVector::from_values([0, 0, 1], 0, 2);
+        assert_eq!(f.frequencies(), vec![2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_domain_rejected() {
+        let _ = FrequencyVector::new(5, 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! # streamhist-freq
+//!
+//! Value-domain frequency histograms for **selectivity estimation** — the
+//! query-optimization setting the reproduced paper builds on: its V-optimal
+//! objective comes from Ioannidis & Poosala, *"Balancing Histogram
+//! Optimality and Practicality for Query Result Size Estimation"* (SIGMOD
+//! 1995, the paper's `[IP95]`), where histograms approximate the
+//! *frequency distribution over attribute values* so the optimizer can
+//! estimate `SELECT ... WHERE a <= x <= b` result sizes.
+//!
+//! The index-domain machinery of the rest of the workspace transfers
+//! directly: a frequency vector over a bounded value domain is just a
+//! sequence, and a histogram over it answers range-count (selectivity)
+//! queries as range sums.
+//!
+//! * [`FrequencyVector`] — streaming counts over a bounded integer domain.
+//! * [`ValueHistogram`] — a bucketization of the frequency vector with
+//!   value-space query methods, constructible by every classical policy:
+//!   [`ValueHistogram::v_optimal`] (exact DP), `v_optimal_approx`
+//!   (the paper's one-pass construction), `max_diff` (boundaries at the
+//!   largest adjacent frequency gaps — `[IP95]`'s practical favourite),
+//!   `equi_width`, and `equi_depth` (equal cumulative counts).
+//! * [`evaluate_selectivity`] — the `[IP95]`-style accuracy protocol:
+//!   random range predicates, average absolute/relative count error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod freq;
+mod value_hist;
+
+pub use freq::FrequencyVector;
+pub use value_hist::{evaluate_selectivity, max_diff_ends, SelectivityReport, ValueHistogram};

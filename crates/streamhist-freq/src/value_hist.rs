@@ -1,0 +1,377 @@
+//! Histograms over the value domain and the selectivity-estimation
+//! protocol.
+
+use crate::freq::FrequencyVector;
+use streamhist_core::Histogram;
+
+/// A bucketization of a frequency vector, answering value-range count
+/// (selectivity) queries from `B` buckets.
+///
+/// Construction policies follow the `[IP95]` taxonomy; all share the same
+/// estimator: a bucket stores its average frequency (continuous-values
+/// assumption inside the bucket), and a range count is the sum of
+/// `overlap · avg_frequency` over intersecting buckets.
+///
+/// # Example
+///
+/// ```
+/// use streamhist_freq::{FrequencyVector, ValueHistogram};
+///
+/// let freq = FrequencyVector::from_values([1, 1, 1, 2, 5, 5], 1, 8);
+/// let h = ValueHistogram::v_optimal(&freq, 3);
+/// // How many rows match `WHERE v BETWEEN 1 AND 2`? (exactly 4 here)
+/// let est = h.estimate_range_count(1, 2);
+/// assert!((est - 4.0).abs() < 1.0);
+/// assert!((h.selectivity(1, 8) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueHistogram {
+    lo: i64,
+    hist: Histogram,
+    total: u64,
+}
+
+impl ValueHistogram {
+    /// V-optimal bucketization via the exact `O(d²B)` DP over the
+    /// frequency vector (`d` = domain size) — the quality ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn v_optimal(freq: &FrequencyVector, b: usize) -> Self {
+        let hist = streamhist_optimal::optimal_histogram(&freq.frequencies(), b);
+        Self { lo: freq.lo(), hist, total: freq.total() }
+    }
+
+    /// V-optimal bucketization via the paper's one-pass `(1+ε)`
+    /// construction — near-ceiling quality at quasi-linear cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0` or `eps <= 0`.
+    #[must_use]
+    pub fn v_optimal_approx(freq: &FrequencyVector, b: usize, eps: f64) -> Self {
+        let hist = streamhist_stream::approx_histogram(&freq.frequencies(), b, eps);
+        Self { lo: freq.lo(), hist, total: freq.total() }
+    }
+
+    /// MaxDiff bucketization: boundaries at the `B−1` largest adjacent
+    /// frequency differences (`[IP95]`'s practical recommendation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn max_diff(freq: &FrequencyVector, b: usize) -> Self {
+        let f = freq.frequencies();
+        let ends = max_diff_ends(&f, b);
+        Self { lo: freq.lo(), hist: Histogram::from_bucket_ends(&f, &ends), total: freq.total() }
+    }
+
+    /// Equi-width bucketization of the value domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn equi_width(freq: &FrequencyVector, b: usize) -> Self {
+        let hist = Histogram::equi_width(&freq.frequencies(), b);
+        Self { lo: freq.lo(), hist, total: freq.total() }
+    }
+
+    /// Equi-depth bucketization: boundaries at (approximately) equal
+    /// cumulative counts, computed exactly from the frequency vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn equi_depth(freq: &FrequencyVector, b: usize) -> Self {
+        assert!(b > 0, "need at least one bucket");
+        let f = freq.frequencies();
+        let d = f.len();
+        let b = b.min(d);
+        let total = freq.total() as f64;
+        let mut ends = Vec::with_capacity(b);
+        let mut acc = 0.0;
+        let mut next_target = total / b as f64;
+        for (i, &c) in f.iter().enumerate() {
+            acc += c;
+            // Stop early: the final boundary is always the domain end,
+            // appended below (guarding against a duplicate when all the
+            // mass sits at the tail of the domain).
+            if i + 1 < d && acc + 1e-9 >= next_target && ends.len() + 1 < b {
+                ends.push(i);
+                next_target = total * (ends.len() + 1) as f64 / b as f64;
+            }
+        }
+        ends.push(d - 1);
+        Self { lo: freq.lo(), hist: Histogram::from_bucket_ends(&f, &ends), total: freq.total() }
+    }
+
+    /// The underlying index-domain histogram (indices are `value − lo`).
+    #[must_use]
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Lowest domain value.
+    #[must_use]
+    pub fn lo(&self) -> i64 {
+        self.lo
+    }
+
+    /// Number of buckets used.
+    #[must_use]
+    pub fn num_buckets(&self) -> usize {
+        self.hist.num_buckets()
+    }
+
+    /// Total number of counted values the histogram summarizes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated count of values in the inclusive value range `[a, b]`
+    /// (clipped to the domain; 0 outside it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a > b`.
+    #[must_use]
+    pub fn estimate_range_count(&self, a: i64, b: i64) -> f64 {
+        assert!(a <= b, "need a <= b");
+        let hi = self.lo + self.hist.domain_len() as i64 - 1;
+        let lo = a.max(self.lo);
+        let hi = b.min(hi);
+        if lo > hi {
+            return 0.0;
+        }
+        let (i, j) = ((lo - self.lo) as usize, (hi - self.lo) as usize);
+        self.hist.range_sum(i, j)
+    }
+
+    /// Estimated frequency of a single value.
+    #[must_use]
+    pub fn estimate_frequency(&self, v: i64) -> f64 {
+        self.estimate_range_count(v, v)
+    }
+
+    /// Estimated selectivity (fraction of all counted values) of `[a, b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a > b`.
+    #[must_use]
+    pub fn selectivity(&self, a: i64, b: i64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.estimate_range_count(a, b) / self.total as f64).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// MaxDiff boundary placement: bucket ends at the positions preceding the
+/// `b − 1` largest adjacent differences `|f[i+1] − f[i]|`, plus the domain
+/// end.
+///
+/// # Panics
+///
+/// Panics if `freqs` is empty or `b == 0`.
+#[must_use]
+pub fn max_diff_ends(freqs: &[f64], b: usize) -> Vec<usize> {
+    assert!(!freqs.is_empty(), "frequency vector must be non-empty");
+    assert!(b > 0, "need at least one bucket");
+    let d = freqs.len();
+    let b = b.min(d);
+    let mut gaps: Vec<(f64, usize)> = freqs
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| ((w[1] - w[0]).abs(), i))
+        .collect();
+    gaps.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    let mut ends: Vec<usize> = gaps.into_iter().take(b - 1).map(|(_, i)| i).collect();
+    ends.push(d - 1);
+    ends.sort_unstable();
+    ends.dedup();
+    ends
+}
+
+/// Accuracy statistics of one estimator over a range-predicate workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectivityReport {
+    /// Number of predicates evaluated.
+    pub queries: usize,
+    /// Mean absolute count error.
+    pub mean_abs_error: f64,
+    /// Mean relative error `|est − exact| / max(exact, 1)`.
+    pub mean_rel_error: f64,
+    /// Largest absolute count error.
+    pub max_abs_error: f64,
+}
+
+/// Runs a workload of inclusive value-range predicates against both the
+/// exact frequency vector and a histogram estimator.
+///
+/// # Panics
+///
+/// Panics if any predicate has `a > b`.
+#[must_use]
+pub fn evaluate_selectivity(
+    freq: &FrequencyVector,
+    hist: &ValueHistogram,
+    predicates: &[(i64, i64)],
+) -> SelectivityReport {
+    if predicates.is_empty() {
+        return SelectivityReport {
+            queries: 0,
+            mean_abs_error: 0.0,
+            mean_rel_error: 0.0,
+            max_abs_error: 0.0,
+        };
+    }
+    let mut sum_abs = 0.0;
+    let mut sum_rel = 0.0;
+    let mut max_abs = 0.0f64;
+    for &(a, b) in predicates {
+        let exact = freq.range_count(a, b) as f64;
+        let est = hist.estimate_range_count(a, b);
+        let abs = (est - exact).abs();
+        sum_abs += abs;
+        sum_rel += abs / exact.max(1.0);
+        max_abs = max_abs.max(abs);
+    }
+    let n = predicates.len() as f64;
+    SelectivityReport {
+        queries: predicates.len(),
+        mean_abs_error: sum_abs / n,
+        mean_rel_error: sum_rel / n,
+        max_abs_error: max_abs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_freq() -> FrequencyVector {
+        // Zipf-ish counts over values 0..=63 with a few hot values.
+        let mut f = FrequencyVector::new(0, 63);
+        for v in 0..64i64 {
+            let c = if v % 16 == 0 { 500 } else { 1 + (v % 7) as usize };
+            for _ in 0..c {
+                f.add(v);
+            }
+        }
+        f
+    }
+
+    fn all_constructors(freq: &FrequencyVector, b: usize) -> Vec<(&'static str, ValueHistogram)> {
+        vec![
+            ("v_optimal", ValueHistogram::v_optimal(freq, b)),
+            ("v_optimal_approx", ValueHistogram::v_optimal_approx(freq, b, 0.1)),
+            ("max_diff", ValueHistogram::max_diff(freq, b)),
+            ("equi_width", ValueHistogram::equi_width(freq, b)),
+            ("equi_depth", ValueHistogram::equi_depth(freq, b)),
+        ]
+    }
+
+    #[test]
+    fn all_constructors_respect_budget_and_domain() {
+        let freq = skewed_freq();
+        for (name, h) in all_constructors(&freq, 8) {
+            assert!(h.num_buckets() <= 8, "{name}");
+            assert_eq!(h.histogram().domain_len(), 64, "{name}");
+            assert_eq!(h.total(), freq.total(), "{name}");
+        }
+    }
+
+    #[test]
+    fn full_domain_count_is_exact_for_mean_preserving_policies() {
+        let freq = skewed_freq();
+        let exact = freq.total() as f64;
+        // Heights are bucket means, so the whole-domain sum is exact.
+        for (name, h) in all_constructors(&freq, 8) {
+            let est = h.estimate_range_count(0, 63);
+            assert!((est - exact).abs() < 1e-6, "{name}: {est} vs {exact}");
+            assert!((h.selectivity(0, 63) - 1.0).abs() < 1e-9, "{name}");
+        }
+    }
+
+    #[test]
+    fn v_optimal_has_least_sse_among_policies() {
+        let freq = skewed_freq();
+        let f = freq.frequencies();
+        let b = 8;
+        let vopt_sse = ValueHistogram::v_optimal(&freq, b).histogram().sse(&f);
+        for (name, h) in all_constructors(&freq, b) {
+            assert!(
+                vopt_sse <= h.histogram().sse(&f) + 1e-6,
+                "{name} beat v-optimal: {} < {vopt_sse}",
+                h.histogram().sse(&f)
+            );
+        }
+    }
+
+    #[test]
+    fn max_diff_isolates_hot_values() {
+        // With enough buckets MaxDiff puts boundaries around the spikes.
+        let freq = skewed_freq();
+        let h = ValueHistogram::max_diff(&freq, 12);
+        // The hot value 16 should be estimated much better than by
+        // equi-width at the same budget.
+        let ew = ValueHistogram::equi_width(&freq, 12);
+        let exact = freq.count_of(16) as f64;
+        let md_err = (h.estimate_frequency(16) - exact).abs();
+        let ew_err = (ew.estimate_frequency(16) - exact).abs();
+        assert!(md_err <= ew_err, "maxdiff {md_err} vs equiwidth {ew_err}");
+    }
+
+    #[test]
+    fn estimates_clip_to_domain() {
+        let freq = skewed_freq();
+        let h = ValueHistogram::v_optimal(&freq, 4);
+        assert_eq!(h.estimate_range_count(100, 200), 0.0);
+        assert_eq!(h.estimate_range_count(-50, -1), 0.0);
+        let clipped = h.estimate_range_count(-50, 1000);
+        assert!((clipped - freq.total() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equi_depth_balances_counts() {
+        let freq = skewed_freq();
+        let h = ValueHistogram::equi_depth(&freq, 4);
+        let f = freq.frequencies();
+        let per_bucket = freq.total() as f64 / 4.0;
+        for bkt in h.histogram().buckets() {
+            let mass: f64 = f[bkt.start..=bkt.end].iter().sum();
+            // Heavy point masses limit balance; stay within 2x of target.
+            assert!(mass <= 2.5 * per_bucket, "bucket mass {mass} vs target {per_bucket}");
+        }
+    }
+
+    #[test]
+    fn selectivity_report_zero_for_exact_vector() {
+        let freq = skewed_freq();
+        // A histogram with one bucket per value is exact.
+        let h = ValueHistogram::v_optimal(&freq, 64);
+        let predicates: Vec<(i64, i64)> = (0..32).map(|i| (i, i + 31)).collect();
+        let r = evaluate_selectivity(&freq, &h, &predicates);
+        assert_eq!(r.queries, 32);
+        assert!(r.mean_abs_error < 1e-6);
+        assert!(r.max_abs_error < 1e-6);
+    }
+
+    #[test]
+    fn max_diff_ends_are_valid_boundaries() {
+        let f = vec![1.0, 1.0, 50.0, 1.0, 1.0, 1.0];
+        let ends = max_diff_ends(&f, 3);
+        assert_eq!(*ends.last().expect("non-empty"), 5);
+        assert!(ends.windows(2).all(|w| w[0] < w[1]));
+        // The two biggest gaps surround the spike at index 2.
+        assert!(ends.contains(&1) && ends.contains(&2), "{ends:?}");
+    }
+}

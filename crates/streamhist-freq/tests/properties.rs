@@ -1,0 +1,103 @@
+//! Property tests for the selectivity substrate: every bucketization
+//! policy yields a structurally valid, domain-clipped estimator whose
+//! whole-domain count is exact; V-optimal dominates in SSE; the exact
+//! frequency vector agrees with a naive recount.
+
+use proptest::prelude::*;
+use streamhist_freq::{evaluate_selectivity, max_diff_ends, FrequencyVector, ValueHistogram};
+
+fn values_strategy() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-20..80i64, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frequency_vector_matches_naive_recount(values in values_strategy()) {
+        let (lo, hi) = (0i64, 63i64);
+        let f = FrequencyVector::from_values(values.iter().copied(), lo, hi);
+        let in_range: Vec<i64> =
+            values.iter().copied().filter(|&v| (lo..=hi).contains(&v)).collect();
+        prop_assert_eq!(f.total() as usize, in_range.len());
+        prop_assert_eq!(
+            f.out_of_range() as usize,
+            values.len() - in_range.len()
+        );
+        for probe in [lo, 13, 37, hi] {
+            let naive = in_range.iter().filter(|&&v| v == probe).count();
+            prop_assert_eq!(f.count_of(probe) as usize, naive);
+        }
+        for (a, b) in [(0i64, 63i64), (10, 20), (63, 63), (-5, 5)] {
+            let naive = in_range.iter().filter(|&&v| (a..=b).contains(&v)).count();
+            prop_assert_eq!(f.range_count(a, b) as usize, naive, "range ({}, {})", a, b);
+        }
+    }
+
+    #[test]
+    fn all_policies_are_valid_estimators(values in values_strategy(), b in 1usize..16) {
+        let f = FrequencyVector::from_values(values.iter().copied(), 0, 63);
+        let hists = [
+            ValueHistogram::v_optimal(&f, b),
+            ValueHistogram::v_optimal_approx(&f, b, 0.2),
+            ValueHistogram::max_diff(&f, b),
+            ValueHistogram::equi_width(&f, b),
+            ValueHistogram::equi_depth(&f, b),
+        ];
+        for h in &hists {
+            prop_assert!(h.num_buckets() <= b);
+            // Whole-domain count is exact (bucket heights are means).
+            prop_assert!(
+                (h.estimate_range_count(0, 63) - f.total() as f64).abs() < 1e-6
+            );
+            // Estimates clip cleanly outside the domain.
+            prop_assert_eq!(h.estimate_range_count(100, 200), 0.0);
+            // Selectivity stays in [0, 1].
+            for (a, z) in [(0i64, 63i64), (5, 9), (40, 63)] {
+                let s = h.selectivity(a, z);
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn v_optimal_dominates_in_sse(values in values_strategy(), b in 1usize..12) {
+        let f = FrequencyVector::from_values(values.iter().copied(), 0, 63);
+        let freqs = f.frequencies();
+        let vopt = ValueHistogram::v_optimal(&f, b).histogram().sse(&freqs);
+        for h in [
+            ValueHistogram::max_diff(&f, b),
+            ValueHistogram::equi_width(&f, b),
+            ValueHistogram::equi_depth(&f, b),
+        ] {
+            prop_assert!(vopt <= h.histogram().sse(&freqs) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn max_diff_ends_are_strictly_increasing(
+        freqs in prop::collection::vec(0..1000i64, 1..100),
+        b in 1usize..20,
+    ) {
+        let freqs: Vec<f64> = freqs.into_iter().map(|v| v as f64).collect();
+        let ends = max_diff_ends(&freqs, b);
+        prop_assert!(!ends.is_empty());
+        prop_assert_eq!(*ends.last().expect("non-empty"), freqs.len() - 1);
+        prop_assert!(ends.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ends.len() <= b);
+    }
+
+    #[test]
+    fn full_budget_makes_every_policy_exact(values in values_strategy()) {
+        let f = FrequencyVector::from_values(values.iter().copied(), 0, 31);
+        let d = f.domain_size();
+        let predicates: Vec<(i64, i64)> = (0..16).map(|i| (i, i + 15)).collect();
+        for h in [
+            ValueHistogram::v_optimal(&f, d),
+            ValueHistogram::equi_width(&f, d),
+        ] {
+            let r = evaluate_selectivity(&f, &h, &predicates);
+            prop_assert!(r.mean_abs_error < 1e-6, "err {}", r.mean_abs_error);
+        }
+    }
+}

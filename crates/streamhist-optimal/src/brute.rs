@@ -1,0 +1,119 @@
+//! Exhaustive-search reference implementation.
+//!
+//! Enumerates every partition of the sequence into at most `b` contiguous
+//! buckets and returns the SSE-minimal one. Exponential — intended only for
+//! validating [`crate::optimal_histogram`] on small inputs in tests and
+//! property tests.
+
+use streamhist_core::{Histogram, PrefixSums};
+
+/// Returns the minimum-SSE histogram of `data` with at most `b` buckets by
+/// exhaustive enumeration of bucket boundaries.
+///
+/// # Panics
+///
+/// Panics if `b == 0` and `data` is non-empty. Intended for `n <= ~15`;
+/// larger inputs will enumerate `C(n-1, b-1)` partitions.
+#[must_use]
+pub fn brute_force_optimal(data: &[f64], b: usize) -> Histogram {
+    if data.is_empty() {
+        return Histogram::new(0, Vec::new()).expect("empty domain is always valid");
+    }
+    assert!(b > 0, "need at least one bucket for non-empty data");
+    let n = data.len();
+    let b = b.min(n);
+    let prefix = PrefixSums::new(data);
+
+    let mut best_sse = f64::INFINITY;
+    let mut best_ends: Vec<usize> = Vec::new();
+    let mut ends: Vec<usize> = Vec::new();
+
+    // Recursively choose the inclusive end of each bucket.
+    #[allow(clippy::too_many_arguments)] // explicit search state beats a struct here
+    fn recurse(
+        prefix: &PrefixSums,
+        n: usize,
+        b: usize,
+        start: usize,
+        acc_sse: f64,
+        ends: &mut Vec<usize>,
+        best_sse: &mut f64,
+        best_ends: &mut Vec<usize>,
+    ) {
+        if acc_sse >= *best_sse {
+            return; // branch-and-bound: SSE only grows
+        }
+        let buckets_left = b - ends.len();
+        if buckets_left == 1 {
+            let total = acc_sse + prefix.sqerror(start, n - 1);
+            if total < *best_sse {
+                *best_sse = total;
+                best_ends.clone_from(ends);
+                best_ends.push(n - 1);
+            }
+            return;
+        }
+        // The current bucket can end anywhere that still leaves room for at
+        // least one point per remaining bucket — or swallow the rest (at-most
+        // semantics is covered because ending at n-1 terminates early).
+        for end in start..n {
+            let cost = prefix.sqerror(start, end);
+            if end == n - 1 {
+                let total = acc_sse + cost;
+                if total < *best_sse {
+                    *best_sse = total;
+                    best_ends.clone_from(ends);
+                    best_ends.push(n - 1);
+                }
+            } else {
+                ends.push(end);
+                recurse(prefix, n, b, end + 1, acc_sse + cost, ends, best_sse, best_ends);
+                ends.pop();
+            }
+        }
+    }
+
+    recurse(&prefix, n, b, 0, 0.0, &mut ends, &mut best_sse, &mut best_ends);
+    Histogram::from_bucket_ends(data, &best_ends)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bucket_when_b_is_one() {
+        let data = [1.0, 5.0, 9.0];
+        let h = brute_force_optimal(&data, 1);
+        assert_eq!(h.num_buckets(), 1);
+        assert_eq!(h.buckets()[0].height, 5.0);
+    }
+
+    #[test]
+    fn perfect_fit_with_enough_buckets() {
+        let data = [1.0, 5.0, 9.0];
+        let h = brute_force_optimal(&data, 3);
+        assert!(h.sse(&data) < 1e-12);
+    }
+
+    #[test]
+    fn prefers_fewer_buckets_when_equal() {
+        // Constant data: one bucket already achieves zero SSE.
+        let data = [4.0; 6];
+        let h = brute_force_optimal(&data, 3);
+        assert_eq!(h.sse(&data), 0.0);
+    }
+
+    #[test]
+    fn finds_the_obvious_split() {
+        let data = [0.0, 0.0, 0.0, 9.0, 9.0];
+        let h = brute_force_optimal(&data, 2);
+        assert_eq!(h.bucket_ends(), vec![2, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let h = brute_force_optimal(&[], 2);
+        assert_eq!(h.domain_len(), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! The `O(n²B)` dynamic program (paper §4.1, Figure 2).
+
+// The DP inner loops index two parallel arrays by the same split point;
+// iterator rewrites obscure the recurrence.
+#![allow(clippy::needless_range_loop)]
+
+use streamhist_core::{Histogram, PrefixSums};
+
+/// Computes the optimal (minimum-SSE) histogram of `data` with at most
+/// `b` buckets, including bucket boundaries and mean heights.
+///
+/// Time `O(n²·b)`, space `O(n·b)` for the back-pointer table.
+///
+/// # Panics
+///
+/// Panics if `b == 0` and `data` is non-empty.
+#[must_use]
+pub fn optimal_histogram(data: &[f64], b: usize) -> Histogram {
+    if data.is_empty() {
+        return Histogram::new(0, Vec::new()).expect("empty domain is always valid");
+    }
+    assert!(b > 0, "need at least one bucket for non-empty data");
+    let n = data.len();
+    let b = b.min(n);
+    let prefix = PrefixSums::new(data);
+
+    // herror[k][j] = min SSE of representing data[0..j] with at most k+1
+    // buckets (j in 1..=n). back[k][j] = split point i: the last bucket is
+    // data[i..j] (i in 0..j).
+    let mut herror = vec![0.0f64; n + 1];
+    let mut prev: Vec<f64>;
+    let mut back = vec![vec![0usize; n + 1]; b];
+    for j in 1..=n {
+        herror[j] = prefix.sqerror(0, j - 1);
+        back[0][j] = 0;
+    }
+    for k in 1..b {
+        prev = herror.clone();
+        for j in 1..=n {
+            // Using fewer buckets is always allowed (at-most semantics).
+            let mut best = prev[j];
+            let mut best_i = back[k - 1][j]; // inherit the (k)-bucket split
+            let mut inherited = true;
+            for i in 1..j {
+                let cand = prev[i] + prefix.sqerror(i, j - 1);
+                if cand < best {
+                    best = cand;
+                    best_i = i;
+                    inherited = false;
+                }
+            }
+            herror[j] = best;
+            // Encode "inherited from level k-1" by keeping that level's
+            // back-pointer; reconstruction walks levels downward so the
+            // chain stays consistent either way because the split i is the
+            // start of the LAST bucket and prev[i] is realizable with at
+            // most k buckets.
+            back[k][j] = if inherited { back[k - 1][j] } else { best_i };
+        }
+    }
+
+    // Reconstruct boundaries by walking back-pointers from (b-1, n).
+    let mut ends = Vec::with_capacity(b);
+    let mut j = n;
+    let mut k = b - 1;
+    loop {
+        ends.push(j - 1); // inclusive end of the last bucket of data[0..j]
+        let i = back[k][j];
+        if i == 0 {
+            break;
+        }
+        j = i;
+        k = k.saturating_sub(1);
+    }
+    ends.reverse();
+    Histogram::from_bucket_ends(data, &ends)
+}
+
+/// Computes only the optimal SSE value, in `O(n²·b)` time and `O(n)` space
+/// (the "fairly simple trick" of paper §3 that drops the quadratic space).
+///
+/// # Panics
+///
+/// Panics if `b == 0` and `data` is non-empty.
+#[must_use]
+pub fn optimal_sse(data: &[f64], b: usize) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    assert!(b > 0, "need at least one bucket for non-empty data");
+    let n = data.len();
+    let b = b.min(n);
+    let prefix = PrefixSums::new(data);
+    let mut herror: Vec<f64> = (0..=n)
+        .map(|j| if j == 0 { 0.0 } else { prefix.sqerror(0, j - 1) })
+        .collect();
+    let mut scratch = vec![0.0f64; n + 1];
+    for _ in 1..b {
+        scratch[0] = 0.0;
+        for j in 1..=n {
+            let mut best = herror[j];
+            for i in 1..j {
+                let cand = herror[i] + prefix.sqerror(i, j - 1);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            scratch[j] = best;
+        }
+        std::mem::swap(&mut herror, &mut scratch);
+    }
+    herror[n]
+}
+
+/// Computes the full `HERROR[j][k]` table: `table[k-1][j-1]` is the minimum
+/// SSE of representing `data[0..=j-1]` with at most `k` buckets.
+///
+/// Exposed for the monotonicity tests (paper §4.2: `HERROR[i, k−1]` is
+/// "positive non-decreasing as i increases") that underpin the streaming
+/// algorithms, and for diagnostics in the harnesses. `O(n²·b)` time,
+/// `O(n·b)` space.
+///
+/// # Panics
+///
+/// Panics if `b == 0` and `data` is non-empty.
+#[must_use]
+pub fn herror_table(data: &[f64], b: usize) -> Vec<Vec<f64>> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    assert!(b > 0, "need at least one bucket for non-empty data");
+    let n = data.len();
+    let prefix = PrefixSums::new(data);
+    let mut table: Vec<Vec<f64>> = Vec::with_capacity(b);
+    table.push((1..=n).map(|j| prefix.sqerror(0, j - 1)).collect());
+    for k in 1..b {
+        let prev = &table[k - 1];
+        let mut row = Vec::with_capacity(n);
+        for j in 1..=n {
+            let mut best = prev[j - 1];
+            for i in 1..j {
+                let cand = prev[i - 1] + prefix.sqerror(i, j - 1);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            row.push(best);
+        }
+        table.push(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_optimal;
+
+    /// The example sequence used in the paper's §4.2 discussion.
+    const PAPER_SEQ: [f64; 7] = [3.0, 7.0, 5.0, 8.0, 2.0, 6.0, 4.0];
+
+    #[test]
+    fn one_bucket_is_global_mean() {
+        let h = optimal_histogram(&PAPER_SEQ, 1);
+        assert_eq!(h.num_buckets(), 1);
+        assert!((h.buckets()[0].height - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n_buckets_reproduce_exactly() {
+        let h = optimal_histogram(&PAPER_SEQ, PAPER_SEQ.len());
+        assert!(h.sse(&PAPER_SEQ) < 1e-12);
+        assert_eq!(h.expand(), PAPER_SEQ.to_vec());
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_inputs() {
+        let inputs: Vec<Vec<f64>> = vec![
+            vec![1.0],
+            vec![1.0, 100.0],
+            vec![5.0, 5.0, 5.0, 5.0],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![100.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+            PAPER_SEQ.to_vec(),
+            vec![0.0, 0.0, 10.0, 10.0, 0.0, 0.0, 10.0, 10.0, 5.0],
+        ];
+        for data in &inputs {
+            for b in 1..=4.min(data.len()) {
+                let dp = optimal_histogram(data, b);
+                let brute = brute_force_optimal(data, b);
+                assert!(
+                    (dp.sse(data) - brute.sse(data)).abs() < 1e-9,
+                    "data {data:?} b {b}: dp {} vs brute {}",
+                    dp.sse(data),
+                    brute.sse(data)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_sse_matches_histogram_sse() {
+        for b in 1..=5 {
+            let h = optimal_histogram(&PAPER_SEQ, b);
+            let e = optimal_sse(&PAPER_SEQ, b);
+            assert!(
+                (h.sse(&PAPER_SEQ) - e).abs() < 1e-9,
+                "b={b}: {} vs {e}",
+                h.sse(&PAPER_SEQ)
+            );
+        }
+    }
+
+    #[test]
+    fn sse_is_non_increasing_in_b() {
+        let data: Vec<f64> = (0..40).map(|i| ((i * 17) % 23) as f64).collect();
+        let mut last = f64::INFINITY;
+        for b in 1..=10 {
+            let e = optimal_sse(&data, b);
+            assert!(e <= last + 1e-9, "b={b}: {e} > {last}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn herror_rows_are_non_decreasing_in_prefix_length() {
+        // Paper §4.2 observation 2: HERROR[i, k] is non-decreasing in i.
+        let data: Vec<f64> = (0..30).map(|i| ((i * 7 + 3) % 13) as f64).collect();
+        let table = herror_table(&data, 4);
+        for (k, row) in table.iter().enumerate() {
+            for w in row.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "row {k} decreased: {} -> {}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn herror_columns_are_non_increasing_in_buckets() {
+        let data: Vec<f64> = (0..25).map(|i| ((i * 11 + 1) % 9) as f64).collect();
+        let table = herror_table(&data, 5);
+        for j in 0..data.len() {
+            for k in 1..table.len() {
+                assert!(
+                    table[k][j] <= table[k - 1][j] + 1e-9,
+                    "more buckets must not increase error (j={j}, k={k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sqerror_is_non_increasing_as_start_advances() {
+        // Paper §4.2 observation 1: SQERROR[i+1, j] non-increasing in i for
+        // fixed j.
+        let data: Vec<f64> = (0..30).map(|i| ((i * 5 + 2) % 17) as f64).collect();
+        let prefix = streamhist_core::PrefixSums::new(&data);
+        let j = data.len() - 1;
+        let mut last = f64::INFINITY;
+        for i in 0..=j {
+            let e = prefix.sqerror(i, j);
+            assert!(e <= last + 1e-9, "i={i}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn detects_obvious_boundaries() {
+        // Two clear level regimes -> the 2-bucket optimum must split at the
+        // regime change.
+        let mut data = vec![10.0; 8];
+        data.extend(vec![50.0; 8]);
+        let h = optimal_histogram(&data, 2);
+        assert_eq!(h.bucket_ends(), vec![7, 15]);
+        assert!(h.sse(&data) < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_transition_detected() {
+        // §4.5 Example 1's post-slide content: 0,0,0,1,1,1,1,1 with B = 2
+        // must split after the third zero.
+        let data = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let h = optimal_histogram(&data, 2);
+        assert_eq!(h.bucket_ends(), vec![2, 7]);
+        assert!(h.sse(&data) < 1e-12);
+    }
+
+    #[test]
+    fn b_larger_than_n_is_clamped() {
+        let data = [1.0, 2.0];
+        let h = optimal_histogram(&data, 10);
+        assert_eq!(h.num_buckets(), 2);
+        assert!(h.sse(&data) < 1e-12);
+        assert_eq!(optimal_sse(&data, 10), 0.0);
+    }
+
+    #[test]
+    fn empty_data_gives_empty_histogram() {
+        let h = optimal_histogram(&[], 3);
+        assert_eq!(h.domain_len(), 0);
+        assert_eq!(optimal_sse(&[], 3), 0.0);
+        assert!(herror_table(&[], 3).is_empty());
+    }
+}

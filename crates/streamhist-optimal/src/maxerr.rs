@@ -1,0 +1,351 @@
+//! Optimal **max-error** histograms.
+//!
+//! The paper's footnote 3 notes its results "will hold for any point-wise
+//! additive error function", naming `max_i F(b_i)` as the common
+//! alternative. This module provides the classical constructions for that
+//! metric: within a bucket the max absolute error is minimized by the
+//! mid-range representative `h = (min + max) / 2`, giving bucket cost
+//! `(max − min) / 2`; the histogram cost is the maximum over buckets.
+//!
+//! * [`RangeMinMax`] — `O(n log n)`-space sparse table answering range
+//!   min/max in `O(1)` (the substrate both constructions share).
+//! * [`max_error_histogram`] — the greedy + binary-search construction:
+//!   for a candidate error `e` a left-to-right greedy that extends each
+//!   bucket maximally is feasibility-optimal, so binary searching `e` over
+//!   the candidate set (half-differences of data values) finds the exact
+//!   optimum in `O(n log n · log n)`.
+//! * [`max_error_dp`] — the `O(n²B)` DP analogue of the SSE construction,
+//!   used as the cross-check reference.
+
+// DP split-point loops index parallel arrays.
+#![allow(clippy::needless_range_loop)]
+
+use streamhist_core::{Bucket, Histogram};
+
+/// Sparse table for `O(1)` range minimum and maximum queries over a fixed
+/// array (inclusive 0-based ranges).
+#[derive(Debug, Clone)]
+pub struct RangeMinMax {
+    /// `mins[k][i]` = min over `data[i .. i + 2^k]`.
+    mins: Vec<Vec<f64>>,
+    maxs: Vec<Vec<f64>>,
+    len: usize,
+}
+
+impl RangeMinMax {
+    /// Builds the table in `O(n log n)`.
+    #[must_use]
+    pub fn new(data: &[f64]) -> Self {
+        let n = data.len();
+        let levels = if n <= 1 { 1 } else { n.ilog2() as usize + 1 };
+        let mut mins = Vec::with_capacity(levels);
+        let mut maxs = Vec::with_capacity(levels);
+        mins.push(data.to_vec());
+        maxs.push(data.to_vec());
+        for k in 1..levels {
+            let half = 1usize << (k - 1);
+            let prev_min = &mins[k - 1];
+            let prev_max = &maxs[k - 1];
+            let size = n.saturating_sub((1 << k) - 1);
+            let mut row_min = Vec::with_capacity(size);
+            let mut row_max = Vec::with_capacity(size);
+            for i in 0..size {
+                row_min.push(prev_min[i].min(prev_min[i + half]));
+                row_max.push(prev_max[i].max(prev_max[i + half]));
+            }
+            mins.push(row_min);
+            maxs.push(row_max);
+        }
+        Self { mins, maxs, len: n }
+    }
+
+    /// Number of underlying values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying array is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Minimum over `[start, end]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end >= len`.
+    #[must_use]
+    pub fn min(&self, start: usize, end: usize) -> f64 {
+        assert!(start <= end && end < self.len, "bad range [{start}, {end}]");
+        let k = (end - start + 1).ilog2() as usize;
+        self.mins[k][start].min(self.mins[k][end + 1 - (1 << k)])
+    }
+
+    /// Maximum over `[start, end]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end >= len`.
+    #[must_use]
+    pub fn max(&self, start: usize, end: usize) -> f64 {
+        assert!(start <= end && end < self.len, "bad range [{start}, {end}]");
+        let k = (end - start + 1).ilog2() as usize;
+        self.maxs[k][start].max(self.maxs[k][end + 1 - (1 << k)])
+    }
+
+    /// The max-error bucket cost `(max − min) / 2` over `[start, end]`.
+    #[must_use]
+    pub fn bucket_cost(&self, start: usize, end: usize) -> f64 {
+        (self.max(start, end) - self.min(start, end)) / 2.0
+    }
+}
+
+/// Greedy feasibility check: the minimum number of buckets needed so every
+/// bucket's cost is `<= e` (left-to-right maximal extension is optimal for
+/// this min-max objective). Returns the bucket end boundaries.
+fn greedy_cover(table: &RangeMinMax, e: f64) -> Vec<usize> {
+    let n = table.len();
+    let mut ends = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        // Exponential + binary search for the maximal end with cost <= e.
+        let mut lo = start; // always feasible: single point has cost 0
+        let mut step = 1usize;
+        while lo + step < n && table.bucket_cost(start, lo + step) <= e {
+            lo += step;
+            step *= 2;
+        }
+        let mut hi = (lo + step).min(n - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if table.bucket_cost(start, mid) <= e {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        ends.push(lo);
+        start = lo + 1;
+    }
+    ends
+}
+
+/// Builds the **optimal max-error histogram** with at most `b` buckets:
+/// minimizes `max_i (max(bucket_i) − min(bucket_i)) / 2` exactly, using
+/// mid-range heights.
+///
+/// Exact because the optimal error is the half-range of one of the final
+/// buckets, i.e. `(v_hi − v_lo)/2` for data values `v_hi, v_lo`; we binary
+/// search that candidate set through the greedy feasibility oracle.
+/// `O(n log n)` per oracle call, `O(log n)` calls after sorting the values.
+///
+/// # Panics
+///
+/// Panics if `b == 0` and `data` is non-empty.
+#[must_use]
+pub fn max_error_histogram(data: &[f64], b: usize) -> Histogram {
+    if data.is_empty() {
+        return Histogram::new(0, Vec::new()).expect("empty domain is always valid");
+    }
+    assert!(b > 0, "need at least one bucket for non-empty data");
+    let table = RangeMinMax::new(data);
+    // Candidate errors: 0 plus half-differences of consecutive sorted
+    // values' cumulative spans. Any bucket's cost is (max - min)/2 for some
+    // pair of data values, so searching over all pairwise half-differences
+    // is exact. Rather than materializing O(n²) pairs we binary search over
+    // the continuous range and then snap: feasibility is monotone in e, and
+    // greedy_cover's answer only changes at candidate values, so the
+    // bisection converges to the optimum within FP precision.
+    let mut lo = 0.0f64;
+    let mut hi = table.bucket_cost(0, data.len() - 1);
+    if greedy_cover(&table, lo).len() <= b {
+        // Even zero error is feasible (at most b distinct runs).
+        let ends = greedy_cover(&table, lo);
+        return mid_range_histogram(data, &table, &ends);
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if greedy_cover(&table, mid).len() <= b {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let ends = greedy_cover(&table, hi);
+    mid_range_histogram(data, &table, &ends)
+}
+
+/// The `O(n²B)` DP for max-error (cross-check reference): identical
+/// recurrence shape to the SSE DP, with `max` replacing `+` when combining
+/// a prefix solution with the last bucket.
+///
+/// # Panics
+///
+/// Panics if `b == 0` and `data` is non-empty.
+#[must_use]
+pub fn max_error_dp(data: &[f64], b: usize) -> Histogram {
+    if data.is_empty() {
+        return Histogram::new(0, Vec::new()).expect("empty domain is always valid");
+    }
+    assert!(b > 0, "need at least one bucket for non-empty data");
+    let n = data.len();
+    let b = b.min(n);
+    let table = RangeMinMax::new(data);
+    let mut err: Vec<f64> = (0..=n)
+        .map(|j| if j == 0 { 0.0 } else { table.bucket_cost(0, j - 1) })
+        .collect();
+    let mut back = vec![vec![0usize; n + 1]; b];
+    for k in 1..b {
+        let prev = err.clone();
+        for j in 1..=n {
+            let mut best = prev[j];
+            let mut best_i = back[k - 1][j];
+            for i in 1..j {
+                let cand = prev[i].max(table.bucket_cost(i, j - 1));
+                if cand < best {
+                    best = cand;
+                    best_i = i;
+                }
+            }
+            err[j] = best;
+            back[k][j] = best_i;
+        }
+    }
+    let mut ends = Vec::with_capacity(b);
+    let mut j = n;
+    let mut k = b - 1;
+    loop {
+        ends.push(j - 1);
+        let i = back[k][j];
+        if i == 0 {
+            break;
+        }
+        j = i;
+        k = k.saturating_sub(1);
+    }
+    ends.reverse();
+    mid_range_histogram(data, &table, &ends)
+}
+
+/// Assembles a histogram from boundaries with mid-range heights (the
+/// max-error-optimal representative, unlike the mean used for SSE).
+fn mid_range_histogram(data: &[f64], table: &RangeMinMax, ends: &[usize]) -> Histogram {
+    let mut buckets = Vec::with_capacity(ends.len());
+    let mut start = 0usize;
+    for &end in ends {
+        let h = 0.5 * (table.min(start, end) + table.max(start, end));
+        buckets.push(Bucket::new(start, end, h));
+        start = end + 1;
+    }
+    Histogram::new(data.len(), buckets).expect("greedy/DP boundaries tile the domain")
+}
+
+/// The realized max-error of a histogram against data — the metric these
+/// constructions minimize.
+///
+/// # Panics
+///
+/// Panics if `data.len()` differs from the histogram domain.
+#[must_use]
+pub fn realized_max_error(h: &Histogram, data: &[f64]) -> f64 {
+    streamhist_core::max_abs_error(data, &h.expand())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_max_error(data: &[f64], b: usize) -> f64 {
+        // Enumerate partitions (small n only).
+        fn recurse(table: &RangeMinMax, start: usize, left: usize, acc: f64, best: &mut f64) {
+            let n = table.len();
+            if left == 1 {
+                *best = best.min(acc.max(table.bucket_cost(start, n - 1)));
+                return;
+            }
+            for end in start..n - 1 {
+                recurse(table, end + 1, left - 1, acc.max(table.bucket_cost(start, end)), best);
+            }
+            *best = best.min(acc.max(table.bucket_cost(start, n - 1)));
+        }
+        let table = RangeMinMax::new(data);
+        let mut best = f64::INFINITY;
+        recurse(&table, 0, b, 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn sparse_table_matches_naive() {
+        let data: Vec<f64> = (0..37).map(|i| ((i * 17 + 5) % 23) as f64).collect();
+        let t = RangeMinMax::new(&data);
+        for i in 0..data.len() {
+            for j in i..data.len() {
+                let naive_min = data[i..=j].iter().cloned().fold(f64::INFINITY, f64::min);
+                let naive_max = data[i..=j].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(t.min(i, j), naive_min, "min ({i},{j})");
+                assert_eq!(t.max(i, j), naive_max, "max ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_matches_dp_and_brute_force() {
+        let inputs: Vec<Vec<f64>> = vec![
+            vec![1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 1.0],
+            vec![0.0, 0.0, 100.0, 0.0, 0.0],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            vec![7.0; 9],
+            vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0],
+        ];
+        for data in &inputs {
+            for b in 1..=4 {
+                let greedy = max_error_histogram(data, b);
+                let dp = max_error_dp(data, b);
+                let brute = brute_force_max_error(data, b);
+                let ge = realized_max_error(&greedy, data);
+                let de = realized_max_error(&dp, data);
+                assert!((ge - brute).abs() < 1e-6, "greedy {ge} vs brute {brute} (b={b}, {data:?})");
+                assert!((de - brute).abs() < 1e-6, "dp {de} vs brute {brute} (b={b}, {data:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_when_buckets_cover_runs() {
+        let data = [2.0, 2.0, 9.0, 9.0, 4.0, 4.0];
+        let h = max_error_histogram(&data, 3);
+        assert_eq!(realized_max_error(&h, &data), 0.0);
+        assert_eq!(h.bucket_ends(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn mid_range_heights_beat_means_for_max_error() {
+        // Skewed bucket: values {0, 0, 0, 9}. Mean 2.25 -> max err 6.75;
+        // mid-range 4.5 -> max err 4.5.
+        let data = [0.0, 0.0, 0.0, 9.0];
+        let h = max_error_histogram(&data, 1);
+        assert_eq!(h.buckets()[0].height, 4.5);
+        assert_eq!(realized_max_error(&h, &data), 4.5);
+    }
+
+    #[test]
+    fn monotone_in_buckets() {
+        let data: Vec<f64> = (0..60).map(|i| ((i * 13) % 31) as f64).collect();
+        let mut last = f64::INFINITY;
+        for b in 1..=10 {
+            let e = realized_max_error(&max_error_histogram(&data, b), &data);
+            assert!(e <= last + 1e-9, "b={b}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(max_error_histogram(&[], 3).domain_len(), 0);
+        let h = max_error_histogram(&[5.0], 2);
+        assert_eq!(h.point(0), 5.0);
+        assert_eq!(max_error_dp(&[], 2).domain_len(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Optimal **sum-absolute-error** (SAE) histograms.
+//!
+//! Another instance of the paper's footnote-3 generalization to point-wise
+//! additive error functions: within a bucket the sum of absolute deviations
+//! `Σ |v − h|` is minimized by the **median** `h`, and the histogram cost
+//! is the sum over buckets.
+//!
+//! The DP has the same structure as the SSE one, but the bucket cost has no
+//! constant-size prefix summary — we evaluate it incrementally instead:
+//! for each DP column `j`, sweep the bucket start `i` downward from `j`
+//! while feeding values into a [`RollingMedian`] (dual-heap median with
+//! half-sums), so each `SAE(i, j)` costs `O(log n)`; total `O(n² log n)`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use streamhist_core::{Bucket, Histogram};
+
+/// Total-ordering wrapper for finite `f64`s (heap keys).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Finite(f64);
+
+impl Eq for Finite {}
+
+impl PartialOrd for Finite {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Finite {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("values are finite")
+    }
+}
+
+/// Incremental median with running half-sums: insert values one at a time,
+/// query the median and the sum of absolute deviations in `O(1)` after an
+/// `O(log n)` insert.
+#[derive(Debug, Default)]
+pub struct RollingMedian {
+    /// Max-heap of the lower half.
+    low: BinaryHeap<Finite>,
+    /// Min-heap of the upper half.
+    high: BinaryHeap<Reverse<Finite>>,
+    sum_low: f64,
+    sum_high: f64,
+}
+
+impl RollingMedian {
+    /// Creates an empty structure.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of inserted values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.low.len() + self.high.len()
+    }
+
+    /// Whether no values have been inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a value. `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    pub fn insert(&mut self, v: f64) {
+        assert!(v.is_finite(), "median structure requires finite values");
+        if self.low.peek().is_none_or(|m| v <= m.0) {
+            self.low.push(Finite(v));
+            self.sum_low += v;
+        } else {
+            self.high.push(Reverse(Finite(v)));
+            self.sum_high += v;
+        }
+        // Rebalance so |low| == |high| or |low| == |high| + 1.
+        if self.low.len() > self.high.len() + 1 {
+            let Finite(m) = self.low.pop().expect("low is non-empty");
+            self.sum_low -= m;
+            self.high.push(Reverse(Finite(m)));
+            self.sum_high += m;
+        } else if self.high.len() > self.low.len() {
+            let Reverse(Finite(m)) = self.high.pop().expect("high is non-empty");
+            self.sum_high -= m;
+            self.low.push(Finite(m));
+            self.sum_low += m;
+        }
+    }
+
+    /// The lower median of the inserted values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.low.peek().expect("median of an empty set").0
+    }
+
+    /// Sum of absolute deviations from the median — the SAE-optimal bucket
+    /// cost of the inserted values. `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    #[must_use]
+    pub fn sae(&self) -> f64 {
+        let m = self.median();
+        (m * self.low.len() as f64 - self.sum_low)
+            + (self.sum_high - m * self.high.len() as f64)
+    }
+}
+
+/// Builds the optimal SAE histogram of `data` with at most `b` buckets
+/// (median heights). `O(n²(log n + B))` time, `O(nB)` space.
+///
+/// # Panics
+///
+/// Panics if `b == 0` and `data` is non-empty.
+#[must_use]
+pub fn optimal_histogram_sae(data: &[f64], b: usize) -> Histogram {
+    if data.is_empty() {
+        return Histogram::new(0, Vec::new()).expect("empty domain is always valid");
+    }
+    assert!(b > 0, "need at least one bucket for non-empty data");
+    let n = data.len();
+    let b = b.min(n);
+
+    // cost[i][j-1] would be O(n²) memory; instead precompute per column on
+    // the fly and run all B levels inside the column sweep. We materialize
+    // the full cost matrix column by column but keep only `err` rows.
+    // err[k][j] = optimal SAE of data[0..j] with at most k+1 buckets.
+    let mut err = vec![vec![0.0f64; n + 1]; b];
+    let mut back = vec![vec![0usize; n + 1]; b];
+    // Column costs: costs[i] = SAE(i, j-1) for the current j.
+    let mut costs = vec![0.0f64; n];
+    for j in 1..=n {
+        let mut med = RollingMedian::new();
+        for i in (0..j).rev() {
+            med.insert(data[i]);
+            costs[i] = med.sae();
+        }
+        err[0][j] = costs[0];
+        for k in 1..b {
+            let mut best = err[k - 1][j];
+            let mut best_i = back[k - 1][j];
+            for (i, &cost) in costs.iter().enumerate().take(j).skip(1) {
+                let cand = err[k - 1][i] + cost;
+                if cand < best {
+                    best = cand;
+                    best_i = i;
+                }
+            }
+            err[k][j] = best;
+            back[k][j] = best_i;
+        }
+    }
+
+    let mut ends = Vec::with_capacity(b);
+    let mut j = n;
+    let mut k = b - 1;
+    loop {
+        ends.push(j - 1);
+        let i = back[k][j];
+        if i == 0 {
+            break;
+        }
+        j = i;
+        k = k.saturating_sub(1);
+    }
+    ends.reverse();
+
+    // Median heights.
+    let mut buckets = Vec::with_capacity(ends.len());
+    let mut start = 0usize;
+    for &end in &ends {
+        let mut seg: Vec<f64> = data[start..=end].to_vec();
+        seg.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let h = seg[(seg.len() - 1) / 2]; // lower median, matching RollingMedian
+        buckets.push(Bucket::new(start, end, h));
+        start = end + 1;
+    }
+    Histogram::new(n, buckets).expect("DP boundaries tile the domain")
+}
+
+/// The realized SAE of a histogram against data.
+///
+/// # Panics
+///
+/// Panics if `data.len()` differs from the histogram domain.
+#[must_use]
+pub fn realized_sae(h: &Histogram, data: &[f64]) -> f64 {
+    streamhist_core::sum_abs_error(data, &h.expand())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sae(data: &[f64]) -> f64 {
+        let mut s: Vec<f64> = data.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let m = s[(s.len() - 1) / 2];
+        s.iter().map(|v| (v - m).abs()).sum()
+    }
+
+    fn brute_force_sae(data: &[f64], b: usize) -> f64 {
+        fn recurse(data: &[f64], start: usize, left: usize, acc: f64, best: &mut f64) {
+            let n = data.len();
+            if left == 1 {
+                *best = (*best).min(acc + naive_sae(&data[start..]));
+                return;
+            }
+            for end in start..n - 1 {
+                recurse(data, end + 1, left - 1, acc + naive_sae(&data[start..=end]), best);
+            }
+            *best = (*best).min(acc + naive_sae(&data[start..]));
+        }
+        let mut best = f64::INFINITY;
+        recurse(data, 0, b, 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn rolling_median_matches_naive() {
+        let data = [5.0, 1.0, 9.0, 3.0, 3.0, 7.0, 2.0, 8.0];
+        let mut rm = RollingMedian::new();
+        for (i, &v) in data.iter().enumerate() {
+            rm.insert(v);
+            let naive = naive_sae(&data[..=i]);
+            assert!((rm.sae() - naive).abs() < 1e-9, "prefix {}: {} vs {naive}", i + 1, rm.sae());
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force() {
+        let inputs: Vec<Vec<f64>> = vec![
+            vec![1.0, 100.0, 2.0, 3.0],
+            vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0],
+            vec![0.0, 0.0, 10.0, 10.0, 0.0, 0.0],
+            vec![6.0; 7],
+        ];
+        for data in &inputs {
+            for b in 1..=3 {
+                let h = optimal_histogram_sae(data, b);
+                let got = realized_sae(&h, data);
+                let brute = brute_force_sae(data, b);
+                assert!(
+                    (got - brute).abs() < 1e-9,
+                    "b={b} {data:?}: {got} vs {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn median_heights_beat_means_for_outliers() {
+        // One outlier: the SAE-optimal single bucket uses the median.
+        let data = [1.0, 1.0, 1.0, 1.0, 101.0];
+        let h = optimal_histogram_sae(&data, 1);
+        assert_eq!(h.buckets()[0].height, 1.0);
+        assert_eq!(realized_sae(&h, &data), 100.0);
+        // The mean (21) would cost 4*20 + 80 = 160.
+    }
+
+    #[test]
+    fn exact_on_piecewise_constant() {
+        let data = [4.0, 4.0, 9.0, 9.0, 9.0, 1.0];
+        let h = optimal_histogram_sae(&data, 3);
+        assert_eq!(realized_sae(&h, &data), 0.0);
+        assert_eq!(h.bucket_ends(), vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn monotone_in_buckets() {
+        let data: Vec<f64> = (0..40).map(|i| ((i * 23 + 7) % 19) as f64).collect();
+        let mut last = f64::INFINITY;
+        for b in 1..=8 {
+            let e = realized_sae(&optimal_histogram_sae(&data, b), &data);
+            assert!(e <= last + 1e-9, "b={b}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(optimal_histogram_sae(&[], 2).domain_len(), 0);
+        let h = optimal_histogram_sae(&[7.5], 3);
+        assert_eq!(h.point(0), 7.5);
+    }
+}

@@ -1,0 +1,53 @@
+//! # streamhist-quantile
+//!
+//! One-pass quantile summaries over data streams — the order-statistics
+//! substrate from the reproduced paper's related-work section (§2):
+//!
+//! * [`GkSummary`] — the Greenwald–Khanna summary (SIGMOD 2001, `[GK01]`):
+//!   deterministic ε-approximate quantiles in `O((1/ε) log(εN))` space,
+//!   "an improvement on the algorithms by Manku et al., requiring less
+//!   memory".
+//! * [`MrlSummary`] — the multi-level collapsing-buffer scheme in the style
+//!   of Manku–Rajagopalan–Lindsay (SIGMOD 1998, `[SRL98]`), implemented as
+//!   a deterministic compactor hierarchy.
+//! * [`EquiDepthHistogram`] — equi-depth **value-domain** histograms
+//!   derived from either summary, the classical selectivity-estimation
+//!   synopsis: value-range `selectivity` and `rank` estimates.
+//!
+//! These are *value-domain* synopses: they answer "how many stream values
+//! fall in `[a, b]`", complementing the *index-domain* histograms of
+//! `streamhist-core`/`streamhist-stream` that answer "what is the sum of
+//! the last `n` points over positions `[i, j]`". The workspace benches use
+//! them as the additional applicable baseline for stream approximation
+//! (`DESIGN.md` §3.5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod equidepth;
+pub mod gk;
+pub mod mrl;
+
+pub use equidepth::EquiDepthHistogram;
+pub use gk::GkSummary;
+pub use mrl::MrlSummary;
+
+/// Common interface of the quantile summaries: enough to extract quantiles
+/// and ranks, and to derive equi-depth histograms.
+pub trait QuantileSummary {
+    /// Number of stream values consumed.
+    fn count(&self) -> usize;
+
+    /// An estimate of the value at quantile `phi` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty or `phi` is outside `[0, 1]`.
+    fn quantile(&self, phi: f64) -> f64;
+
+    /// An estimate of the rank of `v`: the number of consumed values `<= v`.
+    fn rank(&self, v: f64) -> usize;
+
+    /// Number of stored tuples/elements (the space diagnostic).
+    fn stored(&self) -> usize;
+}

@@ -1,0 +1,288 @@
+//! A Manku–Rajagopalan–Lindsay-style multi-level collapsing-buffer summary
+//! (SIGMOD 1998).
+//!
+//! The stream fills a level-0 buffer of `k` values. When a level already
+//! holds a full buffer, the two same-level buffers are COLLAPSEd: merge the
+//! sorted contents and keep every other element, producing one buffer at
+//! the next level with twice the per-element weight. A buffer at level `ℓ`
+//! therefore represents `k·2^ℓ` stream values with `k` stored ones.
+//! Rank/quantile queries sum weighted ranks across levels. The alternating
+//! even/odd retention offset removes the systematic rank bias of always
+//! keeping even positions.
+
+use crate::QuantileSummary;
+
+/// Deterministic multi-level quantile summary with buffer size `k`.
+///
+/// Rank error grows as `O((n/k)·log(n/k))`; choose `k ≈ (1/ε)·log(εn)` for
+/// an `εn` target (see `[SRL98]`).
+#[derive(Debug, Clone)]
+pub struct MrlSummary {
+    k: usize,
+    n: usize,
+    /// `levels[ℓ]` is `None` or one sorted buffer of exactly `k` values,
+    /// each with weight `2^ℓ`.
+    levels: Vec<Option<Vec<f64>>>,
+    /// The filling level-0 buffer (unsorted, < k values).
+    partial: Vec<f64>,
+    /// Flips each collapse so retained positions alternate even/odd.
+    keep_odd: bool,
+}
+
+impl MrlSummary {
+    /// Creates a summary with buffer size `k` (must be even and >= 2 so
+    /// collapses halve cleanly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k` is odd.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2 && k.is_multiple_of(2), "buffer size must be an even number >= 2");
+        Self { k, n: 0, levels: Vec::new(), partial: Vec::with_capacity(k), keep_odd: false }
+    }
+
+    /// Buffer size `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Inserts one value. Amortized `O(log(n/k))` buffer work per value.
+    pub fn insert(&mut self, v: f64) {
+        assert!(v.is_finite(), "summary values must be finite");
+        self.partial.push(v);
+        self.n += 1;
+        if self.partial.len() == self.k {
+            let mut buf = std::mem::replace(&mut self.partial, Vec::with_capacity(self.k));
+            buf.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            self.carry(buf, 0);
+        }
+    }
+
+    /// Carry-propagates a full sorted buffer into level `lvl`, collapsing
+    /// upward while the slot is occupied (binary-counter style).
+    fn carry(&mut self, mut buf: Vec<f64>, mut lvl: usize) {
+        loop {
+            if self.levels.len() <= lvl {
+                self.levels.resize(lvl + 1, None);
+            }
+            match self.levels[lvl].take() {
+                None => {
+                    self.levels[lvl] = Some(buf);
+                    return;
+                }
+                Some(other) => {
+                    buf = self.collapse(buf, other);
+                    lvl += 1;
+                }
+            }
+        }
+    }
+
+    /// COLLAPSE: merge two sorted `k`-buffers, retain alternating elements.
+    fn collapse(&mut self, a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i] <= b[j] {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        let offset = usize::from(self.keep_odd);
+        self.keep_odd = !self.keep_odd;
+        merged.into_iter().skip(offset).step_by(2).collect()
+    }
+
+    /// Merges another summary (built with the same `k`) into this one —
+    /// the distributed-aggregation operation: summaries built on separate
+    /// stream partitions combine into a summary of the union, with the
+    /// same per-level weights and error behaviour.
+    ///
+    /// `O(s log s)` in the stored sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer sizes differ.
+    pub fn merge(&mut self, other: MrlSummary) {
+        assert_eq!(self.k, other.k, "summaries must share the buffer size k");
+        for v in other.partial {
+            self.insert(v);
+        }
+        for (lvl, buf) in other.levels.into_iter().enumerate() {
+            if let Some(buf) = buf {
+                self.n += self.k << lvl;
+                self.carry(buf, lvl);
+            }
+        }
+    }
+
+    /// All stored `(value, weight)` pairs, including the partial buffer.
+    fn weighted(&self) -> Vec<(f64, u64)> {
+        let mut out: Vec<(f64, u64)> = Vec::new();
+        for &v in &self.partial {
+            out.push((v, 1));
+        }
+        for (lvl, buf) in self.levels.iter().enumerate() {
+            if let Some(buf) = buf {
+                let w = 1u64 << lvl;
+                out.extend(buf.iter().map(|&v| (v, w)));
+            }
+        }
+        out
+    }
+}
+
+impl QuantileSummary for MrlSummary {
+    fn count(&self) -> usize {
+        self.n
+    }
+
+    fn quantile(&self, phi: f64) -> f64 {
+        assert!(self.n > 0, "summary is empty");
+        assert!((0.0..=1.0).contains(&phi), "phi must be in [0, 1]");
+        let mut w = self.weighted();
+        w.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+        let total: u64 = w.iter().map(|&(_, wt)| wt).sum();
+        let target = (phi * total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for &(v, wt) in &w {
+            acc += wt;
+            if acc >= target {
+                return v;
+            }
+        }
+        w.last().expect("non-empty").0
+    }
+
+    fn rank(&self, v: f64) -> usize {
+        self.weighted().iter().filter(|&&(x, _)| x <= v).map(|&(_, w)| w as usize).sum()
+    }
+
+    fn stored(&self) -> usize {
+        self.partial.len()
+            + self.levels.iter().map(|b| b.as_ref().map_or(0, Vec::len)).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_one_buffer() {
+        let mut m = MrlSummary::new(64);
+        for v in [5.0, 1.0, 3.0] {
+            m.insert(v);
+        }
+        assert_eq!(m.quantile(0.0), 1.0);
+        assert_eq!(m.quantile(0.5), 3.0);
+        assert_eq!(m.quantile(1.0), 5.0);
+        assert_eq!(m.rank(2.0), 1);
+        assert_eq!(m.stored(), 3);
+    }
+
+    #[test]
+    fn median_of_large_stream_is_close() {
+        let n = 50_000usize;
+        let mut m = MrlSummary::new(256);
+        for i in 0..n {
+            m.insert(((i * 7919) % n) as f64); // pseudo-shuffled 0..n
+        }
+        let med = m.quantile(0.5);
+        // Tolerance: a generous multiple of n/k * log2(n/k).
+        let tol = (n / 256) as f64 * ((n / 256) as f64).log2() * 4.0;
+        assert!((med - (n / 2) as f64).abs() <= tol, "median {med}, tol {tol}");
+    }
+
+    #[test]
+    fn space_is_logarithmic_in_stream_length() {
+        let mut m = MrlSummary::new(128);
+        for i in 0..200_000 {
+            m.insert((i % 999) as f64);
+        }
+        // <= one buffer per level + partial.
+        let levels = (200_000f64 / 128.0).log2().ceil() as usize + 1;
+        assert!(m.stored() <= 128 * (levels + 1), "stored {}", m.stored());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_phi() {
+        let mut m = MrlSummary::new(32);
+        for i in 0..5_000 {
+            m.insert(((i * 613) % 5000) as f64);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = m.quantile(i as f64 / 20.0);
+            assert!(q >= last, "phi {} gave {q} < {last}", i as f64 / 20.0);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn rank_is_within_tolerance_on_uniform_data() {
+        let n = 20_000usize;
+        let k = 256;
+        let mut m = MrlSummary::new(k);
+        for i in 0..n {
+            m.insert((i % 1000) as f64);
+        }
+        // exact rank of 499.5-ish probe = n/2
+        let est = m.rank(499.0);
+        let exact = n / 2;
+        let tol = (n / k) as f64 * ((n / k) as f64).log2().max(1.0) * 4.0;
+        assert!(
+            (est as f64 - exact as f64).abs() <= tol,
+            "rank est {est}, exact {exact}, tol {tol}"
+        );
+    }
+
+    #[test]
+    fn merge_combines_partitions() {
+        let n = 30_000usize;
+        let k = 256;
+        // Partition a pseudo-shuffled 0..n across three summaries.
+        let mut parts: Vec<MrlSummary> = (0..3).map(|_| MrlSummary::new(k)).collect();
+        for i in 0..n {
+            parts[i % 3].insert(((i * 7919) % n) as f64);
+        }
+        let mut merged = parts.remove(0);
+        for p in parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.count(), n);
+        let med = merged.quantile(0.5);
+        let tol = (n / k) as f64 * ((n / k) as f64).log2() * 4.0;
+        assert!((med - (n / 2) as f64).abs() <= tol, "median {med}, tol {tol}");
+        // Extremes survive merging within tolerance.
+        assert!(merged.quantile(0.0) <= tol);
+        assert!(merged.quantile(1.0) >= n as f64 - 1.0 - tol);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the buffer size")]
+    fn merge_requires_matching_k() {
+        let mut a = MrlSummary::new(4);
+        a.merge(MrlSummary::new(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn odd_buffer_size_rejected() {
+        let _ = MrlSummary::new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "summary is empty")]
+    fn quantile_of_empty_panics() {
+        let m = MrlSummary::new(4);
+        let _ = m.quantile(0.5);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the quantile summaries: the GK rank-error guarantee
+//! under arbitrary insertion orders, MRL sanity, and equi-depth histogram
+//! consistency.
+
+use proptest::prelude::*;
+use streamhist_quantile::{EquiDepthHistogram, GkSummary, MrlSummary, QuantileSummary};
+
+fn stream_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10_000..10_000i64, 10..600)
+        .prop_map(|v| v.into_iter().map(|x| x as f64).collect())
+}
+
+/// Exact rank: number of values <= v.
+fn exact_rank(sorted: &[f64], v: f64) -> usize {
+    sorted.partition_point(|&x| x <= v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The central GK invariant: every quantile answer is within eps*n
+    /// ranks of the truth, for any insertion order.
+    #[test]
+    fn gk_quantiles_within_eps_rank_error(
+        data in stream_strategy(),
+        eps in prop::sample::select(vec![0.01f64, 0.05, 0.1]),
+    ) {
+        let mut gk = GkSummary::new(eps);
+        for &v in &data {
+            gk.insert(v);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = data.len();
+        for phi in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let q = gk.quantile(phi);
+            let target = (phi * n as f64).ceil().max(1.0) as i64;
+            // Rank of the returned value must be close to the target rank.
+            let lo = exact_rank(&sorted, q - 0.5) as i64; // values strictly below q
+            let hi = exact_rank(&sorted, q) as i64; // values <= q
+            let tol = (eps * n as f64).ceil() as i64 + 1;
+            prop_assert!(
+                target >= lo - tol && target <= hi + tol,
+                "phi={phi}: value {q} has rank range [{lo},{hi}], target {target}, tol {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn gk_rank_estimates_within_eps(
+        data in stream_strategy(),
+        eps in prop::sample::select(vec![0.02f64, 0.1]),
+    ) {
+        let mut gk = GkSummary::new(eps);
+        for &v in &data {
+            gk.insert(v);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = data.len();
+        for probe_idx in [0usize, n / 4, n / 2, 3 * n / 4, n - 1] {
+            let probe = sorted[probe_idx];
+            let est = gk.rank(probe) as i64;
+            let exact = exact_rank(&sorted, probe) as i64;
+            let tol = (eps * n as f64).ceil() as i64 + 1;
+            prop_assert!(
+                (est - exact).abs() <= tol,
+                "probe {probe}: est {est} exact {exact} tol {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn gk_space_stays_bounded(data in stream_strategy()) {
+        let eps = 0.05;
+        let mut gk = GkSummary::new(eps);
+        for &v in &data {
+            gk.insert(v);
+        }
+        // Loose bound: a small multiple of (1/eps) * log(eps n) + slack.
+        let n = data.len() as f64;
+        let bound = (11.0 / eps) * (eps * n).max(2.0).log2() + 3.0 / eps + 16.0;
+        prop_assert!(
+            (gk.stored() as f64) <= bound,
+            "stored {} exceeds bound {bound} for n={n}",
+            gk.stored()
+        );
+    }
+
+    #[test]
+    fn mrl_quantiles_are_order_consistent(
+        data in stream_strategy(),
+        k in prop::sample::select(vec![16usize, 64, 256]),
+    ) {
+        let mut m = MrlSummary::new(k);
+        for &v in &data {
+            m.insert(v);
+        }
+        prop_assert_eq!(m.count(), data.len());
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = m.quantile(i as f64 / 10.0);
+            prop_assert!(q >= last);
+            // Every returned quantile is an actual stream value.
+            prop_assert!(data.contains(&q), "{q} not in the stream");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn equi_depth_cdf_is_monotone_and_normalized(
+        data in stream_strategy(),
+        b in 1usize..24,
+    ) {
+        let mut gk = GkSummary::new(0.02);
+        for &v in &data {
+            gk.insert(v);
+        }
+        let h = EquiDepthHistogram::from_summary(&gk, b);
+        prop_assert_eq!(h.num_buckets(), b);
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.cdf(min - 1.0), 0.0);
+        prop_assert_eq!(h.cdf(max), 1.0);
+        let mut last = -1.0;
+        for t in 0..=20 {
+            let v = min + (max - min) * t as f64 / 20.0;
+            let c = h.cdf(v);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= last - 1e-12);
+            last = c;
+        }
+        prop_assert!((h.selectivity(min, max) - 1.0).abs() < 1e-9);
+    }
+
+    /// GK and MRL agree (within their tolerances) on the median.
+    #[test]
+    fn summaries_agree_on_the_median(data in stream_strategy()) {
+        let mut gk = GkSummary::new(0.02);
+        let mut mrl = MrlSummary::new(128);
+        for &v in &data {
+            gk.insert(v);
+            mrl.insert(v);
+        }
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = data.len();
+        let true_median = sorted[(n - 1) / 2];
+        let span = sorted[n - 1] - sorted[0];
+        // Both estimates must be within a reasonable rank-window of the
+        // true median; compare via ranks, not values.
+        for (name, est) in [("gk", gk.quantile(0.5)), ("mrl", mrl.quantile(0.5))] {
+            let rank = exact_rank(&sorted, est) as i64;
+            let tol = ((n as f64) * 0.25).ceil() as i64 + 2; // loose for tiny MRL buffers
+            prop_assert!(
+                (rank - (n / 2) as i64).abs() <= tol,
+                "{name} median {est} (true {true_median}, span {span}) rank {rank}"
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # streamhist-similarity
+//!
+//! Time-series similarity search with piecewise-constant representations —
+//! the paper's §5.2 third experiment: "we ... utilized the techniques of
+//! Keogh et al. `[KCMP01]` in the problem of querying collections of time
+//! series based on similarity ... Our results indicate that the histogram
+//! approximations resulting from our algorithms are far superior than those
+//! resulting from the APCA algorithm of Keogh et al., ... reflected ... by
+//! reducing the number of false positives during time series similarity
+//! indexing."
+//!
+//! Components:
+//!
+//! * [`PiecewiseConstant`] — an `M`-segment representation of a series,
+//!   constructible from [`apca()`] (Keogh's wavelet-seeded heuristic), from
+//!   the workspace's ε-approximate V-optimal histograms, or from the exact
+//!   DP. Segment values are exact segment means, which is what makes the
+//!   lower-bounding distance sound.
+//! * [`lower_bound_dist`] — the GEMINI lower bound: for raw query `q` and a
+//!   represented candidate `c`, `Σ len_i (q̄_i − c̄_i)² ≤ ‖q − c‖²` by
+//!   Cauchy–Schwarz per segment, so range search over representations never
+//!   dismisses a true answer.
+//! * [`SeriesIndex`] / [`SubsequenceIndex`] — whole-series and subsequence
+//!   matching with lower-bound pruning and exact verification, reporting
+//!   the false-positive counts the experiment compares.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apca;
+pub mod repr;
+pub mod search;
+
+pub use apca::apca;
+pub use repr::{lower_bound_dist, PiecewiseConstant, ReprMethod, Segment};
+pub use search::{SearchStats, SeriesIndex, SubsequenceIndex};
+
+/// Euclidean distance between equal-length series.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    streamhist_core::sum_squared_error(a, b).sqrt()
+}

@@ -1,0 +1,267 @@
+//! Piecewise-constant series representations and the GEMINI lower bound.
+
+use streamhist_core::{Histogram, PrefixSums};
+
+/// One segment of a piecewise-constant representation: inclusive end index
+/// and the mean of the raw values over the segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Inclusive end index of the segment.
+    pub end: usize,
+    /// Mean of the represented series over the segment.
+    pub value: f64,
+}
+
+/// Which construction builds the representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReprMethod {
+    /// Keogh et al.'s APCA: wavelet-seeded segment placement
+    /// (see [`crate::apca()`]).
+    Apca,
+    /// The paper's proposal: ε-approximate V-optimal histogram boundaries
+    /// (one-pass, `streamhist-stream`).
+    VOptimalApprox {
+        /// Approximation parameter for the one-pass construction.
+        eps: f64,
+    },
+    /// Exact V-optimal DP boundaries (`streamhist-optimal`) — the quality
+    /// ceiling for segment placement.
+    VOptimalExact,
+}
+
+/// An `M`-segment piecewise-constant representation of a fixed-length
+/// series, with exact segment means as values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseConstant {
+    len: usize,
+    segments: Vec<Segment>,
+}
+
+impl PiecewiseConstant {
+    /// Builds the representation of `series` with at most `m` segments
+    /// using `method`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty or `m == 0`.
+    #[must_use]
+    pub fn build(series: &[f64], m: usize, method: ReprMethod) -> Self {
+        assert!(!series.is_empty(), "series must be non-empty");
+        assert!(m > 0, "need at least one segment");
+        let ends: Vec<usize> = match method {
+            ReprMethod::Apca => crate::apca::apca(series, m).bucket_ends(),
+            ReprMethod::VOptimalApprox { eps } => {
+                streamhist_stream::approx_histogram(series, m, eps).bucket_ends()
+            }
+            ReprMethod::VOptimalExact => {
+                streamhist_optimal::optimal_histogram(series, m).bucket_ends()
+            }
+        };
+        Self::from_bucket_ends(series, &ends)
+    }
+
+    /// Builds the representation directly from inclusive bucket end
+    /// indices, recomputing exact means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundaries do not tile the series.
+    #[must_use]
+    pub fn from_bucket_ends(series: &[f64], ends: &[usize]) -> Self {
+        let h = Histogram::from_bucket_ends(series, ends);
+        Self::from_histogram(&h)
+    }
+
+    /// Converts any index-domain histogram (whose heights are segment
+    /// means) into a representation.
+    #[must_use]
+    pub fn from_histogram(h: &Histogram) -> Self {
+        let segments =
+            h.buckets().iter().map(|b| Segment { end: b.end, value: b.height }).collect();
+        Self { len: h.domain_len(), segments }
+    }
+
+    /// Length of the represented series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Representations are never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The segments, in index order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments used.
+    #[must_use]
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Reconstructs the approximated series (each index replaced by its
+    /// segment value).
+    #[must_use]
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut start = 0usize;
+        for s in &self.segments {
+            out.extend(std::iter::repeat_n(s.value, s.end + 1 - start));
+            start = s.end + 1;
+        }
+        out
+    }
+
+    /// SSE of the representation against the raw series (the per-series
+    /// quality the two methods compete on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series.len() != len`.
+    #[must_use]
+    pub fn sse(&self, series: &[f64]) -> f64 {
+        streamhist_core::sum_squared_error(series, &self.reconstruct())
+    }
+}
+
+/// The GEMINI lower-bounding distance between a **raw query** and a
+/// **represented candidate**: with `q̄_i` the query mean over the
+/// candidate's `i`-th segment,
+///
+/// ```text
+/// D_LB(q, R)² = Σ_i len_i · (q̄_i − value_i)²  ≤  ‖q − c‖²
+/// ```
+///
+/// (per-segment Cauchy–Schwarz, using that `value_i` is the exact mean of
+/// the candidate over the segment). Guarantees no false dismissals in range
+/// search; the slack produces the *false positives* the §5.2 experiment
+/// counts.
+///
+/// Pass the query's [`PrefixSums`] so a batch of candidates shares one
+/// `O(n)` precomputation; each call is then `O(M)`.
+///
+/// # Panics
+///
+/// Panics if the query length differs from the representation length.
+#[must_use]
+pub fn lower_bound_dist(query_prefix: &PrefixSums, repr: &PiecewiseConstant) -> f64 {
+    assert_eq!(query_prefix.len(), repr.len(), "query and candidate lengths must match");
+    let mut acc = 0.0;
+    let mut start = 0usize;
+    for s in repr.segments() {
+        let len = (s.end + 1 - start) as f64;
+        let qmean = query_prefix.mean(start, s.end);
+        let d = qmean - s.value;
+        acc += len * d * d;
+        start = s.end + 1;
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean;
+
+    fn series_a() -> Vec<f64> {
+        (0..32).map(|i| ((i * 13 + 5) % 17) as f64).collect()
+    }
+
+    #[test]
+    fn all_methods_produce_valid_representations() {
+        let s = series_a();
+        for method in [
+            ReprMethod::Apca,
+            ReprMethod::VOptimalApprox { eps: 0.1 },
+            ReprMethod::VOptimalExact,
+        ] {
+            let r = PiecewiseConstant::build(&s, 5, method);
+            assert!(r.num_segments() <= 5, "{method:?}");
+            assert_eq!(r.len(), 32);
+            assert_eq!(r.segments().last().expect("non-empty").end, 31);
+            // Segment values are exact means.
+            let mut start = 0;
+            for seg in r.segments() {
+                let mean =
+                    s[start..=seg.end].iter().sum::<f64>() / (seg.end + 1 - start) as f64;
+                assert!((seg.value - mean).abs() < 1e-9, "{method:?}");
+                start = seg.end + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn exact_voptimal_never_worse_than_apca_in_sse() {
+        let s = series_a();
+        for m in [2, 4, 8] {
+            let apca = PiecewiseConstant::build(&s, m, ReprMethod::Apca);
+            let vopt = PiecewiseConstant::build(&s, m, ReprMethod::VOptimalExact);
+            assert!(
+                vopt.sse(&s) <= apca.sse(&s) + 1e-9,
+                "m={m}: vopt {} vs apca {}",
+                vopt.sse(&s),
+                apca.sse(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_true_distance() {
+        let s = series_a();
+        let queries: Vec<Vec<f64>> = vec![
+            s.iter().map(|v| v + 1.0).collect(),
+            s.iter().rev().copied().collect(),
+            (0..32).map(|i| (i % 5) as f64 * 3.0).collect(),
+            vec![0.0; 32],
+        ];
+        for method in [
+            ReprMethod::Apca,
+            ReprMethod::VOptimalApprox { eps: 0.2 },
+            ReprMethod::VOptimalExact,
+        ] {
+            for m in [1, 3, 8] {
+                let r = PiecewiseConstant::build(&s, m, method);
+                for q in &queries {
+                    let p = PrefixSums::new(q);
+                    let lb = lower_bound_dist(&p, &r);
+                    let d = euclidean(q, &s);
+                    assert!(lb <= d + 1e-9, "{method:?} m={m}: lb {lb} > d {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_exact_for_full_resolution() {
+        // One segment per point: q̄_i = q_i and value_i = s_i, so LB = D.
+        let s = series_a();
+        let ends: Vec<usize> = (0..s.len()).collect();
+        let r = PiecewiseConstant::from_bucket_ends(&s, &ends);
+        let q: Vec<f64> = s.iter().map(|v| v * 2.0 + 1.0).collect();
+        let lb = lower_bound_dist(&PrefixSums::new(&q), &r);
+        assert!((lb - euclidean(&q, &s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bound_of_identical_query_is_zero_only_with_matching_means() {
+        let s = series_a();
+        let r = PiecewiseConstant::build(&s, 4, ReprMethod::VOptimalExact);
+        let lb = lower_bound_dist(&PrefixSums::new(&s), &r);
+        // Query == candidate: per-segment means coincide, LB must be 0.
+        assert!(lb < 1e-9);
+    }
+
+    #[test]
+    fn reconstruct_matches_segment_layout() {
+        let s = [1.0, 1.0, 5.0, 5.0, 5.0, 9.0];
+        let r = PiecewiseConstant::from_bucket_ends(&s, &[1, 4, 5]);
+        assert_eq!(r.reconstruct(), vec![1.0, 1.0, 5.0, 5.0, 5.0, 9.0]);
+        assert_eq!(r.sse(&s), 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! GEMINI-style similarity search with lower-bound pruning.
+//!
+//! The GEMINI framework (Faloutsos et al.): search over compact
+//! representations with a distance that *lower-bounds* the true distance,
+//! then verify surviving candidates against the raw data. Lower bounding
+//! guarantees **no false dismissals**; representation quality determines
+//! the number of **false positives** (candidates that survive pruning but
+//! fail verification) — the §5.2 metric on which the paper's histograms
+//! beat APCA.
+
+use crate::repr::{lower_bound_dist, PiecewiseConstant, ReprMethod};
+use streamhist_core::PrefixSums;
+
+/// Counters from one query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Candidates whose lower bound passed the radius (verified exactly).
+    pub candidates: usize,
+    /// Candidates that passed pruning but failed verification.
+    pub false_positives: usize,
+    /// True answers returned.
+    pub answers: usize,
+    /// Series pruned without touching raw data.
+    pub pruned: usize,
+}
+
+/// A whole-series similarity index: a collection of equal-length series
+/// with their piecewise-constant representations.
+#[derive(Debug)]
+pub struct SeriesIndex {
+    series_len: usize,
+    series: Vec<Vec<f64>>,
+    reprs: Vec<PiecewiseConstant>,
+}
+
+impl SeriesIndex {
+    /// Builds the index: one `m`-segment representation per series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty, any series is empty, or lengths differ.
+    #[must_use]
+    pub fn build(series: Vec<Vec<f64>>, m: usize, method: ReprMethod) -> Self {
+        assert!(!series.is_empty(), "index needs at least one series");
+        let series_len = series[0].len();
+        assert!(series_len > 0, "series must be non-empty");
+        assert!(
+            series.iter().all(|s| s.len() == series_len),
+            "all series must have equal length"
+        );
+        let reprs = series.iter().map(|s| PiecewiseConstant::build(s, m, method)).collect();
+        Self { series_len, series, reprs }
+    }
+
+    /// Number of indexed series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Indexes are never built empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Length of every indexed series.
+    #[must_use]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// The raw series at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn series(&self, idx: usize) -> &[f64] {
+        &self.series[idx]
+    }
+
+    /// Range query: all series within Euclidean `radius` of `query`,
+    /// GEMINI-style (lower-bound pruning, then exact verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != series_len` or `radius < 0`.
+    #[must_use]
+    pub fn range_query(&self, query: &[f64], radius: f64) -> (Vec<usize>, SearchStats) {
+        assert_eq!(query.len(), self.series_len, "query length must match the index");
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let qp = PrefixSums::new(query);
+        let mut stats = SearchStats::default();
+        let mut out = Vec::new();
+        for (i, repr) in self.reprs.iter().enumerate() {
+            let lb = lower_bound_dist(&qp, repr);
+            if lb <= radius {
+                stats.candidates += 1;
+                let d = crate::euclidean(query, &self.series[i]);
+                if d <= radius {
+                    stats.answers += 1;
+                    out.push(i);
+                } else {
+                    stats.false_positives += 1;
+                }
+            } else {
+                stats.pruned += 1;
+            }
+        }
+        (out, stats)
+    }
+
+    /// Exact nearest neighbour of `query` with lower-bound pruning
+    /// (branch-and-bound over the representation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != series_len`.
+    #[must_use]
+    pub fn nearest(&self, query: &[f64]) -> (usize, f64, SearchStats) {
+        assert_eq!(query.len(), self.series_len, "query length must match the index");
+        let qp = PrefixSums::new(query);
+        // Sort candidates by lower bound so good matches verify early and
+        // tighten the pruning radius.
+        let mut order: Vec<(usize, f64)> = self
+            .reprs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, lower_bound_dist(&qp, r)))
+            .collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        let mut stats = SearchStats::default();
+        let mut best = (usize::MAX, f64::INFINITY);
+        for (i, lb) in order {
+            if lb >= best.1 {
+                stats.pruned += 1;
+                continue;
+            }
+            stats.candidates += 1;
+            let d = crate::euclidean(query, &self.series[i]);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        stats.answers = 1;
+        (best.0, best.1, stats)
+    }
+}
+
+/// Subsequence matching: index every stride-`step` window of length
+/// `window_len` from a long series (paper §5.2 also evaluates "subsequence
+/// time series matching").
+#[derive(Debug)]
+pub struct SubsequenceIndex {
+    /// Start offset of each indexed window in the original series.
+    offsets: Vec<usize>,
+    inner: SeriesIndex,
+}
+
+impl SubsequenceIndex {
+    /// Extracts the windows and builds the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len == 0`, `step == 0`, or the series is shorter
+    /// than one window.
+    #[must_use]
+    pub fn build(
+        series: &[f64],
+        window_len: usize,
+        step: usize,
+        m: usize,
+        method: ReprMethod,
+    ) -> Self {
+        assert!(window_len > 0, "window length must be positive");
+        assert!(step > 0, "step must be positive");
+        assert!(series.len() >= window_len, "series shorter than one window");
+        let mut offsets = Vec::new();
+        let mut windows = Vec::new();
+        let mut start = 0usize;
+        while start + window_len <= series.len() {
+            offsets.push(start);
+            windows.push(series[start..start + window_len].to_vec());
+            start += step;
+        }
+        Self { offsets, inner: SeriesIndex::build(windows, m, method) }
+    }
+
+    /// Number of indexed windows.
+    #[must_use]
+    pub fn num_windows(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Range query over windows; returns the matching **window start
+    /// offsets** plus the search stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len()` differs from the window length.
+    #[must_use]
+    pub fn range_query(&self, pattern: &[f64], radius: f64) -> (Vec<usize>, SearchStats) {
+        let (idxs, stats) = self.inner.range_query(pattern, radius);
+        (idxs.into_iter().map(|i| self.offsets[i]).collect(), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean;
+
+    fn collection() -> Vec<Vec<f64>> {
+        // Four base shapes + noise-free copies shifted in level.
+        let n = 32;
+        let mut out = Vec::new();
+        for k in 0..8 {
+            let series: Vec<f64> = (0..n)
+                .map(|i| {
+                    let base = ((i * (k + 2)) % 13) as f64;
+                    base + (k as f64) * 5.0
+                })
+                .collect();
+            out.push(series);
+        }
+        out
+    }
+
+    #[test]
+    fn range_query_has_no_false_dismissals() {
+        let coll = collection();
+        let query = coll[3].clone();
+        // Ground truth by linear scan.
+        let radius = 25.0;
+        let truth: Vec<usize> = coll
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| euclidean(&query, s) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        for method in [
+            ReprMethod::Apca,
+            ReprMethod::VOptimalApprox { eps: 0.2 },
+            ReprMethod::VOptimalExact,
+        ] {
+            let idx = SeriesIndex::build(coll.clone(), 4, method);
+            let (mut got, stats) = idx.range_query(&query, radius);
+            got.sort_unstable();
+            assert_eq!(got, truth, "{method:?}");
+            assert_eq!(stats.answers, truth.len());
+            assert_eq!(stats.candidates + stats.pruned, coll.len());
+        }
+    }
+
+    #[test]
+    fn self_query_returns_self() {
+        let coll = collection();
+        let idx = SeriesIndex::build(coll.clone(), 4, ReprMethod::VOptimalExact);
+        let (hits, _) = idx.range_query(&coll[5], 1e-9);
+        assert_eq!(hits, vec![5]);
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let coll = collection();
+        let query: Vec<f64> = coll[2].iter().map(|v| v + 0.5).collect();
+        let truth = coll
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, euclidean(&query, s)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        for method in [ReprMethod::Apca, ReprMethod::VOptimalExact] {
+            let idx = SeriesIndex::build(coll.clone(), 5, method);
+            let (i, d, _) = idx.nearest(&query);
+            assert_eq!(i, truth.0, "{method:?}");
+            assert!((d - truth.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn better_representations_prune_at_least_as_well_on_average() {
+        // Aggregate false positives over several queries: the exact
+        // V-optimal segmentation (minimal within-segment variance) should
+        // not produce more false positives than APCA overall.
+        let coll = collection();
+        let mut fp = std::collections::HashMap::new();
+        for method in [ReprMethod::Apca, ReprMethod::VOptimalExact] {
+            let idx = SeriesIndex::build(coll.clone(), 3, method);
+            let mut total = 0usize;
+            for q in &coll {
+                let query: Vec<f64> = q.iter().map(|v| v + 1.0).collect();
+                let (_, stats) = idx.range_query(&query, 20.0);
+                total += stats.false_positives;
+            }
+            fp.insert(format!("{method:?}"), total);
+        }
+        let apca = fp["Apca"];
+        let vopt = fp["VOptimalExact"];
+        assert!(vopt <= apca, "vopt FPs {vopt} > apca FPs {apca}");
+    }
+
+    #[test]
+    fn subsequence_matching_finds_planted_pattern() {
+        // A long noisy-ish series with a distinctive plateau planted at a
+        // known offset.
+        let mut series: Vec<f64> = (0..256).map(|i| ((i * 7) % 5) as f64).collect();
+        for v in series.iter_mut().skip(100).take(16) {
+            *v = 50.0;
+        }
+        let pattern = series[96..128].to_vec();
+        let idx = SubsequenceIndex::build(&series, 32, 4, 4, ReprMethod::VOptimalApprox {
+            eps: 0.1,
+        });
+        let (hits, stats) = idx.range_query(&pattern, 1.0);
+        assert!(hits.contains(&96), "hits {hits:?}");
+        assert!(stats.pruned > 0, "distant windows should be pruned");
+    }
+
+    #[test]
+    fn subsequence_window_extraction() {
+        let series: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let idx = SubsequenceIndex::build(&series, 8, 4, 2, ReprMethod::VOptimalExact);
+        assert_eq!(idx.num_windows(), 4); // offsets 0, 4, 8, 12
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_lengths_rejected() {
+        let _ = SeriesIndex::build(vec![vec![1.0, 2.0], vec![1.0]], 1, ReprMethod::Apca);
+    }
+}

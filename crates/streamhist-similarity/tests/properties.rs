@@ -1,0 +1,128 @@
+//! Property tests for the similarity substrate: the GEMINI lower-bounding
+//! contract (never exceed the true distance — no false dismissals), APCA
+//! structural validity, and search completeness against linear scan.
+
+use proptest::prelude::*;
+use streamhist_core::PrefixSums;
+use streamhist_similarity::{
+    apca, euclidean, lower_bound_dist, PiecewiseConstant, ReprMethod, SeriesIndex,
+};
+
+fn series_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100..100i64, len..=len)
+        .prop_map(|v| v.into_iter().map(|x| x as f64).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The load-bearing GEMINI property: for every representation method,
+    /// every budget, and every query, the lower bound never exceeds the
+    /// true Euclidean distance.
+    #[test]
+    fn lower_bound_never_exceeds_distance(
+        candidate in series_strategy(48),
+        query in series_strategy(48),
+        m in 1usize..12,
+    ) {
+        for method in [
+            ReprMethod::Apca,
+            ReprMethod::VOptimalApprox { eps: 0.3 },
+            ReprMethod::VOptimalExact,
+        ] {
+            let r = PiecewiseConstant::build(&candidate, m, method);
+            let lb = lower_bound_dist(&PrefixSums::new(&query), &r);
+            let d = euclidean(&query, &candidate);
+            prop_assert!(lb <= d + 1e-6, "{method:?} m={m}: lb {lb} > d {d}");
+        }
+    }
+
+    /// Tighter segmentations give tighter (larger) lower bounds on
+    /// average? Not guaranteed pointwise — but the bound of the exact
+    /// V-optimal repr is always valid and the representation SSE ordering
+    /// holds: exact <= approx <= (1 + eps) * exact.
+    #[test]
+    fn representation_sse_ordering(series in series_strategy(40), m in 1usize..8) {
+        let exact = PiecewiseConstant::build(&series, m, ReprMethod::VOptimalExact);
+        let eps = 0.3;
+        let approx =
+            PiecewiseConstant::build(&series, m, ReprMethod::VOptimalApprox { eps });
+        let apca_r = PiecewiseConstant::build(&series, m, ReprMethod::Apca);
+        let (se, sa, sk) = (exact.sse(&series), approx.sse(&series), apca_r.sse(&series));
+        prop_assert!(se <= sa + 1e-6, "exact {se} > approx {sa}");
+        prop_assert!(sa <= (1.0 + eps) * se + 1e-6, "approx {sa} > (1+eps)*{se}");
+        prop_assert!(se <= sk + 1e-6, "exact {se} > apca {sk}");
+    }
+
+    /// APCA structural validity for arbitrary data and budgets.
+    #[test]
+    fn apca_is_structurally_valid(series in series_strategy(33), m in 1usize..10) {
+        let h = apca(&series, m);
+        prop_assert!(h.num_buckets() <= m);
+        prop_assert_eq!(h.domain_len(), series.len());
+        for b in h.buckets() {
+            let mean: f64 = series[b.start..=b.end].iter().sum::<f64>() / b.len() as f64;
+            prop_assert!((b.height - mean).abs() < 1e-6);
+        }
+    }
+
+    /// Range search returns exactly the linear-scan answer set (soundness
+    /// and completeness), for every method.
+    #[test]
+    fn range_query_matches_linear_scan(
+        seeds in prop::collection::vec(0u64..1000, 3..12),
+        radius_scale in 1u32..40,
+    ) {
+        let len = 24;
+        let coll: Vec<Vec<f64>> = seeds
+            .iter()
+            .map(|&s| {
+                (0..len)
+                    .map(|i| (((i as u64 + 1) * (s + 3)) % 37) as f64)
+                    .collect()
+            })
+            .collect();
+        let query: Vec<f64> = coll[0].iter().map(|v| v + 1.0).collect();
+        let radius = radius_scale as f64;
+        let truth: Vec<usize> = coll
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| euclidean(&query, s) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        for method in [ReprMethod::Apca, ReprMethod::VOptimalExact] {
+            let idx = SeriesIndex::build(coll.clone(), 4, method);
+            let (mut got, stats) = idx.range_query(&query, radius);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &truth, "{:?}", method);
+            prop_assert_eq!(stats.answers, truth.len());
+            prop_assert_eq!(
+                stats.candidates + stats.pruned,
+                coll.len(),
+                "every series is either pruned or verified"
+            );
+        }
+    }
+
+    /// 1-NN with pruning equals the linear-scan nearest neighbour.
+    #[test]
+    fn nearest_matches_linear_scan(
+        seeds in prop::collection::vec(0u64..1000, 2..10),
+        qseed in 0u64..1000,
+    ) {
+        let len = 20;
+        let coll: Vec<Vec<f64>> = seeds
+            .iter()
+            .map(|&s| (0..len).map(|i| (((i as u64 + 2) * (s + 7)) % 41) as f64).collect())
+            .collect();
+        let query: Vec<f64> =
+            (0..len).map(|i| (((i as u64 + 2) * (qseed + 7)) % 41) as f64).collect();
+        let truth = coll
+            .iter()
+            .map(|s| euclidean(&query, s))
+            .fold(f64::INFINITY, f64::min);
+        let idx = SeriesIndex::build(coll, 4, ReprMethod::VOptimalExact);
+        let (_, d, _) = idx.nearest(&query);
+        prop_assert!((d - truth).abs() < 1e-9, "pruned 1-NN {d} vs scan {truth}");
+    }
+}

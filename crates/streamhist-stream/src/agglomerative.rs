@@ -1,0 +1,365 @@
+//! The agglomerative (whole-stream) algorithm — paper §4.3, Figure 3
+//! (originally Guha, Koudas & Shim, STOC 2001).
+//!
+//! For every level `k = 1 .. B−1` the algorithm maintains a queue of
+//! intervals covering the prefix indices seen so far, with the property
+//! (paper Eq. 4, for `δ = ε/(2B)`):
+//!
+//! ```text
+//! a_ℓ = b_{ℓ−1} + 1,   HERROR[b_ℓ, k] ≤ (1+δ)·HERROR[a_ℓ, k],   b_ℓ maximal
+//! ```
+//!
+//! On a new point `j`, `HERROR[j, k]` is (approximately) computed by
+//! minimizing only over the interval *endpoints* of the level `k−1` queue —
+//! `O((1/δ) log n)` candidates instead of `j−1`. The point then either
+//! extends the last interval of each queue or starts a new one. Prefix sums
+//! are stored only at interval endpoints, giving total space
+//! `O((B²/ε) log n)`.
+
+use crate::chain::Cut;
+use std::rc::Rc;
+use streamhist_core::Histogram;
+
+/// An interval endpoint retained in a queue: the point's index, the prefix
+/// sums through it (paper: "store the values SUM[j] and SQSUM[j]"), its
+/// approximate `HERROR` at this queue's level, and the boundary chain
+/// realizing that error.
+#[derive(Debug)]
+struct Endpoint {
+    idx: usize,
+    sum: f64,
+    sqsum: f64,
+    herror: f64,
+    chain: Rc<Cut>,
+}
+
+/// One queue interval `[a_ℓ, b_ℓ]`: we keep the `HERROR` at its start (the
+/// `(1+δ)` growth anchor) and the full endpoint record at its (advancing)
+/// end.
+#[derive(Debug)]
+struct Interval {
+    start_herror: f64,
+    end: Endpoint,
+}
+
+/// One-pass `(1+ε)`-approximate V-optimal histogram of an entire stream.
+///
+/// # Example
+///
+/// ```
+/// use streamhist_stream::AgglomerativeHistogram;
+///
+/// let mut agg = AgglomerativeHistogram::new(2, 0.1);
+/// for v in [10.0, 10.0, 10.0, 50.0, 50.0] {
+///     agg.push(v);
+/// }
+/// let h = agg.histogram();
+/// assert_eq!(h.bucket_ends(), vec![2, 4]); // split at the level change
+/// assert!(h.sse(&[10.0, 10.0, 10.0, 50.0, 50.0]) < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct AgglomerativeHistogram {
+    b: usize,
+    eps: f64,
+    delta: f64,
+    count: usize,
+    sum: f64,
+    sqsum: f64,
+    /// `queues[k-1]` is the interval queue for level `k` (`k = 1 ..= b−1`).
+    queues: Vec<Vec<Interval>>,
+    /// `(HERROR[j, B], chain)` for the most recent point `j`.
+    top: Option<(f64, Rc<Cut>)>,
+}
+
+impl AgglomerativeHistogram {
+    /// Creates the summary for at most `b` buckets and approximation
+    /// parameter `eps`, using the paper's interval growth factor
+    /// `δ = ε/(2B)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0` or `eps <= 0`.
+    #[must_use]
+    pub fn new(b: usize, eps: f64) -> Self {
+        assert!(b > 0, "need at least one bucket");
+        assert!(eps > 0.0, "eps must be positive");
+        Self::with_delta(b, eps, eps / (2.0 * b as f64))
+    }
+
+    /// Creates the summary with an explicit interval growth factor `delta`
+    /// (the ABL-DELTA ablation; the paper's Example 1 effectively uses
+    /// `delta = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`, `eps <= 0`, or `delta <= 0`.
+    #[must_use]
+    pub fn with_delta(b: usize, eps: f64, delta: f64) -> Self {
+        assert!(b > 0, "need at least one bucket");
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(delta > 0.0, "delta must be positive");
+        Self {
+            b,
+            eps,
+            delta,
+            count: 0,
+            sum: 0.0,
+            sqsum: 0.0,
+            queues: (1..b).map(|_| Vec::new()).collect(),
+            top: None,
+        }
+    }
+
+    /// Builds the summary by pushing every value of `data` (a convenience
+    /// for the offline Problem 2 use).
+    #[must_use]
+    pub fn from_slice(data: &[f64], b: usize, eps: f64) -> Self {
+        let mut agg = Self::new(b, eps);
+        for &v in data {
+            agg.push(v);
+        }
+        agg
+    }
+
+    /// The bucket budget `B`.
+    #[must_use]
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The approximation parameter `ε`.
+    #[must_use]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The interval growth factor `δ` in use.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of stream points consumed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether any points have been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Current interval-queue lengths per level (`B−1` entries) — the
+    /// space diagnostic bounded by `O((1/δ) log n)` per level.
+    #[must_use]
+    pub fn queue_sizes(&self) -> Vec<usize> {
+        self.queues.iter().map(Vec::len).collect()
+    }
+
+    /// The maintained estimate of `HERROR[n, B]`: the SSE the returned
+    /// histogram approximately achieves (within `(1+ε)` of optimal).
+    /// Returns 0 for an empty stream.
+    #[must_use]
+    pub fn sse_estimate(&self) -> f64 {
+        self.top.as_ref().map_or(0.0, |(h, _)| *h)
+    }
+
+    /// Consumes one stream point. Cost `O(B · q)` where `q` is the current
+    /// queue length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite (NaN/infinity would silently corrupt
+    /// the prefix sums and every later answer).
+    pub fn push(&mut self, v: f64) {
+        assert!(v.is_finite(), "stream values must be finite");
+        let idx = self.count;
+        self.count += 1;
+        self.sum += v;
+        self.sqsum += v * v;
+        let (sum, sqsum) = (self.sum, self.sqsum);
+
+        // HERROR[idx, k] and its realizing chain, for k = 1 ..= b.
+        let mut herrs: Vec<(f64, Rc<Cut>)> = Vec::with_capacity(self.b);
+        let h1 = (sqsum - sum * sum / self.count as f64).max(0.0);
+        herrs.push((h1, Cut::root(idx, sum)));
+        for k in 2..=self.b {
+            // Fewer buckets are always admissible (at-most-B semantics).
+            let (mut best, mut best_chain) = {
+                let (h, c) = &herrs[k - 2];
+                (*h, Rc::clone(c))
+            };
+            // Scan endpoints nearest-first: SQERROR[e+1, idx] is
+            // non-increasing in e.idx, so once it alone reaches `best`,
+            // every farther candidate is provably no better and the scan
+            // can stop without affecting the computed minimum.
+            for interval in self.queues[k - 2].iter().rev() {
+                let e = &interval.end;
+                debug_assert!(e.idx < idx);
+                let len = (idx - e.idx) as f64;
+                let s = sum - e.sum;
+                let q = sqsum - e.sqsum;
+                let sq = (q - s * s / len).max(0.0);
+                if sq >= best {
+                    break;
+                }
+                let val = e.herror + sq;
+                if val < best {
+                    best = val;
+                    best_chain = Cut::extend(&e.chain, idx, sum);
+                }
+            }
+            herrs.push((best, best_chain));
+        }
+
+        // Update the queues (paper Fig. 3 lines 7-10): start a new interval
+        // when the error has grown past the (1+δ) anchor, else advance the
+        // last interval's endpoint.
+        for k in 1..self.b {
+            let (h, chain) = {
+                let (h, c) = &herrs[k - 1];
+                (*h, Rc::clone(c))
+            };
+            let ep = Endpoint { idx, sum, sqsum, herror: h, chain };
+            let queue = &mut self.queues[k - 1];
+            match queue.last_mut() {
+                Some(last) if h <= (1.0 + self.delta) * last.start_herror => last.end = ep,
+                _ => queue.push(Interval { start_herror: h, end: ep }),
+            }
+        }
+
+        let (h, c) = &herrs[self.b - 1];
+        self.top = Some((*h, Rc::clone(c)));
+    }
+
+    /// Materializes the current `(1+ε)`-approximate B-histogram of
+    /// everything pushed so far. `O(B)` — the winning chain is maintained
+    /// incrementally.
+    #[must_use]
+    pub fn histogram(&self) -> Histogram {
+        match &self.top {
+            None => Histogram::new(0, Vec::new()).expect("empty domain is always valid"),
+            Some((_, chain)) => chain.into_histogram(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_yields_empty_histogram() {
+        let agg = AgglomerativeHistogram::new(3, 0.1);
+        assert!(agg.is_empty());
+        assert_eq!(agg.histogram().domain_len(), 0);
+        assert_eq!(agg.sse_estimate(), 0.0);
+    }
+
+    #[test]
+    fn single_point() {
+        let mut agg = AgglomerativeHistogram::new(3, 0.1);
+        agg.push(42.0);
+        let h = agg.histogram();
+        assert_eq!(h.domain_len(), 1);
+        assert_eq!(h.point(0), 42.0);
+        assert_eq!(agg.sse_estimate(), 0.0);
+    }
+
+    #[test]
+    fn one_bucket_budget_tracks_global_mean() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let mut agg = AgglomerativeHistogram::new(1, 0.5);
+        for &v in &data {
+            agg.push(v);
+        }
+        let h = agg.histogram();
+        assert_eq!(h.num_buckets(), 1);
+        assert!((h.buckets()[0].height - 2.5).abs() < 1e-12);
+        assert!((agg.sse_estimate() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_exact_two_level_split() {
+        let mut data = vec![7.0; 20];
+        data.extend(vec![90.0; 20]);
+        let agg = AgglomerativeHistogram::from_slice(&data, 2, 0.1);
+        let h = agg.histogram();
+        assert_eq!(h.bucket_ends(), vec![19, 39]);
+        assert!(h.sse(&data) < 1e-9);
+    }
+
+    #[test]
+    fn domain_tracks_stream_length() {
+        let mut agg = AgglomerativeHistogram::new(4, 0.2);
+        for i in 0..57 {
+            agg.push((i % 5) as f64);
+            assert_eq!(agg.histogram().domain_len(), i + 1);
+        }
+        assert_eq!(agg.len(), 57);
+    }
+
+    #[test]
+    fn respects_bucket_budget() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 31) % 19) as f64).collect();
+        for b in 1..=6 {
+            let agg = AgglomerativeHistogram::from_slice(&data, b, 0.1);
+            assert!(agg.histogram().num_buckets() <= b, "b={b}");
+        }
+    }
+
+    #[test]
+    fn sse_estimate_upper_bounds_realized_sse() {
+        // The maintained HERROR value must be >= the SSE the materialized
+        // chain actually achieves (the chain-soundness invariant).
+        let data: Vec<f64> = (0..200).map(|i| ((i * 17 + 3) % 23) as f64).collect();
+        for b in [2, 3, 5] {
+            for eps in [0.05, 0.2, 1.0] {
+                let agg = AgglomerativeHistogram::from_slice(&data, b, eps);
+                let realized = agg.histogram().sse(&data);
+                assert!(
+                    realized <= agg.sse_estimate() + 1e-6,
+                    "b={b} eps={eps}: realized {realized} > estimate {}",
+                    agg.sse_estimate()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queue_sizes_stay_sublinear_on_smooth_data() {
+        // A slowly growing sequence: HERROR grows steadily, so queue sizes
+        // should be far below n.
+        let data: Vec<f64> = (0..2000).map(|i| (i as f64).sqrt()).collect();
+        let agg = AgglomerativeHistogram::from_slice(&data, 4, 0.5);
+        for (k, qs) in agg.queue_sizes().iter().enumerate() {
+            assert!(*qs < 400, "level {k} queue has {qs} intervals for n=2000");
+        }
+    }
+
+    #[test]
+    fn monotone_improvement_with_more_buckets() {
+        let data: Vec<f64> = (0..150).map(|i| ((i * 7) % 13) as f64 + (i / 50) as f64 * 40.0).collect();
+        let mut last = f64::INFINITY;
+        for b in 1..=6 {
+            let agg = AgglomerativeHistogram::from_slice(&data, b, 0.1);
+            let sse = agg.histogram().sse(&data);
+            assert!(sse <= last * 1.05 + 1e-9, "b={b}: {sse} vs {last}");
+            last = last.min(sse);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let _ = AgglomerativeHistogram::new(0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn zero_eps_rejected() {
+        let _ = AgglomerativeHistogram::new(2, 0.0);
+    }
+}

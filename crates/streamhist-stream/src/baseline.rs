@@ -1,0 +1,173 @@
+//! The naive sliding-window baseline: re-run the exact `O(n²B)` dynamic
+//! program on the buffered window for every histogram request.
+//!
+//! This is the strawman of paper §3: "a naive application of the optimal
+//! histogram construction algorithm to each subsequence of length n in the
+//! stream will result in an incremental algorithm that requires O(n²) time
+//! per new data item" (with the `O(n)`-space prefix-sum trick). It provides
+//! the exact-optimal accuracy reference for the sliding-window experiments
+//! and the time baseline the fixed-window algorithm is measured against.
+
+// DP split-point loops index parallel arrays.
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::VecDeque;
+use streamhist_core::{Histogram, PrefixSums};
+
+/// Sliding-window *exact* V-optimal histograms via per-request DP.
+#[derive(Debug)]
+pub struct NaiveSlidingWindow {
+    capacity: usize,
+    b: usize,
+    window: VecDeque<f64>,
+}
+
+impl NaiveSlidingWindow {
+    /// Creates an empty window of `capacity` points with bucket budget `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `b == 0`.
+    #[must_use]
+    pub fn new(capacity: usize, b: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(b > 0, "need at least one bucket");
+        Self { capacity, b, window: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Window capacity `n`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The bucket budget `B`.
+    #[must_use]
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// Number of points currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The raw window contents, oldest first.
+    #[must_use]
+    pub fn window(&self) -> Vec<f64> {
+        self.window.iter().copied().collect()
+    }
+
+    /// Consumes one point, evicting the oldest when full. `O(1)`.
+    pub fn push(&mut self, v: f64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(v);
+    }
+
+    /// Runs the exact DP on the buffered window. `O(n²B)`.
+    #[must_use]
+    pub fn histogram(&self) -> Histogram {
+        let data = self.window();
+        // Inline the optimal DP rather than depending on streamhist-optimal,
+        // keeping the crate graph acyclic (optimal is a dev-dependency for
+        // the approximation-ratio tests).
+        optimal_dp(&data, self.b)
+    }
+
+    /// Pushes one point and re-solves the window exactly.
+    #[must_use]
+    pub fn push_and_build(&mut self, v: f64) -> Histogram {
+        self.push(v);
+        self.histogram()
+    }
+}
+
+/// Exact V-optimal DP (at-most-`b` buckets), value + reconstruction.
+///
+/// Identical in spirit to `streamhist_optimal::optimal_histogram`; kept
+/// private here to avoid a dependency cycle. The cross-crate equivalence is
+/// asserted by the property tests in `tests/approximation.rs`.
+fn optimal_dp(data: &[f64], b: usize) -> Histogram {
+    if data.is_empty() {
+        return Histogram::new(0, Vec::new()).expect("empty domain is always valid");
+    }
+    let n = data.len();
+    let b = b.min(n);
+    let prefix = PrefixSums::new(data);
+    let mut herror: Vec<f64> = (0..=n)
+        .map(|j| if j == 0 { 0.0 } else { prefix.sqerror(0, j - 1) })
+        .collect();
+    let mut back = vec![vec![0usize; n + 1]; b];
+    for k in 1..b {
+        let prev = herror.clone();
+        for j in 1..=n {
+            let mut best = prev[j];
+            let mut best_i = back[k - 1][j];
+            for i in 1..j {
+                let cand = prev[i] + prefix.sqerror(i, j - 1);
+                if cand < best {
+                    best = cand;
+                    best_i = i;
+                }
+            }
+            herror[j] = best;
+            back[k][j] = best_i;
+        }
+    }
+    let mut ends = Vec::with_capacity(b);
+    let mut j = n;
+    let mut k = b - 1;
+    loop {
+        ends.push(j - 1);
+        let i = back[k][j];
+        if i == 0 {
+            break;
+        }
+        j = i;
+        k = k.saturating_sub(1);
+    }
+    ends.reverse();
+    Histogram::from_bucket_ends(data, &ends)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_exact_optimum_per_window() {
+        let data: Vec<f64> = (0..40).map(|i| ((i * 7) % 11) as f64).collect();
+        let mut w = NaiveSlidingWindow::new(8, 3);
+        for &v in &data {
+            let h = w.push_and_build(v);
+            assert!(h.num_buckets() <= 3);
+            assert_eq!(h.domain_len(), w.len());
+        }
+    }
+
+    #[test]
+    fn perfect_fit_when_b_at_least_regimes() {
+        let mut w = NaiveSlidingWindow::new(6, 2);
+        for v in [1.0, 1.0, 1.0, 8.0, 8.0, 8.0] {
+            w.push(v);
+        }
+        let h = w.histogram();
+        assert_eq!(h.bucket_ends(), vec![2, 5]);
+        assert!(h.sse(&w.window()) < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_histogram() {
+        let w = NaiveSlidingWindow::new(4, 2);
+        assert_eq!(w.histogram().domain_len(), 0);
+    }
+}

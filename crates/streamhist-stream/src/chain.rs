@@ -1,0 +1,144 @@
+//! Bucket-boundary chains shared by the streaming algorithms.
+//!
+//! Both streaming algorithms must reconstruct the winning bucket boundaries
+//! at the end of the dynamic program, but the program is evaluated sparsely
+//! (only at interval endpoints), so each endpoint entry carries the chain of
+//! boundaries realizing its (approximate) `HERROR` value. Chains are shared
+//! structurally via `Rc` — extending a solution by one bucket is `O(1)` and
+//! the queues collectively hold `O(B · q)` nodes.
+
+use std::rc::Rc;
+use streamhist_core::{Bucket, Histogram};
+
+/// One node of a boundary chain: the inclusive end index of a bucket, the
+/// prefix sum of values through that index (used to derive mean heights
+/// without re-reading data), and the rest of the chain toward index 0.
+#[derive(Debug)]
+pub(crate) struct Cut {
+    /// Inclusive end index of this bucket.
+    pub end: usize,
+    /// Sum of values over `[0, end]`.
+    pub sum_through: f64,
+    /// The chain for the preceding buckets (`None` when this is the first
+    /// bucket, covering `[0, end]`).
+    pub prev: Option<Rc<Cut>>,
+}
+
+impl Cut {
+    /// A single-bucket chain covering `[0, end]`.
+    pub fn root(end: usize, sum_through: f64) -> Rc<Self> {
+        Rc::new(Self { end, sum_through, prev: None })
+    }
+
+    /// Extends `prev` with a bucket ending at `end`.
+    pub fn extend(prev: &Rc<Cut>, end: usize, sum_through: f64) -> Rc<Self> {
+        debug_assert!(prev.end < end, "chain ends must strictly increase");
+        Rc::new(Self { end, sum_through, prev: Some(Rc::clone(prev)) })
+    }
+
+    /// Number of buckets in the chain.
+    #[cfg(test)]
+    pub fn len(self: &Rc<Self>) -> usize {
+        let mut n = 1;
+        let mut cur = self;
+        while let Some(p) = &cur.prev {
+            n += 1;
+            cur = p;
+        }
+        n
+    }
+
+    /// Returns a copy of the chain truncated to cuts strictly below
+    /// `below`, or `None` if no cut survives.
+    ///
+    /// Used by the fixed-window algorithm's straddling-interval candidate
+    /// (see `fixed_window.rs`): an endpoint chain describing `[0, e]` with
+    /// `e >= c` must be converted into a valid partition of a shorter
+    /// prefix. Truncation never increases the realized SSE of the retained
+    /// region because dropping a suffix only removes buckets, and clipping
+    /// the straddling bucket to a sub-range cannot increase its SSE.
+    pub fn truncate_below(self: &Rc<Self>, below: usize) -> Option<Rc<Cut>> {
+        let mut cur = self;
+        loop {
+            if cur.end < below {
+                return Some(Rc::clone(cur));
+            }
+            match &cur.prev {
+                Some(p) => cur = p,
+                None => return None,
+            }
+        }
+    }
+
+    /// Materializes the chain into a [`Histogram`] over `[0, self.end]`,
+    /// deriving each bucket's height as the mean of its values from the
+    /// stored prefix sums.
+    pub fn into_histogram(self: &Rc<Self>) -> Histogram {
+        let mut cuts: Vec<(usize, f64)> = Vec::new();
+        let mut cur = Some(self);
+        while let Some(c) = cur {
+            cuts.push((c.end, c.sum_through));
+            cur = c.prev.as_ref();
+        }
+        cuts.reverse();
+        let mut buckets = Vec::with_capacity(cuts.len());
+        let mut prev_end_plus1 = 0usize;
+        let mut prev_sum = 0.0f64;
+        for (end, sum_through) in cuts {
+            let len = (end + 1 - prev_end_plus1) as f64;
+            buckets.push(Bucket::new(prev_end_plus1, end, (sum_through - prev_sum) / len));
+            prev_end_plus1 = end + 1;
+            prev_sum = sum_through;
+        }
+        let domain_len = self.end + 1;
+        Histogram::new(domain_len, buckets).expect("chains always tile the prefix")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_chain_is_single_bucket() {
+        let c = Cut::root(4, 10.0);
+        let h = c.into_histogram();
+        assert_eq!(h.num_buckets(), 1);
+        assert_eq!(h.buckets()[0].height, 2.0);
+        assert_eq!(h.domain_len(), 5);
+    }
+
+    #[test]
+    fn extend_builds_mean_heights_from_prefix_sums() {
+        // data: [1, 1, 4, 4, 4] -> cuts at 1 (sum 2) and 4 (sum 14)
+        let c = Cut::extend(&Cut::root(1, 2.0), 4, 14.0);
+        let h = c.into_histogram();
+        assert_eq!(h.bucket_ends(), vec![1, 4]);
+        assert_eq!(h.buckets()[0].height, 1.0);
+        assert_eq!(h.buckets()[1].height, 4.0);
+    }
+
+    #[test]
+    fn chain_len_counts_buckets() {
+        let c = Cut::extend(&Cut::extend(&Cut::root(0, 1.0), 2, 3.0), 5, 9.0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn truncate_below_keeps_strictly_smaller_cuts() {
+        let c = Cut::extend(&Cut::extend(&Cut::root(1, 2.0), 3, 6.0), 7, 20.0);
+        assert_eq!(c.truncate_below(7).map(|t| t.end), Some(3));
+        assert_eq!(c.truncate_below(4).map(|t| t.end), Some(3));
+        assert_eq!(c.truncate_below(3).map(|t| t.end), Some(1));
+        assert_eq!(c.truncate_below(1).map(|t| t.end), None);
+        assert_eq!(c.truncate_below(0).map(|t| t.end), None);
+    }
+
+    #[test]
+    fn sharing_is_structural() {
+        let base = Cut::root(0, 1.0);
+        let a = Cut::extend(&base, 3, 4.0);
+        let b = Cut::extend(&base, 5, 6.0);
+        assert!(Rc::ptr_eq(a.prev.as_ref().expect("has prev"), b.prev.as_ref().expect("has prev")));
+    }
+}

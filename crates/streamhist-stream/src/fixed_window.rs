@@ -1,0 +1,516 @@
+//! The fixed-window (sliding-window) algorithm — paper §4.5, Figure 5.
+//!
+//! The agglomerative queues cannot survive a window slide: "if we have a
+//! good approximation by intervals of a function, it does not necessarily
+//! approximate the same function if the function is shifted by a constant
+//! amount" (paper §4.4, Figure 4). The fixed-window algorithm therefore
+//! keeps only `O(1)`-amortized per-push state — a circular buffer plus the
+//! sliding prefix sums `SUM'`/`SQSUM'` — and rebuilds the interval lists
+//! *lazily and sparsely* whenever a histogram is requested, via the
+//! recursive `CreateList[a, b, k]` procedure:
+//!
+//! * `CreateList` covers `[0, m)` with intervals inside which the
+//!   `(≤k)`-bucket error `HERROR[·, k]` grows by at most `(1+δ)`; the next
+//!   interval endpoint is located by **binary search** over the monotone
+//!   `HERROR[·, k]`, so only `O(q · log n)` positions are ever evaluated
+//!   (`q` = interval count), never the whole buffer.
+//! * Each `HERROR[c, k]` evaluation minimizes over the level `k−1` interval
+//!   endpoints (plus the single-bucket candidate, plus a clipped candidate
+//!   for the interval straddling `c` — see `herror_eval`).
+//!
+//! Total per materialization: `O((B³/ε²) log³ n)` (paper Theorem 1).
+
+use crate::chain::Cut;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use streamhist_core::{Histogram, SlidingPrefixSums, WindowSums};
+
+/// Interval endpoint for one level: index, approximate `HERROR`, and the
+/// boundary chain realizing it. (Sums are not stored per endpoint — the
+/// sliding prefix arrays answer them in `O(1)`.)
+#[derive(Debug)]
+struct Endpoint {
+    idx: usize,
+    herror: f64,
+    chain: Rc<Cut>,
+}
+
+/// Diagnostics from one histogram materialization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildStats {
+    /// Interval count per level queue (`B−1` entries); the paper bounds
+    /// each by `O(δ⁻¹ log n)` with "hidden constant about 3".
+    pub queue_sizes: Vec<usize>,
+    /// Number of `HERROR[c, k]` evaluations performed.
+    pub herror_evals: usize,
+    /// Number of binary searches performed (one per interval created).
+    pub binary_searches: usize,
+    /// The final (approximate) `HERROR[n, B]` of the returned histogram.
+    pub herror: f64,
+}
+
+/// Sliding-window `(1+ε)`-approximate V-optimal histogram over the last
+/// `n` stream points (paper §4.5).
+///
+/// [`push`](Self::push) is amortized `O(1)`;
+/// [`histogram`](Self::histogram) runs `CreateList` and costs
+/// `O((B³/ε²) log³ n)`. [`push_and_build`](Self::push_and_build) performs
+/// both, which is the paper's per-point maintenance loop.
+///
+/// # Example
+///
+/// ```
+/// use streamhist_stream::FixedWindowHistogram;
+///
+/// // Paper §4.5 Example 1: window of 8, B = 2, δ = 1.
+/// let mut fw = FixedWindowHistogram::with_delta(8, 2, 1.0, 1.0);
+/// for v in [100.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0] {
+///     fw.push(v);
+/// }
+/// // Window is now 0,0,0,1,1,1,1,1 — the optimum splits after the zeros.
+/// let h = fw.histogram();
+/// assert_eq!(h.bucket_ends(), vec![2, 7]);
+/// ```
+#[derive(Debug)]
+pub struct FixedWindowHistogram {
+    b: usize,
+    eps: f64,
+    delta: f64,
+    prefix: SlidingPrefixSums,
+    raw: VecDeque<f64>,
+    total_pushed: u64,
+}
+
+impl FixedWindowHistogram {
+    /// Creates a summary over a window of `capacity` points, at most `b`
+    /// buckets, approximation `eps`, with the paper's `δ = ε/(2B)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`, `b == 0`, or `eps <= 0`.
+    #[must_use]
+    pub fn new(capacity: usize, b: usize, eps: f64) -> Self {
+        assert!(b > 0, "need at least one bucket");
+        assert!(eps > 0.0, "eps must be positive");
+        Self::with_delta(capacity, b, eps, eps / (2.0 * b as f64))
+    }
+
+    /// Creates a summary with an explicit interval growth factor `delta`
+    /// (ABL-DELTA ablation; the paper's Example 1 uses `delta = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`, `b == 0`, `eps <= 0`, or `delta <= 0`.
+    #[must_use]
+    pub fn with_delta(capacity: usize, b: usize, eps: f64, delta: f64) -> Self {
+        assert!(b > 0, "need at least one bucket");
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(delta > 0.0, "delta must be positive");
+        Self {
+            b,
+            eps,
+            delta,
+            prefix: SlidingPrefixSums::new(capacity),
+            raw: VecDeque::with_capacity(capacity),
+            total_pushed: 0,
+        }
+    }
+
+    /// Overrides the prefix-sum rebase period (ABL-REBASE ablation; the
+    /// paper rebases every `n` pushes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`Self::new`] or if
+    /// `rebase_period == 0`.
+    #[must_use]
+    pub fn with_rebase_period(capacity: usize, b: usize, eps: f64, rebase_period: usize) -> Self {
+        let mut fw = Self::new(capacity, b, eps);
+        fw.prefix = SlidingPrefixSums::with_rebase_period(capacity, rebase_period);
+        fw
+    }
+
+    /// Window capacity `n`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.prefix.capacity()
+    }
+
+    /// The bucket budget `B`.
+    #[must_use]
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The approximation parameter `ε`.
+    #[must_use]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The interval growth factor `δ` in use.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of points currently in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Whether the window is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.raw.len() == self.prefix.capacity()
+    }
+
+    /// Total number of points ever pushed.
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// The raw window contents, oldest first (used by harnesses to compute
+    /// exact query answers).
+    #[must_use]
+    pub fn window(&self) -> Vec<f64> {
+        self.raw.iter().copied().collect()
+    }
+
+    /// Consumes one point, evicting the oldest when full. Amortized `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite (NaN/infinity would silently corrupt
+    /// the prefix sums and every later answer).
+    pub fn push(&mut self, v: f64) {
+        assert!(v.is_finite(), "stream values must be finite");
+        if self.raw.len() == self.prefix.capacity() {
+            self.raw.pop_front();
+        }
+        self.raw.push_back(v);
+        self.prefix.push(v);
+        self.total_pushed += 1;
+    }
+
+    /// Pushes one point and materializes the histogram of the new window —
+    /// the paper's per-point maintenance step.
+    #[must_use]
+    pub fn push_and_build(&mut self, v: f64) -> Histogram {
+        self.push(v);
+        self.histogram()
+    }
+
+    /// Materializes the `(1+ε)`-approximate B-histogram of the current
+    /// window contents. `O((B³/ε²) log³ n)` (paper Theorem 1).
+    #[must_use]
+    pub fn histogram(&self) -> Histogram {
+        self.histogram_with_stats().0
+    }
+
+    /// Like [`Self::histogram`], also returning build diagnostics.
+    #[must_use]
+    pub fn histogram_with_stats(&self) -> (Histogram, BuildStats) {
+        build_from_sums(&self.prefix, self.b, self.delta)
+    }
+}
+
+/// Runs the full `CreateList` construction (paper Fig. 5) against any
+/// window-sum source: the interval lists are built bottom-up for each
+/// level `k = 1 .. B−1`, then the level-`B` minimization at the window end
+/// produces the histogram. Shared by the count-based
+/// [`FixedWindowHistogram`] and the time-based
+/// [`crate::TimeWindowHistogram`].
+pub(crate) fn build_from_sums<W: WindowSums>(
+    sums: &W,
+    b: usize,
+    delta: f64,
+) -> (Histogram, BuildStats) {
+    let m = sums.len();
+    let mut stats = BuildStats {
+        queue_sizes: Vec::new(),
+        herror_evals: 0,
+        binary_searches: 0,
+        herror: 0.0,
+    };
+    if m == 0 {
+        return (Histogram::new(0, Vec::new()).expect("empty domain is always valid"), stats);
+    }
+    let mut builder = Builder {
+        prefix: sums,
+        delta,
+        queues: Vec::with_capacity(b.saturating_sub(1)),
+        evals: 0,
+        searches: 0,
+    };
+    for k in 1..b {
+        let q = builder.create_list(k, m);
+        builder.queues.push(q);
+    }
+    let (herror, chain) = builder.herror_eval(m - 1, b);
+    stats.queue_sizes = builder.queues.iter().map(Vec::len).collect();
+    stats.herror_evals = builder.evals;
+    stats.binary_searches = builder.searches;
+    stats.herror = herror;
+    (chain.into_histogram(), stats)
+}
+
+/// Transient state for one materialization.
+struct Builder<'a, W: WindowSums> {
+    prefix: &'a W,
+    delta: f64,
+    /// `queues[k-1]` is the finished queue for level `k`, as the ordered
+    /// list of interval endpoints (interval starts are implicit: each
+    /// interval begins one past the previous endpoint).
+    queues: Vec<Vec<Endpoint>>,
+    evals: usize,
+    searches: usize,
+}
+
+impl<W: WindowSums> Builder<'_, W> {
+    /// Approximate `HERROR[c, k]` (window-relative, 0-based `c`): the
+    /// minimum SSE of representing `window[0..=c]` with at most `k`
+    /// buckets, together with a boundary chain whose realized SSE never
+    /// exceeds the returned value.
+    ///
+    /// Candidates:
+    /// 1. the single bucket `[0, c]` (the `i = −1` split);
+    /// 2. every level-`k−1` endpoint `e` with `e.idx < c`, costed as
+    ///    `HERROR[e, k−1] + SQERROR[e+1, c]`;
+    /// 3. for the first level-`k−1` interval whose endpoint is at or past
+    ///    `c` (the interval *straddling* the query position), the split
+    ///    `i = c−1`: its true `HERROR[c−1, k−1]` is not stored, but the
+    ///    queue invariant bounds it by the interval's endpoint error, and
+    ///    the final bucket `{c}` costs 0 — so `e.herror` itself is a sound
+    ///    upper-bound candidate. Its chain is the endpoint chain clipped
+    ///    below `c−1` (clipping a bucket to a sub-range cannot increase its
+    ///    SSE, so chain soundness is preserved).
+    ///
+    /// Without candidate 3 the approximation guarantee breaks whenever the
+    /// true split falls inside a straddling interval, because candidates 2
+    /// stop one full interval short of `c`.
+    fn herror_eval(&mut self, c: usize, k: usize) -> (f64, Rc<Cut>) {
+        self.evals += 1;
+        let sum0c = self.prefix.range_sum(0, c);
+        let mut best = self.prefix.sqerror(0, c);
+        let mut best_chain = Cut::root(c, sum0c);
+        if k >= 2 {
+            let queue = &self.queues[k - 2];
+            // Endpoints are sorted by index; p = first endpoint at or past c.
+            let p = queue.partition_point(|e| e.idx < c);
+            // Straddling interval (needs c >= 1; for c == 0 the
+            // single-bucket candidate is the whole search space).
+            if let Some(e) = queue.get(p) {
+                if c >= 1 && e.herror < best {
+                    best = e.herror;
+                    let sum_prev = self.prefix.range_sum(0, c - 1);
+                    let clipped = match e.chain.truncate_below(c - 1) {
+                        Some(t) => Cut::extend(&t, c - 1, sum_prev),
+                        None => Cut::root(c - 1, sum_prev),
+                    };
+                    best_chain = Cut::extend(&clipped, c, sum0c);
+                }
+            }
+            // Scan regular candidates nearest-first: SQERROR[e+1, c] is
+            // non-increasing in e.idx, so once it alone reaches `best`,
+            // every farther candidate is provably no better and the scan
+            // can stop without affecting the computed minimum.
+            for e in queue[..p].iter().rev() {
+                let sq = self.prefix.sqerror(e.idx + 1, c);
+                if sq >= best {
+                    break;
+                }
+                let val = e.herror + sq;
+                if val < best {
+                    best = val;
+                    best_chain = Cut::extend(&e.chain, c, sum0c);
+                }
+            }
+        }
+        (best, best_chain)
+    }
+
+    /// `CreateList[0, m−1, k]` (paper Fig. 5), iteratively: cover `[0, m)`
+    /// with maximal intervals inside which `HERROR[·, k]` stays within a
+    /// `(1+δ)` factor of its value at the interval start, locating each
+    /// endpoint by binary search.
+    fn create_list(&mut self, k: usize, m: usize) -> Vec<Endpoint> {
+        let mut queue: Vec<Endpoint> = Vec::new();
+        let mut a = 0usize;
+        while a < m {
+            let (t, chain_a) = self.herror_eval(a, k);
+            let threshold = (1.0 + self.delta) * t;
+            // Binary search for the maximal c in [a, m-1] with
+            // HERROR[c, k] <= threshold. HERROR[a, k] = t qualifies, so the
+            // loop invariant "lo qualifies" holds from the start.
+            self.searches += 1;
+            let mut lo = a;
+            let mut hi = m - 1;
+            let mut lo_val: (f64, Rc<Cut>) = (t, chain_a);
+            while lo < hi {
+                let mid = lo + (hi - lo).div_ceil(2);
+                let hv = self.herror_eval(mid, k);
+                if hv.0 <= threshold {
+                    lo = mid;
+                    lo_val = hv;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            queue.push(Endpoint { idx: lo, herror: lo_val.0, chain: lo_val.1 });
+            a = lo + 1;
+        }
+        queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs the full paper Example 1 (§4.5) and checks the interval
+    /// structure and final histogram against the worked values.
+    #[test]
+    fn paper_example_1_interval_structure() {
+        let mut fw = FixedWindowHistogram::with_delta(8, 2, 1.0, 1.0);
+        for v in [100.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0] {
+            fw.push(v);
+        }
+        // Window = 100,0,0,0,1,1,1,1. Paper: level-1 intervals (1,1),(2,8)
+        // in 1-based indexing -> endpoints {0, 7} 0-based.
+        let (h, stats) = fw.histogram_with_stats();
+        assert_eq!(stats.queue_sizes, vec![2]);
+        // Optimal B=2 split isolates the 100; second bucket is 0,0,0,1,1,1,1
+        // with mean 4/7, so the optimal SSE is 84/49.
+        assert_eq!(h.bucket_ends(), vec![0, 7]);
+        assert!((stats.herror - 84.0 / 49.0).abs() < 1e-9);
+
+        // Slide: drop the 100, insert a trailing 1.
+        fw.push(1.0);
+        let (h2, stats2) = fw.histogram_with_stats();
+        // Paper: endpoints become 3, 6, 8 (1-based) -> {2, 5, 7} 0-based,
+        // i.e. intervals (1,3),(4,6),(7,8).
+        assert_eq!(stats2.queue_sizes, vec![3]);
+        // "we will minimize over the partition being at 3 or 6 and compute
+        // the right solution to be (1,3),(4,8)" -> 0-based ends {2, 7}.
+        assert_eq!(h2.bucket_ends(), vec![2, 7]);
+        assert_eq!(stats2.herror, 0.0);
+        let window = fw.window();
+        assert!(h2.sse(&window) < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_windows() {
+        let mut fw = FixedWindowHistogram::new(4, 3, 0.1);
+        assert!(fw.is_empty());
+        assert_eq!(fw.histogram().domain_len(), 0);
+        fw.push(5.0);
+        let h = fw.histogram();
+        assert_eq!(h.domain_len(), 1);
+        assert_eq!(h.point(0), 5.0);
+    }
+
+    #[test]
+    fn window_slides_and_domain_is_capped() {
+        let mut fw = FixedWindowHistogram::new(4, 2, 0.5);
+        for i in 0..10 {
+            fw.push(i as f64);
+            assert_eq!(fw.len(), (i + 1).min(4));
+            assert_eq!(fw.histogram().domain_len(), fw.len());
+        }
+        assert_eq!(fw.window(), vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(fw.total_pushed(), 10);
+    }
+
+    #[test]
+    fn b_one_returns_window_mean() {
+        let mut fw = FixedWindowHistogram::new(4, 1, 0.5);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            fw.push(v);
+        }
+        let h = fw.histogram();
+        assert_eq!(h.num_buckets(), 1);
+        assert!((h.buckets()[0].height - 3.5).abs() < 1e-12); // mean of 2..=5
+    }
+
+    #[test]
+    fn herror_upper_bounds_realized_sse() {
+        let data: Vec<f64> = (0..300).map(|i| ((i * 13 + 7) % 31) as f64).collect();
+        let mut fw = FixedWindowHistogram::new(64, 4, 0.2);
+        for (i, &v) in data.iter().enumerate() {
+            fw.push(v);
+            if i % 17 == 0 {
+                let (h, stats) = fw.histogram_with_stats();
+                let realized = h.sse(&fw.window());
+                assert!(
+                    realized <= stats.herror + 1e-6,
+                    "i={i}: realized {realized} > herror {}",
+                    stats.herror
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_bucket_budget_across_slides() {
+        let data: Vec<f64> = (0..200).map(|i| ((i * 29) % 17) as f64).collect();
+        let mut fw = FixedWindowHistogram::new(32, 5, 0.1);
+        for &v in &data {
+            let h = fw.push_and_build(v);
+            assert!(h.num_buckets() <= 5);
+            assert_eq!(h.domain_len(), fw.len());
+        }
+    }
+
+    #[test]
+    fn exact_on_piecewise_constant_window() {
+        // Window with at most 3 level regimes must be represented exactly
+        // when B >= 3.
+        let mut fw = FixedWindowHistogram::new(12, 3, 0.1);
+        for v in [5.0, 5.0, 5.0, 9.0, 9.0, 9.0, 9.0, 2.0, 2.0, 2.0, 2.0, 2.0] {
+            fw.push(v);
+        }
+        let h = fw.histogram();
+        assert!(h.sse(&fw.window()) < 1e-12);
+        assert_eq!(h.bucket_ends(), vec![2, 6, 11]);
+    }
+
+    #[test]
+    fn build_stats_report_work_done() {
+        let mut fw = FixedWindowHistogram::new(64, 3, 0.2);
+        for i in 0..64 {
+            fw.push(((i * 7) % 23) as f64);
+        }
+        let (_, stats) = fw.histogram_with_stats();
+        assert_eq!(stats.queue_sizes.len(), 2);
+        assert!(stats.queue_sizes.iter().all(|&q| q >= 1));
+        assert!(stats.binary_searches >= stats.queue_sizes.iter().sum::<usize>());
+        assert!(stats.herror_evals > 0);
+    }
+
+    #[test]
+    fn rebase_period_does_not_change_results() {
+        let data: Vec<f64> = (0..150).map(|i| ((i * 11 + 3) % 19) as f64).collect();
+        let mut a = FixedWindowHistogram::new(32, 3, 0.2);
+        let mut b = FixedWindowHistogram::with_rebase_period(32, 3, 0.2, 5);
+        for &v in &data {
+            let ha = a.push_and_build(v);
+            let hb = b.push_and_build(v);
+            assert_eq!(ha.bucket_ends(), hb.bucket_ends());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = FixedWindowHistogram::new(0, 2, 0.1);
+    }
+}

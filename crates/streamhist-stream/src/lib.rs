@@ -1,0 +1,63 @@
+//! # streamhist-stream
+//!
+//! One-pass `(1+ε)`-approximate V-optimal histogram construction over data
+//! streams — the primary contribution of *Guha & Koudas, "Approximating a
+//! Data Stream for Querying and Estimation" (ICDE 2002)* and its companion
+//! *Guha, Koudas & Shim, "Data Streams and Histograms" (STOC 2001)*.
+//!
+//! Two stream models (paper §3, Figure 1):
+//!
+//! * [`AgglomerativeHistogram`] — summarizes the **entire stream** seen so
+//!   far (paper §4.3, Figure 3). Per-point cost `O(B · q)` where `q` is the
+//!   interval-queue length, bounded by `O((B/ε) log n)`; total time
+//!   `O((n B²/ε) log n)` and space `O((B²/ε) log n)`.
+//! * [`FixedWindowHistogram`] — summarizes the **last `n` points** (paper
+//!   §4.5, Figure 5), the paper's headline algorithm. Pushes are amortized
+//!   `O(1)` (circular buffer + sliding prefix sums); materializing the
+//!   histogram runs the `CreateList` procedure, which rebuilds the interval
+//!   queues via binary search over the monotone `HERROR[·, k]` in
+//!   `O((B³/ε²) log³ n)` (paper Theorem 1).
+//!
+//! Both algorithms share the same skeleton: for every bucket-count level
+//! `k < B` they maintain a queue of index intervals such that the
+//! `(≤k)`-bucket error `HERROR[·, k]` grows by at most a factor `(1+δ)`,
+//! `δ = ε/(2B)`, across each interval. Dynamic-programming minimizations are
+//! then evaluated only at the `O((1/δ) log n)` interval endpoints instead of
+//! at all `n` positions (paper §4.2.1).
+//!
+//! [`NaiveSlidingWindow`] re-runs the exact `O(n²B)` DP per window — the
+//! strawman of paper §3 ("excessive" per-update time) used as a baseline by
+//! the benches.
+//!
+//! [`approx_histogram`] solves the offline ε-approximation (paper
+//! Problem 2) by running the agglomerative algorithm over a stored slice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agglomerative;
+pub mod baseline;
+mod chain;
+pub mod fixed_window;
+pub mod time_window;
+
+pub use agglomerative::AgglomerativeHistogram;
+pub use baseline::NaiveSlidingWindow;
+pub use fixed_window::{BuildStats, FixedWindowHistogram};
+pub use time_window::TimeWindowHistogram;
+
+/// Offline `(1+ε)`-approximate V-optimal histogram of a stored sequence
+/// (paper Problem 2): a single agglomerative pass over `data`, time
+/// `O((n B²/ε) log n)`.
+///
+/// # Panics
+///
+/// Panics if `b == 0` for non-empty data, or `eps <= 0`.
+#[must_use]
+pub fn approx_histogram(data: &[f64], b: usize, eps: f64) -> streamhist_core::Histogram {
+    let mut agg = AgglomerativeHistogram::new(b, eps);
+    for &v in data {
+        agg.push(v);
+    }
+    agg.histogram()
+}

@@ -1,0 +1,282 @@
+//! Time-based fixed windows: "maintain information and perform analysis
+//! over specific temporal windows of interest, say over the latest T
+//! seconds of data produced" (paper §1, Figure 1(b) description).
+//!
+//! The count-based [`crate::FixedWindowHistogram`] assumes one arrival per
+//! time unit (the paper's simplification, footnote 2: "without loss of
+//! generality we assume that a new point arrives at each time step, other
+//! possibilities exist ... and indeed our framework can incorporate those
+//! as well"). This variant incorporates them: points carry explicit
+//! timestamps, the window holds every point newer than `now − duration`,
+//! and any number of points may enter or leave per observation. The
+//! histogram construction is the same `CreateList` procedure, run over a
+//! [`GrowableWindowSums`] whose eviction is timestamp-driven.
+
+use crate::fixed_window::{build_from_sums, BuildStats};
+use std::collections::VecDeque;
+use streamhist_core::{GrowableWindowSums, Histogram};
+
+/// `(1+ε)`-approximate V-optimal histogram over all points observed within
+/// the last `duration` time units.
+///
+/// # Example
+///
+/// ```
+/// use streamhist_stream::TimeWindowHistogram;
+///
+/// let mut tw = TimeWindowHistogram::new(10, 4, 0.1);
+/// // Bursty arrivals: several points can share or skip timestamps.
+/// for (ts, v) in [(0, 5.0), (0, 5.0), (3, 9.0), (12, 1.0), (13, 1.0)] {
+///     tw.observe(ts, v);
+/// }
+/// // At time 13 the window [4, 13] holds only the points at ts 12 and 13.
+/// assert_eq!(tw.len(), 2);
+/// let h = tw.histogram();
+/// assert_eq!(h.domain_len(), 2);
+/// assert_eq!(h.point(0), 1.0);
+/// ```
+#[derive(Debug)]
+pub struct TimeWindowHistogram {
+    duration: u64,
+    b: usize,
+    eps: f64,
+    delta: f64,
+    sums: GrowableWindowSums,
+    /// Parallel deques of timestamps and raw values, oldest first.
+    times: VecDeque<u64>,
+    raw: VecDeque<f64>,
+    now: Option<u64>,
+}
+
+impl TimeWindowHistogram {
+    /// Creates a summary over the trailing `duration` time units with at
+    /// most `b` buckets and approximation `eps` (`δ = ε/(2B)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration == 0`, `b == 0`, or `eps <= 0`.
+    #[must_use]
+    pub fn new(duration: u64, b: usize, eps: f64) -> Self {
+        assert!(duration > 0, "window duration must be positive");
+        assert!(b > 0, "need at least one bucket");
+        assert!(eps > 0.0, "eps must be positive");
+        Self {
+            duration,
+            b,
+            eps,
+            delta: eps / (2.0 * b as f64),
+            sums: GrowableWindowSums::new(1024),
+            times: VecDeque::new(),
+            raw: VecDeque::new(),
+            now: None,
+        }
+    }
+
+    /// The window duration `T`.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.duration
+    }
+
+    /// The bucket budget `B`.
+    #[must_use]
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The approximation parameter `ε`.
+    #[must_use]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of points currently inside the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The latest observed timestamp, if any.
+    #[must_use]
+    pub fn now(&self) -> Option<u64> {
+        self.now
+    }
+
+    /// The raw window contents, oldest first.
+    #[must_use]
+    pub fn window(&self) -> Vec<f64> {
+        self.raw.iter().copied().collect()
+    }
+
+    /// The `(timestamp, value)` pairs currently in the window.
+    #[must_use]
+    pub fn window_with_times(&self) -> Vec<(u64, f64)> {
+        self.times.iter().copied().zip(self.raw.iter().copied()).collect()
+    }
+
+    /// Observes a point at time `ts`. Timestamps must be non-decreasing;
+    /// multiple points may share a timestamp (batched arrivals). Evicts
+    /// everything older than `ts − duration`. Amortized `O(1)` plus one
+    /// eviction per departed point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` is smaller than the previous timestamp or `v` is
+    /// not finite.
+    pub fn observe(&mut self, ts: u64, v: f64) {
+        assert!(v.is_finite(), "stream values must be finite");
+        if let Some(now) = self.now {
+            assert!(ts >= now, "timestamps must be non-decreasing ({ts} < {now})");
+        }
+        self.now = Some(ts);
+        self.times.push_back(ts);
+        self.raw.push_back(v);
+        self.sums.push(v);
+        self.evict_expired(ts);
+    }
+
+    /// Advances the clock without adding a point (e.g. a heartbeat),
+    /// evicting anything that has aged out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` is smaller than the previous timestamp.
+    pub fn advance_to(&mut self, ts: u64) {
+        if let Some(now) = self.now {
+            assert!(ts >= now, "timestamps must be non-decreasing ({ts} < {now})");
+        }
+        self.now = Some(ts);
+        self.evict_expired(ts);
+    }
+
+    fn evict_expired(&mut self, ts: u64) {
+        // Retain exactly the points with timestamp > ts − duration; before
+        // one full duration has elapsed nothing can age out.
+        let Some(cutoff) = ts.checked_sub(self.duration) else {
+            return;
+        };
+        while self.times.front().is_some_and(|&t| t <= cutoff) {
+            self.times.pop_front();
+            self.raw.pop_front();
+            self.sums.evict_oldest();
+        }
+    }
+
+    /// Materializes the `(1+ε)`-approximate B-histogram of the points in
+    /// the current time window (indexed by arrival order within the
+    /// window).
+    #[must_use]
+    pub fn histogram(&self) -> Histogram {
+        self.histogram_with_stats().0
+    }
+
+    /// Like [`Self::histogram`], also returning build diagnostics.
+    #[must_use]
+    pub fn histogram_with_stats(&self) -> (Histogram, BuildStats) {
+        build_from_sums(&self.sums, self.b, self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_by_age_not_count() {
+        let mut tw = TimeWindowHistogram::new(5, 3, 0.2);
+        for t in 0..10u64 {
+            tw.observe(t, t as f64);
+        }
+        // Window (9-5, 9] = ts in {5..=9}.
+        assert_eq!(tw.window(), vec![5.0, 6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn batched_arrivals_share_timestamps() {
+        let mut tw = TimeWindowHistogram::new(4, 2, 0.5);
+        for _ in 0..6 {
+            tw.observe(10, 2.0);
+        }
+        tw.observe(11, 3.0);
+        assert_eq!(tw.len(), 7);
+        tw.observe(14, 4.0);
+        // cutoff 10: ts 10 evicted, ts 11/14 retained.
+        assert_eq!(tw.window(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn advance_to_evicts_without_adding() {
+        let mut tw = TimeWindowHistogram::new(3, 2, 0.5);
+        tw.observe(0, 1.0);
+        tw.observe(1, 2.0);
+        tw.advance_to(10);
+        assert!(tw.is_empty());
+        assert_eq!(tw.histogram().domain_len(), 0);
+        assert_eq!(tw.now(), Some(10));
+    }
+
+    #[test]
+    fn histogram_matches_fixed_window_when_arrivals_are_uniform() {
+        // One arrival per tick + duration n behaves like a count window of n.
+        let data: Vec<f64> = (0..100).map(|i| ((i * 13 + 5) % 17) as f64).collect();
+        let n = 16u64;
+        let mut tw = TimeWindowHistogram::new(n, 4, 0.2);
+        let mut fw = crate::FixedWindowHistogram::new(n as usize, 4, 0.2);
+        for (t, &v) in data.iter().enumerate() {
+            tw.observe(t as u64, v);
+            fw.push(v);
+            assert_eq!(tw.window(), fw.window(), "t={t}");
+            assert_eq!(
+                tw.histogram().bucket_ends(),
+                fw.histogram().bucket_ends(),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn guarantee_holds_under_irregular_arrivals() {
+        use streamhist_optimal::optimal_sse;
+        let b = 3;
+        let eps = 0.2;
+        let mut tw = TimeWindowHistogram::new(20, b, eps);
+        let mut ts = 0u64;
+        for i in 0..300u64 {
+            // Irregular gaps and occasional bursts.
+            ts += [0, 1, 1, 3, 7][(i % 5) as usize];
+            let v = ((i * 29 + 3) % 23) as f64 + if i % 50 < 3 { 100.0 } else { 0.0 };
+            tw.observe(ts, v);
+            if i % 17 == 0 && !tw.is_empty() {
+                let win = tw.window();
+                let approx = tw.histogram().sse(&win);
+                let opt = optimal_sse(&win, b);
+                assert!(
+                    approx <= (1.0 + eps) * opt + 1e-6,
+                    "i={i}: {approx} vs {opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_with_times_pairs_correctly() {
+        let mut tw = TimeWindowHistogram::new(100, 2, 0.5);
+        tw.observe(1, 10.0);
+        tw.observe(5, 20.0);
+        assert_eq!(tw.window_with_times(), vec![(1, 10.0), (5, 20.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_timestamps_rejected() {
+        let mut tw = TimeWindowHistogram::new(5, 2, 0.5);
+        tw.observe(10, 1.0);
+        tw.observe(9, 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the time-based window variant: the (1+ε) guarantee
+//! and window-content correctness under arbitrary timestamp gaps and
+//! batched arrivals.
+
+use proptest::prelude::*;
+use streamhist_optimal::optimal_sse;
+use streamhist_stream::TimeWindowHistogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Window contents always equal the brute-force recount of points with
+    /// timestamp inside (now − duration, now].
+    #[test]
+    fn window_contents_match_bruteforce(
+        steps in prop::collection::vec((0u64..5, -50..50i64), 1..200),
+        duration in 1u64..40,
+    ) {
+        let mut tw = TimeWindowHistogram::new(duration, 3, 0.5);
+        let mut log: Vec<(u64, f64)> = Vec::new();
+        let mut now = 0u64;
+        for &(gap, v) in &steps {
+            now += gap;
+            let v = v as f64;
+            tw.observe(now, v);
+            log.push((now, v));
+            let expect: Vec<f64> = log
+                .iter()
+                .filter(|&&(t, _)| t + duration > now)
+                .map(|&(_, v)| v)
+                .collect();
+            prop_assert_eq!(tw.window(), expect, "now={}", now);
+        }
+    }
+
+    /// The (1+ε) guarantee holds for every materialization, regardless of
+    /// arrival pattern.
+    #[test]
+    fn guarantee_holds_under_random_arrivals(
+        steps in prop::collection::vec((0u64..4, 0..40i64), 1..120),
+        duration in 2u64..30,
+        b in 1usize..4,
+    ) {
+        let eps = 0.5;
+        let mut tw = TimeWindowHistogram::new(duration, b, eps);
+        let mut now = 0u64;
+        for (i, &(gap, v)) in steps.iter().enumerate() {
+            now += gap;
+            tw.observe(now, v as f64);
+            if i % 13 == 0 {
+                let win = tw.window();
+                let approx = tw.histogram().sse(&win);
+                let opt = optimal_sse(&win, b);
+                prop_assert!(
+                    approx <= (1.0 + eps) * opt + 1e-6,
+                    "i={i}: {approx} vs {opt}"
+                );
+            }
+        }
+    }
+
+    /// advance_to never adds data and is idempotent.
+    #[test]
+    fn advance_to_is_idempotent(
+        gaps in prop::collection::vec(0u64..10, 1..50),
+        duration in 1u64..20,
+    ) {
+        let mut tw = TimeWindowHistogram::new(duration, 2, 0.5);
+        let mut now = 0u64;
+        for (i, &g) in gaps.iter().enumerate() {
+            now += g;
+            tw.observe(now, i as f64);
+        }
+        let far = now + duration * 3;
+        tw.advance_to(far);
+        prop_assert!(tw.is_empty());
+        tw.advance_to(far);
+        prop_assert!(tw.is_empty());
+        prop_assert_eq!(tw.now(), Some(far));
+    }
+}

@@ -1,0 +1,258 @@
+//! Dynamic maintenance of Haar coefficients under point updates — the
+//! Matias–Vitter–Wang (VLDB 2000) "dynamic maintenance of wavelet-based
+//! histograms" baseline, in its deterministic exact form.
+//!
+//! A point update at position `t` touches exactly the root average plus the
+//! `log₂ N` detail coefficients whose support contains `t`: the detail at
+//! level with support `s` changes by `±delta/s` depending on which half `t`
+//! falls in, and the root by `delta/N`. This gives `O(log N)` per update
+//! with the full (dense) coefficient set maintained exactly; a top-`B`
+//! synopsis is extracted on demand.
+//!
+//! Unlike the paper's histograms this is **not** a small-space stream
+//! summary — it stores all `N` coefficients (the probabilistic-counting
+//! small-space variants of MVW00 trade exactness for space). It exists as
+//! the fair per-push wavelet comparator for the agglomerative experiments.
+
+use crate::haar;
+use crate::synopsis::WaveletSynopsis;
+
+/// Exact Haar coefficient set over a fixed power-of-two capacity, with
+/// `O(log N)` point updates and on-demand top-`B` extraction.
+#[derive(Debug, Clone)]
+pub struct DynamicWavelet {
+    n_padded: usize,
+    coeffs: Vec<f64>,
+    /// Number of positions appended so far (for the agglomerative usage).
+    len: usize,
+}
+
+impl DynamicWavelet {
+    /// Creates an all-zero signal of the given capacity (rounded up to a
+    /// power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let n_padded = haar::pad_len(capacity);
+        Self { n_padded, coeffs: vec![0.0; n_padded], len: 0 }
+    }
+
+    /// Padded capacity `N`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.n_padded
+    }
+
+    /// Number of appended positions (see [`Self::append`]).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `delta` to the value at position `idx`. `O(log N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity`.
+    pub fn add(&mut self, idx: usize, delta: f64) {
+        assert!(delta.is_finite(), "updates must be finite");
+        assert!(idx < self.n_padded, "index {idx} out of capacity {}", self.n_padded);
+        let n = self.n_padded;
+        self.coeffs[0] += delta / n as f64;
+        let mut k = 1usize;
+        let mut lo = 0usize;
+        let mut s = n;
+        while k < n {
+            let mid = lo + s / 2;
+            if idx < mid {
+                self.coeffs[k] += delta / s as f64;
+                k *= 2;
+            } else {
+                self.coeffs[k] -= delta / s as f64;
+                k = 2 * k + 1;
+                lo = mid;
+            }
+            s /= 2;
+        }
+    }
+
+    /// Sets the value at `idx` to `v` (an `add` of the difference, using
+    /// the exact current reconstruction). `O(log N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity`.
+    pub fn set(&mut self, idx: usize, v: f64) {
+        let current = self.value(idx);
+        self.add(idx, v - current);
+    }
+
+    /// Appends the next stream value at position `len` (the agglomerative
+    /// arrival model with a known horizon). `O(log N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is exhausted.
+    pub fn append(&mut self, v: f64) {
+        assert!(self.len < self.n_padded, "capacity {} exhausted", self.n_padded);
+        let idx = self.len;
+        self.len += 1;
+        self.add(idx, v);
+    }
+
+    /// Exact reconstructed value at `idx` from the full coefficient set.
+    /// `O(log N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity`.
+    #[must_use]
+    pub fn value(&self, idx: usize) -> f64 {
+        assert!(idx < self.n_padded, "index {idx} out of capacity {}", self.n_padded);
+        let n = self.n_padded;
+        let mut val = self.coeffs[0];
+        let mut k = 1usize;
+        let mut lo = 0usize;
+        let mut s = n;
+        while k < n {
+            let mid = lo + s / 2;
+            if idx < mid {
+                val += self.coeffs[k];
+                k *= 2;
+            } else {
+                val -= self.coeffs[k];
+                k = 2 * k + 1;
+                lo = mid;
+            }
+            s /= 2;
+        }
+        val
+    }
+
+    /// The dense coefficient array (error-tree heap layout).
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Extracts the current top-`b` synopsis over the first
+    /// `domain_len` positions. `O(N)` selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain_len` exceeds the capacity, or `b == 0` with a
+    /// non-empty domain.
+    #[must_use]
+    pub fn top_b(&self, domain_len: usize, b: usize) -> WaveletSynopsis {
+        assert!(domain_len <= self.n_padded, "domain exceeds capacity");
+        WaveletSynopsis::from_dense(&self.coeffs, domain_len, b)
+    }
+
+    /// Convenience for the agglomerative model: synopsis over everything
+    /// appended so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0` and values have been appended.
+    #[must_use]
+    pub fn synopsis(&self, b: usize) -> WaveletSynopsis {
+        self.top_b(self.len, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar::forward;
+
+    #[test]
+    fn appends_match_batch_transform() {
+        let data: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 11) as f64).collect();
+        let mut dw = DynamicWavelet::new(16);
+        for &v in &data {
+            dw.append(v);
+        }
+        let batch = forward(&data);
+        for (k, (a, b)) in dw.coefficients().iter().zip(&batch).enumerate() {
+            assert!((a - b).abs() < 1e-9, "coefficient {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn point_updates_match_rebuild() {
+        let mut data = vec![0.0; 8];
+        let mut dw = DynamicWavelet::new(8);
+        let updates = [(3usize, 5.0), (0, -2.0), (7, 9.0), (3, 1.5), (4, -4.0)];
+        for &(idx, delta) in &updates {
+            data[idx] += delta;
+            dw.add(idx, delta);
+            let batch = forward(&data);
+            for (a, b) in dw.coefficients().iter().zip(&batch) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn value_reconstructs_exactly() {
+        let data: Vec<f64> = (0..32).map(|i| (i as f64).sin() * 7.0).collect();
+        let mut dw = DynamicWavelet::new(32);
+        for (i, &v) in data.iter().enumerate() {
+            dw.set(i, v);
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert!((dw.value(i) - v).abs() < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut dw = DynamicWavelet::new(4);
+        dw.set(1, 10.0);
+        dw.set(1, 3.0);
+        assert!((dw.value(1) - 3.0).abs() < 1e-12);
+        assert!(dw.value(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synopsis_matches_batch_top_b() {
+        let data: Vec<f64> = (0..16).map(|i| ((i * 13) % 7) as f64 * 3.0).collect();
+        let mut dw = DynamicWavelet::new(16);
+        for &v in &data {
+            dw.append(v);
+        }
+        let dynamic = dw.synopsis(4);
+        let batch = WaveletSynopsis::top_b(&data, 4);
+        for i in 0..data.len() {
+            assert!(
+                (dynamic.reconstruct()[i] - batch.reconstruct()[i]).abs() < 1e-9,
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let dw = DynamicWavelet::new(9);
+        assert_eq!(dw.capacity(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 4 exhausted")]
+    fn append_past_capacity_panics() {
+        let mut dw = DynamicWavelet::new(4);
+        for i in 0..5 {
+            dw.append(i as f64);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Non-normalized Haar transform in error-tree (heap-index) layout.
+//!
+//! For a (zero-padded) sequence of `N = 2^L` values the decomposition
+//! produces `N` coefficients:
+//!
+//! * `c[0]` — the overall average;
+//! * `c[k]` for `k >= 1` — detail coefficients in heap order: node `k` at
+//!   depth `d = floor(log2 k)` has support `s = N / 2^d`, covers the block
+//!   starting at `(k − 2^d)·s`, and equals
+//!   `(avg(left half) − avg(right half)) / 2`.
+//!
+//! Reconstruction of any single value is the root average plus/minus the
+//! detail coefficients along its root-to-leaf path (`+` in left halves,
+//! `−` in right halves). The L2 energy contributed by a detail coefficient
+//! is `c[k]²·s`, so the "largest normalized coefficient" rule of
+//! Matias–Vitter–Wang keeps the `B` coefficients maximizing `|c[k]|·√s`.
+
+/// Smallest power of two `>= n` (and `>= 1`).
+#[must_use]
+pub fn pad_len(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Forward transform. `data` is implicitly zero-padded to [`pad_len`];
+/// returns the coefficient array of that padded length.
+#[must_use]
+pub fn forward(data: &[f64]) -> Vec<f64> {
+    let n = pad_len(data.len());
+    let mut a = vec![0.0; n];
+    a[..data.len()].copy_from_slice(data);
+    let mut c = vec![0.0; n];
+    let mut len = n;
+    let mut scratch = vec![0.0; n / 2];
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            scratch[i] = (a[2 * i] + a[2 * i + 1]) / 2.0;
+            c[half + i] = (a[2 * i] - a[2 * i + 1]) / 2.0;
+        }
+        a[..half].copy_from_slice(&scratch[..half]);
+        len = half;
+    }
+    c[0] = a[0];
+    c
+}
+
+/// Inverse transform of a (dense) coefficient array of power-of-two length.
+///
+/// # Panics
+///
+/// Panics if `coeffs.len()` is not a power of two.
+#[must_use]
+pub fn inverse(coeffs: &[f64]) -> Vec<f64> {
+    let n = coeffs.len();
+    assert!(n.is_power_of_two(), "coefficient array must have power-of-two length");
+    let mut a = vec![0.0; n];
+    a[0] = coeffs[0];
+    let mut len = 1;
+    let mut scratch = vec![0.0; n];
+    while len < n {
+        for i in 0..len {
+            let d = coeffs[len + i];
+            scratch[2 * i] = a[i] + d;
+            scratch[2 * i + 1] = a[i] - d;
+        }
+        len *= 2;
+        a[..len].copy_from_slice(&scratch[..len]);
+    }
+    a
+}
+
+/// Support (number of covered positions) of coefficient `k` in a transform
+/// of padded length `n`.
+///
+/// # Panics
+///
+/// Panics if `k >= n`.
+#[must_use]
+pub fn support(k: usize, n: usize) -> usize {
+    assert!(k < n, "coefficient index out of range");
+    if k == 0 {
+        n
+    } else {
+        n >> k.ilog2()
+    }
+}
+
+/// Start position of the block covered by coefficient `k`.
+///
+/// # Panics
+///
+/// Panics if `k >= n`.
+#[must_use]
+pub fn block_start(k: usize, n: usize) -> usize {
+    assert!(k < n, "coefficient index out of range");
+    if k == 0 {
+        0
+    } else {
+        let d = k.ilog2();
+        (k - (1usize << d)) * (n >> d)
+    }
+}
+
+/// The contribution of coefficient `k` (with value `c`) to the sum of the
+/// reconstructed values over the inclusive index range `[lo, hi]`:
+/// `c · (|range ∩ left half| − |range ∩ right half|)` for details, and
+/// `c · |range|` for the root average.
+///
+/// # Panics
+///
+/// Panics if `k >= n`.
+#[must_use]
+pub fn range_sum_contribution(k: usize, c: f64, n: usize, lo: usize, hi: usize) -> f64 {
+    debug_assert!(lo <= hi);
+    if k == 0 {
+        return c * (hi.min(n - 1).saturating_sub(lo) + 1) as f64;
+    }
+    let s = support(k, n);
+    let start = block_start(k, n);
+    let mid = start + s / 2;
+    let end = start + s; // exclusive
+    let overlap = |a: usize, b: usize| -> f64 {
+        // overlap of [lo, hi] with [a, b)
+        let l = lo.max(a);
+        let r = (hi + 1).min(b);
+        r.saturating_sub(l) as f64
+    };
+    c * (overlap(start, mid) - overlap(mid, end))
+}
+
+/// Reconstructs the single value at `idx` from a *sparse* coefficient list
+/// (sorted by index). `O(log n · log B)`.
+///
+/// # Panics
+///
+/// Panics if `idx >= n` or `n` is not a power of two.
+#[must_use]
+pub fn point_from_sparse(coeffs: &[(usize, f64)], n: usize, idx: usize) -> f64 {
+    assert!(n.is_power_of_two(), "padded length must be a power of two");
+    assert!(idx < n, "index out of range");
+    debug_assert!(coeffs.windows(2).all(|w| w[0].0 < w[1].0), "sparse coeffs must be sorted");
+    let get = |k: usize| -> f64 {
+        match coeffs.binary_search_by_key(&k, |&(i, _)| i) {
+            Ok(p) => coeffs[p].1,
+            Err(_) => 0.0,
+        }
+    };
+    let mut val = get(0);
+    let mut k = 1usize;
+    let mut lo = 0usize;
+    let mut s = n;
+    while k < n {
+        let c = get(k);
+        let mid = lo + s / 2;
+        if idx < mid {
+            val += c;
+            k *= 2;
+        } else {
+            val -= c;
+            k = 2 * k + 1;
+            lo = mid;
+        }
+        s /= 2;
+    }
+    val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_inverse_roundtrip_power_of_two() {
+        let data = [3.0, 7.0, 5.0, 8.0, 2.0, 6.0, 4.0, 9.0];
+        let c = forward(&data);
+        let back = inverse(&c);
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_pads_with_zeros() {
+        let data = [3.0, 7.0, 5.0];
+        let c = forward(&data);
+        assert_eq!(c.len(), 4);
+        let back = inverse(&c);
+        assert!((back[0] - 3.0).abs() < 1e-12);
+        assert!((back[3] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_is_overall_average() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let c = forward(&data);
+        assert!((c[0] - 2.5).abs() < 1e-12);
+        // c[1] = (avg(1,2) - avg(3,4)) / 2 = (1.5 - 3.5)/2 = -1
+        assert!((c[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_and_block_start_follow_heap_layout() {
+        let n = 8;
+        assert_eq!(support(0, n), 8);
+        assert_eq!(support(1, n), 8);
+        assert_eq!(support(2, n), 4);
+        assert_eq!(support(3, n), 4);
+        assert_eq!(support(4, n), 2);
+        assert_eq!(support(7, n), 2);
+        assert_eq!(block_start(1, n), 0);
+        assert_eq!(block_start(2, n), 0);
+        assert_eq!(block_start(3, n), 4);
+        assert_eq!(block_start(4, n), 0);
+        assert_eq!(block_start(5, n), 2);
+        assert_eq!(block_start(7, n), 6);
+    }
+
+    #[test]
+    fn point_from_sparse_with_full_coefficients_is_exact() {
+        let data = [3.0, 7.0, 5.0, 8.0, 2.0, 6.0, 4.0, 9.0];
+        let c = forward(&data);
+        let sparse: Vec<(usize, f64)> = c.iter().copied().enumerate().collect();
+        for (i, &v) in data.iter().enumerate() {
+            assert!((point_from_sparse(&sparse, 8, i) - v).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn range_sum_contributions_match_reconstruction() {
+        let data = [3.0, 7.0, 5.0, 8.0, 2.0, 6.0, 4.0, 9.0];
+        let n = 8;
+        let c = forward(&data);
+        for lo in 0..n {
+            for hi in lo..n {
+                let direct: f64 = data[lo..=hi].iter().sum();
+                let via: f64 = c
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &v)| range_sum_contribution(k, v, n, lo, hi))
+                    .sum();
+                assert!((direct - via).abs() < 1e-9, "({lo},{hi}): {direct} vs {via}");
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_zero_coefficients_changes_nothing() {
+        let data = [5.0, 5.0, 5.0, 5.0];
+        let c = forward(&data);
+        // All detail coefficients are zero; only the root survives.
+        assert!(c[1..].iter().all(|&v| v.abs() < 1e-12));
+        let sparse = vec![(0usize, c[0])];
+        for i in 0..4 {
+            assert!((point_from_sparse(&sparse, 4, i) - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_element_input() {
+        let c = forward(&[42.0]);
+        assert_eq!(c, vec![42.0]);
+        assert_eq!(inverse(&c), vec![42.0]);
+        assert_eq!(point_from_sparse(&[(0, 42.0)], 1, 0), 42.0);
+    }
+}

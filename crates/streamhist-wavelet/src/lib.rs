@@ -1,0 +1,33 @@
+//! # streamhist-wavelet
+//!
+//! Haar-wavelet synopses — the baseline the reproduced paper (Guha &
+//! Koudas, ICDE 2002) compares its fixed-window histograms against:
+//! "Wavelet histograms are computed again from scratch every time a new
+//! point enters and the temporally oldest point leaves the buffer" (§5.1).
+//! The method is the classic Matias–Vitter–Wang construction (SIGMOD 1998):
+//! compute the Haar decomposition of the sequence and retain the `B`
+//! coefficients with the largest **normalized** magnitude (largest L2
+//! energy), answering point and range-sum queries from the retained
+//! coefficients alone.
+//!
+//! * [`haar`] — forward/inverse non-normalized Haar transform in error-tree
+//!   ("heap index") layout, for arbitrary lengths via zero padding.
+//! * [`WaveletSynopsis`] — top-`B` coefficient synopsis with `O(log n)`
+//!   point and `O(B)` range-sum estimation, implementing
+//!   [`streamhist_core::SequenceSummary`].
+//! * [`SlidingWindowWavelet`] — the paper's §5.1 baseline protocol:
+//!   buffered window, recompute-from-scratch per materialization.
+//!
+//! A retained coefficient costs two stored words (index, value), the same
+//! as a histogram bucket (boundary, height), so equal `B` means equal space
+//! budget in every comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod haar;
+pub mod synopsis;
+
+pub use dynamic::DynamicWavelet;
+pub use synopsis::{SlidingWindowWavelet, WaveletSynopsis};

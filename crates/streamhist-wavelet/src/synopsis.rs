@@ -1,0 +1,353 @@
+//! Top-`B` wavelet synopses and the sliding-window baseline protocol.
+
+use crate::haar;
+use std::collections::VecDeque;
+use streamhist_core::SequenceSummary;
+
+/// A sequence synopsis retaining the `B` Haar coefficients with the largest
+/// normalized magnitude (`|c|·√support`, i.e. largest L2 energy) —
+/// the Matias–Vitter–Wang wavelet histogram.
+///
+/// # Example
+///
+/// ```
+/// use streamhist_wavelet::WaveletSynopsis;
+/// use streamhist_core::SequenceSummary;
+///
+/// let data = [5.0, 5.0, 5.0, 5.0, 9.0, 9.0, 9.0, 9.0];
+/// // One level change: root + one detail coefficient suffice.
+/// let s = WaveletSynopsis::top_b(&data, 2);
+/// assert_eq!(s.estimate_point(0), 5.0);
+/// assert_eq!(s.estimate_range_sum(4, 7), 36.0);
+/// assert!(s.sse(&data) < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WaveletSynopsis {
+    /// Original (unpadded) sequence length.
+    n: usize,
+    /// Padded power-of-two length the transform was computed over.
+    n_padded: usize,
+    /// Retained `(heap index, coefficient)` pairs, sorted by index.
+    coeffs: Vec<(usize, f64)>,
+}
+
+impl WaveletSynopsis {
+    /// Builds the synopsis of `data` keeping the `b` highest-energy
+    /// coefficients. `O(n log n)` for the transform + selection.
+    ///
+    /// Note the transform is taken over the zero-padded sequence, so for
+    /// non-power-of-two lengths some budget may be attracted by the
+    /// artificial edge — the standard behaviour of this baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0` and `data` is non-empty.
+    #[must_use]
+    pub fn top_b(data: &[f64], b: usize) -> Self {
+        if data.is_empty() {
+            return Self { n: 0, n_padded: 0, coeffs: Vec::new() };
+        }
+        Self::from_dense(&haar::forward(data), data.len(), b)
+    }
+
+    /// Builds the synopsis from an already-computed dense coefficient array
+    /// (error-tree heap layout, power-of-two length) over an original
+    /// domain of `n` values. Used by
+    /// [`crate::DynamicWavelet`] to extract synopses without re-running the
+    /// transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0` with `n > 0`, `n` exceeds the padded length, or
+    /// the padded length is not a power of two.
+    #[must_use]
+    pub fn from_dense(full: &[f64], n: usize, b: usize) -> Self {
+        if n == 0 {
+            return Self { n: 0, n_padded: 0, coeffs: Vec::new() };
+        }
+        assert!(b > 0, "need at least one coefficient for non-empty data");
+        assert!(full.len().is_power_of_two(), "coefficient array must be power-of-two sized");
+        assert!(n <= full.len(), "domain exceeds the coefficient array");
+        let n_padded = full.len();
+        let mut ranked: Vec<(usize, f64)> = full
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c != 0.0)
+            .collect();
+        ranked.sort_by(|a, b| {
+            let wa = weight(a.0, a.1, n_padded);
+            let wb = weight(b.0, b.1, n_padded);
+            wb.partial_cmp(&wa).expect("weights are finite").then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(b);
+        ranked.sort_by_key(|&(k, _)| k);
+        Self { n, n_padded, coeffs: ranked }
+    }
+
+    /// Number of retained coefficients (may be below `b` when the sequence
+    /// has fewer non-zero coefficients).
+    #[must_use]
+    pub fn num_coefficients(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The retained `(heap index, value)` pairs, sorted by index.
+    #[must_use]
+    pub fn coefficients(&self) -> &[(usize, f64)] {
+        &self.coeffs
+    }
+
+    /// Reconstructs the full approximated sequence (length `n`).
+    #[must_use]
+    pub fn reconstruct(&self) -> Vec<f64> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let mut dense = vec![0.0; self.n_padded];
+        for &(k, c) in &self.coeffs {
+            dense[k] = c;
+        }
+        let mut full = haar::inverse(&dense);
+        full.truncate(self.n);
+        full
+    }
+
+    /// Total SSE of the synopsis against the raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n`.
+    #[must_use]
+    pub fn sse(&self, data: &[f64]) -> f64 {
+        streamhist_core::sum_squared_error(data, &self.reconstruct())
+    }
+}
+
+/// MVW selection weight: sqrt of the L2 energy a coefficient carries.
+fn weight(k: usize, c: f64, n_padded: usize) -> f64 {
+    c.abs() * (haar::support(k, n_padded) as f64).sqrt()
+}
+
+impl SequenceSummary for WaveletSynopsis {
+    fn summary_len(&self) -> usize {
+        self.n
+    }
+
+    fn estimate_point(&self, idx: usize) -> f64 {
+        assert!(idx < self.n, "index out of domain");
+        haar::point_from_sparse(&self.coeffs, self.n_padded, idx)
+    }
+
+    fn estimate_range_sum(&self, start: usize, end: usize) -> f64 {
+        assert!(start <= end && end < self.n, "range out of domain");
+        self.coeffs
+            .iter()
+            .map(|&(k, c)| haar::range_sum_contribution(k, c, self.n_padded, start, end))
+            .sum()
+    }
+}
+
+/// The paper's §5.1 wavelet baseline: a sliding window whose synopsis is
+/// "computed again from scratch every time a new point enters and the
+/// temporally oldest point leaves the buffer". Pushes are `O(1)`;
+/// [`synopsis`](Self::synopsis) costs `O(n log n)`.
+#[derive(Debug)]
+pub struct SlidingWindowWavelet {
+    capacity: usize,
+    b: usize,
+    window: VecDeque<f64>,
+}
+
+impl SlidingWindowWavelet {
+    /// Creates an empty window of `capacity` points keeping `b`
+    /// coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `b == 0`.
+    #[must_use]
+    pub fn new(capacity: usize, b: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(b > 0, "need at least one coefficient");
+        Self { capacity, b, window: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Window capacity `n`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Coefficient budget `B`.
+    #[must_use]
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// Number of buffered points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The raw window contents, oldest first.
+    #[must_use]
+    pub fn window(&self) -> Vec<f64> {
+        self.window.iter().copied().collect()
+    }
+
+    /// Consumes one point, evicting the oldest when full.
+    pub fn push(&mut self, v: f64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(v);
+    }
+
+    /// Recomputes the top-`B` synopsis of the current window from scratch.
+    #[must_use]
+    pub fn synopsis(&self) -> WaveletSynopsis {
+        WaveletSynopsis::top_b(&self.window(), self.b)
+    }
+
+    /// Pushes one point and rebuilds the synopsis.
+    #[must_use]
+    pub fn push_and_build(&mut self, v: f64) -> WaveletSynopsis {
+        self.push(v);
+        self.synopsis()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamhist_core::Query;
+
+    const DATA: [f64; 8] = [3.0, 7.0, 5.0, 8.0, 2.0, 6.0, 4.0, 9.0];
+
+    #[test]
+    fn full_budget_reconstructs_exactly() {
+        let s = WaveletSynopsis::top_b(&DATA, 8);
+        let r = s.reconstruct();
+        for (a, b) in DATA.iter().zip(&r) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(s.sse(&DATA) < 1e-12);
+    }
+
+    #[test]
+    fn point_estimates_match_reconstruction() {
+        for b in 1..=8 {
+            let s = WaveletSynopsis::top_b(&DATA, b);
+            let r = s.reconstruct();
+            for (i, &ri) in r.iter().enumerate() {
+                assert!(
+                    (s.estimate_point(i) - ri).abs() < 1e-12,
+                    "b={b} i={i}: {} vs {ri}",
+                    s.estimate_point(i),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_sums_match_reconstruction() {
+        for b in [1, 3, 5, 8] {
+            let s = WaveletSynopsis::top_b(&DATA, b);
+            let r = s.reconstruct();
+            for lo in 0..DATA.len() {
+                for hi in lo..DATA.len() {
+                    let direct: f64 = r[lo..=hi].iter().sum();
+                    let est = s.estimate_range_sum(lo, hi);
+                    assert!((direct - est).abs() < 1e-9, "b={b} ({lo},{hi})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sse_decreases_as_budget_grows() {
+        let data: Vec<f64> = (0..64).map(|i| ((i * 13 + 5) % 23) as f64).collect();
+        let mut last = f64::INFINITY;
+        for b in [1, 2, 4, 8, 16, 32, 64] {
+            let sse = WaveletSynopsis::top_b(&data, b).sse(&data);
+            assert!(sse <= last + 1e-9, "b={b}: {sse} > {last}");
+            last = sse;
+        }
+        assert!(last < 1e-9, "full budget must be exact");
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        let data: Vec<f64> = (0..13).map(|i| (i * i % 7) as f64).collect();
+        let s = WaveletSynopsis::top_b(&data, 16);
+        assert_eq!(s.summary_len(), 13);
+        // With the full padded budget, reconstruction of the real region is
+        // exact.
+        let r = s.reconstruct();
+        assert_eq!(r.len(), 13);
+        for (a, b) in data.iter().zip(&r) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Queries address only the original domain.
+        let q = Query::RangeSum { start: 3, end: 12 };
+        assert!((q.estimate(&s) - q.exact(&data)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_sequence_needs_one_coefficient() {
+        let data = [6.0; 16];
+        let s = WaveletSynopsis::top_b(&data, 1);
+        assert_eq!(s.num_coefficients(), 1);
+        assert!(s.sse(&data) < 1e-12);
+    }
+
+    #[test]
+    fn selection_prefers_high_energy_coefficients() {
+        // A single big level change at mid-sequence concentrates energy in
+        // the top detail coefficient c[1].
+        let mut data = vec![0.0; 8];
+        for v in data.iter_mut().skip(4) {
+            *v = 100.0;
+        }
+        let s = WaveletSynopsis::top_b(&data, 2);
+        let idxs: Vec<usize> = s.coefficients().iter().map(|&(k, _)| k).collect();
+        assert!(idxs.contains(&0) && idxs.contains(&1), "kept {idxs:?}");
+        assert!(s.sse(&data) < 1e-12);
+    }
+
+    #[test]
+    fn empty_data() {
+        let s = WaveletSynopsis::top_b(&[], 4);
+        assert_eq!(s.summary_len(), 0);
+        assert!(s.reconstruct().is_empty());
+    }
+
+    #[test]
+    fn sliding_window_recomputes_per_build() {
+        let mut w = SlidingWindowWavelet::new(8, 3);
+        for i in 0..20 {
+            let s = w.push_and_build(i as f64);
+            assert_eq!(s.summary_len(), w.len());
+            assert!(s.num_coefficients() <= 3);
+        }
+        assert_eq!(w.window().len(), 8);
+        assert_eq!(w.window()[0], 12.0);
+    }
+
+    #[test]
+    fn window_with_generous_budget_is_near_exact() {
+        let mut w = SlidingWindowWavelet::new(8, 8);
+        for v in DATA {
+            w.push(v);
+        }
+        assert!(w.synopsis().sse(&w.window()) < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: maintain a `(1+ε)`-approximate V-optimal histogram over a
+//! sliding window of a synthetic utilization stream, and answer range-sum
+//! queries against it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use streamhist::data::{utilization_trace, WorkloadGen};
+use streamhist::{evaluate_queries, FixedWindowHistogram};
+
+fn main() {
+    // A 50k-point stand-in for the paper's AT&T utilization trace.
+    let stream = utilization_trace(50_000, 42);
+
+    // Sliding window of the last 1024 points, 16 buckets, SSE within 10%
+    // of the optimal histogram of each window.
+    let window = 1024;
+    let (b, eps) = (16, 0.1);
+    let mut fw = FixedWindowHistogram::new(window, b, eps);
+
+    for &v in &stream {
+        fw.push(v); // amortized O(1)
+    }
+
+    // Materialize the histogram of the final window (CreateList, paper §4.5).
+    let (hist, stats) = fw.histogram_with_stats();
+    println!("window = {window}, B = {b}, eps = {eps}");
+    println!(
+        "built histogram with {} buckets; interval queues: {:?}; {} HERROR evals",
+        hist.num_buckets(),
+        stats.queue_sizes,
+        stats.herror_evals
+    );
+
+    // Answer a few queries from the synopsis and compare with the truth.
+    let data = fw.window();
+    println!("\n{:<28} {:>14} {:>14} {:>9}", "query", "exact", "estimate", "rel.err");
+    let mut gen = WorkloadGen::new(7, window);
+    for _ in 0..5 {
+        let q = gen.range_sum();
+        let exact = q.exact(&data);
+        let est = q.estimate(&hist);
+        println!(
+            "{:<28} {:>14.1} {:>14.1} {:>8.2}%",
+            format!("{q:?}"),
+            exact,
+            est,
+            100.0 * (est - exact).abs() / exact.abs().max(1.0)
+        );
+    }
+
+    // Aggregate accuracy over a 500-query workload (the paper's protocol).
+    let workload = WorkloadGen::new(99, window).range_sums(500);
+    let report = evaluate_queries(&data, &hist, &workload);
+    println!(
+        "\n500 random range-sum queries: mean |err| = {:.1} ({:.2}% relative), max = {:.1}",
+        report.mean_abs_error,
+        100.0 * report.mean_rel_error,
+        report.max_abs_error
+    );
+    println!(
+        "space: {} buckets summarize {} points ({}x compression)",
+        hist.num_buckets(),
+        window,
+        window / hist.num_buckets().max(1)
+    );
+}

@@ -1,0 +1,125 @@
+//! A small command-line monitor: reads newline-delimited numbers from
+//! stdin (or generates a synthetic trace with `--demo N`), maintains a
+//! fixed-window histogram, and periodically prints the synopsis — the
+//! "online querying" deployment shape from the paper's introduction.
+//!
+//! Usage:
+//!   cargo run --release --example stream_cli -- [--window N] [--buckets B]
+//!       [--eps E] [--report-every K] [--demo N]
+//!   printf '1\n2\n3\n' | cargo run --release --example stream_cli -- --window 64
+//!
+//! Each report line shows the window mean, the histogram's bucket
+//! boundaries and heights, and the synopsis wire size.
+
+use std::io::BufRead;
+use streamhist::data::utilization_trace;
+use streamhist::{codec, FixedWindowHistogram};
+
+#[derive(Debug)]
+struct Args {
+    window: usize,
+    buckets: usize,
+    eps: f64,
+    report_every: usize,
+    demo: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { window: 1024, buckets: 12, eps: 0.1, report_every: 4096, demo: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--window" => args.window = value("--window")?.parse().map_err(|e| format!("{e}"))?,
+            "--buckets" => args.buckets = value("--buckets")?.parse().map_err(|e| format!("{e}"))?,
+            "--eps" => args.eps = value("--eps")?.parse().map_err(|e| format!("{e}"))?,
+            "--report-every" => {
+                args.report_every = value("--report-every")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--demo" => args.demo = Some(value("--demo")?.parse().map_err(|e| format!("{e}"))?),
+            "--help" | "-h" => {
+                return Err("usage: stream_cli [--window N] [--buckets B] [--eps E] \
+                            [--report-every K] [--demo N]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.window == 0 || args.buckets == 0 || args.eps <= 0.0 || args.report_every == 0 {
+        return Err("window, buckets, eps and report-every must be positive".into());
+    }
+    Ok(args)
+}
+
+fn report(t: usize, fw: &FixedWindowHistogram) {
+    let (h, stats) = fw.histogram_with_stats();
+    if h.domain_len() == 0 {
+        println!("t={t}: window empty");
+        return;
+    }
+    let mean = h.range_sum(0, h.domain_len() - 1) / h.domain_len() as f64;
+    let wire = codec::encode(&h).len();
+    let buckets: Vec<String> = h
+        .buckets()
+        .iter()
+        .map(|b| format!("[{}..{}]={:.1}", b.start, b.end, b.height))
+        .collect();
+    println!(
+        "t={t} n={} mean={mean:.1} sse~{:.3e} wire={wire}B  {}",
+        h.domain_len(),
+        stats.herror,
+        buckets.join(" ")
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut fw = FixedWindowHistogram::new(args.window, args.buckets, args.eps);
+    let mut t = 0usize;
+
+    if let Some(n) = args.demo {
+        for v in utilization_trace(n, 7) {
+            fw.push(v);
+            t += 1;
+            if t.is_multiple_of(args.report_every) {
+                report(t, &fw);
+            }
+        }
+    } else {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("read error: {e}");
+                    break;
+                }
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match trimmed.parse::<f64>() {
+                Ok(v) if v.is_finite() => {
+                    fw.push(v);
+                    t += 1;
+                    if t.is_multiple_of(args.report_every) {
+                        report(t, &fw);
+                    }
+                }
+                _ => eprintln!("skipping non-numeric line: {trimmed:?}"),
+            }
+        }
+    }
+    println!("--- final ---");
+    report(t, &fw);
+}

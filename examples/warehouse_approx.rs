@@ -1,0 +1,73 @@
+//! Approximate querying in a data warehouse (paper §5.2, second
+//! experiment): build a histogram of a large stored fact column in **one
+//! pass** with the agglomerative algorithm, and compare its accuracy and
+//! construction time against the exact `O(n²B)` optimal histogram.
+//!
+//! "The resulting histograms are comparable in accuracy with those
+//! resulting from the optimal histogram construction algorithm ... and the
+//! savings in construction time are profound; these savings increase as
+//! the size of the underlying data set increases."
+//!
+//! Run with: `cargo run --release --example warehouse_approx`
+
+use std::time::Instant;
+use streamhist::data::{utilization_trace, WorkloadGen};
+use streamhist::{evaluate_queries, optimal_histogram, AgglomerativeHistogram};
+
+fn main() {
+    let b = 32;
+    let eps = 0.1;
+    println!("B = {b}, eps = {eps}\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>12} {:>12} {:>8}",
+        "n", "agg SSE", "opt SSE", "SSE ratio", "agg time", "opt time", "speedup"
+    );
+
+    for n in [1_000usize, 2_000, 4_000, 8_000, 16_000] {
+        // The warehouse fact column (e.g. daily service usage).
+        let column = utilization_trace(n, 2026);
+
+        // One-pass approximate construction.
+        let t0 = Instant::now();
+        let agg = AgglomerativeHistogram::from_slice(&column, b, eps);
+        let h_agg = agg.histogram();
+        let t_agg = t0.elapsed();
+
+        // Exact optimal DP.
+        let t1 = Instant::now();
+        let h_opt = optimal_histogram(&column, b);
+        let t_opt = t1.elapsed();
+
+        let sse_agg = h_agg.sse(&column);
+        let sse_opt = h_opt.sse(&column);
+
+        println!(
+            "{:>8} {:>12.4e} {:>12.4e} {:>10.4} {:>10.1?} {:>10.1?} {:>7.1}x",
+            n,
+            sse_agg,
+            sse_opt,
+            sse_agg / sse_opt.max(1e-12),
+            t_agg,
+            t_opt,
+            t_opt.as_secs_f64() / t_agg.as_secs_f64().max(1e-12)
+        );
+
+        // Query-level accuracy on the largest size.
+        if n == 16_000 {
+            let queries = WorkloadGen::new(5, n).range_sums(1_000);
+            let r_agg = evaluate_queries(&column, &h_agg, &queries);
+            let r_opt = evaluate_queries(&column, &h_opt, &queries);
+            println!("\n1000 random range-sum queries at n = {n}:");
+            println!(
+                "  one-pass agglomerative: mean |err| = {:.1} ({:.3}% of mean answer)",
+                r_agg.mean_abs_error,
+                100.0 * r_agg.mean_abs_error / r_agg.mean_exact.abs().max(1.0)
+            );
+            println!(
+                "  optimal DP:             mean |err| = {:.1} ({:.3}% of mean answer)",
+                r_opt.mean_abs_error,
+                100.0 * r_opt.mean_abs_error / r_opt.mean_exact.abs().max(1.0)
+            );
+        }
+    }
+}

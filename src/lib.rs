@@ -1,0 +1,107 @@
+//! # streamhist
+//!
+//! A production-quality Rust implementation of **streaming V-optimal
+//! histograms** — a reproduction of *Sudipto Guha & Nick Koudas,
+//! "Approximating a Data Stream for Querying and Estimation: Algorithms and
+//! Performance Evaluation", ICDE 2002* — together with every substrate and
+//! baseline the paper's evaluation depends on.
+//!
+//! ## The problem
+//!
+//! A histogram `H_B` approximates a sequence of values by `B` buckets, each
+//! collapsing a contiguous index range to its mean, minimizing the
+//! sum-squared-error. On a *data stream* the sequence is unbounded and read
+//! once; the paper contributes one-pass `(1+ε)`-approximate constructions
+//! for two models:
+//!
+//! * **agglomerative** — summarize everything seen so far
+//!   ([`AgglomerativeHistogram`]);
+//! * **fixed window** — summarize the latest `n` points
+//!   ([`FixedWindowHistogram`]), the paper's headline algorithm, with
+//!   amortized `O(1)` pushes and `O((B³/ε²) log³ n)` histogram
+//!   materializations (Theorem 1).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use streamhist::{FixedWindowHistogram, SequenceSummary};
+//!
+//! // Approximate the last 128 points with 8 buckets, within 10% of the
+//! // optimal histogram's SSE.
+//! let mut fw = FixedWindowHistogram::new(128, 8, 0.1);
+//! for t in 0..1000 {
+//!     fw.push((t % 50) as f64); // any f64 stream
+//! }
+//! let hist = fw.histogram();
+//! let estimate = hist.estimate_range_sum(10, 90);
+//! let exact: f64 = fw.window()[10..=90].iter().sum();
+//! assert!((estimate - exact).abs() / exact < 0.5);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Source crate | Role |
+//! |---|---|---|
+//! | [`Histogram`], [`Bucket`], [`Query`], [`PrefixSums`] | `streamhist-core` | representation, queries, evaluation |
+//! | [`FixedWindowHistogram`], [`AgglomerativeHistogram`], [`approx_histogram`] | `streamhist-stream` | the paper's algorithms |
+//! | [`optimal_histogram`], [`optimal_sse`] | `streamhist-optimal` | exact `O(n²B)` DP (Jagadish et al.) |
+//! | [`WaveletSynopsis`], [`SlidingWindowWavelet`] | `streamhist-wavelet` | the paper's wavelet baseline (MVW) |
+//! | [`GkSummary`], [`MrlSummary`], [`EquiDepthHistogram`] | `streamhist-quantile` | §2 quantile substrates |
+//! | [`SeriesIndex`], [`apca()`], [`lower_bound_dist`] | `streamhist-similarity` | §5.2 similarity search (APCA comparator) |
+//! | [`data`] | `streamhist-data` | synthetic traces and query workloads |
+//!
+//! See `DESIGN.md` for the paper-to-module map and `EXPERIMENTS.md` for the
+//! reproduced evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use streamhist_core::{
+    evaluate_queries, max_abs_error, sum_abs_error, sum_squared_error, AccuracyReport, Bucket,
+    ExactSummary, GrowableWindowSums, Histogram, HistogramError, PrefixSums, Query,
+    SequenceSummary, SlidingPrefixSums, WindowSums,
+};
+
+/// Histogram-to-histogram distances (L1/L2/L∞ over the expanded sequences)
+/// for change detection on streams.
+pub mod distance {
+    pub use streamhist_core::distance::{l1, l2, l2_sq, linf};
+}
+
+/// Compact binary wire format for shipping histograms between processes.
+pub mod codec {
+    pub use streamhist_core::codec::{decode, encode, DecodeError};
+}
+
+pub use streamhist_optimal::{
+    brute_force_optimal, herror_table, max_error_dp, max_error_histogram, optimal_histogram,
+    optimal_histogram_sae, optimal_sse, realized_max_error, realized_sae, RangeMinMax,
+    RollingMedian,
+};
+pub use streamhist_quantile::{EquiDepthHistogram, GkSummary, MrlSummary, QuantileSummary};
+pub use streamhist_similarity::{
+    apca, euclidean, lower_bound_dist, PiecewiseConstant, ReprMethod, SearchStats, Segment,
+    SeriesIndex, SubsequenceIndex,
+};
+pub use streamhist_stream::{
+    approx_histogram, AgglomerativeHistogram, BuildStats, FixedWindowHistogram,
+    NaiveSlidingWindow, TimeWindowHistogram,
+};
+pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynopsis};
+
+/// Value-domain frequency histograms for selectivity estimation (the
+/// `[IP95]` query-optimization setting the paper builds on).
+pub mod freq {
+    pub use streamhist_freq::{
+        evaluate_selectivity, max_diff_ends, FrequencyVector, SelectivityReport, ValueHistogram,
+    };
+}
+
+/// Synthetic stream generators and query workload generators (the
+/// substitution for the paper's proprietary AT&T traces; see `DESIGN.md`).
+pub mod data {
+    pub use streamhist_data::{
+        collect, integerize, utilization_trace, Ar1, BurstyOnOff, Diurnal, LevelShift, Mixture,
+        RandomWalk, SpikeTrain, UniformNoise, WorkloadGen, Zipfian,
+    };
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the full pipeline from synthetic stream
+//! generation through streaming construction to query answering, exercising
+//! every subsystem together through the facade crate's public API.
+
+use streamhist::data::{utilization_trace, WorkloadGen};
+use streamhist::{
+    approx_histogram, evaluate_queries, optimal_histogram, optimal_sse, AgglomerativeHistogram,
+    ExactSummary, FixedWindowHistogram, NaiveSlidingWindow, Query, SequenceSummary,
+    SlidingWindowWavelet, WaveletSynopsis,
+};
+
+#[test]
+fn fixed_window_pipeline_beats_wavelet_on_bursty_trace() {
+    let stream = utilization_trace(20_000, 11);
+    let window = 512;
+    let b = 16;
+    let mut fw = FixedWindowHistogram::new(window, b, 0.1);
+    let mut wv = SlidingWindowWavelet::new(window, b);
+    for &v in &stream {
+        fw.push(v);
+        wv.push(v);
+    }
+    let truth = fw.window();
+    assert_eq!(truth, wv.window(), "both windows see the same data");
+
+    let queries = WorkloadGen::new(3, window).range_sums(500);
+    let hist_report = evaluate_queries(&truth, &fw.histogram(), &queries);
+    let wave_report = evaluate_queries(&truth, &wv.synopsis(), &queries);
+    assert!(
+        hist_report.mean_abs_error <= wave_report.mean_abs_error,
+        "histogram {:.1} should not be worse than wavelet {:.1} on the bursty trace",
+        hist_report.mean_abs_error,
+        wave_report.mean_abs_error
+    );
+}
+
+#[test]
+fn all_methods_agree_with_exact_when_budget_is_full() {
+    // With B = n every method must reproduce the window exactly.
+    let data = utilization_trace(64, 5);
+    let n = data.len();
+    let queries = WorkloadGen::new(9, n).mixed(100);
+
+    let exact = ExactSummary::new(&data);
+    let h_opt = optimal_histogram(&data, n);
+    let h_approx = approx_histogram(&data, n, 0.1);
+    let wav = WaveletSynopsis::top_b(&data, n);
+
+    for q in &queries {
+        let truth = q.exact(&data);
+        assert!((q.estimate(&exact) - truth).abs() < 1e-9);
+        assert!((q.estimate(&h_opt) - truth).abs() < 1e-9, "{q:?}");
+        assert!((q.estimate(&h_approx) - truth).abs() < 1e-9, "{q:?}");
+        assert!((q.estimate(&wav) - truth).abs() < 1e-6, "{q:?}");
+    }
+}
+
+#[test]
+fn fixed_window_tracks_naive_dp_within_guarantee_on_real_trace() {
+    let stream = utilization_trace(3_000, 77);
+    let window = 128;
+    let b = 8;
+    let eps = 0.1;
+    let mut fw = FixedWindowHistogram::new(window, b, eps);
+    let mut naive = NaiveSlidingWindow::new(window, b);
+    for (t, &v) in stream.iter().enumerate() {
+        fw.push(v);
+        naive.push(v);
+        if t % 251 == 0 && t >= window {
+            let win = fw.window();
+            let approx_sse = fw.histogram().sse(&win);
+            let opt_sse = naive.histogram().sse(&win);
+            assert!(
+                approx_sse <= (1.0 + eps) * opt_sse + 1e-6,
+                "t={t}: {approx_sse} vs optimal {opt_sse}"
+            );
+        }
+    }
+}
+
+#[test]
+fn agglomerative_guarantee_holds_on_trace_prefixes() {
+    let stream = utilization_trace(2_000, 13);
+    let b = 12;
+    let eps = 0.2;
+    let mut agg = AgglomerativeHistogram::new(b, eps);
+    for (i, &v) in stream.iter().enumerate() {
+        agg.push(v);
+        if i % 397 == 0 && i > 0 {
+            let prefix = &stream[..=i];
+            let approx = agg.histogram().sse(prefix);
+            let opt = optimal_sse(prefix, b);
+            assert!(
+                approx <= (1.0 + eps) * opt + 1e-6,
+                "prefix {}: {approx} vs {opt}",
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn query_semantics_are_consistent_across_summaries() {
+    let data = utilization_trace(256, 21);
+    let h = optimal_histogram(&data, 16);
+    // RangeAvg == RangeSum / span, RangeCount is exact, on any summary.
+    for (start, end) in [(0usize, 255usize), (10, 10), (100, 200)] {
+        let sum = Query::RangeSum { start, end }.estimate(&h);
+        let avg = Query::RangeAvg { start, end }.estimate(&h);
+        let count = Query::RangeCount { start, end }.estimate(&h);
+        assert!((avg - sum / (end - start + 1) as f64).abs() < 1e-9);
+        assert_eq!(count, (end - start + 1) as f64);
+    }
+}
+
+#[test]
+fn summaries_compose_with_trait_objects() {
+    // The SequenceSummary abstraction supports dynamic dispatch, so
+    // heterogeneous method lists (as used by the harnesses) work.
+    let data = utilization_trace(512, 33);
+    let h = optimal_histogram(&data, 8);
+    let w = WaveletSynopsis::top_b(&data, 8);
+    let summaries: Vec<&dyn SequenceSummary> = vec![&h, &w];
+    let q = Query::RangeSum { start: 17, end: 399 };
+    for s in summaries {
+        assert_eq!(s.summary_len(), data.len());
+        let est = q.estimate(s);
+        assert!(est.is_finite());
+    }
+}
+
+#[test]
+fn streaming_histograms_are_deterministic() {
+    let stream = utilization_trace(5_000, 99);
+    let run = || {
+        let mut fw = FixedWindowHistogram::new(256, 8, 0.1);
+        for &v in &stream {
+            fw.push(v);
+        }
+        fw.histogram()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.bucket_ends(), b.bucket_ends());
+    assert_eq!(a.expand(), b.expand());
+}
+
+#[test]
+fn window_smaller_than_stream_only_sees_tail() {
+    let stream: Vec<f64> = (0..100).map(|i| i as f64).collect();
+    let mut fw = FixedWindowHistogram::new(10, 10, 0.5);
+    for &v in &stream {
+        fw.push(v);
+    }
+    let h = fw.histogram();
+    assert_eq!(h.domain_len(), 10);
+    // Full budget: exact reproduction of the last 10 values.
+    assert_eq!(h.expand(), (90..100).map(|i| i as f64).collect::<Vec<_>>());
+}
