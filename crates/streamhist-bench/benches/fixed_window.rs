@@ -27,9 +27,13 @@ fn bench_push(c: &mut Criterion) {
 fn bench_materialize(c: &mut Criterion) {
     let mut g = c.benchmark_group("fixed_window_materialize");
     g.sample_size(10);
-    for &(window, b, eps) in
-        &[(512usize, 8usize, 0.5f64), (512, 8, 0.1), (2_048, 8, 0.5), (2_048, 16, 0.5), (2_048, 8, 0.1)]
-    {
+    for &(window, b, eps) in &[
+        (512usize, 8usize, 0.5f64),
+        (512, 8, 0.1),
+        (2_048, 8, 0.5),
+        (2_048, 16, 0.5),
+        (2_048, 8, 0.1),
+    ] {
         let stream = utilization_trace(window + 8, 9);
         let mut fw = FixedWindowHistogram::new(window, b, eps);
         for &v in &stream {

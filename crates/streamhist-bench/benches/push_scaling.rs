@@ -1,0 +1,110 @@
+//! THM1-SCALING criterion bench (promised by DESIGN.md §4): per-point
+//! `push` cost across the (n, B, ε) grid for both streaming types.
+//!
+//! Theorem 1 predicts the paper's per-point maintenance cost
+//! `O((B³/ε²) log³ n)` for the fixed-window algorithm (push + CreateList
+//! materialization), and the agglomerative per-point cost is `O(B · q)`
+//! with queue length `q = O((B/ε) log n)`. The grid makes the predicted
+//! shape observable: slow growth in `n`, polynomial growth in `B` and
+//! `1/ε`.
+//!
+//! Two measurement modes per type:
+//! * `*_push` — the summary's own per-point ingest (the amortized-O(1)
+//!   claim for the fixed window; `O(B·q)` for agglomerative);
+//! * `fixed_window_maintain` — push + materialize per point, the paper's
+//!   full maintenance loop that Theorem 1 actually bounds (run on a
+//!   reduced grid: it is the expensive product of the two costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamhist_data::utilization_trace;
+use streamhist_stream::{AgglomerativeHistogram, FixedWindowHistogram};
+
+const NS: [usize; 3] = [1_024, 4_096, 16_384];
+const BS: [usize; 3] = [4, 8, 16];
+const EPSS: [f64; 2] = [0.5, 0.1];
+
+fn bench_agglomerative_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agglomerative_push");
+    for &n in &NS {
+        let stream = utilization_trace(n, 8);
+        g.throughput(Throughput::Elements(n as u64));
+        for &b in &BS {
+            for &eps in &EPSS {
+                let id = format!("n{n}_B{b}_eps{eps}");
+                g.bench_with_input(BenchmarkId::from_parameter(id), &stream, |bch, s| {
+                    bch.iter(|| {
+                        let mut agg = AgglomerativeHistogram::new(b, eps);
+                        for &v in s {
+                            agg.push(v);
+                        }
+                        agg.sse_estimate()
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn bench_fixed_window_push(c: &mut Criterion) {
+    // Per-point ingest only: amortized O(1) regardless of (B, ε), in
+    // contrast to the agglomerative grid above.
+    let mut g = c.benchmark_group("fixed_window_push");
+    for &n in &NS {
+        let stream = utilization_trace(4 * n, 8);
+        g.throughput(Throughput::Elements(stream.len() as u64));
+        for &b in &BS {
+            for &eps in &EPSS {
+                let id = format!("n{n}_B{b}_eps{eps}");
+                g.bench_with_input(BenchmarkId::from_parameter(id), &stream, |bch, s| {
+                    bch.iter(|| {
+                        let mut fw = FixedWindowHistogram::new(n, b, eps);
+                        for &v in s {
+                            fw.push(v);
+                        }
+                        fw.total_pushed()
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn bench_fixed_window_maintain(c: &mut Criterion) {
+    // The full Theorem 1 loop: push + CreateList materialization per
+    // point, over one window's worth of points on a full window.
+    let mut g = c.benchmark_group("fixed_window_maintain");
+    g.sample_size(5);
+    for &n in &[1_024usize, 4_096] {
+        let stream = utilization_trace(n + 64, 8);
+        g.throughput(Throughput::Elements(64));
+        for &b in &[4usize, 8] {
+            for &eps in &EPSS {
+                let id = format!("n{n}_B{b}_eps{eps}");
+                g.bench_with_input(BenchmarkId::from_parameter(id), &stream, |bch, s| {
+                    bch.iter(|| {
+                        let mut fw = FixedWindowHistogram::new(n, b, eps);
+                        for &v in &s[..n] {
+                            fw.push(v);
+                        }
+                        let mut acc = 0usize;
+                        for &v in &s[n..] {
+                            acc += fw.push_and_build(v).num_buckets();
+                        }
+                        acc
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_agglomerative_push,
+    bench_fixed_window_push,
+    bench_fixed_window_maintain
+);
+criterion_main!(benches);

@@ -21,16 +21,17 @@ fn main() {
     let b = 8usize;
     let eps = 0.1f64;
 
-    println!(
-        "ABL-DELTA: window {window}, B {b}, eps {eps}, {slides} slide positions\n"
-    );
+    println!("ABL-DELTA: window {window}, B {b}, eps {eps}, {slides} slide positions\n");
     println!(
         "{:>14} {:>12} {:>12} {:>14} {:>12}",
         "delta policy", "worst ratio", "mean ratio", "queue total", "evals/build"
     );
 
-    let policies: [(&str, f64); 3] =
-        [("eps/(2B)", eps / (2.0 * b as f64)), ("eps/B", eps / b as f64), ("eps", eps)];
+    let policies: [(&str, f64); 3] = [
+        ("eps/(2B)", eps / (2.0 * b as f64)),
+        ("eps/B", eps / b as f64),
+        ("eps", eps),
+    ];
 
     for (name, delta) in policies {
         let mut fw = FixedWindowHistogram::with_delta(window, b, eps, delta);

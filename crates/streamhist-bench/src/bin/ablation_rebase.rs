@@ -18,10 +18,11 @@ fn main() {
     let stream = utilization_trace(stream_len, 616);
     let (b, eps) = (8usize, 0.5f64);
 
+    println!("ABL-REBASE: {stream_len} pushes through a {window}-window (B = {b}, eps = {eps})\n");
     println!(
-        "ABL-REBASE: {stream_len} pushes through a {window}-window (B = {b}, eps = {eps})\n"
+        "{:>12} {:>12} {:>14} {:>18}",
+        "period", "push total", "ns/push", "final boundaries"
     );
-    println!("{:>12} {:>12} {:>14} {:>18}", "period", "push total", "ns/push", "final boundaries");
 
     let mut reference: Option<Vec<usize>> = None;
     for (name, period) in [

@@ -17,8 +17,11 @@ use streamhist_optimal::optimal_histogram;
 use streamhist_stream::AgglomerativeHistogram;
 
 fn main() {
-    let sizes: &[usize] =
-        if full_scale() { &[2_000, 4_000, 8_000, 16_000, 32_000, 64_000] } else { &[1_000, 2_000, 4_000, 8_000, 16_000] };
+    let sizes: &[usize] = if full_scale() {
+        &[2_000, 4_000, 8_000, 16_000, 32_000, 64_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000, 16_000]
+    };
     let b = 32;
     let epss = [0.5f64, 0.1, 0.01];
     println!("EXP-AGG-OPT: one-pass agglomerative vs optimal DP (B = {b})\n");
@@ -32,7 +35,8 @@ fn main() {
         let (h_opt, t_opt) = timed(|| optimal_histogram(&data, b));
         let sse_opt = h_opt.sse(&data);
         for &eps in &epss {
-            let (h_agg, t_agg) = timed(|| AgglomerativeHistogram::from_slice(&data, b, eps).histogram());
+            let (h_agg, t_agg) =
+                timed(|| AgglomerativeHistogram::from_slice(&data, b, eps).histogram());
             let sse_agg = h_agg.sse(&data);
             let ratio = sse_agg / sse_opt.max(1e-12);
             println!(

@@ -23,8 +23,11 @@ use streamhist_stream::AgglomerativeHistogram;
 use streamhist_wavelet::{DynamicWavelet, WaveletSynopsis};
 
 fn main() {
-    let sizes: &[usize] =
-        if full_scale() { &[50_000, 100_000, 500_000, 1_000_000] } else { &[10_000, 50_000, 100_000] };
+    let sizes: &[usize] = if full_scale() {
+        &[50_000, 100_000, 500_000, 1_000_000]
+    } else {
+        &[10_000, 50_000, 100_000]
+    };
     let bs = [16usize, 32];
     let eps = 0.1;
     let queries = 1_000;
@@ -32,7 +35,15 @@ fn main() {
     println!("EXP-AGG-WAV: agglomerative histogram vs wavelet synopses (eps = {eps})\n");
     println!(
         "{:>8} {:>4} {:>12} {:>12} {:>10} {:>10} {:>10} {:>12} {:>12}",
-        "n", "B", "agg |err|", "wave |err|", "agg time", "batch t", "dynamic t", "agg SSE", "wave SSE"
+        "n",
+        "B",
+        "agg |err|",
+        "wave |err|",
+        "agg time",
+        "batch t",
+        "dynamic t",
+        "agg SSE",
+        "wave SSE"
     );
 
     for &n in sizes {

@@ -16,8 +16,11 @@ use streamhist_bench::{full_scale, run_fig6_cell};
 use streamhist_data::utilization_trace;
 
 fn main() {
-    let (stream_len, checkpoints, queries) =
-        if full_scale() { (1_000_000, 8, 200) } else { (100_000, 6, 200) };
+    let (stream_len, checkpoints, queries) = if full_scale() {
+        (1_000_000, 8, 200)
+    } else {
+        (100_000, 6, 200)
+    };
     let stream = utilization_trace(stream_len, 20_022);
     let windows = [256usize, 512, 1024, 2048];
     let bs = [8usize, 16];

@@ -18,8 +18,11 @@ use streamhist_stream::FixedWindowHistogram;
 use streamhist_wavelet::SlidingWindowWavelet;
 
 fn main() {
-    let (stream_len, materialize_every) =
-        if full_scale() { (1_000_000usize, 4096usize) } else { (50_000, 2048) };
+    let (stream_len, materialize_every) = if full_scale() {
+        (1_000_000usize, 4096usize)
+    } else {
+        (50_000, 2048)
+    };
     let stream = utilization_trace(stream_len, 20_022);
     let windows = [256usize, 512, 1024, 2048];
     let bs = [8usize, 16];

@@ -69,7 +69,10 @@ fn main() {
         for &b in &budgets {
             let policies: Vec<(&str, ValueHistogram)> = vec![
                 ("v-optimal", ValueHistogram::v_optimal(&freq, b)),
-                ("v-opt eps=0.1", ValueHistogram::v_optimal_approx(&freq, b, 0.1)),
+                (
+                    "v-opt eps=0.1",
+                    ValueHistogram::v_optimal_approx(&freq, b, 0.1),
+                ),
                 ("max-diff", ValueHistogram::max_diff(&freq, b)),
                 ("equi-depth", ValueHistogram::equi_depth(&freq, b)),
                 ("equi-width", ValueHistogram::equi_width(&freq, b)),

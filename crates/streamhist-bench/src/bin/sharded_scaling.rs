@@ -1,0 +1,102 @@
+//! SHARD-SCALING — thread-scaling of the sharded fixed-window summary.
+//!
+//! The arena-backed kernel makes every summary `Send`, so independent
+//! shards can run on worker threads ([`ShardedFixedWindow`]). This bench
+//! measures *weak scaling*: each shard absorbs the same fixed workload (a
+//! stream of pushes with a periodic histogram materialization — the
+//! paper's maintenance loop at a reduced build cadence), so with perfect
+//! scaling the wall time stays flat as shards are added and aggregate
+//! throughput grows linearly.
+//!
+//! Output per shard count: wall time, aggregate points/s, speedup vs one
+//! shard, and parallel efficiency (speedup / shards). Efficiency near 1.0
+//! across 2–4 shards is the near-linear regime; on a machine with fewer
+//! cores than shards the efficiency degrades proportionally, which the
+//! printed `available_parallelism` makes visible.
+//!
+//! Run: `cargo run --release -p streamhist-bench --bin sharded_scaling`
+
+use std::time::Instant;
+use streamhist_data::{collect, Ar1};
+use streamhist_stream::ShardedFixedWindow;
+
+const POINTS_PER_SHARD: usize = 100_000;
+const BATCH: usize = 1024;
+const BUILD_EVERY_BATCHES: usize = 4;
+const CAPACITY: usize = 256;
+const B: usize = 8;
+const EPS: f64 = 0.1;
+const REPS: usize = 3;
+
+/// Feeds every shard its own pre-generated stream and returns the wall
+/// time until all shards have absorbed their work (the final snapshot per
+/// shard is the completion barrier).
+fn run_once(shards: usize, streams: &[Vec<f64>]) -> f64 {
+    let sharded = ShardedFixedWindow::new(shards, CAPACITY, B, EPS);
+    let start = Instant::now();
+    let mut sent = vec![0usize; shards];
+    let mut batch_no = 0usize;
+    while sent.iter().any(|&s| s < POINTS_PER_SHARD) {
+        for shard in 0..shards {
+            if sent[shard] < POINTS_PER_SHARD {
+                let lo = sent[shard];
+                let hi = (lo + BATCH).min(POINTS_PER_SHARD);
+                sharded.push_batch(shard, streams[shard][lo..hi].to_vec());
+                sent[shard] = hi;
+            }
+        }
+        batch_no += 1;
+        if batch_no.is_multiple_of(BUILD_EVERY_BATCHES) {
+            // Ask every shard to materialize; fire-and-forget is not
+            // possible for builds, so this also paces the feeder.
+            for shard in 0..shards {
+                let (h, _) = sharded.snapshot(shard);
+                assert!(h.num_buckets() <= B);
+            }
+        }
+    }
+    for shard in 0..shards {
+        let (h, stats) = sharded.snapshot(shard);
+        assert!(h.num_buckets() <= B);
+        assert!(stats.herror_evals > 0);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let summaries = sharded.join();
+    assert!(summaries
+        .iter()
+        .all(|fw| fw.total_pushed() == POINTS_PER_SHARD as u64));
+    elapsed
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    println!("# sharded fixed-window weak scaling");
+    println!(
+        "# per-shard: {POINTS_PER_SHARD} points, build every {} points \
+         (capacity {CAPACITY}, B {B}, eps {EPS}); median of {REPS} reps",
+        BATCH * BUILD_EVERY_BATCHES
+    );
+    println!("# available_parallelism: {cores}");
+    println!("# shards  wall_s  agg_points_per_s  speedup  efficiency");
+
+    let max_shards = 4;
+    let streams: Vec<Vec<f64>> = (0..max_shards)
+        .map(|s| collect(Ar1::new(40 + s as u64, 0.9, 100.0, 25.0), POINTS_PER_SHARD))
+        .collect();
+
+    let mut base = None;
+    for shards in [1, 2, 4] {
+        let mut times: Vec<f64> = (0..REPS)
+            .map(|_| run_once(shards, &streams[..shards]))
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let wall = times[REPS / 2];
+        let agg = (shards * POINTS_PER_SHARD) as f64 / wall;
+        let base_agg = *base.get_or_insert(agg);
+        let speedup = agg / base_agg;
+        println!(
+            "{shards:7} {wall:7.3} {agg:17.0} {speedup:8.2} {:10.2}",
+            speedup / shards as f64
+        );
+    }
+}

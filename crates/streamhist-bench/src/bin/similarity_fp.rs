@@ -31,8 +31,7 @@ fn collection(count: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
     (0..count)
         .map(|i| {
             let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9));
-            let mut s: Vec<f64> =
-                (0..len).map(|_| 100.0 + rng.gen_range(-2.0..2.0)).collect();
+            let mut s: Vec<f64> = (0..len).map(|_| 100.0 + rng.gen_range(-2.0..2.0)).collect();
             for _ in 0..3 {
                 let w = rng.gen_range(4..9);
                 let at = rng.gen_range(0..len - w);
@@ -59,14 +58,21 @@ fn mean_pairwise(coll: &[Vec<f64>], samples: usize) -> f64 {
 }
 
 fn main() {
-    let (count, len, n_queries) = if full_scale() { (1_000, 256, 100) } else { (300, 128, 50) };
+    let (count, len, n_queries) = if full_scale() {
+        (1_000, 256, 100)
+    } else {
+        (300, 128, 50)
+    };
     let m = 8;
     let coll = collection(count, len, 31);
     let d_typ = mean_pairwise(&coll, 40);
     let queries: Vec<Vec<f64>> = (0..n_queries)
         .map(|k| {
             let base = &coll[(k * 13) % count];
-            base.iter().enumerate().map(|(i, v)| v + ((i * (k + 1)) % 3) as f64 * 0.5).collect()
+            base.iter()
+                .enumerate()
+                .map(|(i, v)| v + ((i * (k + 1)) % 3) as f64 * 0.5)
+                .collect()
         })
         .collect();
     let radii_frac = [0.4f64, 0.6, 0.8];
@@ -164,6 +170,10 @@ fn main() {
             stats.false_positives,
             build_time.as_secs_f64()
         );
-        assert_eq!(found, planted.len(), "lower bounding must not dismiss planted matches");
+        assert_eq!(
+            found,
+            planted.len(),
+            "lower bounding must not dismiss planted matches"
+        );
     }
 }

@@ -10,7 +10,12 @@ use streamhist_bench::{full_scale, timed};
 use streamhist_data::utilization_trace;
 use streamhist_stream::{FixedWindowHistogram, NaiveSlidingWindow};
 
-fn materialization_cost(window: usize, b: usize, eps: f64, stream: &[f64]) -> (f64, f64, Vec<usize>) {
+fn materialization_cost(
+    window: usize,
+    b: usize,
+    eps: f64,
+    stream: &[f64],
+) -> (f64, f64, Vec<usize>) {
     let mut fw = FixedWindowHistogram::new(window, b, eps);
     for &v in &stream[..window] {
         fw.push(v);

@@ -19,7 +19,11 @@ use streamhist_data::utilization_trace;
 use streamhist_stream::{AgglomerativeHistogram, FixedWindowHistogram};
 
 fn main() {
-    let sizes: &[usize] = if full_scale() { &[16_384, 65_536, 262_144] } else { &[8_192, 32_768] };
+    let sizes: &[usize] = if full_scale() {
+        &[16_384, 65_536, 262_144]
+    } else {
+        &[8_192, 32_768]
+    };
     let b = 8usize;
     let eps = 0.5f64;
 

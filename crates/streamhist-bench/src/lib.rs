@@ -21,7 +21,9 @@ use streamhist_wavelet::SlidingWindowWavelet;
 /// (`STREAMHIST_FULL=1`).
 #[must_use]
 pub fn full_scale() -> bool {
-    std::env::var("STREAMHIST_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("STREAMHIST_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Measures one closure, returning its result and the elapsed time.
@@ -92,8 +94,7 @@ pub fn run_fig6_cell(
                 let hist = fw.histogram();
                 n_checkpoints += 1;
                 let truth = fw.window();
-                let queries =
-                    WorkloadGen::new(t as u64, window).range_sums(queries_per_checkpoint);
+                let queries = WorkloadGen::new(t as u64, window).range_sums(queries_per_checkpoint);
                 hist_report = hist_report.merge(&evaluate_queries(&truth, &hist, &queries));
             }
         }
@@ -109,8 +110,7 @@ pub fn run_fig6_cell(
             if t + 1 >= window && (t + 1 - window).is_multiple_of(stride) {
                 let syn = wv.synopsis();
                 let truth = wv.window();
-                let queries =
-                    WorkloadGen::new(t as u64, window).range_sums(queries_per_checkpoint);
+                let queries = WorkloadGen::new(t as u64, window).range_sums(queries_per_checkpoint);
                 wavelet_report = wavelet_report.merge(&evaluate_queries(&truth, &syn, &queries));
             }
         }

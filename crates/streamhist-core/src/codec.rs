@@ -175,7 +175,11 @@ mod tests {
         let h = sample();
         let bytes = encode(&h);
         // 2 header + <=2 varint domain + 1 count + ~1/bucket + 8/bucket.
-        assert!(bytes.len() <= 2 + 2 + 1 + h.num_buckets() * 10, "{}", bytes.len());
+        assert!(
+            bytes.len() <= 2 + 2 + 1 + h.num_buckets() * 10,
+            "{}",
+            bytes.len()
+        );
     }
 
     #[test]

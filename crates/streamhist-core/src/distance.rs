@@ -113,7 +113,11 @@ mod tests {
         let (ea, eb) = (a.expand(), b.expand());
         assert!((l2_sq(&a, &b) - sum_squared_error(&ea, &eb)).abs() < 1e-9);
         assert!((l1(&a, &b) - sum_abs_error(&ea, &eb)).abs() < 1e-9);
-        let max = ea.iter().zip(&eb).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+        let max = ea
+            .iter()
+            .zip(&eb)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
         assert!((linf(&a, &b) - max).abs() < 1e-12);
     }
 
@@ -132,7 +136,7 @@ mod tests {
         let d = [0.0, 4.0, 8.0];
         let a = h(&d, &[2]); // height 4
         let b = h(&d, &[0, 1, 2]); // exact
-        // |4-0| + |4-4| + |4-8| = 8 ; squared: 16 + 0 + 16 = 32
+                                   // |4-0| + |4-4| + |4-8| = 8 ; squared: 16 + 0 + 16 = 32
         assert_eq!(l1(&a, &b), 8.0);
         assert_eq!(l2_sq(&a, &b), 32.0);
         assert_eq!(linf(&a, &b), 4.0);

@@ -45,7 +45,10 @@ pub fn sum_abs_error(data: &[f64], approx: &[f64]) -> f64 {
 #[must_use]
 pub fn max_abs_error(data: &[f64], approx: &[f64]) -> f64 {
     assert_eq!(data.len(), approx.len(), "sequences must have equal length");
-    data.iter().zip(approx).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    data.iter()
+        .zip(approx)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

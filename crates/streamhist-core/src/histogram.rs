@@ -37,11 +37,17 @@ impl fmt::Display for HistogramError {
             Self::DoesNotStartAtZero { start } => {
                 write!(f, "first bucket starts at {start}, expected 0")
             }
-            Self::NotContiguous { prev_end, next_start } => write!(
+            Self::NotContiguous {
+                prev_end,
+                next_start,
+            } => write!(
                 f,
                 "buckets not contiguous: previous ends at {prev_end}, next starts at {next_start}"
             ),
-            Self::DomainMismatch { last_end, domain_len } => write!(
+            Self::DomainMismatch {
+                last_end,
+                domain_len,
+            } => write!(
                 f,
                 "last bucket ends at {last_end} but the domain has length {domain_len}"
             ),
@@ -83,7 +89,10 @@ impl Histogram {
     /// `domain_len - 1`.
     pub fn new(domain_len: usize, buckets: Vec<Bucket>) -> Result<Self, HistogramError> {
         if domain_len == 0 {
-            return Ok(Self { domain_len, buckets: Vec::new() });
+            return Ok(Self {
+                domain_len,
+                buckets: Vec::new(),
+            });
         }
         let first = buckets.first().ok_or(HistogramError::Empty)?;
         if first.start != 0 {
@@ -99,9 +108,15 @@ impl Histogram {
         }
         let last_end = buckets.last().expect("non-empty").end;
         if last_end + 1 != domain_len {
-            return Err(HistogramError::DomainMismatch { last_end, domain_len });
+            return Err(HistogramError::DomainMismatch {
+                last_end,
+                domain_len,
+            });
         }
-        Ok(Self { domain_len, buckets })
+        Ok(Self {
+            domain_len,
+            buckets,
+        })
     }
 
     /// Builds the histogram induced on `data` by bucket *end* boundaries.
@@ -119,7 +134,10 @@ impl Histogram {
     pub fn from_bucket_ends(data: &[f64], ends: &[usize]) -> Self {
         if data.is_empty() {
             assert!(ends.is_empty(), "boundaries for empty data must be empty");
-            return Self { domain_len: 0, buckets: Vec::new() };
+            return Self {
+                domain_len: 0,
+                buckets: Vec::new(),
+            };
         }
         assert_eq!(
             *ends.last().expect("at least one bucket"),
@@ -130,11 +148,17 @@ impl Histogram {
         let mut buckets = Vec::with_capacity(ends.len());
         let mut start = 0usize;
         for &end in ends {
-            assert!(start <= end, "bucket boundaries must be strictly increasing");
+            assert!(
+                start <= end,
+                "bucket boundaries must be strictly increasing"
+            );
             buckets.push(Bucket::new(start, end, prefix.mean(start, end)));
             start = end + 1;
         }
-        Self { domain_len: data.len(), buckets }
+        Self {
+            domain_len: data.len(),
+            buckets,
+        }
     }
 
     /// Builds the equi-width histogram of `data` with at most `b` buckets:
@@ -150,7 +174,10 @@ impl Histogram {
     #[must_use]
     pub fn equi_width(data: &[f64], b: usize) -> Self {
         if data.is_empty() {
-            return Self { domain_len: 0, buckets: Vec::new() };
+            return Self {
+                domain_len: 0,
+                buckets: Vec::new(),
+            };
         }
         assert!(b > 0, "need at least one bucket for non-empty data");
         let n = data.len();
@@ -184,7 +211,11 @@ impl Histogram {
     /// Panics if `idx >= domain_len`.
     #[must_use]
     pub fn bucket_index_of(&self, idx: usize) -> usize {
-        assert!(idx < self.domain_len, "index {idx} out of domain {}", self.domain_len);
+        assert!(
+            idx < self.domain_len,
+            "index {idx} out of domain {}",
+            self.domain_len
+        );
         self.buckets.partition_point(|b| b.end < idx)
     }
 
@@ -208,7 +239,11 @@ impl Histogram {
     #[must_use]
     pub fn range_sum(&self, start: usize, end: usize) -> f64 {
         assert!(start <= end, "range start {start} > end {end}");
-        assert!(end < self.domain_len, "range end {end} out of domain {}", self.domain_len);
+        assert!(
+            end < self.domain_len,
+            "range end {end} out of domain {}",
+            self.domain_len
+        );
         let first = self.bucket_index_of(start);
         let mut total = 0.0;
         for b in &self.buckets[first..] {
@@ -238,7 +273,11 @@ impl Histogram {
     /// Panics if `data.len() != domain_len`.
     #[must_use]
     pub fn sse(&self, data: &[f64]) -> f64 {
-        assert_eq!(data.len(), self.domain_len, "data length must match the domain");
+        assert_eq!(
+            data.len(),
+            self.domain_len,
+            "data length must match the domain"
+        );
         self.buckets.iter().map(|b| b.sse(data)).sum()
     }
 
@@ -269,7 +308,11 @@ mod tests {
     fn simple() -> Histogram {
         Histogram::new(
             6,
-            vec![Bucket::new(0, 1, 1.0), Bucket::new(2, 4, 3.0), Bucket::new(5, 5, 10.0)],
+            vec![
+                Bucket::new(0, 1, 1.0),
+                Bucket::new(2, 4, 3.0),
+                Bucket::new(5, 5, 10.0),
+            ],
         )
         .expect("valid")
     }
@@ -278,7 +321,13 @@ mod tests {
     fn new_validates_contiguity() {
         let err = Histogram::new(4, vec![Bucket::new(0, 1, 0.0), Bucket::new(3, 3, 0.0)])
             .expect_err("gap");
-        assert_eq!(err, HistogramError::NotContiguous { prev_end: 1, next_start: 3 });
+        assert_eq!(
+            err,
+            HistogramError::NotContiguous {
+                prev_end: 1,
+                next_start: 3
+            }
+        );
     }
 
     #[test]
@@ -289,9 +338,15 @@ mod tests {
         );
         assert_eq!(
             Histogram::new(4, vec![Bucket::new(0, 2, 0.0)]).expect_err("end"),
-            HistogramError::DomainMismatch { last_end: 2, domain_len: 4 }
+            HistogramError::DomainMismatch {
+                last_end: 2,
+                domain_len: 4
+            }
         );
-        assert_eq!(Histogram::new(2, vec![]).expect_err("empty"), HistogramError::Empty);
+        assert_eq!(
+            Histogram::new(2, vec![]).expect_err("empty"),
+            HistogramError::Empty
+        );
     }
 
     #[test]

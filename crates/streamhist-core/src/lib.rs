@@ -43,5 +43,5 @@ pub use codec::{decode, encode, DecodeError};
 pub use error::{max_abs_error, sum_abs_error, sum_squared_error};
 pub use eval::{evaluate_queries, AccuracyReport};
 pub use histogram::{Histogram, HistogramError};
-pub use prefix::{GrowableWindowSums, PrefixSums, SlidingPrefixSums, WindowSums};
+pub use prefix::{GrowableWindowSums, PrefixProvider, PrefixSums, SlidingPrefixSums, WindowSums};
 pub use query::{ExactSummary, Query, SequenceSummary};

@@ -48,6 +48,61 @@ pub trait WindowSums {
     }
 }
 
+/// Read interface tailored to the streaming dynamic program (the shared
+/// `herror_eval` kernel in `streamhist-stream`): the three prefix views the
+/// DP consumes, each in the cheapest frame the backing store can serve.
+///
+/// The kernel compares segment errors of the form
+/// `SQSUM(e+1, c) − SUM(e+1, c)² / len`, where the left end `e` is an
+/// interval endpoint whose cumulative sums were captured when the endpoint
+/// was created and the right end `c` is the position being evaluated. To
+/// make that subtraction exact the two sides must come from the *same*
+/// frame, but the frame itself is arbitrary — only differences are ever
+/// used. [`dp_sums`](Self::dp_sums) therefore exposes the store's raw
+/// cumulative pairs (anchor-relative for the sliding stores, absolute for
+/// whole-stream totals) without normalizing them.
+///
+/// Bucket-boundary chains additionally need window-framed prefix sums
+/// (heights are derived from their differences, starting at window index
+/// 0), served by [`chain_sum`](Self::chain_sum), and the DP's single-bucket
+/// candidate `SQERROR[0, c]` is served by
+/// [`head_sqerror`](Self::head_sqerror).
+///
+/// Implementations: [`SlidingPrefixSums`] (count windows),
+/// [`GrowableWindowSums`] (time windows), [`PrefixSums`] (offline slices),
+/// and the whole-stream running totals inside `streamhist-stream`'s
+/// agglomerative summary.
+pub trait PrefixProvider {
+    /// Number of points currently summarized.
+    fn len(&self) -> usize;
+
+    /// Whether no points are currently summarized.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative `(sum, sqsum)` through window-relative `idx` inclusive,
+    /// in an arbitrary but internally consistent frame: only differences
+    /// between two `dp_sums` results (or between a `dp_sums` result and
+    /// itself at a later index, absent intervening mutation) are
+    /// meaningful.
+    fn dp_sums(&self, idx: usize) -> (f64, f64);
+
+    /// Sum of values over window-relative `[0, idx]` — the window frame
+    /// required by bucket-boundary chains.
+    fn chain_sum(&self, idx: usize) -> f64;
+
+    /// `SQERROR[0, idx]` (paper Eq. 2, clamped at 0): the DP's
+    /// single-bucket candidate.
+    fn head_sqerror(&self, idx: usize) -> f64;
+
+    /// Number of anchor rebases performed so far (0 for stores without a
+    /// moving anchor). Surfaced as a kernel diagnostic.
+    fn rebases(&self) -> usize {
+        0
+    }
+}
+
 /// Static prefix sums over a fixed slice: `SUM[0..=n]`, `SQSUM[0..=n]`.
 ///
 /// `sum[k]` holds the sum of the first `k` values (so `sum[0] == 0`), and
@@ -148,6 +203,7 @@ pub struct SlidingPrefixSums {
     head: (f64, f64),
     rebase_period: usize,
     since_rebase: usize,
+    rebases: usize,
 }
 
 impl SlidingPrefixSums {
@@ -178,7 +234,15 @@ impl SlidingPrefixSums {
             head: (0.0, 0.0),
             rebase_period,
             since_rebase: 0,
+            rebases: 0,
         }
+    }
+
+    /// Number of anchor moves performed so far (each pays `O(len)`; the
+    /// count is the diagnostic surfaced through kernel stats).
+    #[must_use]
+    pub fn rebases(&self) -> usize {
+        self.rebases
     }
 
     /// Window capacity `n`.
@@ -231,6 +295,7 @@ impl SlidingPrefixSums {
                 e.1 -= hq;
             }
             self.head = (0.0, 0.0);
+            self.rebases += 1;
         }
         self.since_rebase = 0;
     }
@@ -278,7 +343,6 @@ impl SlidingPrefixSums {
     }
 }
 
-
 impl WindowSums for SlidingPrefixSums {
     fn len(&self) -> usize {
         self.cum.len()
@@ -322,6 +386,7 @@ pub struct GrowableWindowSums {
     head: (f64, f64),
     rebase_period: usize,
     since_rebase: usize,
+    rebases: usize,
 }
 
 impl Default for GrowableWindowSums {
@@ -339,7 +404,19 @@ impl GrowableWindowSums {
     #[must_use]
     pub fn new(rebase_period: usize) -> Self {
         assert!(rebase_period > 0, "rebase period must be positive");
-        Self { cum: VecDeque::new(), head: (0.0, 0.0), rebase_period, since_rebase: 0 }
+        Self {
+            cum: VecDeque::new(),
+            head: (0.0, 0.0),
+            rebase_period,
+            since_rebase: 0,
+            rebases: 0,
+        }
+    }
+
+    /// Number of anchor moves performed so far.
+    #[must_use]
+    pub fn rebases(&self) -> usize {
+        self.rebases
     }
 
     /// Appends `v` to the window. Amortized `O(1)`.
@@ -373,6 +450,7 @@ impl GrowableWindowSums {
                     e.1 -= hq;
                 }
                 self.head = (0.0, 0.0);
+                self.rebases += 1;
             }
             self.since_rebase = 0;
         }
@@ -400,6 +478,73 @@ impl WindowSums for GrowableWindowSums {
     fn range_sqsum(&self, start: usize, end: usize) -> f64 {
         debug_assert!(start <= end);
         self.cum[end].1 - self.cum_before(start).1
+    }
+}
+
+// The DP frame for both sliding stores is the raw anchor-relative
+// cumulative pair: subtracting two of them cancels the anchor exactly, and
+// reproduces `range_sum`/`range_sqsum` over `(e, c]` bit for bit (both
+// reduce to `cum[c] − cum[e]`).
+
+impl PrefixProvider for SlidingPrefixSums {
+    fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    fn dp_sums(&self, idx: usize) -> (f64, f64) {
+        self.cum[idx]
+    }
+
+    fn chain_sum(&self, idx: usize) -> f64 {
+        self.range_sum(0, idx)
+    }
+
+    fn head_sqerror(&self, idx: usize) -> f64 {
+        self.sqerror(0, idx)
+    }
+
+    fn rebases(&self) -> usize {
+        self.rebases
+    }
+}
+
+impl PrefixProvider for GrowableWindowSums {
+    fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    fn dp_sums(&self, idx: usize) -> (f64, f64) {
+        self.cum[idx]
+    }
+
+    fn chain_sum(&self, idx: usize) -> f64 {
+        WindowSums::range_sum(self, 0, idx)
+    }
+
+    fn head_sqerror(&self, idx: usize) -> f64 {
+        WindowSums::sqerror(self, 0, idx)
+    }
+
+    fn rebases(&self) -> usize {
+        self.rebases
+    }
+}
+
+impl PrefixProvider for PrefixSums {
+    fn len(&self) -> usize {
+        PrefixSums::len(self)
+    }
+
+    fn dp_sums(&self, idx: usize) -> (f64, f64) {
+        (self.sum[idx + 1], self.sqsum[idx + 1])
+    }
+
+    fn chain_sum(&self, idx: usize) -> f64 {
+        PrefixSums::range_sum(self, 0, idx)
+    }
+
+    fn head_sqerror(&self, idx: usize) -> f64 {
+        PrefixSums::sqerror(self, 0, idx)
     }
 }
 

@@ -212,7 +212,10 @@ mod tests {
     fn exact_summary_roundtrips() {
         let s = ExactSummary::new(&DATA);
         assert_eq!(s.summary_len(), 6);
-        for q in [Query::Point { idx: 3 }, Query::RangeSum { start: 1, end: 5 }] {
+        for q in [
+            Query::Point { idx: 3 },
+            Query::RangeSum { start: 1, end: 5 },
+        ] {
             assert_eq!(q.estimate(&s), q.exact(&DATA));
         }
     }

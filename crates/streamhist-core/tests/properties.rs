@@ -7,9 +7,8 @@ use streamhist_core::distance;
 use streamhist_core::{codec, Histogram, PrefixSums, Query, SlidingPrefixSums};
 
 fn data_strategy() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1000..1000i64, 1..80).prop_map(|v| {
-        v.into_iter().map(|x| x as f64).collect()
-    })
+    prop::collection::vec(-1000..1000i64, 1..80)
+        .prop_map(|v| v.into_iter().map(|x| x as f64).collect())
 }
 
 /// A random valid bucket-ends list for a domain of length n.

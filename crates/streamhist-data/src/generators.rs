@@ -51,7 +51,12 @@ impl RandomWalk {
     /// Creates a walk starting at `start`.
     #[must_use]
     pub fn new(seed: u64, start: f64, drift: f64, sigma: f64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), level: start, drift, sigma }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            level: start,
+            drift,
+            sigma,
+        }
     }
 }
 
@@ -86,7 +91,13 @@ impl Ar1 {
     #[must_use]
     pub fn new(seed: u64, phi: f64, mean: f64, sigma: f64) -> Self {
         assert!(phi.abs() < 1.0, "AR(1) requires |phi| < 1 for stationarity");
-        Self { rng: StdRng::seed_from_u64(seed), phi, mean, sigma, state: mean }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            phi,
+            mean,
+            sigma,
+            state: mean,
+        }
     }
 }
 
@@ -95,8 +106,8 @@ impl Iterator for Ar1 {
 
     fn next(&mut self) -> Option<f64> {
         let out = self.state;
-        self.state = self.mean + self.phi * (self.state - self.mean)
-            + self.sigma * gauss(&mut self.rng);
+        self.state =
+            self.mean + self.phi * (self.state - self.mean) + self.sigma * gauss(&mut self.rng);
         Some(out)
     }
 }
@@ -128,7 +139,14 @@ impl BurstyOnOff {
     pub fn new(seed: u64, p_on: f64, p_off: f64, magnitude: f64, alpha: f64) -> Self {
         assert!((0.0..=1.0).contains(&p_on) && (0.0..=1.0).contains(&p_off));
         assert!(alpha > 0.0, "Pareto shape must be positive");
-        Self { rng: StdRng::seed_from_u64(seed), p_on, p_off, magnitude, alpha, current: None }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            p_on,
+            p_off,
+            magnitude,
+            alpha,
+            current: None,
+        }
     }
 
     fn pareto(&mut self) -> f64 {
@@ -186,7 +204,12 @@ impl LevelShift {
     #[must_use]
     pub fn new(seed: u64, p_shift: f64, scale: f64) -> Self {
         assert!((0.0..=1.0).contains(&p_shift));
-        Self { rng: StdRng::seed_from_u64(seed), p_shift, scale, level: 0.0 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            p_shift,
+            scale,
+            level: 0.0,
+        }
     }
 }
 
@@ -224,7 +247,14 @@ impl Diurnal {
     #[must_use]
     pub fn new(seed: u64, base: f64, amplitude: f64, period: usize, noise: f64) -> Self {
         assert!(period > 0, "period must be positive");
-        Self { rng: StdRng::seed_from_u64(seed), base, amplitude, period, noise, t: 0 }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            base,
+            amplitude,
+            period,
+            noise,
+            t: 0,
+        }
     }
 }
 
@@ -256,7 +286,11 @@ impl SpikeTrain {
     #[must_use]
     pub fn new(seed: u64, p_spike: f64, height: f64) -> Self {
         assert!((0.0..=1.0).contains(&p_spike));
-        Self { rng: StdRng::seed_from_u64(seed), p_spike, height }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            p_spike,
+            height,
+        }
     }
 }
 
@@ -290,7 +324,11 @@ impl UniformNoise {
     #[must_use]
     pub fn new(seed: u64, lo: f64, hi: f64) -> Self {
         assert!(lo < hi, "need lo < hi");
-        Self { rng: StdRng::seed_from_u64(seed), lo, hi }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            lo,
+            hi,
+        }
     }
 }
 
@@ -334,7 +372,10 @@ impl Zipfian {
         for c in &mut cdf {
             *c /= total;
         }
-        Self { rng: StdRng::seed_from_u64(seed), cdf }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            cdf,
+        }
     }
 }
 
@@ -358,7 +399,9 @@ pub struct Mixture {
 
 impl std::fmt::Debug for Mixture {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mixture").field("parts", &self.parts.len()).finish()
+        f.debug_struct("Mixture")
+            .field("parts", &self.parts.len())
+            .finish()
     }
 }
 
@@ -406,7 +449,10 @@ mod tests {
     fn ar1_stays_near_mean() {
         let v = collect(Ar1::new(5, 0.5, 100.0, 1.0), 10_000);
         let mean = v.iter().sum::<f64>() / v.len() as f64;
-        assert!((mean - 100.0).abs() < 2.0, "empirical mean {mean} far from 100");
+        assert!(
+            (mean - 100.0).abs() < 2.0,
+            "empirical mean {mean} far from 100"
+        );
     }
 
     #[test]
@@ -429,7 +475,10 @@ mod tests {
                 saw_constant_run = true;
             }
         }
-        assert!(saw_constant_run, "expected at least one burst of length >= 2");
+        assert!(
+            saw_constant_run,
+            "expected at least one burst of length >= 2"
+        );
     }
 
     #[test]
@@ -437,7 +486,10 @@ mod tests {
         let v = collect(LevelShift::new(11, 0.05, 10.0), 2000);
         let distinct: std::collections::BTreeSet<u64> = v.iter().map(|x| x.to_bits()).collect();
         assert!(distinct.len() > 1, "should shift at least once");
-        assert!(distinct.len() < 300, "should hold levels, not change every step");
+        assert!(
+            distinct.len() < 300,
+            "should hold levels, not change every step"
+        );
     }
 
     #[test]
@@ -454,7 +506,10 @@ mod tests {
         let v = collect(SpikeTrain::new(17, 0.01, 100.0), 10_000);
         let zeros = v.iter().filter(|&&x| x == 0.0).count();
         assert!(zeros > 9_500, "expected mostly zeros, got {zeros}");
-        assert!(v.iter().any(|&x| x >= 100.0), "spikes must reach the height");
+        assert!(
+            v.iter().any(|&x| x >= 100.0),
+            "spikes must reach the height"
+        );
     }
 
     #[test]

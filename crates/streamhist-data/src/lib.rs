@@ -84,6 +84,9 @@ mod tests {
         let var = t.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64;
         assert!(var > 0.0, "trace must not be constant");
         let max = t.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(max > mean * 1.2, "trace should contain bursts above the mean");
+        assert!(
+            max > mean * 1.2,
+            "trace should contain bursts above the mean"
+        );
     }
 }

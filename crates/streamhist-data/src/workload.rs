@@ -38,7 +38,11 @@ impl WorkloadGen {
     pub fn with_max_span(seed: u64, domain_len: usize, max_span: usize) -> Self {
         assert!(domain_len > 0, "domain must be non-empty");
         assert!(max_span > 0, "max span must be positive");
-        Self { rng: StdRng::seed_from_u64(seed), domain_len, max_span: max_span.min(domain_len) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            domain_len,
+            max_span: max_span.min(domain_len),
+        }
     }
 
     fn range(&mut self) -> (usize, usize) {
@@ -62,7 +66,9 @@ impl WorkloadGen {
 
     /// Draws one random point query.
     pub fn point(&mut self) -> Query {
-        Query::Point { idx: self.rng.gen_range(0..self.domain_len) }
+        Query::Point {
+            idx: self.rng.gen_range(0..self.domain_len),
+        }
     }
 
     /// Draws a batch of `count` range-sum queries — the paper's evaluation
@@ -139,6 +145,9 @@ mod tests {
                 seen[start] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "uniform starts should hit every index");
+        assert!(
+            seen.iter().all(|&s| s),
+            "uniform starts should hit every index"
+        );
     }
 }

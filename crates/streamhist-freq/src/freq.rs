@@ -24,7 +24,12 @@ impl FrequencyVector {
     pub fn new(lo: i64, hi: i64) -> Self {
         assert!(lo <= hi, "need lo <= hi");
         let width = usize::try_from(hi - lo).expect("domain fits in memory") + 1;
-        Self { lo, counts: vec![0; width], total: 0, out_of_range: 0 }
+        Self {
+            lo,
+            counts: vec![0; width],
+            total: 0,
+            out_of_range: 0,
+        }
     }
 
     /// Builds the vector from an iterator of values.

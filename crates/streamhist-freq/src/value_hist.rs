@@ -41,7 +41,11 @@ impl ValueHistogram {
     #[must_use]
     pub fn v_optimal(freq: &FrequencyVector, b: usize) -> Self {
         let hist = streamhist_optimal::optimal_histogram(&freq.frequencies(), b);
-        Self { lo: freq.lo(), hist, total: freq.total() }
+        Self {
+            lo: freq.lo(),
+            hist,
+            total: freq.total(),
+        }
     }
 
     /// V-optimal bucketization via the paper's one-pass `(1+ε)`
@@ -53,7 +57,11 @@ impl ValueHistogram {
     #[must_use]
     pub fn v_optimal_approx(freq: &FrequencyVector, b: usize, eps: f64) -> Self {
         let hist = streamhist_stream::approx_histogram(&freq.frequencies(), b, eps);
-        Self { lo: freq.lo(), hist, total: freq.total() }
+        Self {
+            lo: freq.lo(),
+            hist,
+            total: freq.total(),
+        }
     }
 
     /// MaxDiff bucketization: boundaries at the `B−1` largest adjacent
@@ -66,7 +74,11 @@ impl ValueHistogram {
     pub fn max_diff(freq: &FrequencyVector, b: usize) -> Self {
         let f = freq.frequencies();
         let ends = max_diff_ends(&f, b);
-        Self { lo: freq.lo(), hist: Histogram::from_bucket_ends(&f, &ends), total: freq.total() }
+        Self {
+            lo: freq.lo(),
+            hist: Histogram::from_bucket_ends(&f, &ends),
+            total: freq.total(),
+        }
     }
 
     /// Equi-width bucketization of the value domain.
@@ -77,7 +89,11 @@ impl ValueHistogram {
     #[must_use]
     pub fn equi_width(freq: &FrequencyVector, b: usize) -> Self {
         let hist = Histogram::equi_width(&freq.frequencies(), b);
-        Self { lo: freq.lo(), hist, total: freq.total() }
+        Self {
+            lo: freq.lo(),
+            hist,
+            total: freq.total(),
+        }
     }
 
     /// Equi-depth bucketization: boundaries at (approximately) equal
@@ -107,7 +123,11 @@ impl ValueHistogram {
             }
         }
         ends.push(d - 1);
-        Self { lo: freq.lo(), hist: Histogram::from_bucket_ends(&f, &ends), total: freq.total() }
+        Self {
+            lo: freq.lo(),
+            hist: Histogram::from_bucket_ends(&f, &ends),
+            total: freq.total(),
+        }
     }
 
     /// The underlying index-domain histogram (indices are `value − lo`).
@@ -261,7 +281,11 @@ mod tests {
         // Zipf-ish counts over values 0..=63 with a few hot values.
         let mut f = FrequencyVector::new(0, 63);
         for v in 0..64i64 {
-            let c = if v % 16 == 0 { 500 } else { 1 + (v % 7) as usize };
+            let c = if v % 16 == 0 {
+                500
+            } else {
+                1 + (v % 7) as usize
+            };
             for _ in 0..c {
                 f.add(v);
             }
@@ -272,7 +296,10 @@ mod tests {
     fn all_constructors(freq: &FrequencyVector, b: usize) -> Vec<(&'static str, ValueHistogram)> {
         vec![
             ("v_optimal", ValueHistogram::v_optimal(freq, b)),
-            ("v_optimal_approx", ValueHistogram::v_optimal_approx(freq, b, 0.1)),
+            (
+                "v_optimal_approx",
+                ValueHistogram::v_optimal_approx(freq, b, 0.1),
+            ),
             ("max_diff", ValueHistogram::max_diff(freq, b)),
             ("equi_width", ValueHistogram::equi_width(freq, b)),
             ("equi_depth", ValueHistogram::equi_depth(freq, b)),
@@ -349,7 +376,10 @@ mod tests {
         for bkt in h.histogram().buckets() {
             let mass: f64 = f[bkt.start..=bkt.end].iter().sum();
             // Heavy point masses limit balance; stay within 2x of target.
-            assert!(mass <= 2.5 * per_bucket, "bucket mass {mass} vs target {per_bucket}");
+            assert!(
+                mass <= 2.5 * per_bucket,
+                "bucket mass {mass} vs target {per_bucket}"
+            );
         }
     }
 

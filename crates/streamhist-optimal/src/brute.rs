@@ -67,13 +67,31 @@ pub fn brute_force_optimal(data: &[f64], b: usize) -> Histogram {
                 }
             } else {
                 ends.push(end);
-                recurse(prefix, n, b, end + 1, acc_sse + cost, ends, best_sse, best_ends);
+                recurse(
+                    prefix,
+                    n,
+                    b,
+                    end + 1,
+                    acc_sse + cost,
+                    ends,
+                    best_sse,
+                    best_ends,
+                );
                 ends.pop();
             }
         }
     }
 
-    recurse(&prefix, n, b, 0, 0.0, &mut ends, &mut best_sse, &mut best_ends);
+    recurse(
+        &prefix,
+        n,
+        b,
+        0,
+        0.0,
+        &mut ends,
+        &mut best_sse,
+        &mut best_ends,
+    );
     Histogram::from_bucket_ends(data, &best_ends)
 }
 

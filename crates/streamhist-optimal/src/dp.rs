@@ -92,7 +92,13 @@ pub fn optimal_sse(data: &[f64], b: usize) -> f64 {
     let b = b.min(n);
     let prefix = PrefixSums::new(data);
     let mut herror: Vec<f64> = (0..=n)
-        .map(|j| if j == 0 { 0.0 } else { prefix.sqerror(0, j - 1) })
+        .map(|j| {
+            if j == 0 {
+                0.0
+            } else {
+                prefix.sqerror(0, j - 1)
+            }
+        })
         .collect();
     let mut scratch = vec![0.0f64; n + 1];
     for _ in 1..b {
@@ -229,7 +235,12 @@ mod tests {
         let table = herror_table(&data, 4);
         for (k, row) in table.iter().enumerate() {
             for w in row.windows(2) {
-                assert!(w[1] >= w[0] - 1e-9, "row {k} decreased: {} -> {}", w[0], w[1]);
+                assert!(
+                    w[1] >= w[0] - 1e-9,
+                    "row {k} decreased: {} -> {}",
+                    w[0],
+                    w[1]
+                );
             }
         }
     }

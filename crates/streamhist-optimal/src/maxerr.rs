@@ -194,7 +194,13 @@ pub fn max_error_dp(data: &[f64], b: usize) -> Histogram {
     let b = b.min(n);
     let table = RangeMinMax::new(data);
     let mut err: Vec<f64> = (0..=n)
-        .map(|j| if j == 0 { 0.0 } else { table.bucket_cost(0, j - 1) })
+        .map(|j| {
+            if j == 0 {
+                0.0
+            } else {
+                table.bucket_cost(0, j - 1)
+            }
+        })
         .collect();
     let mut back = vec![vec![0usize; n + 1]; b];
     for k in 1..b {
@@ -266,7 +272,13 @@ mod tests {
                 return;
             }
             for end in start..n - 1 {
-                recurse(table, end + 1, left - 1, acc.max(table.bucket_cost(start, end)), best);
+                recurse(
+                    table,
+                    end + 1,
+                    left - 1,
+                    acc.max(table.bucket_cost(start, end)),
+                    best,
+                );
             }
             *best = best.min(acc.max(table.bucket_cost(start, n - 1)));
         }
@@ -283,7 +295,10 @@ mod tests {
         for i in 0..data.len() {
             for j in i..data.len() {
                 let naive_min = data[i..=j].iter().cloned().fold(f64::INFINITY, f64::min);
-                let naive_max = data[i..=j].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let naive_max = data[i..=j]
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
                 assert_eq!(t.min(i, j), naive_min, "min ({i},{j})");
                 assert_eq!(t.max(i, j), naive_max, "max ({i},{j})");
             }
@@ -306,8 +321,14 @@ mod tests {
                 let brute = brute_force_max_error(data, b);
                 let ge = realized_max_error(&greedy, data);
                 let de = realized_max_error(&dp, data);
-                assert!((ge - brute).abs() < 1e-6, "greedy {ge} vs brute {brute} (b={b}, {data:?})");
-                assert!((de - brute).abs() < 1e-6, "dp {de} vs brute {brute} (b={b}, {data:?})");
+                assert!(
+                    (ge - brute).abs() < 1e-6,
+                    "greedy {ge} vs brute {brute} (b={b}, {data:?})"
+                );
+                assert!(
+                    (de - brute).abs() < 1e-6,
+                    "dp {de} vs brute {brute} (b={b}, {data:?})"
+                );
             }
         }
     }

@@ -112,8 +112,7 @@ impl RollingMedian {
     #[must_use]
     pub fn sae(&self) -> f64 {
         let m = self.median();
-        (m * self.low.len() as f64 - self.sum_low)
-            + (self.sum_high - m * self.high.len() as f64)
+        (m * self.low.len() as f64 - self.sum_low) + (self.sum_high - m * self.high.len() as f64)
     }
 }
 
@@ -218,7 +217,13 @@ mod tests {
                 return;
             }
             for end in start..n - 1 {
-                recurse(data, end + 1, left - 1, acc + naive_sae(&data[start..=end]), best);
+                recurse(
+                    data,
+                    end + 1,
+                    left - 1,
+                    acc + naive_sae(&data[start..=end]),
+                    best,
+                );
             }
             *best = (*best).min(acc + naive_sae(&data[start..]));
         }
@@ -234,7 +239,12 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             rm.insert(v);
             let naive = naive_sae(&data[..=i]);
-            assert!((rm.sae() - naive).abs() < 1e-9, "prefix {}: {} vs {naive}", i + 1, rm.sae());
+            assert!(
+                (rm.sae() - naive).abs() < 1e-9,
+                "prefix {}: {} vs {naive}",
+                i + 1,
+                rm.sae()
+            );
         }
     }
 

@@ -27,9 +27,13 @@ impl EquiDepthHistogram {
     pub fn from_summary<S: QuantileSummary>(summary: &S, b: usize) -> Self {
         assert!(b > 0, "need at least one bucket");
         assert!(summary.count() > 0, "summary is empty");
-        let boundaries: Vec<f64> =
-            (0..=b).map(|i| summary.quantile(i as f64 / b as f64)).collect();
-        Self { boundaries, n: summary.count() }
+        let boundaries: Vec<f64> = (0..=b)
+            .map(|i| summary.quantile(i as f64 / b as f64))
+            .collect();
+        Self {
+            boundaries,
+            n: summary.count(),
+        }
     }
 
     /// Number of buckets.
@@ -192,7 +196,11 @@ mod tests {
         // 90% of mass at small values: lower boundaries should be tight.
         let mut gk = GkSummary::new(0.005);
         for i in 0..10_000 {
-            let v = if i % 10 == 0 { 1000.0 + (i % 97) as f64 } else { (i % 10) as f64 };
+            let v = if i % 10 == 0 {
+                1000.0 + (i % 97) as f64
+            } else {
+                (i % 10) as f64
+            };
             gk.insert(v);
         }
         let h = EquiDepthHistogram::from_summary(&gk, 10);

@@ -50,7 +50,13 @@ impl GkSummary {
     pub fn new(eps: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
         let compress_period = (1.0 / (2.0 * eps)).floor().max(1.0) as usize;
-        Self { eps, n: 0, tuples: Vec::new(), since_compress: 0, compress_period }
+        Self {
+            eps,
+            n: 0,
+            tuples: Vec::new(),
+            since_compress: 0,
+            compress_period,
+        }
     }
 
     /// The configured tolerance `ε`.
@@ -103,7 +109,11 @@ impl GkSummary {
             };
             if can_merge {
                 let prev = out.last_mut().expect("first tuple always pushed");
-                *prev = Tuple { v: t.v, g: prev.g + t.g, delta: t.delta };
+                *prev = Tuple {
+                    v: t.v,
+                    g: prev.g + t.g,
+                    delta: t.delta,
+                };
             } else {
                 out.push(t);
             }
@@ -216,7 +226,11 @@ mod tests {
         for i in 0..100_000 {
             gk.insert(((i * 31) % 1000) as f64);
         }
-        assert!(gk.stored() < 2_000, "stored {} tuples for n=100000", gk.stored());
+        assert!(
+            gk.stored() < 2_000,
+            "stored {} tuples for n=100000",
+            gk.stored()
+        );
     }
 
     #[test]

@@ -38,8 +38,17 @@ impl MrlSummary {
     /// Panics if `k < 2` or `k` is odd.
     #[must_use]
     pub fn new(k: usize) -> Self {
-        assert!(k >= 2 && k.is_multiple_of(2), "buffer size must be an even number >= 2");
-        Self { k, n: 0, levels: Vec::new(), partial: Vec::with_capacity(k), keep_odd: false }
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "buffer size must be an even number >= 2"
+        );
+        Self {
+            k,
+            n: 0,
+            levels: Vec::new(),
+            partial: Vec::with_capacity(k),
+            keep_odd: false,
+        }
     }
 
     /// Buffer size `k`.
@@ -162,12 +171,20 @@ impl QuantileSummary for MrlSummary {
     }
 
     fn rank(&self, v: f64) -> usize {
-        self.weighted().iter().filter(|&&(x, _)| x <= v).map(|&(_, w)| w as usize).sum()
+        self.weighted()
+            .iter()
+            .filter(|&&(x, _)| x <= v)
+            .map(|&(_, w)| w as usize)
+            .sum()
     }
 
     fn stored(&self) -> usize {
         self.partial.len()
-            + self.levels.iter().map(|b| b.as_ref().map_or(0, Vec::len)).sum::<usize>()
+            + self
+                .levels
+                .iter()
+                .map(|b| b.as_ref().map_or(0, Vec::len))
+                .sum::<usize>()
     }
 }
 
@@ -198,7 +215,10 @@ mod tests {
         let med = m.quantile(0.5);
         // Tolerance: a generous multiple of n/k * log2(n/k).
         let tol = (n / 256) as f64 * ((n / 256) as f64).log2() * 4.0;
-        assert!((med - (n / 2) as f64).abs() <= tol, "median {med}, tol {tol}");
+        assert!(
+            (med - (n / 2) as f64).abs() <= tol,
+            "median {med}, tol {tol}"
+        );
     }
 
     #[test]
@@ -260,7 +280,10 @@ mod tests {
         assert_eq!(merged.count(), n);
         let med = merged.quantile(0.5);
         let tol = (n / k) as f64 * ((n / k) as f64).log2() * 4.0;
-        assert!((med - (n / 2) as f64).abs() <= tol, "median {med}, tol {tol}");
+        assert!(
+            (med - (n / 2) as f64).abs() <= tol,
+            "median {med}, tol {tol}"
+        );
         // Extremes survive merging within tolerance.
         assert!(merged.quantile(0.0) <= tol);
         assert!(merged.quantile(1.0) >= n as f64 - 1.0 - tol);

@@ -126,7 +126,13 @@ mod tests {
         // never worse (the merge sequence with larger m is a prefix of the
         // one with smaller m).
         let s: Vec<f64> = (0..64)
-            .map(|i| if (16..24).contains(&i) { 50.0 } else { ((i * 3) % 7) as f64 })
+            .map(|i| {
+                if (16..24).contains(&i) {
+                    50.0
+                } else {
+                    ((i * 3) % 7) as f64
+                }
+            })
             .collect();
         let mut last = f64::INFINITY;
         for m in [1, 2, 4, 8, 16] {

@@ -76,9 +76,18 @@ impl PiecewiseConstant {
     /// means) into a representation.
     #[must_use]
     pub fn from_histogram(h: &Histogram) -> Self {
-        let segments =
-            h.buckets().iter().map(|b| Segment { end: b.end, value: b.height }).collect();
-        Self { len: h.domain_len(), segments }
+        let segments = h
+            .buckets()
+            .iter()
+            .map(|b| Segment {
+                end: b.end,
+                value: b.height,
+            })
+            .collect();
+        Self {
+            len: h.domain_len(),
+            segments,
+        }
     }
 
     /// Length of the represented series.
@@ -151,7 +160,11 @@ impl PiecewiseConstant {
 /// Panics if the query length differs from the representation length.
 #[must_use]
 pub fn lower_bound_dist(query_prefix: &PrefixSums, repr: &PiecewiseConstant) -> f64 {
-    assert_eq!(query_prefix.len(), repr.len(), "query and candidate lengths must match");
+    assert_eq!(
+        query_prefix.len(),
+        repr.len(),
+        "query and candidate lengths must match"
+    );
     let mut acc = 0.0;
     let mut start = 0usize;
     for s in repr.segments() {
@@ -188,8 +201,7 @@ mod tests {
             // Segment values are exact means.
             let mut start = 0;
             for seg in r.segments() {
-                let mean =
-                    s[start..=seg.end].iter().sum::<f64>() / (seg.end + 1 - start) as f64;
+                let mean = s[start..=seg.end].iter().sum::<f64>() / (seg.end + 1 - start) as f64;
                 assert!((seg.value - mean).abs() < 1e-9, "{method:?}");
                 start = seg.end + 1;
             }

@@ -48,8 +48,15 @@ impl SeriesIndex {
             series.iter().all(|s| s.len() == series_len),
             "all series must have equal length"
         );
-        let reprs = series.iter().map(|s| PiecewiseConstant::build(s, m, method)).collect();
-        Self { series_len, series, reprs }
+        let reprs = series
+            .iter()
+            .map(|s| PiecewiseConstant::build(s, m, method))
+            .collect();
+        Self {
+            series_len,
+            series,
+            reprs,
+        }
     }
 
     /// Number of indexed series.
@@ -88,7 +95,11 @@ impl SeriesIndex {
     /// Panics if `query.len() != series_len` or `radius < 0`.
     #[must_use]
     pub fn range_query(&self, query: &[f64], radius: f64) -> (Vec<usize>, SearchStats) {
-        assert_eq!(query.len(), self.series_len, "query length must match the index");
+        assert_eq!(
+            query.len(),
+            self.series_len,
+            "query length must match the index"
+        );
         assert!(radius >= 0.0, "radius must be non-negative");
         let qp = PrefixSums::new(query);
         let mut stats = SearchStats::default();
@@ -119,7 +130,11 @@ impl SeriesIndex {
     /// Panics if `query.len() != series_len`.
     #[must_use]
     pub fn nearest(&self, query: &[f64]) -> (usize, f64, SearchStats) {
-        assert_eq!(query.len(), self.series_len, "query length must match the index");
+        assert_eq!(
+            query.len(),
+            self.series_len,
+            "query length must match the index"
+        );
         let qp = PrefixSums::new(query);
         // Sort candidates by lower bound so good matches verify early and
         // tighten the pruning radius.
@@ -184,7 +199,10 @@ impl SubsequenceIndex {
             windows.push(series[start..start + window_len].to_vec());
             start += step;
         }
-        Self { offsets, inner: SeriesIndex::build(windows, m, method) }
+        Self {
+            offsets,
+            inner: SeriesIndex::build(windows, m, method),
+        }
     }
 
     /// Number of indexed windows.
@@ -310,9 +328,8 @@ mod tests {
             *v = 50.0;
         }
         let pattern = series[96..128].to_vec();
-        let idx = SubsequenceIndex::build(&series, 32, 4, 4, ReprMethod::VOptimalApprox {
-            eps: 0.1,
-        });
+        let idx =
+            SubsequenceIndex::build(&series, 32, 4, 4, ReprMethod::VOptimalApprox { eps: 0.1 });
         let (hits, stats) = idx.range_query(&pattern, 1.0);
         assert!(hits.contains(&96), "hits {hits:?}");
         assert!(stats.pruned > 0, "distant windows should be pruned");

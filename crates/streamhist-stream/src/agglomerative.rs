@@ -15,34 +15,19 @@
 //! extends the last interval of each queue or starts a new one. Prefix sums
 //! are stored only at interval endpoints, giving total space
 //! `O((B²/ε) log n)`.
+//!
+//! The queue maintenance and minimization live in the shared
+//! [`crate::kernel`]; this type drives it in online mode over whole-stream
+//! running totals.
 
-use crate::chain::Cut;
-use std::rc::Rc;
-use streamhist_core::Histogram;
-
-/// An interval endpoint retained in a queue: the point's index, the prefix
-/// sums through it (paper: "store the values SUM[j] and SQSUM[j]"), its
-/// approximate `HERROR` at this queue's level, and the boundary chain
-/// realizing that error.
-#[derive(Debug)]
-struct Endpoint {
-    idx: usize,
-    sum: f64,
-    sqsum: f64,
-    herror: f64,
-    chain: Rc<Cut>,
-}
-
-/// One queue interval `[a_ℓ, b_ℓ]`: we keep the `HERROR` at its start (the
-/// `(1+δ)` growth anchor) and the full endpoint record at its (advancing)
-/// end.
-#[derive(Debug)]
-struct Interval {
-    start_herror: f64,
-    end: Endpoint,
-}
+use crate::kernel::{Kernel, KernelStats, StreamTotals};
+use streamhist_core::{Histogram, PrefixProvider};
 
 /// One-pass `(1+ε)`-approximate V-optimal histogram of an entire stream.
+///
+/// The summary is `Send + 'static` (its boundary chains live in a flat
+/// index-linked arena), so it can be built on one thread and handed to
+/// another — see `ShardedFixedWindow` for the sharded-deployment pattern.
 ///
 /// # Example
 ///
@@ -62,13 +47,8 @@ pub struct AgglomerativeHistogram {
     b: usize,
     eps: f64,
     delta: f64,
-    count: usize,
-    sum: f64,
-    sqsum: f64,
-    /// `queues[k-1]` is the interval queue for level `k` (`k = 1 ..= b−1`).
-    queues: Vec<Vec<Interval>>,
-    /// `(HERROR[j, B], chain)` for the most recent point `j`.
-    top: Option<(f64, Rc<Cut>)>,
+    totals: StreamTotals,
+    kernel: Kernel,
 }
 
 impl AgglomerativeHistogram {
@@ -102,11 +82,8 @@ impl AgglomerativeHistogram {
             b,
             eps,
             delta,
-            count: 0,
-            sum: 0.0,
-            sqsum: 0.0,
-            queues: (1..b).map(|_| Vec::new()).collect(),
-            top: None,
+            totals: StreamTotals::default(),
+            kernel: Kernel::new_online(b, delta),
         }
     }
 
@@ -142,20 +119,29 @@ impl AgglomerativeHistogram {
     /// Number of stream points consumed so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.count
+        self.totals.len()
     }
 
     /// Whether any points have been consumed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.totals.len() == 0
     }
 
     /// Current interval-queue lengths per level (`B−1` entries) — the
     /// space diagnostic bounded by `O((1/δ) log n)` per level.
     #[must_use]
     pub fn queue_sizes(&self) -> Vec<usize> {
-        self.queues.iter().map(Vec::len).collect()
+        self.kernel.queue_sizes()
+    }
+
+    /// Cumulative kernel diagnostics since creation: queue sizes, `HERROR`
+    /// evaluations, arena occupancy/peak and compactions, and the current
+    /// `HERROR` estimate. (`binary_searches` and `rebases` are always 0 in
+    /// this mode.)
+    #[must_use]
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel.stats(0)
     }
 
     /// The maintained estimate of `HERROR[n, B]`: the SSE the returned
@@ -163,7 +149,7 @@ impl AgglomerativeHistogram {
     /// Returns 0 for an empty stream.
     #[must_use]
     pub fn sse_estimate(&self) -> f64 {
-        self.top.as_ref().map_or(0.0, |(h, _)| *h)
+        self.kernel.top.as_ref().map_or(0.0, |(h, _)| *h)
     }
 
     /// Consumes one stream point. Cost `O(B · q)` where `q` is the current
@@ -175,63 +161,8 @@ impl AgglomerativeHistogram {
     /// the prefix sums and every later answer).
     pub fn push(&mut self, v: f64) {
         assert!(v.is_finite(), "stream values must be finite");
-        let idx = self.count;
-        self.count += 1;
-        self.sum += v;
-        self.sqsum += v * v;
-        let (sum, sqsum) = (self.sum, self.sqsum);
-
-        // HERROR[idx, k] and its realizing chain, for k = 1 ..= b.
-        let mut herrs: Vec<(f64, Rc<Cut>)> = Vec::with_capacity(self.b);
-        let h1 = (sqsum - sum * sum / self.count as f64).max(0.0);
-        herrs.push((h1, Cut::root(idx, sum)));
-        for k in 2..=self.b {
-            // Fewer buckets are always admissible (at-most-B semantics).
-            let (mut best, mut best_chain) = {
-                let (h, c) = &herrs[k - 2];
-                (*h, Rc::clone(c))
-            };
-            // Scan endpoints nearest-first: SQERROR[e+1, idx] is
-            // non-increasing in e.idx, so once it alone reaches `best`,
-            // every farther candidate is provably no better and the scan
-            // can stop without affecting the computed minimum.
-            for interval in self.queues[k - 2].iter().rev() {
-                let e = &interval.end;
-                debug_assert!(e.idx < idx);
-                let len = (idx - e.idx) as f64;
-                let s = sum - e.sum;
-                let q = sqsum - e.sqsum;
-                let sq = (q - s * s / len).max(0.0);
-                if sq >= best {
-                    break;
-                }
-                let val = e.herror + sq;
-                if val < best {
-                    best = val;
-                    best_chain = Cut::extend(&e.chain, idx, sum);
-                }
-            }
-            herrs.push((best, best_chain));
-        }
-
-        // Update the queues (paper Fig. 3 lines 7-10): start a new interval
-        // when the error has grown past the (1+δ) anchor, else advance the
-        // last interval's endpoint.
-        for k in 1..self.b {
-            let (h, chain) = {
-                let (h, c) = &herrs[k - 1];
-                (*h, Rc::clone(c))
-            };
-            let ep = Endpoint { idx, sum, sqsum, herror: h, chain };
-            let queue = &mut self.queues[k - 1];
-            match queue.last_mut() {
-                Some(last) if h <= (1.0 + self.delta) * last.start_herror => last.end = ep,
-                _ => queue.push(Interval { start_herror: h, end: ep }),
-            }
-        }
-
-        let (h, c) = &herrs[self.b - 1];
-        self.top = Some((*h, Rc::clone(c)));
+        self.totals.push(v);
+        self.kernel.push_point(&self.totals);
     }
 
     /// Materializes the current `(1+ε)`-approximate B-histogram of
@@ -239,10 +170,7 @@ impl AgglomerativeHistogram {
     /// incrementally.
     #[must_use]
     pub fn histogram(&self) -> Histogram {
-        match &self.top {
-            None => Histogram::new(0, Vec::new()).expect("empty domain is always valid"),
-            Some((_, chain)) => chain.into_histogram(),
-        }
+        self.kernel.materialize_top()
     }
 }
 
@@ -341,7 +269,9 @@ mod tests {
 
     #[test]
     fn monotone_improvement_with_more_buckets() {
-        let data: Vec<f64> = (0..150).map(|i| ((i * 7) % 13) as f64 + (i / 50) as f64 * 40.0).collect();
+        let data: Vec<f64> = (0..150)
+            .map(|i| ((i * 7) % 13) as f64 + (i / 50) as f64 * 40.0)
+            .collect();
         let mut last = f64::INFINITY;
         for b in 1..=6 {
             let agg = AgglomerativeHistogram::from_slice(&data, b, 0.1);
@@ -349,6 +279,21 @@ mod tests {
             assert!(sse <= last * 1.05 + 1e-9, "b={b}: {sse} vs {last}");
             last = last.min(sse);
         }
+    }
+
+    #[test]
+    fn kernel_stats_expose_dp_work() {
+        let data: Vec<f64> = (0..300).map(|i| ((i * 31) % 19) as f64).collect();
+        let agg = AgglomerativeHistogram::from_slice(&data, 4, 0.1);
+        let stats = agg.kernel_stats();
+        assert_eq!(stats.queue_sizes, agg.queue_sizes());
+        // One HERROR evaluation per level k >= 2 per push.
+        assert_eq!(stats.herror_evals, data.len() * 3);
+        assert_eq!(stats.binary_searches, 0);
+        assert_eq!(stats.rebases, 0);
+        assert!(stats.arena_nodes > 0);
+        assert!(stats.arena_peak >= stats.arena_nodes);
+        assert_eq!(stats.herror, agg.sse_estimate());
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl NaiveSlidingWindow {
     pub fn new(capacity: usize, b: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
         assert!(b > 0, "need at least one bucket");
-        Self { capacity, b, window: VecDeque::with_capacity(capacity) }
+        Self {
+            capacity,
+            b,
+            window: VecDeque::with_capacity(capacity),
+        }
     }
 
     /// Window capacity `n`.
@@ -104,7 +108,13 @@ fn optimal_dp(data: &[f64], b: usize) -> Histogram {
     let b = b.min(n);
     let prefix = PrefixSums::new(data);
     let mut herror: Vec<f64> = (0..=n)
-        .map(|j| if j == 0 { 0.0 } else { prefix.sqerror(0, j - 1) })
+        .map(|j| {
+            if j == 0 {
+                0.0
+            } else {
+                prefix.sqerror(0, j - 1)
+            }
+        })
         .collect();
     let mut back = vec![vec![0usize; n + 1]; b];
     for k in 1..b {

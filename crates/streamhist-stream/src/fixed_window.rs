@@ -16,38 +16,22 @@
 //!   (`q` = interval count), never the whole buffer.
 //! * Each `HERROR[c, k]` evaluation minimizes over the level `k−1` interval
 //!   endpoints (plus the single-bucket candidate, plus a clipped candidate
-//!   for the interval straddling `c` — see `herror_eval`).
+//!   for the interval straddling `c`).
 //!
 //! Total per materialization: `O((B³/ε²) log³ n)` (paper Theorem 1).
+//!
+//! Both steps live in the shared [`crate::kernel`] (batch mode), driven
+//! here over a [`SlidingPrefixSums`] provider.
 
-use crate::chain::Cut;
+use crate::kernel::{Kernel, KernelStats};
 use std::collections::VecDeque;
-use std::rc::Rc;
-use streamhist_core::{Histogram, SlidingPrefixSums, WindowSums};
-
-/// Interval endpoint for one level: index, approximate `HERROR`, and the
-/// boundary chain realizing it. (Sums are not stored per endpoint — the
-/// sliding prefix arrays answer them in `O(1)`.)
-#[derive(Debug)]
-struct Endpoint {
-    idx: usize,
-    herror: f64,
-    chain: Rc<Cut>,
-}
+use streamhist_core::{Histogram, SlidingPrefixSums};
 
 /// Diagnostics from one histogram materialization.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BuildStats {
-    /// Interval count per level queue (`B−1` entries); the paper bounds
-    /// each by `O(δ⁻¹ log n)` with "hidden constant about 3".
-    pub queue_sizes: Vec<usize>,
-    /// Number of `HERROR[c, k]` evaluations performed.
-    pub herror_evals: usize,
-    /// Number of binary searches performed (one per interval created).
-    pub binary_searches: usize,
-    /// The final (approximate) `HERROR[n, B]` of the returned histogram.
-    pub herror: f64,
-}
+///
+/// Alias retained from before the shared-kernel refactor; new code should
+/// name [`KernelStats`] directly.
+pub type BuildStats = KernelStats;
 
 /// Sliding-window `(1+ε)`-approximate V-optimal histogram over the last
 /// `n` stream points (paper §4.5).
@@ -56,6 +40,9 @@ pub struct BuildStats {
 /// [`histogram`](Self::histogram) runs `CreateList` and costs
 /// `O((B³/ε²) log³ n)`. [`push_and_build`](Self::push_and_build) performs
 /// both, which is the paper's per-point maintenance loop.
+///
+/// The summary is `Send + 'static`, so shards can run on worker threads —
+/// [`crate::ShardedFixedWindow`] packages that pattern.
 ///
 /// # Example
 ///
@@ -218,157 +205,8 @@ impl FixedWindowHistogram {
 
     /// Like [`Self::histogram`], also returning build diagnostics.
     #[must_use]
-    pub fn histogram_with_stats(&self) -> (Histogram, BuildStats) {
-        build_from_sums(&self.prefix, self.b, self.delta)
-    }
-}
-
-/// Runs the full `CreateList` construction (paper Fig. 5) against any
-/// window-sum source: the interval lists are built bottom-up for each
-/// level `k = 1 .. B−1`, then the level-`B` minimization at the window end
-/// produces the histogram. Shared by the count-based
-/// [`FixedWindowHistogram`] and the time-based
-/// [`crate::TimeWindowHistogram`].
-pub(crate) fn build_from_sums<W: WindowSums>(
-    sums: &W,
-    b: usize,
-    delta: f64,
-) -> (Histogram, BuildStats) {
-    let m = sums.len();
-    let mut stats = BuildStats {
-        queue_sizes: Vec::new(),
-        herror_evals: 0,
-        binary_searches: 0,
-        herror: 0.0,
-    };
-    if m == 0 {
-        return (Histogram::new(0, Vec::new()).expect("empty domain is always valid"), stats);
-    }
-    let mut builder = Builder {
-        prefix: sums,
-        delta,
-        queues: Vec::with_capacity(b.saturating_sub(1)),
-        evals: 0,
-        searches: 0,
-    };
-    for k in 1..b {
-        let q = builder.create_list(k, m);
-        builder.queues.push(q);
-    }
-    let (herror, chain) = builder.herror_eval(m - 1, b);
-    stats.queue_sizes = builder.queues.iter().map(Vec::len).collect();
-    stats.herror_evals = builder.evals;
-    stats.binary_searches = builder.searches;
-    stats.herror = herror;
-    (chain.into_histogram(), stats)
-}
-
-/// Transient state for one materialization.
-struct Builder<'a, W: WindowSums> {
-    prefix: &'a W,
-    delta: f64,
-    /// `queues[k-1]` is the finished queue for level `k`, as the ordered
-    /// list of interval endpoints (interval starts are implicit: each
-    /// interval begins one past the previous endpoint).
-    queues: Vec<Vec<Endpoint>>,
-    evals: usize,
-    searches: usize,
-}
-
-impl<W: WindowSums> Builder<'_, W> {
-    /// Approximate `HERROR[c, k]` (window-relative, 0-based `c`): the
-    /// minimum SSE of representing `window[0..=c]` with at most `k`
-    /// buckets, together with a boundary chain whose realized SSE never
-    /// exceeds the returned value.
-    ///
-    /// Candidates:
-    /// 1. the single bucket `[0, c]` (the `i = −1` split);
-    /// 2. every level-`k−1` endpoint `e` with `e.idx < c`, costed as
-    ///    `HERROR[e, k−1] + SQERROR[e+1, c]`;
-    /// 3. for the first level-`k−1` interval whose endpoint is at or past
-    ///    `c` (the interval *straddling* the query position), the split
-    ///    `i = c−1`: its true `HERROR[c−1, k−1]` is not stored, but the
-    ///    queue invariant bounds it by the interval's endpoint error, and
-    ///    the final bucket `{c}` costs 0 — so `e.herror` itself is a sound
-    ///    upper-bound candidate. Its chain is the endpoint chain clipped
-    ///    below `c−1` (clipping a bucket to a sub-range cannot increase its
-    ///    SSE, so chain soundness is preserved).
-    ///
-    /// Without candidate 3 the approximation guarantee breaks whenever the
-    /// true split falls inside a straddling interval, because candidates 2
-    /// stop one full interval short of `c`.
-    fn herror_eval(&mut self, c: usize, k: usize) -> (f64, Rc<Cut>) {
-        self.evals += 1;
-        let sum0c = self.prefix.range_sum(0, c);
-        let mut best = self.prefix.sqerror(0, c);
-        let mut best_chain = Cut::root(c, sum0c);
-        if k >= 2 {
-            let queue = &self.queues[k - 2];
-            // Endpoints are sorted by index; p = first endpoint at or past c.
-            let p = queue.partition_point(|e| e.idx < c);
-            // Straddling interval (needs c >= 1; for c == 0 the
-            // single-bucket candidate is the whole search space).
-            if let Some(e) = queue.get(p) {
-                if c >= 1 && e.herror < best {
-                    best = e.herror;
-                    let sum_prev = self.prefix.range_sum(0, c - 1);
-                    let clipped = match e.chain.truncate_below(c - 1) {
-                        Some(t) => Cut::extend(&t, c - 1, sum_prev),
-                        None => Cut::root(c - 1, sum_prev),
-                    };
-                    best_chain = Cut::extend(&clipped, c, sum0c);
-                }
-            }
-            // Scan regular candidates nearest-first: SQERROR[e+1, c] is
-            // non-increasing in e.idx, so once it alone reaches `best`,
-            // every farther candidate is provably no better and the scan
-            // can stop without affecting the computed minimum.
-            for e in queue[..p].iter().rev() {
-                let sq = self.prefix.sqerror(e.idx + 1, c);
-                if sq >= best {
-                    break;
-                }
-                let val = e.herror + sq;
-                if val < best {
-                    best = val;
-                    best_chain = Cut::extend(&e.chain, c, sum0c);
-                }
-            }
-        }
-        (best, best_chain)
-    }
-
-    /// `CreateList[0, m−1, k]` (paper Fig. 5), iteratively: cover `[0, m)`
-    /// with maximal intervals inside which `HERROR[·, k]` stays within a
-    /// `(1+δ)` factor of its value at the interval start, locating each
-    /// endpoint by binary search.
-    fn create_list(&mut self, k: usize, m: usize) -> Vec<Endpoint> {
-        let mut queue: Vec<Endpoint> = Vec::new();
-        let mut a = 0usize;
-        while a < m {
-            let (t, chain_a) = self.herror_eval(a, k);
-            let threshold = (1.0 + self.delta) * t;
-            // Binary search for the maximal c in [a, m-1] with
-            // HERROR[c, k] <= threshold. HERROR[a, k] = t qualifies, so the
-            // loop invariant "lo qualifies" holds from the start.
-            self.searches += 1;
-            let mut lo = a;
-            let mut hi = m - 1;
-            let mut lo_val: (f64, Rc<Cut>) = (t, chain_a);
-            while lo < hi {
-                let mid = lo + (hi - lo).div_ceil(2);
-                let hv = self.herror_eval(mid, k);
-                if hv.0 <= threshold {
-                    lo = mid;
-                    lo_val = hv;
-                } else {
-                    hi = mid - 1;
-                }
-            }
-            queue.push(Endpoint { idx: lo, herror: lo_val.0, chain: lo_val.1 });
-            a = lo + 1;
-        }
-        queue
+    pub fn histogram_with_stats(&self) -> (Histogram, KernelStats) {
+        Kernel::build(&self.prefix, self.b, self.delta)
     }
 }
 
@@ -494,10 +332,13 @@ mod tests {
         assert!(stats.queue_sizes.iter().all(|&q| q >= 1));
         assert!(stats.binary_searches >= stats.queue_sizes.iter().sum::<usize>());
         assert!(stats.herror_evals > 0);
+        assert!(stats.arena_nodes > 0);
+        assert_eq!(stats.arena_peak, stats.arena_nodes); // batch mode never compacts
+        assert_eq!(stats.compactions, 0);
     }
 
     #[test]
-    fn rebase_period_does_not_change_results() {
+    fn rebase_period_does_not_change_results_and_is_counted() {
         let data: Vec<f64> = (0..150).map(|i| ((i * 11 + 3) % 19) as f64).collect();
         let mut a = FixedWindowHistogram::new(32, 3, 0.2);
         let mut b = FixedWindowHistogram::with_rebase_period(32, 3, 0.2, 5);
@@ -506,6 +347,8 @@ mod tests {
             let hb = b.push_and_build(v);
             assert_eq!(ha.bucket_ends(), hb.bucket_ends());
         }
+        let (_, stats) = b.histogram_with_stats();
+        assert!(stats.rebases > 0, "short rebase period must have fired");
     }
 
     #[test]

@@ -1,0 +1,542 @@
+//! The shared streaming-DP kernel.
+//!
+//! Every streaming algorithm in this crate approximates the same dynamic
+//! program — `HERROR[c, k]`, the minimum SSE of representing the prefix
+//! `[0, c]` with at most `k` buckets — evaluated sparsely over per-level
+//! interval queues with `(1+δ)` error growth (paper §4.2.1). Historically
+//! the agglomerative (§4.3) and fixed-window (§4.5) implementations each
+//! carried their own copy of the minimization and queue maintenance; this
+//! module is the single implementation both build on, generic over a
+//! [`PrefixProvider`] (absolute running totals for the whole-stream
+//! algorithm, rebased `SUM'`/`SQSUM'` stores for the window algorithms).
+//!
+//! Two driving modes share [`Kernel::herror_eval`]:
+//!
+//! * **online** ([`Kernel::push_point`]) — the agglomerative recurrence:
+//!   each arriving point evaluates every level at the newest index only,
+//!   seeding the minimization with the level-`(k−1)` value ("fewer buckets
+//!   are always admissible"), then extends-or-starts the tail interval of
+//!   each queue. Queues persist across pushes.
+//! * **batch** ([`Kernel::build`]) — the fixed-window `CreateList`
+//!   procedure: queues are rebuilt per materialization by binary search
+//!   over the monotone `HERROR[·, k]`, and the minimization additionally
+//!   considers the single-bucket candidate and the clipped candidate of
+//!   the interval straddling the query position.
+//!
+//! Boundary chains live in a [`CutArena`] — flat, index-linked, `Send` —
+//! and the online mode reclaims dropped chains generationally via
+//! [`CutArena::compact`]. All work is accounted in [`KernelStats`].
+
+use crate::arena::{CutArena, CutId};
+use streamhist_core::{Histogram, PrefixProvider};
+
+/// Compaction is considered once the arena holds at least this many nodes
+/// (below that, garbage is cheaper than collecting it).
+const COMPACT_MIN_NODES: usize = 1024;
+
+/// An interval endpoint retained in a queue: the point's index, the DP
+/// cumulative sums through it (paper: "store the values SUM[j] and
+/// SQSUM[j]"; captured in the provider's DP frame so endpoint-vs-query
+/// differences are exact), its approximate `HERROR` at this queue's level,
+/// and the boundary chain realizing that error.
+#[derive(Debug, Clone)]
+pub(crate) struct Endpoint {
+    pub idx: usize,
+    pub sum: f64,
+    pub sqsum: f64,
+    pub herror: f64,
+    pub chain: CutId,
+}
+
+/// One queue interval `[a_ℓ, b_ℓ]`: the `HERROR` at its start (the `(1+δ)`
+/// growth anchor) and the full endpoint record at its (advancing) end.
+#[derive(Debug, Clone)]
+pub(crate) struct Interval {
+    pub start_herror: f64,
+    pub end: Endpoint,
+}
+
+/// Diagnostics for one kernel — cumulative since creation for the online
+/// mode, per-materialization for the batch mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Interval count per level queue (`B−1` entries); the paper bounds
+    /// each by `O(δ⁻¹ log n)` with "hidden constant about 3".
+    pub queue_sizes: Vec<usize>,
+    /// Number of `HERROR[c, k]` evaluations performed.
+    pub herror_evals: usize,
+    /// Number of binary searches performed (one per interval created;
+    /// always 0 in the online mode, which never searches).
+    pub binary_searches: usize,
+    /// The current (approximate) `HERROR[n, B]` of the summary.
+    pub herror: f64,
+    /// Boundary-chain nodes currently held by the arena (live chains plus
+    /// garbage not yet collected).
+    pub arena_nodes: usize,
+    /// Largest arena occupancy ever reached.
+    pub arena_peak: usize,
+    /// Number of arena compactions performed.
+    pub compactions: usize,
+    /// Number of prefix-sum anchor rebases performed by the backing store.
+    pub rebases: usize,
+}
+
+/// Whole-stream running totals: the [`PrefixProvider`] of the online mode.
+///
+/// The agglomerative recurrence only ever evaluates the DP at the newest
+/// index, so absolute `SUM[j]`/`SQSUM[j]` need not be stored per index —
+/// three scalars suffice. Consequently this provider answers queries **only
+/// at the newest index** (`len() − 1`); the online kernel never asks for
+/// any other.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StreamTotals {
+    count: usize,
+    sum: f64,
+    sqsum: f64,
+}
+
+impl StreamTotals {
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.sqsum += v * v;
+    }
+}
+
+impl PrefixProvider for StreamTotals {
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn dp_sums(&self, idx: usize) -> (f64, f64) {
+        debug_assert_eq!(
+            idx + 1,
+            self.count,
+            "StreamTotals only serves the newest index"
+        );
+        (self.sum, self.sqsum)
+    }
+
+    fn chain_sum(&self, idx: usize) -> f64 {
+        debug_assert_eq!(
+            idx + 1,
+            self.count,
+            "StreamTotals only serves the newest index"
+        );
+        self.sum
+    }
+
+    fn head_sqerror(&self, idx: usize) -> f64 {
+        debug_assert_eq!(
+            idx + 1,
+            self.count,
+            "StreamTotals only serves the newest index"
+        );
+        (self.sqsum - self.sum * self.sum / self.count as f64).max(0.0)
+    }
+}
+
+/// Interval queues + chain arena + work counters: the state of one
+/// streaming DP.
+#[derive(Debug, Clone)]
+pub(crate) struct Kernel {
+    b: usize,
+    delta: f64,
+    pub arena: CutArena,
+    /// `queues[k-1]` is the interval queue for level `k` (`k = 1 ..= b−1`):
+    /// preallocated and persistent in online mode, grown level by level in
+    /// batch mode.
+    queues: Vec<Vec<Interval>>,
+    /// `(HERROR[j, B], chain)` at the most recent evaluation point `j`.
+    pub top: Option<(f64, CutId)>,
+    evals: usize,
+    searches: usize,
+    /// Arena occupancy right after the last compaction (the generational
+    /// baseline: collect again once the arena has doubled).
+    last_live: usize,
+}
+
+impl Kernel {
+    /// An online-mode kernel: `b−1` persistent (initially empty) queues.
+    pub fn new_online(b: usize, delta: f64) -> Self {
+        Self {
+            b,
+            delta,
+            arena: CutArena::new(),
+            queues: (1..b).map(|_| Vec::new()).collect(),
+            top: None,
+            evals: 0,
+            searches: 0,
+            last_live: 0,
+        }
+    }
+
+    /// A batch-mode kernel: queues are appended by [`Self::build`] as each
+    /// level's `CreateList` finishes.
+    fn new_batch(b: usize, delta: f64) -> Self {
+        Self {
+            b,
+            delta,
+            arena: CutArena::new(),
+            queues: Vec::with_capacity(b.saturating_sub(1)),
+            top: None,
+            evals: 0,
+            searches: 0,
+            last_live: 0,
+        }
+    }
+
+    /// Current interval-queue lengths per level (`B−1` entries).
+    pub fn queue_sizes(&self) -> Vec<usize> {
+        self.queues.iter().map(Vec::len).collect()
+    }
+
+    /// Snapshot of the work counters; `rebases` is supplied by the caller
+    /// (the backing store owns that counter).
+    pub fn stats(&self, rebases: usize) -> KernelStats {
+        KernelStats {
+            queue_sizes: self.queue_sizes(),
+            herror_evals: self.evals,
+            binary_searches: self.searches,
+            herror: self.top.as_ref().map_or(0.0, |(h, _)| *h),
+            arena_nodes: self.arena.len(),
+            arena_peak: self.arena.peak(),
+            compactions: self.arena.compactions(),
+            rebases,
+        }
+    }
+
+    /// Approximate `HERROR[c, k]` (window-relative, 0-based `c`): the
+    /// minimum SSE of representing `[0, c]` with at most `k` buckets,
+    /// together with a boundary chain whose realized SSE never exceeds the
+    /// returned value.
+    ///
+    /// Candidates, in evaluation order:
+    /// 1. the seed: either the caller-provided `init` (online mode passes
+    ///    the level-`(k−1)` value — fewer buckets are always admissible
+    ///    under at-most-B semantics) or, when `init` is `None` (batch
+    ///    mode), the single bucket `[0, c]` (the `i = −1` split);
+    /// 2. with `straddle` (batch mode only), for the first level-`k−1`
+    ///    interval whose endpoint is at or past `c` (the interval
+    ///    *straddling* the query position), the split `i = c−1`: its true
+    ///    `HERROR[c−1, k−1]` is not stored, but the queue invariant bounds
+    ///    it by the interval's endpoint error, and the final bucket `{c}`
+    ///    costs 0 — so `e.herror` itself is a sound upper-bound candidate.
+    ///    Its chain is the endpoint chain clipped below `c−1` (clipping a
+    ///    bucket to a sub-range cannot increase its SSE, so chain soundness
+    ///    is preserved). Without this candidate the approximation guarantee
+    ///    breaks whenever the true split falls inside a straddling
+    ///    interval, because candidates 3 stop one full interval short of
+    ///    `c`;
+    /// 3. every level-`k−1` endpoint `e` with `e.idx < c`, costed as
+    ///    `HERROR[e, k−1] + SQERROR[e+1, c]`, scanned nearest-first:
+    ///    `SQERROR[e+1, c]` is non-increasing in `e.idx`, so once it alone
+    ///    reaches the best value so far, every farther candidate is
+    ///    provably no better and the scan stops without affecting the
+    ///    computed minimum.
+    pub fn herror_eval<P: PrefixProvider>(
+        &mut self,
+        p: &P,
+        c: usize,
+        k: usize,
+        init: Option<(f64, CutId)>,
+        straddle: bool,
+    ) -> (f64, CutId) {
+        let Self {
+            queues,
+            arena,
+            evals,
+            ..
+        } = self;
+        *evals += 1;
+        let sum0c = p.chain_sum(c);
+        let (s_c, q_c) = p.dp_sums(c);
+        let (mut best, mut best_chain) = match init {
+            Some(seed) => seed,
+            None => (p.head_sqerror(c), arena.root(c, sum0c)),
+        };
+        if k >= 2 {
+            let queue = &queues[k - 2];
+            // Endpoints are sorted by index; pp = first endpoint at or past
+            // c (in online mode every endpoint precedes c, so pp = len).
+            let pp = queue.partition_point(|iv| iv.end.idx < c);
+            if straddle {
+                // Straddling interval (needs c >= 1; for c == 0 the
+                // single-bucket candidate is the whole search space).
+                if let Some(iv) = queue.get(pp) {
+                    let e = &iv.end;
+                    if c >= 1 && e.herror < best {
+                        best = e.herror;
+                        let sum_prev = p.chain_sum(c - 1);
+                        let clipped = match arena.truncate_below(e.chain, c - 1) {
+                            Some(t) => arena.extend(t, c - 1, sum_prev),
+                            None => arena.root(c - 1, sum_prev),
+                        };
+                        best_chain = arena.extend(clipped, c, sum0c);
+                    }
+                }
+            }
+            for iv in queue[..pp].iter().rev() {
+                let e = &iv.end;
+                debug_assert!(e.idx < c);
+                let len = (c - e.idx) as f64;
+                let s = s_c - e.sum;
+                let q = q_c - e.sqsum;
+                let sq = (q - s * s / len).max(0.0);
+                if sq >= best {
+                    break;
+                }
+                let val = e.herror + sq;
+                if val < best {
+                    best = val;
+                    best_chain = arena.extend(e.chain, c, sum0c);
+                }
+            }
+        }
+        (best, best_chain)
+    }
+
+    /// Online mode: consumes the newest point of `p` (index `len − 1`),
+    /// re-evaluating every level there and extending-or-starting each
+    /// queue's tail interval (paper Fig. 3 lines 7-10). Cost `O(B · q)`.
+    pub fn push_point<P: PrefixProvider>(&mut self, p: &P) {
+        let c = p.len() - 1;
+        self.maybe_compact();
+
+        // HERROR[c, k] and its realizing chain, for k = 1 ..= b.
+        let mut herrs: Vec<(f64, CutId)> = Vec::with_capacity(self.b);
+        let h1 = p.head_sqerror(c);
+        herrs.push((h1, self.arena.root(c, p.chain_sum(c))));
+        for k in 2..=self.b {
+            let hk = self.herror_eval(p, c, k, Some(herrs[k - 2]), false);
+            herrs.push(hk);
+        }
+
+        // Update the queues: start a new interval when the error has grown
+        // past the (1+δ) anchor, else advance the last interval's endpoint.
+        let (s_c, q_c) = p.dp_sums(c);
+        for k in 1..self.b {
+            let (h, chain) = herrs[k - 1];
+            let ep = Endpoint {
+                idx: c,
+                sum: s_c,
+                sqsum: q_c,
+                herror: h,
+                chain,
+            };
+            let queue = &mut self.queues[k - 1];
+            match queue.last_mut() {
+                Some(last) if h <= (1.0 + self.delta) * last.start_herror => last.end = ep,
+                _ => queue.push(Interval {
+                    start_herror: h,
+                    end: ep,
+                }),
+            }
+        }
+
+        self.top = Some(herrs[self.b - 1]);
+    }
+
+    /// Materializes the chain of the current best solution (empty-domain
+    /// histogram before any point was pushed).
+    pub fn materialize_top(&self) -> Histogram {
+        match &self.top {
+            None => Histogram::new(0, Vec::new()).expect("empty domain is always valid"),
+            Some((_, chain)) => self.arena.materialize(*chain),
+        }
+    }
+
+    /// Collects arena garbage once the arena has doubled since the last
+    /// collection (and is past [`COMPACT_MIN_NODES`]). Replaced endpoints
+    /// and superseded `top` chains are the garbage; roots are every queue
+    /// endpoint's chain plus `top`.
+    fn maybe_compact(&mut self) {
+        if self.arena.len() < COMPACT_MIN_NODES.max(2 * self.last_live) {
+            return;
+        }
+        self.compact_now();
+    }
+
+    /// Collects arena garbage immediately, remapping every retained handle.
+    pub fn compact_now(&mut self) {
+        let mut roots: Vec<CutId> = self
+            .queues
+            .iter()
+            .flat_map(|q| q.iter().map(|iv| iv.end.chain))
+            .collect();
+        if let Some((_, chain)) = self.top {
+            roots.push(chain);
+        }
+        let remap = self.arena.compact(&roots);
+        for queue in &mut self.queues {
+            for iv in queue {
+                iv.end.chain = remap.remap(iv.end.chain);
+            }
+        }
+        if let Some((_, chain)) = &mut self.top {
+            *chain = remap.remap(*chain);
+        }
+        self.last_live = self.arena.len();
+    }
+
+    /// `CreateList[0, m−1, k]` (paper Fig. 5), iteratively: cover `[0, m)`
+    /// with maximal intervals inside which `HERROR[·, k]` stays within a
+    /// `(1+δ)` factor of its value at the interval start, locating each
+    /// endpoint by binary search over the monotone `HERROR[·, k]`.
+    fn create_list<P: PrefixProvider>(&mut self, p: &P, k: usize, m: usize) -> Vec<Interval> {
+        let mut queue: Vec<Interval> = Vec::new();
+        let mut a = 0usize;
+        while a < m {
+            let (t, chain_a) = self.herror_eval(p, a, k, None, true);
+            let threshold = (1.0 + self.delta) * t;
+            // Binary search for the maximal c in [a, m-1] with
+            // HERROR[c, k] <= threshold. HERROR[a, k] = t qualifies, so the
+            // loop invariant "lo qualifies" holds from the start.
+            self.searches += 1;
+            let mut lo = a;
+            let mut hi = m - 1;
+            let mut lo_val: (f64, CutId) = (t, chain_a);
+            while lo < hi {
+                let mid = lo + (hi - lo).div_ceil(2);
+                let hv = self.herror_eval(p, mid, k, None, true);
+                if hv.0 <= threshold {
+                    lo = mid;
+                    lo_val = hv;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            let (s, q) = p.dp_sums(lo);
+            queue.push(Interval {
+                start_herror: t,
+                end: Endpoint {
+                    idx: lo,
+                    sum: s,
+                    sqsum: q,
+                    herror: lo_val.0,
+                    chain: lo_val.1,
+                },
+            });
+            a = lo + 1;
+        }
+        queue
+    }
+
+    /// Batch mode: the full `CreateList` construction against a window-sum
+    /// provider — interval lists bottom-up for each level `k = 1 .. B−1`,
+    /// then the level-`B` minimization at the window end produces the
+    /// histogram. Shared by the count-based and time-based window types.
+    pub fn build<P: PrefixProvider>(p: &P, b: usize, delta: f64) -> (Histogram, KernelStats) {
+        let m = p.len();
+        let mut kernel = Kernel::new_batch(b, delta);
+        if m == 0 {
+            return (kernel.materialize_top(), kernel.stats(p.rebases()));
+        }
+        for k in 1..b {
+            let q = kernel.create_list(p, k, m);
+            kernel.queues.push(q);
+        }
+        let top = kernel.herror_eval(p, m - 1, b, None, true);
+        kernel.top = Some(top);
+        (kernel.materialize_top(), kernel.stats(p.rebases()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn online_over(data: &[f64], b: usize, delta: f64) -> (Kernel, StreamTotals) {
+        let mut kernel = Kernel::new_online(b, delta);
+        let mut totals = StreamTotals::default();
+        for &v in data {
+            totals.push(v);
+            kernel.push_point(&totals);
+        }
+        (kernel, totals)
+    }
+
+    #[test]
+    fn online_and_batch_agree_on_piecewise_constant_data() {
+        // Both modes must represent a 3-regime sequence exactly with B=3.
+        let data = [5.0, 5.0, 5.0, 9.0, 9.0, 9.0, 9.0, 2.0, 2.0, 2.0];
+        let (kernel, _) = online_over(&data, 3, 0.05);
+        let online = kernel.materialize_top();
+        let p = streamhist_core::PrefixSums::new(&data);
+        let (batch, stats) = Kernel::build(&p, 3, 0.05);
+        assert_eq!(online.bucket_ends(), vec![2, 6, 9]);
+        assert_eq!(batch.bucket_ends(), vec![2, 6, 9]);
+        assert_eq!(stats.herror, 0.0);
+    }
+
+    #[test]
+    fn batch_over_prefix_sums_matches_single_bucket_mean() {
+        let p = streamhist_core::PrefixSums::new(&[1.0, 2.0, 3.0, 4.0]);
+        let (h, stats) = Kernel::build(&p, 1, 0.1);
+        assert_eq!(h.num_buckets(), 1);
+        assert!((h.buckets()[0].height - 2.5).abs() < 1e-12);
+        assert!((stats.herror - 5.0).abs() < 1e-9);
+        assert_eq!(stats.queue_sizes, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn empty_batch_build() {
+        let p = streamhist_core::PrefixSums::new(&[]);
+        let (h, stats) = Kernel::build(&p, 4, 0.1);
+        assert_eq!(h.domain_len(), 0);
+        assert_eq!(stats.herror_evals, 0);
+        assert_eq!(stats.herror, 0.0);
+    }
+
+    #[test]
+    fn online_stats_track_work_and_arena() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 13 + 7) % 31) as f64).collect();
+        let (kernel, _) = online_over(&data, 4, 0.1);
+        let stats = kernel.stats(0);
+        assert_eq!(stats.queue_sizes.len(), 3);
+        // One eval per level k >= 2 per push.
+        assert_eq!(stats.herror_evals, data.len() * 3);
+        assert_eq!(stats.binary_searches, 0);
+        assert!(stats.arena_nodes > 0);
+        assert!(stats.arena_peak >= stats.arena_nodes);
+    }
+
+    #[test]
+    fn compaction_keeps_live_set_bounded_and_histogram_intact() {
+        // Data with steadily growing error keeps replacing queue tails,
+        // generating garbage; after a forced collection the live set must
+        // be within the O(B · Σ queue_sizes) chain bound and the current
+        // solution must be unchanged.
+        let data: Vec<f64> = (0..3000).map(|i| ((i * 29 + 11) % 97) as f64).collect();
+        let b = 5;
+        let mut kernel = Kernel::new_online(b, 0.05);
+        let mut totals = StreamTotals::default();
+        for &v in &data {
+            totals.push(v);
+            kernel.push_point(&totals);
+        }
+        let before = kernel.materialize_top();
+        let before_sse = kernel.top.expect("nonempty").0;
+        kernel.compact_now();
+        let total_endpoints: usize = kernel.queue_sizes().iter().sum();
+        assert!(
+            kernel.arena.len() <= b * (total_endpoints + 1),
+            "live {} > bound {}",
+            kernel.arena.len(),
+            b * (total_endpoints + 1)
+        );
+        assert_eq!(kernel.materialize_top(), before);
+        assert_eq!(kernel.top.expect("nonempty").0, before_sse);
+    }
+
+    #[test]
+    fn generational_compaction_fires_on_long_streams() {
+        let data: Vec<f64> = (0..20_000).map(|i| ((i * 17 + 5) % 83) as f64).collect();
+        let (kernel, _) = online_over(&data, 4, 0.1);
+        let stats = kernel.stats(0);
+        assert!(stats.compactions > 0, "no compaction on a 20k-point stream");
+        // The generational policy keeps occupancy within a constant factor
+        // of the live set, far below the total allocation count.
+        assert!(stats.arena_nodes < stats.arena_peak.max(2 * COMPACT_MIN_NODES) * 4);
+    }
+}

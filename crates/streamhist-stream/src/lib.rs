@@ -18,12 +18,24 @@
 //!   queues via binary search over the monotone `HERROR[·, k]` in
 //!   `O((B³/ε²) log³ n)` (paper Theorem 1).
 //!
-//! Both algorithms share the same skeleton: for every bucket-count level
-//! `k < B` they maintain a queue of index intervals such that the
-//! `(≤k)`-bucket error `HERROR[·, k]` grows by at most a factor `(1+δ)`,
-//! `δ = ε/(2B)`, across each interval. Dynamic-programming minimizations are
-//! then evaluated only at the `O((1/δ) log n)` interval endpoints instead of
-//! at all `n` positions (paper §4.2.1).
+//! Both algorithms (and the time-based [`TimeWindowHistogram`]) drive one
+//! shared dynamic-programming kernel (`kernel` module): a single
+//! `herror_eval` minimization and interval-queue maintenance
+//! implementation, generic over a
+//! [`PrefixProvider`](streamhist_core::PrefixProvider) (absolute running
+//! totals for the whole-stream algorithm, rebased `SUM'`/`SQSUM'` stores
+//! for the windows). For every bucket-count level `k < B` the kernel
+//! maintains a queue of index intervals such that the `(≤k)`-bucket error
+//! `HERROR[·, k]` grows by at most a factor `(1+δ)`, `δ = ε/(2B)`, across
+//! each interval; minimizations are then evaluated only at the
+//! `O((1/δ) log n)` interval endpoints instead of at all `n` positions
+//! (paper §4.2.1). Work is reported through [`KernelStats`].
+//!
+//! Bucket-boundary chains live in a flat index-linked arena (`arena`
+//! module) rather than `Rc` cells, so **every summary is `Send +
+//! 'static`** — asserted at compile time below — and summaries can be
+//! built on worker threads and moved; [`ShardedFixedWindow`] packages that
+//! deployment pattern over plain `std::thread` workers.
 //!
 //! [`NaiveSlidingWindow`] re-runs the exact `O(n²B)` DP per window — the
 //! strawman of paper §3 ("excessive" per-update time) used as a baseline by
@@ -36,15 +48,32 @@
 #![warn(missing_docs)]
 
 pub mod agglomerative;
+mod arena;
 pub mod baseline;
-mod chain;
 pub mod fixed_window;
+mod kernel;
+pub mod sharded;
 pub mod time_window;
 
 pub use agglomerative::AgglomerativeHistogram;
 pub use baseline::NaiveSlidingWindow;
 pub use fixed_window::{BuildStats, FixedWindowHistogram};
+pub use kernel::KernelStats;
+pub use sharded::ShardedFixedWindow;
 pub use time_window::TimeWindowHistogram;
+
+// The `Send + 'static` contract of the streaming summaries, checked at
+// compile time: regressing it (e.g. by reintroducing an `Rc` into a chain
+// or queue) fails the build, not a test at runtime.
+const _: () = {
+    const fn assert_send<T: Send + 'static>() {}
+    assert_send::<AgglomerativeHistogram>();
+    assert_send::<FixedWindowHistogram>();
+    assert_send::<TimeWindowHistogram>();
+    assert_send::<NaiveSlidingWindow>();
+    assert_send::<KernelStats>();
+    assert_send::<ShardedFixedWindow>();
+};
 
 /// Offline `(1+ε)`-approximate V-optimal histogram of a stored sequence
 /// (paper Problem 2): a single agglomerative pass over `data`, time

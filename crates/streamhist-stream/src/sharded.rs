@@ -1,0 +1,252 @@
+//! Sharded deployment of the fixed-window summary.
+//!
+//! The paper's data-stream setting (§1) is explicitly operational —
+//! networking equipment emitting measurements "at link speeds" — and a
+//! single summary per core is the natural scale-out: partition the key
+//! space (one summary per interface, per flow group, per sensor), pin each
+//! shard to a worker thread, and fan records out by key. Nothing in the
+//! algorithm has to change; what the refactor to the arena-backed
+//! [`crate::kernel`] bought is that every summary is `Send + 'static`, so
+//! shards can be *moved* to workers and their finished summaries moved
+//! back.
+//!
+//! [`ShardedFixedWindow`] packages that pattern with plain `std::thread`
+//! workers and `mpsc` channels — no extra dependencies, no locking on the
+//! hot path (each shard is single-writer by construction). It is a
+//! demonstrator and bench target (`sharded_scaling`), not a general
+//! stream-processing framework: routing is a fixed key hash and
+//! backpressure is unbounded-channel.
+
+use crate::fixed_window::FixedWindowHistogram;
+use crate::kernel::KernelStats;
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+use streamhist_core::Histogram;
+
+enum Cmd {
+    Push(f64),
+    PushBatch(Vec<f64>),
+    Snapshot(Sender<(Histogram, KernelStats)>),
+}
+
+/// `K` independent [`FixedWindowHistogram`]s, each owned by a dedicated
+/// worker thread and fed through a channel.
+///
+/// Records are routed by key ([`push`](Self::push)) or addressed to a shard
+/// directly ([`push_to`](Self::push_to), [`push_batch`](Self::push_batch)).
+/// Pushes are fire-and-forget; [`snapshot`](Self::snapshot) round-trips a
+/// reply channel and therefore also acts as a barrier for everything sent
+/// to that shard before it.
+///
+/// # Example
+///
+/// ```
+/// use streamhist_stream::ShardedFixedWindow;
+///
+/// let sharded = ShardedFixedWindow::new(2, 64, 4, 0.1);
+/// for i in 0..200u64 {
+///     sharded.push(i, (i % 7) as f64);
+/// }
+/// let (hist, stats) = sharded.snapshot(0);
+/// assert!(hist.num_buckets() <= 4);
+/// assert!(stats.herror_evals > 0);
+/// let summaries = sharded.join();
+/// assert_eq!(summaries.len(), 2);
+/// ```
+pub struct ShardedFixedWindow {
+    senders: Vec<Sender<Cmd>>,
+    handles: Vec<JoinHandle<FixedWindowHistogram>>,
+}
+
+impl ShardedFixedWindow {
+    /// Spawns `shards` worker threads, each owning a
+    /// `FixedWindowHistogram::new(capacity, b, eps)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or on the parameter conditions of
+    /// [`FixedWindowHistogram::new`].
+    #[must_use]
+    pub fn new(shards: usize, capacity: usize, b: usize, eps: f64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel::<Cmd>();
+            let mut fw = FixedWindowHistogram::new(capacity, b, eps);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Cmd::Push(v) => fw.push(v),
+                        Cmd::PushBatch(vs) => {
+                            for v in vs {
+                                fw.push(v);
+                            }
+                        }
+                        Cmd::Snapshot(reply) => {
+                            // A dropped reply receiver just means the
+                            // requester stopped waiting.
+                            let _ = reply.send(fw.histogram_with_stats());
+                        }
+                    }
+                }
+                // Channel closed: hand the summary back to `join`.
+                fw
+            }));
+            senders.push(tx);
+        }
+        Self { senders, handles }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard a key routes to (Fibonacci hash of the key, so adjacent
+    /// keys spread across shards).
+    #[must_use]
+    pub fn shard_of(&self, key: u64) -> usize {
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (mixed % self.senders.len() as u64) as usize
+    }
+
+    /// Routes one record to its key's shard. Fire-and-forget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target worker has died (a worker only dies if a push
+    /// panicked, e.g. on a non-finite value).
+    pub fn push(&self, key: u64, v: f64) {
+        self.push_to(self.shard_of(key), v);
+    }
+
+    /// Pushes one record to an explicit shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or the worker has died.
+    pub fn push_to(&self, shard: usize, v: f64) {
+        self.senders[shard]
+            .send(Cmd::Push(v))
+            .expect("shard worker died");
+    }
+
+    /// Pushes a batch of records to an explicit shard in order (one channel
+    /// send — the preferred high-throughput entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or the worker has died.
+    pub fn push_batch(&self, shard: usize, values: Vec<f64>) {
+        self.senders[shard]
+            .send(Cmd::PushBatch(values))
+            .expect("shard worker died");
+    }
+
+    /// Materializes shard `shard`'s current histogram (with kernel stats),
+    /// after everything previously sent to that shard has been absorbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or the worker has died.
+    #[must_use]
+    pub fn snapshot(&self, shard: usize) -> (Histogram, KernelStats) {
+        let (reply_tx, reply_rx) = channel();
+        self.senders[shard]
+            .send(Cmd::Snapshot(reply_tx))
+            .expect("shard worker died");
+        reply_rx.recv().expect("shard worker died")
+    }
+
+    /// Snapshots every shard, in shard order.
+    #[must_use]
+    pub fn snapshot_all(&self) -> Vec<(Histogram, KernelStats)> {
+        (0..self.shards()).map(|s| self.snapshot(s)).collect()
+    }
+
+    /// Shuts the workers down and returns the shard summaries, in shard
+    /// order — possible precisely because [`FixedWindowHistogram`] is
+    /// `Send`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker has died.
+    #[must_use]
+    pub fn join(self) -> Vec<FixedWindowHistogram> {
+        drop(self.senders);
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker died"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_match_unsharded_summaries() {
+        // Per-shard streams fed through the workers must produce exactly
+        // the histogram a single-threaded summary produces on the same
+        // stream.
+        let shards = 3;
+        let streams: Vec<Vec<f64>> = (0..shards)
+            .map(|s| (0..200).map(|i| ((i * 13 + s * 7) % 23) as f64).collect())
+            .collect();
+        let sharded = ShardedFixedWindow::new(shards, 64, 4, 0.1);
+        for (s, stream) in streams.iter().enumerate() {
+            sharded.push_batch(s, stream.clone());
+        }
+        let snapshots = sharded.snapshot_all();
+        let summaries = sharded.join();
+        for (s, stream) in streams.iter().enumerate() {
+            let mut reference = FixedWindowHistogram::new(64, 4, 0.1);
+            for &v in stream {
+                reference.push(v);
+            }
+            let (expect_h, expect_stats) = reference.histogram_with_stats();
+            assert_eq!(snapshots[s].0, expect_h, "shard {s} snapshot");
+            assert_eq!(snapshots[s].1, expect_stats, "shard {s} stats");
+            assert_eq!(summaries[s].histogram(), expect_h, "shard {s} joined");
+            assert_eq!(summaries[s].total_pushed(), stream.len() as u64);
+        }
+    }
+
+    #[test]
+    fn key_routing_covers_all_shards() {
+        let sharded = ShardedFixedWindow::new(4, 16, 2, 0.5);
+        let mut hit = [false; 4];
+        for key in 0..64u64 {
+            hit[sharded.shard_of(key)] = true;
+            sharded.push(key, (key % 5) as f64);
+        }
+        assert!(hit.iter().all(|&h| h), "64 keys left a shard of 4 unused");
+        let total: u64 = sharded
+            .join()
+            .iter()
+            .map(FixedWindowHistogram::total_pushed)
+            .sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn snapshot_acts_as_barrier() {
+        let sharded = ShardedFixedWindow::new(1, 8, 2, 0.5);
+        for v in [1.0, 1.0, 9.0, 9.0] {
+            sharded.push_to(0, v);
+        }
+        let (h, _) = sharded.snapshot(0);
+        assert_eq!(h.domain_len(), 4);
+        assert_eq!(h.bucket_ends(), vec![1, 3]);
+        let _ = sharded.join();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedFixedWindow::new(0, 8, 2, 0.5);
+    }
+}

@@ -12,7 +12,7 @@
 //! histogram construction is the same `CreateList` procedure, run over a
 //! [`GrowableWindowSums`] whose eviction is timestamp-driven.
 
-use crate::fixed_window::{build_from_sums, BuildStats};
+use crate::kernel::{Kernel, KernelStats};
 use std::collections::VecDeque;
 use streamhist_core::{GrowableWindowSums, Histogram};
 
@@ -117,7 +117,11 @@ impl TimeWindowHistogram {
     /// The `(timestamp, value)` pairs currently in the window.
     #[must_use]
     pub fn window_with_times(&self) -> Vec<(u64, f64)> {
-        self.times.iter().copied().zip(self.raw.iter().copied()).collect()
+        self.times
+            .iter()
+            .copied()
+            .zip(self.raw.iter().copied())
+            .collect()
     }
 
     /// Observes a point at time `ts`. Timestamps must be non-decreasing;
@@ -132,7 +136,10 @@ impl TimeWindowHistogram {
     pub fn observe(&mut self, ts: u64, v: f64) {
         assert!(v.is_finite(), "stream values must be finite");
         if let Some(now) = self.now {
-            assert!(ts >= now, "timestamps must be non-decreasing ({ts} < {now})");
+            assert!(
+                ts >= now,
+                "timestamps must be non-decreasing ({ts} < {now})"
+            );
         }
         self.now = Some(ts);
         self.times.push_back(ts);
@@ -149,7 +156,10 @@ impl TimeWindowHistogram {
     /// Panics if `ts` is smaller than the previous timestamp.
     pub fn advance_to(&mut self, ts: u64) {
         if let Some(now) = self.now {
-            assert!(ts >= now, "timestamps must be non-decreasing ({ts} < {now})");
+            assert!(
+                ts >= now,
+                "timestamps must be non-decreasing ({ts} < {now})"
+            );
         }
         self.now = Some(ts);
         self.evict_expired(ts);
@@ -178,8 +188,8 @@ impl TimeWindowHistogram {
 
     /// Like [`Self::histogram`], also returning build diagnostics.
     #[must_use]
-    pub fn histogram_with_stats(&self) -> (Histogram, BuildStats) {
-        build_from_sums(&self.sums, self.b, self.delta)
+    pub fn histogram_with_stats(&self) -> (Histogram, KernelStats) {
+        Kernel::build(&self.sums, self.b, self.delta)
     }
 }
 

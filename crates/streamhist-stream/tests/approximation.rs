@@ -146,7 +146,11 @@ proptest! {
 fn fixed_window_survives_level_shifts() {
     let mut data = Vec::new();
     for block in 0..12 {
-        let level = if block % 2 == 0 { 0.0 } else { 100.0 + block as f64 };
+        let level = if block % 2 == 0 {
+            0.0
+        } else {
+            100.0 + block as f64
+        };
         data.extend(std::iter::repeat_n(level, 7));
     }
     let cap = 16;

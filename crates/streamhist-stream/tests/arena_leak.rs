@@ -1,0 +1,51 @@
+//! Leak-freedom of the chain arena under the online kernel.
+//!
+//! The agglomerative algorithm replaces each queue's tail endpoint on
+//! almost every push, orphaning the previous endpoint's boundary chain.
+//! Without collection the arena would grow with the *stream length*; the
+//! generational compaction must keep it within a constant factor of the
+//! live set, which the paper's chain accounting bounds by
+//! `O(B · Σ queue_sizes)` nodes (each of the `Σq` retained endpoints plus
+//! the top solution holds one chain of at most `B` cuts).
+//!
+//! The property below checks, **after every push**, the concrete
+//! invariant the kernel maintains: at the start of a push the arena holds
+//! fewer than `max(1024, 2 · live)` nodes (else it compacts down to the
+//! live set), and one push allocates at most `1 + Σ queue_sizes` nodes —
+//! so occupancy never exceeds `2048 + 3·B·(Σ queue_sizes + 1)`. Queue
+//! sizes never shrink in online mode, so evaluating the bound with the
+//! *current* sizes is sound.
+
+use proptest::prelude::*;
+use streamhist_stream::AgglomerativeHistogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arena occupancy stays `O(B · Σ queue_sizes)` (plus the generational
+    /// floor) after every push — the arena never leaks.
+    #[test]
+    fn online_arena_occupancy_is_bounded_by_live_chains(
+        data in prop::collection::vec(0..97i64, 1..2500),
+        b in 2usize..6,
+        eps in prop::sample::select(vec![0.05f64, 0.1, 0.5]),
+    ) {
+        let mut agg = AgglomerativeHistogram::new(b, eps);
+        for (i, &v) in data.iter().enumerate() {
+            agg.push(v as f64);
+            let stats = agg.kernel_stats();
+            let endpoints: usize = stats.queue_sizes.iter().sum();
+            let bound = 2048 + 3 * b * (endpoints + 1);
+            prop_assert!(
+                stats.arena_nodes <= bound,
+                "push {}: arena holds {} nodes > bound {} \
+                 (b={b}, eps={eps}, endpoints={endpoints}, compactions={})",
+                i + 1,
+                stats.arena_nodes,
+                bound,
+                stats.compactions
+            );
+            prop_assert!(stats.arena_peak >= stats.arena_nodes);
+        }
+    }
+}

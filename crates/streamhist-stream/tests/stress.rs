@@ -3,25 +3,40 @@
 //! and rejection of invalid input.
 
 use streamhist_optimal::optimal_sse;
-use streamhist_stream::{
-    AgglomerativeHistogram, FixedWindowHistogram, TimeWindowHistogram,
-};
+use streamhist_stream::{AgglomerativeHistogram, FixedWindowHistogram, TimeWindowHistogram};
 
 /// Several adversarial streams the interval machinery must survive.
 fn adversarial_streams() -> Vec<(&'static str, Vec<f64>)> {
     vec![
         ("constant", vec![7.0; 300]),
-        ("alternating extremes", (0..300).map(|i| if i % 2 == 0 { 0.0 } else { 1e6 }).collect()),
+        (
+            "alternating extremes",
+            (0..300)
+                .map(|i| if i % 2 == 0 { 0.0 } else { 1e6 })
+                .collect(),
+        ),
         ("single outlier", {
             let mut v = vec![1.0; 300];
             v[150] = 1e9;
             v
         }),
         ("monotone ramp", (0..300).map(|i| i as f64).collect()),
-        ("geometric growth", (0..60).map(|i| 1.5f64.powi(i)).collect()),
-        ("negative and positive", (0..300).map(|i| ((i * 37) % 21) as f64 - 10.0).collect()),
-        ("tiny values", (0..300).map(|i| ((i * 13) % 7) as f64 * 1e-9).collect()),
-        ("large offset", (0..300).map(|i| 1e10 + ((i * 13) % 7) as f64).collect()),
+        (
+            "geometric growth",
+            (0..60).map(|i| 1.5f64.powi(i)).collect(),
+        ),
+        (
+            "negative and positive",
+            (0..300).map(|i| ((i * 37) % 21) as f64 - 10.0).collect(),
+        ),
+        (
+            "tiny values",
+            (0..300).map(|i| ((i * 13) % 7) as f64 * 1e-9).collect(),
+        ),
+        (
+            "large offset",
+            (0..300).map(|i| 1e10 + ((i * 13) % 7) as f64).collect(),
+        ),
         ("zeros then step", {
             let mut v = vec![0.0; 150];
             v.extend(vec![5.0; 150]);
@@ -176,9 +191,16 @@ fn long_run_numerical_stability() {
     // prefix-sum formulation, not drift (drift would also move heights).
     let sum: f64 = win.iter().sum();
     let cancellation = sum * sum * f64::EPSILON;
-    assert!(approx <= 1.5 * opt + 2.0 * cancellation, "{approx} vs {opt}");
+    assert!(
+        approx <= 1.5 * opt + 2.0 * cancellation,
+        "{approx} vs {opt}"
+    );
     // Heights must sit near the offset, not drift away from it.
     for b in h.buckets() {
-        assert!((b.height - offset).abs() < 100.0, "height {} drifted", b.height);
+        assert!(
+            (b.height - offset).abs() < 100.0,
+            "height {} drifted",
+            b.height
+        );
     }
 }

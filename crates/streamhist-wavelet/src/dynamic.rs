@@ -38,7 +38,11 @@ impl DynamicWavelet {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         let n_padded = haar::pad_len(capacity);
-        Self { n_padded, coeffs: vec![0.0; n_padded], len: 0 }
+        Self {
+            n_padded,
+            coeffs: vec![0.0; n_padded],
+            len: 0,
+        }
     }
 
     /// Padded capacity `N`.
@@ -66,7 +70,11 @@ impl DynamicWavelet {
     /// Panics if `idx >= capacity`.
     pub fn add(&mut self, idx: usize, delta: f64) {
         assert!(delta.is_finite(), "updates must be finite");
-        assert!(idx < self.n_padded, "index {idx} out of capacity {}", self.n_padded);
+        assert!(
+            idx < self.n_padded,
+            "index {idx} out of capacity {}",
+            self.n_padded
+        );
         let n = self.n_padded;
         self.coeffs[0] += delta / n as f64;
         let mut k = 1usize;
@@ -104,7 +112,11 @@ impl DynamicWavelet {
     ///
     /// Panics if the capacity is exhausted.
     pub fn append(&mut self, v: f64) {
-        assert!(self.len < self.n_padded, "capacity {} exhausted", self.n_padded);
+        assert!(
+            self.len < self.n_padded,
+            "capacity {} exhausted",
+            self.n_padded
+        );
         let idx = self.len;
         self.len += 1;
         self.add(idx, v);
@@ -118,7 +130,11 @@ impl DynamicWavelet {
     /// Panics if `idx >= capacity`.
     #[must_use]
     pub fn value(&self, idx: usize) -> f64 {
-        assert!(idx < self.n_padded, "index {idx} out of capacity {}", self.n_padded);
+        assert!(
+            idx < self.n_padded,
+            "index {idx} out of capacity {}",
+            self.n_padded
+        );
         let n = self.n_padded;
         let mut val = self.coeffs[0];
         let mut k = 1usize;

@@ -52,7 +52,10 @@ pub fn forward(data: &[f64]) -> Vec<f64> {
 #[must_use]
 pub fn inverse(coeffs: &[f64]) -> Vec<f64> {
     let n = coeffs.len();
-    assert!(n.is_power_of_two(), "coefficient array must have power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "coefficient array must have power-of-two length"
+    );
     let mut a = vec![0.0; n];
     a[0] = coeffs[0];
     let mut len = 1;
@@ -138,7 +141,10 @@ pub fn range_sum_contribution(k: usize, c: f64, n: usize, lo: usize, hi: usize) 
 pub fn point_from_sparse(coeffs: &[(usize, f64)], n: usize, idx: usize) -> f64 {
     assert!(n.is_power_of_two(), "padded length must be a power of two");
     assert!(idx < n, "index out of range");
-    debug_assert!(coeffs.windows(2).all(|w| w[0].0 < w[1].0), "sparse coeffs must be sorted");
+    debug_assert!(
+        coeffs.windows(2).all(|w| w[0].0 < w[1].0),
+        "sparse coeffs must be sorted"
+    );
     let get = |k: usize| -> f64 {
         match coeffs.binary_search_by_key(&k, |&(i, _)| i) {
             Ok(p) => coeffs[p].1,
@@ -221,7 +227,10 @@ mod tests {
         let c = forward(&data);
         let sparse: Vec<(usize, f64)> = c.iter().copied().enumerate().collect();
         for (i, &v) in data.iter().enumerate() {
-            assert!((point_from_sparse(&sparse, 8, i) - v).abs() < 1e-12, "i={i}");
+            assert!(
+                (point_from_sparse(&sparse, 8, i) - v).abs() < 1e-12,
+                "i={i}"
+            );
         }
     }
 
@@ -238,7 +247,10 @@ mod tests {
                     .enumerate()
                     .map(|(k, &v)| range_sum_contribution(k, v, n, lo, hi))
                     .sum();
-                assert!((direct - via).abs() < 1e-9, "({lo},{hi}): {direct} vs {via}");
+                assert!(
+                    (direct - via).abs() < 1e-9,
+                    "({lo},{hi}): {direct} vs {via}"
+                );
             }
         }
     }

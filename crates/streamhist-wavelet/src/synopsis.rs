@@ -45,7 +45,11 @@ impl WaveletSynopsis {
     #[must_use]
     pub fn top_b(data: &[f64], b: usize) -> Self {
         if data.is_empty() {
-            return Self { n: 0, n_padded: 0, coeffs: Vec::new() };
+            return Self {
+                n: 0,
+                n_padded: 0,
+                coeffs: Vec::new(),
+            };
         }
         Self::from_dense(&haar::forward(data), data.len(), b)
     }
@@ -63,10 +67,17 @@ impl WaveletSynopsis {
     #[must_use]
     pub fn from_dense(full: &[f64], n: usize, b: usize) -> Self {
         if n == 0 {
-            return Self { n: 0, n_padded: 0, coeffs: Vec::new() };
+            return Self {
+                n: 0,
+                n_padded: 0,
+                coeffs: Vec::new(),
+            };
         }
         assert!(b > 0, "need at least one coefficient for non-empty data");
-        assert!(full.len().is_power_of_two(), "coefficient array must be power-of-two sized");
+        assert!(
+            full.len().is_power_of_two(),
+            "coefficient array must be power-of-two sized"
+        );
         assert!(n <= full.len(), "domain exceeds the coefficient array");
         let n_padded = full.len();
         let mut ranked: Vec<(usize, f64)> = full
@@ -78,11 +89,17 @@ impl WaveletSynopsis {
         ranked.sort_by(|a, b| {
             let wa = weight(a.0, a.1, n_padded);
             let wb = weight(b.0, b.1, n_padded);
-            wb.partial_cmp(&wa).expect("weights are finite").then(a.0.cmp(&b.0))
+            wb.partial_cmp(&wa)
+                .expect("weights are finite")
+                .then(a.0.cmp(&b.0))
         });
         ranked.truncate(b);
         ranked.sort_by_key(|&(k, _)| k);
-        Self { n, n_padded, coeffs: ranked }
+        Self {
+            n,
+            n_padded,
+            coeffs: ranked,
+        }
     }
 
     /// Number of retained coefficients (may be below `b` when the sequence
@@ -170,7 +187,11 @@ impl SlidingWindowWavelet {
     pub fn new(capacity: usize, b: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
         assert!(b > 0, "need at least one coefficient");
-        Self { capacity, b, window: VecDeque::with_capacity(capacity) }
+        Self {
+            capacity,
+            b,
+            window: VecDeque::with_capacity(capacity),
+        }
     }
 
     /// Window capacity `n`.

@@ -72,5 +72,8 @@ fn main() {
         shipped_bytes / ((stream.len() - lag - window) / check_every).max(1),
         window * 8
     );
-    assert!(!alarms.is_empty(), "the level-shift process produces detectable changes");
+    assert!(
+        !alarms.is_empty(),
+        "the level-shift process produces detectable changes"
+    );
 }

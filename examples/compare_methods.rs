@@ -46,13 +46,23 @@ fn main() {
     // Offline ε-approximate histogram (Problem 2).
     let t = Instant::now();
     let h_approx = approx_histogram(&data, b, eps);
-    report("offline eps-approx", h_approx.sse(&data), &h_approx, t.elapsed());
+    report(
+        "offline eps-approx",
+        h_approx.sse(&data),
+        &h_approx,
+        t.elapsed(),
+    );
 
     // Agglomerative (streaming, whole sequence).
     let t = Instant::now();
     let agg = AgglomerativeHistogram::from_slice(&data, b, eps);
     let h_agg = agg.histogram();
-    report("agglomerative stream", h_agg.sse(&data), &h_agg, t.elapsed());
+    report(
+        "agglomerative stream",
+        h_agg.sse(&data),
+        &h_agg,
+        t.elapsed(),
+    );
 
     // Fixed-window (streaming; window == whole sequence here).
     let t = Instant::now();
@@ -77,7 +87,12 @@ fn main() {
     // median heights, and max-error-optimal with mid-range heights.
     let t = Instant::now();
     let h_sae = streamhist::optimal_histogram_sae(&data, b);
-    report("SAE-optimal (medians)", h_sae.sse(&data), &h_sae, t.elapsed());
+    report(
+        "SAE-optimal (medians)",
+        h_sae.sse(&data),
+        &h_sae,
+        t.elapsed(),
+    );
     let t = Instant::now();
     let h_max = streamhist::max_error_histogram(&data, b);
     report("max-err-optimal", h_max.sse(&data), &h_max, t.elapsed());
@@ -109,5 +124,8 @@ fn main() {
     let sel = ed.selectivity(0.0, median);
     println!("  selectivity of [0, median] = {:.3} (expected ~0.5)", sel);
 
-    println!("\nbucket boundaries (fixed-window): {:?}", h_fw.bucket_ends());
+    println!(
+        "\nbucket boundaries (fixed-window): {:?}",
+        h_fw.bucket_ends()
+    );
 }

@@ -11,9 +11,7 @@
 //! Run with: `cargo run --release --example network_monitor`
 
 use streamhist::data::{BurstyOnOff, Diurnal, Mixture, WorkloadGen};
-use streamhist::{
-    evaluate_queries, FixedWindowHistogram, SlidingWindowWavelet,
-};
+use streamhist::{evaluate_queries, FixedWindowHistogram, SlidingWindowWavelet};
 
 fn main() {
     let window = 2048;
@@ -72,7 +70,10 @@ fn main() {
         "{:<22} {:>16} {:>12} {:>12}",
         "method", "mean |err| (bytes)", "rel err", "max |err|"
     );
-    for (name, r) in [("fixed-window hist", &hist_report), ("wavelet (scratch)", &wave_report)] {
+    for (name, r) in [
+        ("fixed-window hist", &hist_report),
+        ("wavelet (scratch)", &wave_report),
+    ] {
         println!(
             "{:<22} {:>16.3e} {:>11.3}% {:>12.3e}",
             name,

@@ -33,7 +33,10 @@ fn main() {
 
     // Answer a few queries from the synopsis and compare with the truth.
     let data = fw.window();
-    println!("\n{:<28} {:>14} {:>14} {:>9}", "query", "exact", "estimate", "rel.err");
+    println!(
+        "\n{:<28} {:>14} {:>14} {:>9}",
+        "query", "exact", "estimate", "rel.err"
+    );
     let mut gen = WorkloadGen::new(7, window);
     for _ in 0..5 {
         let q = gen.range_sum();

@@ -32,7 +32,10 @@ fn main() {
 
     // A few optimizer-style predicates.
     println!("\npredicate estimates at B = {b}:");
-    println!("{:<24} {:>12} {:>12} {:>12} {:>12} {:>12}", "predicate", "exact", "v-opt", "max-diff", "equi-depth", "equi-width");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "predicate", "exact", "v-opt", "max-diff", "equi-depth", "equi-width"
+    );
     for (a, z) in [(1i64, 1i64), (1, 4), (10, 50), (100, 256), (200, 256)] {
         let exact = freq.range_count(a, z);
         print!("{:<24} {:>12}", format!("BETWEEN {a} AND {z}"), exact);

@@ -26,8 +26,7 @@ fn make_collection(count: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
     (0..count)
         .map(|i| {
             let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9));
-            let mut s: Vec<f64> =
-                (0..len).map(|_| 100.0 + rng.gen_range(-2.0..2.0)).collect();
+            let mut s: Vec<f64> = (0..len).map(|_| 100.0 + rng.gen_range(-2.0..2.0)).collect();
             for _ in 0..3 {
                 let w = rng.gen_range(4..9);
                 let at = rng.gen_range(0..len - w);
@@ -66,20 +65,30 @@ fn main() {
     let queries: Vec<Vec<f64>> = (0..30)
         .map(|k| {
             let base = &collection[k * 7 % count];
-            base.iter().enumerate().map(|(i, v)| v + ((i + k) % 3) as f64).collect()
+            base.iter()
+                .enumerate()
+                .map(|(i, v)| v + ((i + k) % 3) as f64)
+                .collect()
         })
         .collect();
 
     for frac in [0.4f64, 0.6] {
         let radius = frac * d_typ;
-        println!("radius = {:.0} ({}% of mean pairwise distance):", radius, frac * 100.0);
+        println!(
+            "radius = {:.0} ({}% of mean pairwise distance):",
+            radius,
+            frac * 100.0
+        );
         println!(
             "  {:<26} {:>8} {:>12} {:>12} {:>9}",
             "representation", "answers", "candidates", "false pos.", "FP rate"
         );
         for (name, method) in [
             ("APCA (Keogh et al.)", ReprMethod::Apca),
-            ("V-optimal (eps=0.1)", ReprMethod::VOptimalApprox { eps: 0.1 }),
+            (
+                "V-optimal (eps=0.1)",
+                ReprMethod::VOptimalApprox { eps: 0.1 },
+            ),
             ("V-optimal (exact DP)", ReprMethod::VOptimalExact),
         ] {
             let index = SeriesIndex::build(collection.clone(), m, method);
@@ -122,10 +131,12 @@ fn main() {
     let pattern = long[9_000..9_128].to_vec();
     for (name, method) in [
         ("APCA (Keogh et al.)", ReprMethod::Apca),
-        ("V-optimal (eps=0.1)", ReprMethod::VOptimalApprox { eps: 0.1 }),
+        (
+            "V-optimal (eps=0.1)",
+            ReprMethod::VOptimalApprox { eps: 0.1 },
+        ),
     ] {
-        let idx =
-            SubsequenceIndex::build(&long, 128, 8, m, method);
+        let idx = SubsequenceIndex::build(&long, 128, 8, m, method);
         let (hits, stats) = idx.range_query(&pattern, 60.0);
         println!(
             "  {:<24} windows={} matches at offsets {:?}, candidates={}, false positives={}",
@@ -135,6 +146,9 @@ fn main() {
             stats.candidates,
             stats.false_positives
         );
-        assert!(hits.contains(&9_000), "planted pattern must be found (no false dismissals)");
+        assert!(
+            hits.contains(&9_000),
+            "planted pattern must be found (no false dismissals)"
+        );
     }
 }

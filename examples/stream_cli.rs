@@ -25,18 +25,26 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { window: 1024, buckets: 12, eps: 0.1, report_every: 4096, demo: None };
+    let mut args = Args {
+        window: 1024,
+        buckets: 12,
+        eps: 0.1,
+        report_every: 4096,
+        demo: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--window" => args.window = value("--window")?.parse().map_err(|e| format!("{e}"))?,
-            "--buckets" => args.buckets = value("--buckets")?.parse().map_err(|e| format!("{e}"))?,
+            "--buckets" => {
+                args.buckets = value("--buckets")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--eps" => args.eps = value("--eps")?.parse().map_err(|e| format!("{e}"))?,
             "--report-every" => {
-                args.report_every = value("--report-every")?.parse().map_err(|e| format!("{e}"))?
+                args.report_every = value("--report-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
             }
             "--demo" => args.demo = Some(value("--demo")?.parse().map_err(|e| format!("{e}"))?),
             "--help" | "-h" => {

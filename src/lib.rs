@@ -58,7 +58,7 @@
 
 pub use streamhist_core::{
     evaluate_queries, max_abs_error, sum_abs_error, sum_squared_error, AccuracyReport, Bucket,
-    ExactSummary, GrowableWindowSums, Histogram, HistogramError, PrefixSums, Query,
+    ExactSummary, GrowableWindowSums, Histogram, HistogramError, PrefixProvider, PrefixSums, Query,
     SequenceSummary, SlidingPrefixSums, WindowSums,
 };
 
@@ -84,8 +84,8 @@ pub use streamhist_similarity::{
     SeriesIndex, SubsequenceIndex,
 };
 pub use streamhist_stream::{
-    approx_histogram, AgglomerativeHistogram, BuildStats, FixedWindowHistogram,
-    NaiveSlidingWindow, TimeWindowHistogram,
+    approx_histogram, AgglomerativeHistogram, BuildStats, FixedWindowHistogram, KernelStats,
+    NaiveSlidingWindow, ShardedFixedWindow, TimeWindowHistogram,
 };
 pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynopsis};
 

@@ -121,7 +121,10 @@ fn summaries_compose_with_trait_objects() {
     let h = optimal_histogram(&data, 8);
     let w = WaveletSynopsis::top_b(&data, 8);
     let summaries: Vec<&dyn SequenceSummary> = vec![&h, &w];
-    let q = Query::RangeSum { start: 17, end: 399 };
+    let q = Query::RangeSum {
+        start: 17,
+        end: 399,
+    };
     for s in summaries {
         assert_eq!(s.summary_len(), data.len());
         let est = q.estimate(s);

@@ -4,8 +4,8 @@
 
 use streamhist::data::{utilization_trace, WorkloadGen};
 use streamhist::{
-    evaluate_queries, optimal_histogram, optimal_sse, AgglomerativeHistogram,
-    FixedWindowHistogram, Histogram, SlidingWindowWavelet, WaveletSynopsis,
+    evaluate_queries, optimal_histogram, optimal_sse, AgglomerativeHistogram, FixedWindowHistogram,
+    Histogram, SlidingWindowWavelet, WaveletSynopsis,
 };
 
 /// §5.1 / Figure 6(a)(b): "The benefits in accuracy when compared with
@@ -111,7 +111,10 @@ fn claim_window_adapts_after_shift_leaves() {
     // a {5,9} alternation splits somewhere, but the guarantee is what we
     // check, with no residue from the departed 1000s.
     let truth = fw.window();
-    assert!(truth.iter().all(|&v| v < 10.0), "window must have shed the 1000s");
+    assert!(
+        truth.iter().all(|&v| v < 10.0),
+        "window must have shed the 1000s"
+    );
     let approx = fw.histogram().sse(&truth);
     let opt = optimal_sse(&truth, b);
     assert!(approx <= 1.1 * opt + 1e-6, "{approx} vs {opt}");

@@ -1,0 +1,439 @@
+//! Offline vendored stand-in for the parts of `proptest` this workspace
+//! uses: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_flat_map` / `boxed`, integer-range and collection strategies,
+//! [`sample::select`], [`Just`], and the `prop_assert*` macros.
+//!
+//! Compared to the real proptest, this stub samples each case from a
+//! deterministic per-case RNG and does **no shrinking**: a failing case
+//! panics with the assertion message (plus whatever values the test
+//! interpolates into it). That is enough for the workspace's property
+//! tests, which all use explicit case counts and deterministic seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (subset of the real `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies while generating one case.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner for the `case`-th iteration of a property.
+    #[must_use]
+    pub fn deterministic(case: u64) -> Self {
+        // Mix the case index so consecutive cases get unrelated streams.
+        Self {
+            rng: StdRng::seed_from_u64(
+                0x5EED_0066_7E57_2B2B ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of values of type `Self::Value` (no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds each generated value into `f` to obtain a dependent strategy,
+    /// then samples that.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.sample(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn sample(&self, runner: &mut TestRunner) -> T::Value {
+        (self.f)(self.inner.sample(runner)).sample(runner)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+trait DynStrategy<T> {
+    fn sample_dyn(&self, runner: &mut TestRunner) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, runner: &mut TestRunner) -> S::Value {
+        self.sample(runner)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, runner: &mut TestRunner) -> T {
+        self.0.sample_dyn(runner)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident)+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A B);
+impl_tuple_strategy!(A B C);
+impl_tuple_strategy!(A B C D);
+impl_tuple_strategy!(A B C D E);
+
+/// Size specifications accepted by the collection strategies.
+pub trait SizeRange {
+    /// Draws a concrete size.
+    fn sample_size(&self, runner: &mut TestRunner) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_size(&self, _runner: &mut TestRunner) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn sample_size(&self, runner: &mut TestRunner) -> usize {
+        if self.start >= self.end {
+            self.start
+        } else {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn sample_size(&self, runner: &mut TestRunner) -> usize {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRunner};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = self.size.sample_size(runner);
+            (0..n).map(|_| self.element.sample(runner)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with target size drawn from
+    /// `size`; duplicates are retried a bounded number of times, so the
+    /// produced set may be smaller than the target when the element domain
+    /// is narrow (mirrors real proptest behavior well enough for tests).
+    pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug)]
+    pub struct BTreeSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+            let target = self.size.sample_size(runner);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 10 + 16 {
+                set.insert(self.element.sample(runner));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Sampling strategies (subset of `proptest::sample`).
+pub mod sample {
+    use super::{Rng, Strategy, TestRunner};
+
+    /// Uniformly selects one element of `options` per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics when sampled if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, runner: &mut TestRunner) -> T {
+            assert!(!self.options.is_empty(), "select from empty options");
+            let i = runner.rng().gen_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Everything a property-test file needs, including the crate root as
+/// `prop` (mirroring the real proptest prelude).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestRunner,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)`
+/// expands to a normal `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut runner = $crate::TestRunner::deterministic(u64::from(case));
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut runner);)+
+                    $body
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])+
+                fn $name($($pat in $strat),+) $body
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let s = prop::collection::vec(0..100i64, 1..20);
+        let a = Strategy::sample(&s, &mut TestRunner::deterministic(3));
+        let b = Strategy::sample(&s, &mut TestRunner::deterministic(3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_in_bounds(v in prop::collection::vec(-5..5i64, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|x| (-5..5).contains(x)));
+        }
+
+        #[test]
+        fn tuple_and_map_compose(
+            (a, b) in (0usize..10, 0usize..10).prop_map(|(x, y)| (x, x + y)),
+        ) {
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn flat_map_dependent_sampling(
+            (n, i) in (1usize..50).prop_flat_map(|n| (Just(n), 0..n)),
+        ) {
+            prop_assert!(i < n);
+        }
+    }
+}
