@@ -12,13 +12,16 @@
 //! shard, and parallel efficiency (speedup / shards). Efficiency near 1.0
 //! across 2–4 shards is the near-linear regime; on a machine with fewer
 //! cores than shards the efficiency degrades proportionally, which the
-//! printed `available_parallelism` makes visible.
+//! printed `available_parallelism` makes visible. After the scaling table,
+//! the per-shard [`ShardMetrics`] and the fleet-aggregated `KernelStats`
+//! (via `KernelStats::absorb`) for the largest run are printed, so the
+//! serving-layer counters are exercised and visible in every bench run.
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin sharded_scaling`
 
 use std::time::Instant;
 use streamhist_data::{collect, Ar1};
-use streamhist_stream::ShardedFixedWindow;
+use streamhist_stream::{KernelStats, ShardMetrics, ShardedFixedWindow};
 
 const POINTS_PER_SHARD: usize = 100_000;
 const BATCH: usize = 1024;
@@ -30,8 +33,9 @@ const REPS: usize = 3;
 
 /// Feeds every shard its own pre-generated stream and returns the wall
 /// time until all shards have absorbed their work (the final snapshot per
-/// shard is the completion barrier).
-fn run_once(shards: usize, streams: &[Vec<f64>]) -> f64 {
+/// shard is the completion barrier), together with the per-shard serving
+/// metrics and the fleet-aggregated kernel stats.
+fn run_once(shards: usize, streams: &[Vec<f64>]) -> (f64, Vec<ShardMetrics>, KernelStats) {
     let sharded = ShardedFixedWindow::new(shards, CAPACITY, B, EPS);
     let start = Instant::now();
     let mut sent = vec![0usize; shards];
@@ -41,7 +45,9 @@ fn run_once(shards: usize, streams: &[Vec<f64>]) -> f64 {
             if sent[shard] < POINTS_PER_SHARD {
                 let lo = sent[shard];
                 let hi = (lo + BATCH).min(POINTS_PER_SHARD);
-                sharded.push_batch(shard, streams[shard][lo..hi].to_vec());
+                sharded
+                    .push_batch(shard, streams[shard][lo..hi].to_vec())
+                    .expect("bench workers stay alive");
                 sent[shard] = hi;
             }
         }
@@ -50,22 +56,29 @@ fn run_once(shards: usize, streams: &[Vec<f64>]) -> f64 {
             // Ask every shard to materialize; fire-and-forget is not
             // possible for builds, so this also paces the feeder.
             for shard in 0..shards {
-                let (h, _) = sharded.snapshot(shard);
+                let (h, _) = sharded.snapshot(shard).expect("bench workers stay alive");
                 assert!(h.num_buckets() <= B);
             }
         }
     }
+    let mut fleet = KernelStats::default();
     for shard in 0..shards {
-        let (h, stats) = sharded.snapshot(shard);
+        let (h, stats) = sharded.snapshot(shard).expect("bench workers stay alive");
         assert!(h.num_buckets() <= B);
         assert!(stats.herror_evals > 0);
+        fleet.absorb(&stats);
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let summaries = sharded.join();
+    let metrics = sharded.metrics_all();
+    let summaries: Vec<_> = sharded
+        .join()
+        .into_iter()
+        .map(|r| r.expect("bench workers stay alive"))
+        .collect();
     assert!(summaries
         .iter()
         .all(|fw| fw.total_pushed() == POINTS_PER_SHARD as u64));
-    elapsed
+    (elapsed, metrics, fleet)
 }
 
 fn main() {
@@ -85,12 +98,13 @@ fn main() {
         .collect();
 
     let mut base = None;
+    let mut last_run = None;
     for shards in [1, 2, 4] {
-        let mut times: Vec<f64> = (0..REPS)
+        let mut runs: Vec<(f64, Vec<ShardMetrics>, KernelStats)> = (0..REPS)
             .map(|_| run_once(shards, &streams[..shards]))
             .collect();
-        times.sort_by(f64::total_cmp);
-        let wall = times[REPS / 2];
+        runs.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
+        let wall = runs[REPS / 2].0;
         let agg = (shards * POINTS_PER_SHARD) as f64 / wall;
         let base_agg = *base.get_or_insert(agg);
         let speedup = agg / base_agg;
@@ -98,5 +112,32 @@ fn main() {
             "{shards:7} {wall:7.3} {agg:17.0} {speedup:8.2} {:10.2}",
             speedup / shards as f64
         );
+        last_run = runs.pop();
     }
+
+    // Serving-layer observability for the largest fleet: per-shard
+    // counters plus the kernel stats aggregated across every shard.
+    let (_, metrics, fleet) = last_run.expect("at least one run");
+    println!("#\n# per-shard metrics (4-shard fleet, last rep)");
+    println!("# shard  accepted  rejected  dropped  snapshots  respawns  queue_depth");
+    for (shard, m) in metrics.iter().enumerate() {
+        println!(
+            "{shard:7} {:9} {:9} {:8} {:10} {:9} {:12}",
+            m.pushes_accepted,
+            m.values_rejected,
+            m.records_dropped,
+            m.snapshots_served,
+            m.respawns,
+            m.queue_depth
+        );
+    }
+    println!(
+        "# fleet kernel stats: herror_evals {}, binary_searches {}, rebases {}, \
+         compactions {}, arena_peak {}",
+        fleet.herror_evals,
+        fleet.binary_searches,
+        fleet.rebases,
+        fleet.compactions,
+        fleet.arena_peak
+    );
 }

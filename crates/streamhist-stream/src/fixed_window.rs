@@ -25,7 +25,7 @@
 
 use crate::kernel::{Kernel, KernelStats};
 use std::collections::VecDeque;
-use streamhist_core::{Histogram, SlidingPrefixSums};
+use streamhist_core::{Histogram, SlidingPrefixSums, StreamhistError};
 
 /// Diagnostics from one histogram materialization.
 ///
@@ -172,20 +172,42 @@ impl FixedWindowHistogram {
         self.raw.iter().copied().collect()
     }
 
-    /// Consumes one point, evicting the oldest when full. Amortized `O(1)`.
+    /// Consumes one point, evicting the oldest when full, or rejects it if
+    /// it is not finite (NaN/infinity would silently corrupt the prefix
+    /// sums and every later answer). On rejection the summary is unchanged
+    /// and remains fully usable. Amortized `O(1)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `v` is not finite (NaN/infinity would silently corrupt
-    /// the prefix sums and every later answer).
-    pub fn push(&mut self, v: f64) {
-        assert!(v.is_finite(), "stream values must be finite");
+    /// Returns [`StreamhistError::NonFiniteValue`] if `v` is NaN or
+    /// infinite.
+    pub fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        if !v.is_finite() {
+            return Err(StreamhistError::NonFiniteValue { value: v });
+        }
         if self.raw.len() == self.prefix.capacity() {
             self.raw.pop_front();
         }
         self.raw.push_back(v);
         self.prefix.push(v);
         self.total_pushed += 1;
+        Ok(())
+    }
+
+    /// Consumes one point, evicting the oldest when full. Amortized `O(1)`.
+    ///
+    /// Thin panicking wrapper around [`try_push`](Self::try_push), for
+    /// callers that control their input; serving paths (e.g. the sharded
+    /// layer) use `try_push` and count rejects instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite (NaN/infinity would silently corrupt
+    /// the prefix sums and every later answer).
+    pub fn push(&mut self, v: f64) {
+        if let Err(e) = self.try_push(v) {
+            panic!("{e}");
+        }
     }
 
     /// Pushes one point and materializes the histogram of the new window —
@@ -355,5 +377,24 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = FixedWindowHistogram::new(0, 2, 0.1);
+    }
+
+    #[test]
+    fn try_push_rejects_non_finite_and_leaves_summary_usable() {
+        let mut fw = FixedWindowHistogram::new(4, 2, 0.5);
+        fw.push(1.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                fw.try_push(bad),
+                Err(StreamhistError::NonFiniteValue { .. })
+            ));
+        }
+        // Rejections leave no trace: the window and counters are unchanged
+        // and further pushes behave normally.
+        assert_eq!(fw.total_pushed(), 1);
+        assert_eq!(fw.window(), vec![1.0]);
+        fw.try_push(3.0).expect("finite value accepted");
+        assert_eq!(fw.window(), vec![1.0, 3.0]);
+        assert_eq!(fw.histogram().domain_len(), 2);
     }
 }

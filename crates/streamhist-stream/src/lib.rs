@@ -35,7 +35,14 @@
 //! module) rather than `Rc` cells, so **every summary is `Send +
 //! 'static`** — asserted at compile time below — and summaries can be
 //! built on worker threads and moved; [`ShardedFixedWindow`] packages that
-//! deployment pattern over plain `std::thread` workers.
+//! deployment pattern over plain `std::thread` workers, with bounded
+//! backpressure ([`ShardedOptions`], [`OverloadPolicy`]), a
+//! `Result`-returning API over dead shards ([`ShardError`]) with
+//! per-shard respawn, and lock-free per-shard counters ([`ShardMetrics`]).
+//! Malformed input is rejected, not fatal: every summary offers a fallible
+//! `try_push`/`try_observe` returning
+//! [`StreamhistError`](streamhist_core::StreamhistError) alongside the
+//! panicking convenience wrappers.
 //!
 //! [`NaiveSlidingWindow`] re-runs the exact `O(n²B)` DP per window — the
 //! strawman of paper §3 ("excessive" per-update time) used as a baseline by
@@ -59,7 +66,7 @@ pub use agglomerative::AgglomerativeHistogram;
 pub use baseline::NaiveSlidingWindow;
 pub use fixed_window::{BuildStats, FixedWindowHistogram};
 pub use kernel::KernelStats;
-pub use sharded::ShardedFixedWindow;
+pub use sharded::{OverloadPolicy, ShardError, ShardMetrics, ShardedFixedWindow, ShardedOptions};
 pub use time_window::TimeWindowHistogram;
 
 // The `Send + 'static` contract of the streaming summaries, checked at
@@ -73,6 +80,10 @@ const _: () = {
     assert_send::<NaiveSlidingWindow>();
     assert_send::<KernelStats>();
     assert_send::<ShardedFixedWindow>();
+    // Ingestion takes `&self`, so producers on many threads share one
+    // handle: the sharded front-end must also be `Sync`.
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<ShardedFixedWindow>();
 };
 
 /// Offline `(1+ε)`-approximate V-optimal histogram of a stored sequence

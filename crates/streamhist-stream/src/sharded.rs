@@ -1,4 +1,4 @@
-//! Sharded deployment of the fixed-window summary.
+//! Sharded serving layer for the fixed-window summary.
 //!
 //! The paper's data-stream setting (§1) is explicitly operational —
 //! networking equipment emitting measurements "at link speeds" — and a
@@ -10,57 +10,210 @@
 //! shards can be *moved* to workers and their finished summaries moved
 //! back.
 //!
-//! [`ShardedFixedWindow`] packages that pattern with plain `std::thread`
-//! workers and `mpsc` channels — no extra dependencies, no locking on the
-//! hot path (each shard is single-writer by construction). It is a
-//! demonstrator and bench target (`sharded_scaling`), not a general
-//! stream-processing framework: routing is a fixed key hash and
-//! backpressure is unbounded-channel.
+//! [`ShardedFixedWindow`] packages that pattern as a robust serving
+//! subsystem over plain `std::thread` workers — no extra dependencies, no
+//! locking on the hot path (each shard is single-writer by construction).
+//! Three production concerns are first-class:
+//!
+//! * **Failure model.** Malformed records (NaN/infinity) are
+//!   counted-and-rejected by the worker via
+//!   [`FixedWindowHistogram::try_push`] — they never kill a shard. A
+//!   worker can still die (a bug, or deliberate fault injection through
+//!   [`inject_worker_panic`](ShardedFixedWindow::inject_worker_panic));
+//!   every API that talks to a shard returns `Result<_, `[`ShardError`]`>`
+//!   instead of panicking, so one dead shard is detectable and reportable
+//!   while the rest of the fleet keeps serving, and
+//!   [`respawn_shard`](ShardedFixedWindow::respawn_shard) restores service
+//!   on the dead index with a fresh (empty) summary.
+//! * **Backpressure.** Each shard's command queue is a *bounded*
+//!   `sync_channel` ([`ShardedOptions::queue_capacity`] commands deep).
+//!   When a shard falls behind, the configured [`OverloadPolicy`] decides:
+//!   [`Block`](OverloadPolicy::Block) stalls the producer (lossless,
+//!   memory-bounded), [`DropNewest`](OverloadPolicy::DropNewest) sheds the
+//!   incoming record(s) and counts them. Memory can no longer grow without
+//!   bound under a slow consumer.
+//! * **Observability.** Every shard keeps atomic counters —
+//!   [`ShardMetrics`]: pushes accepted, values rejected, records dropped
+//!   under overload, snapshots served, respawns, current queue depth —
+//!   readable through [`metrics`](ShardedFixedWindow::metrics) without a
+//!   barrier round-trip (counters are `Relaxed` atomics, exact once the
+//!   shard is quiescent). The `sharded_scaling` bench prints them per run.
+//!
+//! Routing is a fixed key hash ([`shard_of`](ShardedFixedWindow::shard_of));
+//! re-sharding and replication remain out of scope.
 
 use crate::fixed_window::FixedWindowHistogram;
 use crate::kernel::KernelStats;
-use std::sync::mpsc::{channel, Sender};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use streamhist_core::Histogram;
+
+/// A shard's worker thread is gone: it panicked (only possible through a
+/// bug or injected fault — malformed values are rejected, not fatal) and
+/// every operation addressed to that shard now fails fast with this error
+/// until [`ShardedFixedWindow::respawn_shard`] restores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardError {
+    /// Index of the shard whose worker has died.
+    pub shard: usize,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} worker has died", self.shard)
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// What a producer-side push does when the target shard's bounded command
+/// queue is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block the producer until the worker drains a slot — lossless
+    /// backpressure, the default.
+    #[default]
+    Block,
+    /// Drop the incoming record(s) and add them to
+    /// [`ShardMetrics::records_dropped`]. The push still returns `Ok`:
+    /// shedding under overload is the configured behavior, not a failure.
+    DropNewest,
+}
+
+/// Tuning for [`ShardedFixedWindow`]'s ingestion path.
+#[derive(Debug, Clone)]
+pub struct ShardedOptions {
+    /// Bound of each shard's command queue, in *commands* (a
+    /// [`push_batch`](ShardedFixedWindow::push_batch) of any size occupies
+    /// one slot). Must be positive.
+    pub queue_capacity: usize,
+    /// What to do when the queue is full.
+    pub policy: OverloadPolicy,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            policy: OverloadPolicy::Block,
+        }
+    }
+}
+
+/// Point-in-time copy of one shard's counters. Counters are cumulative for
+/// the lifetime of the shard *index* — they survive
+/// [`respawn_shard`](ShardedFixedWindow::respawn_shard) (except
+/// `queue_depth`, which is reset to 0 because the dead worker's queue is
+/// discarded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Values absorbed into the summary.
+    pub pushes_accepted: u64,
+    /// Values rejected as malformed (NaN/infinity).
+    pub values_rejected: u64,
+    /// Records shed at enqueue time under [`OverloadPolicy::DropNewest`].
+    pub records_dropped: u64,
+    /// Snapshot requests the worker has answered.
+    pub snapshots_served: u64,
+    /// Times this shard index has been respawned.
+    pub respawns: u64,
+    /// Commands currently enqueued (or in flight) to the worker.
+    pub queue_depth: usize,
+}
+
+/// The shared atomic counters behind [`ShardMetrics`]. `Relaxed` ordering
+/// everywhere: each counter is independently monotone and reads are
+/// statistical unless the shard is quiescent (e.g. after a snapshot
+/// barrier), where channel synchronization makes them exact.
+#[derive(Debug, Default)]
+struct MetricsInner {
+    pushes_accepted: AtomicU64,
+    values_rejected: AtomicU64,
+    records_dropped: AtomicU64,
+    snapshots_served: AtomicU64,
+    respawns: AtomicU64,
+    queue_depth: AtomicUsize,
+}
+
+impl MetricsInner {
+    fn read(&self) -> ShardMetrics {
+        ShardMetrics {
+            pushes_accepted: self.pushes_accepted.load(Ordering::Relaxed),
+            values_rejected: self.values_rejected.load(Ordering::Relaxed),
+            records_dropped: self.records_dropped.load(Ordering::Relaxed),
+            snapshots_served: self.snapshots_served.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
 
 enum Cmd {
     Push(f64),
     PushBatch(Vec<f64>),
     Snapshot(Sender<(Histogram, KernelStats)>),
+    /// Fault injection: the worker panics on receipt (see
+    /// [`ShardedFixedWindow::inject_worker_panic`]).
+    InjectPanic,
+}
+
+struct Shard {
+    sender: SyncSender<Cmd>,
+    handle: JoinHandle<FixedWindowHistogram>,
+    metrics: Arc<MetricsInner>,
 }
 
 /// `K` independent [`FixedWindowHistogram`]s, each owned by a dedicated
-/// worker thread and fed through a channel.
+/// worker thread and fed through a bounded channel.
 ///
 /// Records are routed by key ([`push`](Self::push)) or addressed to a shard
 /// directly ([`push_to`](Self::push_to), [`push_batch`](Self::push_batch)).
-/// Pushes are fire-and-forget; [`snapshot`](Self::snapshot) round-trips a
-/// reply channel and therefore also acts as a barrier for everything sent
-/// to that shard before it.
+/// [`snapshot`](Self::snapshot) round-trips a reply channel and therefore
+/// also acts as a barrier for everything sent to that shard before it.
+/// Every shard-addressed operation returns `Err(`[`ShardError`]`)` instead
+/// of panicking when the worker has died; see the module docs for the full
+/// failure model, overload policies, and metrics.
+///
+/// All ingestion methods take `&self` and the type is `Sync`, so any
+/// number of producer threads may push concurrently (per-shard record
+/// order is whatever order their sends interleave in).
 ///
 /// # Example
 ///
 /// ```
-/// use streamhist_stream::ShardedFixedWindow;
+/// use streamhist_stream::{ShardError, ShardedFixedWindow};
 ///
-/// let sharded = ShardedFixedWindow::new(2, 64, 4, 0.1);
-/// for i in 0..200u64 {
-///     sharded.push(i, (i % 7) as f64);
+/// fn main() -> Result<(), ShardError> {
+///     let sharded = ShardedFixedWindow::new(2, 64, 4, 0.1);
+///     for i in 0..200u64 {
+///         sharded.push(i, (i % 7) as f64)?;
+///     }
+///     let (hist, stats) = sharded.snapshot(0)?;
+///     assert!(hist.num_buckets() <= 4);
+///     assert!(stats.herror_evals > 0);
+///     assert!(sharded.metrics(0).pushes_accepted > 0);
+///     let summaries = sharded.join();
+///     assert_eq!(summaries.len(), 2);
+///     assert!(summaries.iter().all(Result::is_ok));
+///     Ok(())
 /// }
-/// let (hist, stats) = sharded.snapshot(0);
-/// assert!(hist.num_buckets() <= 4);
-/// assert!(stats.herror_evals > 0);
-/// let summaries = sharded.join();
-/// assert_eq!(summaries.len(), 2);
 /// ```
 pub struct ShardedFixedWindow {
-    senders: Vec<Sender<Cmd>>,
-    handles: Vec<JoinHandle<FixedWindowHistogram>>,
+    shards: Vec<Shard>,
+    capacity: usize,
+    b: usize,
+    eps: f64,
+    options: ShardedOptions,
 }
 
 impl ShardedFixedWindow {
     /// Spawns `shards` worker threads, each owning a
-    /// `FixedWindowHistogram::new(capacity, b, eps)`.
+    /// `FixedWindowHistogram::new(capacity, b, eps)`, with default
+    /// [`ShardedOptions`] (queue of 1024 commands,
+    /// [`OverloadPolicy::Block`]).
     ///
     /// # Panics
     ///
@@ -68,40 +221,112 @@ impl ShardedFixedWindow {
     /// [`FixedWindowHistogram::new`].
     #[must_use]
     pub fn new(shards: usize, capacity: usize, b: usize, eps: f64) -> Self {
+        Self::with_options(shards, capacity, b, eps, ShardedOptions::default())
+    }
+
+    /// [`Self::new`] with explicit queue bound and overload policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, `options.queue_capacity == 0`, or on the
+    /// parameter conditions of [`FixedWindowHistogram::new`].
+    #[must_use]
+    pub fn with_options(
+        shards: usize,
+        capacity: usize,
+        b: usize,
+        eps: f64,
+        options: ShardedOptions,
+    ) -> Self {
         assert!(shards > 0, "need at least one shard");
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
+        assert!(
+            options.queue_capacity > 0,
+            "queue capacity must be positive"
+        );
+        let mut this = Self {
+            shards: Vec::with_capacity(shards),
+            capacity,
+            b,
+            eps,
+            options,
+        };
         for _ in 0..shards {
-            let (tx, rx) = channel::<Cmd>();
-            let mut fw = FixedWindowHistogram::new(capacity, b, eps);
-            handles.push(std::thread::spawn(move || {
-                while let Ok(cmd) = rx.recv() {
-                    match cmd {
-                        Cmd::Push(v) => fw.push(v),
-                        Cmd::PushBatch(vs) => {
-                            for v in vs {
-                                fw.push(v);
+            let metrics = Arc::new(MetricsInner::default());
+            let (sender, handle) = this.spawn_worker(Arc::clone(&metrics));
+            this.shards.push(Shard {
+                sender,
+                handle,
+                metrics,
+            });
+        }
+        this
+    }
+
+    /// Spawns one worker owning a fresh summary. The summary is built on
+    /// the caller's thread so parameter panics surface here, not inside a
+    /// silently-dead worker.
+    fn spawn_worker(
+        &self,
+        metrics: Arc<MetricsInner>,
+    ) -> (SyncSender<Cmd>, JoinHandle<FixedWindowHistogram>) {
+        let mut fw = FixedWindowHistogram::new(self.capacity, self.b, self.eps);
+        let (tx, rx) = sync_channel::<Cmd>(self.options.queue_capacity);
+        let handle = std::thread::spawn(move || {
+            while let Ok(cmd) = rx.recv() {
+                metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                match cmd {
+                    Cmd::Push(v) => match fw.try_push(v) {
+                        Ok(()) => {
+                            metrics.pushes_accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            metrics.values_rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    Cmd::PushBatch(vs) => {
+                        let (mut accepted, mut rejected) = (0u64, 0u64);
+                        for v in vs {
+                            match fw.try_push(v) {
+                                Ok(()) => accepted += 1,
+                                Err(_) => rejected += 1,
                             }
                         }
-                        Cmd::Snapshot(reply) => {
-                            // A dropped reply receiver just means the
-                            // requester stopped waiting.
-                            let _ = reply.send(fw.histogram_with_stats());
+                        if accepted > 0 {
+                            metrics
+                                .pushes_accepted
+                                .fetch_add(accepted, Ordering::Relaxed);
+                        }
+                        if rejected > 0 {
+                            metrics
+                                .values_rejected
+                                .fetch_add(rejected, Ordering::Relaxed);
                         }
                     }
+                    Cmd::Snapshot(reply) => {
+                        metrics.snapshots_served.fetch_add(1, Ordering::Relaxed);
+                        // A dropped reply receiver just means the
+                        // requester stopped waiting.
+                        let _ = reply.send(fw.histogram_with_stats());
+                    }
+                    Cmd::InjectPanic => panic!("injected shard worker panic (fault injection)"),
                 }
-                // Channel closed: hand the summary back to `join`.
-                fw
-            }));
-            senders.push(tx);
-        }
-        Self { senders, handles }
+            }
+            // Channel closed: hand the summary back to `join`/`respawn`.
+            fw
+        });
+        (tx, handle)
     }
 
     /// Number of shards.
     #[must_use]
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.shards.len()
+    }
+
+    /// The ingestion options in effect.
+    #[must_use]
+    pub fn options(&self) -> &ShardedOptions {
+        &self.options
     }
 
     /// The shard a key routes to (Fibonacci hash of the key, so adjacent
@@ -109,76 +334,211 @@ impl ShardedFixedWindow {
     #[must_use]
     pub fn shard_of(&self, key: u64) -> usize {
         let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        (mixed % self.senders.len() as u64) as usize
+        (mixed % self.shards.len() as u64) as usize
     }
 
-    /// Routes one record to its key's shard. Fire-and-forget.
+    /// Enqueues a command, maintaining the depth gauge and applying the
+    /// overload policy (`records` is what `records_dropped` grows by if
+    /// the command is shed).
+    fn send(&self, shard: usize, cmd: Cmd, records: u64) -> Result<(), ShardError> {
+        let s = &self.shards[shard];
+        // Increment before the send so the worker's decrement (which can
+        // race ahead of this thread the instant the send lands) never
+        // underflows the gauge.
+        s.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let undeliverable = match self.options.policy {
+            OverloadPolicy::Block => s.sender.send(cmd).is_err(),
+            OverloadPolicy::DropNewest => match s.sender.try_send(cmd) {
+                Ok(()) => false,
+                Err(TrySendError::Full(_)) => {
+                    s.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    s.metrics
+                        .records_dropped
+                        .fetch_add(records, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(TrySendError::Disconnected(_)) => true,
+            },
+        };
+        if undeliverable {
+            s.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(ShardError { shard });
+        }
+        Ok(())
+    }
+
+    /// Routes one record to its key's shard, blocking or shedding per the
+    /// overload policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError`] if the target worker has died.
+    pub fn push(&self, key: u64, v: f64) -> Result<(), ShardError> {
+        self.push_to(self.shard_of(key), v)
+    }
+
+    /// Pushes one record to an explicit shard, blocking or shedding per
+    /// the overload policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError`] if the worker has died.
     ///
     /// # Panics
     ///
-    /// Panics if the target worker has died (a worker only dies if a push
-    /// panicked, e.g. on a non-finite value).
-    pub fn push(&self, key: u64, v: f64) {
-        self.push_to(self.shard_of(key), v);
+    /// Panics if `shard` is out of range (an addressing bug, not a runtime
+    /// condition).
+    pub fn push_to(&self, shard: usize, v: f64) -> Result<(), ShardError> {
+        self.send(shard, Cmd::Push(v), 1)
     }
 
-    /// Pushes one record to an explicit shard.
+    /// Pushes a batch of records to an explicit shard in order (one
+    /// channel send and one queue slot — the preferred high-throughput
+    /// entry point). Under [`OverloadPolicy::DropNewest`] a full queue
+    /// sheds the *whole batch*, counting `values.len()` dropped records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError`] if the worker has died.
     ///
     /// # Panics
     ///
-    /// Panics if `shard` is out of range or the worker has died.
-    pub fn push_to(&self, shard: usize, v: f64) {
-        self.senders[shard]
-            .send(Cmd::Push(v))
-            .expect("shard worker died");
-    }
-
-    /// Pushes a batch of records to an explicit shard in order (one channel
-    /// send — the preferred high-throughput entry point).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shard` is out of range or the worker has died.
-    pub fn push_batch(&self, shard: usize, values: Vec<f64>) {
-        self.senders[shard]
-            .send(Cmd::PushBatch(values))
-            .expect("shard worker died");
+    /// Panics if `shard` is out of range.
+    pub fn push_batch(&self, shard: usize, values: Vec<f64>) -> Result<(), ShardError> {
+        let records = values.len() as u64;
+        if records == 0 {
+            // An empty batch is a no-op and should not occupy a queue slot,
+            // but an out-of-range shard is still an addressing bug.
+            assert!(shard < self.shards.len(), "shard {shard} out of range");
+            return Ok(());
+        }
+        self.send(shard, Cmd::PushBatch(values), records)
     }
 
     /// Materializes shard `shard`'s current histogram (with kernel stats),
-    /// after everything previously sent to that shard has been absorbed.
+    /// after everything previously enqueued to that shard has been
+    /// absorbed — a per-shard barrier. The snapshot request always uses a
+    /// blocking send (it is control plane, never shed), even under
+    /// [`OverloadPolicy::DropNewest`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError`] if the worker has died (including death
+    /// after the request was enqueued but before it was answered).
     ///
     /// # Panics
     ///
-    /// Panics if `shard` is out of range or the worker has died.
-    #[must_use]
-    pub fn snapshot(&self, shard: usize) -> (Histogram, KernelStats) {
+    /// Panics if `shard` is out of range.
+    pub fn snapshot(&self, shard: usize) -> Result<(Histogram, KernelStats), ShardError> {
+        let s = &self.shards[shard];
         let (reply_tx, reply_rx) = channel();
-        self.senders[shard]
-            .send(Cmd::Snapshot(reply_tx))
-            .expect("shard worker died");
-        reply_rx.recv().expect("shard worker died")
+        s.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if s.sender.send(Cmd::Snapshot(reply_tx)).is_err() {
+            s.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(ShardError { shard });
+        }
+        reply_rx.recv().map_err(|_| ShardError { shard })
     }
 
-    /// Snapshots every shard, in shard order.
+    /// Snapshots every shard, in shard order. Dead shards yield their
+    /// `Err` entry without disturbing the others.
     #[must_use]
-    pub fn snapshot_all(&self) -> Vec<(Histogram, KernelStats)> {
+    pub fn snapshot_all(&self) -> Vec<Result<(Histogram, KernelStats), ShardError>> {
         (0..self.shards()).map(|s| self.snapshot(s)).collect()
+    }
+
+    /// Point-in-time metrics for one shard, read directly from shared
+    /// atomics — no barrier, no channel round-trip, works on dead shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn metrics(&self, shard: usize) -> ShardMetrics {
+        self.shards[shard].metrics.read()
+    }
+
+    /// Metrics for every shard, in shard order.
+    #[must_use]
+    pub fn metrics_all(&self) -> Vec<ShardMetrics> {
+        self.shards.iter().map(|s| s.metrics.read()).collect()
+    }
+
+    /// Fault injection for resilience testing: makes the shard's worker
+    /// panic when it dequeues this command, simulating an in-worker bug.
+    /// Commands already queued ahead of it are still processed; commands
+    /// behind it are lost with the worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError`] if the worker is already dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn inject_worker_panic(&self, shard: usize) -> Result<(), ShardError> {
+        let s = &self.shards[shard];
+        s.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if s.sender.send(Cmd::InjectPanic).is_err() {
+            s.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(ShardError { shard });
+        }
+        Ok(())
+    }
+
+    /// Replaces shard `shard`'s worker with a fresh one owning an *empty*
+    /// summary, restoring service on that index after a worker death — the
+    /// fleet degrades gracefully instead of cascading panics.
+    ///
+    /// The old worker's channel is closed first: if it is still alive it
+    /// drains every queued command and its final summary is returned
+    /// (`Some`), so respawning a healthy shard loses nothing but the
+    /// summary's continuity; if it had died, `None` is returned and any
+    /// commands stranded in its queue are discarded. Cumulative metrics
+    /// survive; `queue_depth` is reset for the new (empty) queue and
+    /// `respawns` increments.
+    ///
+    /// Takes `&mut self`, so producers (which hold `&self`) can never race
+    /// a respawn — wrap the whole value in an `RwLock` to respawn while
+    /// producers are live (see `tests/sharded_stress.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn respawn_shard(&mut self, shard: usize) -> Option<FixedWindowHistogram> {
+        let metrics = Arc::clone(&self.shards[shard].metrics);
+        let (sender, handle) = self.spawn_worker(Arc::clone(&metrics));
+        let old = std::mem::replace(
+            &mut self.shards[shard],
+            Shard {
+                sender,
+                handle,
+                metrics: Arc::clone(&metrics),
+            },
+        );
+        drop(old.sender); // close the old channel so a live worker exits
+        let recovered = old.handle.join().ok();
+        // The old queue is gone (drained or discarded); the gauge restarts
+        // for the new worker's queue. No producer can race this store:
+        // `&mut self` is exclusive.
+        metrics.queue_depth.store(0, Ordering::Relaxed);
+        metrics.respawns.fetch_add(1, Ordering::Relaxed);
+        recovered
     }
 
     /// Shuts the workers down and returns the shard summaries, in shard
     /// order — possible precisely because [`FixedWindowHistogram`] is
-    /// `Send`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker has died.
+    /// `Send`. A shard whose worker died yields `Err(`[`ShardError`]`)`
+    /// in its slot; the others are unaffected.
     #[must_use]
-    pub fn join(self) -> Vec<FixedWindowHistogram> {
-        drop(self.senders);
-        self.handles
+    pub fn join(self) -> Vec<Result<FixedWindowHistogram, ShardError>> {
+        self.shards
             .into_iter()
-            .map(|h| h.join().expect("shard worker died"))
+            .enumerate()
+            .map(|(shard, s)| {
+                drop(s.sender);
+                s.handle.join().map_err(|_| ShardError { shard })
+            })
             .collect()
     }
 }
@@ -186,6 +546,14 @@ impl ShardedFixedWindow {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn joined_ok(sharded: ShardedFixedWindow) -> Vec<FixedWindowHistogram> {
+        sharded
+            .join()
+            .into_iter()
+            .map(|r| r.expect("worker alive"))
+            .collect()
+    }
 
     #[test]
     fn shards_match_unsharded_summaries() {
@@ -198,20 +566,28 @@ mod tests {
             .collect();
         let sharded = ShardedFixedWindow::new(shards, 64, 4, 0.1);
         for (s, stream) in streams.iter().enumerate() {
-            sharded.push_batch(s, stream.clone());
+            sharded.push_batch(s, stream.clone()).expect("worker alive");
         }
         let snapshots = sharded.snapshot_all();
-        let summaries = sharded.join();
+        let metrics = sharded.metrics_all();
+        let summaries = joined_ok(sharded);
         for (s, stream) in streams.iter().enumerate() {
             let mut reference = FixedWindowHistogram::new(64, 4, 0.1);
             for &v in stream {
                 reference.push(v);
             }
             let (expect_h, expect_stats) = reference.histogram_with_stats();
-            assert_eq!(snapshots[s].0, expect_h, "shard {s} snapshot");
-            assert_eq!(snapshots[s].1, expect_stats, "shard {s} stats");
+            let snap = snapshots[s].as_ref().expect("worker alive");
+            assert_eq!(snap.0, expect_h, "shard {s} snapshot");
+            assert_eq!(snap.1, expect_stats, "shard {s} stats");
             assert_eq!(summaries[s].histogram(), expect_h, "shard {s} joined");
             assert_eq!(summaries[s].total_pushed(), stream.len() as u64);
+            // The snapshot barrier makes the counters exact.
+            assert_eq!(metrics[s].pushes_accepted, stream.len() as u64);
+            assert_eq!(metrics[s].values_rejected, 0);
+            assert_eq!(metrics[s].records_dropped, 0);
+            assert_eq!(metrics[s].snapshots_served, 1);
+            assert_eq!(metrics[s].queue_depth, 0);
         }
     }
 
@@ -221,11 +597,10 @@ mod tests {
         let mut hit = [false; 4];
         for key in 0..64u64 {
             hit[sharded.shard_of(key)] = true;
-            sharded.push(key, (key % 5) as f64);
+            sharded.push(key, (key % 5) as f64).expect("worker alive");
         }
         assert!(hit.iter().all(|&h| h), "64 keys left a shard of 4 unused");
-        let total: u64 = sharded
-            .join()
+        let total: u64 = joined_ok(sharded)
             .iter()
             .map(FixedWindowHistogram::total_pushed)
             .sum();
@@ -236,17 +611,141 @@ mod tests {
     fn snapshot_acts_as_barrier() {
         let sharded = ShardedFixedWindow::new(1, 8, 2, 0.5);
         for v in [1.0, 1.0, 9.0, 9.0] {
-            sharded.push_to(0, v);
+            sharded.push_to(0, v).expect("worker alive");
         }
-        let (h, _) = sharded.snapshot(0);
+        let (h, _) = sharded.snapshot(0).expect("worker alive");
         assert_eq!(h.domain_len(), 4);
         assert_eq!(h.bucket_ends(), vec![1, 3]);
         let _ = sharded.join();
     }
 
     #[test]
+    fn nan_is_rejected_and_the_shard_keeps_serving() {
+        // Regression: a single NaN used to panic the worker via
+        // `FixedWindowHistogram::push`'s finiteness assert, after which
+        // every call to the shard panicked with "shard worker died".
+        let sharded = ShardedFixedWindow::new(2, 8, 2, 0.5);
+        sharded.push_to(0, 1.0).expect("worker alive");
+        sharded.push_to(0, f64::NAN).expect("rejected, not fatal");
+        sharded
+            .push_batch(0, vec![2.0, f64::INFINITY, 3.0])
+            .expect("rejected, not fatal");
+        let (h, _) = sharded.snapshot(0).expect("shard still serving");
+        assert_eq!(h.domain_len(), 3, "only the finite values were absorbed");
+        let m = sharded.metrics(0);
+        assert_eq!(m.pushes_accepted, 3);
+        assert_eq!(m.values_rejected, 2);
+        assert_eq!(m.queue_depth, 0);
+        let summaries = joined_ok(sharded);
+        assert_eq!(summaries[0].window(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dead_worker_is_an_error_not_a_panic_and_respawn_restores_service() {
+        let mut sharded = ShardedFixedWindow::new(2, 8, 2, 0.5);
+        sharded.push_to(1, 4.0).expect("worker alive");
+        sharded.inject_worker_panic(1).expect("delivered");
+        // The panic command is behind the push, so the snapshot request is
+        // guaranteed to find a dead worker (its queued command is dropped
+        // with the channel, which closes the reply).
+        assert_eq!(sharded.snapshot(1), Err(ShardError { shard: 1 }));
+        // Once death is observed, sends fail fast...
+        assert_eq!(sharded.push_to(1, 5.0), Err(ShardError { shard: 1 }));
+        assert_eq!(
+            sharded.push_batch(1, vec![6.0]),
+            Err(ShardError { shard: 1 })
+        );
+        assert_eq!(sharded.inject_worker_panic(1), Err(ShardError { shard: 1 }));
+        // ...while the other shard keeps serving.
+        sharded.push_to(0, 7.0).expect("other shard unaffected");
+        assert!(sharded.snapshot(0).is_ok());
+        // Respawn: the panicked worker's summary is unrecoverable (None),
+        // the index serves again from empty, counters survive.
+        assert!(sharded.respawn_shard(1).is_none());
+        sharded.push_to(1, 8.0).expect("respawned shard serves");
+        let (h, _) = sharded.snapshot(1).expect("respawned shard serves");
+        assert_eq!(h.domain_len(), 1);
+        let m = sharded.metrics(1);
+        assert_eq!(m.respawns, 1);
+        assert_eq!(m.pushes_accepted, 2, "pre-death push + post-respawn push");
+        assert_eq!(m.queue_depth, 0);
+        let results = sharded.join();
+        assert!(results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn respawning_a_live_shard_returns_its_summary() {
+        let mut sharded = ShardedFixedWindow::new(1, 8, 2, 0.5);
+        sharded.push_batch(0, vec![1.0, 2.0, 3.0]).expect("alive");
+        let old = sharded
+            .respawn_shard(0)
+            .expect("live worker drains and hands back its summary");
+        assert_eq!(old.window(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(sharded.metrics(0).respawns, 1);
+        let fresh = joined_ok(sharded);
+        assert_eq!(fresh[0].total_pushed(), 0, "respawned summary is empty");
+    }
+
+    #[test]
+    fn drop_newest_sheds_when_the_queue_is_full_and_counts_exactly() {
+        // Flood a single shard with a queue of 1: whether each record
+        // lands or is shed is timing-dependent, but the accounting
+        // identity accepted + rejected + dropped == sent must hold
+        // exactly once the snapshot barrier quiesces the shard.
+        let sharded = ShardedFixedWindow::with_options(
+            1,
+            8,
+            2,
+            0.5,
+            ShardedOptions {
+                queue_capacity: 1,
+                policy: OverloadPolicy::DropNewest,
+            },
+        );
+        let mut sent = 0u64;
+        for i in 0..20_000u64 {
+            sharded.push_to(0, (i % 13) as f64).expect("never an error");
+            sent += 1;
+        }
+        let _ = sharded.snapshot(0).expect("barrier");
+        let m = sharded.metrics(0);
+        assert_eq!(
+            m.pushes_accepted + m.values_rejected + m.records_dropped,
+            sent
+        );
+        assert_eq!(m.values_rejected, 0);
+        assert_eq!(m.queue_depth, 0);
+        let summaries = joined_ok(sharded);
+        assert_eq!(summaries[0].total_pushed(), m.pushes_accepted);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let sharded = ShardedFixedWindow::new(1, 8, 2, 0.5);
+        sharded.push_batch(0, Vec::new()).expect("no-op");
+        let m = sharded.metrics(0);
+        assert_eq!(m.queue_depth, 0);
+        assert_eq!(joined_ok(sharded)[0].total_pushed(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedFixedWindow::new(0, 8, 2, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity must be positive")]
+    fn zero_queue_capacity_rejected() {
+        let _ = ShardedFixedWindow::with_options(
+            1,
+            8,
+            2,
+            0.5,
+            ShardedOptions {
+                queue_capacity: 0,
+                policy: OverloadPolicy::Block,
+            },
+        );
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::kernel::{Kernel, KernelStats};
 use std::collections::VecDeque;
-use streamhist_core::{GrowableWindowSums, Histogram};
+use streamhist_core::{GrowableWindowSums, Histogram, StreamhistError};
 
 /// `(1+ε)`-approximate V-optimal histogram over all points observed within
 /// the last `duration` time units.
@@ -124,28 +124,51 @@ impl TimeWindowHistogram {
             .collect()
     }
 
-    /// Observes a point at time `ts`. Timestamps must be non-decreasing;
-    /// multiple points may share a timestamp (batched arrivals). Evicts
-    /// everything older than `ts − duration`. Amortized `O(1)` plus one
-    /// eviction per departed point.
+    /// Observes a point at time `ts`, or rejects it if the value is not
+    /// finite or the timestamp moves backwards. On rejection the summary
+    /// (including its clock) is unchanged and remains fully usable.
     ///
-    /// # Panics
+    /// Timestamps must be non-decreasing; multiple points may share a
+    /// timestamp (batched arrivals). Evicts everything older than
+    /// `ts − duration`. Amortized `O(1)` plus one eviction per departed
+    /// point.
     ///
-    /// Panics if `ts` is smaller than the previous timestamp or `v` is
-    /// not finite.
-    pub fn observe(&mut self, ts: u64, v: f64) {
-        assert!(v.is_finite(), "stream values must be finite");
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::NonFiniteValue`] if `v` is NaN or
+    /// infinite, and [`StreamhistError::NonMonotonicTimestamp`] if `ts` is
+    /// smaller than the previously observed timestamp.
+    pub fn try_observe(&mut self, ts: u64, v: f64) -> Result<(), StreamhistError> {
+        if !v.is_finite() {
+            return Err(StreamhistError::NonFiniteValue { value: v });
+        }
         if let Some(now) = self.now {
-            assert!(
-                ts >= now,
-                "timestamps must be non-decreasing ({ts} < {now})"
-            );
+            if ts < now {
+                return Err(StreamhistError::NonMonotonicTimestamp { ts, now });
+            }
         }
         self.now = Some(ts);
         self.times.push_back(ts);
         self.raw.push_back(v);
         self.sums.push(v);
         self.evict_expired(ts);
+        Ok(())
+    }
+
+    /// Observes a point at time `ts`.
+    ///
+    /// Thin panicking wrapper around [`try_observe`](Self::try_observe),
+    /// for callers that control their input; serving paths use
+    /// `try_observe` and count rejects instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` is smaller than the previous timestamp or `v` is
+    /// not finite.
+    pub fn observe(&mut self, ts: u64, v: f64) {
+        if let Err(e) = self.try_observe(ts, v) {
+            panic!("{e}");
+        }
     }
 
     /// Advances the clock without adding a point (e.g. a heartbeat),
@@ -288,5 +311,24 @@ mod tests {
         let mut tw = TimeWindowHistogram::new(5, 2, 0.5);
         tw.observe(10, 1.0);
         tw.observe(9, 1.0);
+    }
+
+    #[test]
+    fn try_observe_rejects_bad_input_and_leaves_summary_usable() {
+        let mut tw = TimeWindowHistogram::new(5, 2, 0.5);
+        tw.try_observe(10, 1.0).expect("good record accepted");
+        assert!(matches!(
+            tw.try_observe(11, f64::NAN),
+            Err(StreamhistError::NonFiniteValue { .. })
+        ));
+        // A rejected value must not advance the clock.
+        assert_eq!(tw.now(), Some(10));
+        assert_eq!(
+            tw.try_observe(9, 2.0),
+            Err(StreamhistError::NonMonotonicTimestamp { ts: 9, now: 10 })
+        );
+        assert_eq!(tw.window(), vec![1.0]);
+        tw.try_observe(12, 2.0).expect("clock resumes normally");
+        assert_eq!(tw.window(), vec![1.0, 2.0]);
     }
 }

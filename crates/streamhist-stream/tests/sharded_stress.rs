@@ -1,0 +1,251 @@
+//! Resilience and concurrency tests for the sharded serving layer.
+//!
+//! The unit tests in `sharded.rs` pin down each mechanism in isolation;
+//! these tests exercise them *together*, the way a serving deployment
+//! would: malformed input and a worker death in one fleet (with recovery),
+//! and many producers hammering a `DropNewest` fleet while a respawner
+//! cycles a shard under it.
+
+use std::sync::RwLock;
+use std::time::Duration;
+use streamhist_stream::{
+    FixedWindowHistogram, OverloadPolicy, ShardError, ShardedFixedWindow, ShardedOptions,
+};
+
+/// The acceptance scenario, end to end: NaNs are rejected without killing
+/// anything, an injected worker panic turns into `Err(ShardError)` on
+/// exactly the dead shard, the rest of the fleet keeps serving, and
+/// `respawn_shard` restores service — with every metric counter matching
+/// the injected event counts exactly.
+#[test]
+fn injected_failures_leave_the_fleet_serving() {
+    let mut sharded = ShardedFixedWindow::new(4, 32, 3, 0.2);
+
+    // Healthy traffic to every shard, plus exactly 3 malformed records
+    // aimed at shard 2.
+    for shard in 0..4 {
+        for i in 0..50u64 {
+            sharded
+                .push_to(shard, ((i * 7 + shard as u64) % 11) as f64)
+                .expect("all workers alive");
+        }
+    }
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        sharded.push_to(2, bad).expect("rejected, not fatal");
+    }
+    let (h2, _) = sharded.snapshot(2).expect("shard 2 serving after NaNs");
+    assert_eq!(h2.domain_len(), 32, "window holds only the finite records");
+
+    // Kill shard 2's worker.
+    sharded.inject_worker_panic(2).expect("delivered");
+    assert_eq!(sharded.snapshot(2), Err(ShardError { shard: 2 }));
+    assert_eq!(sharded.push_to(2, 1.0), Err(ShardError { shard: 2 }));
+
+    // The other three shards are untouched by the death.
+    for shard in [0usize, 1, 3] {
+        sharded
+            .push_to(shard, 5.0)
+            .expect("unaffected shard ingests");
+        let (h, _) = sharded.snapshot(shard).expect("unaffected shard serves");
+        assert_eq!(h.domain_len(), 32, "shard {shard}");
+    }
+
+    // Recovery: the panicked worker's summary is gone (None), but the
+    // index serves again from empty.
+    assert!(sharded.respawn_shard(2).is_none());
+    for i in 0..10u64 {
+        sharded
+            .push_to(2, i as f64)
+            .expect("respawned shard ingests");
+    }
+    let (h2, _) = sharded.snapshot(2).expect("respawned shard serves");
+    assert_eq!(h2.domain_len(), 10);
+
+    // Counters match the injected event counts exactly (snapshots acted
+    // as barriers, so every counter is quiescent).
+    let m = sharded.metrics(2);
+    assert_eq!(m.values_rejected, 3, "one per malformed record");
+    assert_eq!(m.respawns, 1, "one per injected death");
+    assert_eq!(m.records_dropped, 0, "Block policy never sheds");
+    assert_eq!(m.pushes_accepted, 50 + 10, "pre-death + post-respawn");
+    assert_eq!(m.queue_depth, 0);
+    for shard in [0usize, 1, 3] {
+        let m = sharded.metrics(shard);
+        assert_eq!(m.values_rejected, 0, "shard {shard}");
+        assert_eq!(m.respawns, 0, "shard {shard}");
+        assert_eq!(m.pushes_accepted, 51, "shard {shard}");
+    }
+
+    let summaries = sharded.join();
+    assert!(summaries.iter().all(Result::is_ok), "whole fleet joins");
+}
+
+/// Many producers, a tiny `DropNewest` queue, and a respawner cycling one
+/// shard, all at once. Asserts the properties that must survive the chaos:
+/// no deadlock (the test finishes), exact per-shard accounting
+/// (accepted + rejected + dropped == sent), bit-identical histograms on
+/// the paced shards versus an unsharded reference, drops actually observed
+/// on the flooded shards, and a drained fleet at the end.
+#[test]
+fn concurrent_producers_respawns_and_overload_keep_the_books_straight() {
+    const SHARDS: usize = 8;
+    const CAPACITY: usize = 64;
+    const B: usize = 4;
+    const EPS: f64 = 0.1;
+    const FLOOD_PER_SHARD: u64 = 50_000;
+
+    let sharded = RwLock::new(ShardedFixedWindow::with_options(
+        SHARDS,
+        CAPACITY,
+        B,
+        EPS,
+        ShardedOptions {
+            queue_capacity: 2,
+            policy: OverloadPolicy::DropNewest,
+        },
+    ));
+
+    // Producers own disjoint shards (single-writer per shard, so the paced
+    // shards see a deterministic record order):
+    //
+    // * The PACED producer (shards 0, 1) sends one batch per iteration and
+    //   then snapshots the shard. The snapshot reply is a barrier, so the
+    //   queue is empty before the next batch and — even with
+    //   queue_capacity 2 — nothing is ever shed. Its stream includes NaNs
+    //   at known positions.
+    // * FLOOD producers (shards 2..8, one thread each) issue single pushes
+    //   with no barrier, so the 2-slot queue sheds under pressure.
+    // * The main thread RESPAWNS shard 7 repeatedly underneath its flood
+    //   producer, taking the write lock each time.
+    let paced_values: Vec<f64> = (0..3200)
+        .map(|i| {
+            if i % 37 == 0 {
+                f64::NAN
+            } else {
+                ((i * 13 + 5) % 23) as f64
+            }
+        })
+        .collect();
+
+    let mut sent = [0u64; SHARDS];
+    let mut recovered_pushes = 0u64;
+    let mut respawns_done = 0u64;
+    std::thread::scope(|scope| {
+        let sharded = &sharded;
+        let paced = &paced_values;
+        let paced_handle = scope.spawn(move || {
+            let mut sent_paced = 0u64;
+            for shard in 0..2usize {
+                for chunk in paced.chunks(16) {
+                    let guard = sharded.read().expect("not poisoned");
+                    guard
+                        .push_batch(shard, chunk.to_vec())
+                        .expect("paced shard worker alive");
+                    sent_paced += chunk.len() as u64;
+                    guard.snapshot(shard).expect("paced shard serves");
+                }
+            }
+            sent_paced
+        });
+        let flood = |shard: usize| {
+            move || {
+                let mut sent_flood = 0u64;
+                for i in 0..FLOOD_PER_SHARD {
+                    let guard = sharded.read().expect("not poisoned");
+                    guard
+                        .push_to(shard, ((i * 31 + shard as u64) % 19) as f64)
+                        .expect("graceful respawn never kills a worker");
+                    sent_flood += 1;
+                }
+                sent_flood
+            }
+        };
+        let flood_handles: Vec<_> = (2..SHARDS).map(|s| scope.spawn(flood(s))).collect();
+
+        // Graceful respawns drain the old worker fully, so the accounting
+        // identity below survives them; each hands back its summary.
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(5));
+            let mut guard = sharded.write().expect("not poisoned");
+            let old = guard
+                .respawn_shard(7)
+                .expect("live worker hands back its summary");
+            recovered_pushes += old.total_pushed();
+            respawns_done += 1;
+        }
+
+        let paced_total = paced_handle.join().expect("paced producer");
+        assert_eq!(paced_total, 2 * paced_values.len() as u64);
+        sent[0] = paced_values.len() as u64;
+        sent[1] = paced_values.len() as u64;
+        for (shard, handle) in (2..SHARDS).zip(flood_handles) {
+            sent[shard] = handle.join().expect("flood producer");
+        }
+    });
+    let sharded = sharded.into_inner().expect("not poisoned");
+
+    // Quiesce every shard, then check the books.
+    let snapshots = sharded.snapshot_all();
+    assert!(snapshots.iter().all(Result::is_ok), "no worker died");
+    let metrics = sharded.metrics_all();
+
+    // Exact conservation per shard: every record sent was accepted,
+    // rejected, or counted as dropped — nothing vanishes, even across
+    // graceful respawns.
+    for shard in 0..SHARDS {
+        let m = &metrics[shard];
+        assert_eq!(
+            m.pushes_accepted + m.values_rejected + m.records_dropped,
+            sent[shard],
+            "conservation on shard {shard}: {m:?}"
+        );
+        assert_eq!(m.queue_depth, 0, "shard {shard} drained");
+    }
+
+    // Paced shards: nothing shed, NaNs counted exactly, histogram
+    // bit-identical to an unsharded single-thread reference over the same
+    // (finite) stream.
+    let nan_count = paced_values.iter().filter(|v| v.is_nan()).count() as u64;
+    let mut reference = FixedWindowHistogram::new(CAPACITY, B, EPS);
+    for &v in paced_values.iter().filter(|v| v.is_finite()) {
+        reference.push(v);
+    }
+    let (expect_h, expect_stats) = reference.histogram_with_stats();
+    for shard in 0..2usize {
+        let m = &metrics[shard];
+        assert_eq!(m.records_dropped, 0, "paced shard {shard} never sheds");
+        assert_eq!(m.values_rejected, nan_count, "paced shard {shard}");
+        let snap = snapshots[shard].as_ref().expect("alive");
+        assert_eq!(snap.0, expect_h, "paced shard {shard} bit-identical");
+        assert_eq!(snap.1, expect_stats, "paced shard {shard} stats");
+    }
+
+    // Flooded shards: 2-slot queues against unpaced producers must
+    // actually shed somewhere in the fleet.
+    let flood_dropped: u64 = (2..SHARDS).map(|s| metrics[s].records_dropped).sum();
+    assert!(
+        flood_dropped > 0,
+        "6 x 50k unpaced pushes through 2-slot queues shed nothing"
+    );
+
+    // Respawned shard: cumulative counters survive respawns, and the
+    // accepted count decomposes exactly into what the recovered summaries
+    // and the final live one absorbed.
+    assert_eq!(metrics[7].respawns, respawns_done);
+    let summaries: Vec<FixedWindowHistogram> = sharded
+        .join()
+        .into_iter()
+        .map(|r| r.expect("worker alive"))
+        .collect();
+    assert_eq!(
+        recovered_pushes + summaries[7].total_pushed(),
+        metrics[7].pushes_accepted,
+        "shard 7 accepted records are split across its worker generations"
+    );
+    for shard in 0..2usize {
+        assert_eq!(
+            summaries[shard].total_pushed(),
+            metrics[shard].pushes_accepted
+        );
+    }
+}

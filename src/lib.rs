@@ -59,7 +59,7 @@
 pub use streamhist_core::{
     evaluate_queries, max_abs_error, sum_abs_error, sum_squared_error, AccuracyReport, Bucket,
     ExactSummary, GrowableWindowSums, Histogram, HistogramError, PrefixProvider, PrefixSums, Query,
-    SequenceSummary, SlidingPrefixSums, WindowSums,
+    SequenceSummary, SlidingPrefixSums, StreamhistError, WindowSums,
 };
 
 /// Histogram-to-histogram distances (L1/L2/L∞ over the expanded sequences)
@@ -85,7 +85,8 @@ pub use streamhist_similarity::{
 };
 pub use streamhist_stream::{
     approx_histogram, AgglomerativeHistogram, BuildStats, FixedWindowHistogram, KernelStats,
-    NaiveSlidingWindow, ShardedFixedWindow, TimeWindowHistogram,
+    NaiveSlidingWindow, OverloadPolicy, ShardError, ShardMetrics, ShardedFixedWindow,
+    ShardedOptions, TimeWindowHistogram,
 };
 pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynopsis};
 
