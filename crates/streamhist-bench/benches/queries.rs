@@ -39,7 +39,7 @@ fn bench_quantile_summaries(c: &mut Criterion) {
         bch.iter(|| {
             let mut s = GkSummary::new(0.01);
             for &v in &data {
-                s.insert(v);
+                s.push(v);
             }
             s.stored()
         });
@@ -48,7 +48,7 @@ fn bench_quantile_summaries(c: &mut Criterion) {
         bch.iter(|| {
             let mut s = MrlSummary::new(256);
             for &v in &data {
-                s.insert(v);
+                s.push(v);
             }
             s.stored()
         });
@@ -57,7 +57,7 @@ fn bench_quantile_summaries(c: &mut Criterion) {
 
     let mut gk = GkSummary::new(0.01);
     for &v in &data {
-        gk.insert(v);
+        gk.push(v);
     }
     let mut g = c.benchmark_group("quantile_query");
     g.bench_function("gk_median", |bch| {

@@ -61,12 +61,12 @@ fn main() {
             let (dyn_wav, dynamic_time) = timed(|| {
                 let mut dw = DynamicWavelet::new(n);
                 for &v in &stream {
-                    dw.append(v);
+                    dw.push(v);
                 }
                 dw.synopsis(b)
             });
 
-            let r_agg = accuracy_of(&stream, &agg, queries, n as u64);
+            let r_agg = accuracy_of(&stream, agg.as_ref(), queries, n as u64);
             let r_wav = accuracy_of(&stream, &wav, queries, n as u64);
             let r_dyn = accuracy_of(&stream, &dyn_wav, queries, n as u64);
             assert!(

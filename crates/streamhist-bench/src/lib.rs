@@ -95,7 +95,7 @@ pub fn run_fig6_cell(
                 n_checkpoints += 1;
                 let truth = fw.window();
                 let queries = WorkloadGen::new(t as u64, window).range_sums(queries_per_checkpoint);
-                hist_report = hist_report.merge(&evaluate_queries(&truth, &hist, &queries));
+                hist_report = hist_report.merge(&evaluate_queries(&truth, hist.as_ref(), &queries));
             }
         }
     });

@@ -37,6 +37,21 @@ pub enum StreamhistError {
         /// The latest timestamp previously observed.
         now: u64,
     },
+    /// A constructor/builder parameter is outside its valid domain. The
+    /// builders return this instead of panicking; the legacy positional
+    /// constructors panic with the same message.
+    InvalidParameter {
+        /// Which parameter was rejected (`"b"`, `"eps"`, `"capacity"`, ...).
+        param: &'static str,
+        /// Why it was rejected.
+        message: &'static str,
+    },
+    /// A bounded structure (a fixed-length wavelet array, for example) has
+    /// no room for another value.
+    CapacityExhausted {
+        /// The structure's fixed capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for StreamhistError {
@@ -47,6 +62,12 @@ impl fmt::Display for StreamhistError {
             }
             Self::NonMonotonicTimestamp { ts, now } => {
                 write!(f, "timestamps must be non-decreasing ({ts} < {now})")
+            }
+            Self::InvalidParameter { param, message } => {
+                write!(f, "invalid parameter `{param}`: {message}")
+            }
+            Self::CapacityExhausted { capacity } => {
+                write!(f, "summary capacity exhausted ({capacity} values)")
             }
         }
     }
@@ -132,5 +153,14 @@ mod tests {
         let back = StreamhistError::NonMonotonicTimestamp { ts: 3, now: 9 };
         assert!(back.to_string().contains("non-decreasing"));
         assert!(back.to_string().contains('3') && back.to_string().contains('9'));
+        let bad = StreamhistError::InvalidParameter {
+            param: "b",
+            message: "need at least one bucket",
+        };
+        assert!(bad.to_string().contains("`b`"));
+        assert!(bad.to_string().contains("need at least one bucket"));
+        let full = StreamhistError::CapacityExhausted { capacity: 16 };
+        assert!(full.to_string().contains("exhausted"));
+        assert!(full.to_string().contains("16"));
     }
 }

@@ -22,6 +22,9 @@
 //!   any summary (histograms here, wavelet synopses in `streamhist-wavelet`).
 //! * [`evaluate_queries`] — the paper's §5 accuracy protocol: run a workload
 //!   of random queries and report average errors.
+//! * [`StreamSummary`] — the workspace-wide ingestion interface
+//!   (`try_push`/`push`/`push_batch`/`len`/`reset`) implemented by every
+//!   streaming summary in the downstream crates.
 //!
 //! All index domains are 0-based and ranges are inclusive `[start, end]`,
 //! matching the bucket convention of the paper (which is 1-based; we shift).
@@ -37,6 +40,7 @@ pub mod eval;
 pub mod histogram;
 pub mod prefix;
 pub mod query;
+pub mod summary;
 
 pub use bucket::Bucket;
 pub use codec::{decode, encode, DecodeError};
@@ -45,3 +49,4 @@ pub use eval::{evaluate_queries, AccuracyReport};
 pub use histogram::{Histogram, HistogramError};
 pub use prefix::{GrowableWindowSums, PrefixProvider, PrefixSums, SlidingPrefixSums, WindowSums};
 pub use query::{ExactSummary, Query, SequenceSummary};
+pub use summary::{BatchOutcome, StreamSummary};

@@ -279,6 +279,12 @@ impl SlidingPrefixSums {
         self.capacity
     }
 
+    /// The configured rebase period (anchor moves every this many pushes).
+    #[must_use]
+    pub fn rebase_period(&self) -> usize {
+        self.rebase_period
+    }
+
     /// Number of points currently retained (`<= capacity`).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -311,6 +317,54 @@ impl SlidingPrefixSums {
         if self.since_rebase >= self.rebase_period {
             self.rebase();
         }
+    }
+
+    /// Appends a whole slab, evicting oldest points as needed — the batch
+    /// ingestion fast path. Equivalent to calling [`push`](Self::push) per
+    /// value **bit for bit**, including the anchor-rebase schedule: the
+    /// slab is split at rebase boundaries, so each rebase fires after
+    /// exactly the same push it would have fired after in per-point mode
+    /// (rebase timing changes the rounding of later cumulative entries, so
+    /// replicating the schedule is what keeps the two modes identical).
+    ///
+    /// Within a chunk the rebase branch and the back-of-deque lookup are
+    /// hoisted out of the loop: one rebase check and one write pass per
+    /// chunk, with the running `(sum, sqsum)` kept in registers. The
+    /// accumulation `(s + v, q + v*v)` is the same operation sequence as
+    /// per-point pushes, so the stored values are identical.
+    pub fn push_slab(&mut self, values: &[f64]) {
+        let mut rest = values;
+        while !rest.is_empty() {
+            // The per-point invariant `since_rebase < rebase_period` holds
+            // on entry, so `take >= 1` and the chunk ends exactly where the
+            // next rebase would fire.
+            let take = (self.rebase_period - self.since_rebase).min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            let (mut s, mut q) = self.cum.back().copied().unwrap_or(self.head);
+            for &v in chunk {
+                if self.cum.len() == self.capacity {
+                    let evicted = self.cum.pop_front().expect("full window is non-empty");
+                    self.head = evicted;
+                }
+                s += v;
+                q += v * v;
+                self.cum.push_back((s, q));
+            }
+            self.since_rebase += take;
+            if self.since_rebase >= self.rebase_period {
+                self.rebase();
+            }
+            rest = tail;
+        }
+    }
+
+    /// The raw anchor frame — `(head, cumulative entries)` exactly as
+    /// stored. This is the `SUM'`/`SQSUM'` state of paper §4.5; the batch
+    /// equivalence tests compare it with `==` to prove slab ingestion
+    /// leaves bit-identical state behind.
+    #[must_use]
+    pub fn raw_frame(&self) -> ((f64, f64), Vec<(f64, f64)>) {
+        (self.head, self.cum.iter().copied().collect())
     }
 
     /// Moves the anchor to the start of the window: subtracts `head` from
@@ -714,6 +768,43 @@ mod tests {
         assert_eq!(w.mean(0, 3), 2.5);
         assert!((w.sqerror(0, 3) - 5.0).abs() < 1e-12);
         assert_eq!(w.sqerror(1, 1), 0.0);
+    }
+
+    #[test]
+    fn push_slab_is_bit_identical_to_per_point_pushes() {
+        let data: Vec<f64> = (0..500)
+            .map(|i| 1.0e6 + ((i * 37 + 11) % 97) as f64 * 0.125)
+            .collect();
+        for cap in [1, 7, 16] {
+            for period in [1, 5, 16, 64] {
+                for slab in [1, 3, 16, 17, 100] {
+                    let mut a = SlidingPrefixSums::with_rebase_period(cap, period);
+                    let mut b = SlidingPrefixSums::with_rebase_period(cap, period);
+                    for chunk in data.chunks(slab) {
+                        for &v in chunk {
+                            a.push(v);
+                        }
+                        b.push_slab(chunk);
+                        assert_eq!(
+                            a.raw_frame(),
+                            b.raw_frame(),
+                            "cap={cap} period={period} slab={slab}"
+                        );
+                    }
+                    assert_eq!(a.rebases(), b.rebases());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_slab_handles_empty_slab() {
+        let mut w = SlidingPrefixSums::new(4);
+        w.push_slab(&[]);
+        assert!(w.is_empty());
+        w.push_slab(&[1.0, 2.0]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.range_sum(0, 1), 3.0);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! The workspace-wide ingestion interface.
+//!
+//! Every one-pass summary in the workspace consumes a stream of `f64`
+//! values; historically each crate grew its own entry-point spelling
+//! (`push`, `insert`, `observe`, `add`) and its own failure behaviour
+//! (panic, silent accept, tally-and-ignore). [`StreamSummary`] is the one
+//! interface they all implement now:
+//!
+//! * [`try_push`](StreamSummary::try_push) — fallible ingestion returning
+//!   [`StreamhistError`] on malformed input, leaving the summary unchanged;
+//! * [`push`](StreamSummary::push) — the panicking convenience wrapper;
+//! * [`push_batch`](StreamSummary::push_batch) — slab ingestion with
+//!   partial-acceptance semantics ([`BatchOutcome`] reports exact
+//!   accepted/rejected counts); summaries with a batched fast path (the
+//!   fixed-window histogram) override the default per-point loop;
+//! * [`len`](StreamSummary::len) / [`is_empty`](StreamSummary::is_empty) /
+//!   [`reset`](StreamSummary::reset) — occupancy and reuse.
+
+use crate::error::StreamhistError;
+
+/// Exact accounting of one slab ingestion: every value in the slab is
+/// either accepted or rejected (`accepted + rejected == slab length`).
+///
+/// Batch ingestion is *partially accepting*: a malformed value (NaN,
+/// infinity, a domain violation) is rejected and counted, and ingestion
+/// continues with the next value — a slab is a transport unit, not a
+/// transaction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Values absorbed into the summary.
+    pub accepted: usize,
+    /// Values rejected as malformed, with the summary left unchanged by
+    /// each of them.
+    pub rejected: usize,
+}
+
+impl BatchOutcome {
+    /// Total number of values the slab contained.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.accepted + self.rejected
+    }
+
+    /// Whether every value was accepted.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.rejected == 0
+    }
+
+    /// Folds another slab's accounting into this one.
+    pub fn absorb(&mut self, other: BatchOutcome) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+    }
+}
+
+/// A one-pass stream summary: consumes `f64` values and maintains a
+/// compact synopsis.
+///
+/// Implemented across the workspace by the index-domain histograms
+/// (`streamhist-stream`), the quantile summaries (`streamhist-quantile`),
+/// the value-domain frequency vector (`streamhist-freq`) and the wavelet
+/// synopses (`streamhist-wavelet`). Implementations document what
+/// [`len`](Self::len) counts (window occupancy for windowed summaries,
+/// stream length for whole-stream ones) and any value-domain coercions.
+pub trait StreamSummary {
+    /// Consumes one value, or rejects it leaving the summary unchanged
+    /// and fully usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StreamhistError`] describing why the value was
+    /// rejected (non-finite, out of domain, capacity exhausted, ...).
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError>;
+
+    /// Consumes one value.
+    ///
+    /// Thin panicking wrapper around [`try_push`](Self::try_push), for
+    /// callers that control their input; serving paths use `try_push`
+    /// (or [`push_batch`](Self::push_batch)) and count rejects instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is rejected.
+    fn push(&mut self, v: f64) {
+        if let Err(e) = self.try_push(v) {
+            panic!("{e}");
+        }
+    }
+
+    /// Consumes a slab of values with partial-acceptance semantics: each
+    /// malformed value is rejected and counted, the rest are absorbed in
+    /// order. Equivalent to calling [`try_push`](Self::try_push) per value
+    /// (implementations overriding this with a fast path must preserve
+    /// that equivalence bit for bit).
+    fn push_batch(&mut self, values: &[f64]) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for &v in values {
+            match self.try_push(v) {
+                Ok(()) => out.accepted += 1,
+                Err(_) => out.rejected += 1,
+            }
+        }
+        out
+    }
+
+    /// Number of values the summary currently accounts for (see the
+    /// implementation's documentation for windowed vs whole-stream
+    /// semantics).
+    fn len(&self) -> usize;
+
+    /// Whether the summary currently accounts for no values.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Restores the summary to its freshly-constructed state, keeping its
+    /// configuration (capacity, budgets, tolerances).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal implementor exercising the trait's default methods.
+    struct Tally {
+        values: Vec<f64>,
+    }
+
+    impl StreamSummary for Tally {
+        fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+            if !v.is_finite() {
+                return Err(StreamhistError::NonFiniteValue { value: v });
+            }
+            self.values.push(v);
+            Ok(())
+        }
+
+        fn len(&self) -> usize {
+            self.values.len()
+        }
+
+        fn reset(&mut self) {
+            self.values.clear();
+        }
+    }
+
+    #[test]
+    fn default_push_batch_is_partially_accepting_with_exact_counts() {
+        let mut t = Tally { values: Vec::new() };
+        let out = t.push_batch(&[1.0, f64::NAN, 2.0, f64::INFINITY, 3.0]);
+        assert_eq!(
+            out,
+            BatchOutcome {
+                accepted: 3,
+                rejected: 2
+            }
+        );
+        assert_eq!(out.total(), 5);
+        assert!(!out.is_clean());
+        assert_eq!(t.values, vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.len(), 3);
+        t.reset();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn default_push_panics_on_rejection() {
+        let mut t = Tally { values: Vec::new() };
+        t.push(7.0);
+        assert_eq!(t.len(), 1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.push(f64::NAN);
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn batch_outcome_absorbs() {
+        let mut a = BatchOutcome {
+            accepted: 2,
+            rejected: 1,
+        };
+        a.absorb(BatchOutcome {
+            accepted: 5,
+            rejected: 0,
+        });
+        assert_eq!(
+            a,
+            BatchOutcome {
+                accepted: 7,
+                rejected: 1
+            }
+        );
+    }
+}

@@ -1,5 +1,7 @@
 //! Streaming frequency vectors over a bounded integer value domain.
 
+use streamhist_core::{StreamSummary, StreamhistError};
+
 /// Counts of each value in `[lo, hi]`, maintained from a stream in `O(1)`
 /// per arrival.
 ///
@@ -37,7 +39,7 @@ impl FrequencyVector {
     pub fn from_values<I: IntoIterator<Item = i64>>(values: I, lo: i64, hi: i64) -> Self {
         let mut f = Self::new(lo, hi);
         for v in values {
-            f.add(v);
+            f.push(v);
         }
         f
     }
@@ -75,7 +77,7 @@ impl FrequencyVector {
     /// Counts one observation. Out-of-range values are tallied separately
     /// and otherwise ignored (streams are noisy; panicking per point is
     /// not an option for a monitor).
-    pub fn add(&mut self, v: i64) {
+    pub fn push(&mut self, v: i64) {
         if v < self.lo || v > self.hi() {
             self.out_of_range += 1;
             return;
@@ -83,6 +85,19 @@ impl FrequencyVector {
         let idx = (v - self.lo) as usize;
         self.counts[idx] += 1;
         self.total += 1;
+    }
+
+    /// Renamed alias kept for source compatibility.
+    #[deprecated(note = "renamed to `push`")]
+    pub fn add(&mut self, v: i64) {
+        self.push(v);
+    }
+
+    /// Restores the vector to all-zero counts, keeping the domain.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.out_of_range = 0;
     }
 
     /// The raw counts, indexed by `value - lo`.
@@ -124,6 +139,30 @@ impl FrequencyVector {
         }
         let (i, j) = ((lo - self.lo) as usize, (hi - self.lo) as usize);
         self.counts[i..=j].iter().sum()
+    }
+}
+
+impl StreamSummary for FrequencyVector {
+    /// Consumes one `f64` observation by rounding to the nearest integer
+    /// value (frequency vectors live on an integer domain). Non-finite
+    /// values are rejected; out-of-range integers follow the type's own
+    /// policy (tallied in [`FrequencyVector::out_of_range`], not an error).
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        if !v.is_finite() {
+            return Err(StreamhistError::NonFiniteValue { value: v });
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        FrequencyVector::push(self, v.round() as i64);
+        Ok(())
+    }
+
+    /// Total number of **in-range** values counted.
+    fn len(&self) -> usize {
+        usize::try_from(self.total).unwrap_or(usize::MAX)
+    }
+
+    fn reset(&mut self) {
+        FrequencyVector::reset(self);
     }
 }
 
@@ -169,5 +208,29 @@ mod tests {
     #[should_panic(expected = "lo <= hi")]
     fn inverted_domain_rejected() {
         let _ = FrequencyVector::new(5, 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_add_alias_still_counts() {
+        let mut f = FrequencyVector::new(0, 3);
+        f.add(2);
+        assert_eq!(f.count_of(2), 1);
+    }
+
+    #[test]
+    fn stream_summary_rounds_rejects_non_finite_and_resets() {
+        let mut f = FrequencyVector::new(0, 9);
+        let out = f.push_batch(&[1.2, 2.8, f64::NAN, 100.0, f64::INFINITY]);
+        // 100.0 is finite, so it is accepted by the trait and tallied
+        // out-of-range by the vector's own policy.
+        assert_eq!((out.accepted, out.rejected), (3, 2));
+        assert_eq!(f.count_of(1), 1);
+        assert_eq!(f.count_of(3), 1);
+        assert_eq!(f.out_of_range(), 1);
+        assert_eq!(StreamSummary::len(&f), 2);
+        f.reset();
+        assert!(f.is_empty());
+        assert_eq!(f.out_of_range(), 0);
     }
 }

@@ -2,6 +2,7 @@
 //! protocol.
 
 use crate::freq::FrequencyVector;
+use std::sync::Arc;
 use streamhist_core::Histogram;
 
 /// A bucketization of a frequency vector, answering value-range count
@@ -27,7 +28,7 @@ use streamhist_core::Histogram;
 #[derive(Debug, Clone)]
 pub struct ValueHistogram {
     lo: i64,
-    hist: Histogram,
+    hist: Arc<Histogram>,
     total: u64,
 }
 
@@ -40,7 +41,10 @@ impl ValueHistogram {
     /// Panics if `b == 0`.
     #[must_use]
     pub fn v_optimal(freq: &FrequencyVector, b: usize) -> Self {
-        let hist = streamhist_optimal::optimal_histogram(&freq.frequencies(), b);
+        let hist = Arc::new(streamhist_optimal::optimal_histogram(
+            &freq.frequencies(),
+            b,
+        ));
         Self {
             lo: freq.lo(),
             hist,
@@ -56,7 +60,11 @@ impl ValueHistogram {
     /// Panics if `b == 0` or `eps <= 0`.
     #[must_use]
     pub fn v_optimal_approx(freq: &FrequencyVector, b: usize, eps: f64) -> Self {
-        let hist = streamhist_stream::approx_histogram(&freq.frequencies(), b, eps);
+        let hist = Arc::new(streamhist_stream::approx_histogram(
+            &freq.frequencies(),
+            b,
+            eps,
+        ));
         Self {
             lo: freq.lo(),
             hist,
@@ -76,7 +84,7 @@ impl ValueHistogram {
         let ends = max_diff_ends(&f, b);
         Self {
             lo: freq.lo(),
-            hist: Histogram::from_bucket_ends(&f, &ends),
+            hist: Arc::new(Histogram::from_bucket_ends(&f, &ends)),
             total: freq.total(),
         }
     }
@@ -88,7 +96,7 @@ impl ValueHistogram {
     /// Panics if `b == 0`.
     #[must_use]
     pub fn equi_width(freq: &FrequencyVector, b: usize) -> Self {
-        let hist = Histogram::equi_width(&freq.frequencies(), b);
+        let hist = Arc::new(Histogram::equi_width(&freq.frequencies(), b));
         Self {
             lo: freq.lo(),
             hist,
@@ -125,15 +133,17 @@ impl ValueHistogram {
         ends.push(d - 1);
         Self {
             lo: freq.lo(),
-            hist: Histogram::from_bucket_ends(&f, &ends),
+            hist: Arc::new(Histogram::from_bucket_ends(&f, &ends)),
             total: freq.total(),
         }
     }
 
-    /// The underlying index-domain histogram (indices are `value − lo`).
+    /// The underlying index-domain histogram (indices are `value − lo`),
+    /// as a cheap shared snapshot — the same `Arc<Histogram>` surface the
+    /// streaming summaries expose.
     #[must_use]
-    pub fn histogram(&self) -> &Histogram {
-        &self.hist
+    pub fn histogram(&self) -> Arc<Histogram> {
+        Arc::clone(&self.hist)
     }
 
     /// Lowest domain value.
@@ -287,7 +297,7 @@ mod tests {
                 1 + (v % 7) as usize
             };
             for _ in 0..c {
-                f.add(v);
+                f.push(v);
             }
         }
         f

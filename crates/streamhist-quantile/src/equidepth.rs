@@ -5,7 +5,9 @@
 //! This is the classical selectivity-estimation synopsis; deriving it from
 //! a one-pass summary makes it a stream synopsis.
 
+use crate::gk::GkSummary;
 use crate::QuantileSummary;
+use streamhist_core::{StreamSummary, StreamhistError};
 
 /// Equi-depth histogram over the *value* domain.
 #[derive(Debug, Clone)]
@@ -120,6 +122,84 @@ impl EquiDepthHistogram {
     }
 }
 
+/// A *streaming* equi-depth histogram: a [`GkSummary`] that ingests the
+/// stream one-pass and materializes a `b`-bucket [`EquiDepthHistogram`] on
+/// demand — the value-domain counterpart of the index-domain streaming
+/// summaries, behind the same [`StreamSummary`] ingestion surface.
+///
+/// # Example
+///
+/// ```
+/// use streamhist_core::StreamSummary;
+/// use streamhist_quantile::StreamingEquiDepth;
+///
+/// let mut ed = StreamingEquiDepth::new(0.01, 8);
+/// for i in 0..10_000 {
+///     ed.push((i % 100) as f64);
+/// }
+/// let h = ed.histogram();
+/// assert_eq!(h.num_buckets(), 8);
+/// assert!((h.selectivity(0.0, 49.0) - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingEquiDepth {
+    summary: GkSummary,
+    b: usize,
+}
+
+impl StreamingEquiDepth {
+    /// Creates a streaming equi-depth histogram with quantile tolerance
+    /// `eps` and bucket budget `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1` and `b > 0`.
+    #[must_use]
+    pub fn new(eps: f64, b: usize) -> Self {
+        assert!(b > 0, "need at least one bucket");
+        Self {
+            summary: GkSummary::new(eps),
+            b,
+        }
+    }
+
+    /// The bucket budget `b`.
+    #[must_use]
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The backing quantile summary.
+    #[must_use]
+    pub fn summary(&self) -> &GkSummary {
+        &self.summary
+    }
+
+    /// Derives the current `b`-bucket equi-depth histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no values have been consumed yet.
+    #[must_use]
+    pub fn histogram(&self) -> EquiDepthHistogram {
+        EquiDepthHistogram::from_summary(&self.summary, self.b)
+    }
+}
+
+impl StreamSummary for StreamingEquiDepth {
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        self.summary.try_push(v)
+    }
+
+    fn len(&self) -> usize {
+        self.summary.count()
+    }
+
+    fn reset(&mut self) {
+        self.summary.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,7 +209,7 @@ mod tests {
     fn uniform_gk(n: usize) -> GkSummary {
         let mut gk = GkSummary::new(0.005);
         for i in 0..n {
-            gk.insert(((i * 7919) % n) as f64);
+            gk.push(((i * 7919) % n) as f64);
         }
         gk
     }
@@ -184,11 +264,45 @@ mod tests {
         let mut m = MrlSummary::new(128);
         let n = 8_192;
         for i in 0..n {
-            m.insert(((i * 613) % n) as f64);
+            m.push(((i * 613) % n) as f64);
         }
         let h = EquiDepthHistogram::from_summary(&m, 8);
         let sel = h.selectivity(0.0, (n / 2) as f64);
         assert!((sel - 0.5).abs() < 0.1, "sel {sel}");
+    }
+
+    #[test]
+    fn streaming_equi_depth_tracks_the_batch_derivation() {
+        let n = 10_000;
+        let mut ed = StreamingEquiDepth::new(0.005, 10);
+        let mut gk = GkSummary::new(0.005);
+        for i in 0..n {
+            let v = ((i * 7919) % n) as f64;
+            ed.push(v);
+            gk.push(v);
+        }
+        assert_eq!(ed.len(), n);
+        assert_eq!(ed.b(), 10);
+        let expect = EquiDepthHistogram::from_summary(&gk, 10);
+        let got = ed.histogram();
+        assert_eq!(got.boundaries(), expect.boundaries());
+        assert_eq!(got.count(), expect.count());
+        ed.reset();
+        assert!(ed.is_empty());
+    }
+
+    #[test]
+    fn streaming_equi_depth_rejects_non_finite() {
+        let mut ed = StreamingEquiDepth::new(0.1, 4);
+        let out = ed.push_batch(&[1.0, f64::NAN, 2.0, 3.0, 4.0]);
+        assert_eq!((out.accepted, out.rejected), (4, 1));
+        assert_eq!(ed.histogram().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one bucket")]
+    fn streaming_equi_depth_zero_buckets_rejected() {
+        let _ = StreamingEquiDepth::new(0.1, 0);
     }
 
     #[test]
@@ -201,7 +315,7 @@ mod tests {
             } else {
                 (i % 10) as f64
             };
-            gk.insert(v);
+            gk.push(v);
         }
         let h = EquiDepthHistogram::from_summary(&gk, 10);
         // The 0.8 quantile is robustly inside the small-value cluster (the

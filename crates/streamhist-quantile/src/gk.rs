@@ -8,6 +8,7 @@
 //! tuples whose combined uncertainty still fits the invariant.
 
 use crate::QuantileSummary;
+use streamhist_core::{StreamSummary, StreamhistError};
 
 #[derive(Debug, Clone, Copy)]
 struct Tuple {
@@ -25,7 +26,7 @@ struct Tuple {
 ///
 /// let mut gk = GkSummary::new(0.01);
 /// for i in 0..10_000 {
-///     gk.insert(i as f64);
+///     gk.push(i as f64);
 /// }
 /// let med = gk.quantile(0.5);
 /// assert!((med - 5000.0).abs() <= 100.0 + 1.0); // rank error <= eps * n
@@ -65,10 +66,17 @@ impl GkSummary {
         self.eps
     }
 
-    /// Inserts one value. Amortized `O(log s + s/period)` where `s` is the
-    /// summary size.
-    pub fn insert(&mut self, v: f64) {
-        assert!(v.is_finite(), "summary values must be finite");
+    /// Consumes one value, or rejects it if it is not finite. Amortized
+    /// `O(log s + s/period)` where `s` is the summary size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::NonFiniteValue`] if `v` is NaN or
+    /// infinite.
+    pub fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        if !v.is_finite() {
+            return Err(StreamhistError::NonFiniteValue { value: v });
+        }
         let pos = self.tuples.partition_point(|t| t.v < v);
         let at_edge = pos == 0 || pos == self.tuples.len();
         let delta = if at_edge || self.n == 0 {
@@ -83,6 +91,36 @@ impl GkSummary {
             self.compress();
             self.since_compress = 0;
         }
+        Ok(())
+    }
+
+    /// Consumes one value. Amortized `O(log s + s/period)` where `s` is the
+    /// summary size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    pub fn push(&mut self, v: f64) {
+        if let Err(e) = self.try_push(v) {
+            panic!("{e}");
+        }
+    }
+
+    /// Renamed alias kept for source compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    #[deprecated(note = "renamed to `push`")]
+    pub fn insert(&mut self, v: f64) {
+        self.push(v);
+    }
+
+    /// Restores the summary to empty, keeping the configured `eps`.
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.tuples.clear();
+        self.since_compress = 0;
     }
 
     /// Merges adjacent tuples whose combined band fits `2εn`, right to left
@@ -119,6 +157,26 @@ impl GkSummary {
             }
         }
         self.tuples = out;
+    }
+}
+
+impl StreamSummary for GkSummary {
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        GkSummary::try_push(self, v)
+    }
+
+    fn push(&mut self, v: f64) {
+        GkSummary::push(self, v);
+    }
+
+    /// Number of stream values consumed (`n`, not the stored tuple count —
+    /// see [`QuantileSummary::stored`] for the space diagnostic).
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self) {
+        GkSummary::reset(self);
     }
 }
 
@@ -182,7 +240,7 @@ mod tests {
         let eps = 0.01;
         let mut gk = GkSummary::new(eps);
         for i in 0..n {
-            gk.insert(i as f64);
+            gk.push(i as f64);
         }
         for phi in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
             let q = gk.quantile(phi);
@@ -207,7 +265,7 @@ mod tests {
         for order in orders {
             let mut gk = GkSummary::new(eps);
             for &i in &order {
-                gk.insert(i as f64);
+                gk.push(i as f64);
             }
             for phi in [0.1, 0.5, 0.9] {
                 let q = gk.quantile(phi);
@@ -224,7 +282,7 @@ mod tests {
     fn space_is_sublinear() {
         let mut gk = GkSummary::new(0.01);
         for i in 0..100_000 {
-            gk.insert(((i * 31) % 1000) as f64);
+            gk.push(((i * 31) % 1000) as f64);
         }
         assert!(
             gk.stored() < 2_000,
@@ -241,7 +299,7 @@ mod tests {
         let mut vals: Vec<f64> = Vec::with_capacity(n);
         for i in 0..n {
             let v = ((i * 137 + 11) % 997) as f64;
-            gk.insert(v);
+            gk.push(v);
             vals.push(v);
         }
         vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -259,7 +317,7 @@ mod tests {
     fn extremes_are_exact() {
         let mut gk = GkSummary::new(0.05);
         for v in [5.0, 1.0, 9.0, 3.0, 7.0] {
-            gk.insert(v);
+            gk.push(v);
         }
         assert_eq!(gk.quantile(0.0), 1.0);
         assert_eq!(gk.quantile(1.0), 9.0);
@@ -269,7 +327,7 @@ mod tests {
     fn duplicates_are_handled() {
         let mut gk = GkSummary::new(0.05);
         for _ in 0..1000 {
-            gk.insert(42.0);
+            gk.push(42.0);
         }
         assert_eq!(gk.quantile(0.5), 42.0);
         assert_eq!(gk.rank(41.0), 0);
@@ -287,5 +345,27 @@ mod tests {
     #[should_panic(expected = "eps must be in")]
     fn invalid_eps_rejected() {
         let _ = GkSummary::new(1.5);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_insert_alias_still_ingests() {
+        let mut gk = GkSummary::new(0.1);
+        gk.insert(3.0);
+        assert_eq!(gk.count(), 1);
+    }
+
+    #[test]
+    fn stream_summary_rejects_nan_and_resets() {
+        use streamhist_core::StreamSummary;
+        let mut gk = GkSummary::new(0.1);
+        let out = gk.push_batch(&[1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!((out.accepted, out.rejected), (2, 2));
+        assert_eq!(StreamSummary::len(&gk), 2);
+        gk.reset();
+        assert!(gk.is_empty());
+        assert_eq!(gk.stored(), 0);
+        gk.push(7.0);
+        assert_eq!(gk.quantile(0.5), 7.0);
     }
 }

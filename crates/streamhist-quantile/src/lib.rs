@@ -13,6 +13,12 @@
 //! * [`EquiDepthHistogram`] — equi-depth **value-domain** histograms
 //!   derived from either summary, the classical selectivity-estimation
 //!   synopsis: value-range `selectivity` and `rank` estimates.
+//!   [`StreamingEquiDepth`] packages a GK summary plus a bucket budget as a
+//!   one-pass ingesting synopsis.
+//!
+//! All ingesting types implement the workspace-wide
+//! [`StreamSummary`] trait (`try_push`/`push`/`push_batch`/`len`/`reset`);
+//! the former `insert` entry points remain as deprecated aliases.
 //!
 //! These are *value-domain* synopses: they answer "how many stream values
 //! fall in `[a, b]`", complementing the *index-domain* histograms of
@@ -28,9 +34,10 @@ pub mod equidepth;
 pub mod gk;
 pub mod mrl;
 
-pub use equidepth::EquiDepthHistogram;
+pub use equidepth::{EquiDepthHistogram, StreamingEquiDepth};
 pub use gk::GkSummary;
 pub use mrl::MrlSummary;
+pub use streamhist_core::{BatchOutcome, StreamSummary};
 
 /// Common interface of the quantile summaries: enough to extract quantiles
 /// and ranks, and to derive equi-depth histograms.

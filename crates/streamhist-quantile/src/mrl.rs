@@ -11,6 +11,7 @@
 //! keeping even positions.
 
 use crate::QuantileSummary;
+use streamhist_core::{StreamSummary, StreamhistError};
 
 /// Deterministic multi-level quantile summary with buffer size `k`.
 ///
@@ -57,9 +58,17 @@ impl MrlSummary {
         self.k
     }
 
-    /// Inserts one value. Amortized `O(log(n/k))` buffer work per value.
-    pub fn insert(&mut self, v: f64) {
-        assert!(v.is_finite(), "summary values must be finite");
+    /// Consumes one value, or rejects it if it is not finite. Amortized
+    /// `O(log(n/k))` buffer work per value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::NonFiniteValue`] if `v` is NaN or
+    /// infinite.
+    pub fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        if !v.is_finite() {
+            return Err(StreamhistError::NonFiniteValue { value: v });
+        }
         self.partial.push(v);
         self.n += 1;
         if self.partial.len() == self.k {
@@ -67,6 +76,36 @@ impl MrlSummary {
             buf.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
             self.carry(buf, 0);
         }
+        Ok(())
+    }
+
+    /// Consumes one value. Amortized `O(log(n/k))` buffer work per value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    pub fn push(&mut self, v: f64) {
+        if let Err(e) = self.try_push(v) {
+            panic!("{e}");
+        }
+    }
+
+    /// Renamed alias kept for source compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    #[deprecated(note = "renamed to `push`")]
+    pub fn insert(&mut self, v: f64) {
+        self.push(v);
+    }
+
+    /// Restores the summary to empty, keeping the configured `k`.
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.levels.clear();
+        self.partial.clear();
+        self.keep_odd = false;
     }
 
     /// Carry-propagates a full sorted buffer into level `lvl`, collapsing
@@ -122,7 +161,7 @@ impl MrlSummary {
     pub fn merge(&mut self, other: MrlSummary) {
         assert_eq!(self.k, other.k, "summaries must share the buffer size k");
         for v in other.partial {
-            self.insert(v);
+            self.push(v);
         }
         for (lvl, buf) in other.levels.into_iter().enumerate() {
             if let Some(buf) = buf {
@@ -145,6 +184,26 @@ impl MrlSummary {
             }
         }
         out
+    }
+}
+
+impl StreamSummary for MrlSummary {
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        MrlSummary::try_push(self, v)
+    }
+
+    fn push(&mut self, v: f64) {
+        MrlSummary::push(self, v);
+    }
+
+    /// Number of stream values consumed (`n`, not the stored element count —
+    /// see [`QuantileSummary::stored`] for the space diagnostic).
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self) {
+        MrlSummary::reset(self);
     }
 }
 
@@ -196,7 +255,7 @@ mod tests {
     fn exact_below_one_buffer() {
         let mut m = MrlSummary::new(64);
         for v in [5.0, 1.0, 3.0] {
-            m.insert(v);
+            m.push(v);
         }
         assert_eq!(m.quantile(0.0), 1.0);
         assert_eq!(m.quantile(0.5), 3.0);
@@ -210,7 +269,7 @@ mod tests {
         let n = 50_000usize;
         let mut m = MrlSummary::new(256);
         for i in 0..n {
-            m.insert(((i * 7919) % n) as f64); // pseudo-shuffled 0..n
+            m.push(((i * 7919) % n) as f64); // pseudo-shuffled 0..n
         }
         let med = m.quantile(0.5);
         // Tolerance: a generous multiple of n/k * log2(n/k).
@@ -225,7 +284,7 @@ mod tests {
     fn space_is_logarithmic_in_stream_length() {
         let mut m = MrlSummary::new(128);
         for i in 0..200_000 {
-            m.insert((i % 999) as f64);
+            m.push((i % 999) as f64);
         }
         // <= one buffer per level + partial.
         let levels = (200_000f64 / 128.0).log2().ceil() as usize + 1;
@@ -236,7 +295,7 @@ mod tests {
     fn quantiles_are_monotone_in_phi() {
         let mut m = MrlSummary::new(32);
         for i in 0..5_000 {
-            m.insert(((i * 613) % 5000) as f64);
+            m.push(((i * 613) % 5000) as f64);
         }
         let mut last = f64::NEG_INFINITY;
         for i in 0..=20 {
@@ -252,7 +311,7 @@ mod tests {
         let k = 256;
         let mut m = MrlSummary::new(k);
         for i in 0..n {
-            m.insert((i % 1000) as f64);
+            m.push((i % 1000) as f64);
         }
         // exact rank of 499.5-ish probe = n/2
         let est = m.rank(499.0);
@@ -271,7 +330,7 @@ mod tests {
         // Partition a pseudo-shuffled 0..n across three summaries.
         let mut parts: Vec<MrlSummary> = (0..3).map(|_| MrlSummary::new(k)).collect();
         for i in 0..n {
-            parts[i % 3].insert(((i * 7919) % n) as f64);
+            parts[i % 3].push(((i * 7919) % n) as f64);
         }
         let mut merged = parts.remove(0);
         for p in parts {
@@ -307,5 +366,27 @@ mod tests {
     fn quantile_of_empty_panics() {
         let m = MrlSummary::new(4);
         let _ = m.quantile(0.5);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_insert_alias_still_ingests() {
+        let mut m = MrlSummary::new(4);
+        m.insert(3.0);
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn stream_summary_rejects_nan_and_resets() {
+        use streamhist_core::StreamSummary;
+        let mut m = MrlSummary::new(4);
+        let out = m.push_batch(&[1.0, f64::NAN, 2.0]);
+        assert_eq!((out.accepted, out.rejected), (2, 1));
+        assert_eq!(StreamSummary::len(&m), 2);
+        m.reset();
+        assert!(m.is_empty());
+        assert_eq!(m.stored(), 0);
+        m.push(7.0);
+        assert_eq!(m.quantile(1.0), 7.0);
     }
 }

@@ -27,7 +27,7 @@ proptest! {
     ) {
         let mut gk = GkSummary::new(eps);
         for &v in &data {
-            gk.insert(v);
+            gk.push(v);
         }
         let mut sorted = data.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -53,7 +53,7 @@ proptest! {
     ) {
         let mut gk = GkSummary::new(eps);
         for &v in &data {
-            gk.insert(v);
+            gk.push(v);
         }
         let mut sorted = data.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -75,7 +75,7 @@ proptest! {
         let eps = 0.05;
         let mut gk = GkSummary::new(eps);
         for &v in &data {
-            gk.insert(v);
+            gk.push(v);
         }
         // Loose bound: a small multiple of (1/eps) * log(eps n) + slack.
         let n = data.len() as f64;
@@ -94,7 +94,7 @@ proptest! {
     ) {
         let mut m = MrlSummary::new(k);
         for &v in &data {
-            m.insert(v);
+            m.push(v);
         }
         prop_assert_eq!(m.count(), data.len());
         let mut last = f64::NEG_INFINITY;
@@ -114,7 +114,7 @@ proptest! {
     ) {
         let mut gk = GkSummary::new(0.02);
         for &v in &data {
-            gk.insert(v);
+            gk.push(v);
         }
         let h = EquiDepthHistogram::from_summary(&gk, b);
         prop_assert_eq!(h.num_buckets(), b);
@@ -139,8 +139,8 @@ proptest! {
         let mut gk = GkSummary::new(0.02);
         let mut mrl = MrlSummary::new(128);
         for &v in &data {
-            gk.insert(v);
-            mrl.insert(v);
+            gk.push(v);
+            mrl.push(v);
         }
         let mut sorted = data.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

@@ -20,8 +20,9 @@
 //! [`crate::kernel`]; this type drives it in online mode over whole-stream
 //! running totals.
 
-use crate::kernel::{Kernel, KernelStats, StreamTotals};
-use streamhist_core::{Histogram, PrefixProvider, StreamhistError};
+use crate::kernel::{Kernel, KernelStats, SnapshotCache, StreamTotals};
+use std::sync::Arc;
+use streamhist_core::{BatchOutcome, Histogram, PrefixProvider, StreamSummary, StreamhistError};
 
 /// One-pass `(1+ε)`-approximate V-optimal histogram of an entire stream.
 ///
@@ -49,21 +50,93 @@ pub struct AgglomerativeHistogram {
     delta: f64,
     totals: StreamTotals,
     kernel: Kernel,
+    /// Mutation counter keying the snapshot cache.
+    generation: u64,
+    cache: SnapshotCache,
+}
+
+/// Validating builder for [`AgglomerativeHistogram`] — the non-panicking
+/// constructor surface.
+#[derive(Debug, Clone)]
+pub struct AgglomerativeBuilder {
+    b: usize,
+    eps: f64,
+    delta: Option<f64>,
+}
+
+impl AgglomerativeBuilder {
+    /// Overrides the paper's default interval growth factor `δ = ε/(2B)`
+    /// (ABL-DELTA ablation).
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Validates every parameter and constructs the summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::InvalidParameter`] if `b == 0`, `eps` is
+    /// not positive, or an overridden `delta` is not positive.
+    pub fn build(self) -> Result<AgglomerativeHistogram, StreamhistError> {
+        if self.b == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "b",
+                message: "need at least one bucket",
+            });
+        }
+        if self.eps.is_nan() || self.eps <= 0.0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "eps",
+                message: "eps must be positive",
+            });
+        }
+        let delta = self.delta.unwrap_or(self.eps / (2.0 * self.b as f64));
+        if delta.is_nan() || delta <= 0.0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "delta",
+                message: "delta must be positive",
+            });
+        }
+        Ok(AgglomerativeHistogram {
+            b: self.b,
+            eps: self.eps,
+            delta,
+            totals: StreamTotals::default(),
+            kernel: Kernel::new_online(self.b, delta),
+            generation: 0,
+            cache: SnapshotCache::default(),
+        })
+    }
 }
 
 impl AgglomerativeHistogram {
+    /// Starts a validating builder for at most `b` buckets and
+    /// approximation parameter `eps` (paper default `δ = ε/(2B)` unless
+    /// overridden).
+    #[must_use]
+    pub fn builder(b: usize, eps: f64) -> AgglomerativeBuilder {
+        AgglomerativeBuilder {
+            b,
+            eps,
+            delta: None,
+        }
+    }
+
     /// Creates the summary for at most `b` buckets and approximation
     /// parameter `eps`, using the paper's interval growth factor
     /// `δ = ε/(2B)`.
     ///
     /// # Panics
     ///
-    /// Panics if `b == 0` or `eps <= 0`.
+    /// Panics if `b == 0` or `eps <= 0`; use [`builder`](Self::builder)
+    /// for the validating, non-panicking form.
     #[must_use]
     pub fn new(b: usize, eps: f64) -> Self {
-        assert!(b > 0, "need at least one bucket");
-        assert!(eps > 0.0, "eps must be positive");
-        Self::with_delta(b, eps, eps / (2.0 * b as f64))
+        Self::builder(b, eps)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Creates the summary with an explicit interval growth factor `delta`
@@ -75,16 +148,10 @@ impl AgglomerativeHistogram {
     /// Panics if `b == 0`, `eps <= 0`, or `delta <= 0`.
     #[must_use]
     pub fn with_delta(b: usize, eps: f64, delta: f64) -> Self {
-        assert!(b > 0, "need at least one bucket");
-        assert!(eps > 0.0, "eps must be positive");
-        assert!(delta > 0.0, "delta must be positive");
-        Self {
-            b,
-            eps,
-            delta,
-            totals: StreamTotals::default(),
-            kernel: Kernel::new_online(b, delta),
-        }
+        Self::builder(b, eps)
+            .delta(delta)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds the summary by pushing every value of `data` (a convenience
@@ -167,7 +234,34 @@ impl AgglomerativeHistogram {
         }
         self.totals.push(v);
         self.kernel.push_point(&self.totals);
+        self.generation += 1;
         Ok(())
+    }
+
+    /// Consumes a slab of stream points with partial-acceptance semantics
+    /// (non-finite values rejected and counted, the rest ingested in
+    /// order); equivalent to per-point [`try_push`](Self::try_push).
+    ///
+    /// The agglomerative recurrence must evaluate every level at every new
+    /// index, so unlike the fixed-window summary there is no deferred
+    /// rebuild here — the batched entry point hoists validation/dispatch
+    /// overhead and keeps slab producers (the sharded serving layer) on
+    /// one call per slab.
+    pub fn push_batch(&mut self, values: &[f64]) -> BatchOutcome {
+        let out = self.kernel.push_slab(&mut self.totals, values);
+        if out.accepted > 0 {
+            self.generation += 1;
+        }
+        out
+    }
+
+    /// Restores the summary to its freshly-constructed state, keeping the
+    /// configuration (`B`, `ε`, `δ`).
+    pub fn reset(&mut self) {
+        self.totals = StreamTotals::default();
+        self.kernel = Kernel::new_online(self.b, self.delta);
+        self.generation += 1;
+        self.cache.clear();
     }
 
     /// Consumes one stream point. Cost `O(B · q)` where `q` is the current
@@ -188,11 +282,39 @@ impl AgglomerativeHistogram {
     }
 
     /// Materializes the current `(1+ε)`-approximate B-histogram of
-    /// everything pushed so far. `O(B)` — the winning chain is maintained
-    /// incrementally.
+    /// everything pushed so far — `O(B)`, the winning chain is maintained
+    /// incrementally — or returns the cached snapshot as a cheap [`Arc`]
+    /// clone when nothing changed since the last materialization.
     #[must_use]
-    pub fn histogram(&self) -> Histogram {
-        self.kernel.materialize_top()
+    pub fn histogram(&self) -> Arc<Histogram> {
+        self.cache
+            .get_or_build(self.generation, || {
+                (self.kernel.materialize_top(), self.kernel.stats(0))
+            })
+            .0
+    }
+}
+
+impl StreamSummary for AgglomerativeHistogram {
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        AgglomerativeHistogram::try_push(self, v)
+    }
+
+    fn push(&mut self, v: f64) {
+        AgglomerativeHistogram::push(self, v);
+    }
+
+    fn push_batch(&mut self, values: &[f64]) -> BatchOutcome {
+        AgglomerativeHistogram::push_batch(self, values)
+    }
+
+    /// Whole-stream length: every point ever accepted.
+    fn len(&self) -> usize {
+        AgglomerativeHistogram::len(self)
+    }
+
+    fn reset(&mut self) {
+        AgglomerativeHistogram::reset(self);
     }
 }
 
@@ -316,6 +438,47 @@ mod tests {
         assert!(stats.arena_nodes > 0);
         assert!(stats.arena_peak >= stats.arena_nodes);
         assert_eq!(stats.herror, agg.sse_estimate());
+    }
+
+    #[test]
+    fn builder_validates_and_push_batch_matches_per_point() {
+        assert!(matches!(
+            AgglomerativeHistogram::builder(0, 0.1).build(),
+            Err(StreamhistError::InvalidParameter { param: "b", .. })
+        ));
+        assert!(matches!(
+            AgglomerativeHistogram::builder(3, -0.5).build(),
+            Err(StreamhistError::InvalidParameter { param: "eps", .. })
+        ));
+        let data: Vec<f64> = (0..250).map(|i| ((i * 19 + 3) % 29) as f64).collect();
+        let mut seq = AgglomerativeHistogram::new(4, 0.1);
+        let mut bat = AgglomerativeHistogram::builder(4, 0.1)
+            .build()
+            .expect("valid parameters");
+        for &v in &data {
+            seq.push(v);
+        }
+        let mut slab = data.clone();
+        slab.insert(100, f64::NAN);
+        let out = bat.push_batch(&slab);
+        assert_eq!(out.accepted, data.len());
+        assert_eq!(out.rejected, 1);
+        assert_eq!(*seq.histogram(), *bat.histogram());
+        assert_eq!(seq.kernel_stats(), bat.kernel_stats());
+    }
+
+    #[test]
+    fn snapshot_cache_and_reset() {
+        let mut agg = AgglomerativeHistogram::new(3, 0.2);
+        agg.push_batch(&[1.0, 5.0, 5.0, 9.0]);
+        let h1 = agg.histogram();
+        assert!(std::sync::Arc::ptr_eq(&h1, &agg.histogram()));
+        agg.push(2.0);
+        assert!(!std::sync::Arc::ptr_eq(&h1, &agg.histogram()));
+        agg.reset();
+        assert!(agg.is_empty());
+        assert_eq!(agg.histogram().domain_len(), 0);
+        assert_eq!(agg.sse_estimate(), 0.0);
     }
 
     #[test]

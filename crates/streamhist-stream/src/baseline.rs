@@ -11,8 +11,10 @@
 // DP split-point loops index parallel arrays.
 #![allow(clippy::needless_range_loop)]
 
+use crate::kernel::SnapshotCache;
 use std::collections::VecDeque;
-use streamhist_core::{Histogram, PrefixSums};
+use std::sync::Arc;
+use streamhist_core::{Histogram, PrefixSums, StreamSummary, StreamhistError};
 
 /// Sliding-window *exact* V-optimal histograms via per-request DP.
 #[derive(Debug)]
@@ -20,6 +22,8 @@ pub struct NaiveSlidingWindow {
     capacity: usize,
     b: usize,
     window: VecDeque<f64>,
+    generation: u64,
+    cache: SnapshotCache,
 }
 
 impl NaiveSlidingWindow {
@@ -30,13 +34,16 @@ impl NaiveSlidingWindow {
     /// Panics if `capacity == 0` or `b == 0`.
     #[must_use]
     pub fn new(capacity: usize, b: usize) -> Self {
-        assert!(capacity > 0, "window capacity must be positive");
-        assert!(b > 0, "need at least one bucket");
-        Self {
-            capacity,
-            b,
-            window: VecDeque::with_capacity(capacity),
-        }
+        Self::builder(capacity, b)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Starts a validating builder (the non-panicking constructor surface,
+    /// mirroring the approximate summaries).
+    #[must_use]
+    pub fn builder(capacity: usize, b: usize) -> NaiveSlidingWindowBuilder {
+        NaiveSlidingWindowBuilder { capacity, b }
     }
 
     /// Window capacity `n`.
@@ -69,29 +76,120 @@ impl NaiveSlidingWindow {
         self.window.iter().copied().collect()
     }
 
-    /// Consumes one point, evicting the oldest when full. `O(1)`.
-    pub fn push(&mut self, v: f64) {
+    /// Consumes one point, evicting the oldest when full, or rejects it if
+    /// it is not finite. `O(1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::NonFiniteValue`] if `v` is NaN or
+    /// infinite.
+    pub fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        if !v.is_finite() {
+            return Err(StreamhistError::NonFiniteValue { value: v });
+        }
         if self.window.len() == self.capacity {
             self.window.pop_front();
         }
         self.window.push_back(v);
+        self.generation += 1;
+        Ok(())
     }
 
-    /// Runs the exact DP on the buffered window. `O(n²B)`.
+    /// Consumes one point, evicting the oldest when full. `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    pub fn push(&mut self, v: f64) {
+        if let Err(e) = self.try_push(v) {
+            panic!("{e}");
+        }
+    }
+
+    /// Restores the summary to an empty window, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.generation += 1;
+        self.cache.clear();
+    }
+
+    /// Runs the exact DP on the buffered window — `O(n²B)` — or returns
+    /// the cached solution as a cheap [`Arc`] clone when nothing changed
+    /// since the last request.
     #[must_use]
-    pub fn histogram(&self) -> Histogram {
+    pub fn histogram(&self) -> Arc<Histogram> {
         let data = self.window();
         // Inline the optimal DP rather than depending on streamhist-optimal,
         // keeping the crate graph acyclic (optimal is a dev-dependency for
         // the approximation-ratio tests).
-        optimal_dp(&data, self.b)
+        self.cache
+            .get_or_build(self.generation, || {
+                (optimal_dp(&data, self.b), crate::KernelStats::default())
+            })
+            .0
     }
 
     /// Pushes one point and re-solves the window exactly.
     #[must_use]
-    pub fn push_and_build(&mut self, v: f64) -> Histogram {
+    pub fn push_and_build(&mut self, v: f64) -> Arc<Histogram> {
         self.push(v);
         self.histogram()
+    }
+}
+
+/// Validating builder for [`NaiveSlidingWindow`].
+#[derive(Debug, Clone)]
+pub struct NaiveSlidingWindowBuilder {
+    capacity: usize,
+    b: usize,
+}
+
+impl NaiveSlidingWindowBuilder {
+    /// Validates the parameters and constructs the baseline window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::InvalidParameter`] if `capacity == 0` or
+    /// `b == 0`.
+    pub fn build(self) -> Result<NaiveSlidingWindow, StreamhistError> {
+        if self.capacity == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "capacity",
+                message: "window capacity must be positive",
+            });
+        }
+        if self.b == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "b",
+                message: "need at least one bucket",
+            });
+        }
+        Ok(NaiveSlidingWindow {
+            capacity: self.capacity,
+            b: self.b,
+            window: VecDeque::with_capacity(self.capacity),
+            generation: 0,
+            cache: SnapshotCache::default(),
+        })
+    }
+}
+
+impl StreamSummary for NaiveSlidingWindow {
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        NaiveSlidingWindow::try_push(self, v)
+    }
+
+    fn push(&mut self, v: f64) {
+        NaiveSlidingWindow::push(self, v);
+    }
+
+    /// Window occupancy (`<= capacity`).
+    fn len(&self) -> usize {
+        NaiveSlidingWindow::len(self)
+    }
+
+    fn reset(&mut self) {
+        NaiveSlidingWindow::reset(self);
     }
 }
 

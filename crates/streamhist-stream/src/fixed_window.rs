@@ -23,9 +23,10 @@
 //! Both steps live in the shared [`crate::kernel`] (batch mode), driven
 //! here over a [`SlidingPrefixSums`] provider.
 
-use crate::kernel::{Kernel, KernelStats};
+use crate::kernel::{Kernel, KernelStats, SnapshotCache};
 use std::collections::VecDeque;
-use streamhist_core::{Histogram, SlidingPrefixSums, StreamhistError};
+use std::sync::Arc;
+use streamhist_core::{BatchOutcome, Histogram, SlidingPrefixSums, StreamSummary, StreamhistError};
 
 /// Diagnostics from one histogram materialization.
 ///
@@ -58,7 +59,7 @@ pub type BuildStats = KernelStats;
 /// let h = fw.histogram();
 /// assert_eq!(h.bucket_ends(), vec![2, 7]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FixedWindowHistogram {
     b: usize,
     eps: f64,
@@ -66,20 +67,129 @@ pub struct FixedWindowHistogram {
     prefix: SlidingPrefixSums,
     raw: VecDeque<f64>,
     total_pushed: u64,
+    /// Mutation counter: bumped on every state change, keys the snapshot
+    /// cache (a cached build is valid exactly while this is unchanged).
+    generation: u64,
+    cache: SnapshotCache,
+}
+
+/// Validating builder for [`FixedWindowHistogram`] — the non-panicking
+/// constructor surface.
+///
+/// ```
+/// use streamhist_stream::FixedWindowHistogram;
+///
+/// let fw = FixedWindowHistogram::builder(128, 8, 0.1).build()?;
+/// assert_eq!(fw.capacity(), 128);
+/// assert!(FixedWindowHistogram::builder(0, 8, 0.1).build().is_err());
+/// # Ok::<(), streamhist_core::StreamhistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedWindowBuilder {
+    capacity: usize,
+    b: usize,
+    eps: f64,
+    delta: Option<f64>,
+    rebase_period: Option<usize>,
+}
+
+impl FixedWindowBuilder {
+    /// Overrides the paper's default interval growth factor `δ = ε/(2B)`
+    /// (ABL-DELTA ablation; the paper's Example 1 uses `delta = 1`).
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Overrides the prefix-sum rebase period (ABL-REBASE ablation; the
+    /// paper rebases every `n` pushes, the default).
+    #[must_use]
+    pub fn rebase_period(mut self, period: usize) -> Self {
+        self.rebase_period = Some(period);
+        self
+    }
+
+    /// Validates every parameter and constructs the summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::InvalidParameter`] if `capacity == 0`,
+    /// `b == 0`, `eps` is not positive, or an overridden `delta`/
+    /// `rebase_period` is out of domain.
+    pub fn build(self) -> Result<FixedWindowHistogram, StreamhistError> {
+        if self.capacity == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "capacity",
+                message: "window capacity must be positive",
+            });
+        }
+        if self.b == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "b",
+                message: "need at least one bucket",
+            });
+        }
+        if self.eps.is_nan() || self.eps <= 0.0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "eps",
+                message: "eps must be positive",
+            });
+        }
+        let delta = self.delta.unwrap_or(self.eps / (2.0 * self.b as f64));
+        if delta.is_nan() || delta <= 0.0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "delta",
+                message: "delta must be positive",
+            });
+        }
+        let period = self.rebase_period.unwrap_or(self.capacity);
+        if period == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "rebase_period",
+                message: "rebase period must be positive",
+            });
+        }
+        Ok(FixedWindowHistogram {
+            b: self.b,
+            eps: self.eps,
+            delta,
+            prefix: SlidingPrefixSums::with_rebase_period(self.capacity, period),
+            raw: VecDeque::with_capacity(self.capacity),
+            total_pushed: 0,
+            generation: 0,
+            cache: SnapshotCache::default(),
+        })
+    }
 }
 
 impl FixedWindowHistogram {
+    /// Starts a validating builder for a summary over a window of
+    /// `capacity` points, at most `b` buckets, approximation `eps`, with
+    /// the paper's `δ = ε/(2B)` unless overridden.
+    #[must_use]
+    pub fn builder(capacity: usize, b: usize, eps: f64) -> FixedWindowBuilder {
+        FixedWindowBuilder {
+            capacity,
+            b,
+            eps,
+            delta: None,
+            rebase_period: None,
+        }
+    }
+
     /// Creates a summary over a window of `capacity` points, at most `b`
     /// buckets, approximation `eps`, with the paper's `δ = ε/(2B)`.
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0`, `b == 0`, or `eps <= 0`.
+    /// Panics if `capacity == 0`, `b == 0`, or `eps <= 0`; use
+    /// [`builder`](Self::builder) for the validating, non-panicking form.
     #[must_use]
     pub fn new(capacity: usize, b: usize, eps: f64) -> Self {
-        assert!(b > 0, "need at least one bucket");
-        assert!(eps > 0.0, "eps must be positive");
-        Self::with_delta(capacity, b, eps, eps / (2.0 * b as f64))
+        Self::builder(capacity, b, eps)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Creates a summary with an explicit interval growth factor `delta`
@@ -90,17 +200,10 @@ impl FixedWindowHistogram {
     /// Panics if `capacity == 0`, `b == 0`, `eps <= 0`, or `delta <= 0`.
     #[must_use]
     pub fn with_delta(capacity: usize, b: usize, eps: f64, delta: f64) -> Self {
-        assert!(b > 0, "need at least one bucket");
-        assert!(eps > 0.0, "eps must be positive");
-        assert!(delta > 0.0, "delta must be positive");
-        Self {
-            b,
-            eps,
-            delta,
-            prefix: SlidingPrefixSums::new(capacity),
-            raw: VecDeque::with_capacity(capacity),
-            total_pushed: 0,
-        }
+        Self::builder(capacity, b, eps)
+            .delta(delta)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Overrides the prefix-sum rebase period (ABL-REBASE ablation; the
@@ -112,9 +215,10 @@ impl FixedWindowHistogram {
     /// `rebase_period == 0`.
     #[must_use]
     pub fn with_rebase_period(capacity: usize, b: usize, eps: f64, rebase_period: usize) -> Self {
-        let mut fw = Self::new(capacity, b, eps);
-        fw.prefix = SlidingPrefixSums::with_rebase_period(capacity, rebase_period);
-        fw
+        Self::builder(capacity, b, eps)
+            .rebase_period(rebase_period)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Window capacity `n`.
@@ -191,7 +295,71 @@ impl FixedWindowHistogram {
         self.raw.push_back(v);
         self.prefix.push(v);
         self.total_pushed += 1;
+        self.generation += 1;
         Ok(())
+    }
+
+    /// Consumes a whole slab of points — the batch ingestion fast path.
+    ///
+    /// Equivalent to calling [`try_push`](Self::try_push) per value **bit
+    /// for bit** (window contents, `SUM'`/`SQSUM'` state and the rebase
+    /// schedule all match), with partial-acceptance semantics: non-finite
+    /// values are rejected and counted in the returned [`BatchOutcome`],
+    /// ingestion continues with the next value.
+    ///
+    /// The speedup comes from hoisting per-point overhead out of the hot
+    /// loop: each maximal run of finite values is appended to the prefix
+    /// store in one pass ([`SlidingPrefixSums::push_slab`] — one rebase
+    /// check per rebase-boundary chunk, running sums kept in registers)
+    /// and the interval-list work is deferred entirely to the next
+    /// [`histogram`](Self::histogram) call, i.e. one `CreateList` rebuild
+    /// per slab instead of one per point in the paper's per-point
+    /// maintenance loop.
+    pub fn push_batch(&mut self, values: &[f64]) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        let cap = self.prefix.capacity();
+        let mut rest = values;
+        while !rest.is_empty() {
+            let clean_len = rest
+                .iter()
+                .position(|v| !v.is_finite())
+                .unwrap_or(rest.len());
+            let (clean, tail) = rest.split_at(clean_len);
+            if !clean.is_empty() {
+                for &v in clean {
+                    if self.raw.len() == cap {
+                        self.raw.pop_front();
+                    }
+                    self.raw.push_back(v);
+                }
+                self.prefix.push_slab(clean);
+                self.total_pushed += clean.len() as u64;
+                out.accepted += clean.len();
+            }
+            match tail.split_first() {
+                Some((_bad, after)) => {
+                    out.rejected += 1;
+                    rest = after;
+                }
+                None => rest = &[],
+            }
+        }
+        if out.accepted > 0 {
+            self.generation += 1;
+        }
+        out
+    }
+
+    /// Restores the summary to its freshly-constructed state, keeping the
+    /// configuration (capacity, `B`, `ε`, `δ`, rebase period).
+    pub fn reset(&mut self) {
+        let capacity = self.prefix.capacity();
+        let period = self.prefix.rebase_period();
+        self.prefix = SlidingPrefixSums::with_rebase_period(capacity, period);
+        self.raw.clear();
+        self.total_pushed = 0;
+        self.generation += 1;
+        self.cache.clear();
     }
 
     /// Consumes one point, evicting the oldest when full. Amortized `O(1)`.
@@ -213,22 +381,50 @@ impl FixedWindowHistogram {
     /// Pushes one point and materializes the histogram of the new window —
     /// the paper's per-point maintenance step.
     #[must_use]
-    pub fn push_and_build(&mut self, v: f64) -> Histogram {
+    pub fn push_and_build(&mut self, v: f64) -> Arc<Histogram> {
         self.push(v);
         self.histogram()
     }
 
     /// Materializes the `(1+ε)`-approximate B-histogram of the current
-    /// window contents. `O((B³/ε²) log³ n)` (paper Theorem 1).
+    /// window contents — `O((B³/ε²) log³ n)` (paper Theorem 1) — or, when
+    /// nothing changed since the last materialization, returns the cached
+    /// snapshot as a cheap [`Arc`] clone.
     #[must_use]
-    pub fn histogram(&self) -> Histogram {
+    pub fn histogram(&self) -> Arc<Histogram> {
         self.histogram_with_stats().0
     }
 
-    /// Like [`Self::histogram`], also returning build diagnostics.
+    /// Like [`Self::histogram`], also returning build diagnostics (the
+    /// diagnostics of the cached build when served from the cache).
     #[must_use]
-    pub fn histogram_with_stats(&self) -> (Histogram, KernelStats) {
-        Kernel::build(&self.prefix, self.b, self.delta)
+    pub fn histogram_with_stats(&self) -> (Arc<Histogram>, KernelStats) {
+        self.cache.get_or_build(self.generation, || {
+            Kernel::build(&self.prefix, self.b, self.delta)
+        })
+    }
+}
+
+impl StreamSummary for FixedWindowHistogram {
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        FixedWindowHistogram::try_push(self, v)
+    }
+
+    fn push(&mut self, v: f64) {
+        FixedWindowHistogram::push(self, v);
+    }
+
+    fn push_batch(&mut self, values: &[f64]) -> BatchOutcome {
+        FixedWindowHistogram::push_batch(self, values)
+    }
+
+    /// Window occupancy (`<= capacity`), not the total pushed.
+    fn len(&self) -> usize {
+        FixedWindowHistogram::len(self)
+    }
+
+    fn reset(&mut self) {
+        FixedWindowHistogram::reset(self);
     }
 }
 
@@ -377,6 +573,114 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = FixedWindowHistogram::new(0, 2, 0.1);
+    }
+
+    #[test]
+    fn builder_validates_instead_of_panicking() {
+        assert!(FixedWindowHistogram::builder(64, 4, 0.1).build().is_ok());
+        for (builder, param) in [
+            (FixedWindowHistogram::builder(0, 4, 0.1), "capacity"),
+            (FixedWindowHistogram::builder(64, 0, 0.1), "b"),
+            (FixedWindowHistogram::builder(64, 4, 0.0), "eps"),
+            (FixedWindowHistogram::builder(64, 4, -1.0), "eps"),
+            (FixedWindowHistogram::builder(64, 4, f64::NAN), "eps"),
+            (
+                FixedWindowHistogram::builder(64, 4, 0.1).delta(0.0),
+                "delta",
+            ),
+            (
+                FixedWindowHistogram::builder(64, 4, 0.1).rebase_period(0),
+                "rebase_period",
+            ),
+        ] {
+            match builder.build() {
+                Err(StreamhistError::InvalidParameter { param: p, .. }) => {
+                    assert_eq!(p, param);
+                }
+                other => panic!("expected InvalidParameter for {param}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn builder_matches_positional_constructors() {
+        let data: Vec<f64> = (0..100).map(|i| ((i * 7 + 3) % 23) as f64).collect();
+        let mut a = FixedWindowHistogram::new(32, 3, 0.2);
+        let mut b = FixedWindowHistogram::builder(32, 3, 0.2)
+            .build()
+            .expect("valid parameters");
+        for &v in &data {
+            a.push(v);
+            b.push(v);
+        }
+        assert_eq!(*a.histogram(), *b.histogram());
+        assert_eq!(a.delta(), b.delta());
+    }
+
+    #[test]
+    fn push_batch_matches_per_point_with_nan_rejection() {
+        let data: Vec<f64> = (0..300).map(|i| ((i * 13 + 7) % 31) as f64).collect();
+        let mut seq = FixedWindowHistogram::new(32, 3, 0.2);
+        let mut bat = FixedWindowHistogram::new(32, 3, 0.2);
+        for &v in &data {
+            seq.push(v);
+        }
+        let mut slab: Vec<f64> = data.clone();
+        slab.insert(50, f64::NAN);
+        slab.insert(200, f64::NEG_INFINITY);
+        let out = bat.push_batch(&slab);
+        assert_eq!(out.accepted, data.len());
+        assert_eq!(out.rejected, 2);
+        assert_eq!(seq.window(), bat.window());
+        assert_eq!(seq.total_pushed(), bat.total_pushed());
+        let (ha, sa) = seq.histogram_with_stats();
+        let (hb, sb) = bat.histogram_with_stats();
+        assert_eq!(*ha, *hb);
+        assert_eq!(sa.herror.to_bits(), sb.herror.to_bits());
+    }
+
+    #[test]
+    fn snapshot_cache_reuses_build_until_mutation() {
+        let mut fw = FixedWindowHistogram::new(16, 3, 0.2);
+        fw.push_batch(&(0..20).map(|i| (i % 7) as f64).collect::<Vec<_>>());
+        let h1 = fw.histogram();
+        let h2 = fw.histogram();
+        assert!(Arc::ptr_eq(&h1, &h2), "idle queries share one build");
+        fw.push(3.0);
+        let h3 = fw.histogram();
+        assert!(!Arc::ptr_eq(&h1, &h3), "mutation invalidates the cache");
+    }
+
+    #[test]
+    fn reset_restores_fresh_state_and_keeps_config() {
+        let mut fw = FixedWindowHistogram::with_rebase_period(8, 3, 0.2, 4);
+        fw.push_batch(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let before = fw.histogram();
+        assert_eq!(before.domain_len(), 5);
+        fw.reset();
+        assert!(fw.is_empty());
+        assert_eq!(fw.total_pushed(), 0);
+        assert_eq!(fw.histogram().domain_len(), 0);
+        // Refilling after reset behaves exactly like a fresh instance.
+        let mut fresh = FixedWindowHistogram::with_rebase_period(8, 3, 0.2, 4);
+        let data: Vec<f64> = (0..20).map(|i| ((i * 5 + 1) % 9) as f64).collect();
+        fw.push_batch(&data);
+        fresh.push_batch(&data);
+        assert_eq!(*fw.histogram(), *fresh.histogram());
+    }
+
+    #[test]
+    fn stream_summary_trait_drives_the_fast_path() {
+        fn ingest<S: StreamSummary>(s: &mut S, values: &[f64]) -> BatchOutcome {
+            s.push_batch(values)
+        }
+        let mut fw = FixedWindowHistogram::new(8, 2, 0.5);
+        let out = ingest(&mut fw, &[1.0, f64::NAN, 2.0]);
+        assert_eq!(out.accepted, 2);
+        assert_eq!(out.rejected, 1);
+        assert_eq!(StreamSummary::len(&fw), 2);
+        StreamSummary::reset(&mut fw);
+        assert!(StreamSummary::is_empty(&fw));
     }
 
     #[test]

@@ -28,7 +28,8 @@
 //! [`CutArena::compact`]. All work is accounted in [`KernelStats`].
 
 use crate::arena::{CutArena, CutId};
-use streamhist_core::{Histogram, PrefixProvider};
+use std::sync::{Arc, Mutex, PoisonError};
+use streamhist_core::{BatchOutcome, Histogram, PrefixProvider};
 
 /// Compaction is considered once the arena holds at least this many nodes
 /// (below that, garbage is cheaper than collecting it).
@@ -109,6 +110,74 @@ impl KernelStats {
         self.arena_peak = self.arena_peak.max(other.arena_peak);
         self.compactions += other.compactions;
         self.rebases += other.rebases;
+    }
+}
+
+/// One materialized build keyed by the generation that produced it.
+#[derive(Debug, Clone)]
+struct CachedBuild {
+    generation: u64,
+    hist: Arc<Histogram>,
+    stats: KernelStats,
+}
+
+/// Generation-counted snapshot cache: `histogram()` between mutations
+/// returns a cheap [`Arc`] clone of the last build instead of re-running
+/// the DP / re-extracting buckets.
+///
+/// Each summary keeps a monotone `generation` counter bumped on **every**
+/// mutation (push, slab, eviction, reset); a cached build is served only
+/// while the counter still matches the one it was built under, so staleness
+/// is impossible by construction. The slot lives behind a [`Mutex`] (not a
+/// `RefCell`) so summaries stay `Send`/`Sync`-compatible; the lock is
+/// uncontended in practice because queries and mutations already require
+/// `&self`/`&mut self` on the owning summary.
+#[derive(Debug, Default)]
+pub(crate) struct SnapshotCache {
+    slot: Mutex<Option<CachedBuild>>,
+}
+
+impl Clone for SnapshotCache {
+    fn clone(&self) -> Self {
+        let slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        Self {
+            slot: Mutex::new(slot),
+        }
+    }
+}
+
+impl SnapshotCache {
+    /// Returns the cached build for `generation`, or runs `build`, caches
+    /// its result under `generation`, and returns it.
+    pub fn get_or_build(
+        &self,
+        generation: u64,
+        build: impl FnOnce() -> (Histogram, KernelStats),
+    ) -> (Arc<Histogram>, KernelStats) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(c) = slot.as_ref() {
+            if c.generation == generation {
+                return (Arc::clone(&c.hist), c.stats.clone());
+            }
+        }
+        let (h, stats) = build();
+        let hist = Arc::new(h);
+        *slot = Some(CachedBuild {
+            generation,
+            hist: Arc::clone(&hist),
+            stats: stats.clone(),
+        });
+        (hist, stats)
+    }
+
+    /// Drops any cached build (used by `reset`, whose generation bump
+    /// already suffices — clearing additionally releases the memory).
+    pub fn clear(&self) {
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = None;
     }
 }
 
@@ -368,6 +437,31 @@ impl Kernel {
         self.top = Some(herrs[self.b - 1]);
     }
 
+    /// Online mode, slab-driven: absorbs a batch of values into `totals`
+    /// and the queues with partial-acceptance semantics (non-finite values
+    /// are rejected and counted, the rest ingested in order).
+    ///
+    /// The online recurrence must still evaluate every level at every new
+    /// index — skipping points would change the queues and break the
+    /// bit-identity with per-point pushes — so the win here is the hoisted
+    /// per-value validation/dispatch, not a deferred rebuild. (The deferred
+    /// `CreateList`-at-query-time rebuild is the *batch* driving mode,
+    /// [`Kernel::build`], which the window summaries already use; their
+    /// slab fast path lives in the prefix stores.)
+    pub fn push_slab(&mut self, totals: &mut StreamTotals, values: &[f64]) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for &v in values {
+            if v.is_finite() {
+                totals.push(v);
+                self.push_point(totals);
+                out.accepted += 1;
+            } else {
+                out.rejected += 1;
+            }
+        }
+        out
+    }
+
     /// Materializes the chain of the current best solution (empty-domain
     /// histogram before any point was pushed).
     pub fn materialize_top(&self) -> Histogram {
@@ -578,6 +672,65 @@ mod tests {
         assert_eq!(fleet.queue_sizes.len(), 3);
         assert_eq!(fleet.queue_sizes[0], sa.queue_sizes[0] + sb.queue_sizes[0]);
         assert_eq!(fleet.queue_sizes[2], sa.queue_sizes[2]);
+    }
+
+    #[test]
+    fn online_push_slab_matches_per_point_and_counts_rejects() {
+        let data: Vec<f64> = (0..400).map(|i| ((i * 13 + 7) % 31) as f64).collect();
+        let (per_point, _) = online_over(&data, 4, 0.1);
+        let mut kernel = Kernel::new_online(4, 0.1);
+        let mut totals = StreamTotals::default();
+        let mut outcome = BatchOutcome::default();
+        for chunk in data.chunks(37) {
+            outcome.absorb(kernel.push_slab(&mut totals, chunk));
+        }
+        assert_eq!(outcome.accepted, data.len());
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(kernel.materialize_top(), per_point.materialize_top());
+        assert_eq!(kernel.stats(0), per_point.stats(0));
+
+        // NaN-laced slab: rejected values leave totals and queues untouched.
+        let dirty: Vec<f64> = vec![1.0, f64::NAN, 2.0, f64::INFINITY];
+        let mut a = Kernel::new_online(3, 0.1);
+        let mut ta = StreamTotals::default();
+        let got = a.push_slab(&mut ta, &dirty);
+        assert_eq!(got.accepted, 2);
+        assert_eq!(got.rejected, 2);
+        let mut b = Kernel::new_online(3, 0.1);
+        let mut tb = StreamTotals::default();
+        b.push_slab(&mut tb, &[1.0, 2.0]);
+        assert_eq!(a.materialize_top(), b.materialize_top());
+    }
+
+    #[test]
+    fn snapshot_cache_serves_same_arc_until_generation_changes() {
+        let cache = SnapshotCache::default();
+        let p = streamhist_core::PrefixSums::new(&[1.0, 2.0, 3.0, 4.0]);
+        let mut builds = 0usize;
+        let (h1, s1) = cache.get_or_build(7, || {
+            builds += 1;
+            Kernel::build(&p, 2, 0.1)
+        });
+        let (h2, s2) = cache.get_or_build(7, || {
+            builds += 1;
+            Kernel::build(&p, 2, 0.1)
+        });
+        assert_eq!(builds, 1, "second query must be served from the cache");
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(s1, s2);
+        let (h3, _) = cache.get_or_build(8, || {
+            builds += 1;
+            Kernel::build(&p, 2, 0.1)
+        });
+        assert_eq!(builds, 2, "a new generation must rebuild");
+        assert!(!Arc::ptr_eq(&h1, &h3));
+        assert_eq!(*h1, *h3);
+        cache.clear();
+        let _ = cache.get_or_build(8, || {
+            builds += 1;
+            Kernel::build(&p, 2, 0.1)
+        });
+        assert_eq!(builds, 3, "clear drops the cached build");
     }
 
     #[test]

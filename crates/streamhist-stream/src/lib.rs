@@ -39,10 +39,17 @@
 //! backpressure ([`ShardedOptions`], [`OverloadPolicy`]), a
 //! `Result`-returning API over dead shards ([`ShardError`]) with
 //! per-shard respawn, and lock-free per-shard counters ([`ShardMetrics`]).
-//! Malformed input is rejected, not fatal: every summary offers a fallible
-//! `try_push`/`try_observe` returning
+//! Malformed input is rejected, not fatal: every summary implements the
+//! [`StreamSummary`](streamhist_core::StreamSummary) trait with a fallible
+//! `try_push` returning
 //! [`StreamhistError`](streamhist_core::StreamhistError) alongside the
-//! panicking convenience wrappers.
+//! panicking convenience wrappers, and every summary is constructed either
+//! through a legacy panicking constructor or a validating `builder()`.
+//! Slabs of points go through `push_batch` (one prefix-store write pass,
+//! interval maintenance deferred to the next histogram request — bit-for-bit
+//! identical to per-point pushes), and `histogram()` returns a
+//! generation-cached [`Arc`](std::sync::Arc) snapshot that is free to
+//! re-request between mutations.
 //!
 //! [`NaiveSlidingWindow`] re-runs the exact `O(n²B)` DP per window — the
 //! strawman of paper §3 ("excessive" per-update time) used as a baseline by
@@ -62,12 +69,16 @@ mod kernel;
 pub mod sharded;
 pub mod time_window;
 
-pub use agglomerative::AgglomerativeHistogram;
-pub use baseline::NaiveSlidingWindow;
-pub use fixed_window::{BuildStats, FixedWindowHistogram};
+pub use agglomerative::{AgglomerativeBuilder, AgglomerativeHistogram};
+pub use baseline::{NaiveSlidingWindow, NaiveSlidingWindowBuilder};
+pub use fixed_window::{BuildStats, FixedWindowBuilder, FixedWindowHistogram};
 pub use kernel::KernelStats;
-pub use sharded::{OverloadPolicy, ShardError, ShardMetrics, ShardedFixedWindow, ShardedOptions};
-pub use time_window::TimeWindowHistogram;
+pub use sharded::{
+    OverloadPolicy, ShardError, ShardMetrics, ShardedFixedWindow, ShardedFixedWindowBuilder,
+    ShardedOptions,
+};
+pub use streamhist_core::{BatchOutcome, StreamSummary};
+pub use time_window::{TimeWindowBuilder, TimeWindowHistogram};
 
 // The `Send + 'static` contract of the streaming summaries, checked at
 // compile time: regressing it (e.g. by reintroducing an `Rc` into a chain
@@ -99,5 +110,5 @@ pub fn approx_histogram(data: &[f64], b: usize, eps: f64) -> streamhist_core::Hi
     for &v in data {
         agg.push(v);
     }
-    agg.histogram()
+    agg.histogram().as_ref().clone()
 }

@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use streamhist_core::Histogram;
+use streamhist_core::{Histogram, StreamhistError};
 
 /// A shard's worker thread is gone: it panicked (only possible through a
 /// bug or injected fault — malformed values are rejected, not fatal) and
@@ -154,7 +154,7 @@ impl MetricsInner {
 enum Cmd {
     Push(f64),
     PushBatch(Vec<f64>),
-    Snapshot(Sender<(Histogram, KernelStats)>),
+    Snapshot(Sender<(Arc<Histogram>, KernelStats)>),
     /// Fault injection: the worker panics on receipt (see
     /// [`ShardedFixedWindow::inject_worker_panic`]).
     InjectPanic,
@@ -207,6 +207,9 @@ pub struct ShardedFixedWindow {
     b: usize,
     eps: f64,
     options: ShardedOptions,
+    /// Rotating start shard for [`push_batch_scatter`](Self::push_batch_scatter),
+    /// so successive scattered slabs do not all lead with shard 0.
+    scatter_cursor: AtomicUsize,
 }
 
 impl ShardedFixedWindow {
@@ -218,7 +221,8 @@ impl ShardedFixedWindow {
     /// # Panics
     ///
     /// Panics if `shards == 0` or on the parameter conditions of
-    /// [`FixedWindowHistogram::new`].
+    /// [`FixedWindowHistogram::new`]. Use [`Self::builder`] for the
+    /// non-panicking surface.
     #[must_use]
     pub fn new(shards: usize, capacity: usize, b: usize, eps: f64) -> Self {
         Self::with_options(shards, capacity, b, eps, ShardedOptions::default())
@@ -229,7 +233,8 @@ impl ShardedFixedWindow {
     /// # Panics
     ///
     /// Panics if `shards == 0`, `options.queue_capacity == 0`, or on the
-    /// parameter conditions of [`FixedWindowHistogram::new`].
+    /// parameter conditions of [`FixedWindowHistogram::new`]. Use
+    /// [`Self::builder`] for the non-panicking surface.
     #[must_use]
     pub fn with_options(
         shards: usize,
@@ -238,28 +243,30 @@ impl ShardedFixedWindow {
         eps: f64,
         options: ShardedOptions,
     ) -> Self {
-        assert!(shards > 0, "need at least one shard");
-        assert!(
-            options.queue_capacity > 0,
-            "queue capacity must be positive"
-        );
-        let mut this = Self {
-            shards: Vec::with_capacity(shards),
+        Self::builder(shards, capacity, b, eps)
+            .options(options)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Starts a validating builder. [`ShardedOptions`] are folded into the
+    /// builder surface ([`queue_capacity`](ShardedFixedWindowBuilder::queue_capacity),
+    /// [`policy`](ShardedFixedWindowBuilder::policy)); `build` returns
+    /// `Err` instead of panicking on bad parameters.
+    #[must_use]
+    pub fn builder(
+        shards: usize,
+        capacity: usize,
+        b: usize,
+        eps: f64,
+    ) -> ShardedFixedWindowBuilder {
+        ShardedFixedWindowBuilder {
+            shards,
             capacity,
             b,
             eps,
-            options,
-        };
-        for _ in 0..shards {
-            let metrics = Arc::new(MetricsInner::default());
-            let (sender, handle) = this.spawn_worker(Arc::clone(&metrics));
-            this.shards.push(Shard {
-                sender,
-                handle,
-                metrics,
-            });
+            options: ShardedOptions::default(),
         }
-        this
     }
 
     /// Spawns one worker owning a fresh summary. The summary is built on
@@ -284,22 +291,19 @@ impl ShardedFixedWindow {
                         }
                     },
                     Cmd::PushBatch(vs) => {
-                        let (mut accepted, mut rejected) = (0u64, 0u64);
-                        for v in vs {
-                            match fw.try_push(v) {
-                                Ok(()) => accepted += 1,
-                                Err(_) => rejected += 1,
-                            }
-                        }
-                        if accepted > 0 {
+                        // The slab fast path: one prefix-store write pass
+                        // per run of finite values, interval work deferred
+                        // to the next snapshot, exact reject accounting.
+                        let out = fw.push_batch(&vs);
+                        if out.accepted > 0 {
                             metrics
                                 .pushes_accepted
-                                .fetch_add(accepted, Ordering::Relaxed);
+                                .fetch_add(out.accepted as u64, Ordering::Relaxed);
                         }
-                        if rejected > 0 {
+                        if out.rejected > 0 {
                             metrics
                                 .values_rejected
-                                .fetch_add(rejected, Ordering::Relaxed);
+                                .fetch_add(out.rejected as u64, Ordering::Relaxed);
                         }
                     }
                     Cmd::Snapshot(reply) => {
@@ -415,6 +419,33 @@ impl ShardedFixedWindow {
         self.send(shard, Cmd::PushBatch(values), records)
     }
 
+    /// Scatters one slab across *all* shards: the slab is split into up to
+    /// `shards()` contiguous chunks, chunk `i` going to shard
+    /// `(cursor + i) % shards()` where `cursor` rotates per call so load
+    /// spreads evenly across calls. Each chunk is a single channel send
+    /// (one queue slot), and because chunks are contiguous sub-slices, the
+    /// values a given shard receives arrive in slab order — per-shard
+    /// record order is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ShardError`] hit; chunks already dispatched to
+    /// healthy shards stay dispatched (the slab is a transport unit, not a
+    /// transaction — mirroring [`BatchOutcome`](streamhist_core::BatchOutcome)
+    /// semantics at the shard level).
+    pub fn push_batch_scatter(&self, values: &[f64]) -> Result<(), ShardError> {
+        if values.is_empty() {
+            return Ok(());
+        }
+        let k = self.shards.len();
+        let start = self.scatter_cursor.fetch_add(1, Ordering::Relaxed);
+        let chunk = values.len().div_ceil(k);
+        for (i, slab) in values.chunks(chunk).enumerate() {
+            self.push_batch((start + i) % k, slab.to_vec())?;
+        }
+        Ok(())
+    }
+
     /// Materializes shard `shard`'s current histogram (with kernel stats),
     /// after everything previously enqueued to that shard has been
     /// absorbed — a per-shard barrier. The snapshot request always uses a
@@ -429,7 +460,7 @@ impl ShardedFixedWindow {
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
-    pub fn snapshot(&self, shard: usize) -> Result<(Histogram, KernelStats), ShardError> {
+    pub fn snapshot(&self, shard: usize) -> Result<(Arc<Histogram>, KernelStats), ShardError> {
         let s = &self.shards[shard];
         let (reply_tx, reply_rx) = channel();
         s.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -443,7 +474,7 @@ impl ShardedFixedWindow {
     /// Snapshots every shard, in shard order. Dead shards yield their
     /// `Err` entry without disturbing the others.
     #[must_use]
-    pub fn snapshot_all(&self) -> Vec<Result<(Histogram, KernelStats), ShardError>> {
+    pub fn snapshot_all(&self) -> Vec<Result<(Arc<Histogram>, KernelStats), ShardError>> {
         (0..self.shards()).map(|s| self.snapshot(s)).collect()
     }
 
@@ -540,6 +571,84 @@ impl ShardedFixedWindow {
                 s.handle.join().map_err(|_| ShardError { shard })
             })
             .collect()
+    }
+}
+
+/// Validating builder for [`ShardedFixedWindow`], folding the
+/// [`ShardedOptions`] knobs into the same surface as the per-summary
+/// builders.
+#[derive(Debug, Clone)]
+pub struct ShardedFixedWindowBuilder {
+    shards: usize,
+    capacity: usize,
+    b: usize,
+    eps: f64,
+    options: ShardedOptions,
+}
+
+impl ShardedFixedWindowBuilder {
+    /// Overrides the per-shard command queue bound (default 1024).
+    #[must_use]
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.options.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Overrides the overload policy (default [`OverloadPolicy::Block`]).
+    #[must_use]
+    pub fn policy(mut self, policy: OverloadPolicy) -> Self {
+        self.options.policy = policy;
+        self
+    }
+
+    /// Replaces the options wholesale (legacy [`ShardedOptions`] surface).
+    #[must_use]
+    pub fn options(mut self, options: ShardedOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Validates every parameter, then spawns the workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::InvalidParameter`] if `shards == 0`, the
+    /// queue capacity is zero, or the per-shard summary parameters fail
+    /// [`FixedWindowHistogram::builder`] validation.
+    pub fn build(self) -> Result<ShardedFixedWindow, StreamhistError> {
+        if self.shards == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "shards",
+                message: "need at least one shard",
+            });
+        }
+        if self.options.queue_capacity == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "queue_capacity",
+                message: "queue capacity must be positive",
+            });
+        }
+        // Validate the per-shard summary parameters on the caller's thread
+        // so bad configs fail here, not inside a silently-dead worker.
+        drop(FixedWindowHistogram::builder(self.capacity, self.b, self.eps).build()?);
+        let mut this = ShardedFixedWindow {
+            shards: Vec::with_capacity(self.shards),
+            capacity: self.capacity,
+            b: self.b,
+            eps: self.eps,
+            options: self.options,
+            scatter_cursor: AtomicUsize::new(0),
+        };
+        for _ in 0..self.shards {
+            let metrics = Arc::new(MetricsInner::default());
+            let (sender, handle) = this.spawn_worker(Arc::clone(&metrics));
+            this.shards.push(Shard {
+                sender,
+                handle,
+                metrics,
+            });
+        }
+        Ok(this)
     }
 }
 
@@ -726,6 +835,89 @@ mod tests {
         let m = sharded.metrics(0);
         assert_eq!(m.queue_depth, 0);
         assert_eq!(joined_ok(sharded)[0].total_pushed(), 0);
+    }
+
+    #[test]
+    fn scatter_spreads_a_slab_across_all_shards_in_order() {
+        let shards = 4;
+        let sharded = ShardedFixedWindow::new(shards, 64, 4, 0.1);
+        let slab: Vec<f64> = (0..40).map(f64::from).collect();
+        sharded.push_batch_scatter(&slab).expect("workers alive");
+        let _ = sharded.snapshot_all(); // barrier
+        let total: u64 = sharded
+            .metrics_all()
+            .iter()
+            .map(|m| m.pushes_accepted)
+            .sum();
+        assert_eq!(total, slab.len() as u64, "every value landed somewhere");
+        let summaries = joined_ok(sharded);
+        let mut nonempty = 0;
+        for fw in &summaries {
+            let w = fw.window();
+            // Contiguous chunks: each shard's window is a strictly
+            // ascending run of the 0..40 ramp.
+            assert!(w.windows(2).all(|p| p[0] < p[1]), "per-shard order kept");
+            if !w.is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert_eq!(nonempty, shards, "a 40-value slab reaches all 4 shards");
+    }
+
+    #[test]
+    fn scatter_cursor_rotates_the_leading_shard() {
+        // With a slab smaller than the shard count, each call produces one
+        // single-chunk dispatch; the rotating cursor must move it to a
+        // different shard each time.
+        let sharded = ShardedFixedWindow::new(3, 8, 2, 0.5);
+        for _ in 0..3 {
+            sharded.push_batch_scatter(&[1.0]).expect("workers alive");
+        }
+        let _ = sharded.snapshot_all(); // barrier
+        for (s, m) in sharded.metrics_all().iter().enumerate() {
+            assert_eq!(m.pushes_accepted, 1, "shard {s} got exactly one value");
+        }
+        let _ = sharded.join();
+    }
+
+    #[test]
+    fn builder_validates_instead_of_panicking() {
+        assert!(matches!(
+            ShardedFixedWindow::builder(0, 8, 2, 0.5).build(),
+            Err(StreamhistError::InvalidParameter {
+                param: "shards",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ShardedFixedWindow::builder(1, 8, 2, 0.5)
+                .queue_capacity(0)
+                .build(),
+            Err(StreamhistError::InvalidParameter {
+                param: "queue_capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ShardedFixedWindow::builder(1, 0, 2, 0.5).build(),
+            Err(StreamhistError::InvalidParameter {
+                param: "capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ShardedFixedWindow::builder(1, 8, 2, f64::NAN).build(),
+            Err(StreamhistError::InvalidParameter { param: "eps", .. })
+        ));
+        let built = ShardedFixedWindow::builder(2, 8, 2, 0.5)
+            .queue_capacity(4)
+            .policy(OverloadPolicy::DropNewest)
+            .build()
+            .expect("valid parameters");
+        assert_eq!(built.shards(), 2);
+        assert_eq!(built.options().queue_capacity, 4);
+        assert_eq!(built.options().policy, OverloadPolicy::DropNewest);
+        let _ = built.join();
     }
 
     #[test]

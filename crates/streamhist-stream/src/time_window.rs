@@ -12,9 +12,12 @@
 //! histogram construction is the same `CreateList` procedure, run over a
 //! [`GrowableWindowSums`] whose eviction is timestamp-driven.
 
-use crate::kernel::{Kernel, KernelStats};
+use crate::kernel::{Kernel, KernelStats, SnapshotCache};
 use std::collections::VecDeque;
-use streamhist_core::{GrowableWindowSums, Histogram, StreamhistError};
+use std::sync::Arc;
+use streamhist_core::{
+    BatchOutcome, GrowableWindowSums, Histogram, StreamSummary, StreamhistError,
+};
 
 /// `(1+ε)`-approximate V-optimal histogram over all points observed within
 /// the last `duration` time units.
@@ -27,7 +30,7 @@ use streamhist_core::{GrowableWindowSums, Histogram, StreamhistError};
 /// let mut tw = TimeWindowHistogram::new(10, 4, 0.1);
 /// // Bursty arrivals: several points can share or skip timestamps.
 /// for (ts, v) in [(0, 5.0), (0, 5.0), (3, 9.0), (12, 1.0), (13, 1.0)] {
-///     tw.observe(ts, v);
+///     tw.push_at(ts, v);
 /// }
 /// // At time 13 the window [4, 13] holds only the points at ts 12 and 13.
 /// assert_eq!(tw.len(), 2);
@@ -46,30 +49,103 @@ pub struct TimeWindowHistogram {
     times: VecDeque<u64>,
     raw: VecDeque<f64>,
     now: Option<u64>,
+    /// Mutation counter keying the snapshot cache (bumped on accepted
+    /// pushes and on evictions, the two things that change the window).
+    generation: u64,
+    cache: SnapshotCache,
+}
+
+/// Validating builder for [`TimeWindowHistogram`] — the non-panicking
+/// constructor surface.
+#[derive(Debug, Clone)]
+pub struct TimeWindowBuilder {
+    duration: u64,
+    b: usize,
+    eps: f64,
+    delta: Option<f64>,
+}
+
+impl TimeWindowBuilder {
+    /// Overrides the paper's default interval growth factor `δ = ε/(2B)`.
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Validates every parameter and constructs the summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::InvalidParameter`] if `duration == 0`,
+    /// `b == 0`, `eps` is not positive, or an overridden `delta` is not
+    /// positive.
+    pub fn build(self) -> Result<TimeWindowHistogram, StreamhistError> {
+        if self.duration == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "duration",
+                message: "window duration must be positive",
+            });
+        }
+        if self.b == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "b",
+                message: "need at least one bucket",
+            });
+        }
+        if self.eps.is_nan() || self.eps <= 0.0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "eps",
+                message: "eps must be positive",
+            });
+        }
+        let delta = self.delta.unwrap_or(self.eps / (2.0 * self.b as f64));
+        if delta.is_nan() || delta <= 0.0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "delta",
+                message: "delta must be positive",
+            });
+        }
+        Ok(TimeWindowHistogram {
+            duration: self.duration,
+            b: self.b,
+            eps: self.eps,
+            delta,
+            sums: GrowableWindowSums::new(1024),
+            times: VecDeque::new(),
+            raw: VecDeque::new(),
+            now: None,
+            generation: 0,
+            cache: SnapshotCache::default(),
+        })
+    }
 }
 
 impl TimeWindowHistogram {
+    /// Starts a validating builder over the trailing `duration` time units
+    /// with at most `b` buckets and approximation `eps`.
+    #[must_use]
+    pub fn builder(duration: u64, b: usize, eps: f64) -> TimeWindowBuilder {
+        TimeWindowBuilder {
+            duration,
+            b,
+            eps,
+            delta: None,
+        }
+    }
+
     /// Creates a summary over the trailing `duration` time units with at
     /// most `b` buckets and approximation `eps` (`δ = ε/(2B)`).
     ///
     /// # Panics
     ///
-    /// Panics if `duration == 0`, `b == 0`, or `eps <= 0`.
+    /// Panics if `duration == 0`, `b == 0`, or `eps <= 0`; use
+    /// [`builder`](Self::builder) for the validating, non-panicking form.
     #[must_use]
     pub fn new(duration: u64, b: usize, eps: f64) -> Self {
-        assert!(duration > 0, "window duration must be positive");
-        assert!(b > 0, "need at least one bucket");
-        assert!(eps > 0.0, "eps must be positive");
-        Self {
-            duration,
-            b,
-            eps,
-            delta: eps / (2.0 * b as f64),
-            sums: GrowableWindowSums::new(1024),
-            times: VecDeque::new(),
-            raw: VecDeque::new(),
-            now: None,
-        }
+        Self::builder(duration, b, eps)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The window duration `T`.
@@ -124,7 +200,7 @@ impl TimeWindowHistogram {
             .collect()
     }
 
-    /// Observes a point at time `ts`, or rejects it if the value is not
+    /// Pushes a point at time `ts`, or rejects it if the value is not
     /// finite or the timestamp moves backwards. On rejection the summary
     /// (including its clock) is unchanged and remains fully usable.
     ///
@@ -138,7 +214,7 @@ impl TimeWindowHistogram {
     /// Returns [`StreamhistError::NonFiniteValue`] if `v` is NaN or
     /// infinite, and [`StreamhistError::NonMonotonicTimestamp`] if `ts` is
     /// smaller than the previously observed timestamp.
-    pub fn try_observe(&mut self, ts: u64, v: f64) -> Result<(), StreamhistError> {
+    pub fn try_push_at(&mut self, ts: u64, v: f64) -> Result<(), StreamhistError> {
         if !v.is_finite() {
             return Err(StreamhistError::NonFiniteValue { value: v });
         }
@@ -151,24 +227,60 @@ impl TimeWindowHistogram {
         self.times.push_back(ts);
         self.raw.push_back(v);
         self.sums.push(v);
+        self.generation += 1;
         self.evict_expired(ts);
         Ok(())
     }
 
-    /// Observes a point at time `ts`.
+    /// Pushes a point at time `ts`.
     ///
-    /// Thin panicking wrapper around [`try_observe`](Self::try_observe),
+    /// Thin panicking wrapper around [`try_push_at`](Self::try_push_at),
     /// for callers that control their input; serving paths use
-    /// `try_observe` and count rejects instead.
+    /// `try_push_at` and count rejects instead.
     ///
     /// # Panics
     ///
     /// Panics if `ts` is smaller than the previous timestamp or `v` is
     /// not finite.
-    pub fn observe(&mut self, ts: u64, v: f64) {
-        if let Err(e) = self.try_observe(ts, v) {
+    pub fn push_at(&mut self, ts: u64, v: f64) {
+        if let Err(e) = self.try_push_at(ts, v) {
             panic!("{e}");
         }
+    }
+
+    /// Pushes a slab of points all timestamped `ts`, with
+    /// partial-acceptance semantics (per-value [`BatchOutcome`]
+    /// accounting). Equivalent to calling [`try_push_at`](Self::try_push_at)
+    /// per value: if `ts` moves backwards every value is rejected.
+    pub fn push_batch_at(&mut self, ts: u64, values: &[f64]) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for &v in values {
+            match self.try_push_at(ts, v) {
+                Ok(()) => out.accepted += 1,
+                Err(_) => out.rejected += 1,
+            }
+        }
+        out
+    }
+
+    /// Deprecated spelling of [`try_push_at`](Self::try_push_at).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_push_at`](Self::try_push_at).
+    #[deprecated(note = "renamed to `try_push_at`")]
+    pub fn try_observe(&mut self, ts: u64, v: f64) -> Result<(), StreamhistError> {
+        self.try_push_at(ts, v)
+    }
+
+    /// Deprecated spelling of [`push_at`](Self::push_at).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`push_at`](Self::push_at).
+    #[deprecated(note = "renamed to `push_at`")]
+    pub fn observe(&mut self, ts: u64, v: f64) {
+        self.push_at(ts, v);
     }
 
     /// Advances the clock without adding a point (e.g. a heartbeat),
@@ -188,6 +300,18 @@ impl TimeWindowHistogram {
         self.evict_expired(ts);
     }
 
+    /// Restores the summary to its freshly-constructed state (empty
+    /// window, clock unset), keeping the configuration (`T`, `B`, `ε`,
+    /// `δ`).
+    pub fn reset(&mut self) {
+        self.sums = GrowableWindowSums::new(1024);
+        self.times.clear();
+        self.raw.clear();
+        self.now = None;
+        self.generation += 1;
+        self.cache.clear();
+    }
+
     fn evict_expired(&mut self, ts: u64) {
         // Retain exactly the points with timestamp > ts − duration; before
         // one full duration has elapsed nothing can age out.
@@ -198,21 +322,45 @@ impl TimeWindowHistogram {
             self.times.pop_front();
             self.raw.pop_front();
             self.sums.evict_oldest();
+            self.generation += 1;
         }
     }
 
     /// Materializes the `(1+ε)`-approximate B-histogram of the points in
     /// the current time window (indexed by arrival order within the
-    /// window).
+    /// window), or returns the cached snapshot as a cheap [`Arc`] clone
+    /// when nothing changed since the last materialization.
     #[must_use]
-    pub fn histogram(&self) -> Histogram {
+    pub fn histogram(&self) -> Arc<Histogram> {
         self.histogram_with_stats().0
     }
 
-    /// Like [`Self::histogram`], also returning build diagnostics.
+    /// Like [`Self::histogram`], also returning build diagnostics (the
+    /// diagnostics of the cached build when served from the cache).
     #[must_use]
-    pub fn histogram_with_stats(&self) -> (Histogram, KernelStats) {
-        Kernel::build(&self.sums, self.b, self.delta)
+    pub fn histogram_with_stats(&self) -> (Arc<Histogram>, KernelStats) {
+        self.cache.get_or_build(self.generation, || {
+            Kernel::build(&self.sums, self.b, self.delta)
+        })
+    }
+}
+
+impl StreamSummary for TimeWindowHistogram {
+    /// Pushes `v` at the current clock (the latest observed timestamp, or
+    /// 0 for an empty summary) — the value-only entry point for callers
+    /// that drive the clock via [`advance_to`](Self::advance_to).
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        let ts = self.now.unwrap_or(0);
+        self.try_push_at(ts, v)
+    }
+
+    /// Window occupancy (points inside the trailing duration).
+    fn len(&self) -> usize {
+        TimeWindowHistogram::len(self)
+    }
+
+    fn reset(&mut self) {
+        TimeWindowHistogram::reset(self);
     }
 }
 
@@ -224,7 +372,7 @@ mod tests {
     fn evicts_by_age_not_count() {
         let mut tw = TimeWindowHistogram::new(5, 3, 0.2);
         for t in 0..10u64 {
-            tw.observe(t, t as f64);
+            tw.push_at(t, t as f64);
         }
         // Window (9-5, 9] = ts in {5..=9}.
         assert_eq!(tw.window(), vec![5.0, 6.0, 7.0, 8.0, 9.0]);
@@ -234,11 +382,11 @@ mod tests {
     fn batched_arrivals_share_timestamps() {
         let mut tw = TimeWindowHistogram::new(4, 2, 0.5);
         for _ in 0..6 {
-            tw.observe(10, 2.0);
+            tw.push_at(10, 2.0);
         }
-        tw.observe(11, 3.0);
+        tw.push_at(11, 3.0);
         assert_eq!(tw.len(), 7);
-        tw.observe(14, 4.0);
+        tw.push_at(14, 4.0);
         // cutoff 10: ts 10 evicted, ts 11/14 retained.
         assert_eq!(tw.window(), vec![3.0, 4.0]);
     }
@@ -246,8 +394,8 @@ mod tests {
     #[test]
     fn advance_to_evicts_without_adding() {
         let mut tw = TimeWindowHistogram::new(3, 2, 0.5);
-        tw.observe(0, 1.0);
-        tw.observe(1, 2.0);
+        tw.push_at(0, 1.0);
+        tw.push_at(1, 2.0);
         tw.advance_to(10);
         assert!(tw.is_empty());
         assert_eq!(tw.histogram().domain_len(), 0);
@@ -262,7 +410,7 @@ mod tests {
         let mut tw = TimeWindowHistogram::new(n, 4, 0.2);
         let mut fw = crate::FixedWindowHistogram::new(n as usize, 4, 0.2);
         for (t, &v) in data.iter().enumerate() {
-            tw.observe(t as u64, v);
+            tw.push_at(t as u64, v);
             fw.push(v);
             assert_eq!(tw.window(), fw.window(), "t={t}");
             assert_eq!(
@@ -284,7 +432,7 @@ mod tests {
             // Irregular gaps and occasional bursts.
             ts += [0, 1, 1, 3, 7][(i % 5) as usize];
             let v = ((i * 29 + 3) % 23) as f64 + if i % 50 < 3 { 100.0 } else { 0.0 };
-            tw.observe(ts, v);
+            tw.push_at(ts, v);
             if i % 17 == 0 && !tw.is_empty() {
                 let win = tw.window();
                 let approx = tw.histogram().sse(&win);
@@ -300,8 +448,8 @@ mod tests {
     #[test]
     fn window_with_times_pairs_correctly() {
         let mut tw = TimeWindowHistogram::new(100, 2, 0.5);
-        tw.observe(1, 10.0);
-        tw.observe(5, 20.0);
+        tw.push_at(1, 10.0);
+        tw.push_at(5, 20.0);
         assert_eq!(tw.window_with_times(), vec![(1, 10.0), (5, 20.0)]);
     }
 
@@ -309,26 +457,100 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn decreasing_timestamps_rejected() {
         let mut tw = TimeWindowHistogram::new(5, 2, 0.5);
-        tw.observe(10, 1.0);
-        tw.observe(9, 1.0);
+        tw.push_at(10, 1.0);
+        tw.push_at(9, 1.0);
+    }
+
+    #[test]
+    fn builder_validates_instead_of_panicking() {
+        assert!(TimeWindowHistogram::builder(10, 4, 0.1).build().is_ok());
+        assert!(matches!(
+            TimeWindowHistogram::builder(0, 4, 0.1).build(),
+            Err(StreamhistError::InvalidParameter {
+                param: "duration",
+                ..
+            })
+        ));
+        assert!(matches!(
+            TimeWindowHistogram::builder(10, 0, 0.1).build(),
+            Err(StreamhistError::InvalidParameter { param: "b", .. })
+        ));
+        assert!(matches!(
+            TimeWindowHistogram::builder(10, 4, 0.0).build(),
+            Err(StreamhistError::InvalidParameter { param: "eps", .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_observe_aliases_still_ingest() {
+        let mut tw = TimeWindowHistogram::new(10, 2, 0.5);
+        tw.observe(0, 1.0);
+        tw.try_observe(1, 2.0).expect("alias accepts good record");
+        assert_eq!(tw.window(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn push_batch_at_counts_rejects_exactly() {
+        let mut tw = TimeWindowHistogram::new(10, 2, 0.5);
+        tw.push_at(5, 1.0);
+        let out = tw.push_batch_at(6, &[2.0, f64::NAN, 3.0]);
+        assert_eq!(out.accepted, 2);
+        assert_eq!(out.rejected, 1);
+        // A backwards slab is rejected wholesale, value by value.
+        let back = tw.push_batch_at(4, &[7.0, 8.0]);
+        assert_eq!(back.accepted, 0);
+        assert_eq!(back.rejected, 2);
+        assert_eq!(tw.window(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn snapshot_cache_invalidated_by_pushes_and_eviction() {
+        let mut tw = TimeWindowHistogram::new(5, 2, 0.5);
+        tw.push_at(0, 1.0);
+        tw.push_at(1, 2.0);
+        let h1 = tw.histogram();
+        assert!(Arc::ptr_eq(&h1, &tw.histogram()));
+        // advance_to that evicts must invalidate the cached snapshot.
+        tw.advance_to(10);
+        let h2 = tw.histogram();
+        assert!(!Arc::ptr_eq(&h1, &h2));
+        assert_eq!(h2.domain_len(), 0);
+    }
+
+    #[test]
+    fn stream_summary_pushes_at_current_clock_and_resets() {
+        let mut tw = TimeWindowHistogram::new(5, 2, 0.5);
+        tw.push_at(7, 1.0);
+        StreamSummary::try_push(&mut tw, 2.0).expect("joins at ts 7");
+        assert_eq!(tw.window_with_times(), vec![(7, 1.0), (7, 2.0)]);
+        let out = StreamSummary::push_batch(&mut tw, &[3.0, f64::INFINITY]);
+        assert_eq!(out.accepted, 1);
+        assert_eq!(out.rejected, 1);
+        StreamSummary::reset(&mut tw);
+        assert!(tw.is_empty());
+        assert_eq!(tw.now(), None);
+        // After reset the value-only push starts the clock at 0.
+        StreamSummary::try_push(&mut tw, 9.0).expect("fresh clock");
+        assert_eq!(tw.window_with_times(), vec![(0, 9.0)]);
     }
 
     #[test]
     fn try_observe_rejects_bad_input_and_leaves_summary_usable() {
         let mut tw = TimeWindowHistogram::new(5, 2, 0.5);
-        tw.try_observe(10, 1.0).expect("good record accepted");
+        tw.try_push_at(10, 1.0).expect("good record accepted");
         assert!(matches!(
-            tw.try_observe(11, f64::NAN),
+            tw.try_push_at(11, f64::NAN),
             Err(StreamhistError::NonFiniteValue { .. })
         ));
         // A rejected value must not advance the clock.
         assert_eq!(tw.now(), Some(10));
         assert_eq!(
-            tw.try_observe(9, 2.0),
+            tw.try_push_at(9, 2.0),
             Err(StreamhistError::NonMonotonicTimestamp { ts: 9, now: 10 })
         );
         assert_eq!(tw.window(), vec![1.0]);
-        tw.try_observe(12, 2.0).expect("clock resumes normally");
+        tw.try_push_at(12, 2.0).expect("clock resumes normally");
         assert_eq!(tw.window(), vec![1.0, 2.0]);
     }
 }

@@ -169,7 +169,7 @@ fn agglomerative_rejects_nan() {
 #[should_panic(expected = "finite")]
 fn time_window_rejects_nan() {
     let mut tw = TimeWindowHistogram::new(10, 2, 0.1);
-    tw.observe(0, f64::NAN);
+    tw.push_at(0, f64::NAN);
 }
 
 #[test]

@@ -22,7 +22,7 @@ proptest! {
         for &(gap, v) in &steps {
             now += gap;
             let v = v as f64;
-            tw.observe(now, v);
+            tw.push_at(now, v);
             log.push((now, v));
             let expect: Vec<f64> = log
                 .iter()
@@ -46,7 +46,7 @@ proptest! {
         let mut now = 0u64;
         for (i, &(gap, v)) in steps.iter().enumerate() {
             now += gap;
-            tw.observe(now, v as f64);
+            tw.push_at(now, v as f64);
             if i % 13 == 0 {
                 let win = tw.window();
                 let approx = tw.histogram().sse(&win);
@@ -69,7 +69,7 @@ proptest! {
         let mut now = 0u64;
         for (i, &g) in gaps.iter().enumerate() {
             now += g;
-            tw.observe(now, i as f64);
+            tw.push_at(now, i as f64);
         }
         let far = now + duration * 3;
         tw.advance_to(far);

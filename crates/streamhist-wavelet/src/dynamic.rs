@@ -16,6 +16,7 @@
 
 use crate::haar;
 use crate::synopsis::WaveletSynopsis;
+use streamhist_core::{StreamSummary, StreamhistError};
 
 /// Exact Haar coefficient set over a fixed power-of-two capacity, with
 /// `O(log N)` point updates and on-demand top-`B` extraction.
@@ -51,7 +52,7 @@ impl DynamicWavelet {
         self.n_padded
     }
 
-    /// Number of appended positions (see [`Self::append`]).
+    /// Number of appended positions (see [`Self::push`]).
     #[must_use]
     pub fn len(&self) -> usize {
         self.len
@@ -106,20 +107,55 @@ impl DynamicWavelet {
     }
 
     /// Appends the next stream value at position `len` (the agglomerative
-    /// arrival model with a known horizon). `O(log N)`.
+    /// arrival model with a known horizon), or rejects it without mutating
+    /// anything. `O(log N)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the capacity is exhausted.
-    pub fn append(&mut self, v: f64) {
-        assert!(
-            self.len < self.n_padded,
-            "capacity {} exhausted",
-            self.n_padded
-        );
+    /// Returns [`StreamhistError::NonFiniteValue`] if `v` is NaN or
+    /// infinite, and [`StreamhistError::CapacityExhausted`] once `len`
+    /// reaches the (padded) capacity.
+    pub fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        if !v.is_finite() {
+            return Err(StreamhistError::NonFiniteValue { value: v });
+        }
+        if self.len >= self.n_padded {
+            return Err(StreamhistError::CapacityExhausted {
+                capacity: self.n_padded,
+            });
+        }
         let idx = self.len;
         self.len += 1;
         self.add(idx, v);
+        Ok(())
+    }
+
+    /// Appends the next stream value at position `len`. `O(log N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite or the capacity is exhausted.
+    pub fn push(&mut self, v: f64) {
+        if let Err(e) = self.try_push(v) {
+            panic!("{e}");
+        }
+    }
+
+    /// Renamed alias kept for source compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite or the capacity is exhausted.
+    #[deprecated(note = "renamed to `push`")]
+    pub fn append(&mut self, v: f64) {
+        self.push(v);
+    }
+
+    /// Restores the signal to all-zero with no appended positions, keeping
+    /// the capacity.
+    pub fn reset(&mut self) {
+        self.coeffs.fill(0.0);
+        self.len = 0;
     }
 
     /// Exact reconstructed value at `idx` from the full coefficient set.
@@ -186,6 +222,25 @@ impl DynamicWavelet {
     }
 }
 
+impl StreamSummary for DynamicWavelet {
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        DynamicWavelet::try_push(self, v)
+    }
+
+    fn push(&mut self, v: f64) {
+        DynamicWavelet::push(self, v);
+    }
+
+    /// Number of appended positions (`<= capacity`).
+    fn len(&self) -> usize {
+        DynamicWavelet::len(self)
+    }
+
+    fn reset(&mut self) {
+        DynamicWavelet::reset(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,7 +251,7 @@ mod tests {
         let data: Vec<f64> = (0..16).map(|i| ((i * 7 + 3) % 11) as f64).collect();
         let mut dw = DynamicWavelet::new(16);
         for &v in &data {
-            dw.append(v);
+            dw.push(v);
         }
         let batch = forward(&data);
         for (k, (a, b)) in dw.coefficients().iter().zip(&batch).enumerate() {
@@ -245,7 +300,7 @@ mod tests {
         let data: Vec<f64> = (0..16).map(|i| ((i * 13) % 7) as f64 * 3.0).collect();
         let mut dw = DynamicWavelet::new(16);
         for &v in &data {
-            dw.append(v);
+            dw.push(v);
         }
         let dynamic = dw.synopsis(4);
         let batch = WaveletSynopsis::top_b(&data, 4);
@@ -264,11 +319,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity 4 exhausted")]
-    fn append_past_capacity_panics() {
+    #[should_panic(expected = "capacity exhausted (4 values)")]
+    fn push_past_capacity_panics() {
         let mut dw = DynamicWavelet::new(4);
         for i in 0..5 {
-            dw.append(i as f64);
+            dw.push(i as f64);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_append_alias_still_ingests() {
+        let mut dw = DynamicWavelet::new(4);
+        dw.append(2.0);
+        assert_eq!(dw.len(), 1);
+        assert!((dw.value(0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_summary_rejects_bad_input_and_resets() {
+        let mut dw = DynamicWavelet::new(4);
+        let out = dw.push_batch(&[1.0, f64::NAN, 2.0, 3.0, 4.0, 5.0]);
+        // One NaN, then 5.0 arrives with the capacity already exhausted.
+        assert_eq!((out.accepted, out.rejected), (4, 2));
+        assert!(matches!(
+            dw.try_push(9.0),
+            Err(StreamhistError::CapacityExhausted { capacity: 4 })
+        ));
+        dw.reset();
+        assert!(dw.is_empty());
+        assert!(dw.coefficients().iter().all(|&c| c == 0.0));
+        dw.push(7.0);
+        assert!((dw.value(0) - 7.0).abs() < 1e-12);
     }
 }

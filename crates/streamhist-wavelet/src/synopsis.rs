@@ -2,7 +2,7 @@
 
 use crate::haar;
 use std::collections::VecDeque;
-use streamhist_core::SequenceSummary;
+use streamhist_core::{SequenceSummary, StreamSummary, StreamhistError};
 
 /// A sequence synopsis retaining the `B` Haar coefficients with the largest
 /// normalized magnitude (`|c|·√support`, i.e. largest L2 energy) —
@@ -224,12 +224,38 @@ impl SlidingWindowWavelet {
         self.window.iter().copied().collect()
     }
 
-    /// Consumes one point, evicting the oldest when full.
-    pub fn push(&mut self, v: f64) {
+    /// Consumes one point, evicting the oldest when full, or rejects it if
+    /// it is not finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::NonFiniteValue`] if `v` is NaN or
+    /// infinite.
+    pub fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        if !v.is_finite() {
+            return Err(StreamhistError::NonFiniteValue { value: v });
+        }
         if self.window.len() == self.capacity {
             self.window.pop_front();
         }
         self.window.push_back(v);
+        Ok(())
+    }
+
+    /// Consumes one point, evicting the oldest when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    pub fn push(&mut self, v: f64) {
+        if let Err(e) = self.try_push(v) {
+            panic!("{e}");
+        }
+    }
+
+    /// Restores the window to empty, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.window.clear();
     }
 
     /// Recomputes the top-`B` synopsis of the current window from scratch.
@@ -246,10 +272,40 @@ impl SlidingWindowWavelet {
     }
 }
 
+impl StreamSummary for SlidingWindowWavelet {
+    fn try_push(&mut self, v: f64) -> Result<(), StreamhistError> {
+        SlidingWindowWavelet::try_push(self, v)
+    }
+
+    fn push(&mut self, v: f64) {
+        SlidingWindowWavelet::push(self, v);
+    }
+
+    /// Window occupancy (`<= capacity`).
+    fn len(&self) -> usize {
+        SlidingWindowWavelet::len(self)
+    }
+
+    fn reset(&mut self) {
+        SlidingWindowWavelet::reset(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use streamhist_core::Query;
+
+    #[test]
+    fn sliding_window_stream_summary_rejects_nan_and_resets() {
+        let mut w = SlidingWindowWavelet::new(4, 2);
+        let out = w.push_batch(&[1.0, f64::NAN, 2.0]);
+        assert_eq!((out.accepted, out.rejected), (2, 1));
+        assert_eq!(w.window(), vec![1.0, 2.0]);
+        w.reset();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 4);
+    }
 
     const DATA: [f64; 8] = [3.0, 7.0, 5.0, 8.0, 2.0, 6.0, 4.0, 9.0];
 

@@ -60,7 +60,7 @@ fn main() {
     report(
         "agglomerative stream",
         h_agg.sse(&data),
-        &h_agg,
+        h_agg.as_ref(),
         t.elapsed(),
     );
 
@@ -71,7 +71,12 @@ fn main() {
         fw.push(v);
     }
     let h_fw = fw.histogram();
-    report("fixed-window stream", h_fw.sse(&data), &h_fw, t.elapsed());
+    report(
+        "fixed-window stream",
+        h_fw.sse(&data),
+        h_fw.as_ref(),
+        t.elapsed(),
+    );
 
     // Wavelet synopsis at equal budget.
     let t = Instant::now();
@@ -110,7 +115,7 @@ fn main() {
     let t = Instant::now();
     let mut gk = GkSummary::new(0.01);
     for &v in &data {
-        gk.insert(v);
+        gk.push(v);
     }
     let ed = EquiDepthHistogram::from_summary(&gk, b);
     let built = t.elapsed();

@@ -43,7 +43,7 @@ fn main() {
             let queries = WorkloadGen::new(t as u64, window).range_sums(200);
 
             let hist = fw.histogram();
-            hist_report = hist_report.merge(&evaluate_queries(&truth, &hist, &queries));
+            hist_report = hist_report.merge(&evaluate_queries(&truth, hist.as_ref(), &queries));
 
             let syn = wavelet.synopsis();
             wave_report = wave_report.merge(&evaluate_queries(&truth, &syn, &queries));

@@ -41,7 +41,7 @@ fn main() {
     for _ in 0..5 {
         let q = gen.range_sum();
         let exact = q.exact(&data);
-        let est = q.estimate(&hist);
+        let est = q.estimate(hist.as_ref());
         println!(
             "{:<28} {:>14.1} {:>14.1} {:>8.2}%",
             format!("{q:?}"),
@@ -53,7 +53,7 @@ fn main() {
 
     // Aggregate accuracy over a 500-query workload (the paper's protocol).
     let workload = WorkloadGen::new(99, window).range_sums(500);
-    let report = evaluate_queries(&data, &hist, &workload);
+    let report = evaluate_queries(&data, hist.as_ref(), &workload);
     println!(
         "\n500 random range-sum queries: mean |err| = {:.1} ({:.2}% relative), max = {:.1}",
         report.mean_abs_error,

@@ -55,7 +55,7 @@ fn main() {
         // Query-level accuracy on the largest size.
         if n == 16_000 {
             let queries = WorkloadGen::new(5, n).range_sums(1_000);
-            let r_agg = evaluate_queries(&column, &h_agg, &queries);
+            let r_agg = evaluate_queries(&column, h_agg.as_ref(), &queries);
             let r_opt = evaluate_queries(&column, &h_opt, &queries);
             println!("\n1000 random range-sum queries at n = {n}:");
             println!(

@@ -24,18 +24,18 @@
 //! ## Quick start
 //!
 //! ```
-//! use streamhist::{FixedWindowHistogram, SequenceSummary};
+//! use streamhist::{FixedWindowHistogram, SequenceSummary, StreamSummary};
 //!
 //! // Approximate the last 128 points with 8 buckets, within 10% of the
 //! // optimal histogram's SSE.
-//! let mut fw = FixedWindowHistogram::new(128, 8, 0.1);
-//! for t in 0..1000 {
-//!     fw.push((t % 50) as f64); // any f64 stream
-//! }
-//! let hist = fw.histogram();
+//! let mut fw = FixedWindowHistogram::builder(128, 8, 0.1).build()?;
+//! let slab: Vec<f64> = (0..1000).map(|t| (t % 50) as f64).collect();
+//! fw.push_batch(&slab); // or fw.push(v) per point — bit-identical
+//! let hist = fw.histogram(); // cached Arc<Histogram> until the next push
 //! let estimate = hist.estimate_range_sum(10, 90);
 //! let exact: f64 = fw.window()[10..=90].iter().sum();
 //! assert!((estimate - exact).abs() / exact < 0.5);
+//! # Ok::<(), streamhist::StreamhistError>(())
 //! ```
 //!
 //! ## Crate map
@@ -57,9 +57,10 @@
 #![warn(missing_docs)]
 
 pub use streamhist_core::{
-    evaluate_queries, max_abs_error, sum_abs_error, sum_squared_error, AccuracyReport, Bucket,
-    ExactSummary, GrowableWindowSums, Histogram, HistogramError, PrefixProvider, PrefixSums, Query,
-    SequenceSummary, SlidingPrefixSums, StreamhistError, WindowSums,
+    evaluate_queries, max_abs_error, sum_abs_error, sum_squared_error, AccuracyReport,
+    BatchOutcome, Bucket, ExactSummary, GrowableWindowSums, Histogram, HistogramError,
+    PrefixProvider, PrefixSums, Query, SequenceSummary, SlidingPrefixSums, StreamSummary,
+    StreamhistError, WindowSums,
 };
 
 /// Histogram-to-histogram distances (L1/L2/L∞ over the expanded sequences)
@@ -84,9 +85,10 @@ pub use streamhist_similarity::{
     SeriesIndex, SubsequenceIndex,
 };
 pub use streamhist_stream::{
-    approx_histogram, AgglomerativeHistogram, BuildStats, FixedWindowHistogram, KernelStats,
-    NaiveSlidingWindow, OverloadPolicy, ShardError, ShardMetrics, ShardedFixedWindow,
-    ShardedOptions, TimeWindowHistogram,
+    approx_histogram, AgglomerativeBuilder, AgglomerativeHistogram, BuildStats, FixedWindowBuilder,
+    FixedWindowHistogram, KernelStats, NaiveSlidingWindow, NaiveSlidingWindowBuilder,
+    OverloadPolicy, ShardError, ShardMetrics, ShardedFixedWindow, ShardedFixedWindowBuilder,
+    ShardedOptions, TimeWindowBuilder, TimeWindowHistogram,
 };
 pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynopsis};
 

@@ -24,7 +24,7 @@ fn fixed_window_pipeline_beats_wavelet_on_bursty_trace() {
     assert_eq!(truth, wv.window(), "both windows see the same data");
 
     let queries = WorkloadGen::new(3, window).range_sums(500);
-    let hist_report = evaluate_queries(&truth, &fw.histogram(), &queries);
+    let hist_report = evaluate_queries(&truth, fw.histogram().as_ref(), &queries);
     let wave_report = evaluate_queries(&truth, &wv.synopsis(), &queries);
     assert!(
         hist_report.mean_abs_error <= wave_report.mean_abs_error,

@@ -23,7 +23,7 @@ fn claim_fixed_window_beats_wavelet_at_equal_budget() {
         }
         let truth = fw.window();
         let queries = WorkloadGen::new(window as u64, window).range_sums(400);
-        let rh = evaluate_queries(&truth, &fw.histogram(), &queries);
+        let rh = evaluate_queries(&truth, fw.histogram().as_ref(), &queries);
         let rw = evaluate_queries(&truth, &wv.synopsis(), &queries);
         assert!(
             rh.mean_abs_error < rw.mean_abs_error,
@@ -48,7 +48,7 @@ fn claim_accuracy_improves_with_buckets() {
         }
         let truth = fw.window();
         let queries = WorkloadGen::new(3, window).range_sums(400);
-        let r = evaluate_queries(&truth, &fw.histogram(), &queries);
+        let r = evaluate_queries(&truth, fw.histogram().as_ref(), &queries);
         assert!(
             r.mean_abs_error <= last * 1.05 + 1e-9,
             "B={b}: {} vs previous {last}",
@@ -70,7 +70,7 @@ fn claim_agglomerative_comparable_to_optimal() {
     assert!(agg.sse(&data) <= (1.0 + eps) * opt.sse(&data) + 1e-6);
 
     let queries = WorkloadGen::new(5, data.len()).range_sums(600);
-    let ra = evaluate_queries(&data, &agg, &queries);
+    let ra = evaluate_queries(&data, agg.as_ref(), &queries);
     let ro = evaluate_queries(&data, &opt, &queries);
     assert!(
         ra.mean_abs_error <= ro.mean_abs_error * 1.5 + 1.0,
