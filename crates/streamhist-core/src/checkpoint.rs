@@ -1,0 +1,455 @@
+//! Durable checkpoint/restore for streaming summaries.
+//!
+//! The paper's motivating deployment is network elements shipping synopses
+//! to collectors; processes there die, and the value of a small summary is
+//! that its whole state is cheap to capture and ship. This module defines
+//! the [`Checkpoint`] trait every `StreamSummary` in the workspace
+//! implements, plus the shared frame machinery: a versioned, magic-tagged,
+//! CRC32-checksummed envelope in the style of [`crate::codec`].
+//!
+//! # Frame layout
+//!
+//! ```text
+//! magic   u8       0x43 ('C')
+//! version u8       1
+//! tag     u8       summary type (see [`tag`])
+//! payload ...      type-specific fields (varints, f64-le, nested frames)
+//! crc32   u32-le   CRC-32 (IEEE 802.3) over every preceding byte
+//! ```
+//!
+//! Restore validates the envelope before touching the payload: a truncated
+//! frame, a flipped bit anywhere (header, payload, or checksum), a wrong
+//! type tag, or trailing bytes all surface as
+//! [`StreamhistError::CorruptCheckpoint`] — never a panic, never a
+//! silently-wrong summary. CRC-32 detects every single-bit error, so the
+//! corruption fuzz suite can assert rejection of *all* bit flips, not just
+//! structurally invalid ones.
+//!
+//! # Bit-identity contract
+//!
+//! `restore(&s.encode_checkpoint())` must behave **bit-identically** to `s`
+//! from then on: same query answers, same state after any further pushes.
+//! For the window summaries this falls out of serializing the raw buffered
+//! points plus the *complete* rebased prefix state (anchor, cumulative
+//! entries, and position in the rebase schedule — rebase timing changes the
+//! rounding of later entries, so the schedule position is part of the
+//! state) and rebuilding interval lists deterministically through the
+//! kernel at the next materialization.
+
+use crate::error::StreamhistError;
+
+/// Magic byte opening every checkpoint frame (`'C'`).
+pub const MAGIC: u8 = 0x43;
+/// Current frame format version.
+pub const VERSION: u8 = 1;
+
+/// Type tags identifying which summary a frame belongs to. A frame only
+/// restores through the type that wrote it; a tag mismatch is rejected as
+/// corruption (it usually means frames got routed to the wrong consumer).
+pub mod tag {
+    /// `FixedWindowHistogram` (streamhist-stream).
+    pub const FIXED_WINDOW: u8 = 1;
+    /// `AgglomerativeHistogram` (streamhist-stream).
+    pub const AGGLOMERATIVE: u8 = 2;
+    /// `TimeWindowHistogram` (streamhist-stream).
+    pub const TIME_WINDOW: u8 = 3;
+    /// `GkSummary` (streamhist-quantile).
+    pub const GK: u8 = 4;
+    /// `MrlSummary` (streamhist-quantile).
+    pub const MRL: u8 = 5;
+    /// `StreamingEquiDepth` (streamhist-quantile).
+    pub const EQUI_DEPTH: u8 = 6;
+    /// `FrequencyVector` (streamhist-freq).
+    pub const FREQUENCY_VECTOR: u8 = 7;
+    /// `DynamicWavelet` (streamhist-wavelet).
+    pub const DYNAMIC_WAVELET: u8 = 8;
+    /// `SlidingWindowWavelet` (streamhist-wavelet).
+    pub const SLIDING_WAVELET: u8 = 9;
+}
+
+/// Durable save/restore of a summary's complete state.
+///
+/// Implementations serialize into the shared frame format (see the module
+/// docs) via [`FrameWriter`]/[`FrameReader`]. The contract: restoring an
+/// encoded checkpoint yields a summary bit-identical in behaviour to the
+/// one that was encoded.
+pub trait Checkpoint {
+    /// Serializes the summary's complete state into a self-validating
+    /// frame.
+    fn encode_checkpoint(&self) -> Vec<u8>;
+
+    /// Reconstructs a summary from a frame produced by
+    /// [`encode_checkpoint`](Self::encode_checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamhistError::CorruptCheckpoint`] if the frame is
+    /// truncated, fails its checksum, carries the wrong type tag, or its
+    /// payload violates the summary's invariants. Never panics on
+    /// malformed input.
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError>
+    where
+        Self: Sized;
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), bitwise —
+/// checkpointing is off the hot path, so no table is kept.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Builds one checkpoint frame: header on construction, payload via the
+/// `put_*` methods, checksum on [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct FrameWriter {
+    buf: Vec<u8>,
+}
+
+impl FrameWriter {
+    /// Starts a frame for the given type [`tag`].
+    #[must_use]
+    pub fn new(tag: u8) -> Self {
+        Self {
+            buf: vec![MAGIC, VERSION, tag],
+        }
+    }
+
+    /// Appends one raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a LEB128 varint (same encoding as the histogram wire
+    /// codec).
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends a `usize` as a varint.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_varint(v as u64);
+    }
+
+    /// Appends an `f64` as its exact little-endian bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `(sum, sqsum)` cumulative pair.
+    pub fn put_pair(&mut self, (s, q): (f64, f64)) {
+        self.put_f64(s);
+        self.put_f64(q);
+    }
+
+    /// Appends a length-prefixed byte string (for nested frames).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Seals the frame: appends the CRC-32 of everything written so far
+    /// and returns the bytes.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        let crc = crc32(&self.buf);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf
+    }
+}
+
+fn corrupt(reason: &'static str) -> StreamhistError {
+    StreamhistError::CorruptCheckpoint { reason }
+}
+
+/// Validating cursor over one checkpoint frame. [`open`](Self::open)
+/// checks the envelope (length, checksum, magic, version, tag) before any
+/// payload is read; the `get_*` methods then decode payload fields, and
+/// [`finish`](Self::finish) asserts the payload was consumed exactly.
+#[derive(Debug)]
+pub struct FrameReader<'a> {
+    /// Payload region only (header stripped, checksum trailer excluded).
+    payload: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Validates the envelope of `input` and positions a cursor at the
+    /// start of the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] on truncation, checksum
+    /// mismatch, bad magic/version, or a tag other than `expected_tag`.
+    pub fn open(input: &'a [u8], expected_tag: u8) -> Result<Self, StreamhistError> {
+        if input.len() < 7 {
+            return Err(corrupt("frame shorter than header + checksum"));
+        }
+        let (body, crc_bytes) = input.split_at(input.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte slice"));
+        if crc32(body) != stored {
+            return Err(corrupt("checksum mismatch"));
+        }
+        if body[0] != MAGIC {
+            return Err(corrupt("bad magic byte"));
+        }
+        if body[1] != VERSION {
+            return Err(corrupt("unsupported frame version"));
+        }
+        if body[2] != expected_tag {
+            return Err(corrupt("frame is for a different summary type"));
+        }
+        Ok(Self {
+            payload: &body[3..],
+            pos: 0,
+        })
+    }
+
+    /// Bytes of payload not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.payload.len() - self.pos
+    }
+
+    /// Reads one raw byte.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] if the payload is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8, StreamhistError> {
+        let &b = self
+            .payload
+            .get(self.pos)
+            .ok_or_else(|| corrupt("payload truncated"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] on truncation or a varint
+    /// running past 64 bits.
+    pub fn get_varint(&mut self) -> Result<u64, StreamhistError> {
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift >= 64 {
+                return Err(corrupt("varint exceeds 64 bits"));
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a `usize` varint and sanity-checks it as an element count:
+    /// each element occupies at least `min_bytes_per_item` payload bytes,
+    /// so a count the remaining payload cannot possibly hold is rejected
+    /// up front (bounding allocations on adversarial frames).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] on truncation, overflow, or
+    /// an impossible count.
+    pub fn get_count(&mut self, min_bytes_per_item: usize) -> Result<usize, StreamhistError> {
+        let raw = self.get_varint()?;
+        let n = usize::try_from(raw).map_err(|_| corrupt("count exceeds usize"))?;
+        if n.saturating_mul(min_bytes_per_item.max(1)) > self.remaining() {
+            return Err(corrupt("count exceeds remaining payload"));
+        }
+        Ok(n)
+    }
+
+    /// Reads a `usize` varint (no count sanity check — for scalar fields
+    /// like capacities and totals).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] on truncation or overflow.
+    pub fn get_usize(&mut self) -> Result<usize, StreamhistError> {
+        usize::try_from(self.get_varint()?).map_err(|_| corrupt("value exceeds usize"))
+    }
+
+    /// Reads an `f64` bit pattern, rejecting NaN/infinities — no summary
+    /// in the workspace stores a non-finite value, so one in a frame means
+    /// corruption.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] on truncation or a
+    /// non-finite value.
+    pub fn get_f64(&mut self) -> Result<f64, StreamhistError> {
+        let bytes = self
+            .payload
+            .get(self.pos..self.pos + 8)
+            .ok_or_else(|| corrupt("payload truncated"))?;
+        self.pos += 8;
+        let v = f64::from_le_bytes(bytes.try_into().expect("8-byte slice"));
+        if !v.is_finite() {
+            return Err(corrupt("non-finite float in payload"));
+        }
+        Ok(v)
+    }
+
+    /// Reads a `(sum, sqsum)` cumulative pair.
+    ///
+    /// # Errors
+    ///
+    /// As [`get_f64`](Self::get_f64).
+    pub fn get_pair(&mut self) -> Result<(f64, f64), StreamhistError> {
+        Ok((self.get_f64()?, self.get_f64()?))
+    }
+
+    /// Reads a length-prefixed byte string (a nested frame).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] on truncation or an
+    /// impossible length.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], StreamhistError> {
+        let len = self.get_count(1)?;
+        let bytes = self
+            .payload
+            .get(self.pos..self.pos + len)
+            .ok_or_else(|| corrupt("payload truncated"))?;
+        self.pos += len;
+        Ok(bytes)
+    }
+
+    /// Asserts the payload was consumed exactly — trailing bytes mean the
+    /// frame was not produced by the matching encoder.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] if payload bytes remain.
+    pub fn finish(self) -> Result<(), StreamhistError> {
+        if self.remaining() != 0 {
+            return Err(corrupt("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::FIXED_WINDOW);
+        w.put_varint(300);
+        w.put_f64(1.5);
+        w.put_pair((2.0, 4.0));
+        w.put_bytes(&[9, 8, 7]);
+        w.finish()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let bytes = sample_frame();
+        let mut r = FrameReader::open(&bytes, tag::FIXED_WINDOW).expect("valid frame");
+        assert_eq!(r.get_varint().unwrap(), 300);
+        assert_eq!(r.get_f64().unwrap(), 1.5);
+        assert_eq!(r.get_pair().unwrap(), (2.0, 4.0));
+        assert_eq!(r.get_bytes().unwrap(), &[9, 8, 7]);
+        r.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn every_truncation_rejected() {
+        let bytes = sample_frame();
+        for cut in 0..bytes.len() {
+            let err = FrameReader::open(&bytes[..cut], tag::FIXED_WINDOW)
+                .err()
+                .unwrap_or_else(|| panic!("cut {cut} must fail"));
+            assert!(matches!(err, StreamhistError::CorruptCheckpoint { .. }));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_rejected() {
+        let bytes = sample_frame();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    FrameReader::open(&flipped, tag::FIXED_WINDOW).is_err(),
+                    "flip at byte {byte} bit {bit} must fail the checksum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_tag_rejected() {
+        let bytes = sample_frame();
+        let err = FrameReader::open(&bytes, tag::GK).expect_err("tag mismatch");
+        assert!(matches!(err, StreamhistError::CorruptCheckpoint { .. }));
+    }
+
+    #[test]
+    fn trailing_payload_rejected() {
+        let bytes = sample_frame();
+        let mut r = FrameReader::open(&bytes, tag::FIXED_WINDOW).expect("valid frame");
+        let _ = r.get_varint().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn non_finite_float_rejected() {
+        let mut w = FrameWriter::new(tag::MRL);
+        w.put_f64(f64::NAN);
+        let bytes = w.finish();
+        let mut r = FrameReader::open(&bytes, tag::MRL).expect("envelope is valid");
+        assert!(r.get_f64().is_err());
+    }
+
+    #[test]
+    fn impossible_count_rejected() {
+        let mut w = FrameWriter::new(tag::MRL);
+        w.put_varint(u64::MAX);
+        let bytes = w.finish();
+        let mut r = FrameReader::open(&bytes, tag::MRL).expect("envelope is valid");
+        assert!(r.get_count(8).is_err());
+    }
+
+    #[test]
+    fn varint_boundaries_roundtrip() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut w = FrameWriter::new(0);
+            w.put_varint(v);
+            let bytes = w.finish();
+            let mut r = FrameReader::open(&bytes, 0).expect("valid");
+            assert_eq!(r.get_varint().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+}

@@ -25,7 +25,7 @@ const MAGIC: u8 = 0x48;
 const VERSION: u8 = 1;
 
 /// Errors produced while decoding a histogram.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
     /// Input ended before the structure was complete.
     UnexpectedEnd,

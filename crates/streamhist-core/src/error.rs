@@ -13,6 +13,7 @@
 //! serving deployment (the sharded layer in `streamhist-stream`)
 //! count-and-reject bad records rather than lose a worker.
 
+use crate::codec::DecodeError;
 use std::fmt;
 
 /// A recoverable ingestion error: the record was rejected, the summary is
@@ -52,6 +53,23 @@ pub enum StreamhistError {
         /// The structure's fixed capacity.
         capacity: usize,
     },
+    /// A checkpoint frame failed validation: truncated, checksum mismatch,
+    /// wrong type tag, or a payload violating the summary's invariants.
+    /// The frame is rejected whole; nothing is partially restored.
+    CorruptCheckpoint {
+        /// What the validator tripped on.
+        reason: &'static str,
+    },
+    /// A histogram wire decode failed (see [`crate::codec::decode`]).
+    /// Wraps [`DecodeError`] so checkpoint/serving callers handle one
+    /// error type end to end.
+    Decode(DecodeError),
+}
+
+impl From<DecodeError> for StreamhistError {
+    fn from(e: DecodeError) -> Self {
+        Self::Decode(e)
+    }
 }
 
 impl fmt::Display for StreamhistError {
@@ -69,6 +87,10 @@ impl fmt::Display for StreamhistError {
             Self::CapacityExhausted { capacity } => {
                 write!(f, "summary capacity exhausted ({capacity} values)")
             }
+            Self::CorruptCheckpoint { reason } => {
+                write!(f, "corrupt checkpoint frame: {reason}")
+            }
+            Self::Decode(e) => write!(f, "histogram decode failed: {e}"),
         }
     }
 }
@@ -162,5 +184,12 @@ mod tests {
         let full = StreamhistError::CapacityExhausted { capacity: 16 };
         assert!(full.to_string().contains("exhausted"));
         assert!(full.to_string().contains("16"));
+        let corrupt = StreamhistError::CorruptCheckpoint {
+            reason: "checksum mismatch",
+        };
+        assert!(corrupt.to_string().contains("checksum mismatch"));
+        let decode: StreamhistError = DecodeError::BadHeader.into();
+        assert_eq!(decode, StreamhistError::Decode(DecodeError::BadHeader));
+        assert!(decode.to_string().contains("bad magic/version"));
     }
 }

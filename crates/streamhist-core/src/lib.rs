@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod bucket;
+pub mod checkpoint;
 pub mod codec;
 pub mod distance;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod query;
 pub mod summary;
 
 pub use bucket::Bucket;
+pub use checkpoint::{Checkpoint, FrameReader, FrameWriter};
 pub use codec::{decode, encode, DecodeError};
 pub use error::{max_abs_error, sum_abs_error, sum_squared_error, StreamhistError};
 pub use eval::{evaluate_queries, AccuracyReport};

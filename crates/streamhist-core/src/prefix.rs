@@ -9,6 +9,7 @@
 //!
 //! in `O(1)`, which is the workhorse of every construction algorithm.
 
+use crate::error::StreamhistError;
 use std::collections::VecDeque;
 
 /// Read interface over the sums of a (window of a) sequence: everything a
@@ -367,6 +368,60 @@ impl SlidingPrefixSums {
         (self.head, self.cum.iter().copied().collect())
     }
 
+    /// Pushes performed since the last anchor rebase. Together with
+    /// [`raw_frame`](Self::raw_frame) and [`rebases`](Self::rebases) this
+    /// is the store's *complete* state: rebase timing changes the rounding
+    /// of later cumulative entries, so a restore that did not resume the
+    /// schedule mid-period would drift bit-wise from the original.
+    #[must_use]
+    pub fn since_rebase(&self) -> usize {
+        self.since_rebase
+    }
+
+    /// Reassembles a store from previously captured raw state (the
+    /// checkpoint/restore path). The resulting store is bit-identical to
+    /// the one the state was read from: same anchor, same cumulative
+    /// entries, same position in the rebase schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] if the parameters violate
+    /// the store's invariants (`capacity == 0`, `rebase_period == 0`, more
+    /// entries than capacity, or `since_rebase >= rebase_period`).
+    pub fn from_checkpoint_state(
+        capacity: usize,
+        rebase_period: usize,
+        head: (f64, f64),
+        cum: Vec<(f64, f64)>,
+        since_rebase: usize,
+        rebases: usize,
+    ) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        if capacity == 0 {
+            return Err(corrupt("window capacity must be positive"));
+        }
+        if rebase_period == 0 {
+            return Err(corrupt("rebase period must be positive"));
+        }
+        if cum.len() > capacity {
+            return Err(corrupt("more cumulative entries than capacity"));
+        }
+        // Between pushes the schedule invariant `since_rebase <
+        // rebase_period` always holds (a push that reaches the period
+        // rebases and zeroes the counter before returning).
+        if since_rebase >= rebase_period {
+            return Err(corrupt("rebase schedule position out of range"));
+        }
+        Ok(Self {
+            capacity,
+            cum: cum.into(),
+            head,
+            rebase_period,
+            since_rebase,
+            rebases,
+        })
+    }
+
     /// Moves the anchor to the start of the window: subtracts `head` from
     /// every cumulative entry. `O(len)`.
     fn rebase(&mut self) {
@@ -499,6 +554,62 @@ impl GrowableWindowSums {
     #[must_use]
     pub fn rebases(&self) -> usize {
         self.rebases
+    }
+
+    /// The configured rebase period.
+    #[must_use]
+    pub fn rebase_period(&self) -> usize {
+        self.rebase_period
+    }
+
+    /// Operations performed since the last anchor rebase (part of the
+    /// store's complete state — see
+    /// [`SlidingPrefixSums::since_rebase`]).
+    #[must_use]
+    pub fn since_rebase(&self) -> usize {
+        self.since_rebase
+    }
+
+    /// The raw anchor frame — `(head, cumulative entries)` exactly as
+    /// stored (see [`SlidingPrefixSums::raw_frame`]).
+    #[must_use]
+    pub fn raw_frame(&self) -> ((f64, f64), Vec<(f64, f64)>) {
+        (self.head, self.cum.iter().copied().collect())
+    }
+
+    /// Reassembles a store from previously captured raw state (the
+    /// checkpoint/restore path); bit-identical to the original, including
+    /// the position in the rebase schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] if the parameters violate
+    /// the store's invariants (`rebase_period == 0`, or a schedule
+    /// position at or past the effective rebase threshold
+    /// `max(rebase_period, len)`).
+    pub fn from_checkpoint_state(
+        rebase_period: usize,
+        head: (f64, f64),
+        cum: Vec<(f64, f64)>,
+        since_rebase: usize,
+        rebases: usize,
+    ) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        if rebase_period == 0 {
+            return Err(corrupt("rebase period must be positive"));
+        }
+        // At rest `since_rebase` is strictly below the threshold the last
+        // tick used, and no mutation has changed `len` since that tick.
+        if since_rebase >= rebase_period.max(cum.len()) {
+            return Err(corrupt("rebase schedule position out of range"));
+        }
+        Ok(Self {
+            cum: cum.into(),
+            head,
+            rebase_period,
+            since_rebase,
+            rebases,
+        })
     }
 
     /// Appends `v` to the window. Amortized `O(1)`.

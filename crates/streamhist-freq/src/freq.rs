@@ -1,5 +1,6 @@
 //! Streaming frequency vectors over a bounded integer value domain.
 
+use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
 use streamhist_core::{StreamSummary, StreamhistError};
 
 /// Counts of each value in `[lo, hi]`, maintained from a stream in `O(1)`
@@ -139,6 +140,62 @@ impl FrequencyVector {
         }
         let (i, j) = ((lo - self.lo) as usize, (hi - self.lo) as usize);
         self.counts[i..=j].iter().sum()
+    }
+}
+
+impl Checkpoint for FrequencyVector {
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::FREQUENCY_VECTOR);
+        // Zigzag so negative domain bounds stay compact varints.
+        w.put_varint(((self.lo << 1) ^ (self.lo >> 63)) as u64);
+        w.put_varint(self.total);
+        w.put_varint(self.out_of_range);
+        w.put_usize(self.counts.len());
+        for &c in &self.counts {
+            w.put_varint(c);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        let mut r = FrameReader::open(bytes, tag::FREQUENCY_VECTOR)?;
+        let z = r.get_varint()?;
+        #[allow(clippy::cast_possible_wrap)]
+        let lo = ((z >> 1) as i64) ^ -((z & 1) as i64);
+        let total = r.get_varint()?;
+        let out_of_range = r.get_varint()?;
+        let width = r.get_count(1)?;
+        if width == 0 {
+            return Err(corrupt("empty value domain"));
+        }
+        // The inclusive upper bound lo + width - 1 must stay in i64.
+        if i64::try_from(width - 1)
+            .ok()
+            .and_then(|w| lo.checked_add(w))
+            .is_none()
+        {
+            return Err(corrupt("value domain overflows i64"));
+        }
+        let mut counts = Vec::with_capacity(width);
+        let mut sum: u64 = 0;
+        for _ in 0..width {
+            let c = r.get_varint()?;
+            sum = sum
+                .checked_add(c)
+                .ok_or_else(|| corrupt("counts overflow u64"))?;
+            counts.push(c);
+        }
+        if sum != total {
+            return Err(corrupt("counts do not sum to total"));
+        }
+        r.finish()?;
+        Ok(Self {
+            lo,
+            counts,
+            total,
+            out_of_range,
+        })
     }
 }
 

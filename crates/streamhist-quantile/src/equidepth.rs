@@ -7,6 +7,7 @@
 
 use crate::gk::GkSummary;
 use crate::QuantileSummary;
+use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
 use streamhist_core::{StreamSummary, StreamhistError};
 
 /// Equi-depth histogram over the *value* domain.
@@ -183,6 +184,29 @@ impl StreamingEquiDepth {
     #[must_use]
     pub fn histogram(&self) -> EquiDepthHistogram {
         EquiDepthHistogram::from_summary(&self.summary, self.b)
+    }
+}
+
+impl Checkpoint for StreamingEquiDepth {
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::EQUI_DEPTH);
+        w.put_usize(self.b);
+        // The backing GK summary nests as its own self-validating frame.
+        w.put_bytes(&self.summary.encode_checkpoint());
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let mut r = FrameReader::open(bytes, tag::EQUI_DEPTH)?;
+        let b = r.get_usize()?;
+        if b == 0 {
+            return Err(StreamhistError::CorruptCheckpoint {
+                reason: "need at least one bucket",
+            });
+        }
+        let summary = GkSummary::restore(r.get_bytes()?)?;
+        r.finish()?;
+        Ok(Self { summary, b })
     }
 }
 

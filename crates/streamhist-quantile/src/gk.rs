@@ -8,6 +8,7 @@
 //! tuples whose combined uncertainty still fits the invariant.
 
 use crate::QuantileSummary;
+use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
 use streamhist_core::{StreamSummary, StreamhistError};
 
 #[derive(Debug, Clone, Copy)]
@@ -157,6 +158,60 @@ impl GkSummary {
             }
         }
         self.tuples = out;
+    }
+}
+
+impl Checkpoint for GkSummary {
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::GK);
+        w.put_f64(self.eps);
+        w.put_usize(self.n);
+        w.put_usize(self.since_compress);
+        w.put_usize(self.tuples.len());
+        for t in &self.tuples {
+            w.put_f64(t.v);
+            w.put_varint(t.g);
+            w.put_varint(t.delta);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        let mut r = FrameReader::open(bytes, tag::GK)?;
+        let eps = r.get_f64()?;
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(corrupt("eps outside (0, 1)"));
+        }
+        let n = r.get_usize()?;
+        let since_compress = r.get_usize()?;
+        let count = r.get_count(10)?; // f64 + two one-byte varints minimum
+        let mut tuples = Vec::with_capacity(count);
+        let mut prev = f64::NEG_INFINITY;
+        for _ in 0..count {
+            let v = r.get_f64()?;
+            if v < prev {
+                return Err(corrupt("GK tuples out of order"));
+            }
+            prev = v;
+            let g = r.get_varint()?;
+            let delta = r.get_varint()?;
+            tuples.push(Tuple { v, g, delta });
+        }
+        r.finish()?;
+        // `compress_period` is a pure function of eps, so re-deriving it
+        // reproduces the exact original (eps round-trips bit-for-bit).
+        let compress_period = (1.0 / (2.0 * eps)).floor().max(1.0) as usize;
+        if since_compress >= compress_period {
+            return Err(corrupt("compress schedule position out of range"));
+        }
+        Ok(Self {
+            eps,
+            n,
+            tuples,
+            since_compress,
+            compress_period,
+        })
     }
 }
 

@@ -11,6 +11,7 @@
 //! keeping even positions.
 
 use crate::QuantileSummary;
+use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
 use streamhist_core::{StreamSummary, StreamhistError};
 
 /// Deterministic multi-level quantile summary with buffer size `k`.
@@ -184,6 +185,89 @@ impl MrlSummary {
             }
         }
         out
+    }
+}
+
+impl Checkpoint for MrlSummary {
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::MRL);
+        w.put_usize(self.k);
+        w.put_usize(self.n);
+        w.put_u8(u8::from(self.keep_odd));
+        w.put_usize(self.partial.len());
+        for &v in &self.partial {
+            w.put_f64(v);
+        }
+        w.put_usize(self.levels.len());
+        for buf in &self.levels {
+            match buf {
+                None => w.put_u8(0),
+                Some(buf) => {
+                    w.put_u8(1);
+                    for &v in buf {
+                        w.put_f64(v);
+                    }
+                }
+            }
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        let mut r = FrameReader::open(bytes, tag::MRL)?;
+        let k = r.get_usize()?;
+        if k < 2 || !k.is_multiple_of(2) {
+            return Err(corrupt("buffer size must be an even number >= 2"));
+        }
+        let n = r.get_usize()?;
+        let keep_odd = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(corrupt("invalid boolean byte")),
+        };
+        let partial_len = r.get_count(8)?;
+        if partial_len >= k {
+            return Err(corrupt("partial buffer at or past k"));
+        }
+        let mut partial = Vec::with_capacity(k);
+        for _ in 0..partial_len {
+            partial.push(r.get_f64()?);
+        }
+        let num_levels = r.get_count(1)?;
+        let mut levels = Vec::with_capacity(num_levels);
+        for _ in 0..num_levels {
+            match r.get_u8()? {
+                0 => levels.push(None),
+                1 => {
+                    // Every occupied level holds exactly one sorted
+                    // k-buffer.
+                    if r.remaining() < k * 8 {
+                        return Err(corrupt("payload truncated"));
+                    }
+                    let mut buf = Vec::with_capacity(k);
+                    let mut prev = f64::NEG_INFINITY;
+                    for _ in 0..k {
+                        let v = r.get_f64()?;
+                        if v < prev {
+                            return Err(corrupt("MRL level buffer out of order"));
+                        }
+                        prev = v;
+                        buf.push(v);
+                    }
+                    levels.push(Some(buf));
+                }
+                _ => return Err(corrupt("invalid level-presence byte")),
+            }
+        }
+        r.finish()?;
+        Ok(Self {
+            k,
+            n,
+            levels,
+            partial,
+            keep_odd,
+        })
     }
 }
 

@@ -22,6 +22,7 @@
 
 use crate::kernel::{Kernel, KernelStats, SnapshotCache, StreamTotals};
 use std::sync::Arc;
+use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
 use streamhist_core::{BatchOutcome, Histogram, PrefixProvider, StreamSummary, StreamhistError};
 
 /// One-pass `(1+ε)`-approximate V-optimal histogram of an entire stream.
@@ -292,6 +293,49 @@ impl AgglomerativeHistogram {
                 (self.kernel.materialize_top(), self.kernel.stats(0))
             })
             .0
+    }
+}
+
+impl Checkpoint for AgglomerativeHistogram {
+    /// Serializes the running totals plus the full online-DP state
+    /// (queues, boundary-chain arena, work counters) via
+    /// [`Kernel::encode_state`]. The whole-stream recurrence cannot be
+    /// replayed from buffered points — the points are gone — so unlike the
+    /// window summaries the DP state itself is the checkpoint payload; the
+    /// kernel clones-and-compacts on encode so the frame holds exactly the
+    /// live chain set, and every DP value round-trips bit-exactly.
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::AGGLOMERATIVE);
+        w.put_f64(self.eps);
+        w.put_varint(self.generation);
+        self.totals.encode_state(&mut w);
+        self.kernel.encode_state(&mut w);
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        let mut r = FrameReader::open(bytes, tag::AGGLOMERATIVE)?;
+        let eps = r.get_f64()?;
+        if eps <= 0.0 {
+            return Err(corrupt("eps must be positive"));
+        }
+        let generation = r.get_varint()?;
+        let totals = StreamTotals::decode_state(&mut r)?;
+        let kernel = Kernel::decode_state(&mut r)?;
+        r.finish()?;
+        if (totals.len() == 0) != kernel.top.is_none() {
+            return Err(corrupt("totals and DP state disagree on emptiness"));
+        }
+        Ok(Self {
+            b: kernel.b(),
+            eps,
+            delta: kernel.delta(),
+            totals,
+            kernel,
+            generation,
+            cache: SnapshotCache::default(),
+        })
     }
 }
 

@@ -21,7 +21,7 @@
 //! triggers compaction generationally (when the arena has doubled since the
 //! last collection), keeping total footprint proportional to the live set.
 
-use streamhist_core::{Bucket, Histogram};
+use streamhist_core::{Bucket, Histogram, StreamhistError};
 
 /// Sentinel for "no predecessor" in a node's `prev` link.
 const NONE: u32 = u32::MAX;
@@ -33,6 +33,21 @@ const NONE: u32 = u32::MAX;
 /// a [`CutRemap`] for translating retained handles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct CutId(u32);
+
+impl CutId {
+    /// The raw arena index (checkpoint serialization only — raw indices
+    /// are meaningless outside the arena that issued them).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a serialized raw index. The caller is
+    /// responsible for range-checking against the owning arena (the
+    /// checkpoint decoder validates every link).
+    pub fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+}
 
 /// One node of a boundary chain: the inclusive end index of a bucket, the
 /// window-framed prefix sum of values through that index (used to derive
@@ -194,6 +209,58 @@ impl CutArena {
         }
         let domain_len = self.end(id) + 1;
         Histogram::new(domain_len, buckets).expect("chains always tile the prefix")
+    }
+
+    /// The node table as `(end, sum_through, prev)` triples (`prev` is
+    /// [`NONE`] for chain heads), for checkpoint serialization. Callers
+    /// compact first so the table holds exactly the live set.
+    pub fn export_nodes(&self) -> Vec<(usize, f64, u32)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.end, n.sum_through, n.prev))
+            .collect()
+    }
+
+    /// Rebuilds an arena from serialized parts, validating the structural
+    /// invariants compaction guarantees: links point strictly backwards
+    /// (topological order) and chain ends strictly increase along every
+    /// link.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] on a forward/self link, an
+    /// out-of-range link, or non-increasing chain ends.
+    pub fn from_checkpoint_parts(
+        nodes: Vec<(usize, f64, u32)>,
+        peak: usize,
+        compactions: usize,
+    ) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        if nodes.len() >= NONE as usize {
+            return Err(corrupt("arena exceeds u32 addressing"));
+        }
+        for (i, &(end, _, prev)) in nodes.iter().enumerate() {
+            if prev != NONE {
+                if prev as usize >= i {
+                    return Err(corrupt("arena link is not topologically ordered"));
+                }
+                if nodes[prev as usize].0 >= end {
+                    return Err(corrupt("chain ends must strictly increase"));
+                }
+            }
+        }
+        Ok(Self {
+            nodes: nodes
+                .into_iter()
+                .map(|(end, sum_through, prev)| CutNode {
+                    end,
+                    sum_through,
+                    prev,
+                })
+                .collect(),
+            peak,
+            compactions,
+        })
     }
 
     /// Mark-and-move collection: retains exactly the nodes reachable from

@@ -26,6 +26,7 @@
 use crate::kernel::{Kernel, KernelStats, SnapshotCache};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
 use streamhist_core::{BatchOutcome, Histogram, SlidingPrefixSums, StreamSummary, StreamhistError};
 
 /// Diagnostics from one histogram materialization.
@@ -401,6 +402,98 @@ impl FixedWindowHistogram {
     pub fn histogram_with_stats(&self) -> (Arc<Histogram>, KernelStats) {
         self.cache.get_or_build(self.generation, || {
             Kernel::build(&self.prefix, self.b, self.delta)
+        })
+    }
+}
+
+impl Checkpoint for FixedWindowHistogram {
+    /// Serializes configuration, the raw buffered window, and the
+    /// **complete** rebased prefix state — including the rebase phase
+    /// (`since_rebase`), because rebase timing affects the floating-point
+    /// rounding of later prefix entries. Interval lists are *not* stored:
+    /// the batch kernel rebuilds them deterministically at the next
+    /// materialization, so a restored summary is bit-identical to one that
+    /// never crashed.
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::FIXED_WINDOW);
+        w.put_usize(self.prefix.capacity());
+        w.put_usize(self.b);
+        w.put_f64(self.eps);
+        w.put_f64(self.delta);
+        w.put_usize(self.prefix.rebase_period());
+        w.put_varint(self.total_pushed);
+        w.put_varint(self.generation);
+        let (head, cum) = self.prefix.raw_frame();
+        w.put_pair(head);
+        w.put_usize(cum.len());
+        for &p in &cum {
+            w.put_pair(p);
+        }
+        w.put_usize(self.prefix.since_rebase());
+        w.put_usize(self.prefix.rebases());
+        w.put_usize(self.raw.len());
+        for &v in &self.raw {
+            w.put_f64(v);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        let mut r = FrameReader::open(bytes, tag::FIXED_WINDOW)?;
+        let capacity = r.get_usize()?;
+        let b = r.get_usize()?;
+        let eps = r.get_f64()?;
+        let delta = r.get_f64()?;
+        let rebase_period = r.get_usize()?;
+        if b == 0 {
+            return Err(corrupt("need at least one bucket"));
+        }
+        if eps <= 0.0 {
+            return Err(corrupt("eps must be positive"));
+        }
+        if delta <= 0.0 {
+            return Err(corrupt("delta must be positive"));
+        }
+        let total_pushed = r.get_varint()?;
+        let generation = r.get_varint()?;
+        let head = r.get_pair()?;
+        let n = r.get_count(16)?;
+        let mut cum = Vec::with_capacity(n);
+        for _ in 0..n {
+            cum.push(r.get_pair()?);
+        }
+        let since_rebase = r.get_usize()?;
+        let rebases = r.get_usize()?;
+        let raw_len = r.get_count(8)?;
+        if raw_len != n {
+            return Err(corrupt("window and prefix store disagree on length"));
+        }
+        if total_pushed < raw_len as u64 {
+            return Err(corrupt("window holds more points than were pushed"));
+        }
+        let mut raw = VecDeque::with_capacity(capacity);
+        for _ in 0..raw_len {
+            raw.push_back(r.get_f64()?);
+        }
+        r.finish()?;
+        let prefix = SlidingPrefixSums::from_checkpoint_state(
+            capacity,
+            rebase_period,
+            head,
+            cum,
+            since_rebase,
+            rebases,
+        )?;
+        Ok(Self {
+            b,
+            eps,
+            delta,
+            prefix,
+            raw,
+            total_pushed,
+            generation,
+            cache: SnapshotCache::default(),
         })
     }
 }

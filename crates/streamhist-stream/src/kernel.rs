@@ -29,7 +29,8 @@
 
 use crate::arena::{CutArena, CutId};
 use std::sync::{Arc, Mutex, PoisonError};
-use streamhist_core::{BatchOutcome, Histogram, PrefixProvider};
+use streamhist_core::checkpoint::{FrameReader, FrameWriter};
+use streamhist_core::{BatchOutcome, Histogram, PrefixProvider, StreamhistError};
 
 /// Compaction is considered once the arena holds at least this many nodes
 /// (below that, garbage is cheaper than collecting it).
@@ -201,6 +202,26 @@ impl StreamTotals {
         self.sum += v;
         self.sqsum += v * v;
     }
+
+    /// Serializes the running totals into an open checkpoint frame.
+    pub fn encode_state(&self, w: &mut FrameWriter) {
+        w.put_usize(self.count);
+        w.put_f64(self.sum);
+        w.put_f64(self.sqsum);
+    }
+
+    /// Reads running totals back out of a checkpoint frame.
+    pub fn decode_state(r: &mut FrameReader<'_>) -> Result<Self, StreamhistError> {
+        let count = r.get_usize()?;
+        let sum = r.get_f64()?;
+        let sqsum = r.get_f64()?;
+        if sqsum < 0.0 {
+            return Err(StreamhistError::CorruptCheckpoint {
+                reason: "negative sum of squares",
+            });
+        }
+        Ok(Self { count, sum, sqsum })
+    }
 }
 
 impl PrefixProvider for StreamTotals {
@@ -284,6 +305,16 @@ impl Kernel {
             searches: 0,
             last_live: 0,
         }
+    }
+
+    /// The bucket budget `B` this kernel was configured with.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The interval growth factor `δ` this kernel was configured with.
+    pub fn delta(&self) -> f64 {
+        self.delta
     }
 
     /// Current interval-queue lengths per level (`B−1` entries).
@@ -502,6 +533,160 @@ impl Kernel {
             *chain = remap.remap(*chain);
         }
         self.last_live = self.arena.len();
+    }
+
+    /// Serializes the full online-DP state into an open checkpoint frame.
+    ///
+    /// The kernel is cloned and compacted first so the node table holds
+    /// exactly the live chain set in topological order — the restored
+    /// arena is garbage-free, which changes *occupancy statistics* but not
+    /// a single DP value: every queue endpoint's `herror`/`sum`/`sqsum`
+    /// and every chain's boundary indices round-trip bit-exactly, so the
+    /// restored kernel's histograms and all future pushes are
+    /// bit-identical to the original's. The original's `peak`/
+    /// `compactions` counters are carried through for stat continuity.
+    pub fn encode_state(&self, w: &mut FrameWriter) {
+        let mut live = self.clone();
+        live.compact_now();
+        w.put_usize(self.b);
+        w.put_f64(self.delta);
+        w.put_usize(self.evals);
+        w.put_usize(self.searches);
+        w.put_usize(self.arena.peak());
+        w.put_usize(self.arena.compactions());
+        let nodes = live.arena.export_nodes();
+        w.put_usize(nodes.len());
+        for (end, sum_through, prev) in nodes {
+            w.put_usize(end);
+            w.put_f64(sum_through);
+            // NONE maps to 0 so live links stay compact varints.
+            w.put_varint(if prev == u32::MAX {
+                0
+            } else {
+                u64::from(prev) + 1
+            });
+        }
+        w.put_usize(live.queues.len());
+        for queue in &live.queues {
+            w.put_usize(queue.len());
+            for iv in queue {
+                w.put_f64(iv.start_herror);
+                w.put_usize(iv.end.idx);
+                w.put_f64(iv.end.sum);
+                w.put_f64(iv.end.sqsum);
+                w.put_f64(iv.end.herror);
+                w.put_varint(u64::from(iv.end.chain.raw()));
+            }
+        }
+        match live.top {
+            None => w.put_u8(0),
+            Some((h, chain)) => {
+                w.put_u8(1);
+                w.put_f64(h);
+                w.put_varint(u64::from(chain.raw()));
+            }
+        }
+    }
+
+    /// Rebuilds an online-mode kernel from a checkpoint frame, validating
+    /// every structural invariant the DP relies on (queue count matches
+    /// `b`, endpoint indices strictly increase per queue, every chain
+    /// handle addresses a node, errors are non-negative).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] on any violated invariant.
+    pub fn decode_state(r: &mut FrameReader<'_>) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        let b = r.get_usize()?;
+        if b == 0 {
+            return Err(corrupt("kernel bucket budget must be positive"));
+        }
+        let delta = r.get_f64()?;
+        if delta <= 0.0 {
+            return Err(corrupt("kernel delta must be positive"));
+        }
+        let evals = r.get_usize()?;
+        let searches = r.get_usize()?;
+        let peak = r.get_usize()?;
+        let compactions = r.get_usize()?;
+        let node_count = r.get_count(3)?;
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let end = r.get_usize()?;
+            let sum_through = r.get_f64()?;
+            let prev = match r.get_varint()? {
+                0 => u32::MAX,
+                p => u32::try_from(p - 1).map_err(|_| corrupt("arena link exceeds u32 range"))?,
+            };
+            nodes.push((end, sum_through, prev));
+        }
+        let arena = CutArena::from_checkpoint_parts(nodes, peak, compactions)?;
+        let chain_of = |raw: u64| -> Result<CutId, StreamhistError> {
+            if raw >= arena.len() as u64 {
+                return Err(corrupt("chain handle addresses no arena node"));
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            Ok(CutId::from_raw(raw as u32))
+        };
+        let queue_count = r.get_count(1)?;
+        if queue_count != b - 1 {
+            return Err(corrupt("queue count does not match bucket budget"));
+        }
+        let mut queues = Vec::with_capacity(queue_count);
+        for _ in 0..queue_count {
+            let len = r.get_count(35)?;
+            let mut queue: Vec<Interval> = Vec::with_capacity(len);
+            for _ in 0..len {
+                let start_herror = r.get_f64()?;
+                let idx = r.get_usize()?;
+                let sum = r.get_f64()?;
+                let sqsum = r.get_f64()?;
+                let herror = r.get_f64()?;
+                let chain = chain_of(r.get_varint()?)?;
+                if start_herror < 0.0 || herror < 0.0 {
+                    return Err(corrupt("negative DP error"));
+                }
+                if let Some(last) = queue.last() {
+                    if idx <= last.end.idx {
+                        return Err(corrupt("queue endpoints must strictly increase"));
+                    }
+                }
+                queue.push(Interval {
+                    start_herror,
+                    end: Endpoint {
+                        idx,
+                        sum,
+                        sqsum,
+                        herror,
+                        chain,
+                    },
+                });
+            }
+            queues.push(queue);
+        }
+        let top = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let h = r.get_f64()?;
+                if h < 0.0 {
+                    return Err(corrupt("negative DP error"));
+                }
+                Some((h, chain_of(r.get_varint()?)?))
+            }
+            _ => return Err(corrupt("invalid top-presence byte")),
+        };
+        let last_live = arena.len();
+        Ok(Self {
+            b,
+            delta,
+            arena,
+            queues,
+            top,
+            evals,
+            searches,
+            last_live,
+        })
     }
 
     /// `CreateList[0, m−1, k]` (paper Fig. 5), iteratively: cover `[0, m)`

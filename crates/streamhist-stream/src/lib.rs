@@ -39,6 +39,10 @@
 //! backpressure ([`ShardedOptions`], [`OverloadPolicy`]), a
 //! `Result`-returning API over dead shards ([`ShardError`]) with
 //! per-shard respawn, and lock-free per-shard counters ([`ShardMetrics`]).
+//! Every summary implements the versioned, checksummed
+//! [`Checkpoint`](streamhist_core::Checkpoint) frame format; the sharded
+//! layer auto-checkpoints each shard and restores from the last checkpoint
+//! on respawn, reporting the loss window in a [`RecoveryReport`].
 //! Malformed input is rejected, not fatal: every summary implements the
 //! [`StreamSummary`](streamhist_core::StreamSummary) trait with a fallible
 //! `try_push` returning
@@ -74,10 +78,10 @@ pub use baseline::{NaiveSlidingWindow, NaiveSlidingWindowBuilder};
 pub use fixed_window::{BuildStats, FixedWindowBuilder, FixedWindowHistogram};
 pub use kernel::KernelStats;
 pub use sharded::{
-    OverloadPolicy, ShardError, ShardMetrics, ShardedFixedWindow, ShardedFixedWindowBuilder,
-    ShardedOptions,
+    OverloadPolicy, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow,
+    ShardedFixedWindowBuilder, ShardedOptions,
 };
-pub use streamhist_core::{BatchOutcome, StreamSummary};
+pub use streamhist_core::{BatchOutcome, Checkpoint, StreamSummary};
 pub use time_window::{TimeWindowBuilder, TimeWindowHistogram};
 
 // The `Send + 'static` contract of the streaming summaries, checked at

@@ -24,7 +24,18 @@
 //!   instead of panicking, so one dead shard is detectable and reportable
 //!   while the rest of the fleet keeps serving, and
 //!   [`respawn_shard`](ShardedFixedWindow::respawn_shard) restores service
-//!   on the dead index with a fresh (empty) summary.
+//!   on the dead index from its last checkpoint.
+//! * **Durability.** Every worker auto-checkpoints its summary every
+//!   [`ShardedOptions::checkpoint_interval`] accepted records — a
+//!   versioned, CRC-checksummed [`Checkpoint`] frame kept in memory.
+//!   [`respawn_shard`](ShardedFixedWindow::respawn_shard) seeds the
+//!   replacement worker from a live worker's drained summary (lossless
+//!   handoff) or, after a death, from the last checkpoint, and reports
+//!   exactly how many accepted records were lost since that checkpoint was
+//!   taken ([`RecoveryReport`]).
+//!   [`checkpoint_all`](ShardedFixedWindow::checkpoint_all) /
+//!   [`restore_all`](ShardedFixedWindow::restore_all) save and load the
+//!   whole fleet through any [`Write`]/[`Read`] sink.
 //! * **Backpressure.** Each shard's command queue is a *bounded*
 //!   `sync_channel` ([`ShardedOptions::queue_capacity`] commands deep).
 //!   When a shard falls behind, the configured [`OverloadPolicy`] decides:
@@ -45,11 +56,20 @@
 use crate::fixed_window::FixedWindowHistogram;
 use crate::kernel::KernelStats;
 use std::fmt;
+use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use streamhist_core::{Histogram, StreamhistError};
+use streamhist_core::{Checkpoint, Histogram, StreamhistError};
+
+/// Leading byte of a fleet save produced by
+/// [`ShardedFixedWindow::checkpoint_all`] (`'S'` for *sharded*; per-shard
+/// frames inside carry their own magic and CRC).
+const FLEET_MAGIC: u8 = 0x53;
+
+/// Fleet frame format version written by `checkpoint_all`.
+const FLEET_VERSION: u8 = 1;
 
 /// A shard's worker thread is gone: it panicked (only possible through a
 /// bug or injected fault — malformed values are rejected, not fatal) and
@@ -92,6 +112,12 @@ pub struct ShardedOptions {
     pub queue_capacity: usize,
     /// What to do when the queue is full.
     pub policy: OverloadPolicy,
+    /// A worker takes an automatic in-memory checkpoint of its summary
+    /// after every this many accepted records. Must be positive; the
+    /// default is 1024. Smaller values tighten the worst-case loss window
+    /// of [`ShardedFixedWindow::respawn_shard`] at the cost of more encode
+    /// work per record.
+    pub checkpoint_interval: usize,
 }
 
 impl Default for ShardedOptions {
@@ -99,8 +125,27 @@ impl Default for ShardedOptions {
         Self {
             queue_capacity: 1024,
             policy: OverloadPolicy::Block,
+            checkpoint_interval: 1024,
         }
     }
+}
+
+/// What [`ShardedFixedWindow::respawn_shard`] recovered.
+///
+/// The conservation identity the recovery protocol guarantees (and
+/// `tests/recovery.rs` fuzzes): at any quiescent point, a shard's
+/// `pushes_accepted` metric equals the current summary's `total_pushed()`
+/// plus the sum of every `lost_since_checkpoint` it has ever reported.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `total_pushed()` of the summary the replacement worker starts from:
+    /// the drained summary of a live worker, or the decoded checkpoint of
+    /// a dead one (0 if no usable checkpoint existed).
+    pub restored_len: u64,
+    /// Accepted records that died with the worker: everything accepted
+    /// after the restored checkpoint was taken. Always 0 when the old
+    /// worker was still alive (lossless handoff).
+    pub lost_since_checkpoint: u64,
 }
 
 /// Point-in-time copy of one shard's counters. Counters are cumulative for
@@ -120,6 +165,16 @@ pub struct ShardMetrics {
     pub snapshots_served: u64,
     /// Times this shard index has been respawned.
     pub respawns: u64,
+    /// Checkpoints taken for this shard index (automatic interval
+    /// checkpoints plus explicit [`ShardedFixedWindow::checkpoint_all`]
+    /// requests).
+    pub checkpoints_taken: u64,
+    /// Cumulative encoded size of every checkpoint frame taken, in bytes.
+    pub checkpoint_bytes: u64,
+    /// Times this shard index has been restored from a checkpoint frame
+    /// (dead-worker respawns and [`ShardedFixedWindow::restore_all`] loads;
+    /// lossless live handoffs do not count).
+    pub restores: u64,
     /// Commands currently enqueued (or in flight) to the worker.
     pub queue_depth: usize,
 }
@@ -135,6 +190,9 @@ struct MetricsInner {
     records_dropped: AtomicU64,
     snapshots_served: AtomicU64,
     respawns: AtomicU64,
+    checkpoints_taken: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    restores: AtomicU64,
     queue_depth: AtomicUsize,
 }
 
@@ -146,15 +204,53 @@ impl MetricsInner {
             records_dropped: self.records_dropped.load(Ordering::Relaxed),
             snapshots_served: self.snapshots_served.load(Ordering::Relaxed),
             respawns: self.respawns.load(Ordering::Relaxed),
+            checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
         }
     }
+}
+
+/// The last checkpoint taken for one shard index: the encoded frame plus
+/// the value of the shard's `pushes_accepted` counter at the instant it
+/// was taken (the anchor for `lost_since_checkpoint` accounting). The slot
+/// outlives individual workers — it is what a dead shard restores from.
+struct CheckpointSlot {
+    frame: Vec<u8>,
+    accepted_at: u64,
+}
+
+/// Encodes the worker's current summary into the shared slot, maintaining
+/// the checkpoint metrics, and returns the frame (for callers that also
+/// ship it somewhere). Runs on the worker thread, so `pushes_accepted` is
+/// exact: the worker is its only writer.
+fn checkpoint_now(
+    fw: &FixedWindowHistogram,
+    metrics: &MetricsInner,
+    slot: &Mutex<CheckpointSlot>,
+) -> Vec<u8> {
+    let frame = fw.encode_checkpoint();
+    metrics.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+    metrics
+        .checkpoint_bytes
+        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    let accepted_at = metrics.pushes_accepted.load(Ordering::Relaxed);
+    *slot.lock().unwrap_or_else(PoisonError::into_inner) = CheckpointSlot {
+        frame: frame.clone(),
+        accepted_at,
+    };
+    frame
 }
 
 enum Cmd {
     Push(f64),
     PushBatch(Vec<f64>),
     Snapshot(Sender<(Arc<Histogram>, KernelStats)>),
+    /// Take a checkpoint right now (after everything queued before it) and
+    /// reply with the encoded frame — the building block of
+    /// [`ShardedFixedWindow::checkpoint_all`].
+    Checkpoint(Sender<Vec<u8>>),
     /// Fault injection: the worker panics on receipt (see
     /// [`ShardedFixedWindow::inject_worker_panic`]).
     InjectPanic,
@@ -162,8 +258,11 @@ enum Cmd {
 
 struct Shard {
     sender: SyncSender<Cmd>,
-    handle: JoinHandle<FixedWindowHistogram>,
+    /// `None` only transiently inside `retire_worker`; every public entry
+    /// point sees `Some`.
+    handle: Option<JoinHandle<FixedWindowHistogram>>,
     metrics: Arc<MetricsInner>,
+    checkpoint: Arc<Mutex<CheckpointSlot>>,
 }
 
 /// `K` independent [`FixedWindowHistogram`]s, each owned by a dedicated
@@ -269,22 +368,27 @@ impl ShardedFixedWindow {
         }
     }
 
-    /// Spawns one worker owning a fresh summary. The summary is built on
-    /// the caller's thread so parameter panics surface here, not inside a
-    /// silently-dead worker.
+    /// Spawns one worker owning `fw` (a fresh, drained, or
+    /// checkpoint-restored summary — the caller decides). The worker
+    /// auto-checkpoints into `slot` every
+    /// [`ShardedOptions::checkpoint_interval`] accepted records.
     fn spawn_worker(
         &self,
+        mut fw: FixedWindowHistogram,
         metrics: Arc<MetricsInner>,
+        slot: Arc<Mutex<CheckpointSlot>>,
     ) -> (SyncSender<Cmd>, JoinHandle<FixedWindowHistogram>) {
-        let mut fw = FixedWindowHistogram::new(self.capacity, self.b, self.eps);
+        let interval = self.options.checkpoint_interval;
         let (tx, rx) = sync_channel::<Cmd>(self.options.queue_capacity);
         let handle = std::thread::spawn(move || {
+            let mut since_checkpoint = 0usize;
             while let Ok(cmd) = rx.recv() {
                 metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 match cmd {
                     Cmd::Push(v) => match fw.try_push(v) {
                         Ok(()) => {
                             metrics.pushes_accepted.fetch_add(1, Ordering::Relaxed);
+                            since_checkpoint += 1;
                         }
                         Err(_) => {
                             metrics.values_rejected.fetch_add(1, Ordering::Relaxed);
@@ -299,6 +403,7 @@ impl ShardedFixedWindow {
                             metrics
                                 .pushes_accepted
                                 .fetch_add(out.accepted as u64, Ordering::Relaxed);
+                            since_checkpoint += out.accepted;
                         }
                         if out.rejected > 0 {
                             metrics
@@ -312,13 +417,27 @@ impl ShardedFixedWindow {
                         // requester stopped waiting.
                         let _ = reply.send(fw.histogram_with_stats());
                     }
+                    Cmd::Checkpoint(reply) => {
+                        let frame = checkpoint_now(&fw, &metrics, &slot);
+                        since_checkpoint = 0;
+                        let _ = reply.send(frame);
+                    }
                     Cmd::InjectPanic => panic!("injected shard worker panic (fault injection)"),
+                }
+                if since_checkpoint >= interval {
+                    let _ = checkpoint_now(&fw, &metrics, &slot);
+                    since_checkpoint = 0;
                 }
             }
             // Channel closed: hand the summary back to `join`/`respawn`.
             fw
         });
         (tx, handle)
+    }
+
+    /// A fresh, empty per-shard summary with this fleet's configuration.
+    fn fresh_summary(&self) -> FixedWindowHistogram {
+        FixedWindowHistogram::new(self.capacity, self.b, self.eps)
     }
 
     /// Number of shards.
@@ -429,10 +548,14 @@ impl ShardedFixedWindow {
     ///
     /// # Errors
     ///
-    /// Returns the first [`ShardError`] hit; chunks already dispatched to
-    /// healthy shards stay dispatched (the slab is a transport unit, not a
-    /// transaction — mirroring [`BatchOutcome`](streamhist_core::BatchOutcome)
-    /// semantics at the shard level).
+    /// Returns the first [`ShardError`] hit. **Every** chunk addressed to a
+    /// healthy shard is still dispatched — a dead shard in the rotation no
+    /// longer silently starves the chunks that would have followed it — so
+    /// the error means exactly "the chunks for the named shard (and any
+    /// other dead shard) were lost", never "dispatch stopped midway" (the
+    /// slab is a transport unit, not a transaction — mirroring
+    /// [`BatchOutcome`](streamhist_core::BatchOutcome) semantics at the
+    /// shard level).
     pub fn push_batch_scatter(&self, values: &[f64]) -> Result<(), ShardError> {
         if values.is_empty() {
             return Ok(());
@@ -440,10 +563,13 @@ impl ShardedFixedWindow {
         let k = self.shards.len();
         let start = self.scatter_cursor.fetch_add(1, Ordering::Relaxed);
         let chunk = values.len().div_ceil(k);
+        let mut first_err = None;
         for (i, slab) in values.chunks(chunk).enumerate() {
-            self.push_batch((start + i) % k, slab.to_vec())?;
+            if let Err(e) = self.push_batch((start + i) % k, slab.to_vec()) {
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        first_err.map_or(Ok(()), Err)
     }
 
     /// Materializes shard `shard`'s current histogram (with kernel stats),
@@ -517,17 +643,56 @@ impl ShardedFixedWindow {
         Ok(())
     }
 
-    /// Replaces shard `shard`'s worker with a fresh one owning an *empty*
-    /// summary, restoring service on that index after a worker death — the
-    /// fleet degrades gracefully instead of cascading panics.
+    /// Closes shard `shard`'s channel and joins its worker: `Some(summary)`
+    /// if the worker was alive (it drains every queued command first),
+    /// `None` if it had died (stranded commands are discarded). Leaves the
+    /// shard without a worker — callers must follow with `install_worker`.
+    fn retire_worker(&mut self, shard: usize) -> Option<FixedWindowHistogram> {
+        // A dummy disconnected sender stands in so the real one can be
+        // dropped (closing the queue) before the join. Nothing can race the
+        // stand-in: `&mut self` is exclusive.
+        let (dummy_tx, _) = sync_channel::<Cmd>(1);
+        drop(std::mem::replace(&mut self.shards[shard].sender, dummy_tx));
+        let handle = self.shards[shard]
+            .handle
+            .take()
+            .expect("retire_worker called twice without install_worker");
+        handle.join().ok()
+    }
+
+    /// Spawns a replacement worker on shard `shard` seeded with `seed`,
+    /// refreshing the checkpoint slot to `frame` (the encoding of `seed`)
+    /// so per-epoch loss accounting restarts from the seed state, and
+    /// resetting the queue-depth gauge for the new (empty) queue.
+    fn install_worker(&mut self, shard: usize, seed: FixedWindowHistogram, frame: Vec<u8>) {
+        let metrics = Arc::clone(&self.shards[shard].metrics);
+        let slot = Arc::clone(&self.shards[shard].checkpoint);
+        let accepted = metrics.pushes_accepted.load(Ordering::Relaxed);
+        *slot.lock().unwrap_or_else(PoisonError::into_inner) = CheckpointSlot {
+            frame,
+            accepted_at: accepted,
+        };
+        let (sender, handle) = self.spawn_worker(seed, Arc::clone(&metrics), slot);
+        self.shards[shard].sender = sender;
+        self.shards[shard].handle = Some(handle);
+        metrics.queue_depth.store(0, Ordering::Relaxed);
+    }
+
+    /// Replaces shard `shard`'s worker, restoring service on that index
+    /// after a worker death — the fleet degrades gracefully instead of
+    /// cascading panics.
     ///
-    /// The old worker's channel is closed first: if it is still alive it
-    /// drains every queued command and its final summary is returned
-    /// (`Some`), so respawning a healthy shard loses nothing but the
-    /// summary's continuity; if it had died, `None` is returned and any
-    /// commands stranded in its queue are discarded. Cumulative metrics
-    /// survive; `queue_depth` is reset for the new (empty) queue and
-    /// `respawns` increments.
+    /// The old worker's channel is closed first. If it is still alive it
+    /// drains every queued command and the replacement worker is seeded
+    /// with its final summary — a **lossless handoff**
+    /// (`lost_since_checkpoint == 0`). If it had died, the replacement is
+    /// seeded from the shard's last in-memory checkpoint, and the report
+    /// says exactly how many accepted records died with the worker
+    /// (everything accepted after that checkpoint was taken); with no
+    /// usable checkpoint the shard restarts empty and the whole epoch is
+    /// reported lost. Cumulative metrics survive; `queue_depth` is reset
+    /// for the new (empty) queue, `respawns` increments, and `restores`
+    /// increments when a checkpoint frame was decoded.
     ///
     /// Takes `&mut self`, so producers (which hold `&self`) can never race
     /// a respawn — wrap the whole value in an `RwLock` to respawn while
@@ -536,25 +701,155 @@ impl ShardedFixedWindow {
     /// # Panics
     ///
     /// Panics if `shard` is out of range.
-    pub fn respawn_shard(&mut self, shard: usize) -> Option<FixedWindowHistogram> {
+    pub fn respawn_shard(&mut self, shard: usize) -> RecoveryReport {
         let metrics = Arc::clone(&self.shards[shard].metrics);
-        let (sender, handle) = self.spawn_worker(Arc::clone(&metrics));
-        let old = std::mem::replace(
-            &mut self.shards[shard],
-            Shard {
-                sender,
-                handle,
-                metrics: Arc::clone(&metrics),
-            },
-        );
-        drop(old.sender); // close the old channel so a live worker exits
-        let recovered = old.handle.join().ok();
-        // The old queue is gone (drained or discarded); the gauge restarts
-        // for the new worker's queue. No producer can race this store:
-        // `&mut self` is exclusive.
-        metrics.queue_depth.store(0, Ordering::Relaxed);
+        let (seed, report) = match self.retire_worker(shard) {
+            Some(fw) => {
+                let report = RecoveryReport {
+                    restored_len: fw.total_pushed(),
+                    lost_since_checkpoint: 0,
+                };
+                (fw, report)
+            }
+            None => {
+                // Read the counter only after the join above: a dying
+                // worker can still accept queued records (and even take an
+                // auto-checkpoint) right up to its death, so any earlier
+                // read would undercount the loss. Post-join both the
+                // counter and the slot are frozen.
+                let accepted = metrics.pushes_accepted.load(Ordering::Relaxed);
+                let slot = Arc::clone(&self.shards[shard].checkpoint);
+                let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                let accepted_at = guard.accepted_at;
+                let decoded = FixedWindowHistogram::restore(&guard.frame);
+                drop(guard);
+                let lost_since_checkpoint = accepted.saturating_sub(accepted_at);
+                match decoded {
+                    Ok(fw) => {
+                        metrics.restores.fetch_add(1, Ordering::Relaxed);
+                        let report = RecoveryReport {
+                            restored_len: fw.total_pushed(),
+                            lost_since_checkpoint,
+                        };
+                        (fw, report)
+                    }
+                    // Unreachable through this module's own frames, but a
+                    // corrupt slot must degrade to an empty shard, not a
+                    // panic.
+                    Err(_) => {
+                        let report = RecoveryReport {
+                            restored_len: 0,
+                            lost_since_checkpoint,
+                        };
+                        (self.fresh_summary(), report)
+                    }
+                }
+            }
+        };
+        let frame = seed.encode_checkpoint();
+        self.install_worker(shard, seed, frame);
         metrics.respawns.fetch_add(1, Ordering::Relaxed);
-        recovered
+        report
+    }
+
+    /// Saves the whole fleet to `sink`: a checkpoint of every shard's
+    /// current summary, each taken after everything previously enqueued to
+    /// that shard has been absorbed (the checkpoint request is a per-shard
+    /// barrier, like [`snapshot`](Self::snapshot)). The format is a small
+    /// fleet header (magic, version, shard count) followed by one
+    /// length-prefixed, self-checksummed [`Checkpoint`] frame per shard,
+    /// in shard order. Taking the checkpoints also refreshes each shard's
+    /// in-memory recovery slot. Returns the number of bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from `sink`, or an [`io::Error`] wrapping
+    /// [`ShardError`] if a worker has died (save the healthy shards by
+    /// respawning the dead one first).
+    pub fn checkpoint_all<W: Write>(&self, sink: &mut W) -> io::Result<u64> {
+        let mut frames = Vec::with_capacity(self.shards.len());
+        for (shard, s) in self.shards.iter().enumerate() {
+            let (reply_tx, reply_rx) = channel();
+            s.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+            if s.sender.send(Cmd::Checkpoint(reply_tx)).is_err() {
+                s.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                return Err(io::Error::other(ShardError { shard }));
+            }
+            let frame = reply_rx
+                .recv()
+                .map_err(|_| io::Error::other(ShardError { shard }))?;
+            frames.push(frame);
+        }
+        let mut written = 0u64;
+        sink.write_all(&[FLEET_MAGIC, FLEET_VERSION])?;
+        written += 2;
+        let count =
+            u32::try_from(frames.len()).map_err(|_| io::Error::other("shard count exceeds u32"))?;
+        sink.write_all(&count.to_le_bytes())?;
+        written += 4;
+        for frame in &frames {
+            sink.write_all(&(frame.len() as u64).to_le_bytes())?;
+            sink.write_all(frame)?;
+            written += 8 + frame.len() as u64;
+        }
+        sink.flush()?;
+        Ok(written)
+    }
+
+    /// Loads a fleet save produced by [`checkpoint_all`](Self::checkpoint_all),
+    /// replacing every shard's worker with one seeded from its saved
+    /// summary. The load is all-or-nothing: every frame is validated
+    /// (header, per-frame CRC, full structural decode) before any worker
+    /// is replaced, so a corrupt save leaves the fleet untouched. The
+    /// shard count must match this fleet's. Each shard's `restores`
+    /// counter increments; other cumulative metrics are kept.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from `source`, or [`io::ErrorKind::InvalidData`]
+    /// wrapping the [`StreamhistError`] if a frame fails validation or the
+    /// header/shard count does not match.
+    pub fn restore_all<R: Read>(&mut self, source: &mut R) -> io::Result<()> {
+        let invalid = |reason: &str| io::Error::new(io::ErrorKind::InvalidData, reason.to_owned());
+        let mut header = [0u8; 2];
+        source.read_exact(&mut header)?;
+        if header[0] != FLEET_MAGIC {
+            return Err(invalid("fleet frame magic mismatch"));
+        }
+        if header[1] != FLEET_VERSION {
+            return Err(invalid("unsupported fleet frame version"));
+        }
+        let mut count_bytes = [0u8; 4];
+        source.read_exact(&mut count_bytes)?;
+        let count = u32::from_le_bytes(count_bytes) as usize;
+        if count != self.shards.len() {
+            return Err(invalid("fleet shard count does not match this fleet"));
+        }
+        let mut restored = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut len_bytes = [0u8; 8];
+            source.read_exact(&mut len_bytes)?;
+            let len = u64::from_le_bytes(len_bytes);
+            let mut frame = Vec::new();
+            // `take` bounds the read so a corrupt length cannot overread;
+            // a length past EOF surfaces as a short frame below.
+            source.take(len).read_to_end(&mut frame)?;
+            if frame.len() as u64 != len {
+                return Err(invalid("truncated shard frame in fleet save"));
+            }
+            let fw = FixedWindowHistogram::restore(&frame)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            restored.push((frame, fw));
+        }
+        for (shard, (frame, fw)) in restored.into_iter().enumerate() {
+            let _ = self.retire_worker(shard);
+            self.install_worker(shard, fw, frame);
+            self.shards[shard]
+                .metrics
+                .restores
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Shuts the workers down and returns the shard summaries, in shard
@@ -568,7 +863,9 @@ impl ShardedFixedWindow {
             .enumerate()
             .map(|(shard, s)| {
                 drop(s.sender);
-                s.handle.join().map_err(|_| ShardError { shard })
+                s.handle
+                    .ok_or(ShardError { shard })
+                    .and_then(|h| h.join().map_err(|_| ShardError { shard }))
             })
             .collect()
     }
@@ -601,6 +898,14 @@ impl ShardedFixedWindowBuilder {
         self
     }
 
+    /// Overrides the auto-checkpoint interval: a shard checkpoints itself
+    /// after every `checkpoint_interval` accepted records (default 1024).
+    #[must_use]
+    pub fn checkpoint_interval(mut self, checkpoint_interval: usize) -> Self {
+        self.options.checkpoint_interval = checkpoint_interval;
+        self
+    }
+
     /// Replaces the options wholesale (legacy [`ShardedOptions`] surface).
     #[must_use]
     pub fn options(mut self, options: ShardedOptions) -> Self {
@@ -628,6 +933,12 @@ impl ShardedFixedWindowBuilder {
                 message: "queue capacity must be positive",
             });
         }
+        if self.options.checkpoint_interval == 0 {
+            return Err(StreamhistError::InvalidParameter {
+                param: "checkpoint_interval",
+                message: "checkpoint interval must be positive",
+            });
+        }
         // Validate the per-shard summary parameters on the caller's thread
         // so bad configs fail here, not inside a silently-dead worker.
         drop(FixedWindowHistogram::builder(self.capacity, self.b, self.eps).build()?);
@@ -641,11 +952,17 @@ impl ShardedFixedWindowBuilder {
         };
         for _ in 0..self.shards {
             let metrics = Arc::new(MetricsInner::default());
-            let (sender, handle) = this.spawn_worker(Arc::clone(&metrics));
+            let fw = this.fresh_summary();
+            let slot = Arc::new(Mutex::new(CheckpointSlot {
+                frame: fw.encode_checkpoint(),
+                accepted_at: 0,
+            }));
+            let (sender, handle) = this.spawn_worker(fw, Arc::clone(&metrics), Arc::clone(&slot));
             this.shards.push(Shard {
                 sender,
-                handle,
+                handle: Some(handle),
                 metrics,
+                checkpoint: slot,
             });
         }
         Ok(this)
@@ -768,14 +1085,23 @@ mod tests {
         // ...while the other shard keeps serving.
         sharded.push_to(0, 7.0).expect("other shard unaffected");
         assert!(sharded.snapshot(0).is_ok());
-        // Respawn: the panicked worker's summary is unrecoverable (None),
-        // the index serves again from empty, counters survive.
-        assert!(sharded.respawn_shard(1).is_none());
+        // Respawn: the panicked worker restores from its last checkpoint
+        // (the empty boot checkpoint here — the one accepted push came
+        // after it and is reported lost), the index serves again, counters
+        // survive.
+        assert_eq!(
+            sharded.respawn_shard(1),
+            RecoveryReport {
+                restored_len: 0,
+                lost_since_checkpoint: 1,
+            }
+        );
         sharded.push_to(1, 8.0).expect("respawned shard serves");
         let (h, _) = sharded.snapshot(1).expect("respawned shard serves");
         assert_eq!(h.domain_len(), 1);
         let m = sharded.metrics(1);
         assert_eq!(m.respawns, 1);
+        assert_eq!(m.restores, 1, "the boot checkpoint was decoded");
         assert_eq!(m.pushes_accepted, 2, "pre-death push + post-respawn push");
         assert_eq!(m.queue_depth, 0);
         let results = sharded.join();
@@ -783,16 +1109,25 @@ mod tests {
     }
 
     #[test]
-    fn respawning_a_live_shard_returns_its_summary() {
+    fn respawning_a_live_shard_is_a_lossless_handoff() {
         let mut sharded = ShardedFixedWindow::new(1, 8, 2, 0.5);
         sharded.push_batch(0, vec![1.0, 2.0, 3.0]).expect("alive");
-        let old = sharded
-            .respawn_shard(0)
-            .expect("live worker drains and hands back its summary");
-        assert_eq!(old.window(), vec![1.0, 2.0, 3.0]);
-        assert_eq!(sharded.metrics(0).respawns, 1);
+        let report = sharded.respawn_shard(0);
+        assert_eq!(
+            report,
+            RecoveryReport {
+                restored_len: 3,
+                lost_since_checkpoint: 0,
+            },
+            "a live worker drains its queue and hands its summary over"
+        );
+        let m = sharded.metrics(0);
+        assert_eq!(m.respawns, 1);
+        assert_eq!(m.restores, 0, "a lossless handoff is not a restore");
+        sharded.push_to(0, 4.0).expect("respawned shard serves");
         let fresh = joined_ok(sharded);
-        assert_eq!(fresh[0].total_pushed(), 0, "respawned summary is empty");
+        assert_eq!(fresh[0].window(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(fresh[0].total_pushed(), 4, "nothing was lost");
     }
 
     #[test]
@@ -809,6 +1144,7 @@ mod tests {
             ShardedOptions {
                 queue_capacity: 1,
                 policy: OverloadPolicy::DropNewest,
+                ..ShardedOptions::default()
             },
         );
         let mut sent = 0u64;
@@ -937,7 +1273,171 @@ mod tests {
             ShardedOptions {
                 queue_capacity: 0,
                 policy: OverloadPolicy::Block,
+                ..ShardedOptions::default()
             },
         );
+    }
+
+    #[test]
+    fn scatter_to_a_fleet_with_a_dead_shard_surfaces_the_error_exactly() {
+        // Regression: `push_batch_scatter` used to abort mid-loop on the
+        // first dead shard, silently skipping the healthy shards after it.
+        // Now every chunk is dispatched and the error still surfaces.
+        let mut sharded = ShardedFixedWindow::new(3, 64, 4, 0.1);
+        sharded.inject_worker_panic(1).expect("delivered");
+        // Observe the death so the send path fails deterministically.
+        assert_eq!(sharded.snapshot(1), Err(ShardError { shard: 1 }));
+        let slab: Vec<f64> = (0..30).map(f64::from).collect();
+        assert_eq!(
+            sharded.push_batch_scatter(&slab),
+            Err(ShardError { shard: 1 }),
+            "the dead shard's chunk is reported, not swallowed"
+        );
+        let _ = sharded.snapshot(0).expect("barrier on shard 0");
+        let _ = sharded.snapshot(2).expect("barrier on shard 2");
+        let m = sharded.metrics_all();
+        // The 30-value slab splits into 10-value contiguous chunks; the
+        // healthy shards must have received theirs despite the error.
+        assert_eq!(m[0].pushes_accepted, 10, "healthy shard 0 got its chunk");
+        assert_eq!(m[1].pushes_accepted, 0, "dead shard absorbed nothing");
+        assert_eq!(m[2].pushes_accepted, 10, "healthy shard 2 got its chunk");
+        // After a respawn the same slab spreads with no error.
+        let _ = sharded.respawn_shard(1);
+        sharded
+            .push_batch_scatter(&slab)
+            .expect("fleet healthy again");
+        let _ = sharded.snapshot_all();
+        let total: u64 = sharded
+            .metrics_all()
+            .iter()
+            .map(|m| m.pushes_accepted)
+            .sum();
+        assert_eq!(total, 50, "20 from the failed scatter + 30 after respawn");
+        let _ = sharded.join();
+    }
+
+    #[test]
+    fn metrics_survive_respawn_and_count_checkpoints() {
+        let mut sharded = ShardedFixedWindow::builder(1, 8, 2, 0.5)
+            .checkpoint_interval(2)
+            .build()
+            .expect("valid parameters");
+        sharded.push_batch(0, vec![1.0, 2.0, 3.0]).expect("alive");
+        sharded.push_to(0, f64::NAN).expect("rejected, not fatal");
+        let _ = sharded.snapshot(0).expect("barrier");
+        let before = sharded.metrics(0);
+        assert_eq!(before.pushes_accepted, 3);
+        assert_eq!(before.values_rejected, 1);
+        assert_eq!(before.snapshots_served, 1);
+        assert!(
+            before.checkpoints_taken >= 1,
+            "3 accepted records with interval 2 auto-checkpoint at least once"
+        );
+        assert!(before.checkpoint_bytes > 0);
+        let _ = sharded.respawn_shard(0);
+        let after = sharded.metrics(0);
+        // Cumulative counters carry across the respawn; only the gauge
+        // resets with the new queue.
+        assert_eq!(after.pushes_accepted, before.pushes_accepted);
+        assert_eq!(after.values_rejected, before.values_rejected);
+        assert_eq!(after.snapshots_served, before.snapshots_served);
+        assert_eq!(after.checkpoints_taken, before.checkpoints_taken);
+        assert_eq!(after.checkpoint_bytes, before.checkpoint_bytes);
+        assert_eq!(after.respawns, before.respawns + 1);
+        assert_eq!(after.queue_depth, 0);
+        let _ = sharded.join();
+    }
+
+    #[test]
+    fn auto_checkpoint_bounds_loss_after_a_crash() {
+        let mut sharded = ShardedFixedWindow::builder(1, 64, 4, 0.1)
+            .checkpoint_interval(10)
+            .build()
+            .expect("valid parameters");
+        // Individual pushes, so the interval is honoured per record (a
+        // batch is one command and checkpoints at the batch boundary).
+        for i in 0..25 {
+            sharded.push_to(0, f64::from(i % 7)).expect("alive");
+        }
+        let _ = sharded.snapshot(0).expect("barrier");
+        sharded.inject_worker_panic(0).expect("delivered");
+        assert_eq!(sharded.snapshot(0), Err(ShardError { shard: 0 }));
+        let report = sharded.respawn_shard(0);
+        // 25 accepted with interval 10: the last auto-checkpoint covered
+        // 20 records, so exactly 5 died with the worker.
+        assert_eq!(
+            report,
+            RecoveryReport {
+                restored_len: 20,
+                lost_since_checkpoint: 5,
+            }
+        );
+        let m = sharded.metrics(0);
+        assert_eq!(m.restores, 1);
+        assert_eq!(
+            m.pushes_accepted,
+            report.restored_len + report.lost_since_checkpoint,
+            "conservation: accepted == restored + lost at quiescence"
+        );
+        let fresh = joined_ok(sharded);
+        assert_eq!(fresh[0].total_pushed(), 20);
+        assert_eq!(
+            fresh[0].window(),
+            (0..20).map(|i| f64::from(i % 7)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fleet_save_and_load_round_trips_every_shard() {
+        let mut sharded = ShardedFixedWindow::new(3, 16, 2, 0.5);
+        for (s, n) in [(0usize, 5u64), (1, 7), (2, 3)] {
+            let stream: Vec<f64> = (0..n).map(|i| (i % 4) as f64).collect();
+            sharded.push_batch(s, stream).expect("alive");
+        }
+        let mut save = Vec::new();
+        let written = sharded.checkpoint_all(&mut save).expect("fleet healthy");
+        assert_eq!(written, save.len() as u64);
+        let snaps_before = sharded.snapshot_all();
+        // Diverge, then load the save back: the divergence is erased.
+        sharded.push_batch(0, vec![9.0, 9.0]).expect("alive");
+        sharded
+            .restore_all(&mut save.as_slice())
+            .expect("valid save");
+        let snaps_after = sharded.snapshot_all();
+        assert_eq!(snaps_before, snaps_after, "load rewinds to the save");
+        for m in sharded.metrics_all() {
+            assert_eq!(m.restores, 1);
+            assert!(m.checkpoints_taken >= 1, "checkpoint_all counts");
+        }
+        // Corrupt saves are rejected wholesale without touching workers.
+        let mut flipped = save.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(sharded.restore_all(&mut flipped.as_slice()).is_err());
+        assert!(
+            sharded
+                .restore_all(&mut save[..save.len() - 3].as_ref())
+                .is_err(),
+            "truncated fleet save rejected"
+        );
+        let snaps_final = sharded.snapshot_all();
+        assert_eq!(snaps_final, snaps_after, "failed loads change nothing");
+        // A save from a differently-sized fleet is rejected up front.
+        let other = ShardedFixedWindow::new(2, 16, 2, 0.5);
+        let mut other_save = Vec::new();
+        other.checkpoint_all(&mut other_save).expect("healthy");
+        let _ = other.join();
+        assert!(sharded.restore_all(&mut other_save.as_slice()).is_err());
+        let _ = sharded.join();
+    }
+
+    #[test]
+    fn checkpoint_all_on_a_dead_shard_is_an_error() {
+        let sharded = ShardedFixedWindow::new(2, 8, 2, 0.5);
+        sharded.inject_worker_panic(1).expect("delivered");
+        assert_eq!(sharded.snapshot(1), Err(ShardError { shard: 1 }));
+        let mut sink = Vec::new();
+        assert!(sharded.checkpoint_all(&mut sink).is_err());
+        let _ = sharded.join();
     }
 }

@@ -15,6 +15,7 @@
 use crate::kernel::{Kernel, KernelStats, SnapshotCache};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
 use streamhist_core::{
     BatchOutcome, GrowableWindowSums, Histogram, StreamSummary, StreamhistError,
 };
@@ -341,6 +342,135 @@ impl TimeWindowHistogram {
     pub fn histogram_with_stats(&self) -> (Arc<Histogram>, KernelStats) {
         self.cache.get_or_build(self.generation, || {
             Kernel::build(&self.sums, self.b, self.delta)
+        })
+    }
+}
+
+impl Checkpoint for TimeWindowHistogram {
+    /// Serializes configuration, the clock, the `(timestamp, value)`
+    /// window, and the **complete** rebased prefix state (including the
+    /// rebase phase — rebase timing affects the floating-point rounding of
+    /// later prefix entries). Interval lists rebuild deterministically at
+    /// the next materialization, so a restored summary is bit-identical to
+    /// one that never crashed.
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::TIME_WINDOW);
+        w.put_varint(self.duration);
+        w.put_usize(self.b);
+        w.put_f64(self.eps);
+        w.put_f64(self.delta);
+        match self.now {
+            None => w.put_u8(0),
+            Some(ts) => {
+                w.put_u8(1);
+                w.put_varint(ts);
+            }
+        }
+        w.put_varint(self.generation);
+        w.put_usize(self.sums.rebase_period());
+        let (head, cum) = self.sums.raw_frame();
+        w.put_pair(head);
+        w.put_usize(cum.len());
+        for &p in &cum {
+            w.put_pair(p);
+        }
+        w.put_usize(self.sums.since_rebase());
+        w.put_usize(self.sums.rebases());
+        w.put_usize(self.times.len());
+        for &t in &self.times {
+            w.put_varint(t);
+        }
+        for &v in &self.raw {
+            w.put_f64(v);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        let mut r = FrameReader::open(bytes, tag::TIME_WINDOW)?;
+        let duration = r.get_varint()?;
+        if duration == 0 {
+            return Err(corrupt("window duration must be positive"));
+        }
+        let b = r.get_usize()?;
+        if b == 0 {
+            return Err(corrupt("need at least one bucket"));
+        }
+        let eps = r.get_f64()?;
+        if eps <= 0.0 {
+            return Err(corrupt("eps must be positive"));
+        }
+        let delta = r.get_f64()?;
+        if delta <= 0.0 {
+            return Err(corrupt("delta must be positive"));
+        }
+        let now = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_varint()?),
+            _ => return Err(corrupt("invalid clock-presence byte")),
+        };
+        let generation = r.get_varint()?;
+        let rebase_period = r.get_usize()?;
+        let head = r.get_pair()?;
+        let n = r.get_count(16)?;
+        let mut cum = Vec::with_capacity(n);
+        for _ in 0..n {
+            cum.push(r.get_pair()?);
+        }
+        let since_rebase = r.get_usize()?;
+        let rebases = r.get_usize()?;
+        let len = r.get_count(9)?;
+        if len != n {
+            return Err(corrupt("window and prefix store disagree on length"));
+        }
+        let mut times = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            let t = r.get_varint()?;
+            if times.back().is_some_and(|&prev| t < prev) {
+                return Err(corrupt("timestamps must be non-decreasing"));
+            }
+            times.push_back(t);
+        }
+        match (now, times.back()) {
+            (None, Some(_)) => return Err(corrupt("window holds points but clock is unset")),
+            (Some(ts), Some(&last)) if last > ts => {
+                return Err(corrupt("window holds points newer than the clock"));
+            }
+            (Some(ts), Some(&_)) => {
+                // The eviction invariant: nothing at or before ts − duration
+                // survives a push, so a frame violating it was tampered with.
+                if let Some(cutoff) = ts.checked_sub(duration) {
+                    if times.front().is_some_and(|&t| t <= cutoff) {
+                        return Err(corrupt("window holds points older than the duration"));
+                    }
+                }
+            }
+            _ => {}
+        }
+        let mut raw = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            raw.push_back(r.get_f64()?);
+        }
+        r.finish()?;
+        let sums = GrowableWindowSums::from_checkpoint_state(
+            rebase_period,
+            head,
+            cum,
+            since_rebase,
+            rebases,
+        )?;
+        Ok(Self {
+            duration,
+            b,
+            eps,
+            delta,
+            sums,
+            times,
+            raw,
+            now,
+            generation,
+            cache: SnapshotCache::default(),
         })
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::haar;
 use crate::synopsis::WaveletSynopsis;
+use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
 use streamhist_core::{StreamSummary, StreamhistError};
 
 /// Exact Haar coefficient set over a fixed power-of-two capacity, with
@@ -219,6 +220,44 @@ impl DynamicWavelet {
     #[must_use]
     pub fn synopsis(&self, b: usize) -> WaveletSynopsis {
         self.top_b(self.len, b)
+    }
+}
+
+impl Checkpoint for DynamicWavelet {
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::DYNAMIC_WAVELET);
+        w.put_usize(self.n_padded);
+        w.put_usize(self.len);
+        for &c in &self.coeffs {
+            w.put_f64(c);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        let mut r = FrameReader::open(bytes, tag::DYNAMIC_WAVELET)?;
+        let n_padded = r.get_usize()?;
+        if !n_padded.is_power_of_two() {
+            return Err(corrupt("padded capacity must be a power of two"));
+        }
+        let len = r.get_usize()?;
+        if len > n_padded {
+            return Err(corrupt("length exceeds capacity"));
+        }
+        if r.remaining() != n_padded * 8 {
+            return Err(corrupt("coefficient array does not match capacity"));
+        }
+        let mut coeffs = Vec::with_capacity(n_padded);
+        for _ in 0..n_padded {
+            coeffs.push(r.get_f64()?);
+        }
+        r.finish()?;
+        Ok(Self {
+            n_padded,
+            coeffs,
+            len,
+        })
     }
 }
 

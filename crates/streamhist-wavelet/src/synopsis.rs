@@ -2,6 +2,7 @@
 
 use crate::haar;
 use std::collections::VecDeque;
+use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
 use streamhist_core::{SequenceSummary, StreamSummary, StreamhistError};
 
 /// A sequence synopsis retaining the `B` Haar coefficients with the largest
@@ -269,6 +270,46 @@ impl SlidingWindowWavelet {
     pub fn push_and_build(&mut self, v: f64) -> WaveletSynopsis {
         self.push(v);
         self.synopsis()
+    }
+}
+
+impl Checkpoint for SlidingWindowWavelet {
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::SLIDING_WAVELET);
+        w.put_usize(self.capacity);
+        w.put_usize(self.b);
+        w.put_usize(self.window.len());
+        for &v in &self.window {
+            w.put_f64(v);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let corrupt = |reason| StreamhistError::CorruptCheckpoint { reason };
+        let mut r = FrameReader::open(bytes, tag::SLIDING_WAVELET)?;
+        let capacity = r.get_usize()?;
+        if capacity == 0 {
+            return Err(corrupt("window capacity must be positive"));
+        }
+        let b = r.get_usize()?;
+        if b == 0 {
+            return Err(corrupt("need at least one coefficient"));
+        }
+        let len = r.get_count(8)?;
+        if len > capacity {
+            return Err(corrupt("more buffered points than capacity"));
+        }
+        let mut window = VecDeque::with_capacity(capacity);
+        for _ in 0..len {
+            window.push_back(r.get_f64()?);
+        }
+        r.finish()?;
+        Ok(Self {
+            capacity,
+            b,
+            window,
+        })
     }
 }
 

@@ -5,15 +5,21 @@
 //!
 //! Usage:
 //!   cargo run --release --example stream_cli -- [--window N] [--buckets B]
-//!       [--eps E] [--report-every K] [--demo N]
+//!       [--eps E] [--report-every K] [--demo N] [--checkpoint PATH]
 //!   printf '1\n2\n3\n' | cargo run --release --example stream_cli -- --window 64
 //!
 //! Each report line shows the window mean, the histogram's bucket
 //! boundaries and heights, and the synopsis wire size.
+//!
+//! With `--checkpoint PATH` the monitor is durable across runs: if PATH
+//! exists the window is restored from it at startup (its CRC-checked
+//! frame rejects corruption; the configuration flags are then taken from
+//! the checkpoint, not the command line), and the final state is saved
+//! back to PATH on exit.
 
 use std::io::BufRead;
 use streamhist::data::utilization_trace;
-use streamhist::{codec, FixedWindowHistogram};
+use streamhist::{codec, Checkpoint, FixedWindowHistogram};
 
 #[derive(Debug)]
 struct Args {
@@ -22,6 +28,7 @@ struct Args {
     eps: f64,
     report_every: usize,
     demo: Option<usize>,
+    checkpoint: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         eps: 0.1,
         report_every: 4096,
         demo: None,
+        checkpoint: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -47,9 +55,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("{e}"))?
             }
             "--demo" => args.demo = Some(value("--demo")?.parse().map_err(|e| format!("{e}"))?),
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?.into()),
             "--help" | "-h" => {
                 return Err("usage: stream_cli [--window N] [--buckets B] [--eps E] \
-                            [--report-every K] [--demo N]"
+                            [--report-every K] [--demo N] [--checkpoint PATH]"
                     .into())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -91,7 +100,32 @@ fn main() {
         }
     };
 
-    let mut fw = FixedWindowHistogram::new(args.window, args.buckets, args.eps);
+    let mut fw = match &args.checkpoint {
+        Some(path) if path.exists() => {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read checkpoint {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            match FixedWindowHistogram::restore(&bytes) {
+                Ok(fw) => {
+                    eprintln!(
+                        "restored {} records from {}",
+                        fw.total_pushed(),
+                        path.display()
+                    );
+                    fw
+                }
+                Err(e) => {
+                    eprintln!("corrupt checkpoint {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => FixedWindowHistogram::new(args.window, args.buckets, args.eps),
+    };
     let mut t = 0usize;
 
     if let Some(n) = args.demo {
@@ -130,4 +164,14 @@ fn main() {
     }
     println!("--- final ---");
     report(t, &fw);
+    if let Some(path) = &args.checkpoint {
+        let frame = fw.encode_checkpoint();
+        match std::fs::write(path, &frame) {
+            Ok(()) => eprintln!("checkpointed {}B to {}", frame.len(), path.display()),
+            Err(e) => {
+                eprintln!("cannot write checkpoint {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -58,7 +58,7 @@
 
 pub use streamhist_core::{
     evaluate_queries, max_abs_error, sum_abs_error, sum_squared_error, AccuracyReport,
-    BatchOutcome, Bucket, ExactSummary, GrowableWindowSums, Histogram, HistogramError,
+    BatchOutcome, Bucket, Checkpoint, ExactSummary, GrowableWindowSums, Histogram, HistogramError,
     PrefixProvider, PrefixSums, Query, SequenceSummary, SlidingPrefixSums, StreamSummary,
     StreamhistError, WindowSums,
 };
@@ -79,7 +79,9 @@ pub use streamhist_optimal::{
     optimal_histogram_sae, optimal_sse, realized_max_error, realized_sae, RangeMinMax,
     RollingMedian,
 };
-pub use streamhist_quantile::{EquiDepthHistogram, GkSummary, MrlSummary, QuantileSummary};
+pub use streamhist_quantile::{
+    EquiDepthHistogram, GkSummary, MrlSummary, QuantileSummary, StreamingEquiDepth,
+};
 pub use streamhist_similarity::{
     apca, euclidean, lower_bound_dist, PiecewiseConstant, ReprMethod, SearchStats, Segment,
     SeriesIndex, SubsequenceIndex,
@@ -87,8 +89,8 @@ pub use streamhist_similarity::{
 pub use streamhist_stream::{
     approx_histogram, AgglomerativeBuilder, AgglomerativeHistogram, BuildStats, FixedWindowBuilder,
     FixedWindowHistogram, KernelStats, NaiveSlidingWindow, NaiveSlidingWindowBuilder,
-    OverloadPolicy, ShardError, ShardMetrics, ShardedFixedWindow, ShardedFixedWindowBuilder,
-    ShardedOptions, TimeWindowBuilder, TimeWindowHistogram,
+    OverloadPolicy, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow,
+    ShardedFixedWindowBuilder, ShardedOptions, TimeWindowBuilder, TimeWindowHistogram,
 };
 pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynopsis};
 

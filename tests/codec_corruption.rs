@@ -1,0 +1,94 @@
+//! Property-based corruption suite for the histogram wire codec
+//! (`streamhist::codec`).
+//!
+//! Unlike checkpoint frames, the wire format carries **no checksum** — it
+//! relies on structural validation only. So the contract pinned here is
+//! deliberately weaker than the checkpoint one:
+//!
+//! * round-trips are exact for arbitrary histograms;
+//! * every truncation is rejected with a clean error;
+//! * a random bit flip either fails decoding or yields a *structurally
+//!   valid* histogram (buckets tile the domain, heights finite) — a flip
+//!   inside a height, for instance, legitimately decodes to a different
+//!   but well-formed histogram. Decoding must never panic either way.
+
+use proptest::prelude::*;
+use streamhist::codec::{decode, encode};
+use streamhist::{approx_histogram, Histogram};
+
+/// Structural invariants any decoded histogram must satisfy: contiguous
+/// buckets tiling `[0, domain_len)` in order, with finite heights.
+fn assert_structurally_valid(h: &Histogram) {
+    let buckets = h.buckets();
+    let mut expect_start = 0usize;
+    for b in buckets {
+        assert_eq!(b.start, expect_start, "buckets must be contiguous");
+        assert!(b.end >= b.start, "bucket range must be non-empty");
+        assert!(b.height.is_finite(), "bucket height must be finite");
+        expect_start = b.end + 1;
+    }
+    assert_eq!(
+        expect_start,
+        h.domain_len(),
+        "buckets must tile the whole domain"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact round-trip for arbitrary (data, B) histograms.
+    #[test]
+    fn round_trips_exactly(
+        data in prop::collection::vec(-100..100i64, 1..60),
+        b in 1usize..6,
+    ) {
+        let data: Vec<f64> = data.into_iter().map(|v| v as f64).collect();
+        let h = approx_histogram(&data, b, 0.5);
+        let bytes = encode(&h);
+        let back = decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(h, back);
+    }
+
+    /// Every single-byte truncation of a valid encoding is rejected with
+    /// an error, never a panic and never a silent success.
+    #[test]
+    fn every_truncation_is_rejected(
+        data in prop::collection::vec(-100..100i64, 1..60),
+        b in 1usize..6,
+    ) {
+        let data: Vec<f64> = data.into_iter().map(|v| v as f64).collect();
+        let bytes = encode(&approx_histogram(&data, b, 0.5));
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncation to {} of {} bytes must fail",
+                cut,
+                bytes.len()
+            );
+        }
+    }
+
+    /// Every single-bit flip either fails decoding or produces a
+    /// structurally valid histogram; decoding never panics. (No CRC on
+    /// the wire format, so strict rejection is impossible — a height
+    /// flip is indistinguishable from a different valid histogram.)
+    #[test]
+    fn every_bit_flip_decodes_cleanly_or_fails(
+        data in prop::collection::vec(-100..100i64, 1..60),
+        b in 1usize..6,
+    ) {
+        let data: Vec<f64> = data.into_iter().map(|v| v as f64).collect();
+        let bytes = encode(&approx_histogram(&data, b, 0.5));
+        for bit in 0..bytes.len() * 8 {
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            if let Ok(h) = decode(&flipped) {
+                assert_structurally_valid(&h);
+                // A structurally valid decode must itself round-trip.
+                let again = decode(&encode(&h)).expect("re-encoding decodes");
+                prop_assert_eq!(h, again, "bit {}", bit);
+            }
+        }
+    }
+}

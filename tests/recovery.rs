@@ -1,0 +1,367 @@
+//! Durability acceptance tests: checkpoint round-trips for every summary
+//! type, corruption rejection, and a crash-consistency fuzz over the
+//! sharded serving layer.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **Bit-identity** — restoring a checkpoint yields a summary whose
+//!    state re-encodes to the exact frame it came from, and that stays
+//!    byte-for-byte in lockstep with the never-crashed original as both
+//!    keep ingesting.
+//! 2. **Corruption safety** — every truncation and every single-bit flip
+//!    of a frame is rejected with `StreamhistError::CorruptCheckpoint`;
+//!    nothing panics, nothing decodes to garbage.
+//! 3. **Conservation** — across random crashes and respawns, every
+//!    accepted record is either in the final summary or accounted for in
+//!    a `RecoveryReport::lost_since_checkpoint`; nothing silently
+//!    vanishes.
+//!
+//! On failure, the offending frame is written to
+//! `target/recovery-artifacts/` so CI can upload it for offline replay.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use streamhist::freq::FrequencyVector;
+use streamhist::{
+    AgglomerativeHistogram, Checkpoint, DynamicWavelet, FixedWindowHistogram, GkSummary,
+    MrlSummary, ShardedFixedWindow, SlidingWindowWavelet, StreamSummary, StreamhistError,
+    StreamingEquiDepth, TimeWindowHistogram,
+};
+
+/// Directory failing frames are dumped to (uploaded by CI on failure).
+fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from("target").join("recovery-artifacts");
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    dir
+}
+
+fn dump_artifact(name: &str, bytes: &[u8]) -> PathBuf {
+    let path = artifact_dir().join(format!("{name}.bin"));
+    std::fs::write(&path, bytes).expect("write artifact");
+    path
+}
+
+/// Round-trips `live` through its checkpoint frame and pins bit-identity:
+/// the restored summary re-encodes to the same bytes, and after both
+/// instances ingest the same continuation they still encode identically.
+fn check_golden<T: Checkpoint>(name: &str, mut live: T, push_more: impl Fn(&mut T)) {
+    let frame = live.encode_checkpoint();
+    let mut restored = match T::restore(&frame) {
+        Ok(r) => r,
+        Err(e) => {
+            let p = dump_artifact(name, &frame);
+            panic!(
+                "{name}: rejected its own frame ({e}); frame saved to {}",
+                p.display()
+            );
+        }
+    };
+    let reencoded = restored.encode_checkpoint();
+    if reencoded != frame {
+        let p = dump_artifact(&format!("{name}-original"), &frame);
+        let q = dump_artifact(&format!("{name}-reencoded"), &reencoded);
+        panic!(
+            "{name}: restored state re-encodes differently; frames saved to {} and {}",
+            p.display(),
+            q.display()
+        );
+    }
+    push_more(&mut live);
+    push_more(&mut restored);
+    let a = live.encode_checkpoint();
+    let b = restored.encode_checkpoint();
+    if a != b {
+        let p = dump_artifact(&format!("{name}-live"), &a);
+        let q = dump_artifact(&format!("{name}-restored"), &b);
+        panic!(
+            "{name}: diverged from the never-crashed original after restore; \
+             frames saved to {} and {}",
+            p.display(),
+            q.display()
+        );
+    }
+}
+
+/// Every truncation and every single-bit flip of `frame` must be rejected
+/// with `CorruptCheckpoint` — never a panic, never a silent success.
+/// (Checkpoint frames carry a CRC-32, which detects all single-bit errors.)
+fn check_rejection<T: Checkpoint>(name: &str, frame: &[u8]) {
+    for cut in 0..frame.len() {
+        match T::restore(&frame[..cut]) {
+            Err(StreamhistError::CorruptCheckpoint { .. }) => {}
+            Err(other) => panic!("{name}: truncation to {cut} bytes gave wrong error: {other}"),
+            Ok(_) => {
+                let p = dump_artifact(&format!("{name}-truncated-{cut}"), &frame[..cut]);
+                panic!(
+                    "{name}: truncation to {cut} bytes accepted; saved to {}",
+                    p.display()
+                );
+            }
+        }
+    }
+    for bit in 0..frame.len() * 8 {
+        let mut flipped = frame.to_vec();
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        match T::restore(&flipped) {
+            Err(StreamhistError::CorruptCheckpoint { .. }) => {}
+            Err(other) => panic!("{name}: bit flip {bit} gave wrong error: {other}"),
+            Ok(_) => {
+                let p = dump_artifact(&format!("{name}-bitflip-{bit}"), &flipped);
+                panic!(
+                    "{name}: bit flip {bit} accepted; frame saved to {}",
+                    p.display()
+                );
+            }
+        }
+    }
+}
+
+fn ramp(n: usize) -> impl Iterator<Item = f64> {
+    (0..n).map(|i| ((i * 7 + 3) % 23) as f64)
+}
+
+#[test]
+fn fixed_window_round_trips_bit_identically() {
+    let mut fw = FixedWindowHistogram::new(64, 4, 0.1);
+    ramp(150).for_each(|v| fw.push(v));
+    // Materialize once so the cached-generation path is exercised too.
+    let live_hist = fw.histogram();
+    let restored = FixedWindowHistogram::restore(&fw.encode_checkpoint()).expect("own frame");
+    assert_eq!(*restored.histogram(), *live_hist, "histogram bit-identical");
+    check_golden("fixed_window", fw, |fw| ramp(40).for_each(|v| fw.push(v)));
+}
+
+#[test]
+fn agglomerative_round_trips_bit_identically() {
+    let mut agg = AgglomerativeHistogram::new(4, 0.1);
+    ramp(200).for_each(|v| agg.push(v));
+    let live_hist = agg.histogram();
+    let restored = AgglomerativeHistogram::restore(&agg.encode_checkpoint()).expect("own frame");
+    assert_eq!(*restored.histogram(), *live_hist, "histogram bit-identical");
+    check_golden("agglomerative", agg, |agg| {
+        ramp(40).for_each(|v| agg.push(v))
+    });
+}
+
+#[test]
+fn time_window_round_trips_bit_identically() {
+    let mut tw = TimeWindowHistogram::new(100, 4, 0.1);
+    for (i, v) in ramp(150).enumerate() {
+        tw.push_at(2 * i as u64, v); // old points age out along the way
+    }
+    let live_hist = tw.histogram();
+    let restored = TimeWindowHistogram::restore(&tw.encode_checkpoint()).expect("own frame");
+    assert_eq!(*restored.histogram(), *live_hist, "histogram bit-identical");
+    check_golden("time_window", tw, |tw| {
+        for (i, v) in ramp(40).enumerate() {
+            tw.push_at(300 + 2 * i as u64, v);
+        }
+    });
+}
+
+#[test]
+fn quantile_summaries_round_trip_bit_identically() {
+    let mut gk = GkSummary::new(0.01);
+    ramp(500).for_each(|v| gk.push(v));
+    check_golden("gk", gk, |gk| ramp(60).for_each(|v| gk.push(v)));
+
+    let mut mrl = MrlSummary::new(32);
+    ramp(500).for_each(|v| mrl.push(v));
+    check_golden("mrl", mrl, |mrl| ramp(60).for_each(|v| mrl.push(v)));
+
+    let mut ed = StreamingEquiDepth::new(0.05, 8);
+    ramp(500).for_each(|v| StreamSummary::push(&mut ed, v));
+    check_golden("equi_depth", ed, |ed| {
+        ramp(60).for_each(|v| StreamSummary::push(ed, v));
+    });
+}
+
+#[test]
+fn frequency_vector_round_trips_bit_identically() {
+    let mut fv = FrequencyVector::new(-50, 50);
+    for i in 0..400i64 {
+        fv.push((i * 13 + 7) % 90 - 45); // some values fall out of range
+    }
+    fv.push(999); // pin out_of_range preservation
+    check_golden("frequency_vector", fv, |fv| {
+        for i in 0..60i64 {
+            fv.push((i * 11) % 70 - 35);
+        }
+    });
+}
+
+#[test]
+fn wavelets_round_trip_bit_identically() {
+    let mut dw = DynamicWavelet::new(64);
+    ramp(40).for_each(|v| dw.push(v));
+    dw.set(5, 17.0);
+    dw.add(10, -3.5);
+    check_golden("dynamic_wavelet", dw, |dw| {
+        dw.add(3, 2.25);
+        dw.set(20, -1.0);
+    });
+
+    let mut sw = SlidingWindowWavelet::new(64, 8);
+    ramp(150).for_each(|v| sw.push(v));
+    check_golden("sliding_wavelet", sw, |sw| {
+        ramp(40).for_each(|v| sw.push(v))
+    });
+}
+
+#[test]
+fn every_truncation_and_bit_flip_is_rejected_cleanly() {
+    // Smaller payloads than the golden tests: the sweep is quadratic-ish
+    // (frame length x restores), and the CRC argument is length-independent.
+    let mut fw = FixedWindowHistogram::new(16, 3, 0.2);
+    ramp(30).for_each(|v| fw.push(v));
+    check_rejection::<FixedWindowHistogram>("fixed_window", &fw.encode_checkpoint());
+
+    let mut agg = AgglomerativeHistogram::new(3, 0.2);
+    ramp(40).for_each(|v| agg.push(v));
+    check_rejection::<AgglomerativeHistogram>("agglomerative", &agg.encode_checkpoint());
+
+    let mut tw = TimeWindowHistogram::new(40, 3, 0.2);
+    for (i, v) in ramp(30).enumerate() {
+        tw.push_at(2 * i as u64, v);
+    }
+    check_rejection::<TimeWindowHistogram>("time_window", &tw.encode_checkpoint());
+
+    let mut gk = GkSummary::new(0.05);
+    ramp(60).for_each(|v| gk.push(v));
+    check_rejection::<GkSummary>("gk", &gk.encode_checkpoint());
+
+    let mut mrl = MrlSummary::new(8);
+    ramp(60).for_each(|v| mrl.push(v));
+    check_rejection::<MrlSummary>("mrl", &mrl.encode_checkpoint());
+
+    let mut ed = StreamingEquiDepth::new(0.1, 4);
+    ramp(60).for_each(|v| StreamSummary::push(&mut ed, v));
+    check_rejection::<StreamingEquiDepth>("equi_depth", &ed.encode_checkpoint());
+
+    let mut fv = FrequencyVector::new(-10, 10);
+    for i in 0..40i64 {
+        fv.push(i % 25 - 12);
+    }
+    check_rejection::<FrequencyVector>("frequency_vector", &fv.encode_checkpoint());
+
+    let mut dw = DynamicWavelet::new(16);
+    ramp(12).for_each(|v| dw.push(v));
+    check_rejection::<DynamicWavelet>("dynamic_wavelet", &dw.encode_checkpoint());
+
+    let mut sw = SlidingWindowWavelet::new(16, 4);
+    ramp(30).for_each(|v| sw.push(v));
+    check_rejection::<SlidingWindowWavelet>("sliding_wavelet", &sw.encode_checkpoint());
+}
+
+#[test]
+fn frames_are_not_interchangeable_between_types() {
+    // The tag byte prevents a frame from one summary type restoring as
+    // another, even though both frames carry valid CRCs.
+    let mut gk = GkSummary::new(0.05);
+    ramp(60).for_each(|v| gk.push(v));
+    let frame = gk.encode_checkpoint();
+    assert!(matches!(
+        MrlSummary::restore(&frame),
+        Err(StreamhistError::CorruptCheckpoint { .. })
+    ));
+    assert!(matches!(
+        FixedWindowHistogram::restore(&frame),
+        Err(StreamhistError::CorruptCheckpoint { .. })
+    ));
+}
+
+/// Deterministic crash-consistency fuzz over the sharded layer: random
+/// pushes interleaved with injected worker panics, checkpoint-backed
+/// respawns, and barrier snapshots. At the end, per shard:
+///
+/// ```text
+/// pushes_accepted == final summary total_pushed + sum(lost_since_checkpoint)
+/// ```
+///
+/// and a quiescent fleet save must load back to bit-identical snapshots.
+/// Override the seed with `RECOVERY_SEED=<u64>` to replay a CI failure.
+#[test]
+fn crash_consistency_fuzz() {
+    let seed: u64 = std::env::var("RECOVERY_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD15E_A5E0);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    const SHARDS: usize = 4;
+    let mut sharded = ShardedFixedWindow::builder(SHARDS, 32, 3, 0.2)
+        .checkpoint_interval(16)
+        .queue_capacity(64)
+        .build()
+        .expect("valid parameters");
+    let mut lost = [0u64; SHARDS];
+
+    for _ in 0..4000 {
+        let roll: u32 = rng.gen_range(0..100);
+        let shard = rng.gen_range(0..SHARDS);
+        if roll < 88 {
+            // Sends to a dead shard fail; those records were never
+            // accepted, so they don't enter the conservation identity.
+            let v = f64::from(rng.gen_range(0..50u32));
+            let _ = sharded.push_to(shard, v);
+        } else if roll < 92 {
+            let _ = sharded.inject_worker_panic(shard);
+        } else if roll < 96 {
+            // Barrier: also how death becomes observable to the sender.
+            let _ = sharded.snapshot(shard);
+        } else {
+            lost[shard] += sharded.respawn_shard(shard).lost_since_checkpoint;
+        }
+    }
+
+    // Recover whatever is still dead, then quiesce the whole fleet.
+    for (shard, shard_lost) in lost.iter_mut().enumerate() {
+        if sharded.snapshot(shard).is_err() {
+            *shard_lost += sharded.respawn_shard(shard).lost_since_checkpoint;
+        }
+    }
+    let snaps = sharded.snapshot_all();
+    assert!(
+        snaps.iter().all(Result::is_ok),
+        "fleet healthy after recovery"
+    );
+
+    // A checkpoint taken at quiescence round-trips the whole fleet
+    // bit-for-bit.
+    let mut save = Vec::new();
+    sharded.checkpoint_all(&mut save).expect("fleet healthy");
+    sharded
+        .restore_all(&mut save.as_slice())
+        .expect("own save loads");
+    let reloaded = sharded.snapshot_all();
+    if snaps != reloaded {
+        let p = dump_artifact(&format!("fuzz-fleet-save-seed-{seed}"), &save);
+        panic!(
+            "fleet save did not round-trip (seed {seed}); save written to {}",
+            p.display()
+        );
+    }
+
+    // Exact conservation, per shard.
+    let metrics = sharded.metrics_all();
+    let summaries: Vec<FixedWindowHistogram> = sharded
+        .join()
+        .into_iter()
+        .map(|r| r.expect("worker alive at join"))
+        .collect();
+    for shard in 0..SHARDS {
+        let accepted = metrics[shard].pushes_accepted;
+        let surviving = summaries[shard].total_pushed();
+        if accepted != surviving + lost[shard] {
+            let p = dump_artifact(&format!("fuzz-fleet-save-seed-{seed}"), &save);
+            panic!(
+                "conservation violated on shard {shard} (seed {seed}): \
+                 accepted {accepted} != surviving {surviving} + lost {}; \
+                 save written to {}",
+                lost[shard],
+                p.display()
+            );
+        }
+    }
+}
