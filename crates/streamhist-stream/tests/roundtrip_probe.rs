@@ -1,0 +1,19 @@
+use streamhist_stream::AgglomerativeHistogram;
+use streamhist_core::Checkpoint;
+
+#[test]
+fn agglomerative_roundtrip_small_streams() {
+    // Sweep stream lengths and eps values; every encode must restore.
+    for &eps in &[0.001, 0.01, 0.05, 0.1, 0.5] {
+        for m in 1..128usize {
+            let mut h = AgglomerativeHistogram::new(2, eps);
+            for i in 0..m {
+                h.push(((i * 7919) % 97) as f64);
+            }
+            let frame = h.encode_checkpoint();
+            if let Err(e) = AgglomerativeHistogram::restore(&frame) {
+                panic!("restore failed at eps={eps} m={m}: {e}");
+            }
+        }
+    }
+}
