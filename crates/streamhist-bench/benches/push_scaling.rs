@@ -37,7 +37,7 @@ fn bench_agglomerative_push(c: &mut Criterion) {
                         for &v in s {
                             agg.push(v);
                         }
-                        agg.sse_estimate()
+                        agg.kernel_stats().herror
                     });
                 });
             }

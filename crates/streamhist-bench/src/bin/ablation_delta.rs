@@ -9,6 +9,7 @@
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin ablation_delta`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist_bench::full_scale;
 use streamhist_data::utilization_trace;
 use streamhist_optimal::optimal_sse;

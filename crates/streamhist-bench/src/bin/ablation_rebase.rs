@@ -8,6 +8,7 @@
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin ablation_rebase`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist_bench::{full_scale, timed};
 use streamhist_data::utilization_trace;
 use streamhist_stream::FixedWindowHistogram;

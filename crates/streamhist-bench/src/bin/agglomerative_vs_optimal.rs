@@ -11,6 +11,7 @@
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin agglomerative_vs_optimal`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist_bench::{full_scale, timed};
 use streamhist_data::utilization_trace;
 use streamhist_optimal::optimal_histogram;

@@ -17,6 +17,7 @@
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin agglomerative_vs_wavelet`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist_bench::{accuracy_of, full_scale, timed};
 use streamhist_data::utilization_trace;
 use streamhist_stream::AgglomerativeHistogram;

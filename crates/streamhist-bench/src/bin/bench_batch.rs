@@ -19,6 +19,7 @@
 //! Run: `cargo run --release -p streamhist-bench --bin bench_batch`
 //! (set `STREAMHIST_FULL=1` for the paper-scale stream).
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use std::fmt::Write as _;
 use std::time::Instant;
 use streamhist_bench::full_scale;

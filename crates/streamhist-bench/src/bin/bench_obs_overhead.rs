@@ -1,0 +1,217 @@
+//! BENCH-OBS-OVERHEAD — cost of the telemetry layer on the ingest path.
+//!
+//! The observability design promises that metrics stay out of the hot
+//! path: the shard counters are plain relaxed atomics whether or not a
+//! [`MetricsRegistry`] is attached (attaching only swaps in shared cells),
+//! and the kernel phase-tracing hooks compile to no-ops without the `obs`
+//! cargo feature. This bench makes both claims measurable.
+//!
+//! Modes (each the same workload — sharded batch ingestion with snapshot
+//! barriers — best of [`REPEATS`] runs):
+//!
+//! * `baseline` — no registry attached, whatever feature state this
+//!   binary was compiled with;
+//! * `obs_off` — registry attached, compiled WITHOUT `--features obs`
+//!   (the production default). Guarded: must stay within
+//!   [`MAX_REGRESSION`] of `baseline` or the bench exits nonzero;
+//! * `obs_on` — registry attached, compiled WITH `--features obs` but no
+//!   kernel tracer installed (one relaxed `OnceLock` load per hook);
+//! * `obs_on_tracing` — registry attached and the kernel tracer
+//!   installed, so every push/build is timed into GK latency summaries.
+//!   Unguarded: this is the opt-in deep-tracing mode and its cost is
+//!   reported, not bounded.
+//!
+//! One compilation can only observe its own feature state, so the JSON
+//! artifact is *merged*, not overwritten: rows measured by the other
+//! build are preserved. Run both to fill all four rows:
+//!
+//! ```text
+//! cargo run --release -p streamhist-bench --bin bench_obs_overhead
+//! cargo run --release -p streamhist-bench --features obs --bin bench_obs_overhead
+//! ```
+//!
+//! Output: `BENCH_obs_overhead.json` in the current directory.
+#![allow(clippy::disallowed_macros)] // bench bins report via stdout
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use streamhist_bench::full_scale;
+use streamhist_data::utilization_trace;
+use streamhist_obs::MetricsRegistry;
+use streamhist_stream::ShardedFixedWindow;
+
+const REPEATS: usize = 3;
+/// `obs_off` may run at no less than this fraction of `baseline`.
+#[cfg(not(feature = "obs"))]
+const MAX_REGRESSION: f64 = 0.98;
+
+const SHARDS: usize = 2;
+const WINDOW: usize = 512;
+const B: usize = 8;
+const EPS: f64 = 0.1;
+const BATCH: usize = 512;
+
+struct Row {
+    mode: &'static str,
+    points: usize,
+    secs: f64,
+}
+
+impl Row {
+    fn pps(&self) -> f64 {
+        self.points as f64 / self.secs
+    }
+}
+
+/// One timed pass: scatter the stream through the fleet in slabs, with a
+/// per-shard snapshot barrier at the end so elapsed time covers every
+/// queued record plus one histogram materialization per shard.
+fn one_pass(stream: &[f64], registry: Option<&Arc<MetricsRegistry>>) -> f64 {
+    let mut builder = ShardedFixedWindow::builder(SHARDS, WINDOW, B, EPS).fleet_label("bench");
+    if let Some(reg) = registry {
+        builder = builder.registry(Arc::clone(reg));
+    }
+    let sw = builder.build().expect("valid config");
+    let t0 = Instant::now();
+    for slab in stream.chunks(BATCH) {
+        sw.push_batch_scatter(slab).expect("lossless push");
+    }
+    for s in 0..SHARDS {
+        sw.snapshot(s).expect("worker alive");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    for r in sw.join() {
+        r.expect("worker alive");
+    }
+    secs
+}
+
+fn bench_mode(mode: &'static str, stream: &[f64], registry: Option<&Arc<MetricsRegistry>>) -> Row {
+    // Best-of-N: the minimum is the least-noisy estimator for a
+    // throughput bench on a shared machine.
+    let secs = (0..REPEATS)
+        .map(|_| one_pass(stream, registry))
+        .fold(f64::INFINITY, f64::min);
+    Row {
+        mode,
+        points: stream.len(),
+        secs,
+    }
+}
+
+/// Rows this build cannot measure, recovered from an existing artifact so
+/// the two feature-state runs compose into one file. The format is our
+/// own (one row object per line), so a line scan is exact, not heuristic.
+fn preserved_rows(path: &str, measured: &[Row]) -> Vec<String> {
+    let Ok(existing) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    existing
+        .lines()
+        .filter(|line| {
+            let t = line.trim_start();
+            t.starts_with("{\"mode\":")
+                && !measured
+                    .iter()
+                    .any(|r| t.contains(&format!("\"{}\"", r.mode)))
+        })
+        .map(|line| line.trim_end_matches(',').to_string())
+        .collect()
+}
+
+fn to_json(measured: &[Row], preserved: &[String]) -> String {
+    let mut lines: Vec<String> = preserved.to_vec();
+    for r in measured {
+        lines.push(format!(
+            "    {{\"mode\": \"{}\", \"obs_feature\": {}, \"points\": {}, \"secs\": {:.6}, \"points_per_sec\": {:.1}}}",
+            r.mode,
+            cfg!(feature = "obs"),
+            r.points,
+            r.secs,
+            r.pps()
+        ));
+    }
+    // Canonical order keeps diffs of the committed datapoint readable.
+    let order = ["baseline", "obs_off", "obs_on", "obs_on_tracing"];
+    lines.sort_by_key(|l| order.iter().position(|m| l.contains(&format!("\"{m}\""))));
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"shards\": {SHARDS}, \"window\": {WINDOW}, \"b\": {B}, \"eps\": {EPS}, \"batch\": {BATCH}, \"repeats\": {REPEATS}}},"
+    );
+    out.push_str("  \"rows\": [\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() {
+    let len = if full_scale() { 4_000_000 } else { 800_000 };
+    let stream = utilization_trace(len, 77);
+    let registry = Arc::new(MetricsRegistry::new());
+
+    // Warm-up pass (untimed): fault in the stream, spin up and tear down
+    // one fleet, so the first measured mode is not charged for cold-start.
+    one_pass(&stream, None);
+
+    println!(
+        "BENCH-OBS-OVERHEAD: {SHARDS} shards, window {WINDOW}, B {B}, eps {EPS}, \
+         stream {len}, obs feature {}",
+        cfg!(feature = "obs")
+    );
+
+    let mut rows = vec![bench_mode("baseline", &stream, None)];
+    #[cfg(not(feature = "obs"))]
+    rows.push(bench_mode("obs_off", &stream, Some(&registry)));
+    #[cfg(feature = "obs")]
+    {
+        rows.push(bench_mode("obs_on", &stream, Some(&registry)));
+        // The tracer is a process-global OnceLock, so install it last —
+        // every mode measured after this point would see it.
+        assert!(streamhist_stream::telemetry::install_kernel_tracer(
+            &registry
+        ));
+        rows.push(bench_mode("obs_on_tracing", &stream, Some(&registry)));
+    }
+
+    for r in &rows {
+        println!(
+            "{:>16} {:>10} points {:>9.3}s {:>12.0} points/sec",
+            r.mode,
+            r.points,
+            r.secs,
+            r.pps()
+        );
+    }
+
+    let path = "BENCH_obs_overhead.json";
+    let json = to_json(&rows, &preserved_rows(path, &rows));
+    std::fs::write(path, &json).expect("write BENCH_obs_overhead.json");
+    println!("wrote {path}");
+
+    // The guard only applies to the production default (feature off):
+    // attaching a registry must not tax ingestion beyond noise, because
+    // the counters are the same relaxed atomics either way.
+    #[cfg(not(feature = "obs"))]
+    {
+        let base = rows.iter().find(|r| r.mode == "baseline").expect("row");
+        let off = rows.iter().find(|r| r.mode == "obs_off").expect("row");
+        let ratio = off.pps() / base.pps();
+        println!(
+            "obs_off vs baseline: {:.1}% ({:.0} vs {:.0} points/sec)",
+            100.0 * ratio,
+            off.pps(),
+            base.pps()
+        );
+        assert!(
+            ratio >= MAX_REGRESSION,
+            "registry attachment regressed feature-off ingestion by more than \
+             {:.0}%: {:.0} vs {:.0} points/sec",
+            100.0 * (1.0 - MAX_REGRESSION),
+            off.pps(),
+            base.pps()
+        );
+    }
+}

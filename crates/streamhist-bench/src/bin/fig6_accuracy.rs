@@ -12,6 +12,7 @@
 //! Run: `cargo run --release -p streamhist-bench --bin fig6_accuracy`
 //! (set `STREAMHIST_FULL=1` for the 1M-point paper-scale stream).
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist_bench::{full_scale, run_fig6_cell};
 use streamhist_data::utilization_trace;
 

@@ -11,6 +11,7 @@
 //! Run: `cargo run --release -p streamhist-bench --bin fig6_time`
 //! (set `STREAMHIST_FULL=1` for the 1M-point paper-scale stream).
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use std::time::Duration;
 use streamhist_bench::{full_scale, timed};
 use streamhist_data::utilization_trace;

@@ -11,6 +11,7 @@
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin selectivity_estimation`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use streamhist_bench::full_scale;

@@ -19,6 +19,7 @@
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin sharded_scaling`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use std::time::Instant;
 use streamhist_data::{collect, Ar1};
 use streamhist_stream::{KernelStats, ShardMetrics, ShardedFixedWindow};

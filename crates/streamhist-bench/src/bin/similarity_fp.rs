@@ -17,6 +17,7 @@
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin similarity_fp`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use streamhist_bench::{full_scale, timed};

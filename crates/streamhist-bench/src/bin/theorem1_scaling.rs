@@ -6,6 +6,7 @@
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin theorem1_scaling`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist_bench::{full_scale, timed};
 use streamhist_data::utilization_trace;
 use streamhist_stream::{FixedWindowHistogram, NaiveSlidingWindow};

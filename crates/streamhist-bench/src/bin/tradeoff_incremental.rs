@@ -14,6 +14,7 @@
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin tradeoff_incremental`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist_bench::{full_scale, timed};
 use streamhist_data::utilization_trace;
 use streamhist_stream::{AgglomerativeHistogram, FixedWindowHistogram};

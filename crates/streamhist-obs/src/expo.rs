@@ -1,0 +1,639 @@
+//! Prometheus text exposition (format 0.0.4) and a strict validator.
+//!
+//! [`MetricsRegistry::text_exposition`] renders every family as
+//! `# HELP` / `# TYPE` comments followed by its samples. Latency
+//! summaries become Prometheus `summary` families: one `{quantile="φ"}`
+//! sample per published quantile plus `_sum` and `_count` series.
+//!
+//! **Unit convention:** latency recorders store nanoseconds, but the
+//! exposition divides summary quantiles and `_sum` by 1e9 so the wire
+//! values are seconds — name summary families with a `_seconds` suffix
+//! (the Prometheus base-unit convention). Counters and gauges are passed
+//! through untouched.
+//!
+//! [`parse_exposition`] is the inverse direction: a strict parser used by
+//! the test suite (and CI) to prove the output is well-formed — TYPE
+//! before samples, valid names, correct escaping, counters finite and
+//! non-negative, summary quantile labels in range, no duplicate series.
+//!
+//! [`MetricsRegistry::json_snapshot`] renders the same gather as a JSON
+//! document (nanosecond-domain, nothing rescaled) for the bench bins'
+//! committed artifacts.
+
+use crate::registry::{FamilySnapshot, MetricsRegistry, SampleValue};
+
+/// Formats a sample value the way the text format spells specials.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a label value: `\` -> `\\`, `"` -> `\"`, newline -> `\n`.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: `\` -> `\\`, newline -> `\n`.
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn render_sample(out: &mut String, name: &str, labels: &[(String, String)], value: f64) {
+    out.push_str(name);
+    render_labels(out, labels);
+    out.push(' ');
+    out.push_str(&fmt_value(value));
+    out.push('\n');
+}
+
+const NS_PER_SEC: f64 = 1e9;
+
+/// Renders gathered families as Prometheus text format 0.0.4.
+#[must_use]
+pub fn render_exposition(families: &[FamilySnapshot]) -> String {
+    let mut out = String::new();
+    for family in families {
+        if !family.help.is_empty() {
+            out.push_str("# HELP ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(&escape_help(&family.help));
+            out.push('\n');
+        }
+        out.push_str("# TYPE ");
+        out.push_str(&family.name);
+        out.push(' ');
+        out.push_str(family.kind.exposition_type());
+        out.push('\n');
+        for series in &family.series {
+            match &series.value {
+                SampleValue::Counter(v) => {
+                    render_sample(&mut out, &family.name, &series.labels, *v as f64);
+                }
+                SampleValue::Gauge(v) => {
+                    render_sample(&mut out, &family.name, &series.labels, *v as f64);
+                }
+                SampleValue::Float(v) => {
+                    render_sample(&mut out, &family.name, &series.labels, *v);
+                }
+                SampleValue::Summary(snap) => {
+                    for &(phi, ns) in &snap.quantiles {
+                        let mut labels = series.labels.clone();
+                        labels.push(("quantile".to_string(), format!("{phi}")));
+                        render_sample(&mut out, &family.name, &labels, ns / NS_PER_SEC);
+                    }
+                    render_sample(
+                        &mut out,
+                        &format!("{}_sum", family.name),
+                        &series.labels,
+                        snap.sum_ns as f64 / NS_PER_SEC,
+                    );
+                    render_sample(
+                        &mut out,
+                        &format!("{}_count", family.name),
+                        &series.labels,
+                        snap.count as f64,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders gathered families as a JSON document: an array of
+/// `{name, kind, help, series: [{labels, ...values}]}` objects in the
+/// same deterministic order as [`render_exposition`]. Summary values stay
+/// in the nanosecond domain (`sum_ns`, `max_ns`, `quantiles_ns`).
+#[must_use]
+pub fn render_json(families: &[FamilySnapshot]) -> String {
+    let mut out = String::from("[");
+    for (fi, family) in families.iter().enumerate() {
+        if fi > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"kind\":\"{}\",\"help\":\"{}\",\"series\":[",
+            escape_json(&family.name),
+            family.kind.exposition_type(),
+            escape_json(&family.help)
+        ));
+        for (si, series) in family.series.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"labels\":{");
+            for (li, (k, v)) in series.labels.iter().enumerate() {
+                if li > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+            }
+            out.push_str("},");
+            match &series.value {
+                SampleValue::Counter(v) => out.push_str(&format!("\"value\":{v}")),
+                SampleValue::Gauge(v) => out.push_str(&format!("\"value\":{v}")),
+                SampleValue::Float(v) => out.push_str(&format!("\"value\":{}", json_number(*v))),
+                SampleValue::Summary(snap) => {
+                    out.push_str(&format!(
+                        "\"count\":{},\"sum_ns\":{},\"max_ns\":{},\"stored\":{},\"quantiles_ns\":{{",
+                        snap.count, snap.sum_ns, snap.max_ns, snap.stored
+                    ));
+                    for (qi, (phi, ns)) in snap.quantiles.iter().enumerate() {
+                        if qi > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("\"{phi}\":{}", json_number(*ns)));
+                    }
+                    out.push('}');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+impl MetricsRegistry {
+    /// Gathers and renders the registry as Prometheus text format 0.0.4.
+    #[must_use]
+    pub fn text_exposition(&self) -> String {
+        render_exposition(&self.gather())
+    }
+
+    /// Gathers and renders the registry as a JSON document (see
+    /// [`render_json`]).
+    #[must_use]
+    pub fn json_snapshot(&self) -> String {
+        render_json(&self.gather())
+    }
+}
+
+/// One sample line from a parsed exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Sample name as written (may carry `_sum`/`_count` suffixes).
+    pub name: String,
+    /// Labels in source order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value (`NaN`, `+Inf`, `-Inf` spellings accepted).
+    pub value: f64,
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "NaN" => Ok(f64::NAN),
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        s => s.parse().map_err(|_| format!("unparseable value {s:?}")),
+    }
+}
+
+/// Parses the body of a label block (`k="v",k2="v2"`), unescaping values.
+fn parse_label_block(s: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let err = |msg: String| format!("line {line_no}: {msg}");
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        rest = rest.trim_start_matches([' ', '\t']);
+        if rest.is_empty() {
+            break;
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| err(format!("label without '=' near {rest:?}")))?;
+        let name = rest[..eq].trim();
+        if !is_valid_label_name(name) {
+            return Err(err(format!("invalid label name {name:?}")));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(err(format!("label {name:?} value not quoted")));
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(err(format!("bad escape \\{:?}", other.map(|(_, c)| c))));
+                    }
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| err("unterminated label value".to_string()))?;
+        if labels.iter().any(|(k, _): &(String, String)| k == name) {
+            return Err(err(format!("duplicate label name {name:?}")));
+        }
+        labels.push((name.to_string(), value));
+        rest = &rest[end + 1..];
+        rest = rest.trim_start_matches([' ', '\t']);
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(err(format!("junk after label value: {rest:?}")));
+        }
+    }
+    Ok(labels)
+}
+
+/// Strictly parses a Prometheus text-format 0.0.4 exposition.
+///
+/// Enforced, beyond shape: every sample's family must have a preceding
+/// `# TYPE`; at most one TYPE/HELP per family; valid metric and label
+/// names; counter samples finite and non-negative; summary quantile
+/// samples carry a `quantile` label in `[0, 1]`; `_sum`/`_count` only on
+/// summary families; no duplicate (name, labels) series.
+///
+/// # Errors
+///
+/// Returns a description of the first violation, prefixed with its line
+/// number.
+pub fn parse_exposition(text: &str) -> Result<Vec<ParsedSample>, String> {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+    let mut samples = Vec::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |msg: String| format!("line {line_no}: {msg}");
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or_default();
+                let ty = parts.next().unwrap_or_default().trim();
+                if !is_valid_metric_name(name) {
+                    return Err(err(format!("invalid metric name in TYPE: {name:?}")));
+                }
+                if !matches!(
+                    ty,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ) {
+                    return Err(err(format!("unknown TYPE {ty:?}")));
+                }
+                if types.insert(name.to_string(), ty.to_string()).is_some() {
+                    return Err(err(format!("duplicate TYPE for {name:?}")));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or_default();
+                if !is_valid_metric_name(name) {
+                    return Err(err(format!("invalid metric name in HELP: {name:?}")));
+                }
+                if !helps.insert(name.to_string()) {
+                    return Err(err(format!("duplicate HELP for {name:?}")));
+                }
+                if types.contains_key(name) {
+                    return Err(err(format!("HELP for {name:?} must precede its TYPE")));
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(['{', ' ', '\t'])
+            .ok_or_else(|| err("sample line without value".to_string()))?;
+        let name = &line[..name_end];
+        if !is_valid_metric_name(name) {
+            return Err(err(format!("invalid sample name {name:?}")));
+        }
+        let mut rest = &line[name_end..];
+        let labels = if let Some(stripped) = rest.strip_prefix('{') {
+            let close = stripped
+                .find('}')
+                .ok_or_else(|| err("unterminated label block".to_string()))?;
+            // A '}' inside an escaped value cannot occur: '}' is never
+            // produced by our escaper, and the validator only accepts
+            // expositions whose label values escape '"' and '\'. A raw
+            // '}' inside a quoted value would be caught below as junk.
+            let (block, after) = stripped.split_at(close);
+            rest = &after[1..];
+            parse_label_block(block, line_no)?
+        } else {
+            Vec::new()
+        };
+        let mut fields = rest.split_whitespace();
+        let value_str = fields
+            .next()
+            .ok_or_else(|| err("sample line without value".to_string()))?;
+        let value = parse_value(value_str).map_err(&err)?;
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(err(format!("bad timestamp {ts:?}")));
+            }
+        }
+        if fields.next().is_some() {
+            return Err(err("trailing junk after timestamp".to_string()));
+        }
+
+        // Resolve the family: exact TYPE match, or a summary suffix.
+        let (family, is_suffix) = match types.get(name) {
+            Some(_) => (name.to_string(), false),
+            None => {
+                let base = name
+                    .strip_suffix("_sum")
+                    .or_else(|| name.strip_suffix("_count"));
+                match base {
+                    Some(base)
+                        if matches!(
+                            types.get(base).map(String::as_str),
+                            Some("summary" | "histogram")
+                        ) =>
+                    {
+                        (base.to_string(), true)
+                    }
+                    _ => {
+                        return Err(err(format!("sample {name:?} has no preceding TYPE")));
+                    }
+                }
+            }
+        };
+        let ty = types.get(&family).expect("family resolved above").clone();
+        match ty.as_str() {
+            "counter" if !value.is_finite() || value < 0.0 => {
+                return Err(err(format!("counter {name:?} must be finite >= 0")));
+            }
+            "summary" if !is_suffix => {
+                let q = labels
+                    .iter()
+                    .find(|(k, _)| k == "quantile")
+                    .ok_or_else(|| err(format!("summary sample {name:?} missing quantile")))?;
+                let phi: f64 =
+                    q.1.parse()
+                        .map_err(|_| err(format!("bad quantile value {:?}", q.1)))?;
+                if !(0.0..=1.0).contains(&phi) {
+                    return Err(err(format!("quantile {phi} outside [0, 1]")));
+                }
+            }
+            "summary" if !value.is_finite() || value < 0.0 => {
+                return Err(err(format!("summary series {name:?} must be finite >= 0")));
+            }
+            _ => {}
+        }
+
+        let mut key_labels: Vec<_> = labels.clone();
+        key_labels.sort();
+        let key = format!("{name}|{key_labels:?}");
+        if !seen_series.insert(key) {
+            return Err(err(format!("duplicate series for {name:?}")));
+        }
+        samples.push(ParsedSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn populated_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter_with(
+            "streamhist_pushes_total",
+            "Accepted pushes.",
+            &[("shard", "0")],
+        )
+        .inc_by(41);
+        reg.counter_with(
+            "streamhist_pushes_total",
+            "Accepted pushes.",
+            &[("shard", "1")],
+        )
+        .inc_by(1);
+        reg.gauge("streamhist_queue_depth", "In-flight commands.")
+            .set(-3);
+        reg.float_gauge("streamhist_sse", "Current SSE estimate.")
+            .set(2.5);
+        let lat = reg.latency("streamhist_push_seconds", "Push latency.");
+        for i in 1..=100u64 {
+            lat.record_ns(i * 1_000);
+        }
+        reg
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_validator() {
+        let reg = populated_registry();
+        let text = reg.text_exposition();
+        let samples = parse_exposition(&text).expect("exposition must validate");
+        // 2 counter series + 1 gauge + 1 float gauge + (4 quantiles + sum + count)
+        assert_eq!(samples.len(), 2 + 1 + 1 + 6);
+        let sum = samples
+            .iter()
+            .filter(|s| s.name == "streamhist_pushes_total")
+            .map(|s| s.value)
+            .sum::<f64>();
+        assert_eq!(sum, 42.0);
+    }
+
+    #[test]
+    fn summary_values_are_rescaled_to_seconds() {
+        let reg = MetricsRegistry::new();
+        let lat = reg.latency("op_seconds", "op");
+        lat.record_ns(2_000_000_000); // 2 seconds
+        let samples = parse_exposition(&reg.text_exposition()).expect("valid");
+        let sum = samples
+            .iter()
+            .find(|s| s.name == "op_seconds_sum")
+            .expect("sum");
+        assert_eq!(sum.value, 2.0);
+        let count = samples
+            .iter()
+            .find(|s| s.name == "op_seconds_count")
+            .expect("count");
+        assert_eq!(count.value, 1.0);
+        let p50 = samples
+            .iter()
+            .find(|s| {
+                s.name == "op_seconds"
+                    && s.labels.iter().any(|(k, v)| k == "quantile" && v == "0.5")
+            })
+            .expect("p50 sample");
+        assert_eq!(p50.value, 2.0);
+    }
+
+    #[test]
+    fn empty_summary_exposes_nan_quantiles_and_validates() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.latency("idle_seconds", "never recorded");
+        let text = reg.text_exposition();
+        assert!(text.contains(" NaN"), "expected NaN spelling:\n{text}");
+        parse_exposition(&text).expect("NaN quantiles are legal");
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_unescaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("esc_total", "", &[("path", "a\\b\"c\nd")])
+            .inc();
+        let text = reg.text_exposition();
+        let samples = parse_exposition(&text).expect("escaped output validates");
+        assert_eq!(samples[0].labels[0].1, "a\\b\"c\nd");
+    }
+
+    #[test]
+    fn validator_rejects_sample_without_type() {
+        let err = parse_exposition("lonely_metric 1\n").expect_err("must fail");
+        assert!(err.contains("no preceding TYPE"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_negative_counter() {
+        let text = "# TYPE bad_total counter\nbad_total -1\n";
+        let err = parse_exposition(text).expect_err("must fail");
+        assert!(err.contains("finite >= 0"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_series() {
+        let text = "# TYPE x_total counter\nx_total{a=\"1\"} 1\nx_total{a=\"1\"} 2\n";
+        let err = parse_exposition(text).expect_err("must fail");
+        assert!(err.contains("duplicate series"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_quantile_out_of_range() {
+        let text = "# TYPE s summary\ns{quantile=\"1.5\"} 1\n";
+        let err = parse_exposition(text).expect_err("must fail");
+        assert!(err.contains("outside [0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn validator_accepts_timestamps_and_comments() {
+        let text = "# a freeform comment\n# TYPE t_total counter\nt_total 5 1712345678\n";
+        let samples = parse_exposition(text).expect("valid");
+        assert_eq!(samples[0].value, 5.0);
+    }
+
+    #[test]
+    fn json_snapshot_contains_every_family() {
+        let reg = populated_registry();
+        let json = reg.json_snapshot();
+        for family in [
+            "streamhist_pushes_total",
+            "streamhist_queue_depth",
+            "streamhist_sse",
+            "streamhist_push_seconds",
+        ] {
+            assert!(json.contains(family), "missing {family} in {json}");
+        }
+        assert!(json.contains("\"sum_ns\""), "{json}");
+        // Braces balance — cheap structural sanity without a JSON parser.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("j_total", "tab\there", &[("k", "line\nbreak")])
+            .inc();
+        let json = reg.json_snapshot();
+        assert!(json.contains("tab\\there"), "{json}");
+        assert!(json.contains("line\\nbreak"), "{json}");
+    }
+}

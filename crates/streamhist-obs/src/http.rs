@@ -1,0 +1,209 @@
+//! A minimal blocking HTTP scrape endpoint over `std::net::TcpListener`.
+//!
+//! [`ExpositionServer`] runs a single accept loop on a background thread
+//! and answers `GET /` or `GET /metrics` with the registry's
+//! [`text_exposition`](crate::MetricsRegistry::text_exposition). It
+//! speaks just enough HTTP/1.1 for `curl` and a Prometheus scraper:
+//! status line, `Content-Type: text/plain; version=0.0.4`,
+//! `Content-Length`, `Connection: close`. One request per connection,
+//! handled inline on the accept thread — scrapes are rare and cheap, so
+//! there is no per-connection thread spawn to manage.
+//!
+//! The listener runs in non-blocking mode so the loop can poll a shutdown
+//! flag between accepts; dropping the server (or calling
+//! [`shutdown`](ExpositionServer::shutdown)) stops the loop and joins the
+//! thread.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::MetricsRegistry;
+
+/// How long the accept loop sleeps between polls when idle.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+/// Per-connection read/write deadline — protects the loop from a stalled
+/// or malicious client holding the (single-threaded) server hostage.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A background metrics scrape endpoint. See the [module docs](self).
+#[derive(Debug)]
+pub struct ExpositionServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ExpositionServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`, port 0 for ephemeral) and
+    /// starts serving `registry` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/configure error if the listener cannot be set up.
+    pub fn start(addr: impl ToSocketAddrs, registry: Arc<MetricsRegistry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("streamhist-obs-http".to_string())
+            .spawn(move || accept_loop(&listener, &registry, &stop_flag))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ExpositionServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, registry: &MetricsRegistry, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Best-effort: a failed scrape must never take the server
+                // (or the instrumented process) down.
+                let _ = serve_one(stream, registry);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. ECONNABORTED): back off
+                // briefly and keep listening.
+                std::thread::sleep(IDLE_POLL);
+            }
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    // The request line fits comfortably in one read; we do not need the
+    // headers, so a single bounded read is enough for curl/Prometheus.
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = request
+        .lines()
+        .next()
+        .unwrap_or_default()
+        .split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let path = path.split('?').next().unwrap_or_default();
+
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else if path == "/" || path == "/metrics" {
+        ("200 OK", registry.text_exposition())
+    } else {
+        ("404 Not Found", "not found; try /metrics\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expo::parse_exposition;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_a_valid_exposition_over_http() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("scraped_total", "Scrapes observed.").inc_by(7);
+        let server = ExpositionServer::start("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
+        let response = scrape(
+            server.local_addr(),
+            "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(
+            response.contains("Content-Type: text/plain; version=0.0.4"),
+            "{response}"
+        );
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        let samples = parse_exposition(body).expect("scraped body must validate");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "scraped_total" && s.value == 7.0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_non_get_is_405() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let server = ExpositionServer::start("127.0.0.1:0", reg).expect("bind");
+        let addr = server.local_addr();
+        let resp = scrape(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        let resp = scrape(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+    }
+
+    #[test]
+    fn reflects_updates_between_scrapes_and_shuts_down_cleanly() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let counter = reg.counter("live_total", "");
+        let server = ExpositionServer::start("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
+        let addr = server.local_addr();
+        counter.inc();
+        assert!(scrape(addr, "GET / HTTP/1.1\r\n\r\n").contains("live_total 1"));
+        counter.inc_by(9);
+        assert!(scrape(addr, "GET / HTTP/1.1\r\n\r\n").contains("live_total 10"));
+        server.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly after close on some platforms;
+                // what matters is the thread exited, which shutdown() joined.
+                true
+            }
+        );
+    }
+}

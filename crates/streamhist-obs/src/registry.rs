@@ -1,0 +1,489 @@
+//! The metric registry: named, labeled families of lock-free cells.
+//!
+//! A [`MetricsRegistry`] owns a map `name -> family`, where a family fixes
+//! the metric kind and help text and holds one cell per distinct label
+//! set. Registration returns a *handle* ([`Counter`], [`Gauge`],
+//! [`FloatGauge`], or an `Arc<LatencyRecorder>`) that callers keep on
+//! their hot path; updating a handle is a single `Relaxed` atomic
+//! operation (or, for latency summaries, one short mutex-guarded GK
+//! insertion). The registry's own mutex is taken only when registering a
+//! new series or gathering a snapshot for exposition, never per sample.
+//!
+//! Registering the same `(name, labels)` pair twice returns a handle to
+//! the *same* cell, so independent subsystems can share a counter without
+//! coordinating. Registering the same name with a different kind is a
+//! programming error and panics.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::latency::{LatencyRecorder, LatencySnapshot};
+
+/// A monotonically increasing event count.
+///
+/// Cloning is cheap (an `Arc` bump); all clones address the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline(always)]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline(always)]
+    pub fn inc_by(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// An integer value that can go up and down (queue depths, live object
+/// counts). Stored as the two's-complement bits of an `i64` so transient
+/// decrements below zero are representable.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Adds one.
+    #[inline(always)]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline(always)]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline(always)]
+    pub fn add(&self, delta: i64) {
+        // i64 and u64 wrapping addition agree bit-for-bit, so storing the
+        // two's-complement bits and using fetch_add keeps this lock-free.
+        self.cell.fetch_add(delta as u64, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    #[inline(always)]
+    pub fn set(&self, value: i64) {
+        self.cell.store(value as u64, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed) as i64
+    }
+}
+
+/// A floating-point gauge (ratios, error bounds, seconds). Stored as the
+/// raw `f64` bits in an `AtomicU64`; `set`/`get` are single atomic ops.
+#[derive(Debug, Clone)]
+pub struct FloatGauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for FloatGauge {
+    fn default() -> Self {
+        Self {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl FloatGauge {
+    /// Overwrites the value.
+    #[inline(always)]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The kind of a metric family (fixed at first registration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count; exposed as a Prometheus `counter`.
+    Counter,
+    /// Signed integer level; exposed as a Prometheus `gauge`.
+    Gauge,
+    /// Floating-point level; exposed as a Prometheus `gauge`.
+    FloatGauge,
+    /// GK-backed latency distribution; exposed as a Prometheus `summary`.
+    Summary,
+}
+
+impl MetricKind {
+    /// The `# TYPE` keyword used in the text exposition.
+    #[must_use]
+    pub fn exposition_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge | MetricKind::FloatGauge => "gauge",
+            MetricKind::Summary => "summary",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Float(Arc<AtomicU64>),
+    Summary(Arc<LatencyRecorder>),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    series: BTreeMap<Vec<(String, String)>, Cell>,
+}
+
+/// The value of one series at gather time.
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Integer gauge reading.
+    Gauge(i64),
+    /// Float gauge reading.
+    Float(f64),
+    /// Latency summary snapshot (count, sum, max, quantiles).
+    Summary(LatencySnapshot),
+}
+
+/// One labeled series inside a [`FamilySnapshot`].
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Sorted `(label, value)` pairs identifying the series.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// A point-in-time copy of one metric family, as returned by
+/// [`MetricsRegistry::gather`].
+#[derive(Debug, Clone)]
+pub struct FamilySnapshot {
+    /// Family name (valid per Prometheus naming rules).
+    pub name: String,
+    /// Help text from the first registration.
+    pub help: String,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// All series, in deterministic (label-sorted) order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// A concurrent registry of metric families.
+///
+/// See the [module docs](self) for the handle/registration model.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn normalize_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| {
+            assert!(valid_label_name(k), "invalid label name {k:?}");
+            ((*k).to_string(), (*v).to_string())
+        })
+        .collect();
+    out.sort();
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl FnOnce() -> Cell,
+    ) -> Cell {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let labels = normalize_labels(labels);
+        let mut families = self.families.lock().expect("registry mutex poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} already registered with kind {:?}, requested {kind:?}",
+            family.kind
+        );
+        family.series.entry(labels).or_insert_with(make).clone()
+    }
+
+    /// Registers (or re-opens) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or re-opens) a labeled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, MetricKind::Counter, || {
+            Cell::Counter(Arc::new(AtomicU64::new(0)))
+        }) {
+            Cell::Counter(cell) => Counter { cell },
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Registers (or re-opens) an unlabeled integer gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or re-opens) a labeled integer gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, MetricKind::Gauge, || {
+            Cell::Gauge(Arc::new(AtomicU64::new(0)))
+        }) {
+            Cell::Gauge(cell) => Gauge { cell },
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Registers (or re-opens) an unlabeled float gauge.
+    pub fn float_gauge(&self, name: &str, help: &str) -> FloatGauge {
+        self.float_gauge_with(name, help, &[])
+    }
+
+    /// Registers (or re-opens) a labeled float gauge.
+    pub fn float_gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> FloatGauge {
+        match self.register(name, help, labels, MetricKind::FloatGauge, || {
+            Cell::Float(Arc::new(AtomicU64::new(0f64.to_bits())))
+        }) {
+            Cell::Float(bits) => FloatGauge { bits },
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Registers (or re-opens) an unlabeled latency summary with the
+    /// default recorder configuration.
+    pub fn latency(&self, name: &str, help: &str) -> Arc<LatencyRecorder> {
+        self.latency_with(name, help, &[])
+    }
+
+    /// Registers (or re-opens) a labeled latency summary with the default
+    /// recorder configuration (see [`LatencyRecorder::new`]).
+    pub fn latency_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<LatencyRecorder> {
+        match self.register(name, help, labels, MetricKind::Summary, || {
+            Cell::Summary(Arc::new(LatencyRecorder::new()))
+        }) {
+            Cell::Summary(rec) => rec,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Point-in-time copy of every family and series, families and series
+    /// both in deterministic sorted order.
+    #[must_use]
+    pub fn gather(&self) -> Vec<FamilySnapshot> {
+        let families = self.families.lock().expect("registry mutex poisoned");
+        families
+            .iter()
+            .map(|(name, family)| FamilySnapshot {
+                name: name.clone(),
+                help: family.help.clone(),
+                kind: family.kind,
+                series: family
+                    .series
+                    .iter()
+                    .map(|(labels, cell)| SeriesSnapshot {
+                        labels: labels.clone(),
+                        value: match cell {
+                            Cell::Counter(c) => SampleValue::Counter(c.load(Ordering::Relaxed)),
+                            Cell::Gauge(c) => SampleValue::Gauge(c.load(Ordering::Relaxed) as i64),
+                            Cell::Float(c) => {
+                                SampleValue::Float(f64::from_bits(c.load(Ordering::Relaxed)))
+                            }
+                            Cell::Summary(rec) => SampleValue::Summary(rec.snapshot()),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// The process-wide registry.
+///
+/// Library code that has no registry handy (e.g. the kernel tracer)
+/// publishes here; `stream_cli --metrics-addr` and the bench bins expose
+/// it. First call initializes it; it is never torn down.
+pub fn global() -> &'static Arc<MetricsRegistry> {
+    static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_a_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("hits_total", "hits", &[("shard", "0")]);
+        let b = reg.counter_with("hits_total", "ignored help", &[("shard", "0")]);
+        a.inc_by(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(b.get(), 4);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("x_total", "", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter_with("x_total", "", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn gauge_goes_negative_and_back() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth", "queue depth");
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), -2);
+        g.add(5);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn float_gauge_round_trips() {
+        let reg = MetricsRegistry::new();
+        let g = reg.float_gauge("ratio", "");
+        assert_eq!(g.get(), 0.0);
+        g.set(0.12345);
+        assert_eq!(g.get(), 0.12345);
+        g.set(f64::NEG_INFINITY);
+        assert_eq!(g.get(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered with kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("thing", "");
+        let _ = reg.gauge("thing", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_metric_name_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("9starts_with_digit", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn bad_label_name_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter_with("ok_total", "", &[("bad-dash", "v")]);
+    }
+
+    #[test]
+    fn gather_is_deterministically_ordered() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("b_total", "", &[("s", "1")]).inc();
+        reg.counter_with("b_total", "", &[("s", "0")]).inc();
+        reg.gauge("a_level", "").set(2);
+        let snap = reg.gather();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "a_level");
+        assert_eq!(snap[1].name, "b_total");
+        let labels: Vec<_> = snap[1]
+            .series
+            .iter()
+            .map(|s| s.labels[0].1.clone())
+            .collect();
+        assert_eq!(labels, vec!["0", "1"]);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = Arc::clone(global());
+        let b = Arc::clone(global());
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn handles_are_lock_free_across_threads() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("cross_total", "");
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("worker panicked");
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,155 @@
+//! Satellite: `LatencyRecorder` quantile sanity against a sorted-vec
+//! oracle on deterministic workloads, plus losslessness across window
+//! wraps and `reset()`.
+
+use streamhist_obs::LatencyRecorder;
+
+const WINDOW: usize = 1_000;
+const EPS: f64 = 0.01;
+
+/// The samples the recorder's merged epochs currently cover: the last
+/// `in_current` samples (current epoch) plus, once at least one rotation
+/// has happened, the `WINDOW` samples before those (previous epoch).
+fn covered_slice(all: &[u64]) -> &[u64] {
+    let k = all.len();
+    if k == 0 {
+        return all;
+    }
+    let in_current = ((k - 1) % WINDOW) + 1;
+    let covered = if k > WINDOW { in_current + WINDOW } else { k };
+    &all[k - covered..]
+}
+
+/// Checks that for every probe quantile, the recorder's answer lands
+/// within the combined GK rank tolerance of the oracle rank over the
+/// covered window.
+fn assert_quantiles_match_oracle(rec: &LatencyRecorder, all: &[u64], workload: &str) {
+    let covered = covered_slice(all);
+    let mut sorted: Vec<u64> = covered.to_vec();
+    sorted.sort_unstable();
+    let total = sorted.len();
+    for phi in [0.0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+        let got = rec.quantile_ns(phi);
+        assert!(got.is_finite(), "{workload}: phi={phi} returned {got}");
+        // Rank of the returned value inside the oracle window.
+        let lo = sorted.partition_point(|&v| (v as f64) < got);
+        let hi = sorted.partition_point(|&v| (v as f64) <= got);
+        let target = (phi * total as f64).ceil().max(1.0);
+        // Each epoch contributes up to eps * n_epoch rank error and the
+        // bisection adds at most one more rank of slack.
+        let tol = 2.0 * EPS * total as f64 + 2.0;
+        let dev = if (lo as f64) > target {
+            lo as f64 - target
+        } else if (hi as f64) < target {
+            target - hi as f64
+        } else {
+            0.0
+        };
+        assert!(
+            dev <= tol,
+            "{workload}: phi={phi} value={got} rank-band=[{lo},{hi}] target={target} tol={tol}"
+        );
+    }
+}
+
+fn run_workload(name: &str, samples: impl Iterator<Item = u64>) {
+    let rec = LatencyRecorder::with_config(EPS, WINDOW);
+    let mut all = Vec::new();
+    for (i, s) in samples.enumerate() {
+        rec.record_ns(s);
+        all.push(s);
+        // Check at several points, including mid-epoch and just after wraps.
+        if [500, WINDOW, WINDOW + 1, 2 * WINDOW + 357, 5 * WINDOW].contains(&(i + 1)) {
+            assert_quantiles_match_oracle(&rec, &all, name);
+        }
+    }
+    assert_quantiles_match_oracle(&rec, &all, name);
+    assert_eq!(rec.count(), all.len() as u64, "{name}: lifetime count");
+    assert_eq!(
+        rec.sum_ns(),
+        all.iter().sum::<u64>(),
+        "{name}: lifetime sum"
+    );
+    assert_eq!(
+        rec.max_ns(),
+        all.iter().copied().max().unwrap_or(0),
+        "{name}: lifetime max"
+    );
+}
+
+#[test]
+fn increasing_ramp_matches_oracle() {
+    run_workload("ramp", (0..6 * WINDOW as u64).map(|i| i * 100));
+}
+
+#[test]
+fn lcg_pseudorandom_matches_oracle() {
+    // Deterministic LCG (Numerical Recipes constants), values in ns scale.
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    run_workload(
+        "lcg",
+        (0..6 * WINDOW).map(move |_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 40 // keep magnitudes modest so the sum stays exact
+        }),
+    );
+}
+
+#[test]
+fn constant_with_spikes_matches_oracle() {
+    run_workload(
+        "spiky",
+        (0..6 * WINDOW as u64).map(|i| if i % 97 == 0 { 5_000_000 } else { 1_000 }),
+    );
+}
+
+#[test]
+fn recording_is_panic_free_and_lossless_across_wraps_and_reset() {
+    let rec = LatencyRecorder::with_config(0.02, 128);
+    // Phase 1: push through many wraps.
+    for i in 0..10_000u64 {
+        rec.record_ns(i % 4_096);
+    }
+    assert_eq!(rec.count(), 10_000);
+    let snap = rec.snapshot();
+    assert_eq!(snap.count, 10_000);
+    assert!(snap.quantiles.iter().all(|(_, v)| v.is_finite()));
+
+    // Phase 2: reset mid-stream, then keep recording across more wraps.
+    rec.reset();
+    assert_eq!(rec.count(), 0);
+    assert!(rec.quantile_ns(0.5).is_nan());
+    for i in 0..1_000u64 {
+        rec.record_ns(i);
+    }
+    assert_eq!(rec.count(), 1_000, "post-reset samples all accounted for");
+    assert_eq!(rec.sum_ns(), 1_000 * 999 / 2);
+    let p50 = rec.quantile_ns(0.5);
+    // Covered window after reset is the last 128..256 samples (values
+    // 744..=999); the median must come from that population.
+    assert!((700.0..=1_000.0).contains(&p50), "p50 = {p50}");
+}
+
+#[test]
+fn concurrent_recording_is_lossless() {
+    use std::sync::Arc;
+    let rec = Arc::new(LatencyRecorder::with_config(0.02, 256));
+    let threads = 4;
+    let per_thread = 5_000u64;
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let rec = Arc::clone(&rec);
+        joins.push(std::thread::spawn(move || {
+            for i in 0..per_thread {
+                rec.record_ns(t * per_thread + i);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().expect("recorder thread panicked");
+    }
+    assert_eq!(rec.count(), threads * per_thread);
+    assert!(rec.quantile_ns(0.5).is_finite());
+}

@@ -198,6 +198,10 @@ impl AgglomerativeHistogram {
 
     /// Current interval-queue lengths per level (`B−1` entries) — the
     /// space diagnostic bounded by `O((1/δ) log n)` per level.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `kernel_stats().queue_sizes` — one stats record carries every kernel diagnostic"
+    )]
     #[must_use]
     pub fn queue_sizes(&self) -> Vec<usize> {
         self.kernel.queue_sizes()
@@ -215,6 +219,10 @@ impl AgglomerativeHistogram {
     /// The maintained estimate of `HERROR[n, B]`: the SSE the returned
     /// histogram approximately achieves (within `(1+ε)` of optimal).
     /// Returns 0 for an empty stream.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `kernel_stats().herror` — one stats record carries every kernel diagnostic"
+    )]
     #[must_use]
     pub fn sse_estimate(&self) -> f64 {
         self.kernel.top.as_ref().map_or(0.0, |(h, _)| *h)
@@ -371,7 +379,7 @@ mod tests {
         let agg = AgglomerativeHistogram::new(3, 0.1);
         assert!(agg.is_empty());
         assert_eq!(agg.histogram().domain_len(), 0);
-        assert_eq!(agg.sse_estimate(), 0.0);
+        assert_eq!(agg.kernel_stats().herror, 0.0);
     }
 
     #[test]
@@ -381,7 +389,7 @@ mod tests {
         let h = agg.histogram();
         assert_eq!(h.domain_len(), 1);
         assert_eq!(h.point(0), 42.0);
-        assert_eq!(agg.sse_estimate(), 0.0);
+        assert_eq!(agg.kernel_stats().herror, 0.0);
     }
 
     #[test]
@@ -394,7 +402,7 @@ mod tests {
         let h = agg.histogram();
         assert_eq!(h.num_buckets(), 1);
         assert!((h.buckets()[0].height - 2.5).abs() < 1e-12);
-        assert!((agg.sse_estimate() - 5.0).abs() < 1e-9);
+        assert!((agg.kernel_stats().herror - 5.0).abs() < 1e-9);
     }
 
     #[test]
@@ -435,10 +443,10 @@ mod tests {
             for eps in [0.05, 0.2, 1.0] {
                 let agg = AgglomerativeHistogram::from_slice(&data, b, eps);
                 let realized = agg.histogram().sse(&data);
+                let estimate = agg.kernel_stats().herror;
                 assert!(
-                    realized <= agg.sse_estimate() + 1e-6,
-                    "b={b} eps={eps}: realized {realized} > estimate {}",
-                    agg.sse_estimate()
+                    realized <= estimate + 1e-6,
+                    "b={b} eps={eps}: realized {realized} > estimate {estimate}"
                 );
             }
         }
@@ -450,7 +458,7 @@ mod tests {
         // should be far below n.
         let data: Vec<f64> = (0..2000).map(|i| (i as f64).sqrt()).collect();
         let agg = AgglomerativeHistogram::from_slice(&data, 4, 0.5);
-        for (k, qs) in agg.queue_sizes().iter().enumerate() {
+        for (k, qs) in agg.kernel_stats().queue_sizes.iter().enumerate() {
             assert!(*qs < 400, "level {k} queue has {qs} intervals for n=2000");
         }
     }
@@ -474,14 +482,19 @@ mod tests {
         let data: Vec<f64> = (0..300).map(|i| ((i * 31) % 19) as f64).collect();
         let agg = AgglomerativeHistogram::from_slice(&data, 4, 0.1);
         let stats = agg.kernel_stats();
-        assert_eq!(stats.queue_sizes, agg.queue_sizes());
+        // Equivalence pin for the deprecated free-standing getters: they
+        // must keep mirroring the stats record for as long as they exist.
+        #[allow(deprecated)]
+        {
+            assert_eq!(stats.queue_sizes, agg.queue_sizes());
+            assert_eq!(stats.herror, agg.sse_estimate());
+        }
         // One HERROR evaluation per level k >= 2 per push.
         assert_eq!(stats.herror_evals, data.len() * 3);
         assert_eq!(stats.binary_searches, 0);
         assert_eq!(stats.rebases, 0);
         assert!(stats.arena_nodes > 0);
         assert!(stats.arena_peak >= stats.arena_nodes);
-        assert_eq!(stats.herror, agg.sse_estimate());
     }
 
     #[test]
@@ -522,7 +535,7 @@ mod tests {
         agg.reset();
         assert!(agg.is_empty());
         assert_eq!(agg.histogram().domain_len(), 0);
-        assert_eq!(agg.sse_estimate(), 0.0);
+        assert_eq!(agg.kernel_stats().herror, 0.0);
     }
 
     #[test]

@@ -33,6 +33,10 @@ use streamhist_core::{BatchOutcome, Histogram, SlidingPrefixSums, StreamSummary,
 ///
 /// Alias retained from before the shared-kernel refactor; new code should
 /// name [`KernelStats`] directly.
+#[deprecated(
+    since = "0.1.0",
+    note = "name `KernelStats` directly; the alias predates the shared-kernel refactor"
+)]
 pub type BuildStats = KernelStats;
 
 /// Sliding-window `(1+ε)`-approximate V-optimal histogram over the last
@@ -294,7 +298,13 @@ impl FixedWindowHistogram {
             self.raw.pop_front();
         }
         self.raw.push_back(v);
+        #[cfg(feature = "obs")]
+        let rebases0 = self.prefix.rebases();
         self.prefix.push(v);
+        #[cfg(feature = "obs")]
+        if let Some(t) = crate::telemetry::kernel_tracer() {
+            t.rebases.inc_by((self.prefix.rebases() - rebases0) as u64);
+        }
         self.total_pushed += 1;
         self.generation += 1;
         Ok(())
@@ -317,6 +327,8 @@ impl FixedWindowHistogram {
     /// per slab instead of one per point in the paper's per-point
     /// maintenance loop.
     pub fn push_batch(&mut self, values: &[f64]) -> BatchOutcome {
+        #[cfg(feature = "obs")]
+        let rebases0 = self.prefix.rebases();
         let mut out = BatchOutcome::default();
         let cap = self.prefix.capacity();
         let mut rest = values;
@@ -347,6 +359,10 @@ impl FixedWindowHistogram {
         }
         if out.accepted > 0 {
             self.generation += 1;
+        }
+        #[cfg(feature = "obs")]
+        if let Some(t) = crate::telemetry::kernel_tracer() {
+            t.rebases.inc_by((self.prefix.rebases() - rebases0) as u64);
         }
         out
     }

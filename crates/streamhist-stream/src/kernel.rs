@@ -431,6 +431,12 @@ impl Kernel {
     /// re-evaluating every level there and extending-or-starting each
     /// queue's tail interval (paper Fig. 3 lines 7-10). Cost `O(B · q)`.
     pub fn push_point<P: PrefixProvider>(&mut self, p: &P) {
+        // Phase tracing (`obs` feature): one relaxed load when no tracer
+        // is installed; timing + eval-delta accounting when one is.
+        #[cfg(feature = "obs")]
+        let trace =
+            crate::telemetry::kernel_tracer().map(|t| (t, self.evals, std::time::Instant::now()));
+
         let c = p.len() - 1;
         self.maybe_compact();
 
@@ -466,6 +472,13 @@ impl Kernel {
         }
 
         self.top = Some(herrs[self.b - 1]);
+
+        #[cfg(feature = "obs")]
+        if let Some((t, evals0, start)) = trace {
+            t.pushes.inc();
+            t.evals.inc_by((self.evals - evals0) as u64);
+            t.push_seconds.record(start.elapsed());
+        }
     }
 
     /// Online mode, slab-driven: absorbs a batch of values into `totals`
@@ -515,6 +528,10 @@ impl Kernel {
 
     /// Collects arena garbage immediately, remapping every retained handle.
     pub fn compact_now(&mut self) {
+        #[cfg(feature = "obs")]
+        if let Some(t) = crate::telemetry::kernel_tracer() {
+            t.compactions.inc();
+        }
         let mut roots: Vec<CutId> = self
             .queues
             .iter()
@@ -635,7 +652,11 @@ impl Kernel {
         }
         let mut queues = Vec::with_capacity(queue_count);
         for _ in 0..queue_count {
-            let len = r.get_count(35)?;
+            // An interval's minimum encoding is 34 bytes: four f64s plus
+            // two varints of at least one byte each (idx and chain are
+            // both small for early positions). 35 falsely rejected valid
+            // frames with dense queues (tiny eps => interval per point).
+            let len = r.get_count(34)?;
             let mut queue: Vec<Interval> = Vec::with_capacity(len);
             for _ in 0..len {
                 let start_herror = r.get_f64()?;
@@ -694,6 +715,10 @@ impl Kernel {
     /// `(1+δ)` factor of its value at the interval start, locating each
     /// endpoint by binary search over the monotone `HERROR[·, k]`.
     fn create_list<P: PrefixProvider>(&mut self, p: &P, k: usize, m: usize) -> Vec<Interval> {
+        // Probe count is accumulated locally and flushed once per call so
+        // tracing adds no atomics inside the search loop.
+        #[cfg(feature = "obs")]
+        let mut probes: u64 = 0;
         let mut queue: Vec<Interval> = Vec::new();
         let mut a = 0usize;
         while a < m {
@@ -707,6 +732,10 @@ impl Kernel {
             let mut hi = m - 1;
             let mut lo_val: (f64, CutId) = (t, chain_a);
             while lo < hi {
+                #[cfg(feature = "obs")]
+                {
+                    probes += 1;
+                }
                 let mid = lo + (hi - lo).div_ceil(2);
                 let hv = self.herror_eval(p, mid, k, None, true);
                 if hv.0 <= threshold {
@@ -729,6 +758,11 @@ impl Kernel {
             });
             a = lo + 1;
         }
+        #[cfg(feature = "obs")]
+        if let Some(t) = crate::telemetry::kernel_tracer() {
+            t.probes.inc_by(probes);
+            t.intervals.inc_by(queue.len() as u64);
+        }
         queue
     }
 
@@ -737,17 +771,29 @@ impl Kernel {
     /// then the level-`B` minimization at the window end produces the
     /// histogram. Shared by the count-based and time-based window types.
     pub fn build<P: PrefixProvider>(p: &P, b: usize, delta: f64) -> (Histogram, KernelStats) {
+        #[cfg(feature = "obs")]
+        let trace = crate::telemetry::kernel_tracer().map(|t| (t, std::time::Instant::now()));
+
         let m = p.len();
         let mut kernel = Kernel::new_batch(b, delta);
-        if m == 0 {
-            return (kernel.materialize_top(), kernel.stats(p.rebases()));
+        if m > 0 {
+            for k in 1..b {
+                let q = kernel.create_list(p, k, m);
+                kernel.queues.push(q);
+            }
+            let top = kernel.herror_eval(p, m - 1, b, None, true);
+            kernel.top = Some(top);
         }
-        for k in 1..b {
-            let q = kernel.create_list(p, k, m);
-            kernel.queues.push(q);
+
+        // A fresh batch kernel starts its work counters at zero, so the
+        // totals here are exactly this build's work.
+        #[cfg(feature = "obs")]
+        if let Some((t, start)) = trace {
+            t.builds.inc();
+            t.evals.inc_by(kernel.evals as u64);
+            t.build_seconds.record(start.elapsed());
         }
-        let top = kernel.herror_eval(p, m - 1, b, None, true);
-        kernel.top = Some(top);
+
         (kernel.materialize_top(), kernel.stats(p.rebases()))
     }
 }

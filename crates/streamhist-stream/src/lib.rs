@@ -71,11 +71,14 @@ pub mod baseline;
 pub mod fixed_window;
 mod kernel;
 pub mod sharded;
+pub mod telemetry;
 pub mod time_window;
 
 pub use agglomerative::{AgglomerativeBuilder, AgglomerativeHistogram};
 pub use baseline::{NaiveSlidingWindow, NaiveSlidingWindowBuilder};
-pub use fixed_window::{BuildStats, FixedWindowBuilder, FixedWindowHistogram};
+#[allow(deprecated)]
+pub use fixed_window::BuildStats;
+pub use fixed_window::{FixedWindowBuilder, FixedWindowHistogram};
 pub use kernel::KernelStats;
 pub use sharded::{
     OverloadPolicy, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow,

@@ -62,6 +62,12 @@ use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use streamhist_core::{Checkpoint, Histogram, StreamhistError};
+use streamhist_obs::{Counter, Gauge, MetricsRegistry};
+
+#[cfg(feature = "obs")]
+use crate::telemetry::FleetTiming;
+#[cfg(feature = "obs")]
+use std::time::Instant;
 
 /// Leading byte of a fleet save produced by
 /// [`ShardedFixedWindow::checkpoint_all`] (`'S'` for *sharded*; per-shard
@@ -179,35 +185,111 @@ pub struct ShardMetrics {
     pub queue_depth: usize,
 }
 
-/// The shared atomic counters behind [`ShardMetrics`]. `Relaxed` ordering
-/// everywhere: each counter is independently monotone and reads are
-/// statistical unless the shard is quiescent (e.g. after a snapshot
-/// barrier), where channel synchronization makes them exact.
+/// The shared lock-free cells behind [`ShardMetrics`]: `streamhist-obs`
+/// [`Counter`]/[`Gauge`] handles (`Relaxed` atomics inside). Each counter
+/// is independently monotone and reads are statistical unless the shard
+/// is quiescent (e.g. after a snapshot barrier), where channel
+/// synchronization makes them exact.
+///
+/// A default instance's cells are private to the fleet. When the fleet is
+/// built with [`ShardedFixedWindowBuilder::registry`], the cells are
+/// *registered* series (`streamhist_shard_*{fleet, shard}`), so the
+/// registry's exposition and the [`ShardMetrics`] view read the exact
+/// same atomics — they cannot disagree.
 #[derive(Debug, Default)]
 struct MetricsInner {
-    pushes_accepted: AtomicU64,
-    values_rejected: AtomicU64,
-    records_dropped: AtomicU64,
-    snapshots_served: AtomicU64,
-    respawns: AtomicU64,
-    checkpoints_taken: AtomicU64,
-    checkpoint_bytes: AtomicU64,
-    restores: AtomicU64,
-    queue_depth: AtomicUsize,
+    pushes_accepted: Counter,
+    values_rejected: Counter,
+    records_dropped: Counter,
+    snapshots_served: Counter,
+    respawns: Counter,
+    checkpoints_taken: Counter,
+    checkpoint_bytes: Counter,
+    restores: Counter,
+    queue_depth: Gauge,
+    /// Per-fleet latency recorders (queue wait, checkpoint encode,
+    /// restore, scatter), present only when tracing is compiled in *and*
+    /// a registry is attached. Shared by every shard of the fleet.
+    #[cfg(feature = "obs")]
+    timing: Option<Arc<FleetTiming>>,
 }
 
 impl MetricsInner {
+    /// Cells registered into `registry` as `streamhist_shard_*` series
+    /// labeled `{fleet, shard}`.
+    fn registered(registry: &MetricsRegistry, fleet: &str, shard: usize) -> Self {
+        let shard = shard.to_string();
+        let labels = &[("fleet", fleet), ("shard", shard.as_str())];
+        let counter = |name: &str, help: &str| {
+            registry.counter_with(&format!("streamhist_shard_{name}"), help, labels)
+        };
+        Self {
+            pushes_accepted: counter(
+                "pushes_accepted_total",
+                "Values absorbed into the shard's summary.",
+            ),
+            values_rejected: counter(
+                "values_rejected_total",
+                "Values rejected as malformed (NaN/infinity).",
+            ),
+            records_dropped: counter(
+                "records_dropped_total",
+                "Records shed at enqueue time under OverloadPolicy::DropNewest.",
+            ),
+            snapshots_served: counter(
+                "snapshots_served_total",
+                "Snapshot requests the worker has answered.",
+            ),
+            respawns: counter(
+                "respawns_total",
+                "Times this shard index has been respawned.",
+            ),
+            checkpoints_taken: counter(
+                "checkpoints_total",
+                "Checkpoints taken for this shard index (automatic and explicit).",
+            ),
+            checkpoint_bytes: counter(
+                "checkpoint_bytes_total",
+                "Cumulative encoded size of every checkpoint frame taken.",
+            ),
+            restores: counter(
+                "restores_total",
+                "Times this shard index has been restored from a checkpoint frame.",
+            ),
+            queue_depth: registry.gauge_with(
+                "streamhist_shard_queue_depth",
+                "Commands currently enqueued (or in flight) to the worker.",
+                labels,
+            ),
+            #[cfg(feature = "obs")]
+            timing: None,
+        }
+    }
+
     fn read(&self) -> ShardMetrics {
         ShardMetrics {
-            pushes_accepted: self.pushes_accepted.load(Ordering::Relaxed),
-            values_rejected: self.values_rejected.load(Ordering::Relaxed),
-            records_dropped: self.records_dropped.load(Ordering::Relaxed),
-            snapshots_served: self.snapshots_served.load(Ordering::Relaxed),
-            respawns: self.respawns.load(Ordering::Relaxed),
-            checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
-            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
-            restores: self.restores.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            pushes_accepted: self.pushes_accepted.get(),
+            values_rejected: self.values_rejected.get(),
+            records_dropped: self.records_dropped.get(),
+            snapshots_served: self.snapshots_served.get(),
+            respawns: self.respawns.get(),
+            checkpoints_taken: self.checkpoints_taken.get(),
+            checkpoint_bytes: self.checkpoint_bytes.get(),
+            restores: self.restores.get(),
+            // The gauge can transiently dip below zero in a reader's view
+            // (worker decrement racing ahead of a producer's increment);
+            // clamp for the unsigned public field.
+            queue_depth: usize::try_from(self.queue_depth.get().max(0)).unwrap_or(0),
+        }
+    }
+
+    /// Wraps a command for a shard queue, stamping the enqueue instant
+    /// when queue-wait tracing is live.
+    fn envelope(&self, cmd: Cmd) -> Envelope {
+        Envelope {
+            cmd,
+            #[cfg(feature = "obs")]
+            sent_at: self.timing.as_ref().map(|_| Instant::now()),
         }
     }
 }
@@ -230,12 +312,16 @@ fn checkpoint_now(
     metrics: &MetricsInner,
     slot: &Mutex<CheckpointSlot>,
 ) -> Vec<u8> {
+    #[cfg(feature = "obs")]
+    let encode_start = metrics.timing.as_ref().map(|_| Instant::now());
     let frame = fw.encode_checkpoint();
-    metrics.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
-    metrics
-        .checkpoint_bytes
-        .fetch_add(frame.len() as u64, Ordering::Relaxed);
-    let accepted_at = metrics.pushes_accepted.load(Ordering::Relaxed);
+    #[cfg(feature = "obs")]
+    if let (Some(t), Some(start)) = (&metrics.timing, encode_start) {
+        t.checkpoint_encode.record(start.elapsed());
+    }
+    metrics.checkpoints_taken.inc();
+    metrics.checkpoint_bytes.inc_by(frame.len() as u64);
+    let accepted_at = metrics.pushes_accepted.get();
     *slot.lock().unwrap_or_else(PoisonError::into_inner) = CheckpointSlot {
         frame: frame.clone(),
         accepted_at,
@@ -256,8 +342,17 @@ enum Cmd {
     InjectPanic,
 }
 
+/// What actually travels on a shard queue: the command, plus (when
+/// queue-wait tracing is live) the instant it was enqueued. With the
+/// `obs` feature off this is exactly a [`Cmd`].
+struct Envelope {
+    cmd: Cmd,
+    #[cfg(feature = "obs")]
+    sent_at: Option<Instant>,
+}
+
 struct Shard {
-    sender: SyncSender<Cmd>,
+    sender: SyncSender<Envelope>,
     /// `None` only transiently inside `retire_worker`; every public entry
     /// point sees `Some`.
     handle: Option<JoinHandle<FixedWindowHistogram>>,
@@ -365,6 +460,8 @@ impl ShardedFixedWindow {
             b,
             eps,
             options: ShardedOptions::default(),
+            registry: None,
+            fleet: None,
         }
     }
 
@@ -377,21 +474,25 @@ impl ShardedFixedWindow {
         mut fw: FixedWindowHistogram,
         metrics: Arc<MetricsInner>,
         slot: Arc<Mutex<CheckpointSlot>>,
-    ) -> (SyncSender<Cmd>, JoinHandle<FixedWindowHistogram>) {
+    ) -> (SyncSender<Envelope>, JoinHandle<FixedWindowHistogram>) {
         let interval = self.options.checkpoint_interval;
-        let (tx, rx) = sync_channel::<Cmd>(self.options.queue_capacity);
+        let (tx, rx) = sync_channel::<Envelope>(self.options.queue_capacity);
         let handle = std::thread::spawn(move || {
             let mut since_checkpoint = 0usize;
-            while let Ok(cmd) = rx.recv() {
-                metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                match cmd {
+            while let Ok(env) = rx.recv() {
+                metrics.queue_depth.dec();
+                #[cfg(feature = "obs")]
+                if let (Some(t), Some(sent_at)) = (&metrics.timing, env.sent_at) {
+                    t.queue_wait.record(sent_at.elapsed());
+                }
+                match env.cmd {
                     Cmd::Push(v) => match fw.try_push(v) {
                         Ok(()) => {
-                            metrics.pushes_accepted.fetch_add(1, Ordering::Relaxed);
+                            metrics.pushes_accepted.inc();
                             since_checkpoint += 1;
                         }
                         Err(_) => {
-                            metrics.values_rejected.fetch_add(1, Ordering::Relaxed);
+                            metrics.values_rejected.inc();
                         }
                     },
                     Cmd::PushBatch(vs) => {
@@ -400,19 +501,15 @@ impl ShardedFixedWindow {
                         // to the next snapshot, exact reject accounting.
                         let out = fw.push_batch(&vs);
                         if out.accepted > 0 {
-                            metrics
-                                .pushes_accepted
-                                .fetch_add(out.accepted as u64, Ordering::Relaxed);
+                            metrics.pushes_accepted.inc_by(out.accepted as u64);
                             since_checkpoint += out.accepted;
                         }
                         if out.rejected > 0 {
-                            metrics
-                                .values_rejected
-                                .fetch_add(out.rejected as u64, Ordering::Relaxed);
+                            metrics.values_rejected.inc_by(out.rejected as u64);
                         }
                     }
                     Cmd::Snapshot(reply) => {
-                        metrics.snapshots_served.fetch_add(1, Ordering::Relaxed);
+                        metrics.snapshots_served.inc();
                         // A dropped reply receiver just means the
                         // requester stopped waiting.
                         let _ = reply.send(fw.histogram_with_stats());
@@ -465,26 +562,25 @@ impl ShardedFixedWindow {
     /// the command is shed).
     fn send(&self, shard: usize, cmd: Cmd, records: u64) -> Result<(), ShardError> {
         let s = &self.shards[shard];
+        let env = s.metrics.envelope(cmd);
         // Increment before the send so the worker's decrement (which can
         // race ahead of this thread the instant the send lands) never
-        // underflows the gauge.
-        s.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        // drives the gauge negative for long.
+        s.metrics.queue_depth.inc();
         let undeliverable = match self.options.policy {
-            OverloadPolicy::Block => s.sender.send(cmd).is_err(),
-            OverloadPolicy::DropNewest => match s.sender.try_send(cmd) {
+            OverloadPolicy::Block => s.sender.send(env).is_err(),
+            OverloadPolicy::DropNewest => match s.sender.try_send(env) {
                 Ok(()) => false,
                 Err(TrySendError::Full(_)) => {
-                    s.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    s.metrics
-                        .records_dropped
-                        .fetch_add(records, Ordering::Relaxed);
+                    s.metrics.queue_depth.dec();
+                    s.metrics.records_dropped.inc_by(records);
                     return Ok(());
                 }
                 Err(TrySendError::Disconnected(_)) => true,
             },
         };
         if undeliverable {
-            s.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            s.metrics.queue_depth.dec();
             return Err(ShardError { shard });
         }
         Ok(())
@@ -561,6 +657,12 @@ impl ShardedFixedWindow {
             return Ok(());
         }
         let k = self.shards.len();
+        #[cfg(feature = "obs")]
+        let scatter_start = self.shards[0]
+            .metrics
+            .timing
+            .as_ref()
+            .map(|t| (Arc::clone(t), Instant::now()));
         let start = self.scatter_cursor.fetch_add(1, Ordering::Relaxed);
         let chunk = values.len().div_ceil(k);
         let mut first_err = None;
@@ -568,6 +670,10 @@ impl ShardedFixedWindow {
             if let Err(e) = self.push_batch((start + i) % k, slab.to_vec()) {
                 first_err.get_or_insert(e);
             }
+        }
+        #[cfg(feature = "obs")]
+        if let Some((t, at)) = scatter_start {
+            t.scatter.record(at.elapsed());
         }
         first_err.map_or(Ok(()), Err)
     }
@@ -589,9 +695,10 @@ impl ShardedFixedWindow {
     pub fn snapshot(&self, shard: usize) -> Result<(Arc<Histogram>, KernelStats), ShardError> {
         let s = &self.shards[shard];
         let (reply_tx, reply_rx) = channel();
-        s.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
-        if s.sender.send(Cmd::Snapshot(reply_tx)).is_err() {
-            s.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let env = s.metrics.envelope(Cmd::Snapshot(reply_tx));
+        s.metrics.queue_depth.inc();
+        if s.sender.send(env).is_err() {
+            s.metrics.queue_depth.dec();
             return Err(ShardError { shard });
         }
         reply_rx.recv().map_err(|_| ShardError { shard })
@@ -635,9 +742,10 @@ impl ShardedFixedWindow {
     /// Panics if `shard` is out of range.
     pub fn inject_worker_panic(&self, shard: usize) -> Result<(), ShardError> {
         let s = &self.shards[shard];
-        s.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
-        if s.sender.send(Cmd::InjectPanic).is_err() {
-            s.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let env = s.metrics.envelope(Cmd::InjectPanic);
+        s.metrics.queue_depth.inc();
+        if s.sender.send(env).is_err() {
+            s.metrics.queue_depth.dec();
             return Err(ShardError { shard });
         }
         Ok(())
@@ -651,7 +759,7 @@ impl ShardedFixedWindow {
         // A dummy disconnected sender stands in so the real one can be
         // dropped (closing the queue) before the join. Nothing can race the
         // stand-in: `&mut self` is exclusive.
-        let (dummy_tx, _) = sync_channel::<Cmd>(1);
+        let (dummy_tx, _) = sync_channel::<Envelope>(1);
         drop(std::mem::replace(&mut self.shards[shard].sender, dummy_tx));
         let handle = self.shards[shard]
             .handle
@@ -667,7 +775,7 @@ impl ShardedFixedWindow {
     fn install_worker(&mut self, shard: usize, seed: FixedWindowHistogram, frame: Vec<u8>) {
         let metrics = Arc::clone(&self.shards[shard].metrics);
         let slot = Arc::clone(&self.shards[shard].checkpoint);
-        let accepted = metrics.pushes_accepted.load(Ordering::Relaxed);
+        let accepted = metrics.pushes_accepted.get();
         *slot.lock().unwrap_or_else(PoisonError::into_inner) = CheckpointSlot {
             frame,
             accepted_at: accepted,
@@ -675,7 +783,7 @@ impl ShardedFixedWindow {
         let (sender, handle) = self.spawn_worker(seed, Arc::clone(&metrics), slot);
         self.shards[shard].sender = sender;
         self.shards[shard].handle = Some(handle);
-        metrics.queue_depth.store(0, Ordering::Relaxed);
+        metrics.queue_depth.set(0);
     }
 
     /// Replaces shard `shard`'s worker, restoring service on that index
@@ -717,16 +825,22 @@ impl ShardedFixedWindow {
                 // auto-checkpoint) right up to its death, so any earlier
                 // read would undercount the loss. Post-join both the
                 // counter and the slot are frozen.
-                let accepted = metrics.pushes_accepted.load(Ordering::Relaxed);
+                let accepted = metrics.pushes_accepted.get();
                 let slot = Arc::clone(&self.shards[shard].checkpoint);
                 let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
                 let accepted_at = guard.accepted_at;
+                #[cfg(feature = "obs")]
+                let restore_start = metrics.timing.as_ref().map(|_| Instant::now());
                 let decoded = FixedWindowHistogram::restore(&guard.frame);
+                #[cfg(feature = "obs")]
+                if let (Some(t), Some(start)) = (&metrics.timing, restore_start) {
+                    t.restore.record(start.elapsed());
+                }
                 drop(guard);
                 let lost_since_checkpoint = accepted.saturating_sub(accepted_at);
                 match decoded {
                     Ok(fw) => {
-                        metrics.restores.fetch_add(1, Ordering::Relaxed);
+                        metrics.restores.inc();
                         let report = RecoveryReport {
                             restored_len: fw.total_pushed(),
                             lost_since_checkpoint,
@@ -748,7 +862,7 @@ impl ShardedFixedWindow {
         };
         let frame = seed.encode_checkpoint();
         self.install_worker(shard, seed, frame);
-        metrics.respawns.fetch_add(1, Ordering::Relaxed);
+        metrics.respawns.inc();
         report
     }
 
@@ -770,9 +884,10 @@ impl ShardedFixedWindow {
         let mut frames = Vec::with_capacity(self.shards.len());
         for (shard, s) in self.shards.iter().enumerate() {
             let (reply_tx, reply_rx) = channel();
-            s.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
-            if s.sender.send(Cmd::Checkpoint(reply_tx)).is_err() {
-                s.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            let env = s.metrics.envelope(Cmd::Checkpoint(reply_tx));
+            s.metrics.queue_depth.inc();
+            if s.sender.send(env).is_err() {
+                s.metrics.queue_depth.dec();
                 return Err(io::Error::other(ShardError { shard }));
             }
             let frame = reply_rx
@@ -825,6 +940,8 @@ impl ShardedFixedWindow {
         if count != self.shards.len() {
             return Err(invalid("fleet shard count does not match this fleet"));
         }
+        #[cfg(feature = "obs")]
+        let timing = self.shards[0].metrics.timing.clone();
         let mut restored = Vec::with_capacity(count);
         for _ in 0..count {
             let mut len_bytes = [0u8; 8];
@@ -837,17 +954,20 @@ impl ShardedFixedWindow {
             if frame.len() as u64 != len {
                 return Err(invalid("truncated shard frame in fleet save"));
             }
+            #[cfg(feature = "obs")]
+            let restore_start = timing.as_ref().map(|_| Instant::now());
             let fw = FixedWindowHistogram::restore(&frame)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            #[cfg(feature = "obs")]
+            if let (Some(t), Some(start)) = (&timing, restore_start) {
+                t.restore.record(start.elapsed());
+            }
             restored.push((frame, fw));
         }
         for (shard, (frame, fw)) in restored.into_iter().enumerate() {
             let _ = self.retire_worker(shard);
             self.install_worker(shard, fw, frame);
-            self.shards[shard]
-                .metrics
-                .restores
-                .fetch_add(1, Ordering::Relaxed);
+            self.shards[shard].metrics.restores.inc();
         }
         Ok(())
     }
@@ -881,9 +1001,32 @@ pub struct ShardedFixedWindowBuilder {
     b: usize,
     eps: f64,
     options: ShardedOptions,
+    registry: Option<Arc<MetricsRegistry>>,
+    fleet: Option<String>,
 }
 
 impl ShardedFixedWindowBuilder {
+    /// Attaches a metrics registry: every shard's [`ShardMetrics`]
+    /// counters become registered `streamhist_shard_*{fleet, shard}`
+    /// series backed by the *same* cells the [`ShardMetrics`] view reads,
+    /// so `registry.text_exposition()` reconciles with
+    /// [`ShardedFixedWindow::metrics_all`] exactly. With the `obs` cargo
+    /// feature enabled this also registers the fleet's latency summaries
+    /// (queue wait, checkpoint encode, restore, scatter dispatch).
+    #[must_use]
+    pub fn registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Overrides the `fleet` label value used for this fleet's registered
+    /// series. Defaults to a process-unique `fleet<N>` so two fleets
+    /// sharing a registry never write to each other's cells.
+    #[must_use]
+    pub fn fleet_label(mut self, fleet: impl Into<String>) -> Self {
+        self.fleet = Some(fleet.into());
+        self
+    }
     /// Overrides the per-shard command queue bound (default 1024).
     #[must_use]
     pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
@@ -942,6 +1085,21 @@ impl ShardedFixedWindowBuilder {
         // Validate the per-shard summary parameters on the caller's thread
         // so bad configs fail here, not inside a silently-dead worker.
         drop(FixedWindowHistogram::builder(self.capacity, self.b, self.eps).build()?);
+        // The fleet label defaults to a process-unique value: two fleets
+        // registering into one registry must get distinct series, or
+        // their counter handles would silently alias the same cells.
+        let fleet_label = self.registry.as_ref().map(|_| {
+            self.fleet.clone().unwrap_or_else(|| {
+                static NEXT_FLEET: AtomicU64 = AtomicU64::new(0);
+                format!("fleet{}", NEXT_FLEET.fetch_add(1, Ordering::Relaxed))
+            })
+        });
+        #[cfg(feature = "obs")]
+        let timing = self
+            .registry
+            .as_ref()
+            .zip(fleet_label.as_deref())
+            .map(|(reg, fleet)| Arc::new(FleetTiming::register(reg, fleet)));
         let mut this = ShardedFixedWindow {
             shards: Vec::with_capacity(self.shards),
             capacity: self.capacity,
@@ -950,8 +1108,17 @@ impl ShardedFixedWindowBuilder {
             options: self.options,
             scatter_cursor: AtomicUsize::new(0),
         };
-        for _ in 0..self.shards {
-            let metrics = Arc::new(MetricsInner::default());
+        for shard in 0..self.shards {
+            #[allow(unused_mut)]
+            let mut inner = match (&self.registry, &fleet_label) {
+                (Some(reg), Some(fleet)) => MetricsInner::registered(reg, fleet, shard),
+                _ => MetricsInner::default(),
+            };
+            #[cfg(feature = "obs")]
+            {
+                inner.timing = timing.clone();
+            }
+            let metrics = Arc::new(inner);
             let fw = this.fresh_summary();
             let slot = Arc::new(Mutex::new(CheckpointSlot {
                 frame: fw.encode_checkpoint(),

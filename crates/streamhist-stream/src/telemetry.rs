@@ -1,0 +1,320 @@
+//! Bridge between the streaming summaries and the `streamhist-obs`
+//! metrics registry.
+//!
+//! Three layers, with three different costs:
+//!
+//! 1. **Shard counters** (always compiled). The sharded layer's
+//!    [`ShardMetrics`](crate::ShardMetrics) counters are
+//!    [`streamhist_obs::Counter`]/[`streamhist_obs::Gauge`] cells. When a
+//!    fleet is built with
+//!    [`registry`](crate::ShardedFixedWindowBuilder::registry), those
+//!    cells are *registered* — the registry and the `ShardMetrics` view
+//!    read the **same atomics**, so the exposition reconciles with the
+//!    per-shard metrics exactly, by construction (one source of truth, no
+//!    double counting). Without a registry the cells are private and the
+//!    behavior (and cost: one relaxed atomic op) is unchanged.
+//! 2. **Kernel stats publication** ([`publish_kernel_stats`], always
+//!    compiled). [`KernelStats`] is a point-in-time *view* (cumulative
+//!    for online summaries, per-materialization for batch builds), so it
+//!    publishes as **gauges** — republishing the same snapshot twice must
+//!    not double anything, which counter semantics would.
+//! 3. **Phase tracing** (`obs` cargo feature, default off). Span-style
+//!    hooks inside the kernel and the sharded data plane: build/push
+//!    duration, `HERROR` evaluation and binary-search probe counts,
+//!    `CreateList` interval production and search depth, rebase and
+//!    arena-compaction events, queue-wait time, checkpoint encode /
+//!    restore duration, scatter dispatch latency. With the feature
+//!    disabled every hook compiles to nothing (the `#[cfg]`'d code is
+//!    absent, not dynamically skipped — the `bench_obs_overhead` bin
+//!    enforces a ≤2% budget on the disabled path). With the feature
+//!    enabled the hooks are live only after
+//!    [`install_kernel_tracer`] / a fleet registry attach; un-traced code
+//!    pays one relaxed load and a branch.
+
+use streamhist_obs::MetricsRegistry;
+
+use crate::kernel::KernelStats;
+
+/// Metric name prefix shared by everything this crate registers.
+const PREFIX: &str = "streamhist";
+
+/// Publishes a [`KernelStats`] snapshot into `registry` as gauges, under
+/// `labels` (e.g. `&[("fleet", "f0"), ("shard", "3")]`, or empty for a
+/// single unsharded summary).
+///
+/// Gauges, deliberately: a stats record is a point-in-time view — the
+/// online summaries report store-lifetime cumulative work and the window
+/// summaries report per-materialization work — so the registry must
+/// *overwrite* on republish. Event-counting (monotone `_total` series)
+/// is the tracing layer's job, where each event is observed exactly once
+/// at its source.
+pub fn publish_kernel_stats(
+    registry: &MetricsRegistry,
+    labels: &[(&str, &str)],
+    stats: &KernelStats,
+) {
+    let clamp = |v: usize| i64::try_from(v).unwrap_or(i64::MAX);
+    registry
+        .gauge_with(
+            &format!("{PREFIX}_kernel_queue_intervals"),
+            "Total interval-queue entries across all levels (paper bound O((B/delta) log n)).",
+            labels,
+        )
+        .set(clamp(stats.queue_sizes.iter().sum()));
+    registry
+        .gauge_with(
+            &format!("{PREFIX}_kernel_herror_evals"),
+            "HERROR evaluations in the reported stats window (cumulative online, per-build batch).",
+            labels,
+        )
+        .set(clamp(stats.herror_evals));
+    registry
+        .gauge_with(
+            &format!("{PREFIX}_kernel_binary_searches"),
+            "CreateList binary searches in the reported stats window (one per interval created).",
+            labels,
+        )
+        .set(clamp(stats.binary_searches));
+    registry
+        .float_gauge_with(
+            &format!("{PREFIX}_kernel_herror"),
+            "Current approximate HERROR[n, B] (the SSE the histogram approximately achieves).",
+            labels,
+        )
+        .set(stats.herror);
+    registry
+        .gauge_with(
+            &format!("{PREFIX}_kernel_arena_nodes"),
+            "Boundary-chain arena occupancy (live chains plus uncollected garbage).",
+            labels,
+        )
+        .set(clamp(stats.arena_nodes));
+    registry
+        .gauge_with(
+            &format!("{PREFIX}_kernel_arena_peak"),
+            "High-water mark of arena occupancy.",
+            labels,
+        )
+        .set(clamp(stats.arena_peak));
+    registry
+        .gauge_with(
+            &format!("{PREFIX}_kernel_compactions"),
+            "Arena compactions in the reported stats window.",
+            labels,
+        )
+        .set(clamp(stats.compactions));
+    registry
+        .gauge_with(
+            &format!("{PREFIX}_kernel_rebases"),
+            "Prefix-sum anchor rebases in the reported stats window.",
+            labels,
+        )
+        .set(clamp(stats.rebases));
+}
+
+#[cfg(feature = "obs")]
+pub use tracing::{install_kernel_tracer, kernel_tracer, KernelTracer};
+
+#[cfg(feature = "obs")]
+pub(crate) use tracing::FleetTiming;
+
+#[cfg(feature = "obs")]
+mod tracing {
+    //! The `obs`-gated phase tracer: process-global handles the kernel
+    //! hooks write through. Global because the kernel is constructed deep
+    //! inside summaries that have no registry parameter — the tracer is
+    //! installed once (typically by `stream_cli --metrics-addr` or a
+    //! bench) and every kernel in the process reports to it.
+
+    use std::sync::{Arc, OnceLock};
+
+    use streamhist_obs::{Counter, LatencyRecorder, MetricsRegistry};
+
+    use super::PREFIX;
+
+    /// Registered handles for the kernel's phase-tracing hooks.
+    #[derive(Debug, Clone)]
+    pub struct KernelTracer {
+        /// Batch materializations (`CreateList` rebuild + final minimization).
+        pub builds: Counter,
+        /// Wall-clock of each batch materialization.
+        pub build_seconds: Arc<LatencyRecorder>,
+        /// Online per-point DP steps.
+        pub pushes: Counter,
+        /// Wall-clock of each online DP step.
+        pub push_seconds: Arc<LatencyRecorder>,
+        /// `HERROR[c, k]` evaluations.
+        pub evals: Counter,
+        /// Binary-search probe evaluations inside `CreateList` (the
+        /// `log n` factor of Theorem 1, observed directly).
+        pub probes: Counter,
+        /// Intervals produced by `CreateList` (queue entries).
+        pub intervals: Counter,
+        /// Arena compaction events.
+        pub compactions: Counter,
+        /// Prefix-store rebase events.
+        pub rebases: Counter,
+    }
+
+    impl KernelTracer {
+        fn register(registry: &MetricsRegistry) -> Self {
+            Self {
+                builds: registry.counter(
+                    &format!("{PREFIX}_kernel_builds_total"),
+                    "Batch histogram materializations (CreateList rebuilds).",
+                ),
+                build_seconds: registry.latency(
+                    &format!("{PREFIX}_kernel_build_seconds"),
+                    "Batch materialization latency (GK-backed summary).",
+                ),
+                pushes: registry.counter(
+                    &format!("{PREFIX}_kernel_pushes_total"),
+                    "Online per-point DP steps.",
+                ),
+                push_seconds: registry.latency(
+                    &format!("{PREFIX}_kernel_push_seconds"),
+                    "Online per-point DP step latency (GK-backed summary).",
+                ),
+                evals: registry.counter(
+                    &format!("{PREFIX}_kernel_herror_evals_total"),
+                    "HERROR[c, k] evaluations.",
+                ),
+                probes: registry.counter(
+                    &format!("{PREFIX}_kernel_search_probes_total"),
+                    "Binary-search probe evaluations inside CreateList.",
+                ),
+                intervals: registry.counter(
+                    &format!("{PREFIX}_kernel_intervals_total"),
+                    "Intervals produced by CreateList.",
+                ),
+                compactions: registry.counter(
+                    &format!("{PREFIX}_kernel_compactions_total"),
+                    "Arena compaction events.",
+                ),
+                rebases: registry.counter(
+                    &format!("{PREFIX}_kernel_rebases_total"),
+                    "Prefix-sum anchor rebase events.",
+                ),
+            }
+        }
+    }
+
+    /// Per-fleet latency recorders for the sharded data plane, registered
+    /// when a fleet is built with a registry attached (see
+    /// `ShardedFixedWindowBuilder::registry`). Fleet-level rather than
+    /// per-shard to keep series cardinality low; the `fleet` label keeps
+    /// concurrent fleets apart.
+    #[derive(Debug)]
+    pub(crate) struct FleetTiming {
+        /// Time a command spends in a shard's bounded queue before the
+        /// worker dequeues it.
+        pub queue_wait: Arc<LatencyRecorder>,
+        /// Duration of one checkpoint frame encode on a worker thread.
+        pub checkpoint_encode: Arc<LatencyRecorder>,
+        /// Duration of one checkpoint frame decode during respawn/restore.
+        pub restore: Arc<LatencyRecorder>,
+        /// Wall-clock of one `push_batch_scatter` dispatch loop.
+        pub scatter: Arc<LatencyRecorder>,
+    }
+
+    impl FleetTiming {
+        pub(crate) fn register(registry: &MetricsRegistry, fleet: &str) -> Self {
+            let labels = &[("fleet", fleet)];
+            Self {
+                queue_wait: registry.latency_with(
+                    &format!("{PREFIX}_shard_queue_wait_seconds"),
+                    "Time commands spend in a shard's bounded queue before the worker dequeues them.",
+                    labels,
+                ),
+                checkpoint_encode: registry.latency_with(
+                    &format!("{PREFIX}_shard_checkpoint_encode_seconds"),
+                    "Checkpoint frame encode duration on the worker thread.",
+                    labels,
+                ),
+                restore: registry.latency_with(
+                    &format!("{PREFIX}_shard_restore_seconds"),
+                    "Checkpoint frame decode duration during respawn/restore.",
+                    labels,
+                ),
+                scatter: registry.latency_with(
+                    &format!("{PREFIX}_shard_scatter_seconds"),
+                    "push_batch_scatter dispatch-loop latency (all chunks enqueued).",
+                    labels,
+                ),
+            }
+        }
+    }
+
+    static TRACER: OnceLock<KernelTracer> = OnceLock::new();
+
+    /// Installs the process-global kernel tracer, registering its metric
+    /// families into `registry`. Idempotent: the first call wins and
+    /// returns `true`; later calls are no-ops returning `false` (the
+    /// hooks keep reporting to the first registry).
+    pub fn install_kernel_tracer(registry: &MetricsRegistry) -> bool {
+        let mut fresh = false;
+        TRACER.get_or_init(|| {
+            fresh = true;
+            KernelTracer::register(registry)
+        });
+        fresh
+    }
+
+    /// The installed tracer, if any — the kernel hooks' fast path.
+    #[inline(always)]
+    pub fn kernel_tracer() -> Option<&'static KernelTracer> {
+        TRACER.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_stats_publish_as_gauges_and_overwrite() {
+        let registry = MetricsRegistry::new();
+        let stats = KernelStats {
+            queue_sizes: vec![3, 4],
+            herror_evals: 100,
+            binary_searches: 9,
+            herror: 2.5,
+            arena_nodes: 40,
+            arena_peak: 50,
+            compactions: 1,
+            rebases: 2,
+        };
+        publish_kernel_stats(&registry, &[("shard", "0")], &stats);
+        // Republishing the identical snapshot must not double anything.
+        publish_kernel_stats(&registry, &[("shard", "0")], &stats);
+        let text = registry.text_exposition();
+        let samples = streamhist_obs::parse_exposition(&text).expect("valid exposition");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from exposition"))
+                .value
+        };
+        assert_eq!(get("streamhist_kernel_queue_intervals"), 7.0);
+        assert_eq!(get("streamhist_kernel_herror_evals"), 100.0);
+        assert_eq!(get("streamhist_kernel_binary_searches"), 9.0);
+        assert_eq!(get("streamhist_kernel_herror"), 2.5);
+        assert_eq!(get("streamhist_kernel_arena_peak"), 50.0);
+        assert_eq!(get("streamhist_kernel_rebases"), 2.0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn tracer_install_is_idempotent() {
+        let registry = MetricsRegistry::new();
+        let first = install_kernel_tracer(&registry);
+        let second = install_kernel_tracer(&registry);
+        assert!(!second, "second install must be a no-op");
+        // Whether `first` is true depends on test ordering within the
+        // process (another test may have installed already); either way a
+        // tracer must now be visible to the hooks.
+        let _ = first;
+        assert!(kernel_tracer().is_some());
+    }
+}

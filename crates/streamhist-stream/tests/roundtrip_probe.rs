@@ -1,5 +1,5 @@
-use streamhist_stream::AgglomerativeHistogram;
 use streamhist_core::Checkpoint;
+use streamhist_stream::AgglomerativeHistogram;
 
 #[test]
 fn agglomerative_roundtrip_small_streams() {

@@ -6,11 +6,10 @@
 //! and many producers hammering a `DropNewest` fleet while a respawner
 //! cycles a shard under it.
 
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
-use streamhist_stream::{
-    FixedWindowHistogram, OverloadPolicy, ShardError, ShardedFixedWindow, ShardedOptions,
-};
+use streamhist_obs::{parse_exposition, MetricsRegistry};
+use streamhist_stream::{FixedWindowHistogram, OverloadPolicy, ShardError, ShardedFixedWindow};
 
 /// The acceptance scenario, end to end: NaNs are rejected without killing
 /// anything, an injected worker panic turns into `Err(ShardError)` on
@@ -98,17 +97,19 @@ fn concurrent_producers_respawns_and_overload_keep_the_books_straight() {
     const EPS: f64 = 0.1;
     const FLOOD_PER_SHARD: u64 = 50_000;
 
-    let sharded = RwLock::new(ShardedFixedWindow::with_options(
-        SHARDS,
-        CAPACITY,
-        B,
-        EPS,
-        ShardedOptions {
-            queue_capacity: 2,
-            policy: OverloadPolicy::DropNewest,
-            ..ShardedOptions::default()
-        },
-    ));
+    // Attach a metrics registry so the scraped exposition can be
+    // reconciled against `metrics_all()` after the chaos: both read the
+    // same atomic cells, so they must agree *exactly*.
+    let registry = Arc::new(MetricsRegistry::new());
+    let sharded = RwLock::new(
+        ShardedFixedWindow::builder(SHARDS, CAPACITY, B, EPS)
+            .queue_capacity(2)
+            .policy(OverloadPolicy::DropNewest)
+            .registry(Arc::clone(&registry))
+            .fleet_label("stress")
+            .build()
+            .expect("valid parameters"),
+    );
 
     // Producers own disjoint shards (single-writer per shard, so the paced
     // shards see a deterministic record order):
@@ -207,6 +208,71 @@ fn concurrent_producers_respawns_and_overload_keep_the_books_straight() {
         );
         assert_eq!(m.queue_depth, 0, "shard {shard} drained");
     }
+
+    // Registry reconciliation: the Prometheus exposition is served from
+    // the very same atomic cells that back `ShardMetrics`, so every
+    // scraped per-shard series must equal the struct view exactly — and
+    // the conservation identity must hold at the registry level too.
+    let samples =
+        parse_exposition(&registry.text_exposition()).expect("exposition is valid Prometheus text");
+    let series = |name: &str, shard: usize| -> u64 {
+        let shard_label = shard.to_string();
+        let sample = samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.iter().any(|(k, v)| k == "fleet" && v == "stress")
+                    && s.labels
+                        .iter()
+                        .any(|(k, v)| k == "shard" && *v == shard_label)
+            })
+            .unwrap_or_else(|| {
+                panic!("missing series {name}{{fleet=\"stress\",shard=\"{shard}\"}}")
+            });
+        sample.value as u64
+    };
+    let mut scraped_accepted = 0u64;
+    let mut scraped_rejected = 0u64;
+    let mut scraped_dropped = 0u64;
+    for shard in 0..SHARDS {
+        let m = &metrics[shard];
+        let accepted = series("streamhist_shard_pushes_accepted_total", shard);
+        let rejected = series("streamhist_shard_values_rejected_total", shard);
+        let dropped = series("streamhist_shard_records_dropped_total", shard);
+        assert_eq!(
+            accepted, m.pushes_accepted,
+            "scraped accepted, shard {shard}"
+        );
+        assert_eq!(
+            rejected, m.values_rejected,
+            "scraped rejected, shard {shard}"
+        );
+        assert_eq!(dropped, m.records_dropped, "scraped dropped, shard {shard}");
+        assert_eq!(
+            series("streamhist_shard_respawns_total", shard),
+            m.respawns,
+            "scraped respawns, shard {shard}"
+        );
+        assert_eq!(
+            series("streamhist_shard_queue_depth", shard),
+            0,
+            "scraped queue depth, shard {shard}"
+        );
+        assert_eq!(
+            accepted + rejected + dropped,
+            sent[shard],
+            "registry-level conservation on shard {shard}"
+        );
+        scraped_accepted += accepted;
+        scraped_rejected += rejected;
+        scraped_dropped += dropped;
+    }
+    let total_sent: u64 = sent.iter().sum();
+    assert_eq!(
+        scraped_accepted + scraped_rejected + scraped_dropped,
+        total_sent,
+        "fleet-wide conservation from the scraped exposition alone"
+    );
 
     // Paced shards: nothing shed, NaNs counted exactly, histogram
     // bit-identical to an unsharded single-thread reference over the same

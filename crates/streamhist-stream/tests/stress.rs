@@ -102,7 +102,7 @@ fn queue_space_stays_sublinear_on_long_smooth_streams() {
     for &v in &data {
         agg.push(v);
     }
-    let total: usize = agg.queue_sizes().iter().sum();
+    let total: usize = agg.kernel_stats().queue_sizes.iter().sum();
     assert!(total < 5_000, "total queue size {total} for n=50000");
 }
 

@@ -12,6 +12,7 @@
 //!
 //! Run with: `cargo run --release --example change_detection`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist::data::{Ar1, LevelShift, Mixture};
 use streamhist::{codec, distance, FixedWindowHistogram};
 

@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example compare_methods`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use std::time::Instant;
 use streamhist::data::{utilization_trace, WorkloadGen};
 use streamhist::{

@@ -10,6 +10,7 @@
 //!
 //! Run with: `cargo run --release --example network_monitor`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist::data::{BurstyOnOff, Diurnal, Mixture, WorkloadGen};
 use streamhist::{evaluate_queries, FixedWindowHistogram, SlidingWindowWavelet};
 

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist::data::{utilization_trace, WorkloadGen};
 use streamhist::{evaluate_queries, FixedWindowHistogram};
 

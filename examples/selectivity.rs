@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example selectivity`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use streamhist::data::{collect, Zipfian};
 use streamhist::freq::{evaluate_selectivity, FrequencyVector, ValueHistogram};
 

@@ -13,6 +13,7 @@
 //!
 //! Run with: `cargo run --release --example similarity_search`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use streamhist::{euclidean, ReprMethod, SeriesIndex, SubsequenceIndex};

@@ -6,6 +6,7 @@
 //! Usage:
 //!   cargo run --release --example stream_cli -- [--window N] [--buckets B]
 //!       [--eps E] [--report-every K] [--demo N] [--checkpoint PATH]
+//!       [--metrics-addr ADDR]
 //!   printf '1\n2\n3\n' | cargo run --release --example stream_cli -- --window 64
 //!
 //! Each report line shows the window mean, the histogram's bucket
@@ -16,10 +17,55 @@
 //! frame rejects corruption; the configuration flags are then taken from
 //! the checkpoint, not the command line), and the final state is saved
 //! back to PATH on exit.
+//!
+//! With `--metrics-addr ADDR` (e.g. `127.0.0.1:9184`; port 0 picks an
+//! ephemeral port) the monitor serves a Prometheus-style scrape endpoint
+//! on a background thread: ingest counters, plus the kernel diagnostics
+//! (queue sizes, HERROR evals, search probes, arena occupancy) published
+//! as gauges at every report. Built with `--features obs`, the kernel
+//! phase tracer is installed too, adding push/build latency summaries:
+//!
+//!   cargo run --release --features obs --example stream_cli -- \
+//!       --demo 100000 --metrics-addr 127.0.0.1:9184
+//!   curl http://127.0.0.1:9184/metrics
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use std::io::BufRead;
+use std::sync::Arc;
 use streamhist::data::utilization_trace;
+use streamhist::obs::{publish_kernel_stats, Counter, ExpositionServer, MetricsRegistry};
 use streamhist::{codec, Checkpoint, FixedWindowHistogram};
+
+/// The scrape endpoint plus the handles the ingest loop ticks.
+struct Telemetry {
+    registry: Arc<MetricsRegistry>,
+    server: ExpositionServer,
+    records: Counter,
+    skipped: Counter,
+}
+
+impl Telemetry {
+    fn start(addr: &str) -> std::io::Result<Self> {
+        let registry = Arc::new(MetricsRegistry::new());
+        let records = registry.counter(
+            "streamhist_cli_records_total",
+            "Finite records ingested into the window",
+        );
+        let skipped = registry.counter(
+            "streamhist_cli_skipped_total",
+            "Input lines skipped as non-numeric or non-finite",
+        );
+        #[cfg(feature = "obs")]
+        streamhist::obs::install_kernel_tracer(&registry);
+        let server = ExpositionServer::start(addr, Arc::clone(&registry))?;
+        Ok(Self {
+            registry,
+            server,
+            records,
+            skipped,
+        })
+    }
+}
 
 #[derive(Debug)]
 struct Args {
@@ -29,6 +75,7 @@ struct Args {
     report_every: usize,
     demo: Option<usize>,
     checkpoint: Option<std::path::PathBuf>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         report_every: 4096,
         demo: None,
         checkpoint: None,
+        metrics_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,9 +104,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--demo" => args.demo = Some(value("--demo")?.parse().map_err(|e| format!("{e}"))?),
             "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?.into()),
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
             "--help" | "-h" => {
                 return Err("usage: stream_cli [--window N] [--buckets B] [--eps E] \
-                            [--report-every K] [--demo N] [--checkpoint PATH]"
+                            [--report-every K] [--demo N] [--checkpoint PATH] \
+                            [--metrics-addr ADDR]"
                     .into())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -70,8 +120,11 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn report(t: usize, fw: &FixedWindowHistogram) {
+fn report(t: usize, fw: &FixedWindowHistogram, telemetry: Option<&Telemetry>) {
     let (h, stats) = fw.histogram_with_stats();
+    if let Some(tel) = telemetry {
+        publish_kernel_stats(&tel.registry, &[("source", "stream_cli")], &stats);
+    }
     if h.domain_len() == 0 {
         println!("t={t}: window empty");
         return;
@@ -98,6 +151,23 @@ fn main() {
             eprintln!("{msg}");
             std::process::exit(2);
         }
+    };
+
+    let telemetry = match &args.metrics_addr {
+        Some(addr) => match Telemetry::start(addr) {
+            Ok(tel) => {
+                eprintln!(
+                    "serving metrics on http://{}/metrics",
+                    tel.server.local_addr()
+                );
+                Some(tel)
+            }
+            Err(e) => {
+                eprintln!("cannot bind metrics endpoint {addr}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
     };
 
     let mut fw = match &args.checkpoint {
@@ -131,9 +201,12 @@ fn main() {
     if let Some(n) = args.demo {
         for v in utilization_trace(n, 7) {
             fw.push(v);
+            if let Some(tel) = &telemetry {
+                tel.records.inc();
+            }
             t += 1;
             if t.is_multiple_of(args.report_every) {
-                report(t, &fw);
+                report(t, &fw, telemetry.as_ref());
             }
         }
     } else {
@@ -153,17 +226,25 @@ fn main() {
             match trimmed.parse::<f64>() {
                 Ok(v) if v.is_finite() => {
                     fw.push(v);
+                    if let Some(tel) = &telemetry {
+                        tel.records.inc();
+                    }
                     t += 1;
                     if t.is_multiple_of(args.report_every) {
-                        report(t, &fw);
+                        report(t, &fw, telemetry.as_ref());
                     }
                 }
-                _ => eprintln!("skipping non-numeric line: {trimmed:?}"),
+                _ => {
+                    if let Some(tel) = &telemetry {
+                        tel.skipped.inc();
+                    }
+                    eprintln!("skipping non-numeric line: {trimmed:?}");
+                }
             }
         }
     }
     println!("--- final ---");
-    report(t, &fw);
+    report(t, &fw, telemetry.as_ref());
     if let Some(path) = &args.checkpoint {
         let frame = fw.encode_checkpoint();
         match std::fs::write(path, &frame) {
@@ -173,5 +254,8 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(tel) = telemetry {
+        tel.server.shutdown();
     }
 }

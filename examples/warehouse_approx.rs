@@ -10,6 +10,7 @@
 //!
 //! Run with: `cargo run --release --example warehouse_approx`
 
+#![allow(clippy::disallowed_macros)] // report binaries print by design
 use std::time::Instant;
 use streamhist::data::{utilization_trace, WorkloadGen};
 use streamhist::{evaluate_queries, optimal_histogram, AgglomerativeHistogram};

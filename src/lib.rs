@@ -49,6 +49,7 @@
 //! | [`GkSummary`], [`MrlSummary`], [`EquiDepthHistogram`] | `streamhist-quantile` | §2 quantile substrates |
 //! | [`SeriesIndex`], [`apca()`], [`lower_bound_dist`] | `streamhist-similarity` | §5.2 similarity search (APCA comparator) |
 //! | [`data`] | `streamhist-data` | synthetic traces and query workloads |
+//! | [`obs`] | `streamhist-obs` | metrics registry, latency quantiles, Prometheus-style exposition |
 //!
 //! See `DESIGN.md` for the paper-to-module map and `EXPERIMENTS.md` for the
 //! reproduced evaluation.
@@ -86,13 +87,34 @@ pub use streamhist_similarity::{
     apca, euclidean, lower_bound_dist, PiecewiseConstant, ReprMethod, SearchStats, Segment,
     SeriesIndex, SubsequenceIndex,
 };
+#[allow(deprecated)]
+pub use streamhist_stream::BuildStats;
 pub use streamhist_stream::{
-    approx_histogram, AgglomerativeBuilder, AgglomerativeHistogram, BuildStats, FixedWindowBuilder,
+    approx_histogram, AgglomerativeBuilder, AgglomerativeHistogram, FixedWindowBuilder,
     FixedWindowHistogram, KernelStats, NaiveSlidingWindow, NaiveSlidingWindowBuilder,
     OverloadPolicy, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow,
     ShardedFixedWindowBuilder, ShardedOptions, TimeWindowBuilder, TimeWindowHistogram,
 };
 pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynopsis};
+
+/// Self-hosted telemetry: the lock-free metrics registry, GK-backed
+/// latency summaries, and the Prometheus-style exposition surface
+/// (`streamhist-obs`), plus this workspace's publication helpers
+/// (`streamhist-stream::telemetry`).
+///
+/// The registry is always available; the span-style kernel/shard phase
+/// tracing hooks additionally need the `obs` cargo feature (off by
+/// default, compiles to no-ops when disabled).
+pub mod obs {
+    pub use streamhist_obs::{
+        global, parse_exposition, Counter, ExpositionServer, FamilySnapshot, FloatGauge, Gauge,
+        LatencyRecorder, LatencySnapshot, LatencySpan, MetricKind, MetricsRegistry, ParsedSample,
+        SampleValue, SeriesSnapshot,
+    };
+    pub use streamhist_stream::telemetry::publish_kernel_stats;
+    #[cfg(feature = "obs")]
+    pub use streamhist_stream::telemetry::{install_kernel_tracer, kernel_tracer, KernelTracer};
+}
 
 /// Value-domain frequency histograms for selectivity estimation (the
 /// `[IP95]` query-optimization setting the paper builds on).

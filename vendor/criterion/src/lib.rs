@@ -13,6 +13,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A bench harness's job is to print its report; exempt it from the
+// workspace-wide stdout ban (clippy.toml `disallowed-macros`).
+#![allow(clippy::disallowed_macros)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
