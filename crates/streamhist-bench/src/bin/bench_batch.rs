@@ -14,7 +14,11 @@
 //! kernel instrumentation counters at the end of each run.
 //!
 //! Exits nonzero if the batch-1024 single-threaded throughput fails to
-//! beat batch-1 — the CI smoke guard against regressing the fast path.
+//! beat batch-1, or if the sharded batch-1024 throughput falls behind
+//! sharded batch-64 beyond noise — the CI smoke guards against regressing
+//! the fast path and against re-introducing the scatter inversion (large
+//! slabs used to split into `len/k` monolithic chunks that serialized the
+//! fleet behind the slowest worker; the scatter chunk cap fixed it).
 //!
 //! Run: `cargo run --release -p streamhist-bench --bin bench_batch`
 //! (set `STREAMHIST_FULL=1` for the paper-scale stream).
@@ -205,5 +209,25 @@ fn main() {
         "batch ingestion regressed: batch-1024 ({:.0} pts/s) is not faster than batch-1 ({:.0} pts/s)",
         fast.pps(),
         base.pps()
+    );
+
+    // The scatter-inversion gate: with the chunk cap, a 1024-record slab
+    // scatters as pipeline-sized chunks, so it must not fall behind the
+    // batch-64 sharded run by more than scheduler noise.
+    let s64 = rows
+        .iter()
+        .find(|r| r.mode == "sharded" && r.batch == 64)
+        .expect("sharded batch-64 row");
+    let s1024 = rows
+        .iter()
+        .find(|r| r.mode == "sharded" && r.batch == 1024)
+        .expect("sharded batch-1024 row");
+    let ratio = s1024.pps() / s64.pps();
+    println!("batch-1024 vs batch-64 (sharded): {ratio:.2}x");
+    assert!(
+        ratio > 0.75,
+        "sharded scatter inversion: batch-1024 ({:.0} pts/s) fell behind batch-64 ({:.0} pts/s)",
+        s1024.pps(),
+        s64.pps()
     );
 }

@@ -65,6 +65,9 @@ pub mod tag {
     pub const DYNAMIC_WAVELET: u8 = 8;
     /// `SlidingWindowWavelet` (streamhist-wavelet).
     pub const SLIDING_WAVELET: u8 = 9;
+    /// `Histogram` (streamhist-core) — a materialized (possibly gathered
+    /// fleet-global) snapshot persisted for serving after restart.
+    pub const HISTOGRAM: u8 = 10;
 }
 
 /// Durable save/restore of a summary's complete state.

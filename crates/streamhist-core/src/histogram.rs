@@ -1,7 +1,10 @@
 //! The histogram representation `H_B` and its query estimators.
 
 use crate::bucket::Bucket;
+use crate::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
+use crate::error::StreamhistError;
 use crate::prefix::PrefixSums;
+use crate::summary::MergeableSummary;
 use std::fmt;
 
 /// Errors produced when assembling a [`Histogram`] from buckets.
@@ -301,6 +304,76 @@ impl Histogram {
     }
 }
 
+/// Exact concatenation: `a.merge_from(&b)` appends `b`'s buckets after
+/// `a`'s, shifting their indices by `a`'s domain length. The result is the
+/// histogram of the concatenated sequence `a ++ b` with **no** information
+/// loss (the bucket count grows to `a.B + b.B`; re-optimizing the merged
+/// bucket list back down to a budget `B` is the job of the kernel-backed
+/// `merge_histograms` in `streamhist-stream`, see DESIGN.md §6).
+///
+/// `Histogram` carries no tunable configuration, so merging never rejects:
+/// any two histograms (including empty-domain ones) concatenate.
+impl MergeableSummary for Histogram {
+    fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
+        let offset = self.domain_len;
+        self.buckets.extend(
+            other
+                .buckets
+                .iter()
+                .map(|b| Bucket::new(b.start + offset, b.end + offset, b.height)),
+        );
+        self.domain_len += other.domain_len;
+        Ok(())
+    }
+}
+
+/// Frame layout (after the shared header, see [`crate::checkpoint`]):
+///
+/// ```text
+/// domain_len   varint
+/// num_buckets  varint   (count-checked: >= 10 payload bytes per bucket)
+/// buckets      num_buckets x { start varint, end varint, height f64-le }
+/// ```
+///
+/// Restore re-validates every structural invariant through
+/// [`Histogram::new`], so a corrupted payload that happens to pass the CRC
+/// still cannot materialize a malformed histogram.
+impl Checkpoint for Histogram {
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::HISTOGRAM);
+        w.put_usize(self.domain_len);
+        w.put_usize(self.buckets.len());
+        for b in &self.buckets {
+            w.put_usize(b.start);
+            w.put_usize(b.end);
+            w.put_f64(b.height);
+        }
+        w.finish()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let mut r = FrameReader::open(bytes, tag::HISTOGRAM)?;
+        let domain_len = r.get_usize()?;
+        let num_buckets = r.get_count(10)?;
+        let mut buckets = Vec::with_capacity(num_buckets);
+        for _ in 0..num_buckets {
+            let start = r.get_usize()?;
+            let end = r.get_usize()?;
+            let height = r.get_f64()?;
+            if start > end {
+                return Err(StreamhistError::CorruptCheckpoint {
+                    reason: "bucket start exceeds its end",
+                });
+            }
+            buckets.push(Bucket::new(start, end, height));
+        }
+        r.finish()?;
+        Histogram::new(domain_len, buckets).map_err(|_| StreamhistError::CorruptCheckpoint {
+            reason: "bucket list violates histogram invariants",
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,5 +502,64 @@ mod tests {
         assert_eq!(h.bucket_index_of(1), 0);
         assert_eq!(h.bucket_index_of(2), 1);
         assert_eq!(h.bucket_index_of(5), 2);
+    }
+
+    #[test]
+    fn merge_from_concatenates_exactly() {
+        let left = [1.0, 1.0, 5.0];
+        let right = [2.0, 2.0];
+        let mut a = Histogram::from_bucket_ends(&left, &[1, 2]);
+        let b = Histogram::from_bucket_ends(&right, &[1]);
+        a.merge_from(&b).expect("histograms always merge");
+        assert_eq!(a.domain_len(), 5);
+        assert_eq!(a.num_buckets(), 3);
+        let whole: Vec<f64> = left.iter().chain(&right).copied().collect();
+        assert_eq!(a.expand(), whole);
+        assert_eq!(a.sse(&whole), 0.0);
+    }
+
+    #[test]
+    fn merge_combinator_handles_empty_domains() {
+        let a = Histogram::new(0, vec![]).expect("empty");
+        let b = simple();
+        let merged = Histogram::merge(&[&a, &b, &a]).expect("merge");
+        assert_eq!(merged.domain_len(), 6);
+        assert_eq!(merged.expand(), b.expand());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_identical() {
+        let h = simple();
+        let bytes = h.encode_checkpoint();
+        let restored = Histogram::restore(&bytes).expect("valid frame");
+        assert_eq!(restored, h);
+        let empty = Histogram::new(0, vec![]).expect("empty");
+        let restored = Histogram::restore(&empty.encode_checkpoint()).expect("valid frame");
+        assert_eq!(restored, empty);
+    }
+
+    #[test]
+    fn checkpoint_rejects_invariant_violations() {
+        // Hand-build a CRC-valid frame whose buckets leave a gap.
+        let mut w = FrameWriter::new(tag::HISTOGRAM);
+        w.put_usize(4);
+        w.put_usize(2);
+        w.put_usize(0);
+        w.put_usize(1);
+        w.put_f64(1.0);
+        w.put_usize(3); // gap: previous ended at 1, this starts at 3
+        w.put_usize(3);
+        w.put_f64(2.0);
+        let err = Histogram::restore(&w.finish()).expect_err("gap rejected");
+        assert!(matches!(err, StreamhistError::CorruptCheckpoint { .. }));
+        // start > end never reaches Bucket::new's panic.
+        let mut w = FrameWriter::new(tag::HISTOGRAM);
+        w.put_usize(1);
+        w.put_usize(1);
+        w.put_usize(1);
+        w.put_usize(0);
+        w.put_f64(1.0);
+        let err = Histogram::restore(&w.finish()).expect_err("inverted rejected");
+        assert!(matches!(err, StreamhistError::CorruptCheckpoint { .. }));
     }
 }

@@ -25,6 +25,10 @@
 //! * [`StreamSummary`] — the workspace-wide ingestion interface
 //!   (`try_push`/`push`/`push_batch`/`len`/`reset`) implemented by every
 //!   streaming summary in the downstream crates.
+//! * [`MergeableSummary`] — the workspace-wide merge interface
+//!   (`merge_from`/`merge`) for scatter/gather deployments: summaries of
+//!   stream partitions combine into one global summary, with documented
+//!   error composition (DESIGN.md §6).
 //!
 //! All index domains are 0-based and ranges are inclusive `[start, end]`,
 //! matching the bucket convention of the paper (which is 1-based; we shift).
@@ -51,4 +55,4 @@ pub use eval::{evaluate_queries, AccuracyReport};
 pub use histogram::{Histogram, HistogramError};
 pub use prefix::{GrowableWindowSums, PrefixProvider, PrefixSums, SlidingPrefixSums, WindowSums};
 pub use query::{ExactSummary, Query, SequenceSummary};
-pub use summary::{BatchOutcome, StreamSummary};
+pub use summary::{BatchOutcome, MergeableSummary, StreamSummary};

@@ -119,6 +119,68 @@ pub trait StreamSummary {
     fn reset(&mut self);
 }
 
+/// A summary that can absorb another summary of the **same configuration**
+/// — the algebraic half of scatter/gather: partition a stream across
+/// workers, summarize each partition independently, then merge the
+/// summaries into one global synopsis without revisiting the raw data.
+///
+/// # Semantics
+///
+/// `a.merge_from(&b)` turns `a` into a summary of the *union* of the two
+/// summarized (multi)sets or, for index-domain summaries, the
+/// *concatenation* `a ++ b` of the two summarized sequences — each
+/// implementation documents which. Merging is never free: every summary
+/// documents how its error composes (rank errors add for the quantile
+/// summaries; the window histograms pick up a *gather term* equal to the
+/// per-part SSE already spent; frequency vectors and dense wavelet
+/// coefficient merges are exact). DESIGN.md §6 states and proves the
+/// bound for every implementation.
+///
+/// # Configuration compatibility
+///
+/// Two summaries merge only if their configurations agree (same error
+/// budget, same bucket/coefficient budget, same domain, same window
+/// size). Mismatches are rejected with
+/// [`StreamhistError::InvalidParameter`] naming the offending parameter;
+/// the receiver is left unchanged by a rejected merge.
+pub trait MergeableSummary: Sized {
+    /// Absorbs `other` into `self`: afterwards `self` summarizes
+    /// everything both operands summarized. `other` is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::InvalidParameter`] if the configurations are
+    /// incompatible; `self` is left unchanged.
+    fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError>;
+
+    /// Merges `parts` (in order) into one summary: clones `parts[0]` and
+    /// folds every later part in with
+    /// [`merge_from`](Self::merge_from). Implementations with a cheaper
+    /// or stricter k-way form (the window histograms re-optimize once
+    /// over the whole gather instead of per fold) override this.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::InvalidParameter`] if `parts` is empty or any
+    /// pairwise fold rejects.
+    fn merge(parts: &[&Self]) -> Result<Self, StreamhistError>
+    where
+        Self: Clone,
+    {
+        let (first, rest) = parts
+            .split_first()
+            .ok_or(StreamhistError::InvalidParameter {
+                param: "parts",
+                message: "merge needs at least one summary",
+            })?;
+        let mut merged = (*first).clone();
+        for part in rest {
+            merged.merge_from(part)?;
+        }
+        Ok(merged)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +236,73 @@ mod tests {
             t.push(f64::NAN);
         }));
         assert!(err.is_err());
+    }
+
+    /// A cloneable mergeable implementor exercising the default `merge`
+    /// combinator.
+    #[derive(Debug, Clone)]
+    struct Sum {
+        domain: u32,
+        total: f64,
+    }
+
+    impl MergeableSummary for Sum {
+        fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
+            if self.domain != other.domain {
+                return Err(StreamhistError::InvalidParameter {
+                    param: "domain",
+                    message: "merge requires identical domains",
+                });
+            }
+            self.total += other.total;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_merge_folds_left_to_right() {
+        let parts = [
+            Sum {
+                domain: 7,
+                total: 1.0,
+            },
+            Sum {
+                domain: 7,
+                total: 2.0,
+            },
+            Sum {
+                domain: 7,
+                total: 4.0,
+            },
+        ];
+        let refs: Vec<&Sum> = parts.iter().collect();
+        let merged = Sum::merge(&refs).expect("compatible parts");
+        assert_eq!(merged.total, 7.0);
+    }
+
+    #[test]
+    fn default_merge_rejects_empty_and_mismatched_parts() {
+        let err = Sum::merge(&[]).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter { param: "parts", .. }
+        ));
+        let a = Sum {
+            domain: 1,
+            total: 1.0,
+        };
+        let b = Sum {
+            domain: 2,
+            total: 1.0,
+        };
+        let err = Sum::merge(&[&a, &b]).unwrap_err();
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter {
+                param: "domain",
+                ..
+            }
+        ));
     }
 
     #[test]

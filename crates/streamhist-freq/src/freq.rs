@@ -1,7 +1,7 @@
 //! Streaming frequency vectors over a bounded integer value domain.
 
 use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
-use streamhist_core::{StreamSummary, StreamhistError};
+use streamhist_core::{MergeableSummary, StreamSummary, StreamhistError};
 
 /// Counts of each value in `[lo, hi]`, maintained from a stream in `O(1)`
 /// per arrival.
@@ -143,6 +143,33 @@ impl FrequencyVector {
     }
 }
 
+/// Vector addition — the one **exact** merge in the workspace: counts,
+/// totals and out-of-range tallies add element-wise, so the merged vector
+/// equals the vector of the concatenated streams bit for bit (DESIGN.md
+/// §6). Both operands must span the identical value domain `[lo, hi]`.
+impl MergeableSummary for FrequencyVector {
+    fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
+        if self.lo != other.lo {
+            return Err(StreamhistError::InvalidParameter {
+                param: "lo",
+                message: "merge requires identical value domains",
+            });
+        }
+        if self.counts.len() != other.counts.len() {
+            return Err(StreamhistError::InvalidParameter {
+                param: "hi",
+                message: "merge requires identical value domains",
+            });
+        }
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.out_of_range += other.out_of_range;
+        Ok(())
+    }
+}
+
 impl Checkpoint for FrequencyVector {
     fn encode_checkpoint(&self) -> Vec<u8> {
         let mut w = FrameWriter::new(tag::FREQUENCY_VECTOR);
@@ -273,6 +300,41 @@ mod tests {
         let mut f = FrequencyVector::new(0, 3);
         f.add(2);
         assert_eq!(f.count_of(2), 1);
+    }
+
+    #[test]
+    fn merge_is_exact_and_commutative() {
+        let a = FrequencyVector::from_values([1, 2, 2, 9], 1, 5);
+        let b = FrequencyVector::from_values([3, 3, 5, -4], 1, 5);
+        let mut ab = a.clone();
+        ab.merge_from(&b).expect("same domain");
+        let mut ba = b.clone();
+        ba.merge_from(&a).expect("same domain");
+        assert_eq!(ab.counts(), ba.counts());
+        assert_eq!(ab.total(), 6);
+        assert_eq!(ab.out_of_range(), 2);
+        // Equals the vector of the concatenated streams exactly.
+        let whole = FrequencyVector::from_values([1, 2, 2, 9, 3, 3, 5, -4], 1, 5);
+        assert_eq!(ab.counts(), whole.counts());
+        assert_eq!(ab.out_of_range(), whole.out_of_range());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_domains() {
+        let mut a = FrequencyVector::new(0, 5);
+        let shifted = FrequencyVector::new(1, 6);
+        let err = a.merge_from(&shifted).expect_err("lo differs");
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter { param: "lo", .. }
+        ));
+        let wider = FrequencyVector::new(0, 9);
+        let err = a.merge_from(&wider).expect_err("width differs");
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter { param: "hi", .. }
+        ));
+        assert_eq!(a.total(), 0);
     }
 
     #[test]

@@ -30,5 +30,5 @@ mod freq;
 mod value_hist;
 
 pub use freq::FrequencyVector;
-pub use streamhist_core::{BatchOutcome, StreamSummary};
+pub use streamhist_core::{BatchOutcome, MergeableSummary, StreamSummary};
 pub use value_hist::{evaluate_selectivity, max_diff_ends, SelectivityReport, ValueHistogram};

@@ -8,7 +8,7 @@
 use crate::gk::GkSummary;
 use crate::QuantileSummary;
 use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
-use streamhist_core::{StreamSummary, StreamhistError};
+use streamhist_core::{MergeableSummary, StreamSummary, StreamhistError};
 
 /// Equi-depth histogram over the *value* domain.
 #[derive(Debug, Clone)]
@@ -187,6 +187,22 @@ impl StreamingEquiDepth {
     }
 }
 
+/// Delegates to the backing [`GkSummary`] merge after checking that both
+/// the bucket budget `b` and the GK tolerance agree; the derived
+/// equi-depth boundaries then inherit the additive GK rank-error bound
+/// (DESIGN.md §6).
+impl MergeableSummary for StreamingEquiDepth {
+    fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
+        if self.b != other.b {
+            return Err(StreamhistError::InvalidParameter {
+                param: "b",
+                message: "merge requires identical bucket budgets",
+            });
+        }
+        self.summary.merge_from(&other.summary)
+    }
+}
+
 impl Checkpoint for StreamingEquiDepth {
     fn encode_checkpoint(&self) -> Vec<u8> {
         let mut w = FrameWriter::new(tag::EQUI_DEPTH);
@@ -327,6 +343,31 @@ mod tests {
     #[should_panic(expected = "need at least one bucket")]
     fn streaming_equi_depth_zero_buckets_rejected() {
         let _ = StreamingEquiDepth::new(0.1, 0);
+    }
+
+    #[test]
+    fn merge_checks_bucket_budget_then_delegates_to_gk() {
+        let mut a = StreamingEquiDepth::new(0.01, 8);
+        a.push(1.0);
+        let wrong_b = StreamingEquiDepth::new(0.01, 4);
+        let err = a.merge_from(&wrong_b).expect_err("b mismatch");
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter { param: "b", .. }
+        ));
+        let wrong_eps = StreamingEquiDepth::new(0.02, 8);
+        let err = a.merge_from(&wrong_eps).expect_err("eps mismatch");
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter { param: "eps", .. }
+        ));
+        let mut b = StreamingEquiDepth::new(0.01, 8);
+        for v in [2.0, 3.0] {
+            b.push(v);
+        }
+        a.merge_from(&b).expect("compatible");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.histogram().count(), 3);
     }
 
     #[test]

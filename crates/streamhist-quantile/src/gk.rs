@@ -9,7 +9,7 @@
 
 use crate::QuantileSummary;
 use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
-use streamhist_core::{StreamSummary, StreamhistError};
+use streamhist_core::{MergeableSummary, StreamSummary, StreamhistError};
 
 #[derive(Debug, Clone, Copy)]
 struct Tuple {
@@ -158,6 +158,60 @@ impl GkSummary {
             }
         }
         self.tuples = out;
+    }
+}
+
+/// The standard mergeable-GK rule: interleave the two sorted tuple lists;
+/// a tuple keeps its `g`, and its `Δ` widens by the rank band of the
+/// *next* tuple originating from the other summary (`Δ' = Δ + g_u + Δ_u −
+/// 1`, no widening when no such tuple follows). Since `g + Δ ≤ 2εn` held
+/// in each part, every merged tuple satisfies `g + Δ' ≤ 2ε(n₁ + n₂)`, so
+/// the merged summary answers rank queries within `ε·(n₁ + n₂)` — rank
+/// errors **add** across a merge tree (DESIGN.md §6). A compress pass runs
+/// after the splice to restore the space bound.
+impl MergeableSummary for GkSummary {
+    fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
+        if self.eps != other.eps {
+            return Err(StreamhistError::InvalidParameter {
+                param: "eps",
+                message: "merge requires identical rank-error tolerances",
+            });
+        }
+        if other.tuples.is_empty() {
+            self.n += other.n;
+            return Ok(());
+        }
+        if self.tuples.is_empty() {
+            self.tuples = other.tuples.clone();
+            self.n += other.n;
+            self.since_compress = 0;
+            return Ok(());
+        }
+        let (a, b) = (&self.tuples, &other.tuples);
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let take_a = j == b.len() || (i < a.len() && a[i].v <= b[j].v);
+            let (mut t, next_other) = if take_a {
+                let t = a[i];
+                i += 1;
+                (t, b.get(j))
+            } else {
+                let t = b[j];
+                j += 1;
+                (t, a.get(i))
+            };
+            if let Some(u) = next_other {
+                // g >= 1 for every tuple, so the subtraction cannot wrap.
+                t.delta += u.g + u.delta - 1;
+            }
+            merged.push(t);
+        }
+        self.tuples = merged;
+        self.n += other.n;
+        self.since_compress = 0;
+        self.compress();
+        Ok(())
     }
 }
 
@@ -408,6 +462,65 @@ mod tests {
         let mut gk = GkSummary::new(0.1);
         gk.insert(3.0);
         assert_eq!(gk.count(), 1);
+    }
+
+    #[test]
+    fn merged_partitions_answer_within_eps_of_whole_stream() {
+        let n = 12_000usize;
+        let eps = 0.02;
+        let values: Vec<f64> = (0..n).map(|i| ((i * 7919) % n) as f64).collect();
+        let mut parts: Vec<GkSummary> = Vec::new();
+        for chunk in values.chunks(n / 4) {
+            let mut gk = GkSummary::new(eps);
+            for &v in chunk {
+                gk.push(v);
+            }
+            parts.push(gk);
+        }
+        let refs: Vec<&GkSummary> = parts.iter().collect();
+        let merged = GkSummary::merge(&refs).expect("same eps");
+        assert_eq!(merged.count(), n);
+        for phi in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let q = merged.quantile(phi);
+            let target = (phi * n as f64).ceil().max(1.0);
+            assert!(
+                (q - (target - 1.0)).abs() <= eps * n as f64 + 1.0,
+                "phi={phi}: got {q}, target {target}"
+            );
+        }
+        // Space stays summary-sized after the post-merge compress.
+        assert!(merged.stored() < n / 10);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_eps_and_leaves_receiver_unchanged() {
+        let mut a = GkSummary::new(0.01);
+        a.push(1.0);
+        let mut b = GkSummary::new(0.02);
+        b.push(2.0);
+        let err = a.merge_from(&b).expect_err("eps mismatch");
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter { param: "eps", .. }
+        ));
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.quantile(0.5), 1.0);
+    }
+
+    #[test]
+    fn merge_with_empty_sides_is_identity() {
+        let mut a = GkSummary::new(0.05);
+        for v in [3.0, 1.0, 2.0] {
+            a.push(v);
+        }
+        let empty = GkSummary::new(0.05);
+        a.merge_from(&empty).expect("empty rhs");
+        assert_eq!(a.count(), 3);
+        let mut lhs = GkSummary::new(0.05);
+        lhs.merge_from(&a).expect("empty lhs");
+        assert_eq!(lhs.count(), 3);
+        assert_eq!(lhs.quantile(0.0), 1.0);
+        assert_eq!(lhs.quantile(1.0), 3.0);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod mrl;
 pub use equidepth::{EquiDepthHistogram, StreamingEquiDepth};
 pub use gk::GkSummary;
 pub use mrl::MrlSummary;
-pub use streamhist_core::{BatchOutcome, StreamSummary};
+pub use streamhist_core::{BatchOutcome, MergeableSummary, StreamSummary};
 
 /// Common interface of the quantile summaries: enough to extract quantiles
 /// and ranks, and to derive equi-depth histograms.

@@ -12,7 +12,7 @@
 
 use crate::QuantileSummary;
 use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
-use streamhist_core::{StreamSummary, StreamhistError};
+use streamhist_core::{MergeableSummary, StreamSummary, StreamhistError};
 
 /// Deterministic multi-level quantile summary with buffer size `k`.
 ///
@@ -185,6 +185,27 @@ impl MrlSummary {
             }
         }
         out
+    }
+}
+
+/// Fallible wrapper around the inherent consuming
+/// [`merge`](MrlSummary::merge): `k` mismatch is rejected with
+/// [`StreamhistError::InvalidParameter`] instead of the panic, and the
+/// right-hand side is cloned instead of consumed. Per-level weights are
+/// preserved exactly, so merged rank error stays within the sum of the
+/// parts' bounds (DESIGN.md §6). Note the inherent method shadows the
+/// trait's k-way combinator in path syntax — spell that one
+/// `MergeableSummary::merge(&parts)`.
+impl MergeableSummary for MrlSummary {
+    fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
+        if self.k != other.k {
+            return Err(StreamhistError::InvalidParameter {
+                param: "k",
+                message: "merge requires identical buffer sizes",
+            });
+        }
+        self.merge(other.clone());
+        Ok(())
     }
 }
 
@@ -430,6 +451,25 @@ mod tests {
         // Extremes survive merging within tolerance.
         assert!(merged.quantile(0.0) <= tol);
         assert!(merged.quantile(1.0) >= n as f64 - 1.0 - tol);
+    }
+
+    #[test]
+    fn mergeable_summary_rejects_mismatched_k_without_panicking() {
+        let mut a = MrlSummary::new(4);
+        a.push(1.0);
+        let b = MrlSummary::new(8);
+        let err = a.merge_from(&b).expect_err("k mismatch");
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter { param: "k", .. }
+        ));
+        assert_eq!(a.count(), 1);
+        // Matching k merges through the trait with the rhs intact.
+        let mut c = MrlSummary::new(4);
+        c.push(2.0);
+        a.merge_from(&c).expect("same k");
+        assert_eq!(a.count(), 2);
+        assert_eq!(c.count(), 1);
     }
 
     #[test]

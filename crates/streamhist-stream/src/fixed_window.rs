@@ -27,7 +27,9 @@ use crate::kernel::{Kernel, KernelStats, SnapshotCache};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
-use streamhist_core::{BatchOutcome, Histogram, SlidingPrefixSums, StreamSummary, StreamhistError};
+use streamhist_core::{
+    BatchOutcome, Histogram, MergeableSummary, SlidingPrefixSums, StreamSummary, StreamhistError,
+};
 
 /// Diagnostics from one histogram materialization.
 ///
@@ -422,6 +424,78 @@ impl FixedWindowHistogram {
     }
 }
 
+/// Aligned-window gather: `a.merge_from(&b)` materializes each operand's
+/// `(1+ε)`-approximate histogram, concatenates the two **expansions** and
+/// rebuilds `a` as a summary of that concatenation, with capacity equal to
+/// the sum of the operands' capacities so nothing is evicted — exactly the
+/// "concatenate bucket lists, re-optimize through the kernel" contract: a
+/// subsequent [`histogram`](FixedWindowHistogram::histogram) call runs the
+/// normal kernel DP over the gathered sequence and emits a `B`-bucket
+/// global snapshot.
+///
+/// The merged window holds the operands' *approximations*, not their raw
+/// points, so the global SSE picks up the gather term `G = Σ SSE(ĥᵢ,
+/// windowᵢ)` on top of the kernel's `(1+ε)` factor — the bound is proved
+/// in DESIGN.md §6.
+///
+/// `b`, `eps` and `delta` must agree pairwise; capacities may differ
+/// (folding grows them), but the k-way
+/// [`merge`](MergeableSummary::merge) additionally requires all parts to
+/// share one window capacity — shard fleets are homogeneous, and a
+/// capacity mismatch there means misrouted frames.
+impl MergeableSummary for FixedWindowHistogram {
+    fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
+        if self.b != other.b {
+            return Err(StreamhistError::InvalidParameter {
+                param: "b",
+                message: "merge requires identical bucket budgets",
+            });
+        }
+        if self.eps != other.eps {
+            return Err(StreamhistError::InvalidParameter {
+                param: "eps",
+                message: "merge requires identical eps",
+            });
+        }
+        if self.delta != other.delta {
+            return Err(StreamhistError::InvalidParameter {
+                param: "delta",
+                message: "merge requires identical delta",
+            });
+        }
+        let capacity = self.capacity() + other.capacity();
+        let mut merged = FixedWindowHistogram::builder(capacity, self.b, self.eps)
+            .delta(self.delta)
+            .build()?;
+        merged.push_batch(&self.histogram().expand());
+        merged.push_batch(&other.histogram().expand());
+        // The merged summary logically continues both streams.
+        merged.total_pushed = self.total_pushed + other.total_pushed;
+        *self = merged;
+        Ok(())
+    }
+
+    fn merge(parts: &[&Self]) -> Result<Self, StreamhistError> {
+        let (first, rest) = parts
+            .split_first()
+            .ok_or(StreamhistError::InvalidParameter {
+                param: "parts",
+                message: "merge needs at least one summary",
+            })?;
+        if rest.iter().any(|p| p.capacity() != first.capacity()) {
+            return Err(StreamhistError::InvalidParameter {
+                param: "capacity",
+                message: "merge requires identical window capacities",
+            });
+        }
+        let mut merged = (*first).clone();
+        for part in rest {
+            merged.merge_from(part)?;
+        }
+        Ok(merged)
+    }
+}
+
 impl Checkpoint for FixedWindowHistogram {
     /// Serializes configuration, the raw buffered window, and the
     /// **complete** rebased prefix state — including the rebase phase
@@ -790,6 +864,80 @@ mod tests {
         assert_eq!(StreamSummary::len(&fw), 2);
         StreamSummary::reset(&mut fw);
         assert!(StreamSummary::is_empty(&fw));
+    }
+
+    #[test]
+    fn merge_concatenates_window_approximations() {
+        // Piecewise-constant parts merge losslessly: each part's histogram
+        // is exact, so the gather term vanishes.
+        let mut a = FixedWindowHistogram::new(4, 2, 0.1);
+        a.push_batch(&[5.0, 5.0, 9.0, 9.0]);
+        let mut b = FixedWindowHistogram::new(4, 2, 0.1);
+        b.push_batch(&[2.0, 2.0, 2.0]);
+        a.merge_from(&b).expect("compatible");
+        assert_eq!(a.capacity(), 8);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a.window(), vec![5.0, 5.0, 9.0, 9.0, 2.0, 2.0, 2.0]);
+        assert_eq!(a.total_pushed(), 7);
+        // Still a live summary: it keeps ingesting and materializing.
+        a.push(2.0);
+        let h = a.histogram();
+        assert_eq!(h.domain_len(), 8);
+        assert!(h.num_buckets() <= 2);
+    }
+
+    #[test]
+    fn merge_rejects_each_config_mismatch() {
+        let base = || {
+            let mut fw = FixedWindowHistogram::new(8, 3, 0.2);
+            fw.push_batch(&[1.0, 2.0]);
+            fw
+        };
+        for (other, param) in [
+            (FixedWindowHistogram::new(8, 4, 0.2), "b"),
+            (FixedWindowHistogram::new(8, 3, 0.3), "eps"),
+            (FixedWindowHistogram::with_delta(8, 3, 0.2, 1.0), "delta"),
+        ] {
+            let mut a = base();
+            let err = a.merge_from(&other).expect_err("mismatch");
+            assert!(
+                matches!(err, StreamhistError::InvalidParameter { param: p, .. } if p == param),
+                "expected rejection on {param}"
+            );
+            assert_eq!(a.len(), 2, "receiver unchanged after {param} rejection");
+        }
+        // The k-way combinator additionally rejects capacity mismatches.
+        let a = base();
+        let wider = FixedWindowHistogram::new(16, 3, 0.2);
+        let err = MergeableSummary::merge(&[&a, &wider]).expect_err("capacity");
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter {
+                param: "capacity",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn kway_merge_matches_sequential_folds() {
+        let parts: Vec<FixedWindowHistogram> = (0..3)
+            .map(|s| {
+                let mut fw = FixedWindowHistogram::new(8, 3, 0.2);
+                let data: Vec<f64> = (0..8).map(|i| ((i * 7 + s * 3) % 11) as f64).collect();
+                fw.push_batch(&data);
+                fw
+            })
+            .collect();
+        let refs: Vec<&FixedWindowHistogram> = parts.iter().collect();
+        let merged = MergeableSummary::merge(&refs).expect("homogeneous parts");
+        assert_eq!(merged.capacity(), 24);
+        assert_eq!(merged.len(), 24);
+        let mut fold = parts[0].clone();
+        fold.merge_from(&parts[1]).expect("fold 1");
+        fold.merge_from(&parts[2]).expect("fold 2");
+        assert_eq!(merged.window(), fold.window());
+        assert_eq!(*merged.histogram(), *fold.histogram());
     }
 
     #[test]

@@ -175,6 +175,17 @@ impl SnapshotCache {
         (hist, stats)
     }
 
+    /// Returns the cached build only if it was produced under
+    /// `generation`, without building anything on a miss. The sharded
+    /// gather path uses this to skip the cross-shard snapshot barrier
+    /// entirely when nothing has changed since the last global build.
+    pub fn try_get(&self, generation: u64) -> Option<(Arc<Histogram>, KernelStats)> {
+        let slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        slot.as_ref()
+            .filter(|c| c.generation == generation)
+            .map(|c| (Arc::clone(&c.hist), c.stats.clone()))
+    }
+
     /// Drops any cached build (used by `reset`, whose generation bump
     /// already suffices — clearing additionally releases the memory).
     pub fn clear(&self) {

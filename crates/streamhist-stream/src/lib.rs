@@ -70,6 +70,7 @@ mod arena;
 pub mod baseline;
 pub mod fixed_window;
 mod kernel;
+pub mod merge;
 pub mod sharded;
 pub mod telemetry;
 pub mod time_window;
@@ -80,11 +81,12 @@ pub use baseline::{NaiveSlidingWindow, NaiveSlidingWindowBuilder};
 pub use fixed_window::BuildStats;
 pub use fixed_window::{FixedWindowBuilder, FixedWindowHistogram};
 pub use kernel::KernelStats;
+pub use merge::merge_histograms;
 pub use sharded::{
-    OverloadPolicy, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow,
+    MergeMetrics, OverloadPolicy, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow,
     ShardedFixedWindowBuilder, ShardedOptions,
 };
-pub use streamhist_core::{BatchOutcome, Checkpoint, StreamSummary};
+pub use streamhist_core::{BatchOutcome, Checkpoint, MergeableSummary, StreamSummary};
 pub use time_window::{TimeWindowBuilder, TimeWindowHistogram};
 
 // The `Send + 'static` contract of the streaming summaries, checked at

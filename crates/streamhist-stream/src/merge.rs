@@ -1,0 +1,168 @@
+//! Kernel-backed re-optimizing histogram merge — the gather half of
+//! scatter/gather.
+//!
+//! `MergeableSummary for Histogram` (streamhist-core) concatenates bucket
+//! lists exactly but lets the bucket count grow to the sum of the parts.
+//! [`merge_histograms`] finishes the job: it concatenates the parts and
+//! re-optimizes the result back down to a `B`-bucket V-optimal histogram
+//! through the same DP kernel that serves every window summary, so a
+//! gathered fleet-global snapshot has the same shape and budget as any
+//! per-shard one.
+//!
+//! # Error composition (proved in DESIGN.md §6)
+//!
+//! Let `u` be the true concatenated window, `ĥᵢ` the per-part histograms
+//! with gather term `G = Σᵢ SSE(ĥᵢ, partᵢ)`, and `h` the merged output.
+//! By the L2 triangle inequality and the kernel's `(1+ε)` guarantee over
+//! the concatenated expansion `û`:
+//!
+//! ```text
+//! √SSE(h, u)  <=  √G + √(1+ε) · (√G + √OPT_B(u))
+//! ```
+//!
+//! i.e. the merge pays the per-part error twice (once as input noise, once
+//! inside the re-optimization) on top of the usual `(1+ε)` factor — merges
+//! are cheap but never free.
+
+use crate::kernel::{Kernel, KernelStats};
+use streamhist_core::{Histogram, MergeableSummary, PrefixSums, StreamhistError};
+
+/// Merges `parts` (per-shard / per-partition histograms, in stream order)
+/// into one `b`-bucket histogram over the concatenated domain, running the
+/// `(1+eps)`-approximate DP over the exact concatenation of the parts'
+/// expansions. Returns the histogram plus the kernel work counters of the
+/// re-optimization.
+///
+/// Parts with empty domains contribute nothing; if every part is empty
+/// the result is the empty histogram.
+///
+/// # Errors
+///
+/// [`StreamhistError::InvalidParameter`] if `parts` is empty, `b == 0`,
+/// or `eps` is not positive.
+pub fn merge_histograms(
+    parts: &[&Histogram],
+    b: usize,
+    eps: f64,
+) -> Result<(Histogram, KernelStats), StreamhistError> {
+    if parts.is_empty() {
+        return Err(StreamhistError::InvalidParameter {
+            param: "parts",
+            message: "merge needs at least one histogram",
+        });
+    }
+    if b == 0 {
+        return Err(StreamhistError::InvalidParameter {
+            param: "b",
+            message: "need at least one bucket",
+        });
+    }
+    if eps.is_nan() || eps <= 0.0 {
+        return Err(StreamhistError::InvalidParameter {
+            param: "eps",
+            message: "eps must be positive",
+        });
+    }
+    let mut concat = parts[0].clone();
+    for part in &parts[1..] {
+        concat.merge_from(part)?;
+    }
+    if concat.domain_len() == 0 {
+        return Ok((concat, KernelStats::default()));
+    }
+    if concat.num_buckets() <= b {
+        // Already within budget: the concatenation itself is the answer,
+        // and it is exact relative to the parts (no re-optimization loss).
+        return Ok((concat, KernelStats::default()));
+    }
+    let expanded = concat.expand();
+    let p = PrefixSums::new(&expanded);
+    let delta = eps / (2.0 * b as f64);
+    Ok(Kernel::build(&p, b, delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamhist_core::sum_squared_error;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let h = Histogram::from_bucket_ends(&[1.0, 2.0], &[1]);
+        for (parts, b, eps, param) in [
+            (vec![], 4, 0.1, "parts"),
+            (vec![&h], 0, 0.1, "b"),
+            (vec![&h], 4, 0.0, "eps"),
+            (vec![&h], 4, f64::NAN, "eps"),
+        ] {
+            let err = merge_histograms(&parts, b, eps).expect_err("invalid");
+            assert!(
+                matches!(err, StreamhistError::InvalidParameter { param: p, .. } if p == param),
+                "expected rejection on {param}"
+            );
+        }
+    }
+
+    #[test]
+    fn within_budget_concatenation_is_exact() {
+        let a = Histogram::from_bucket_ends(&[1.0, 1.0], &[1]);
+        let b = Histogram::from_bucket_ends(&[9.0, 9.0, 9.0], &[2]);
+        let (h, stats) = merge_histograms(&[&a, &b], 4, 0.1).expect("valid");
+        assert_eq!(h.num_buckets(), 2);
+        assert_eq!(h.expand(), vec![1.0, 1.0, 9.0, 9.0, 9.0]);
+        assert_eq!(stats.herror, 0.0);
+    }
+
+    #[test]
+    fn reoptimizes_piecewise_constant_parts_without_loss() {
+        // Three exact parts, each one constant run; merged under B = 3 the
+        // kernel must find the three run boundaries exactly.
+        let parts_data: [&[f64]; 3] = [&[5.0; 4], &[9.0; 3], &[2.0; 5]];
+        let parts: Vec<Histogram> = parts_data
+            .iter()
+            .map(|d| Histogram::from_bucket_ends(d, &[d.len() - 1]))
+            .collect();
+        let refs: Vec<&Histogram> = parts.iter().collect();
+        let (h, _) = merge_histograms(&refs, 3, 0.1).expect("valid");
+        assert_eq!(h.bucket_ends(), vec![3, 6, 11]);
+        let whole: Vec<f64> = parts_data.iter().flat_map(|d| d.iter().copied()).collect();
+        assert_eq!(h.sse(&whole), 0.0);
+    }
+
+    #[test]
+    fn merged_error_respects_the_documented_bound() {
+        // Parts summarized lossily (B=2 over non-constant data), merged to
+        // B = 4: check sqrt(SSE) <= sqrt(G) + sqrt(1+eps)(sqrt(G) +
+        // sqrt(OPT)) with OPT conservatively lower-bounded by 0.
+        let data: Vec<f64> = (0..64).map(|i| ((i * 13 + 5) % 23) as f64).collect();
+        let eps = 0.1;
+        let mut parts = Vec::new();
+        let mut gather = 0.0;
+        for chunk in data.chunks(16) {
+            let h = crate::approx_histogram(chunk, 2, eps);
+            gather += h.sse(chunk);
+            parts.push(h);
+        }
+        let refs: Vec<&Histogram> = parts.iter().collect();
+        let (h, _) = merge_histograms(&refs, 4, eps).expect("valid");
+        let sse = sum_squared_error(&data, &h.expand());
+        // OPT_4(data) <= SSE of any 4-bucket histogram; use the offline
+        // approximation as an upper bound on (1+eps) * OPT.
+        let opt_upper = crate::approx_histogram(&data, 4, eps).sse(&data);
+        let bound = gather.sqrt() + (1.0 + eps).sqrt() * (gather.sqrt() + opt_upper.sqrt());
+        assert!(
+            sse.sqrt() <= bound + 1e-9,
+            "sqrt(SSE) {} > bound {}",
+            sse.sqrt(),
+            bound
+        );
+    }
+
+    #[test]
+    fn empty_parts_merge_to_empty() {
+        let e = Histogram::from_bucket_ends(&[], &[]);
+        let (h, _) = merge_histograms(&[&e, &e], 3, 0.1).expect("valid");
+        assert_eq!(h.domain_len(), 0);
+        assert_eq!(h.num_buckets(), 0);
+    }
+}

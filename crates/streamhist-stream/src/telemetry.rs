@@ -215,6 +215,10 @@ mod tracing {
         pub restore: Arc<LatencyRecorder>,
         /// Wall-clock of one `push_batch_scatter` dispatch loop.
         pub scatter: Arc<LatencyRecorder>,
+        /// Wall-clock of one `snapshot_global` gather: the cross-shard
+        /// snapshot barrier plus every histogram merge stage. Cache hits
+        /// are not recorded (nothing is gathered).
+        pub merge: Arc<LatencyRecorder>,
     }
 
     impl FleetTiming {
@@ -239,6 +243,11 @@ mod tracing {
                 scatter: registry.latency_with(
                     &format!("{PREFIX}_shard_scatter_seconds"),
                     "push_batch_scatter dispatch-loop latency (all chunks enqueued).",
+                    labels,
+                ),
+                merge: registry.latency_with(
+                    &format!("{PREFIX}_fleet_merge_seconds"),
+                    "snapshot_global gather latency (shard snapshots plus merge stages).",
                     labels,
                 ),
             }

@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
 use streamhist_core::{
-    BatchOutcome, GrowableWindowSums, Histogram, StreamSummary, StreamhistError,
+    BatchOutcome, GrowableWindowSums, Histogram, MergeableSummary, StreamSummary, StreamhistError,
 };
 
 /// `(1+ε)`-approximate V-optimal histogram over all points observed within
@@ -39,7 +39,7 @@ use streamhist_core::{
 /// assert_eq!(h.domain_len(), 2);
 /// assert_eq!(h.point(0), 1.0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TimeWindowHistogram {
     duration: u64,
     b: usize,
@@ -343,6 +343,62 @@ impl TimeWindowHistogram {
         self.cache.get_or_build(self.generation, || {
             Kernel::build(&self.sums, self.b, self.delta)
         })
+    }
+}
+
+impl MergeableSummary for TimeWindowHistogram {
+    /// Concatenates the two windows, **coarsening timestamps**: every
+    /// surviving point is re-stamped at the merged clock
+    /// `max(self.now, other.now)` — scatter/gather assumes aligned window
+    /// clocks, so per-point arrival times inside a gathered window are not
+    /// preserved (they were only ever used for eviction, and a merged
+    /// window ages out as one unit). The merged clock never moves
+    /// backwards for either operand, so no point is evicted by the merge
+    /// itself.
+    ///
+    /// Configurations must agree on `duration`, `b`, `eps` and `delta`;
+    /// the approximation error of the merged materialization composes as
+    /// for [`crate::FixedWindowHistogram`] (DESIGN.md §6: the per-part
+    /// SSE appears as a gather term on top of the `(1+ε)` factor).
+    fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
+        if self.duration != other.duration {
+            return Err(StreamhistError::InvalidParameter {
+                param: "duration",
+                message: "merge requires identical window durations",
+            });
+        }
+        if self.b != other.b {
+            return Err(StreamhistError::InvalidParameter {
+                param: "b",
+                message: "merge requires identical bucket budgets",
+            });
+        }
+        if self.eps != other.eps {
+            return Err(StreamhistError::InvalidParameter {
+                param: "eps",
+                message: "merge requires identical approximation parameters",
+            });
+        }
+        if self.delta != other.delta {
+            return Err(StreamhistError::InvalidParameter {
+                param: "delta",
+                message: "merge requires identical interval growth factors",
+            });
+        }
+        let mut merged = TimeWindowHistogram::builder(self.duration, self.b, self.eps)
+            .delta(self.delta)
+            .build()?;
+        let now = match (self.now, other.now) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(ts) = now {
+            merged.advance_to(ts);
+            merged.push_batch_at(ts, &self.window());
+            merged.push_batch_at(ts, &other.window());
+        }
+        *self = merged;
+        Ok(())
     }
 }
 
@@ -663,6 +719,79 @@ mod tests {
         // After reset the value-only push starts the clock at 0.
         StreamSummary::try_push(&mut tw, 9.0).expect("fresh clock");
         assert_eq!(tw.window_with_times(), vec![(0, 9.0)]);
+    }
+
+    #[test]
+    fn merge_concatenates_and_coarsens_timestamps() {
+        let mut a = TimeWindowHistogram::new(10, 2, 0.5);
+        a.push_at(3, 1.0);
+        a.push_at(5, 2.0);
+        let mut b = TimeWindowHistogram::new(10, 2, 0.5);
+        b.push_at(8, 7.0);
+        a.merge_from(&b).expect("compatible");
+        // Every merged point sits at the merged clock max(5, 8) = 8.
+        assert_eq!(a.now(), Some(8));
+        assert_eq!(a.window_with_times(), vec![(8, 1.0), (8, 2.0), (8, 7.0)]);
+        // The merged window ages out as one unit.
+        a.advance_to(18);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn merge_with_empty_operands_keeps_the_later_clock() {
+        let mut a = TimeWindowHistogram::new(10, 2, 0.5);
+        let b = TimeWindowHistogram::new(10, 2, 0.5);
+        a.merge_from(&b).expect("both empty");
+        assert_eq!(a.now(), None);
+        let mut c = TimeWindowHistogram::new(10, 2, 0.5);
+        c.push_at(4, 1.0);
+        a.merge_from(&c).expect("empty receiver");
+        assert_eq!(a.window_with_times(), vec![(4, 1.0)]);
+    }
+
+    #[test]
+    fn merge_rejects_each_config_mismatch() {
+        let base = || {
+            let mut tw = TimeWindowHistogram::new(10, 3, 0.2);
+            tw.push_at(1, 5.0);
+            tw
+        };
+        for (other, param) in [
+            (TimeWindowHistogram::new(20, 3, 0.2), "duration"),
+            (TimeWindowHistogram::new(10, 4, 0.2), "b"),
+            (TimeWindowHistogram::new(10, 3, 0.3), "eps"),
+            (
+                TimeWindowHistogram::builder(10, 3, 0.2)
+                    .delta(1.0)
+                    .build()
+                    .expect("valid"),
+                "delta",
+            ),
+        ] {
+            let mut a = base();
+            let err = a.merge_from(&other).expect_err("mismatch");
+            assert!(
+                matches!(err, StreamhistError::InvalidParameter { param: p, .. } if p == param),
+                "expected rejection on {param}"
+            );
+            assert_eq!(a.window_with_times(), vec![(1, 5.0)], "receiver unchanged");
+        }
+    }
+
+    #[test]
+    fn kway_merge_combinator_gathers_shards() {
+        let parts: Vec<TimeWindowHistogram> = (0..3)
+            .map(|s| {
+                let mut tw = TimeWindowHistogram::new(100, 2, 0.5);
+                tw.push_at(10 + s, s as f64);
+                tw
+            })
+            .collect();
+        let refs: Vec<&TimeWindowHistogram> = parts.iter().collect();
+        let merged = MergeableSummary::merge(&refs).expect("homogeneous parts");
+        assert_eq!(merged.now(), Some(12));
+        assert_eq!(merged.window(), vec![0.0, 1.0, 2.0]);
+        assert!(merged.histogram().num_buckets() <= 2);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::haar;
 use crate::synopsis::WaveletSynopsis;
 use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
-use streamhist_core::{StreamSummary, StreamhistError};
+use streamhist_core::{MergeableSummary, StreamSummary, StreamhistError};
 
 /// Exact Haar coefficient set over a fixed power-of-two capacity, with
 /// `O(log N)` point updates and on-demand top-`B` extraction.
@@ -223,6 +223,28 @@ impl DynamicWavelet {
     }
 }
 
+/// Dense coefficient addition: by linearity of the Haar transform,
+/// summing the full coefficient arrays yields the **exact** coefficient
+/// set of the superimposed signal `x + y` — point updates applied on
+/// separate workers over the same index domain merge losslessly
+/// (DESIGN.md §6). The appended-position cursor advances to the further
+/// of the two operands. Padded capacities must match.
+impl MergeableSummary for DynamicWavelet {
+    fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
+        if self.n_padded != other.n_padded {
+            return Err(StreamhistError::InvalidParameter {
+                param: "capacity",
+                message: "merge requires identical padded capacities",
+            });
+        }
+        for (c, &o) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *c += o;
+        }
+        self.len = self.len.max(other.len);
+        Ok(())
+    }
+}
+
 impl Checkpoint for DynamicWavelet {
     fn encode_checkpoint(&self) -> Vec<u8> {
         let mut w = FrameWriter::new(tag::DYNAMIC_WAVELET);
@@ -373,6 +395,41 @@ mod tests {
         dw.append(2.0);
         assert_eq!(dw.len(), 1);
         assert!((dw.value(0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_signals_exactly() {
+        let mut a = DynamicWavelet::new(8);
+        let mut b = DynamicWavelet::new(8);
+        for i in 0..8 {
+            a.set(i, (i % 3) as f64);
+            b.set(i, ((i * 5) % 7) as f64);
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b).expect("same capacity");
+        for i in 0..8 {
+            let want = a.value(i) + b.value(i);
+            assert!((ab.value(i) - want).abs() < 1e-9, "i={i}");
+        }
+        let mut ba = b.clone();
+        ba.merge_from(&a).expect("same capacity");
+        for (x, y) in ab.coefficients().iter().zip(ba.coefficients()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_capacity() {
+        let mut a = DynamicWavelet::new(8);
+        let b = DynamicWavelet::new(16);
+        let err = a.merge_from(&b).expect_err("capacity mismatch");
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter {
+                param: "capacity",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub mod haar;
 pub mod synopsis;
 
 pub use dynamic::DynamicWavelet;
-pub use streamhist_core::{BatchOutcome, StreamSummary};
+pub use streamhist_core::{BatchOutcome, MergeableSummary, StreamSummary};
 pub use synopsis::{SlidingWindowWavelet, WaveletSynopsis};

@@ -3,7 +3,7 @@
 use crate::haar;
 use std::collections::VecDeque;
 use streamhist_core::checkpoint::{tag, Checkpoint, FrameReader, FrameWriter};
-use streamhist_core::{SequenceSummary, StreamSummary, StreamhistError};
+use streamhist_core::{MergeableSummary, SequenceSummary, StreamSummary, StreamhistError};
 
 /// A sequence synopsis retaining the `B` Haar coefficients with the largest
 /// normalized magnitude (`|c|·√support`, i.e. largest L2 energy) —
@@ -145,6 +145,73 @@ impl WaveletSynopsis {
 /// MVW selection weight: sqrt of the L2 energy a coefficient carries.
 fn weight(k: usize, c: f64, n_padded: usize) -> f64 {
     c.abs() * (haar::support(k, n_padded) as f64).sqrt()
+}
+
+/// Coefficient merge + re-threshold: the Haar transform is linear, so
+/// summing the retained coefficients index-wise yields a synopsis of the
+/// **superimposed** signal `x + y` over the shared index domain (the
+/// aggregation-tree use: per-shard frequency signals over one value domain
+/// add into the fleet signal). After the sum the set is re-thresholded to
+/// the larger operand's retained count by MVW energy weight; the
+/// deterministic energy-then-index ordering makes the merge exactly
+/// commutative (DESIGN.md §6). Both synopses must cover identical domains
+/// (`n` and padded length).
+impl MergeableSummary for WaveletSynopsis {
+    fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
+        if self.n != other.n || self.n_padded != other.n_padded {
+            return Err(StreamhistError::InvalidParameter {
+                param: "n",
+                message: "merge requires identical signal domains",
+            });
+        }
+        let budget = self.coeffs.len().max(other.coeffs.len());
+        let (a, b) = (&self.coeffs, &other.coeffs);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&(ka, ca)), Some(&(kb, cb))) => {
+                    if ka == kb {
+                        i += 1;
+                        j += 1;
+                        (ka, ca + cb)
+                    } else if ka < kb {
+                        i += 1;
+                        (ka, ca)
+                    } else {
+                        j += 1;
+                        (kb, cb)
+                    }
+                }
+                (Some(&(ka, ca)), None) => {
+                    i += 1;
+                    (ka, ca)
+                }
+                (None, Some(&(kb, cb))) => {
+                    j += 1;
+                    (kb, cb)
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            if next.1 != 0.0 {
+                merged.push(next);
+            }
+        }
+        if merged.len() > budget {
+            let n_padded = self.n_padded;
+            merged.sort_by(|x, y| {
+                let wx = weight(x.0, x.1, n_padded);
+                let wy = weight(y.0, y.1, n_padded);
+                wy.partial_cmp(&wx)
+                    .expect("weights are finite")
+                    .then(x.0.cmp(&y.0))
+            });
+            merged.truncate(budget);
+            merged.sort_by_key(|&(k, _)| k);
+        }
+        self.coeffs = merged;
+        Ok(())
+    }
 }
 
 impl SequenceSummary for WaveletSynopsis {
@@ -446,6 +513,58 @@ mod tests {
         let s = WaveletSynopsis::top_b(&[], 4);
         assert_eq!(s.summary_len(), 0);
         assert!(s.reconstruct().is_empty());
+    }
+
+    #[test]
+    fn merge_superimposes_signals_exactly_at_full_budget() {
+        let x: Vec<f64> = (0..8).map(|i| (i % 3) as f64).collect();
+        let y: Vec<f64> = (0..8).map(|i| ((i * 5) % 7) as f64).collect();
+        let mut sx = WaveletSynopsis::top_b(&x, 8);
+        let sy = WaveletSynopsis::top_b(&y, 8);
+        sx.merge_from(&sy).expect("same domain");
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        for (got, want) in sx.reconstruct().iter().zip(&sum) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_rethresholds() {
+        let x: Vec<f64> = (0..16).map(|i| ((i * 13 + 2) % 11) as f64).collect();
+        let y: Vec<f64> = (0..16).map(|i| ((i * 7 + 5) % 9) as f64).collect();
+        let a = WaveletSynopsis::top_b(&x, 4);
+        let b = WaveletSynopsis::top_b(&y, 6);
+        let mut ab = a.clone();
+        ab.merge_from(&b).expect("same domain");
+        let mut ba = b.clone();
+        ba.merge_from(&a).expect("same domain");
+        assert_eq!(ab.coefficients(), ba.coefficients());
+        // Budget after merge = the larger operand's retained count.
+        assert!(ab.num_coefficients() <= 6);
+    }
+
+    #[test]
+    fn merge_cancels_opposite_coefficients() {
+        let x = [4.0; 8];
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        let mut sx = WaveletSynopsis::top_b(&x, 2);
+        let sn = WaveletSynopsis::top_b(&neg, 2);
+        sx.merge_from(&sn).expect("same domain");
+        // x + (-x) = 0: every summed coefficient cancels away.
+        assert_eq!(sx.num_coefficients(), 0);
+        assert!(sx.reconstruct().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_domains() {
+        let mut a = WaveletSynopsis::top_b(&DATA, 4);
+        let shorter = WaveletSynopsis::top_b(&DATA[..4], 4);
+        let err = a.merge_from(&shorter).expect_err("domain mismatch");
+        assert!(matches!(
+            err,
+            StreamhistError::InvalidParameter { param: "n", .. }
+        ));
+        assert_eq!(a.summary_len(), 8);
     }
 
     #[test]

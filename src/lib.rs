@@ -60,8 +60,8 @@
 pub use streamhist_core::{
     evaluate_queries, max_abs_error, sum_abs_error, sum_squared_error, AccuracyReport,
     BatchOutcome, Bucket, Checkpoint, ExactSummary, GrowableWindowSums, Histogram, HistogramError,
-    PrefixProvider, PrefixSums, Query, SequenceSummary, SlidingPrefixSums, StreamSummary,
-    StreamhistError, WindowSums,
+    MergeableSummary, PrefixProvider, PrefixSums, Query, SequenceSummary, SlidingPrefixSums,
+    StreamSummary, StreamhistError, WindowSums,
 };
 
 /// Histogram-to-histogram distances (L1/L2/L∞ over the expanded sequences)
@@ -90,10 +90,11 @@ pub use streamhist_similarity::{
 #[allow(deprecated)]
 pub use streamhist_stream::BuildStats;
 pub use streamhist_stream::{
-    approx_histogram, AgglomerativeBuilder, AgglomerativeHistogram, FixedWindowBuilder,
-    FixedWindowHistogram, KernelStats, NaiveSlidingWindow, NaiveSlidingWindowBuilder,
-    OverloadPolicy, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow,
-    ShardedFixedWindowBuilder, ShardedOptions, TimeWindowBuilder, TimeWindowHistogram,
+    approx_histogram, merge_histograms, AgglomerativeBuilder, AgglomerativeHistogram,
+    FixedWindowBuilder, FixedWindowHistogram, KernelStats, MergeMetrics, NaiveSlidingWindow,
+    NaiveSlidingWindowBuilder, OverloadPolicy, RecoveryReport, ShardError, ShardMetrics,
+    ShardedFixedWindow, ShardedFixedWindowBuilder, ShardedOptions, TimeWindowBuilder,
+    TimeWindowHistogram,
 };
 pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynopsis};
 

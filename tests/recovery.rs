@@ -24,9 +24,9 @@ use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 use streamhist::freq::FrequencyVector;
 use streamhist::{
-    AgglomerativeHistogram, Checkpoint, DynamicWavelet, FixedWindowHistogram, GkSummary,
-    MrlSummary, ShardedFixedWindow, SlidingWindowWavelet, StreamSummary, StreamhistError,
-    StreamingEquiDepth, TimeWindowHistogram,
+    approx_histogram, AgglomerativeHistogram, Checkpoint, DynamicWavelet, FixedWindowHistogram,
+    GkSummary, Histogram, MergeableSummary, MrlSummary, ShardedFixedWindow, SlidingWindowWavelet,
+    StreamSummary, StreamhistError, StreamingEquiDepth, TimeWindowHistogram,
 };
 
 /// Directory failing frames are dumped to (uploaded by CI on failure).
@@ -192,6 +192,44 @@ fn frequency_vector_round_trips_bit_identically() {
 }
 
 #[test]
+fn histogram_round_trips_bit_identically() {
+    // The standalone Histogram frame (tag 10) exists so *merged* global
+    // snapshots can be checkpointed — a gathered histogram has no backing
+    // summary to re-derive it from. A Histogram has no push; the lockstep
+    // continuation is a merge, which is the mutation it exists for.
+    let data: Vec<f64> = ramp(200).collect();
+    let hist = approx_histogram(&data, 6, 0.1);
+    let other: Vec<f64> = ramp(90).map(|v| v * 2.0).collect();
+    let tail = approx_histogram(&other, 6, 0.1);
+    check_golden("histogram", hist, |h| {
+        h.merge_from(&tail)
+            .expect("self-merge of a valid histogram");
+    });
+}
+
+#[test]
+fn global_snapshot_checkpoints_and_restores_losslessly() {
+    // Satellite of the scatter/gather work: the fleet-global merged
+    // histogram survives a checkpoint round-trip even though no single
+    // shard holds it.
+    let fleet = ShardedFixedWindow::builder(3, 32, 4, 0.1)
+        .build()
+        .expect("valid parameters");
+    let data: Vec<f64> = ramp(300).collect();
+    fleet.push_batch_scatter(&data).expect("lossless push");
+    let (global, _) = fleet.snapshot_global().expect("fleet healthy");
+    let frame = global.encode_checkpoint();
+    let restored = Histogram::restore(&frame).expect("own frame");
+    assert_eq!(
+        restored, *global,
+        "merged snapshot restores bit-identically"
+    );
+    for r in fleet.join() {
+        r.expect("worker alive");
+    }
+}
+
+#[test]
 fn wavelets_round_trip_bit_identically() {
     let mut dw = DynamicWavelet::new(64);
     ramp(40).for_each(|v| dw.push(v));
@@ -248,6 +286,10 @@ fn every_truncation_and_bit_flip_is_rejected_cleanly() {
     let mut dw = DynamicWavelet::new(16);
     ramp(12).for_each(|v| dw.push(v));
     check_rejection::<DynamicWavelet>("dynamic_wavelet", &dw.encode_checkpoint());
+
+    let data: Vec<f64> = ramp(40).collect();
+    let hist = approx_histogram(&data, 3, 0.2);
+    check_rejection::<Histogram>("histogram", &hist.encode_checkpoint());
 
     let mut sw = SlidingWindowWavelet::new(16, 4);
     ramp(30).for_each(|v| sw.push(v));
