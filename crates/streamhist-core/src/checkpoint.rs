@@ -68,6 +68,14 @@ pub mod tag {
     /// `Histogram` (streamhist-core) — a materialized (possibly gathered
     /// fleet-global) snapshot persisted for serving after restart.
     pub const HISTOGRAM: u8 = 10;
+    /// A `streamhist-serve` request frame (query/admin verb + arguments).
+    /// Serve frames share the checkpoint envelope (magic, version, CRC) so
+    /// the wire inherits the same corruption guarantees.
+    pub const SERVE_REQUEST: u8 = 32;
+    /// A `streamhist-serve` success-response frame.
+    pub const SERVE_RESPONSE: u8 = 33;
+    /// A `streamhist-serve` structured error frame (code + detail string).
+    pub const SERVE_ERROR: u8 = 34;
 }
 
 /// Durable save/restore of a summary's complete state.

@@ -53,6 +53,16 @@ pub enum StreamhistError {
         /// The structure's fixed capacity.
         capacity: usize,
     },
+    /// A query is malformed for the domain it was evaluated against: an
+    /// inverted range (`end < start`) or an index past the end of the
+    /// summarized sequence. Returned by [`crate::Query::validate`] and the
+    /// `try_exact`/`try_estimate` evaluators — a network front-end turns
+    /// this into an error frame instead of letting `end - start + 1`
+    /// underflow.
+    InvalidQuery {
+        /// What the validator tripped on.
+        reason: &'static str,
+    },
     /// A checkpoint frame failed validation: truncated, checksum mismatch,
     /// wrong type tag, or a payload violating the summary's invariants.
     /// The frame is rejected whole; nothing is partially restored.
@@ -86,6 +96,9 @@ impl fmt::Display for StreamhistError {
             }
             Self::CapacityExhausted { capacity } => {
                 write!(f, "summary capacity exhausted ({capacity} values)")
+            }
+            Self::InvalidQuery { reason } => {
+                write!(f, "invalid query: {reason}")
             }
             Self::CorruptCheckpoint { reason } => {
                 write!(f, "corrupt checkpoint frame: {reason}")

@@ -8,6 +8,7 @@
 //! any synopsis (V-optimal histograms, wavelet synopses, quantile-derived
 //! histograms) implements so workloads can be evaluated uniformly.
 
+use crate::error::StreamhistError;
 use crate::histogram::Histogram;
 
 /// A query over a sequence of values indexed `0..n`.
@@ -48,13 +49,22 @@ pub enum Query {
 
 impl Query {
     /// The number of indices the query touches.
+    ///
+    /// An inverted range (`end < start`) touches nothing and reports a
+    /// span of 0 — never a `usize` underflow. (It is still rejected by
+    /// [`validate`](Self::validate), so the evaluators never divide by
+    /// it.) A full-domain `[0, usize::MAX]` range saturates at
+    /// `usize::MAX` instead of wrapping to 0.
     #[must_use]
     pub fn span(&self) -> usize {
         match *self {
             Query::Point { .. } => 1,
             Query::RangeSum { start, end }
             | Query::RangeAvg { start, end }
-            | Query::RangeCount { start, end } => end - start + 1,
+            | Query::RangeCount { start, end } => match end.checked_sub(start) {
+                Some(width) => width.saturating_add(1),
+                None => 0,
+            },
         }
     }
 
@@ -70,38 +80,109 @@ impl Query {
         }
     }
 
+    /// Checks the query against a domain of `domain_len` indices: ranges
+    /// must not be inverted (`end < start`) and every touched index must
+    /// lie inside `[0, domain_len)`.
+    ///
+    /// This is the single gate the evaluators ([`try_exact`](Self::try_exact),
+    /// [`try_estimate`](Self::try_estimate)) and any network front-end
+    /// route through, so a malformed query — the first thing an untrusted
+    /// client sends — surfaces as a recoverable error, never an index
+    /// panic or a wrapped `end - start + 1` span.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::InvalidQuery`] naming the violated condition.
+    pub fn validate(&self, domain_len: usize) -> Result<(), StreamhistError> {
+        let invalid = |reason: &'static str| StreamhistError::InvalidQuery { reason };
+        match *self {
+            Query::Point { idx } => {
+                if idx >= domain_len {
+                    return Err(invalid("point index past the end of the domain"));
+                }
+            }
+            Query::RangeSum { start, end }
+            | Query::RangeAvg { start, end }
+            | Query::RangeCount { start, end } => {
+                if end < start {
+                    return Err(invalid("inverted range (end < start)"));
+                }
+                if end >= domain_len {
+                    return Err(invalid("range end past the end of the domain"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the query exactly against raw data, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::InvalidQuery`] if [`validate`](Self::validate)
+    /// rejects the query for a domain of `data.len()` indices.
+    pub fn try_exact(&self, data: &[f64]) -> Result<f64, StreamhistError> {
+        self.validate(data.len())?;
+        Ok(match *self {
+            Query::Point { idx } => data[idx],
+            Query::RangeSum { start, end } => data[start..=end].iter().sum(),
+            Query::RangeAvg { start, end } => {
+                data[start..=end].iter().sum::<f64>() / self.span() as f64
+            }
+            Query::RangeCount { start, end } => {
+                debug_assert!(start <= end);
+                self.span() as f64
+            }
+        })
+    }
+
+    /// Evaluates the query approximately against a summary, validating it
+    /// against the summary's domain first.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::InvalidQuery`] if [`validate`](Self::validate)
+    /// rejects the query for a domain of `summary.summary_len()` indices.
+    pub fn try_estimate<S: SequenceSummary + ?Sized>(
+        &self,
+        summary: &S,
+    ) -> Result<f64, StreamhistError> {
+        self.validate(summary.summary_len())?;
+        Ok(match *self {
+            Query::Point { idx } => summary.estimate_point(idx),
+            Query::RangeSum { start, end } => summary.estimate_range_sum(start, end),
+            Query::RangeAvg { start, end } => {
+                summary.estimate_range_sum(start, end) / self.span() as f64
+            }
+            Query::RangeCount { start, end } => {
+                debug_assert!(start <= end);
+                self.span() as f64
+            }
+        })
+    }
+
     /// Evaluates the query exactly against raw data.
     ///
     /// # Panics
     ///
-    /// Panics if the query range exceeds `data`'s bounds.
+    /// Panics if [`validate`](Self::validate) rejects the query for
+    /// `data`'s bounds. Use [`try_exact`](Self::try_exact) for untrusted
+    /// queries.
     #[must_use]
     pub fn exact(&self, data: &[f64]) -> f64 {
-        match *self {
-            Query::Point { idx } => data[idx],
-            Query::RangeSum { start, end } => data[start..=end].iter().sum(),
-            Query::RangeAvg { start, end } => {
-                data[start..=end].iter().sum::<f64>() / (end - start + 1) as f64
-            }
-            Query::RangeCount { start, end } => (end - start + 1) as f64,
-        }
+        self.try_exact(data).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Evaluates the query approximately against a summary.
     ///
     /// # Panics
     ///
-    /// Panics if the query range exceeds the summary's domain.
+    /// Panics if [`validate`](Self::validate) rejects the query for the
+    /// summary's domain. Use [`try_estimate`](Self::try_estimate) for
+    /// untrusted queries.
     #[must_use]
     pub fn estimate<S: SequenceSummary + ?Sized>(&self, summary: &S) -> f64 {
-        match *self {
-            Query::Point { idx } => summary.estimate_point(idx),
-            Query::RangeSum { start, end } => summary.estimate_range_sum(start, end),
-            Query::RangeAvg { start, end } => {
-                summary.estimate_range_sum(start, end) / (end - start + 1) as f64
-            }
-            Query::RangeCount { start, end } => (end - start + 1) as f64,
-        }
+        self.try_estimate(summary).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -227,6 +308,78 @@ mod tests {
         assert_eq!(q.max_index(), 7);
         assert_eq!(Query::Point { idx: 4 }.span(), 1);
         assert_eq!(Query::Point { idx: 4 }.max_index(), 4);
+    }
+
+    #[test]
+    fn inverted_range_spans_zero_and_saturates() {
+        // Regression: `end - start + 1` used to underflow-panic in debug
+        // (wrap near usize::MAX in release) on inverted ranges.
+        let q = Query::RangeSum { start: 7, end: 2 };
+        assert_eq!(q.span(), 0);
+        let full = Query::RangeCount {
+            start: 0,
+            end: usize::MAX,
+        };
+        assert_eq!(full.span(), usize::MAX);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_queries() {
+        let inverted = Query::RangeAvg { start: 5, end: 1 };
+        assert!(matches!(
+            inverted.validate(10),
+            Err(StreamhistError::InvalidQuery { .. })
+        ));
+        let out = Query::RangeSum { start: 0, end: 10 };
+        assert!(out.validate(10).is_err());
+        assert!(out.validate(11).is_ok());
+        let point = Query::Point { idx: 3 };
+        assert!(point.validate(3).is_err());
+        assert!(point.validate(4).is_ok());
+        // Zero-length domains reject everything (nothing to query).
+        assert!(Query::Point { idx: 0 }.validate(0).is_err());
+        assert!(Query::RangeSum { start: 0, end: 0 }.validate(0).is_err());
+        // A single-index range is valid.
+        assert!(Query::RangeSum { start: 2, end: 2 }.validate(3).is_ok());
+    }
+
+    #[test]
+    fn try_evaluators_error_instead_of_panicking() {
+        let h = Histogram::from_bucket_ends(&DATA, &[5]);
+        for q in [
+            Query::RangeSum { start: 4, end: 1 },
+            Query::RangeAvg { start: 4, end: 1 },
+            Query::RangeCount {
+                start: 0,
+                end: usize::MAX,
+            },
+            Query::Point { idx: 99 },
+        ] {
+            assert!(
+                matches!(
+                    q.try_exact(&DATA),
+                    Err(StreamhistError::InvalidQuery { .. })
+                ),
+                "{q:?}"
+            );
+            assert!(
+                matches!(
+                    q.try_estimate(&h),
+                    Err(StreamhistError::InvalidQuery { .. })
+                ),
+                "{q:?}"
+            );
+        }
+        // Valid queries agree with the panicking wrappers.
+        let q = Query::RangeAvg { start: 1, end: 4 };
+        assert_eq!(q.try_exact(&DATA).unwrap(), q.exact(&DATA));
+        assert_eq!(q.try_estimate(&h).unwrap(), q.estimate(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid query")]
+    fn panicking_wrapper_names_the_violation() {
+        let _ = Query::RangeSum { start: 3, end: 1 }.exact(&DATA);
     }
 
     #[test]

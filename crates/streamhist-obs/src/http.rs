@@ -105,20 +105,68 @@ fn accept_loop(listener: &TcpListener, registry: &MetricsRegistry, stop: &Atomic
     }
 }
 
+/// Upper bound on one request line, in bytes. Anything longer is cut off
+/// there — a legitimate scrape's request line is tens of bytes, so the
+/// bound only trips on garbage (and keeps a hostile client from growing
+/// the buffer without limit).
+pub const MAX_LINE: usize = 1024;
+
+/// Reads one `\r\n`- (or `\n`-) terminated line from `stream`, bounded at
+/// `max` bytes.
+///
+/// Unlike a single `read()`, this keeps reading until the terminator
+/// arrives, so a request line split across TCP segments (a client that
+/// writes byte-by-byte, or a kernel that fragments the send) is
+/// reassembled instead of mis-parsed. Reading stops at the terminator, at
+/// `max` bytes, or at EOF, whichever comes first; the terminator is not
+/// included in the returned line. Shared by this scrape endpoint and the
+/// `streamhist-serve` front-end (which uses it to answer stray HTTP
+/// clients on its binary port with a clean error).
+///
+/// # Errors
+///
+/// Propagates the underlying read error (including a read-timeout on a
+/// stalled client).
+pub fn read_line_bounded<R: Read>(stream: &mut R, max: usize) -> io::Result<String> {
+    let mut line = Vec::with_capacity(64);
+    let mut byte = [0u8; 1];
+    while line.len() < max {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    Ok(String::from_utf8_lossy(&line).into_owned())
+}
+
 fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    // The request line fits comfortably in one read; we do not need the
-    // headers, so a single bounded read is enough for curl/Prometheus.
-    let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf)?;
-    let request = String::from_utf8_lossy(&buf[..n]);
-    let mut parts = request
-        .lines()
-        .next()
-        .unwrap_or_default()
-        .split_whitespace();
+    // Read the full request line before parsing (it may arrive split
+    // across TCP segments); the headers are not needed.
+    let request = read_line_bounded(&mut stream, MAX_LINE)?;
+    // Drain the (ignored) headers up to the blank line so the socket's
+    // receive buffer is empty when we close — unread bytes at close make
+    // the OS reset the connection instead of finishing it, which clients
+    // see as ECONNRESET mid-response. Bounded: a header flood just stops
+    // being drained (and then gets the reset it asked for).
+    for _ in 0..64 {
+        if read_line_bounded(&mut stream, MAX_LINE)?.is_empty() {
+            break;
+        }
+    }
+    let mut parts = request.split_whitespace();
     let method = parts.next().unwrap_or_default();
     let path = parts.next().unwrap_or_default();
     let path = path.split('?').next().unwrap_or_default();
@@ -185,6 +233,43 @@ mod tests {
         assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
         let resp = scrape(addr, "POST /metrics HTTP/1.1\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+    }
+
+    #[test]
+    fn request_line_split_across_segments_still_parses() {
+        // Regression: a single `read()` used to see only the first TCP
+        // segment, mis-parsing "GET /metr" + "ics HTTP/1.1" into a 404.
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("split_total", "").inc_by(3);
+        let server = ExpositionServer::start("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        for chunk in ["GET /metr", "ics HT", "TP/1.1\r\n\r\n"] {
+            stream.write_all(chunk.as_bytes()).expect("send");
+            stream.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.contains("split_total 3"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn line_reader_is_bounded_and_strips_crlf() {
+        let mut input: &[u8] = b"hello world\r\nrest";
+        assert_eq!(read_line_bounded(&mut input, 64).unwrap(), "hello world");
+        let mut long: &[u8] = &[b'x'; 4096];
+        let line = read_line_bounded(&mut long, 16).unwrap();
+        assert_eq!(line.len(), 16, "bounded at max");
+        let mut bare: &[u8] = b"no newline at all";
+        assert_eq!(
+            read_line_bounded(&mut bare, 64).unwrap(),
+            "no newline at all"
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod latency;
 pub mod registry;
 
 pub use expo::{parse_exposition, ParsedSample};
-pub use http::ExpositionServer;
+pub use http::{read_line_bounded, ExpositionServer, MAX_LINE};
 pub use latency::{LatencyRecorder, LatencySnapshot, LatencySpan};
 pub use registry::{
     global, Counter, FamilySnapshot, FloatGauge, Gauge, MetricKind, MetricsRegistry, SampleValue,

@@ -1,0 +1,235 @@
+//! A blocking reference client for the wire protocol.
+//!
+//! [`ServeClient`] owns one connection and issues one request at a time —
+//! the protocol is strictly request/response, so pipelining is a
+//! non-goal. Per-verb convenience methods cover the whole protocol; the
+//! generic [`call`](ServeClient::call) takes any [`Request`].
+//!
+//! Server-sent error frames surface as [`ClientError::Server`] — they are
+//! *answers*, distinct from transport failures ([`ClientError::Io`]) and
+//! from frames that fail local validation ([`ClientError::Protocol`]).
+
+use crate::protocol::{
+    read_packet, write_packet, Packet, QuantileMethod, Request, Response, WireError,
+};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use streamhist_core::checkpoint::tag;
+use streamhist_core::StreamhistError;
+use streamhist_stream::ShardMetrics;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, peer hung up).
+    Io(io::Error),
+    /// The server answered with a structured error frame.
+    Server(WireError),
+    /// The server's bytes failed frame validation on our side.
+    Protocol(StreamhistError),
+    /// The server answered with a response of the wrong shape for the
+    /// request (e.g. shard stats to a scalar query).
+    UnexpectedResponse(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Server(e) => write!(f, "server error: {e}"),
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+            Self::UnexpectedResponse(what) => {
+                write!(f, "unexpected response shape: wanted {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// One connection to a [`QueryServer`](crate::QueryServer).
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects with a 5-second default I/O deadline.
+    ///
+    /// # Errors
+    ///
+    /// The connect/configure error.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connects with an explicit per-operation read/write deadline.
+    ///
+    /// # Errors
+    ///
+    /// The connect/configure error.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Issues one request and reads its reply.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.call_raw_frame(&req.encode())
+    }
+
+    /// Sends an already-encoded (possibly deliberately corrupt) frame
+    /// and reads the reply — the fuzz harness's entry point. A server
+    /// error frame comes back as `Err(ClientError::Server(_))`, exactly
+    /// like [`call`](Self::call).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn call_raw_frame(&mut self, frame: &[u8]) -> Result<Response, ClientError> {
+        write_packet(&mut self.stream, frame)?;
+        let reply = match read_packet(&mut self.stream)? {
+            Packet::Frame(reply) => reply,
+            Packet::Closed => {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before replying",
+                )))
+            }
+            Packet::Http(_) | Packet::BadLength(_) => {
+                return Err(ClientError::Protocol(StreamhistError::CorruptCheckpoint {
+                    reason: "server reply is not a framed packet",
+                }))
+            }
+        };
+        // The third frame byte is the type tag; dispatch on it.
+        match reply.get(2).copied() {
+            Some(tag::SERVE_RESPONSE) => Response::decode(&reply).map_err(ClientError::Protocol),
+            Some(tag::SERVE_ERROR) => Err(ClientError::Server(
+                WireError::decode(&reply).map_err(ClientError::Protocol)?,
+            )),
+            _ => Err(ClientError::Protocol(StreamhistError::CorruptCheckpoint {
+                reason: "reply frame has an unknown type tag",
+            })),
+        }
+    }
+
+    fn scalar(&mut self, req: &Request) -> Result<f64, ClientError> {
+        match self.call(req)? {
+            Response::Scalar { value, .. } => Ok(value),
+            _ => Err(ClientError::UnexpectedResponse("a scalar")),
+        }
+    }
+
+    /// Estimated sum over the inclusive index range `[start, end]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn range_sum(&mut self, start: usize, end: usize) -> Result<f64, ClientError> {
+        self.scalar(&Request::RangeSum { start, end })
+    }
+
+    /// Estimated average over the inclusive index range `[start, end]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn range_avg(&mut self, start: usize, end: usize) -> Result<f64, ClientError> {
+        self.scalar(&Request::RangeAvg { start, end })
+    }
+
+    /// Estimated value at index `idx`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn point(&mut self, idx: usize) -> Result<f64, ClientError> {
+        self.scalar(&Request::Point { idx })
+    }
+
+    /// Number of positions in the inclusive index range `[start, end]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn range_count(&mut self, start: usize, end: usize) -> Result<f64, ClientError> {
+        self.scalar(&Request::RangeCount { start, end })
+    }
+
+    /// The `phi`-quantile of the ingested value distribution.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn quantile(&mut self, method: QuantileMethod, phi: f64) -> Result<f64, ClientError> {
+        self.scalar(&Request::Quantile { method, phi })
+    }
+
+    /// Estimated fraction of ingested values `v` with `lo < v <= hi`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn selectivity(&mut self, lo: f64, hi: f64) -> Result<f64, ClientError> {
+        self.scalar(&Request::Selectivity { lo, hi })
+    }
+
+    /// One shard's counters, plus the fleet's shard count.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn shard_stats(&mut self, shard: usize) -> Result<(usize, ShardMetrics), ClientError> {
+        match self.call(&Request::ShardStats { shard })? {
+            Response::ShardStats {
+                shards, metrics, ..
+            } => Ok((shards, metrics)),
+            _ => Err(ClientError::UnexpectedResponse("shard stats")),
+        }
+    }
+
+    /// Respawns one shard's worker; returns
+    /// `(restored_len, lost_since_checkpoint)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn respawn_shard(&mut self, shard: usize) -> Result<(u64, u64), ClientError> {
+        match self.call(&Request::RespawnShard { shard })? {
+            Response::Respawned {
+                restored_len,
+                lost_since_checkpoint,
+            } => Ok((restored_len, lost_since_checkpoint)),
+            _ => Err(ClientError::UnexpectedResponse("a respawn report")),
+        }
+    }
+
+    /// Checkpoints the whole fleet server-side; returns the save's size
+    /// in bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn checkpoint_all(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::CheckpointAll)? {
+            Response::Checkpointed { bytes } => Ok(bytes),
+            _ => Err(ClientError::UnexpectedResponse("a checkpoint report")),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! `streamhist-serve`: the query path on the wire.
+//!
+//! Everything before this crate answers queries in-process: build a
+//! [`ShardedFixedWindow`](streamhist_stream::ShardedFixedWindow), call
+//! `snapshot_global()`, evaluate a
+//! [`Query`](streamhist_core::Query) against the gathered histogram. This
+//! crate puts that surface on a socket:
+//!
+//! * [`protocol`] — the framed request/response wire format. Each message
+//!   is one checkpoint-codec frame (CRC-32, bounded counts, trailing-byte
+//!   rejection) behind a `u32-le` length prefix, so the wire inherits the
+//!   corruption-rejection guarantees the recovery suite already fuzzes.
+//! * [`ServeState`] — evaluates decoded requests against a live
+//!   [`FleetHandle`](streamhist_stream::FleetHandle) (index-domain verbs)
+//!   and serve-side GK/MRL sketches (value-domain verbs), with per-verb
+//!   counters and latency recorders in a
+//!   [`MetricsRegistry`](streamhist_obs::MetricsRegistry).
+//! * [`QueryServer`] — nonblocking accept loop plus a bounded worker
+//!   pool. Malformed input earns a structured error frame; nothing a peer
+//!   sends can panic, hang, or silently drop the connection.
+//! * [`ServeClient`] — the blocking reference client.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use streamhist_obs::MetricsRegistry;
+//! use streamhist_serve::{QuantileMethod, QueryServer, ServeClient, ServeState};
+//! use streamhist_stream::{FleetHandle, ShardedFixedWindow};
+//!
+//! let fleet = FleetHandle::new(ShardedFixedWindow::new(2, 64, 8, 0.1));
+//! let state = ServeState::new(fleet, Arc::new(MetricsRegistry::new()));
+//! for i in 0..500u64 {
+//!     state.ingest(i, (i % 10) as f64).unwrap();
+//! }
+//! let server = QueryServer::start("127.0.0.1:0", state, 2).unwrap();
+//!
+//! let mut client = ServeClient::connect(server.local_addr()).unwrap();
+//! let sum = client.range_sum(0, 9).unwrap();
+//! assert!(sum.is_finite());
+//! let median = client.quantile(QuantileMethod::Gk, 0.5).unwrap();
+//! assert!((0.0..=9.0).contains(&median));
+//! // Malformed queries come back as answers, not hangups:
+//! assert!(client.range_sum(9, 3).is_err());
+//! // ...and the connection is still usable afterwards.
+//! assert!(client.point(0).is_ok());
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use client::{ClientError, ServeClient};
+pub use protocol::{
+    ErrorCode, Packet, QuantileMethod, Request, Response, WireError, MAX_FRAME, MIN_FRAME,
+};
+pub use server::QueryServer;
+pub use state::ServeState;

@@ -1,0 +1,788 @@
+//! The wire protocol: framed request/response verbs over the checkpoint
+//! codec.
+//!
+//! Every message is one checkpoint-style frame (magic `0x43`, version,
+//! type tag, payload, CRC-32 — see `streamhist_core::checkpoint`) carried
+//! on the socket behind a `u32`-little-endian length prefix:
+//!
+//! ```text
+//! len     u32-le   frame length (7 ..= MAX_FRAME bytes)
+//! frame   len B    one FrameWriter-built frame:
+//!   magic   u8     0x43
+//!   version u8     1
+//!   tag     u8     SERVE_REQUEST (32) | SERVE_RESPONSE (33) | SERVE_ERROR (34)
+//!   payload ...    verb byte + verb-specific fields
+//!   crc32   u32-le over every preceding frame byte
+//! ```
+//!
+//! The length prefix delimits messages, so a frame whose *contents* fail
+//! validation (bit flip, truncated payload, unknown verb) costs exactly
+//! one error frame in reply — the connection stays usable, because the
+//! next length prefix is still in a known place. Only a malformed length
+//! itself (0, shorter than a minimal frame, or past [`MAX_FRAME`])
+//! desynchronizes the stream; the server answers with a final error frame
+//! and closes.
+//!
+//! Reusing the checkpoint envelope means the wire inherits the corruption
+//! guarantees the recovery suite already fuzzes: CRC-32 catches every
+//! single-bit flip, counts are bounded against the remaining payload, and
+//! trailing bytes are rejected.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use streamhist_core::checkpoint::{tag, FrameReader, FrameWriter};
+use streamhist_core::{Query, StreamhistError};
+use streamhist_stream::ShardMetrics;
+
+/// Hard bound on one frame, excluding the length prefix. Requests are
+/// tens of bytes and responses hundreds; the bound exists so a malicious
+/// length prefix cannot make the server allocate without limit.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Smallest possible frame: 3-byte header + 4-byte CRC.
+pub const MIN_FRAME: usize = 7;
+
+/// Which quantile substrate answers a [`Request::Quantile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantileMethod {
+    /// Greenwald–Khanna summary (rank error `<= eps * n`).
+    Gk,
+    /// Munro–Paterson / MRL multi-level buffer summary.
+    Mrl,
+}
+
+impl QuantileMethod {
+    fn to_wire(self) -> u8 {
+        match self {
+            Self::Gk => 0,
+            Self::Mrl => 1,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(Self::Gk),
+            1 => Some(Self::Mrl),
+            _ => None,
+        }
+    }
+}
+
+/// Request verb bytes (the first payload byte of a request frame).
+mod verb {
+    pub const RANGE_SUM: u8 = 1;
+    pub const RANGE_AVG: u8 = 2;
+    pub const POINT: u8 = 3;
+    pub const RANGE_COUNT: u8 = 4;
+    pub const QUANTILE: u8 = 5;
+    pub const SELECTIVITY: u8 = 6;
+    pub const SHARD_STATS: u8 = 16;
+    pub const RESPAWN_SHARD: u8 = 17;
+    pub const CHECKPOINT_ALL: u8 = 18;
+}
+
+/// One client request. Index-domain queries (`RangeSum`/`RangeAvg`/
+/// `Point`/`RangeCount`) are answered against the fleet-global gathered
+/// snapshot; `Quantile` and `Selectivity` against the serve-side
+/// value-domain sketches; the remaining verbs are fleet administration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Sum of window values over inclusive `[start, end]`.
+    RangeSum {
+        /// Range start (inclusive).
+        start: usize,
+        /// Range end (inclusive).
+        end: usize,
+    },
+    /// Average of window values over inclusive `[start, end]`.
+    RangeAvg {
+        /// Range start (inclusive).
+        start: usize,
+        /// Range end (inclusive).
+        end: usize,
+    },
+    /// The window value at one index.
+    Point {
+        /// Queried index.
+        idx: usize,
+    },
+    /// Number of window positions in `[start, end]`.
+    RangeCount {
+        /// Range start (inclusive).
+        start: usize,
+        /// Range end (inclusive).
+        end: usize,
+    },
+    /// The `phi`-quantile of every value ingested through the serve
+    /// state, from the chosen sketch.
+    Quantile {
+        /// Which sketch answers.
+        method: QuantileMethod,
+        /// Quantile in `[0, 1]`.
+        phi: f64,
+    },
+    /// Fraction of ingested values `v` with `lo < v <= hi` (GK-backed).
+    Selectivity {
+        /// Lower bound (exclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Admin: one shard's counters.
+    ShardStats {
+        /// Shard index.
+        shard: usize,
+    },
+    /// Admin: respawn one shard's worker (recovering a dead shard).
+    RespawnShard {
+        /// Shard index.
+        shard: usize,
+    },
+    /// Admin: checkpoint the whole fleet into the server's save slot.
+    CheckpointAll,
+}
+
+impl Request {
+    /// Stable lowercase verb name, used as the metrics label and by the
+    /// CLI client.
+    #[must_use]
+    pub fn verb_name(&self) -> &'static str {
+        match self {
+            Self::RangeSum { .. } => "range_sum",
+            Self::RangeAvg { .. } => "range_avg",
+            Self::Point { .. } => "point",
+            Self::RangeCount { .. } => "range_count",
+            Self::Quantile { .. } => "quantile",
+            Self::Selectivity { .. } => "selectivity",
+            Self::ShardStats { .. } => "shard_stats",
+            Self::RespawnShard { .. } => "respawn_shard",
+            Self::CheckpointAll => "checkpoint_all",
+        }
+    }
+
+    /// The verb byte this request encodes with (echoed back in scalar
+    /// responses).
+    #[must_use]
+    pub fn wire_verb(&self) -> u8 {
+        match self {
+            Self::RangeSum { .. } => verb::RANGE_SUM,
+            Self::RangeAvg { .. } => verb::RANGE_AVG,
+            Self::Point { .. } => verb::POINT,
+            Self::RangeCount { .. } => verb::RANGE_COUNT,
+            Self::Quantile { .. } => verb::QUANTILE,
+            Self::Selectivity { .. } => verb::SELECTIVITY,
+            Self::ShardStats { .. } => verb::SHARD_STATS,
+            Self::RespawnShard { .. } => verb::RESPAWN_SHARD,
+            Self::CheckpointAll => verb::CHECKPOINT_ALL,
+        }
+    }
+
+    /// The index-domain [`Query`] a histogram verb evaluates, if this is
+    /// one.
+    #[must_use]
+    pub fn as_query(&self) -> Option<Query> {
+        match *self {
+            Self::RangeSum { start, end } => Some(Query::RangeSum { start, end }),
+            Self::RangeAvg { start, end } => Some(Query::RangeAvg { start, end }),
+            Self::Point { idx } => Some(Query::Point { idx }),
+            Self::RangeCount { start, end } => Some(Query::RangeCount { start, end }),
+            _ => None,
+        }
+    }
+
+    /// Serializes the request into one self-validating frame.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::SERVE_REQUEST);
+        match *self {
+            Self::RangeSum { start, end } => {
+                w.put_u8(verb::RANGE_SUM);
+                w.put_usize(start);
+                w.put_usize(end);
+            }
+            Self::RangeAvg { start, end } => {
+                w.put_u8(verb::RANGE_AVG);
+                w.put_usize(start);
+                w.put_usize(end);
+            }
+            Self::Point { idx } => {
+                w.put_u8(verb::POINT);
+                w.put_usize(idx);
+            }
+            Self::RangeCount { start, end } => {
+                w.put_u8(verb::RANGE_COUNT);
+                w.put_usize(start);
+                w.put_usize(end);
+            }
+            Self::Quantile { method, phi } => {
+                w.put_u8(verb::QUANTILE);
+                w.put_u8(method.to_wire());
+                w.put_f64(phi);
+            }
+            Self::Selectivity { lo, hi } => {
+                w.put_u8(verb::SELECTIVITY);
+                w.put_f64(lo);
+                w.put_f64(hi);
+            }
+            Self::ShardStats { shard } => {
+                w.put_u8(verb::SHARD_STATS);
+                w.put_usize(shard);
+            }
+            Self::RespawnShard { shard } => {
+                w.put_u8(verb::RESPAWN_SHARD);
+                w.put_usize(shard);
+            }
+            Self::CheckpointAll => {
+                w.put_u8(verb::CHECKPOINT_ALL);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a request frame, mapping every failure to the error frame
+    /// the server should answer with: envelope/payload corruption to
+    /// [`ErrorCode::MalformedFrame`], an unknown verb or quantile method
+    /// to [`ErrorCode::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] describing the rejection; never panics on arbitrary
+    /// input.
+    pub fn decode(frame: &[u8]) -> Result<Self, WireError> {
+        let malformed = |e: StreamhistError| WireError {
+            code: ErrorCode::MalformedFrame,
+            detail: e.to_string(),
+        };
+        let mut r = FrameReader::open(frame, tag::SERVE_REQUEST).map_err(malformed)?;
+        let verb_byte = r.get_u8().map_err(malformed)?;
+        let req = match verb_byte {
+            verb::RANGE_SUM => Self::RangeSum {
+                start: r.get_usize().map_err(malformed)?,
+                end: r.get_usize().map_err(malformed)?,
+            },
+            verb::RANGE_AVG => Self::RangeAvg {
+                start: r.get_usize().map_err(malformed)?,
+                end: r.get_usize().map_err(malformed)?,
+            },
+            verb::POINT => Self::Point {
+                idx: r.get_usize().map_err(malformed)?,
+            },
+            verb::RANGE_COUNT => Self::RangeCount {
+                start: r.get_usize().map_err(malformed)?,
+                end: r.get_usize().map_err(malformed)?,
+            },
+            verb::QUANTILE => {
+                let method_byte = r.get_u8().map_err(malformed)?;
+                let method = QuantileMethod::from_wire(method_byte).ok_or_else(|| WireError {
+                    code: ErrorCode::Unsupported,
+                    detail: format!("unknown quantile method {method_byte}"),
+                })?;
+                Self::Quantile {
+                    method,
+                    phi: r.get_f64().map_err(malformed)?,
+                }
+            }
+            verb::SELECTIVITY => Self::Selectivity {
+                lo: r.get_f64().map_err(malformed)?,
+                hi: r.get_f64().map_err(malformed)?,
+            },
+            verb::SHARD_STATS => Self::ShardStats {
+                shard: r.get_usize().map_err(malformed)?,
+            },
+            verb::RESPAWN_SHARD => Self::RespawnShard {
+                shard: r.get_usize().map_err(malformed)?,
+            },
+            verb::CHECKPOINT_ALL => Self::CheckpointAll,
+            other => {
+                return Err(WireError {
+                    code: ErrorCode::Unsupported,
+                    detail: format!("unknown request verb {other}"),
+                })
+            }
+        };
+        r.finish().map_err(malformed)?;
+        Ok(req)
+    }
+}
+
+/// One successful reply. The first payload byte echoes the request verb,
+/// so a response frame is self-describing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The answer to any scalar query verb (`range_sum`, `range_avg`,
+    /// `point`, `range_count`, `quantile`, `selectivity`).
+    Scalar {
+        /// Echo of the request's verb byte.
+        verb: u8,
+        /// The (finite) answer.
+        value: f64,
+    },
+    /// Reply to [`Request::ShardStats`].
+    ShardStats {
+        /// The queried shard.
+        shard: usize,
+        /// Total shards in the fleet (so clients can iterate).
+        shards: usize,
+        /// The shard's counters.
+        metrics: ShardMetrics,
+    },
+    /// Reply to [`Request::RespawnShard`].
+    Respawned {
+        /// `total_pushed()` of the summary the replacement started from.
+        restored_len: u64,
+        /// Accepted records lost since the restored checkpoint.
+        lost_since_checkpoint: u64,
+    },
+    /// Reply to [`Request::CheckpointAll`].
+    Checkpointed {
+        /// Size of the fleet save, in bytes.
+        bytes: u64,
+    },
+}
+
+impl Response {
+    /// Serializes the response into one self-validating frame.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::SERVE_RESPONSE);
+        match self {
+            Self::Scalar { verb, value } => {
+                w.put_u8(*verb);
+                w.put_f64(*value);
+            }
+            Self::ShardStats {
+                shard,
+                shards,
+                metrics,
+            } => {
+                w.put_u8(verb::SHARD_STATS);
+                w.put_usize(*shard);
+                w.put_usize(*shards);
+                w.put_varint(metrics.pushes_accepted);
+                w.put_varint(metrics.values_rejected);
+                w.put_varint(metrics.records_dropped);
+                w.put_varint(metrics.snapshots_served);
+                w.put_varint(metrics.respawns);
+                w.put_varint(metrics.checkpoints_taken);
+                w.put_varint(metrics.checkpoint_bytes);
+                w.put_varint(metrics.restores);
+                w.put_usize(metrics.queue_depth);
+            }
+            Self::Respawned {
+                restored_len,
+                lost_since_checkpoint,
+            } => {
+                w.put_u8(verb::RESPAWN_SHARD);
+                w.put_varint(*restored_len);
+                w.put_varint(*lost_since_checkpoint);
+            }
+            Self::Checkpointed { bytes } => {
+                w.put_u8(verb::CHECKPOINT_ALL);
+                w.put_varint(*bytes);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError`] if the frame fails envelope or payload
+    /// validation.
+    pub fn decode(frame: &[u8]) -> Result<Self, StreamhistError> {
+        let mut r = FrameReader::open(frame, tag::SERVE_RESPONSE)?;
+        let verb_byte = r.get_u8()?;
+        let resp = match verb_byte {
+            verb::SHARD_STATS => Self::ShardStats {
+                shard: r.get_usize()?,
+                shards: r.get_usize()?,
+                metrics: ShardMetrics {
+                    pushes_accepted: r.get_varint()?,
+                    values_rejected: r.get_varint()?,
+                    records_dropped: r.get_varint()?,
+                    snapshots_served: r.get_varint()?,
+                    respawns: r.get_varint()?,
+                    checkpoints_taken: r.get_varint()?,
+                    checkpoint_bytes: r.get_varint()?,
+                    restores: r.get_varint()?,
+                    queue_depth: r.get_usize()?,
+                },
+            },
+            verb::RESPAWN_SHARD => Self::Respawned {
+                restored_len: r.get_varint()?,
+                lost_since_checkpoint: r.get_varint()?,
+            },
+            verb::CHECKPOINT_ALL => Self::Checkpointed {
+                bytes: r.get_varint()?,
+            },
+            v if (verb::RANGE_SUM..=verb::SELECTIVITY).contains(&v) => Self::Scalar {
+                verb: v,
+                value: r.get_f64()?,
+            },
+            _ => {
+                return Err(StreamhistError::CorruptCheckpoint {
+                    reason: "unknown response verb",
+                })
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Machine-readable category of a structured error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame failed envelope or payload validation
+    /// (truncated, bit-flipped, trailing bytes, bad tag).
+    MalformedFrame,
+    /// The request decoded but its arguments are invalid for the current
+    /// state (inverted range, out-of-domain index, bad quantile, bad
+    /// shard index, empty sketch).
+    InvalidQuery,
+    /// The addressed shard's worker has died (respawn it).
+    ShardDead,
+    /// Unknown verb or quantile method (speak a newer protocol?).
+    Unsupported,
+    /// The server failed internally (I/O on a checkpoint, a non-finite
+    /// answer) — the request was well-formed.
+    Internal,
+    /// The server's worker pool and backlog are saturated; retry later.
+    Overloaded,
+}
+
+impl ErrorCode {
+    fn to_wire(self) -> u8 {
+        match self {
+            Self::MalformedFrame => 1,
+            Self::InvalidQuery => 2,
+            Self::ShardDead => 3,
+            Self::Unsupported => 4,
+            Self::Internal => 5,
+            Self::Overloaded => 6,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(Self::MalformedFrame),
+            2 => Some(Self::InvalidQuery),
+            3 => Some(Self::ShardDead),
+            4 => Some(Self::Unsupported),
+            5 => Some(Self::Internal),
+            6 => Some(Self::Overloaded),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (the error-metrics label).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::MalformedFrame => "malformed_frame",
+            Self::InvalidQuery => "invalid_query",
+            Self::ShardDead => "shard_dead",
+            Self::Unsupported => "unsupported",
+            Self::Internal => "internal",
+            Self::Overloaded => "overloaded",
+        }
+    }
+}
+
+/// A structured error reply: category code plus a human-readable detail
+/// string. The server sends one of these for every request it cannot
+/// answer — a malformed or invalid request never drops the connection and
+/// never panics the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable explanation (bounded; truncated at encode time).
+    pub detail: String,
+}
+
+impl WireError {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(code: ErrorCode, detail: impl Into<String>) -> Self {
+        Self {
+            code,
+            detail: detail.into(),
+        }
+    }
+
+    /// Serializes the error into one self-validating frame. The detail
+    /// string is truncated to 512 bytes (on a character boundary) so an
+    /// error path can never build an oversized frame.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::SERVE_ERROR);
+        w.put_u8(self.code.to_wire());
+        let mut detail = self.detail.as_str();
+        if detail.len() > 512 {
+            let mut cut = 512;
+            while !detail.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            detail = &detail[..cut];
+        }
+        w.put_bytes(detail.as_bytes());
+        w.finish()
+    }
+
+    /// Decodes an error frame.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError`] if the frame fails validation or carries an
+    /// unknown error code.
+    pub fn decode(frame: &[u8]) -> Result<Self, StreamhistError> {
+        let mut r = FrameReader::open(frame, tag::SERVE_ERROR)?;
+        let code_byte = r.get_u8()?;
+        let code = ErrorCode::from_wire(code_byte).ok_or(StreamhistError::CorruptCheckpoint {
+            reason: "unknown error code",
+        })?;
+        let detail = String::from_utf8_lossy(r.get_bytes()?).into_owned();
+        r.finish()?;
+        Ok(Self { code, detail })
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.name(), self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// What [`read_packet`] found on the socket.
+#[derive(Debug)]
+pub enum Packet {
+    /// One complete frame (length already validated; contents not yet).
+    Frame(Vec<u8>),
+    /// The peer speaks HTTP (`GET `/`POST`/`HEAD`/`PUT `): a human with
+    /// `curl` found the binary port. The four sniffed bytes are returned
+    /// so the caller can answer with a readable HTTP error.
+    Http([u8; 4]),
+    /// The length prefix is outside `[MIN_FRAME, MAX_FRAME]` — the stream
+    /// is desynchronized beyond recovery.
+    BadLength(u32),
+    /// Clean EOF before any byte of a next message.
+    Closed,
+}
+
+/// Writes one already-encoded frame with its length prefix.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_packet<W: Write>(w: &mut W, frame: &[u8]) -> io::Result<()> {
+    debug_assert!(frame.len() <= MAX_FRAME, "oversized frame built locally");
+    let len = u32::try_from(frame.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32"))?;
+    // One write for prefix + frame: two small writes would emit two TCP
+    // segments, and Nagle holding the second until the peer's delayed ACK
+    // adds ~40ms to every round trip.
+    let mut packet = Vec::with_capacity(4 + frame.len());
+    packet.extend_from_slice(&len.to_le_bytes());
+    packet.extend_from_slice(frame);
+    w.write_all(&packet)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame (or detects EOF / HTTP / a bogus
+/// length). Never allocates more than [`MAX_FRAME`] bytes.
+///
+/// # Errors
+///
+/// Propagates underlying read errors, including timeouts on a stalled
+/// peer — a half-sent frame cannot hang the caller forever as long as the
+/// stream has a read deadline.
+pub fn read_packet<R: Read>(r: &mut R) -> io::Result<Packet> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        let n = r.read(&mut prefix[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(Packet::Closed);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside frame length prefix",
+            ));
+        }
+        filled += n;
+    }
+    if matches!(&prefix, b"GET " | b"POST" | b"HEAD" | b"PUT ") {
+        return Ok(Packet::Http(prefix));
+    }
+    let len = u32::from_le_bytes(prefix);
+    if (len as usize) < MIN_FRAME || len as usize > MAX_FRAME {
+        return Ok(Packet::BadLength(len));
+    }
+    let mut frame = vec![0u8; len as usize];
+    r.read_exact(&mut frame)?;
+    Ok(Packet::Frame(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::RangeSum { start: 3, end: 90 },
+            Request::RangeAvg { start: 0, end: 0 },
+            Request::Point { idx: 17 },
+            Request::RangeCount {
+                start: 5,
+                end: usize::MAX,
+            },
+            Request::Quantile {
+                method: QuantileMethod::Gk,
+                phi: 0.99,
+            },
+            Request::Quantile {
+                method: QuantileMethod::Mrl,
+                phi: 0.5,
+            },
+            Request::Selectivity { lo: -1.5, hi: 2.5 },
+            Request::ShardStats { shard: 2 },
+            Request::RespawnShard { shard: 0 },
+            Request::CheckpointAll,
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in all_requests() {
+            let frame = req.encode();
+            assert_eq!(Request::decode(&frame), Ok(req), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let metrics = ShardMetrics {
+            pushes_accepted: 10,
+            values_rejected: 2,
+            records_dropped: 1,
+            snapshots_served: 4,
+            respawns: 1,
+            checkpoints_taken: 3,
+            checkpoint_bytes: 900,
+            restores: 1,
+            queue_depth: 7,
+        };
+        for resp in [
+            Response::Scalar {
+                verb: 1,
+                value: 42.5,
+            },
+            Response::ShardStats {
+                shard: 2,
+                shards: 4,
+                metrics,
+            },
+            Response::Respawned {
+                restored_len: 128,
+                lost_since_checkpoint: 3,
+            },
+            Response::Checkpointed { bytes: 4096 },
+        ] {
+            let frame = resp.encode();
+            assert_eq!(Response::decode(&frame).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn errors_roundtrip_and_truncate_detail() {
+        let e = WireError::new(ErrorCode::InvalidQuery, "inverted range");
+        assert_eq!(WireError::decode(&e.encode()).unwrap(), e);
+        let long = WireError::new(ErrorCode::Internal, "x".repeat(5000));
+        let decoded = WireError::decode(&long.encode()).unwrap();
+        assert_eq!(decoded.detail.len(), 512);
+        assert!(long.encode().len() < 600);
+    }
+
+    #[test]
+    fn every_bit_flip_of_a_request_is_rejected_cleanly() {
+        let frame = Request::RangeSum { start: 1, end: 9 }.encode();
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut flipped = frame.clone();
+                flipped[byte] ^= 1 << bit;
+                let err = Request::decode(&flipped).expect_err("flip must fail CRC");
+                assert_eq!(err.code, ErrorCode::MalformedFrame);
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_request_is_rejected_cleanly() {
+        let frame = Request::Quantile {
+            method: QuantileMethod::Gk,
+            phi: 0.5,
+        }
+        .encode();
+        for cut in 0..frame.len() {
+            assert!(Request::decode(&frame[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_verb_is_unsupported_not_malformed() {
+        let mut w = FrameWriter::new(tag::SERVE_REQUEST);
+        w.put_u8(200);
+        let frame = w.finish();
+        let err = Request::decode(&frame).expect_err("unknown verb");
+        assert_eq!(err.code, ErrorCode::Unsupported);
+    }
+
+    #[test]
+    fn wrong_tag_is_malformed() {
+        let frame = Response::Scalar {
+            verb: 1,
+            value: 1.0,
+        }
+        .encode();
+        let err = Request::decode(&frame).expect_err("response is not a request");
+        assert_eq!(err.code, ErrorCode::MalformedFrame);
+    }
+
+    #[test]
+    fn packets_roundtrip_and_validate_lengths() {
+        let frame = Request::CheckpointAll.encode();
+        let mut wire = Vec::new();
+        write_packet(&mut wire, &frame).unwrap();
+        let mut cursor = io::Cursor::new(&wire);
+        match read_packet(&mut cursor).unwrap() {
+            Packet::Frame(f) => assert_eq!(f, frame),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert!(matches!(
+            read_packet(&mut io::Cursor::new(&wire[..wire.len() - 1])),
+            Ok(Packet::Frame(_)) | Err(_)
+        ));
+        // Zero / huge lengths are flagged, not allocated.
+        let mut zero = io::Cursor::new(vec![0u8, 0, 0, 0]);
+        assert!(matches!(
+            read_packet(&mut zero).unwrap(),
+            Packet::BadLength(0)
+        ));
+        let mut huge = io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_packet(&mut huge).unwrap(),
+            Packet::BadLength(u32::MAX)
+        ));
+        // HTTP methods are sniffed.
+        let mut http = io::Cursor::new(b"GET /metrics HTTP/1.1\r\n\r\n".to_vec());
+        assert!(matches!(read_packet(&mut http).unwrap(), Packet::Http(_)));
+        // Clean EOF.
+        let mut empty = io::Cursor::new(Vec::new());
+        assert!(matches!(read_packet(&mut empty).unwrap(), Packet::Closed));
+    }
+}

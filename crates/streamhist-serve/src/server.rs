@@ -1,0 +1,256 @@
+//! The TCP front-end: a nonblocking accept loop feeding a bounded worker
+//! pool, one connection per worker at a time.
+//!
+//! The shape generalizes the obs crate's `ExpositionServer`: the listener
+//! runs nonblocking so the accept thread can poll a stop flag between
+//! accepts, and every connection socket gets hard read/write deadlines so
+//! no peer — however stalled or malicious — can park a worker forever.
+//! What's new is the pool: scrapes are rare, queries are not, so accepted
+//! connections go through a bounded `sync_channel` to `workers` handler
+//! threads. When the pool and its backlog are saturated the accept thread
+//! answers inline with an [`ErrorCode::Overloaded`] error frame and
+//! closes — load shedding is explicit and visible to clients, never a
+//! silent hang.
+//!
+//! Per connection, the worker loops: read one length-prefixed frame,
+//! decode, answer via [`ServeState::answer`], write the response (or a
+//! structured error frame). A frame that fails CRC or decoding costs one
+//! error frame and the connection continues, because the length prefix —
+//! not the frame contents — delimits messages. Only an unrecoverable
+//! length prefix (outside the legal window) or an HTTP greeting ends the
+//! connection, each with a final best-effort reply.
+
+use crate::protocol::{read_packet, write_packet, ErrorCode, Packet, Request, WireError};
+use crate::state::ServeState;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps between polls when idle.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+/// Per-connection read/write deadline. Reads time out so workers can poll
+/// the stop flag on idle connections; a timeout mid-frame (a stalled
+/// peer) ends the connection.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+/// Queued-connection backlog on top of the in-flight ones (per pool, not
+/// per worker).
+const BACKLOG: usize = 16;
+
+/// A running query server. Dropping it (or calling
+/// [`shutdown`](QueryServer::shutdown)) stops the accept loop, drains the
+/// workers, and joins every thread.
+#[derive(Debug)]
+pub struct QueryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving `state`
+    /// with `workers` handler threads (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// The bind/configure/spawn error if the server cannot start.
+    pub fn start(addr: impl ToSocketAddrs, state: ServeState, workers: usize) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = workers.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(BACKLOG);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let state = state.clone();
+            let stop = Arc::clone(&stop);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("streamhist-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state, &stop))?,
+            );
+        }
+        let stop_flag = Arc::clone(&stop);
+        let accept_handle = std::thread::Builder::new()
+            .name("streamhist-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &tx, &stop_flag))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, lets in-flight connections drain, joins all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, pool: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Configure before queueing so even a shed connection has
+                // deadlines on its farewell write.
+                if stream.set_nonblocking(false).is_err()
+                    || stream.set_read_timeout(Some(IO_TIMEOUT)).is_err()
+                    || stream.set_write_timeout(Some(IO_TIMEOUT)).is_err()
+                    || stream.set_nodelay(true).is_err()
+                {
+                    continue;
+                }
+                match pool.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream)) => {
+                        // Shed load explicitly: one error frame, close.
+                        let frame = WireError::new(
+                            ErrorCode::Overloaded,
+                            "worker pool saturated; retry later",
+                        )
+                        .encode();
+                        let _ = write_packet(&mut stream, &frame);
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. ECONNABORTED): back off
+                // and keep listening.
+                std::thread::sleep(IDLE_POLL);
+            }
+        }
+    }
+    // Dropping `pool` here disconnects the channel; workers drain what
+    // was queued and exit.
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &ServeState, stop: &AtomicBool) {
+    loop {
+        // Hold the lock only for the receive itself, so the pool keeps
+        // feeding other workers while this one serves a connection.
+        let next = {
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv_timeout(IDLE_POLL)
+        };
+        match next {
+            Ok(stream) => {
+                // Best-effort: a connection failing mid-serve must never
+                // take the worker down.
+                serve_connection(stream, state, stop);
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves one connection until the peer closes, the stream desyncs, or
+/// shutdown. Infallible by construction: every internal failure either
+/// becomes an error frame or ends this connection only.
+fn serve_connection(mut stream: TcpStream, state: &ServeState, stop: &AtomicBool) {
+    loop {
+        match read_packet(&mut stream) {
+            Ok(Packet::Frame(frame)) => {
+                let reply = match Request::decode(&frame) {
+                    Ok(req) => match state.answer(&req) {
+                        Ok(resp) => resp.encode(),
+                        Err(err) => err.encode(),
+                    },
+                    Err(err) => err.encode(),
+                };
+                if write_packet(&mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+            Ok(Packet::Http(sniffed)) => {
+                answer_http_stray(&mut stream, sniffed);
+                return;
+            }
+            Ok(Packet::BadLength(len)) => {
+                // The stream is desynchronized; one final structured
+                // error, then close.
+                let frame = WireError::new(
+                    ErrorCode::MalformedFrame,
+                    format!("illegal frame length {len}; closing"),
+                )
+                .encode();
+                let _ = write_packet(&mut stream, &frame);
+                return;
+            }
+            Ok(Packet::Closed) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle connection: keep waiting unless we're shutting
+                // down. (A timeout *inside* a frame surfaces as
+                // UnexpectedEof or a failed read_exact and ends the
+                // connection below.)
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// A human pointed an HTTP client at the binary port. Drain their headers
+/// (so close sends FIN, not RST), then answer with a readable error. The
+/// bounded line reader is shared with the obs scrape endpoint.
+fn answer_http_stray(stream: &mut TcpStream, sniffed: [u8; 4]) {
+    let _method = String::from_utf8_lossy(&sniffed);
+    for _ in 0..64 {
+        match streamhist_obs::read_line_bounded(stream, streamhist_obs::MAX_LINE) {
+            Ok(line) if line.is_empty() => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let body = "this is the streamhist binary query port, not HTTP; \
+                use the streamhist-serve client\n";
+    let response = format!(
+        "HTTP/1.1 400 Bad Request\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}

@@ -71,6 +71,7 @@ pub mod baseline;
 pub mod fixed_window;
 mod kernel;
 pub mod merge;
+pub mod serve;
 pub mod sharded;
 pub mod telemetry;
 pub mod time_window;
@@ -82,6 +83,7 @@ pub use fixed_window::BuildStats;
 pub use fixed_window::{FixedWindowBuilder, FixedWindowHistogram};
 pub use kernel::KernelStats;
 pub use merge::merge_histograms;
+pub use serve::FleetHandle;
 pub use sharded::{
     MergeMetrics, OverloadPolicy, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow,
     ShardedFixedWindowBuilder, ShardedOptions,

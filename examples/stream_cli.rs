@@ -6,7 +6,7 @@
 //! Usage:
 //!   cargo run --release --example stream_cli -- [--window N] [--buckets B]
 //!       [--eps E] [--report-every K] [--demo N] [--checkpoint PATH]
-//!       [--metrics-addr ADDR]
+//!       [--metrics-addr ADDR] [--serve ADDR] [--shards N]
 //!   printf '1\n2\n3\n' | cargo run --release --example stream_cli -- --window 64
 //!
 //! Each report line shows the window mean, the histogram's bucket
@@ -28,13 +28,28 @@
 //!   cargo run --release --features obs --example stream_cli -- \
 //!       --demo 100000 --metrics-addr 127.0.0.1:9184
 //!   curl http://127.0.0.1:9184/metrics
+//!
+//! With `--serve ADDR` the monitor additionally ingests into a sharded
+//! fleet (`--shards N`, default 2) and serves the framed binary query
+//! protocol on ADDR — range/point queries from the fleet-global snapshot,
+//! quantile/selectivity from serve-side GK/MRL sketches, plus admin
+//! verbs. After the input is drained the process keeps serving until
+//! killed. The reference client is the `query` subcommand:
+//!
+//!   cargo run --release --example stream_cli -- --demo 100000 \
+//!       --serve 127.0.0.1:9185
+//!   cargo run --release --example stream_cli -- query \
+//!       --addr 127.0.0.1:9185 range-sum 0 63
+//!   cargo run --release --example stream_cli -- query \
+//!       --addr 127.0.0.1:9185 quantile gk 0.99
 
 #![allow(clippy::disallowed_macros)] // report binaries print by design
 use std::io::BufRead;
 use std::sync::Arc;
 use streamhist::data::utilization_trace;
 use streamhist::obs::{publish_kernel_stats, Counter, ExpositionServer, MetricsRegistry};
-use streamhist::{codec, Checkpoint, FixedWindowHistogram};
+use streamhist::serve::{QuantileMethod, QueryServer, ServeClient, ServeState};
+use streamhist::{codec, Checkpoint, FixedWindowHistogram, FleetHandle, ShardedFixedWindow};
 
 /// The scrape endpoint plus the handles the ingest loop ticks.
 struct Telemetry {
@@ -76,6 +91,8 @@ struct Args {
     demo: Option<usize>,
     checkpoint: Option<std::path::PathBuf>,
     metrics_addr: Option<String>,
+    serve: Option<String>,
+    shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -87,6 +104,8 @@ fn parse_args() -> Result<Args, String> {
         demo: None,
         checkpoint: None,
         metrics_addr: None,
+        serve: None,
+        shards: 2,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,10 +124,13 @@ fn parse_args() -> Result<Args, String> {
             "--demo" => args.demo = Some(value("--demo")?.parse().map_err(|e| format!("{e}"))?),
             "--checkpoint" => args.checkpoint = Some(value("--checkpoint")?.into()),
             "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--serve" => args.serve = Some(value("--serve")?),
+            "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
             "--help" | "-h" => {
                 return Err("usage: stream_cli [--window N] [--buckets B] [--eps E] \
                             [--report-every K] [--demo N] [--checkpoint PATH] \
-                            [--metrics-addr ADDR]"
+                            [--metrics-addr ADDR] [--serve ADDR] [--shards N]\n\
+                            \x20      stream_cli query --addr ADDR VERB ARGS..."
                     .into())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -117,7 +139,126 @@ fn parse_args() -> Result<Args, String> {
     if args.window == 0 || args.buckets == 0 || args.eps <= 0.0 || args.report_every == 0 {
         return Err("window, buckets, eps and report-every must be positive".into());
     }
+    if args.shards == 0 {
+        return Err("shards must be positive".into());
+    }
     Ok(args)
+}
+
+const QUERY_USAGE: &str = "usage: stream_cli query --addr HOST:PORT VERB [ARGS]\n\
+    verbs:\n\
+    \x20 range-sum START END     sum over the inclusive index range\n\
+    \x20 range-avg START END     average over the inclusive index range\n\
+    \x20 point IDX               value at one index\n\
+    \x20 range-count START END   positions in the inclusive index range\n\
+    \x20 quantile gk|mrl PHI     phi-quantile of the ingested values\n\
+    \x20 selectivity LO HI       fraction of values v with LO < v <= HI\n\
+    \x20 shard-stats SHARD       one shard's counters\n\
+    \x20 respawn-shard SHARD     respawn one shard's worker\n\
+    \x20 checkpoint-all          checkpoint the fleet server-side";
+
+/// The `query` subcommand: the wire protocol's reference client.
+fn run_query(argv: &[String]) -> i32 {
+    let mut addr = None;
+    let mut rest = Vec::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => {
+                    eprintln!("--addr needs a value");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{QUERY_USAGE}");
+                return 2;
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("{QUERY_USAGE}");
+        return 2;
+    };
+    let parse_idx = |s: &String| s.parse::<usize>().map_err(|e| format!("{s:?}: {e}"));
+    let parse_f64 = |s: &String| s.parse::<f64>().map_err(|e| format!("{s:?}: {e}"));
+    let mut client = match ServeClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let outcome: Result<Result<String, streamhist::serve::ClientError>, String> =
+        match rest.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+            ["range-sum", _, _] => parse_idx(&rest[1]).and_then(|s| {
+                parse_idx(&rest[2]).map(|e| client.range_sum(s, e).map(|v| format!("{v}")))
+            }),
+            ["range-avg", _, _] => parse_idx(&rest[1]).and_then(|s| {
+                parse_idx(&rest[2]).map(|e| client.range_avg(s, e).map(|v| format!("{v}")))
+            }),
+            ["point", _] => parse_idx(&rest[1]).map(|i| client.point(i).map(|v| format!("{v}"))),
+            ["range-count", _, _] => parse_idx(&rest[1]).and_then(|s| {
+                parse_idx(&rest[2]).map(|e| client.range_count(s, e).map(|v| format!("{v}")))
+            }),
+            ["quantile", method, _] => {
+                let method = match method {
+                    "gk" => Ok(QuantileMethod::Gk),
+                    "mrl" => Ok(QuantileMethod::Mrl),
+                    other => Err(format!("unknown quantile method {other:?} (gk or mrl)")),
+                };
+                method.and_then(|m| {
+                    parse_f64(&rest[2]).map(|phi| client.quantile(m, phi).map(|v| format!("{v}")))
+                })
+            }
+            ["selectivity", _, _] => parse_f64(&rest[1]).and_then(|lo| {
+                parse_f64(&rest[2]).map(|hi| client.selectivity(lo, hi).map(|v| format!("{v}")))
+            }),
+            ["shard-stats", _] => parse_idx(&rest[1]).map(|s| {
+                client.shard_stats(s).map(|(shards, m)| {
+                    format!(
+                        "shard {s}/{shards}: pushes={} rejected={} dropped={} snapshots={} \
+                         respawns={} checkpoints={} restores={} queue_depth={}",
+                        m.pushes_accepted,
+                        m.values_rejected,
+                        m.records_dropped,
+                        m.snapshots_served,
+                        m.respawns,
+                        m.checkpoints_taken,
+                        m.restores,
+                        m.queue_depth
+                    )
+                })
+            }),
+            ["respawn-shard", _] => parse_idx(&rest[1]).map(|s| {
+                client.respawn_shard(s).map(|(restored, lost)| {
+                    format!("respawned: restored_len={restored} lost_since_checkpoint={lost}")
+                })
+            }),
+            ["checkpoint-all"] => Ok(client
+                .checkpoint_all()
+                .map(|bytes| format!("checkpointed {bytes}B server-side"))),
+            _ => {
+                eprintln!("{QUERY_USAGE}");
+                return 2;
+            }
+        };
+    match outcome {
+        Err(usage) => {
+            eprintln!("{usage}");
+            2
+        }
+        Ok(Err(e)) => {
+            eprintln!("{e}");
+            1
+        }
+        Ok(Ok(line)) => {
+            println!("{line}");
+            0
+        }
+    }
 }
 
 fn report(t: usize, fw: &FixedWindowHistogram, telemetry: Option<&Telemetry>) {
@@ -145,6 +286,10 @@ fn report(t: usize, fw: &FixedWindowHistogram, telemetry: Option<&Telemetry>) {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("query") {
+        std::process::exit(run_query(&argv[1..]));
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -167,6 +312,35 @@ fn main() {
                 std::process::exit(2);
             }
         },
+        None => None,
+    };
+
+    // With --serve, mirror every ingested value into a sharded fleet and
+    // put the query surface on the wire.
+    let serving = match &args.serve {
+        Some(addr) => {
+            let registry = telemetry.as_ref().map_or_else(
+                || Arc::new(MetricsRegistry::new()),
+                |t| Arc::clone(&t.registry),
+            );
+            let fleet = FleetHandle::new(ShardedFixedWindow::new(
+                args.shards,
+                args.window,
+                args.buckets,
+                args.eps,
+            ));
+            let state = ServeState::new(fleet, registry);
+            match QueryServer::start(addr.as_str(), state.clone(), 4) {
+                Ok(server) => {
+                    eprintln!("serving queries on {}", server.local_addr());
+                    Some((server, state))
+                }
+                Err(e) => {
+                    eprintln!("cannot bind query endpoint {addr}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         None => None,
     };
 
@@ -201,6 +375,11 @@ fn main() {
     if let Some(n) = args.demo {
         for v in utilization_trace(n, 7) {
             fw.push(v);
+            if let Some((_, state)) = &serving {
+                if let Err(e) = state.ingest(t as u64, v) {
+                    eprintln!("serve ingest error: {e}");
+                }
+            }
             if let Some(tel) = &telemetry {
                 tel.records.inc();
             }
@@ -226,6 +405,11 @@ fn main() {
             match trimmed.parse::<f64>() {
                 Ok(v) if v.is_finite() => {
                     fw.push(v);
+                    if let Some((_, state)) = &serving {
+                        if let Err(e) = state.ingest(t as u64, v) {
+                            eprintln!("serve ingest error: {e}");
+                        }
+                    }
                     if let Some(tel) = &telemetry {
                         tel.records.inc();
                     }
@@ -253,6 +437,17 @@ fn main() {
                 eprintln!("cannot write checkpoint {}: {e}", path.display());
                 std::process::exit(1);
             }
+        }
+    }
+    if let Some((server, _state)) = serving {
+        // Input is drained, but the query surface stays up: this is the
+        // "start a demo server, query it from another terminal" shape.
+        eprintln!(
+            "input drained; still serving queries on {} (Ctrl-C to exit)",
+            server.local_addr()
+        );
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
         }
     }
     if let Some(tel) = telemetry {

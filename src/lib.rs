@@ -50,6 +50,7 @@
 //! | [`SeriesIndex`], [`apca()`], [`lower_bound_dist`] | `streamhist-similarity` | §5.2 similarity search (APCA comparator) |
 //! | [`data`] | `streamhist-data` | synthetic traces and query workloads |
 //! | [`obs`] | `streamhist-obs` | metrics registry, latency quantiles, Prometheus-style exposition |
+//! | [`serve`] | `streamhist-serve` | framed TCP query front-end over a live sharded fleet |
 //!
 //! See `DESIGN.md` for the paper-to-module map and `EXPERIMENTS.md` for the
 //! reproduced evaluation.
@@ -91,9 +92,9 @@ pub use streamhist_similarity::{
 pub use streamhist_stream::BuildStats;
 pub use streamhist_stream::{
     approx_histogram, merge_histograms, AgglomerativeBuilder, AgglomerativeHistogram,
-    FixedWindowBuilder, FixedWindowHistogram, KernelStats, MergeMetrics, NaiveSlidingWindow,
-    NaiveSlidingWindowBuilder, OverloadPolicy, RecoveryReport, ShardError, ShardMetrics,
-    ShardedFixedWindow, ShardedFixedWindowBuilder, ShardedOptions, TimeWindowBuilder,
+    FixedWindowBuilder, FixedWindowHistogram, FleetHandle, KernelStats, MergeMetrics,
+    NaiveSlidingWindow, NaiveSlidingWindowBuilder, OverloadPolicy, RecoveryReport, ShardError,
+    ShardMetrics, ShardedFixedWindow, ShardedFixedWindowBuilder, ShardedOptions, TimeWindowBuilder,
     TimeWindowHistogram,
 };
 pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynopsis};
@@ -115,6 +116,18 @@ pub mod obs {
     pub use streamhist_stream::telemetry::publish_kernel_stats;
     #[cfg(feature = "obs")]
     pub use streamhist_stream::telemetry::{install_kernel_tracer, kernel_tracer, KernelTracer};
+}
+
+/// The query path on the wire: a framed TCP front-end over a live
+/// sharded fleet (`streamhist-serve`). Serves range/point queries from
+/// the fleet-global snapshot and quantile/selectivity queries from
+/// serve-side GK/MRL sketches; malformed input earns a structured error
+/// frame, never a panic or a dropped connection.
+pub mod serve {
+    pub use streamhist_serve::{
+        ClientError, ErrorCode, Packet, QuantileMethod, QueryServer, Request, Response,
+        ServeClient, ServeState, WireError, MAX_FRAME, MIN_FRAME,
+    };
 }
 
 /// Value-domain frequency histograms for selectivity estimation (the

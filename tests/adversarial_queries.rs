@@ -1,0 +1,193 @@
+//! Adversarial query sweep: malformed [`Query`] values against every
+//! [`SequenceSummary`] implementation in the workspace.
+//!
+//! The contract pinned here is the bugfix this PR ships: a query whose
+//! range is inverted (`end < start`), out of the summary's domain, or
+//! degenerate (`usize::MAX` endpoints that would overflow the old
+//! `end - start + 1` span arithmetic) must be rejected by
+//! [`Query::validate`] / [`Query::try_exact`] / [`Query::try_estimate`]
+//! with [`StreamhistError::InvalidQuery`] — never a wrap, never a panic,
+//! on any summary type. Valid queries, meanwhile, must evaluate
+//! identically through the fallible and panicking paths.
+
+use proptest::prelude::*;
+use streamhist::{
+    approx_histogram, ExactSummary, Query, SequenceSummary, StreamhistError, WaveletSynopsis,
+};
+
+/// The workspace's summary implementations over one dataset, boxed so a
+/// single sweep covers all of them.
+fn summaries(data: &[f64]) -> Vec<(&'static str, Box<dyn SequenceSummary + '_>)> {
+    vec![
+        (
+            "Histogram",
+            Box::new(approx_histogram(data, 4.min(data.len().max(1)), 0.1)),
+        ),
+        ("ExactSummary", Box::new(ExactSummary::new(data))),
+        (
+            "WaveletSynopsis",
+            Box::new(WaveletSynopsis::top_b(data, 4.min(data.len().max(1)))),
+        ),
+    ]
+}
+
+fn data_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..65)
+}
+
+/// An endpoint that is either small (in or near the domain) or within 64
+/// of `usize::MAX` (the overflow-adjacent band the old span arithmetic
+/// wrapped on).
+fn endpoint(sel: u8, small: usize, delta: usize) -> usize {
+    if sel == 0 {
+        usize::MAX - delta
+    } else {
+        small
+    }
+}
+
+/// Any of: inverted, out-of-domain, boundary-degenerate, or valid.
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (
+        (0u8..4, 0u8..3, 0usize..128),
+        (0u8..3, 0usize..128, 0usize..64),
+    )
+        .prop_map(|((kind, sel_a, a_small), (sel_b, b_small, delta))| {
+            let a = endpoint(sel_a, a_small, delta);
+            let b = endpoint(sel_b, b_small, delta / 2);
+            match kind {
+                0 => Query::Point { idx: a },
+                1 => Query::RangeSum { start: a, end: b },
+                2 => Query::RangeAvg { start: a, end: b },
+                _ => Query::RangeCount { start: a, end: b },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The core sweep: for every summary impl, `try_estimate` either
+    /// errors with `InvalidQuery` (exactly when `validate` says so) or
+    /// returns a finite value — and never panics on any input.
+    #[test]
+    fn try_estimate_never_panics_and_matches_validate(
+        data in data_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..32),
+    ) {
+        for (name, summary) in summaries(&data) {
+            let domain = summary.summary_len();
+            for q in &queries {
+                let verdict = q.validate(domain);
+                let outcome = q.try_estimate(summary.as_ref());
+                match verdict {
+                    Ok(()) => {
+                        let v = outcome.unwrap_or_else(|e| {
+                            panic!("{name}: valid {q:?} rejected: {e}")
+                        });
+                        prop_assert!(
+                            v.is_finite(),
+                            "{name}: valid {q:?} gave non-finite {v}"
+                        );
+                    }
+                    Err(e) => {
+                        prop_assert!(
+                            matches!(e, StreamhistError::InvalidQuery { .. }),
+                            "{name}: validate must reject with InvalidQuery, got {e}"
+                        );
+                        let err = outcome.expect_err("invalid query must not evaluate");
+                        prop_assert!(
+                            matches!(err, StreamhistError::InvalidQuery { .. }),
+                            "{name}: {q:?} must fail as InvalidQuery, got {err}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `try_exact` agrees with `try_estimate`'s accept/reject decision on
+    /// the exact data, and the two paths answer the same valid queries.
+    #[test]
+    fn try_exact_accepts_and_rejects_like_try_estimate(
+        data in data_strategy(),
+        q in query_strategy(),
+    ) {
+        let exact = ExactSummary::new(&data);
+        let by_estimate = q.try_estimate(&exact);
+        let by_exact = q.try_exact(&data);
+        match (by_estimate, by_exact) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "exact evaluation must agree with ExactSummary"
+            ),
+            (Err(a), Err(b)) => {
+                prop_assert!(matches!(a, StreamhistError::InvalidQuery { .. }));
+                prop_assert!(matches!(b, StreamhistError::InvalidQuery { .. }));
+            }
+            (a, b) => prop_assert!(false, "paths disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// `span()` never underflows: inverted ranges are a documented 0, and
+    /// the full-domain range saturates instead of wrapping.
+    #[test]
+    fn span_never_wraps(
+        (sel_a, a_small, da) in (0u8..2, 0usize..4096, 0usize..4096),
+        (sel_b, b_small, db) in (0u8..2, 0usize..4096, 0usize..4096),
+    ) {
+        let a = if sel_a == 0 { usize::MAX - da } else { a_small };
+        let b = if sel_b == 0 { usize::MAX - db } else { b_small };
+        let q = Query::RangeSum { start: a, end: b };
+        let span = q.span();
+        if b < a {
+            prop_assert_eq!(span, 0, "inverted range must span 0");
+        } else {
+            prop_assert_eq!(span, (b - a).saturating_add(1));
+        }
+    }
+}
+
+/// The specific overflow shapes from the bug report, pinned exactly
+/// (proptest may or may not land on them in a given run).
+#[test]
+fn known_adversarial_shapes_are_rejected_everywhere() {
+    let data: Vec<f64> = (0..32).map(f64::from).collect();
+    let adversarial = [
+        // Inverted: the old `end - start + 1` underflowed here.
+        Query::RangeSum { start: 5, end: 2 },
+        Query::RangeAvg { start: 1, end: 0 },
+        Query::RangeCount {
+            start: usize::MAX,
+            end: 0,
+        },
+        // Out of domain.
+        Query::Point { idx: 32 },
+        Query::Point { idx: usize::MAX },
+        Query::RangeSum {
+            start: 0,
+            end: usize::MAX,
+        },
+        // Zero-length domain overshoot by one.
+        Query::RangeAvg { start: 31, end: 32 },
+    ];
+    for (name, summary) in summaries(&data) {
+        for q in &adversarial {
+            let err = q
+                .try_estimate(summary.as_ref())
+                .expect_err("adversarial query must be rejected");
+            assert!(
+                matches!(err, StreamhistError::InvalidQuery { .. }),
+                "{name}: {q:?} -> {err}"
+            );
+        }
+    }
+    // Zero-length (single-point) ranges are VALID — the guard must not
+    // over-reject.
+    for (name, summary) in summaries(&data) {
+        let v = Query::RangeAvg { start: 7, end: 7 }
+            .try_estimate(summary.as_ref())
+            .unwrap_or_else(|e| panic!("{name}: single-point range is valid: {e}"));
+        assert!(v.is_finite(), "{name}");
+    }
+}
