@@ -12,7 +12,7 @@
 //! * **accuracy** — SSE of the gathered histogram against the true
 //!   concatenated fleet window `u`, compared to the exact-replay optimum
 //!   `OPT_B(u)` and checked against the documented gather bound
-//!   (DESIGN.md §6): `√SSE ≤ √G + √(1+ε)·(√G + √OPT_B(u))` with
+//!   (DESIGN.md §7): `√SSE ≤ √G + √(1+ε)·(√G + √OPT_B(u))` with
 //!   `G = Σᵢ SSE(ĥᵢ, windowᵢ)`.
 //!
 //! Fleets of 1, 4 and 16 shards run with a flat gather; the 16-shard

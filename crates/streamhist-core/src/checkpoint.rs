@@ -68,6 +68,9 @@ pub mod tag {
     /// `Histogram` (streamhist-core) — a materialized (possibly gathered
     /// fleet-global) snapshot persisted for serving after restart.
     pub const HISTOGRAM: u8 = 10;
+    /// A [`crate::wal::WalSegment`] — a contiguous run of accepted records
+    /// (the incremental complement of a full checkpoint frame).
+    pub const WAL_SEGMENT: u8 = 11;
     /// A `streamhist-serve` request frame (query/admin verb + arguments).
     /// Serve frames share the checkpoint envelope (magic, version, CRC) so
     /// the wire inherits the same corruption guarantees.

@@ -309,7 +309,7 @@ impl Histogram {
 /// histogram of the concatenated sequence `a ++ b` with **no** information
 /// loss (the bucket count grows to `a.B + b.B`; re-optimizing the merged
 /// bucket list back down to a budget `B` is the job of the kernel-backed
-/// `merge_histograms` in `streamhist-stream`, see DESIGN.md §6).
+/// `merge_histograms` in `streamhist-stream`, see DESIGN.md §7).
 ///
 /// `Histogram` carries no tunable configuration, so merging never rejects:
 /// any two histograms (including empty-domain ones) concatenate.

@@ -28,7 +28,12 @@
 //! * [`MergeableSummary`] — the workspace-wide merge interface
 //!   (`merge_from`/`merge`) for scatter/gather deployments: summaries of
 //!   stream partitions combine into one global summary, with documented
-//!   error composition (DESIGN.md §6).
+//!   error composition (DESIGN.md §7).
+//! * [`CheckpointStore`] — the pluggable durable-storage seam for
+//!   checkpoint frames and [`WalSegment`] write-ahead-log segments
+//!   ([`DirStore`] on a local directory with atomic temp-file + rename
+//!   writes, [`MemStore`] for tests, [`FailingStore`] for fault
+//!   injection).
 //!
 //! All index domains are 0-based and ranges are inclusive `[start, end]`,
 //! matching the bucket convention of the paper (which is 1-based; we shift).
@@ -45,7 +50,9 @@ pub mod eval;
 pub mod histogram;
 pub mod prefix;
 pub mod query;
+pub mod store;
 pub mod summary;
+pub mod wal;
 
 pub use bucket::Bucket;
 pub use checkpoint::{Checkpoint, FrameReader, FrameWriter};
@@ -55,4 +62,8 @@ pub use eval::{evaluate_queries, AccuracyReport};
 pub use histogram::{Histogram, HistogramError};
 pub use prefix::{GrowableWindowSums, PrefixProvider, PrefixSums, SlidingPrefixSums, WindowSums};
 pub use query::{ExactSummary, Query, SequenceSummary};
+pub use store::{
+    CheckpointStore, DirStore, FailingStore, MemStore, ObjectId, ObjectKind, StoreError,
+};
 pub use summary::{BatchOutcome, MergeableSummary, StreamSummary};
+pub use wal::WalSegment;

@@ -1,0 +1,686 @@
+//! Pluggable durable storage for checkpoint frames and WAL segments.
+//!
+//! The paper's summaries live on network elements whose processes die; PR 4
+//! gave every summary a self-validating [`Checkpoint`](crate::Checkpoint)
+//! frame, and the sharded serving layer cuts those frames (plus incremental
+//! WAL segments, see [`crate::wal`]) on a schedule. *Where* the bytes go is
+//! a deployment decision — a local directory, a test harness, eventually an
+//! object store — so the seam is a trait: [`CheckpointStore`].
+//!
+//! Three implementations ship here:
+//!
+//! * [`DirStore`] — a local directory, one subdirectory per shard, every
+//!   object written to a temp file and atomically renamed into place so a
+//!   crash mid-write can never leave a torn object visible.
+//! * [`MemStore`] — an in-memory map for tests and benchmarks.
+//! * [`FailingStore`] — a fault-injecting wrapper that fails every *n*-th
+//!   call with a [`StoreError`], for exercising retry and recovery paths
+//!   deterministically.
+//!
+//! # Object model
+//!
+//! A store holds two kinds of objects per shard, both addressed by a
+//! sequence number in the shard summary's `total_pushed` domain:
+//!
+//! * a **frame** at `seq` is a full [`Checkpoint`](crate::Checkpoint)
+//!   frame of the summary after absorbing its first `seq` records;
+//! * a **WAL segment** at `seq` is a [`crate::wal::WalSegment`] whose
+//!   first record is the `seq`-th accepted record (0-based), i.e. `seq` is
+//!   the segment's `base`.
+//!
+//! Recovery reads the newest frame and replays every segment past it (see
+//! `streamhist-stream`). [`truncate`](CheckpointStore::truncate) declares a
+//! frame canonical: everything it supersedes (older frames, fully covered
+//! segments) *and* everything it invalidates (objects past it, left over
+//! from a rewinding restore) is deleted.
+
+use crate::error::StreamhistError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A storage operation failed. Carries which operation and a human-readable
+/// detail (an `io::Error` rendering, or the injected-fault marker).
+///
+/// Store failures are *retryable by contract*: callers that need durability
+/// retry with backoff (the uploader in `streamhist-stream` does), and a
+/// [`FailingStore`] fault is indistinguishable from a transient I/O error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// The operation that failed (`"put_frame"`, `"list"`, ...).
+    pub op: &'static str,
+    /// Why it failed.
+    pub detail: String,
+}
+
+impl StoreError {
+    fn new(op: &'static str, detail: impl fmt::Display) -> Self {
+        Self {
+            op,
+            detail: detail.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint store {} failed: {}", self.op, self.detail)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<StoreError> for StreamhistError {
+    fn from(_: StoreError) -> Self {
+        StreamhistError::CorruptCheckpoint {
+            reason: "checkpoint store operation failed",
+        }
+    }
+}
+
+/// What kind of object an [`ObjectId`] names. Ordered so that frames sort
+/// before WAL segments at equal sequence numbers (a frame at `seq` already
+/// covers a segment starting at `seq - k`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ObjectKind {
+    /// A full checkpoint frame.
+    Frame,
+    /// An incremental WAL segment.
+    WalSegment,
+}
+
+/// Address of one stored object: shard, kind, and sequence number (see the
+/// [module docs](self) for the sequence-number domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId {
+    /// The shard the object belongs to.
+    pub shard: usize,
+    /// Frame or WAL segment.
+    pub kind: ObjectKind,
+    /// Sequence number in the shard's accepted-record domain.
+    pub seq: u64,
+}
+
+/// Pluggable backend for durable checkpoint frames and WAL segments.
+///
+/// Implementations must be thread-safe (`Send + Sync`): the uploader thread
+/// writes while admin paths list and read. Every method is synchronous and
+/// may fail transiently; callers that need durability retry.
+///
+/// # Atomicity contract
+///
+/// A `put_*` must be all-or-nothing: after a crash at any instant, a later
+/// [`list`](Self::list)/[`get`](Self::get) sees either the complete object
+/// or no object — never a torn prefix. [`DirStore`] implements this with a
+/// temp file plus atomic rename.
+pub trait CheckpointStore: Send + Sync {
+    /// Durably stores a full checkpoint frame for `shard` at `seq`
+    /// (overwriting any existing frame at that address).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the write did not complete; the store is left
+    /// without a torn object.
+    fn put_frame(&self, shard: usize, seq: u64, frame: &[u8]) -> Result<(), StoreError>;
+
+    /// Durably stores a WAL segment for `shard` whose first record is the
+    /// `seq`-th accepted record.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the write did not complete.
+    fn put_wal_segment(&self, shard: usize, seq: u64, segment: &[u8]) -> Result<(), StoreError>;
+
+    /// Lists every object stored for `shard`, sorted ascending by
+    /// `(kind, seq)` — frames first, then WAL segments, each in sequence
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on an unreadable backend.
+    fn list(&self, shard: usize) -> Result<Vec<ObjectId>, StoreError>;
+
+    /// Reads one object's bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the object does not exist or cannot be read.
+    fn get(&self, id: &ObjectId) -> Result<Vec<u8>, StoreError>;
+
+    /// Declares the frame at `frame_seq` the shard's canonical recovery
+    /// point: deletes WAL segments starting before it (fully covered),
+    /// frames older than it (superseded), and *any* object past it
+    /// (invalidated — left over from a rewinding restore). The frame at
+    /// `frame_seq` itself and segments starting at or after it survive.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the cleanup could not complete (retryable; stale
+    /// objects past the canonical frame are invisible to recovery only
+    /// after a successful truncate, so callers retry).
+    fn truncate(&self, shard: usize, frame_seq: u64) -> Result<(), StoreError>;
+}
+
+/// Which stored ids `truncate` removes — shared by every backend so the
+/// trait's deletion rule cannot drift between implementations.
+fn truncate_victim(id: &ObjectId, frame_seq: u64) -> bool {
+    match id.kind {
+        ObjectKind::Frame => id.seq != frame_seq,
+        ObjectKind::WalSegment => id.seq != frame_seq,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DirStore
+// ---------------------------------------------------------------------------
+
+/// A [`CheckpointStore`] on a local directory.
+///
+/// Layout: `root/shard-{shard:05}/frame-{seq:020}.ckpt` and
+/// `root/shard-{shard:05}/wal-{seq:020}.seg`. The zero-padded decimal
+/// sequence numbers make lexicographic order equal numeric order, so the
+/// layout is inspectable with plain `ls`.
+///
+/// Every write goes to a `.tmp-` file in the same directory, is flushed,
+/// and is then atomically renamed into place — a crash mid-write leaves at
+/// worst an orphaned temp file, never a torn object ([`list`] ignores temp
+/// files, and [`Self::open`] sweeps orphans from any previous process).
+///
+/// [`list`]: CheckpointStore::list
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) a store rooted at `root`, and sweeps any
+    /// orphaned temp files a crashed predecessor left behind.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the root cannot be created or scanned.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| StoreError::new("open", e))?;
+        let this = Self { root };
+        this.sweep_temp_files()?;
+        Ok(this)
+    }
+
+    /// The directory this store writes under.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard:05}"))
+    }
+
+    fn object_path(&self, id: &ObjectId) -> PathBuf {
+        let name = match id.kind {
+            ObjectKind::Frame => format!("frame-{:020}.ckpt", id.seq),
+            ObjectKind::WalSegment => format!("wal-{:020}.seg", id.seq),
+        };
+        self.shard_dir(id.shard).join(name)
+    }
+
+    /// Temp-file + rename write: the object becomes visible atomically.
+    fn put(&self, op: &'static str, id: &ObjectId, bytes: &[u8]) -> Result<(), StoreError> {
+        let dir = self.shard_dir(id.shard);
+        fs::create_dir_all(&dir).map_err(|e| StoreError::new(op, e))?;
+        let target = self.object_path(id);
+        let file_name = target
+            .file_name()
+            .expect("object paths always have a file name")
+            .to_string_lossy()
+            .into_owned();
+        let tmp = dir.join(format!(".tmp-{file_name}"));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp, &target)
+        };
+        write().map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::new(op, e)
+        })
+    }
+
+    /// Parses an object file name back into its id component.
+    fn parse_name(shard: usize, name: &str) -> Option<ObjectId> {
+        let (kind, rest) = if let Some(rest) = name.strip_prefix("frame-") {
+            (ObjectKind::Frame, rest.strip_suffix(".ckpt")?)
+        } else if let Some(rest) = name.strip_prefix("wal-") {
+            (ObjectKind::WalSegment, rest.strip_suffix(".seg")?)
+        } else {
+            return None;
+        };
+        let seq = rest.parse().ok()?;
+        Some(ObjectId { shard, kind, seq })
+    }
+
+    /// Removes `.tmp-` leftovers from a crashed writer, in every shard dir.
+    fn sweep_temp_files(&self) -> Result<(), StoreError> {
+        let dirs = fs::read_dir(&self.root).map_err(|e| StoreError::new("open", e))?;
+        for dir in dirs {
+            let dir = dir.map_err(|e| StoreError::new("open", e))?;
+            if !dir.path().is_dir() {
+                continue;
+            }
+            let entries = fs::read_dir(dir.path()).map_err(|e| StoreError::new("open", e))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| StoreError::new("open", e))?;
+                if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                    fs::remove_file(entry.path()).map_err(|e| StoreError::new("open", e))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl CheckpointStore for DirStore {
+    fn put_frame(&self, shard: usize, seq: u64, frame: &[u8]) -> Result<(), StoreError> {
+        let id = ObjectId {
+            shard,
+            kind: ObjectKind::Frame,
+            seq,
+        };
+        self.put("put_frame", &id, frame)
+    }
+
+    fn put_wal_segment(&self, shard: usize, seq: u64, segment: &[u8]) -> Result<(), StoreError> {
+        let id = ObjectId {
+            shard,
+            kind: ObjectKind::WalSegment,
+            seq,
+        };
+        self.put("put_wal_segment", &id, segment)
+    }
+
+    fn list(&self, shard: usize) -> Result<Vec<ObjectId>, StoreError> {
+        let dir = self.shard_dir(shard);
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let entries = fs::read_dir(&dir).map_err(|e| StoreError::new("list", e))?;
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::new("list", e))?;
+            if let Some(id) = Self::parse_name(shard, &entry.file_name().to_string_lossy()) {
+                out.push(id);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn get(&self, id: &ObjectId) -> Result<Vec<u8>, StoreError> {
+        fs::read(self.object_path(id)).map_err(|e| StoreError::new("get", e))
+    }
+
+    fn truncate(&self, shard: usize, frame_seq: u64) -> Result<(), StoreError> {
+        for id in self.list(shard)? {
+            if truncate_victim(&id, frame_seq) {
+                fs::remove_file(self.object_path(&id))
+                    .map_err(|e| StoreError::new("truncate", e))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemStore
+// ---------------------------------------------------------------------------
+
+/// An in-memory [`CheckpointStore`] for tests and benchmarks: a mutexed
+/// ordered map, so [`list`](CheckpointStore::list) order falls out of the
+/// key order for free.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    objects: Mutex<BTreeMap<ObjectId, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<ObjectId, Vec<u8>>> {
+        self.objects.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Total bytes currently stored across all shards (for amplification
+    /// accounting in benchmarks).
+    #[must_use]
+    pub fn stored_bytes(&self) -> u64 {
+        self.lock().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn put_frame(&self, shard: usize, seq: u64, frame: &[u8]) -> Result<(), StoreError> {
+        let id = ObjectId {
+            shard,
+            kind: ObjectKind::Frame,
+            seq,
+        };
+        self.lock().insert(id, frame.to_vec());
+        Ok(())
+    }
+
+    fn put_wal_segment(&self, shard: usize, seq: u64, segment: &[u8]) -> Result<(), StoreError> {
+        let id = ObjectId {
+            shard,
+            kind: ObjectKind::WalSegment,
+            seq,
+        };
+        self.lock().insert(id, segment.to_vec());
+        Ok(())
+    }
+
+    fn list(&self, shard: usize) -> Result<Vec<ObjectId>, StoreError> {
+        Ok(self
+            .lock()
+            .keys()
+            .filter(|id| id.shard == shard)
+            .copied()
+            .collect())
+    }
+
+    fn get(&self, id: &ObjectId) -> Result<Vec<u8>, StoreError> {
+        self.lock()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| StoreError::new("get", "no such object"))
+    }
+
+    fn truncate(&self, shard: usize, frame_seq: u64) -> Result<(), StoreError> {
+        self.lock()
+            .retain(|id, _| id.shard != shard || !truncate_victim(id, frame_seq));
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FailingStore
+// ---------------------------------------------------------------------------
+
+/// Deterministic fault injection around any [`CheckpointStore`]: every
+/// `n`-th call (counting *all* trait calls, in arrival order) fails with a
+/// [`StoreError`] before touching the inner store. With `n >= 2`, one
+/// retry of a failed call always succeeds — which keeps loss accounting in
+/// the recovery fuzz exact while still exercising every retry path.
+#[derive(Debug)]
+pub struct FailingStore<S> {
+    inner: S,
+    every_nth: u64,
+    calls: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl<S: CheckpointStore> FailingStore<S> {
+    /// Wraps `inner`, failing every `every_nth`-th call. `every_nth == 0`
+    /// disables injection (a transparent wrapper).
+    #[must_use]
+    pub fn every_nth(inner: S, every_nth: u64) -> Self {
+        Self {
+            inner,
+            every_nth,
+            calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped store.
+    #[must_use]
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Total trait calls observed (failed or not).
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Calls that were failed by injection.
+    #[must_use]
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    fn gate(&self, op: &'static str) -> Result<(), StoreError> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.every_nth != 0 && call.is_multiple_of(self.every_nth) {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::new(op, "injected store fault"));
+        }
+        Ok(())
+    }
+}
+
+impl<S: CheckpointStore> CheckpointStore for FailingStore<S> {
+    fn put_frame(&self, shard: usize, seq: u64, frame: &[u8]) -> Result<(), StoreError> {
+        self.gate("put_frame")?;
+        self.inner.put_frame(shard, seq, frame)
+    }
+
+    fn put_wal_segment(&self, shard: usize, seq: u64, segment: &[u8]) -> Result<(), StoreError> {
+        self.gate("put_wal_segment")?;
+        self.inner.put_wal_segment(shard, seq, segment)
+    }
+
+    fn list(&self, shard: usize) -> Result<Vec<ObjectId>, StoreError> {
+        self.gate("list")?;
+        self.inner.list(shard)
+    }
+
+    fn get(&self, id: &ObjectId) -> Result<Vec<u8>, StoreError> {
+        self.gate("get")?;
+        self.inner.get(id)
+    }
+
+    fn truncate(&self, shard: usize, frame_seq: u64) -> Result<(), StoreError> {
+        self.gate("truncate")?;
+        self.inner.truncate(shard, frame_seq)
+    }
+}
+
+/// Blanket passthrough so `Arc<dyn CheckpointStore>` (what
+/// `DurabilityOptions` carries) is itself a store.
+impl<S: CheckpointStore + ?Sized> CheckpointStore for Arc<S> {
+    fn put_frame(&self, shard: usize, seq: u64, frame: &[u8]) -> Result<(), StoreError> {
+        (**self).put_frame(shard, seq, frame)
+    }
+
+    fn put_wal_segment(&self, shard: usize, seq: u64, segment: &[u8]) -> Result<(), StoreError> {
+        (**self).put_wal_segment(shard, seq, segment)
+    }
+
+    fn list(&self, shard: usize) -> Result<Vec<ObjectId>, StoreError> {
+        (**self).list(shard)
+    }
+
+    fn get(&self, id: &ObjectId) -> Result<Vec<u8>, StoreError> {
+        (**self).get(id)
+    }
+
+    fn truncate(&self, shard: usize, frame_seq: u64) -> Result<(), StoreError> {
+        (**self).truncate(shard, frame_seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "streamhist-store-test-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn id(shard: usize, kind: ObjectKind, seq: u64) -> ObjectId {
+        ObjectId { shard, kind, seq }
+    }
+
+    fn exercise(store: &dyn CheckpointStore) {
+        store.put_frame(0, 10, b"frame10").unwrap();
+        store.put_wal_segment(0, 10, b"seg10").unwrap();
+        store.put_wal_segment(0, 20, b"seg20").unwrap();
+        store.put_frame(1, 5, b"other-shard").unwrap();
+
+        let listed = store.list(0).unwrap();
+        assert_eq!(
+            listed,
+            vec![
+                id(0, ObjectKind::Frame, 10),
+                id(0, ObjectKind::WalSegment, 10),
+                id(0, ObjectKind::WalSegment, 20),
+            ],
+            "sorted by kind then seq, other shards excluded"
+        );
+        assert_eq!(store.get(&listed[0]).unwrap(), b"frame10");
+        assert_eq!(store.get(&listed[2]).unwrap(), b"seg20");
+
+        // Overwrite at the same address replaces the object.
+        store.put_frame(0, 10, b"frame10-v2").unwrap();
+        assert_eq!(
+            store.get(&id(0, ObjectKind::Frame, 10)).unwrap(),
+            b"frame10-v2"
+        );
+        assert_eq!(store.list(0).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn memstore_roundtrip() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn dirstore_roundtrip() {
+        let root = temp_root("roundtrip");
+        exercise(&DirStore::open(&root).unwrap());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dirstore_reopen_sees_same_objects() {
+        let root = temp_root("reopen");
+        {
+            let store = DirStore::open(&root).unwrap();
+            store.put_frame(3, 42, b"persisted").unwrap();
+        }
+        let store = DirStore::open(&root).unwrap();
+        assert_eq!(store.list(3).unwrap(), vec![id(3, ObjectKind::Frame, 42)]);
+        assert_eq!(
+            store.get(&id(3, ObjectKind::Frame, 42)).unwrap(),
+            b"persisted"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dirstore_sweeps_orphaned_temp_files_and_never_lists_them() {
+        let root = temp_root("sweep");
+        let store = DirStore::open(&root).unwrap();
+        store.put_frame(0, 1, b"real").unwrap();
+        // Simulate a writer that died between create and rename.
+        let orphan = root.join("shard-00000").join(".tmp-frame-torn.ckpt");
+        fs::write(&orphan, b"torn").unwrap();
+        assert_eq!(store.list(0).unwrap().len(), 1, "temp files are invisible");
+        let store = DirStore::open(&root).unwrap();
+        assert!(!orphan.exists(), "reopen sweeps the orphan");
+        assert_eq!(store.list(0).unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    fn truncate_case(store: &dyn CheckpointStore) {
+        store.put_frame(0, 100, b"old-frame").unwrap();
+        store.put_frame(0, 200, b"canonical").unwrap();
+        store.put_frame(0, 300, b"stale-future").unwrap();
+        store.put_wal_segment(0, 150, b"covered").unwrap();
+        store.put_wal_segment(0, 200, b"tail").unwrap();
+        store.put_wal_segment(0, 250, b"stale-future-seg").unwrap();
+        store.put_frame(1, 1, b"untouched").unwrap();
+        // 250 > 200 is invalidated: segments past the canonical frame can
+        // only be leftovers from a rewinding restore.
+        store.truncate(0, 200).unwrap();
+        assert_eq!(
+            store.list(0).unwrap(),
+            vec![
+                id(0, ObjectKind::Frame, 200),
+                id(0, ObjectKind::WalSegment, 200)
+            ],
+            "only the canonical frame and its tail segment survive"
+        );
+        assert_eq!(store.list(1).unwrap().len(), 1, "other shards untouched");
+    }
+
+    #[test]
+    fn memstore_truncate_keeps_canonical_frame_and_tail() {
+        truncate_case(&MemStore::new());
+    }
+
+    #[test]
+    fn dirstore_truncate_keeps_canonical_frame_and_tail() {
+        let root = temp_root("truncate");
+        truncate_case(&DirStore::open(&root).unwrap());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failing_store_fails_exactly_every_nth_call() {
+        let store = FailingStore::every_nth(MemStore::new(), 3);
+        let mut outcomes = Vec::new();
+        for i in 0..9u64 {
+            outcomes.push(store.put_frame(0, i, b"x").is_err());
+        }
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(store.calls(), 9);
+        assert_eq!(store.failures(), 3);
+        // Failed calls never reached the inner store.
+        assert_eq!(store.inner().list(0).unwrap().len(), 6);
+        // A retry directly after a failure always succeeds (n >= 2).
+        let store = FailingStore::every_nth(MemStore::new(), 2);
+        for i in 0..4u64 {
+            if store.put_frame(0, i, b"x").is_err() {
+                store.put_frame(0, i, b"x").expect("retry succeeds");
+            }
+        }
+        assert_eq!(store.inner().list(0).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn failing_store_zero_is_transparent() {
+        let store = FailingStore::every_nth(MemStore::new(), 0);
+        for i in 0..50u64 {
+            store.put_wal_segment(2, i, b"x").unwrap();
+        }
+        assert_eq!(store.failures(), 0);
+        assert_eq!(store.list(2).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn arc_dyn_store_is_a_store() {
+        let store: Arc<dyn CheckpointStore> = Arc::new(MemStore::new());
+        store.put_frame(0, 7, b"via-arc").unwrap();
+        assert_eq!(store.get(&id(0, ObjectKind::Frame, 7)).unwrap(), b"via-arc");
+    }
+}

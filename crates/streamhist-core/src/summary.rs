@@ -133,7 +133,7 @@ pub trait StreamSummary {
 /// documents how its error composes (rank errors add for the quantile
 /// summaries; the window histograms pick up a *gather term* equal to the
 /// per-part SSE already spent; frequency vectors and dense wavelet
-/// coefficient merges are exact). DESIGN.md §6 states and proves the
+/// coefficient merges are exact). DESIGN.md §7 states and proves the
 /// bound for every implementation.
 ///
 /// # Configuration compatibility

@@ -1,0 +1,177 @@
+//! Write-ahead-log segments: the incremental half of durability.
+//!
+//! A full [`Checkpoint`](crate::Checkpoint) frame costs `O(window)` to
+//! encode, so cutting one every few records makes durability cost linear in
+//! window size per interval. The accepted record stream itself is the
+//! natural incremental log: a [`WalSegment`] is a contiguous run of
+//! accepted records, carried in the same magic/version/CRC envelope as
+//! every other frame in the workspace (tag
+//! [`WAL_SEGMENT`](crate::checkpoint::tag::WAL_SEGMENT)), so it inherits
+//! the corruption guarantees — truncations and bit flips are rejected, not
+//! replayed.
+//!
+//! Replaying a segment is just re-pushing its records in order, and pushes
+//! are bit-deterministic, so *last frame + replayed segments* reconstructs
+//! a summary bit-identical to one that never crashed (see DESIGN.md).
+//!
+//! # Payload layout (inside the standard envelope)
+//!
+//! | field   | encoding        | meaning                                      |
+//! |---------|-----------------|----------------------------------------------|
+//! | shard   | varint          | shard the records belong to                  |
+//! | base    | varint          | index of the first record in the shard's accepted-record sequence |
+//! | count   | varint          | number of records                            |
+//! | records | count × f64-le  | the accepted values, in absorption order     |
+
+use crate::checkpoint::{tag, FrameReader, FrameWriter};
+use crate::error::StreamhistError;
+
+/// One contiguous run of accepted records, CRC-framed for durable storage.
+///
+/// `base` addresses the run in the owning summary's `total_pushed` domain:
+/// the segment holds accepted records `base .. base + records.len()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalSegment {
+    /// The shard these records were accepted by.
+    pub shard: u64,
+    /// Index of `records[0]` in the shard's accepted-record sequence.
+    pub base: u64,
+    /// The accepted values, in absorption order. Always finite: non-finite
+    /// values are rejected at ingest and never reach a log.
+    pub records: Vec<f64>,
+}
+
+impl WalSegment {
+    /// One past the index of the last record this segment covers.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.base + self.records.len() as u64
+    }
+
+    /// Serializes the segment into a self-validating frame.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new(tag::WAL_SEGMENT);
+        w.put_varint(self.shard);
+        w.put_varint(self.base);
+        w.put_usize(self.records.len());
+        for &v in &self.records {
+            w.put_f64(v);
+        }
+        w.finish()
+    }
+
+    /// Decodes a frame produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::CorruptCheckpoint`] on truncation, checksum
+    /// mismatch, a wrong tag, a non-finite record, or an `end` overflowing
+    /// `u64`.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StreamhistError> {
+        let mut r = FrameReader::open(bytes, tag::WAL_SEGMENT)?;
+        let shard = r.get_varint()?;
+        let base = r.get_varint()?;
+        let count = r.get_count(8)?;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            records.push(r.get_f64()?);
+        }
+        r.finish()?;
+        if base.checked_add(records.len() as u64).is_none() {
+            return Err(StreamhistError::CorruptCheckpoint {
+                reason: "WAL segment range overflows the record domain",
+            });
+        }
+        Ok(Self {
+            shard,
+            base,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WalSegment {
+        WalSegment {
+            shard: 3,
+            base: 4096,
+            records: vec![1.5, -2.25, 0.0, 1e12],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let seg = sample();
+        let bytes = seg.encode();
+        let back = WalSegment::decode(&bytes).unwrap();
+        assert_eq!(back, seg);
+        assert_eq!(back.end(), 4100);
+    }
+
+    #[test]
+    fn empty_segment_roundtrips() {
+        let seg = WalSegment {
+            shard: 0,
+            base: 0,
+            records: Vec::new(),
+        };
+        let back = WalSegment::decode(&seg.encode()).unwrap();
+        assert_eq!(back, seg);
+        assert_eq!(back.end(), 0);
+    }
+
+    #[test]
+    fn every_truncation_and_bit_flip_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(WalSegment::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    WalSegment::decode(&flipped).is_err(),
+                    "flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_tag_rejected() {
+        let mut w = FrameWriter::new(tag::FIXED_WINDOW);
+        w.put_varint(0);
+        assert!(WalSegment::decode(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn non_finite_record_rejected() {
+        let mut w = FrameWriter::new(tag::WAL_SEGMENT);
+        w.put_varint(0);
+        w.put_varint(0);
+        w.put_usize(1);
+        w.put_f64(1.0);
+        let mut bytes = w.finish();
+        // Overwrite the record bytes with a NaN pattern and re-seal.
+        let len = bytes.len();
+        bytes[len - 12..len - 4].copy_from_slice(&f64::NAN.to_le_bytes());
+        let crc = crate::checkpoint::crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(WalSegment::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn overflowing_range_rejected() {
+        let mut w = FrameWriter::new(tag::WAL_SEGMENT);
+        w.put_varint(0);
+        w.put_varint(u64::MAX);
+        w.put_usize(1);
+        w.put_f64(1.0);
+        assert!(WalSegment::decode(&w.finish()).is_err());
+    }
+}

@@ -88,12 +88,6 @@ impl FrequencyVector {
         self.total += 1;
     }
 
-    /// Renamed alias kept for source compatibility.
-    #[deprecated(note = "renamed to `push`")]
-    pub fn add(&mut self, v: i64) {
-        self.push(v);
-    }
-
     /// Restores the vector to all-zero counts, keeping the domain.
     pub fn reset(&mut self) {
         self.counts.fill(0);
@@ -146,7 +140,7 @@ impl FrequencyVector {
 /// Vector addition — the one **exact** merge in the workspace: counts,
 /// totals and out-of-range tallies add element-wise, so the merged vector
 /// equals the vector of the concatenated streams bit for bit (DESIGN.md
-/// §6). Both operands must span the identical value domain `[lo, hi]`.
+/// §7). Both operands must span the identical value domain `[lo, hi]`.
 impl MergeableSummary for FrequencyVector {
     fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
         if self.lo != other.lo {
@@ -295,10 +289,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_add_alias_still_counts() {
+    fn push_is_the_single_ingest_entry_point() {
         let mut f = FrequencyVector::new(0, 3);
-        f.add(2);
+        f.push(2);
         assert_eq!(f.count_of(2), 1);
     }
 

@@ -39,11 +39,13 @@
 pub mod expo;
 pub mod http;
 pub mod latency;
+pub mod ratio;
 pub mod registry;
 
 pub use expo::{parse_exposition, ParsedSample};
 pub use http::{read_line_bounded, ExpositionServer, MAX_LINE};
 pub use latency::{LatencyRecorder, LatencySnapshot, LatencySpan};
+pub use ratio::RatioTracker;
 pub use registry::{
     global, Counter, FamilySnapshot, FloatGauge, Gauge, MetricKind, MetricsRegistry, SampleValue,
     SeriesSnapshot,

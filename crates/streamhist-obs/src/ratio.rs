@@ -1,0 +1,123 @@
+//! Derived ratio metrics: a gauge that tracks the quotient of two
+//! counters.
+//!
+//! Several health signals in the workspace are *ratios of monotone
+//! totals* — the flagship one being **checkpoint amplification**, bytes
+//! written to the durable store divided by bytes ingested. Exposing only
+//! the two counters forces every dashboard to re-derive the quotient;
+//! exposing only a gauge loses the underlying totals. [`RatioTracker`]
+//! keeps all three consistent: the counters are the source of truth, and
+//! the gauge is refreshed from them on every update, so a scrape always
+//! sees a quotient consistent with (at worst one update behind) the
+//! totals it ships alongside.
+
+use crate::registry::{Counter, FloatGauge};
+
+/// Two counters plus a [`FloatGauge`] maintained as their quotient.
+///
+/// All three cells are ordinary registry handles, so they can be
+/// registered series (shared with a scrape endpoint) or private cells —
+/// [`RatioTracker::default`] gives an unregistered instance.
+///
+/// The quotient is defined as `0.0` while the denominator is zero (a
+/// just-booted process has amplified nothing, not infinitely).
+#[derive(Debug, Default, Clone)]
+pub struct RatioTracker {
+    numerator: Counter,
+    denominator: Counter,
+    ratio: FloatGauge,
+}
+
+impl RatioTracker {
+    /// Builds a tracker over existing cells (typically registered via
+    /// [`MetricsRegistry`](crate::MetricsRegistry) so the exposition and
+    /// this tracker share atomics).
+    #[must_use]
+    pub fn new(numerator: Counter, denominator: Counter, ratio: FloatGauge) -> Self {
+        let this = Self {
+            numerator,
+            denominator,
+            ratio,
+        };
+        this.refresh();
+        this
+    }
+
+    /// Adds to the numerator and refreshes the gauge.
+    pub fn add_numerator(&self, by: u64) {
+        self.numerator.inc_by(by);
+        self.refresh();
+    }
+
+    /// Adds to the denominator and refreshes the gauge.
+    pub fn add_denominator(&self, by: u64) {
+        self.denominator.inc_by(by);
+        self.refresh();
+    }
+
+    /// Current numerator total.
+    #[must_use]
+    pub fn numerator(&self) -> u64 {
+        self.numerator.get()
+    }
+
+    /// Current denominator total.
+    #[must_use]
+    pub fn denominator(&self) -> u64 {
+        self.denominator.get()
+    }
+
+    /// The quotient, `0.0` while the denominator is zero.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        let den = self.denominator.get();
+        if den == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.numerator.get() as f64 / den as f64
+            }
+        }
+    }
+
+    /// Recomputes the gauge from the counters. Called automatically by the
+    /// `add_*` methods; callers that increment the underlying cells
+    /// directly can refresh explicitly.
+    pub fn refresh(&self) {
+        self.ratio.set(self.ratio());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn quotient_tracks_the_counters() {
+        let t = RatioTracker::default();
+        assert_eq!(t.ratio(), 0.0, "zero denominator reads 0, not NaN/inf");
+        t.add_denominator(1000);
+        t.add_numerator(1500);
+        assert!((t.ratio() - 1.5).abs() < 1e-12);
+        assert_eq!(t.numerator(), 1500);
+        assert_eq!(t.denominator(), 1000);
+    }
+
+    #[test]
+    fn registered_cells_expose_the_same_values() {
+        let reg = MetricsRegistry::new();
+        let t = RatioTracker::new(
+            reg.counter("test_bytes_written_total", "w"),
+            reg.counter("test_bytes_ingested_total", "i"),
+            reg.float_gauge("test_amplification", "ratio"),
+        );
+        t.add_denominator(100);
+        t.add_numerator(250);
+        let text = reg.text_exposition();
+        assert!(text.contains("test_bytes_written_total 250"));
+        assert!(text.contains("test_bytes_ingested_total 100"));
+        assert!(text.contains("test_amplification 2.5"));
+    }
+}

@@ -190,7 +190,7 @@ impl StreamingEquiDepth {
 /// Delegates to the backing [`GkSummary`] merge after checking that both
 /// the bucket budget `b` and the GK tolerance agree; the derived
 /// equi-depth boundaries then inherit the additive GK rank-error bound
-/// (DESIGN.md §6).
+/// (DESIGN.md §7).
 impl MergeableSummary for StreamingEquiDepth {
     fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
         if self.b != other.b {

@@ -107,16 +107,6 @@ impl GkSummary {
         }
     }
 
-    /// Renamed alias kept for source compatibility.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `v` is not finite.
-    #[deprecated(note = "renamed to `push`")]
-    pub fn insert(&mut self, v: f64) {
-        self.push(v);
-    }
-
     /// Restores the summary to empty, keeping the configured `eps`.
     pub fn reset(&mut self) {
         self.n = 0;
@@ -167,7 +157,7 @@ impl GkSummary {
 /// 1`, no widening when no such tuple follows). Since `g + Δ ≤ 2εn` held
 /// in each part, every merged tuple satisfies `g + Δ' ≤ 2ε(n₁ + n₂)`, so
 /// the merged summary answers rank queries within `ε·(n₁ + n₂)` — rank
-/// errors **add** across a merge tree (DESIGN.md §6). A compress pass runs
+/// errors **add** across a merge tree (DESIGN.md §7). A compress pass runs
 /// after the splice to restore the space bound.
 impl MergeableSummary for GkSummary {
     fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
@@ -457,10 +447,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_insert_alias_still_ingests() {
+    fn push_is_the_single_ingest_entry_point() {
         let mut gk = GkSummary::new(0.1);
-        gk.insert(3.0);
+        gk.push(3.0);
         assert_eq!(gk.count(), 1);
     }
 

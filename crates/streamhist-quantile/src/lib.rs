@@ -18,7 +18,7 @@
 //!
 //! All ingesting types implement the workspace-wide
 //! [`StreamSummary`] trait (`try_push`/`push`/`push_batch`/`len`/`reset`);
-//! the former `insert` entry points remain as deprecated aliases.
+//! the former `insert` entry points have been removed in favour of `push`.
 //!
 //! These are *value-domain* synopses: they answer "how many stream values
 //! fall in `[a, b]`", complementing the *index-domain* histograms of

@@ -91,16 +91,6 @@ impl MrlSummary {
         }
     }
 
-    /// Renamed alias kept for source compatibility.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `v` is not finite.
-    #[deprecated(note = "renamed to `push`")]
-    pub fn insert(&mut self, v: f64) {
-        self.push(v);
-    }
-
     /// Restores the summary to empty, keeping the configured `k`.
     pub fn reset(&mut self) {
         self.n = 0;
@@ -193,7 +183,7 @@ impl MrlSummary {
 /// [`StreamhistError::InvalidParameter`] instead of the panic, and the
 /// right-hand side is cloned instead of consumed. Per-level weights are
 /// preserved exactly, so merged rank error stays within the sum of the
-/// parts' bounds (DESIGN.md §6). Note the inherent method shadows the
+/// parts' bounds (DESIGN.md §7). Note the inherent method shadows the
 /// trait's k-way combinator in path syntax — spell that one
 /// `MergeableSummary::merge(&parts)`.
 impl MergeableSummary for MrlSummary {
@@ -493,10 +483,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_insert_alias_still_ingests() {
+    fn push_is_the_single_ingest_entry_point() {
         let mut m = MrlSummary::new(4);
-        m.insert(3.0);
+        m.push(3.0);
         assert_eq!(m.count(), 1);
     }
 

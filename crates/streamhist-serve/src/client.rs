@@ -232,4 +232,16 @@ impl ServeClient {
             _ => Err(ClientError::UnexpectedResponse("a checkpoint report")),
         }
     }
+
+    /// The fleet's durability (WAL / checkpoint-store) status.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn wal_status(&mut self) -> Result<streamhist_stream::WalStatus, ClientError> {
+        match self.call(&Request::WalStatus)? {
+            Response::WalStatus(status) => Ok(status),
+            _ => Err(ClientError::UnexpectedResponse("a wal-status report")),
+        }
+    }
 }

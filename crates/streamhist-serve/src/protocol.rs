@@ -79,6 +79,7 @@ mod verb {
     pub const SHARD_STATS: u8 = 16;
     pub const RESPAWN_SHARD: u8 = 17;
     pub const CHECKPOINT_ALL: u8 = 18;
+    pub const WAL_STATUS: u8 = 19;
 }
 
 /// One client request. Index-domain queries (`RangeSum`/`RangeAvg`/
@@ -140,6 +141,8 @@ pub enum Request {
     },
     /// Admin: checkpoint the whole fleet into the server's save slot.
     CheckpointAll,
+    /// Admin: the fleet's durability (WAL / checkpoint-store) status.
+    WalStatus,
 }
 
 impl Request {
@@ -157,6 +160,7 @@ impl Request {
             Self::ShardStats { .. } => "shard_stats",
             Self::RespawnShard { .. } => "respawn_shard",
             Self::CheckpointAll => "checkpoint_all",
+            Self::WalStatus => "wal_status",
         }
     }
 
@@ -174,6 +178,7 @@ impl Request {
             Self::ShardStats { .. } => verb::SHARD_STATS,
             Self::RespawnShard { .. } => verb::RESPAWN_SHARD,
             Self::CheckpointAll => verb::CHECKPOINT_ALL,
+            Self::WalStatus => verb::WAL_STATUS,
         }
     }
 
@@ -235,6 +240,9 @@ impl Request {
             Self::CheckpointAll => {
                 w.put_u8(verb::CHECKPOINT_ALL);
             }
+            Self::WalStatus => {
+                w.put_u8(verb::WAL_STATUS);
+            }
         }
         w.finish()
     }
@@ -293,6 +301,7 @@ impl Request {
                 shard: r.get_usize().map_err(malformed)?,
             },
             verb::CHECKPOINT_ALL => Self::CheckpointAll,
+            verb::WAL_STATUS => Self::WalStatus,
             other => {
                 return Err(WireError {
                     code: ErrorCode::Unsupported,
@@ -338,6 +347,8 @@ pub enum Response {
         /// Size of the fleet save, in bytes.
         bytes: u64,
     },
+    /// Reply to [`Request::WalStatus`].
+    WalStatus(streamhist_stream::WalStatus),
 }
 
 impl Response {
@@ -380,6 +391,23 @@ impl Response {
                 w.put_u8(verb::CHECKPOINT_ALL);
                 w.put_varint(*bytes);
             }
+            Self::WalStatus(s) => {
+                w.put_u8(verb::WAL_STATUS);
+                w.put_u8(u8::from(s.enabled));
+                w.put_varint(s.wal_sync);
+                w.put_varint(s.checkpoint_interval);
+                w.put_varint(s.segments_written);
+                w.put_varint(s.segment_bytes);
+                w.put_varint(s.frames_written);
+                w.put_varint(s.frame_bytes);
+                w.put_varint(s.bytes_ingested);
+                w.put_varint(s.bytes_written);
+                w.put_f64(s.amplification);
+                w.put_varint(s.retries);
+                w.put_varint(s.failures);
+                w.put_varint(s.segments_dropped);
+                w.put_varint(s.queue_depth);
+            }
         }
         w.finish()
     }
@@ -416,6 +444,30 @@ impl Response {
             verb::CHECKPOINT_ALL => Self::Checkpointed {
                 bytes: r.get_varint()?,
             },
+            verb::WAL_STATUS => {
+                let enabled_byte = r.get_u8()?;
+                if enabled_byte > 1 {
+                    return Err(StreamhistError::CorruptCheckpoint {
+                        reason: "wal-status enabled byte out of range",
+                    });
+                }
+                Self::WalStatus(streamhist_stream::WalStatus {
+                    enabled: enabled_byte == 1,
+                    wal_sync: r.get_varint()?,
+                    checkpoint_interval: r.get_varint()?,
+                    segments_written: r.get_varint()?,
+                    segment_bytes: r.get_varint()?,
+                    frames_written: r.get_varint()?,
+                    frame_bytes: r.get_varint()?,
+                    bytes_ingested: r.get_varint()?,
+                    bytes_written: r.get_varint()?,
+                    amplification: r.get_f64()?,
+                    retries: r.get_varint()?,
+                    failures: r.get_varint()?,
+                    segments_dropped: r.get_varint()?,
+                    queue_depth: r.get_varint()?,
+                })
+            }
             v if (verb::RANGE_SUM..=verb::SELECTIVITY).contains(&v) => Self::Scalar {
                 verb: v,
                 value: r.get_f64()?,
@@ -653,6 +705,7 @@ mod tests {
             Request::ShardStats { shard: 2 },
             Request::RespawnShard { shard: 0 },
             Request::CheckpointAll,
+            Request::WalStatus,
         ]
     }
 
@@ -692,10 +745,36 @@ mod tests {
                 lost_since_checkpoint: 3,
             },
             Response::Checkpointed { bytes: 4096 },
+            Response::WalStatus(streamhist_stream::WalStatus::default()),
+            Response::WalStatus(streamhist_stream::WalStatus {
+                enabled: true,
+                wal_sync: 64,
+                checkpoint_interval: 1024,
+                segments_written: 11,
+                segment_bytes: 6000,
+                frames_written: 2,
+                frame_bytes: 900,
+                bytes_ingested: 5632,
+                bytes_written: 6900,
+                amplification: 1.225,
+                retries: 3,
+                failures: 1,
+                segments_dropped: 2,
+                queue_depth: 4,
+            }),
         ] {
             let frame = resp.encode();
             assert_eq!(Response::decode(&frame).unwrap(), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn wal_status_enabled_byte_is_validated() {
+        let mut w = FrameWriter::new(tag::SERVE_RESPONSE);
+        w.put_u8(verb::WAL_STATUS);
+        w.put_u8(7); // not a bool
+        let frame = w.finish();
+        assert!(Response::decode(&frame).is_err());
     }
 
     #[test]

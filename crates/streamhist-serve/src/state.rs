@@ -302,6 +302,7 @@ impl ServeState {
                 *self.save.lock().unwrap_or_else(PoisonError::into_inner) = Some(bytes);
                 Ok(Response::Checkpointed { bytes: len })
             }
+            Request::WalStatus => Ok(Response::WalStatus(self.fleet.wal_status())),
             // as_query() handled these above.
             Request::RangeSum { .. }
             | Request::RangeAvg { .. }
@@ -472,6 +473,13 @@ mod tests {
         }
         match state.answer(&Request::RespawnShard { shard: 1 }).unwrap() {
             Response::Respawned { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match state.answer(&Request::WalStatus).unwrap() {
+            Response::WalStatus(status) => {
+                assert!(!status.enabled, "test fleet has no durability pipeline");
+                assert_eq!(status.segments_written, 0);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

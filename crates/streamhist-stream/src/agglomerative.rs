@@ -196,17 +196,6 @@ impl AgglomerativeHistogram {
         self.totals.len() == 0
     }
 
-    /// Current interval-queue lengths per level (`B−1` entries) — the
-    /// space diagnostic bounded by `O((1/δ) log n)` per level.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `kernel_stats().queue_sizes` — one stats record carries every kernel diagnostic"
-    )]
-    #[must_use]
-    pub fn queue_sizes(&self) -> Vec<usize> {
-        self.kernel.queue_sizes()
-    }
-
     /// Cumulative kernel diagnostics since creation: queue sizes, `HERROR`
     /// evaluations, arena occupancy/peak and compactions, and the current
     /// `HERROR` estimate. (`binary_searches` and `rebases` are always 0 in
@@ -214,18 +203,6 @@ impl AgglomerativeHistogram {
     #[must_use]
     pub fn kernel_stats(&self) -> KernelStats {
         self.kernel.stats(0)
-    }
-
-    /// The maintained estimate of `HERROR[n, B]`: the SSE the returned
-    /// histogram approximately achieves (within `(1+ε)` of optimal).
-    /// Returns 0 for an empty stream.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `kernel_stats().herror` — one stats record carries every kernel diagnostic"
-    )]
-    #[must_use]
-    pub fn sse_estimate(&self) -> f64 {
-        self.kernel.top.as_ref().map_or(0.0, |(h, _)| *h)
     }
 
     /// Consumes one stream point, or rejects it if it is not finite
@@ -482,13 +459,12 @@ mod tests {
         let data: Vec<f64> = (0..300).map(|i| ((i * 31) % 19) as f64).collect();
         let agg = AgglomerativeHistogram::from_slice(&data, 4, 0.1);
         let stats = agg.kernel_stats();
-        // Equivalence pin for the deprecated free-standing getters: they
-        // must keep mirroring the stats record for as long as they exist.
-        #[allow(deprecated)]
-        {
-            assert_eq!(stats.queue_sizes, agg.queue_sizes());
-            assert_eq!(stats.herror, agg.sse_estimate());
-        }
+        // The stats record is the one home for the kernel diagnostics the
+        // removed free-standing getters used to mirror: per-level queue
+        // sizes and the maintained HERROR estimate.
+        assert_eq!(stats.queue_sizes.len(), 3, "B-1 interval-queue levels");
+        assert!(stats.queue_sizes.iter().all(|&q| q > 0));
+        assert!(stats.herror >= 0.0 && stats.herror.is_finite());
         // One HERROR evaluation per level k >= 2 per push.
         assert_eq!(stats.herror_evals, data.len() * 3);
         assert_eq!(stats.binary_searches, 0);

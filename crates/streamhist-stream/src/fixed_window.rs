@@ -31,16 +31,6 @@ use streamhist_core::{
     BatchOutcome, Histogram, MergeableSummary, SlidingPrefixSums, StreamSummary, StreamhistError,
 };
 
-/// Diagnostics from one histogram materialization.
-///
-/// Alias retained from before the shared-kernel refactor; new code should
-/// name [`KernelStats`] directly.
-#[deprecated(
-    since = "0.1.0",
-    note = "name `KernelStats` directly; the alias predates the shared-kernel refactor"
-)]
-pub type BuildStats = KernelStats;
-
 /// Sliding-window `(1+ε)`-approximate V-optimal histogram over the last
 /// `n` stream points (paper §4.5).
 ///
@@ -436,7 +426,7 @@ impl FixedWindowHistogram {
 /// The merged window holds the operands' *approximations*, not their raw
 /// points, so the global SSE picks up the gather term `G = Σ SSE(ĥᵢ,
 /// windowᵢ)` on top of the kernel's `(1+ε)` factor — the bound is proved
-/// in DESIGN.md §6.
+/// in DESIGN.md §7.
 ///
 /// `b`, `eps` and `delta` must agree pairwise; capacities may differ
 /// (folding grows them), but the k-way

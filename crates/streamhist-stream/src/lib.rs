@@ -68,6 +68,7 @@
 pub mod agglomerative;
 mod arena;
 pub mod baseline;
+pub mod durability;
 pub mod fixed_window;
 mod kernel;
 pub mod merge;
@@ -78,8 +79,7 @@ pub mod time_window;
 
 pub use agglomerative::{AgglomerativeBuilder, AgglomerativeHistogram};
 pub use baseline::{NaiveSlidingWindow, NaiveSlidingWindowBuilder};
-#[allow(deprecated)]
-pub use fixed_window::BuildStats;
+pub use durability::{DurabilityOptions, WalStatus};
 pub use fixed_window::{FixedWindowBuilder, FixedWindowHistogram};
 pub use kernel::KernelStats;
 pub use merge::merge_histograms;

@@ -9,7 +9,7 @@
 //! gathered fleet-global snapshot has the same shape and budget as any
 //! per-shard one.
 //!
-//! # Error composition (proved in DESIGN.md §6)
+//! # Error composition (proved in DESIGN.md §7)
 //!
 //! Let `u` be the true concatenated window, `ĥᵢ` the per-part histograms
 //! with gather term `G = Σᵢ SSE(ĥᵢ, partᵢ)`, and `h` the merged output.

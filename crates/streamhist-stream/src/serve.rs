@@ -195,6 +195,33 @@ impl FleetHandle {
         self.write().restore_all(&mut io::Cursor::new(bytes))
     }
 
+    /// Saves every shard's summary straight into a durable store
+    /// (see [`ShardedFixedWindow::save_to_store`]).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] as [`ShardedFixedWindow::save_to_store`].
+    pub fn save_to_store(&self, store: &dyn streamhist_core::CheckpointStore) -> io::Result<u64> {
+        self.read().save_to_store(store)
+    }
+
+    /// Rebuilds every shard from a durable store under the write lock
+    /// (see [`ShardedFixedWindow::load_from_store`]); all-or-nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] as [`ShardedFixedWindow::load_from_store`].
+    pub fn load_from_store(&self, store: &dyn streamhist_core::CheckpointStore) -> io::Result<()> {
+        self.write().load_from_store(store)
+    }
+
+    /// The fleet's durability status
+    /// (see [`ShardedFixedWindow::wal_status`]).
+    #[must_use]
+    pub fn wal_status(&self) -> crate::durability::WalStatus {
+        self.read().wal_status()
+    }
+
     /// Fault injection passthrough for resilience tests
     /// (see [`ShardedFixedWindow::inject_worker_panic`]).
     ///

@@ -53,6 +53,9 @@
 //! Routing is a fixed key hash ([`shard_of`](ShardedFixedWindow::shard_of));
 //! re-sharding and replication remain out of scope.
 
+use crate::durability::{
+    recover_shard, DurabilityOptions, FleetDurability, ShardWal, WalMetricsInner, WalStatus,
+};
 use crate::fixed_window::FixedWindowHistogram;
 use crate::kernel::{KernelStats, SnapshotCache};
 use crate::merge::merge_histograms;
@@ -62,7 +65,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use streamhist_core::{Checkpoint, Histogram, StreamhistError};
+use streamhist_core::{Checkpoint, CheckpointStore, Histogram, StreamhistError};
 use streamhist_obs::{Counter, Gauge, MetricsRegistry};
 
 #[cfg(feature = "obs")]
@@ -424,9 +427,11 @@ enum Cmd {
     /// generation the global snapshot cache keys by).
     Snapshot(Sender<(Arc<Histogram>, KernelStats, u64)>),
     /// Take a checkpoint right now (after everything queued before it) and
-    /// reply with the encoded frame — the building block of
-    /// [`ShardedFixedWindow::checkpoint_all`].
-    Checkpoint(Sender<Vec<u8>>),
+    /// reply with the encoded frame plus the summary's `total_pushed` (the
+    /// frame's store sequence number) — the building block of
+    /// [`ShardedFixedWindow::checkpoint_all`] and
+    /// [`ShardedFixedWindow::save_to_store`].
+    Checkpoint(Sender<(Vec<u8>, u64)>),
     /// Fault injection: the worker panics on receipt (see
     /// [`ShardedFixedWindow::inject_worker_panic`]).
     InjectPanic,
@@ -448,6 +453,13 @@ struct Shard {
     handle: Option<JoinHandle<FixedWindowHistogram>>,
     metrics: Arc<MetricsInner>,
     checkpoint: Arc<Mutex<CheckpointSlot>>,
+    /// `pushes_accepted` at the current worker's install minus its seed
+    /// summary's `total_pushed`: translates between the cumulative metric
+    /// domain (which counts records lost in earlier epochs) and the
+    /// summary/WAL `total_pushed` domain. Signed because a store-backed
+    /// load into a fresh fleet can seed a summary *larger* than the
+    /// metric. Written only under `&mut self` (`install_worker`).
+    epoch_offset: i64,
 }
 
 /// `K` independent [`FixedWindowHistogram`]s, each owned by a dedicated
@@ -501,6 +513,11 @@ pub struct ShardedFixedWindow {
     /// [`global_generation`](Self::global_generation).
     global_cache: SnapshotCache,
     merge_metrics: MergeMetricsInner,
+    /// The durability pipeline, when the fleet was built with
+    /// [`durability`](ShardedFixedWindowBuilder::durability). Declared
+    /// after `shards` so workers (which hold uploader handles) shut down
+    /// before the uploader is joined.
+    durability: Option<FleetDurability>,
 }
 
 impl ShardedFixedWindow {
@@ -560,20 +577,30 @@ impl ShardedFixedWindow {
             registry: None,
             fleet: None,
             gather_fanout: None,
+            durability: None,
         }
     }
 
     /// Spawns one worker owning `fw` (a fresh, drained, or
     /// checkpoint-restored summary — the caller decides). The worker
-    /// auto-checkpoints into `slot` every
-    /// [`ShardedOptions::checkpoint_interval`] accepted records.
+    /// auto-checkpoints into `slot` every checkpoint interval's worth of
+    /// accepted records; with durability configured (`wal` is `Some`) it
+    /// additionally logs every accepted record to the WAL and ships each
+    /// interval frame to the store, and the interval comes from
+    /// [`DurabilityOptions::checkpoint_interval`].
     fn spawn_worker(
         &self,
         mut fw: FixedWindowHistogram,
         metrics: Arc<MetricsInner>,
         slot: Arc<Mutex<CheckpointSlot>>,
+        mut wal: Option<ShardWal>,
     ) -> (SyncSender<Envelope>, JoinHandle<FixedWindowHistogram>) {
-        let interval = self.options.checkpoint_interval;
+        let interval = self
+            .durability
+            .as_ref()
+            .map_or(self.options.checkpoint_interval, |d| {
+                d.options.checkpoint_interval
+            });
         let (tx, rx) = sync_channel::<Envelope>(self.options.queue_capacity);
         let handle = std::thread::spawn(move || {
             let mut since_checkpoint = 0usize;
@@ -588,6 +615,9 @@ impl ShardedFixedWindow {
                         Ok(()) => {
                             metrics.pushes_accepted.inc();
                             since_checkpoint += 1;
+                            if let Some(w) = wal.as_mut() {
+                                w.record(v);
+                            }
                         }
                         Err(_) => {
                             metrics.values_rejected.inc();
@@ -601,6 +631,11 @@ impl ShardedFixedWindow {
                         if out.accepted > 0 {
                             metrics.pushes_accepted.inc_by(out.accepted as u64);
                             since_checkpoint += out.accepted;
+                            if let Some(w) = wal.as_mut() {
+                                // The WAL logs exactly what the summary
+                                // accepted: the finite values, in order.
+                                w.record_batch(&vs);
+                            }
                         }
                         if out.rejected > 0 {
                             metrics.values_rejected.inc_by(out.rejected as u64);
@@ -616,13 +651,19 @@ impl ShardedFixedWindow {
                     Cmd::Checkpoint(reply) => {
                         let frame = checkpoint_now(&fw, &metrics, &slot);
                         since_checkpoint = 0;
-                        let _ = reply.send(frame);
+                        if let Some(w) = wal.as_mut() {
+                            w.on_frame(fw.total_pushed(), frame.clone());
+                        }
+                        let _ = reply.send((frame, fw.total_pushed()));
                     }
                     Cmd::InjectPanic => panic!("injected shard worker panic (fault injection)"),
                 }
                 if since_checkpoint >= interval {
-                    let _ = checkpoint_now(&fw, &metrics, &slot);
+                    let frame = checkpoint_now(&fw, &metrics, &slot);
                     since_checkpoint = 0;
+                    if let Some(w) = wal.as_mut() {
+                        w.on_frame(fw.total_pushed(), frame);
+                    }
                 }
             }
             // Channel closed: hand the summary back to `join`/`respawn`.
@@ -873,7 +914,7 @@ impl ShardedFixedWindow {
     /// flush). The returned [`KernelStats`] carry the final merge's state
     /// with work counters accumulated across every merge stage.
     ///
-    /// The merged histogram obeys the DESIGN.md §6 gather bound:
+    /// The merged histogram obeys the DESIGN.md §7 gather bound:
     /// `√SSE ≤ √G + √(1+ε)·(√G + √OPT_B)` over the concatenated fleet
     /// window, where `G` is the summed per-shard SSE (each extra tree
     /// level in fanout mode composes the bound once more).
@@ -1035,10 +1076,25 @@ impl ShardedFixedWindow {
             frame,
             accepted_at: accepted,
         };
-        let (sender, handle) = self.spawn_worker(seed, Arc::clone(&metrics), slot);
+        // Re-anchor the metric-domain ↔ summary-domain translation: from
+        // here on, `accepted - (epoch_offset + total_pushed)` counts
+        // exactly the records accepted by dead workers and never made
+        // durable.
+        #[allow(clippy::cast_possible_wrap)]
+        {
+            self.shards[shard].epoch_offset = accepted as i64 - seed.total_pushed() as i64;
+        }
+        let wal = self.shard_wal(shard, seed.total_pushed());
+        let (sender, handle) = self.spawn_worker(seed, Arc::clone(&metrics), slot, wal);
         self.shards[shard].sender = sender;
         self.shards[shard].handle = Some(handle);
         metrics.queue_depth.set(0);
+    }
+
+    /// A fresh per-shard WAL buffer starting at sequence `base`, or `None`
+    /// when the fleet has no durability pipeline.
+    fn shard_wal(&self, shard: usize, base: u64) -> Option<ShardWal> {
+        self.durability.as_ref().map(|d| d.shard_wal(shard, base))
     }
 
     /// Replaces shard `shard`'s worker, restoring service on that index
@@ -1081,36 +1137,40 @@ impl ShardedFixedWindow {
                 // read would undercount the loss. Post-join both the
                 // counter and the slot are frozen.
                 let accepted = metrics.pushes_accepted.get();
-                let slot = Arc::clone(&self.shards[shard].checkpoint);
-                let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
-                let accepted_at = guard.accepted_at;
-                #[cfg(feature = "obs")]
-                let restore_start = metrics.timing.as_ref().map(|_| Instant::now());
-                let decoded = FixedWindowHistogram::restore(&guard.frame);
-                #[cfg(feature = "obs")]
-                if let (Some(t), Some(start)) = (&metrics.timing, restore_start) {
-                    t.restore.record(start.elapsed());
-                }
-                drop(guard);
-                let lost_since_checkpoint = accepted.saturating_sub(accepted_at);
-                match decoded {
-                    Ok(fw) => {
-                        metrics.restores.inc();
-                        let report = RecoveryReport {
-                            restored_len: fw.total_pushed(),
-                            lost_since_checkpoint,
-                        };
-                        (fw, report)
+                if let Some(recovered) = self.recover_from_store(shard, accepted) {
+                    recovered
+                } else {
+                    let slot = Arc::clone(&self.shards[shard].checkpoint);
+                    let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                    let accepted_at = guard.accepted_at;
+                    #[cfg(feature = "obs")]
+                    let restore_start = metrics.timing.as_ref().map(|_| Instant::now());
+                    let decoded = FixedWindowHistogram::restore(&guard.frame);
+                    #[cfg(feature = "obs")]
+                    if let (Some(t), Some(start)) = (&metrics.timing, restore_start) {
+                        t.restore.record(start.elapsed());
                     }
-                    // Unreachable through this module's own frames, but a
-                    // corrupt slot must degrade to an empty shard, not a
-                    // panic.
-                    Err(_) => {
-                        let report = RecoveryReport {
-                            restored_len: 0,
-                            lost_since_checkpoint,
-                        };
-                        (self.fresh_summary(), report)
+                    drop(guard);
+                    let lost_since_checkpoint = accepted.saturating_sub(accepted_at);
+                    match decoded {
+                        Ok(fw) => {
+                            metrics.restores.inc();
+                            let report = RecoveryReport {
+                                restored_len: fw.total_pushed(),
+                                lost_since_checkpoint,
+                            };
+                            (fw, report)
+                        }
+                        // Unreachable through this module's own frames, but a
+                        // corrupt slot must degrade to an empty shard, not a
+                        // panic.
+                        Err(_) => {
+                            let report = RecoveryReport {
+                                restored_len: 0,
+                                lost_since_checkpoint,
+                            };
+                            (self.fresh_summary(), report)
+                        }
                     }
                 }
             }
@@ -1119,6 +1179,44 @@ impl ShardedFixedWindow {
         self.install_worker(shard, seed, frame);
         metrics.respawns.inc();
         report
+    }
+
+    /// Durability-backed dead-shard recovery: flush the uploader so every
+    /// WAL segment the dead worker shipped is in the store, then rebuild
+    /// the summary from the newest frame plus its WAL tail. Returns `None`
+    /// when the fleet has no durability pipeline or the store itself is
+    /// unreadable (the caller falls back to the in-memory slot). Loss is
+    /// exact: the records the dead worker accepted (metric domain) minus
+    /// those the recovered summary holds (translated via the shard's
+    /// epoch offset) — zero for every record synced before the crash.
+    fn recover_from_store(
+        &self,
+        shard: usize,
+        accepted: u64,
+    ) -> Option<(FixedWindowHistogram, RecoveryReport)> {
+        let d = self.durability.as_ref()?;
+        d.flush();
+        let metrics = &self.shards[shard].metrics;
+        #[cfg(feature = "obs")]
+        let restore_start = metrics.timing.as_ref().map(|_| Instant::now());
+        let fresh = self.fresh_summary();
+        let fw = recover_shard(d.options.store.as_ref(), shard, &d.metrics.retries, || {
+            fresh
+        })
+        .ok()?;
+        #[cfg(feature = "obs")]
+        if let (Some(t), Some(start)) = (&metrics.timing, restore_start) {
+            t.restore.record(start.elapsed());
+        }
+        metrics.restores.inc();
+        #[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+        let lost = (accepted as i64 - (self.shards[shard].epoch_offset + fw.total_pushed() as i64))
+            .max(0) as u64;
+        let report = RecoveryReport {
+            restored_len: fw.total_pushed(),
+            lost_since_checkpoint: lost,
+        };
+        Some((fw, report))
     }
 
     /// Saves the whole fleet to `sink`: a checkpoint of every shard's
@@ -1145,7 +1243,7 @@ impl ShardedFixedWindow {
                 s.metrics.queue_depth.dec();
                 return Err(io::Error::other(ShardError { shard }));
             }
-            let frame = reply_rx
+            let (frame, _total) = reply_rx
                 .recv()
                 .map_err(|_| io::Error::other(ShardError { shard }))?;
             frames.push(frame);
@@ -1219,12 +1317,123 @@ impl ShardedFixedWindow {
             }
             restored.push((frame, fw));
         }
+        // With durability, the restored state must become the store's
+        // canonical anchor too: ship each frame and truncate away any
+        // stale higher-sequence objects a pre-restore run left behind, or
+        // a later crash recovery would resurrect the overwritten state.
+        let anchors: Vec<(usize, u64, Vec<u8>)> = if self.durability.is_some() {
+            restored
+                .iter()
+                .enumerate()
+                .map(|(shard, (frame, fw))| (shard, fw.total_pushed(), frame.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         for (shard, (frame, fw)) in restored.into_iter().enumerate() {
             let _ = self.retire_worker(shard);
             self.install_worker(shard, fw, frame);
             self.shards[shard].metrics.restores.inc();
         }
+        if let Some(d) = &self.durability {
+            let handle = d.handle();
+            for (shard, seq, frame) in anchors {
+                handle.send_frame(shard, seq, frame);
+            }
+            handle.flush();
+        }
         Ok(())
+    }
+
+    /// Saves every shard's current summary straight into `store` as one
+    /// checkpoint frame per shard, each taken behind the same per-shard
+    /// barrier as [`checkpoint_all`](Self::checkpoint_all), then truncates
+    /// each shard's WAL up to the saved frame (the frame supersedes the
+    /// log). Unlike the sink-based save this addresses frames by shard and
+    /// sequence number, so a later [`load_from_store`](Self::load_from_store)
+    /// — or a durability-enabled fleet's own crash recovery — picks up
+    /// exactly these frames. Returns the total frame bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] wrapping [`ShardError`] if a worker has died, or
+    /// wrapping the [`StoreError`](streamhist_core::StoreError) if the
+    /// store rejects a write.
+    pub fn save_to_store(&self, store: &dyn CheckpointStore) -> io::Result<u64> {
+        let mut written = 0u64;
+        for (shard, s) in self.shards.iter().enumerate() {
+            let (reply_tx, reply_rx) = channel();
+            let env = s.metrics.envelope(Cmd::Checkpoint(reply_tx));
+            s.metrics.queue_depth.inc();
+            if s.sender.send(env).is_err() {
+                s.metrics.queue_depth.dec();
+                return Err(io::Error::other(ShardError { shard }));
+            }
+            let (frame, total) = reply_rx
+                .recv()
+                .map_err(|_| io::Error::other(ShardError { shard }))?;
+            store
+                .put_frame(shard, total, &frame)
+                .map_err(io::Error::other)?;
+            store.truncate(shard, total).map_err(io::Error::other)?;
+            written += frame.len() as u64;
+        }
+        Ok(written)
+    }
+
+    /// Rebuilds every shard from `store`: newest checkpoint frame plus WAL
+    /// replay per shard, via the same recovery path a durability-enabled
+    /// fleet uses after a crash ([`respawn_shard`](Self::respawn_shard)).
+    /// A shard with no objects in the store restarts empty. The load is
+    /// all-or-nothing: every shard's state is recovered and validated
+    /// before any worker is replaced, so a corrupt store leaves the fleet
+    /// untouched. Each recovered shard's `restores` counter increments.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] wrapping the
+    /// [`StoreError`](streamhist_core::StoreError) if a frame or WAL
+    /// segment fails validation.
+    pub fn load_from_store(&mut self, store: &dyn CheckpointStore) -> io::Result<()> {
+        let retries = self
+            .durability
+            .as_ref()
+            .map(|d| d.metrics.retries.clone())
+            .unwrap_or_default();
+        let mut recovered = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            let fresh = self.fresh_summary();
+            let fw = recover_shard(store, shard, &retries, || fresh)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            recovered.push(fw);
+        }
+        for (shard, fw) in recovered.into_iter().enumerate() {
+            let _ = self.retire_worker(shard);
+            let frame = fw.encode_checkpoint();
+            self.install_worker(shard, fw, frame);
+            self.shards[shard].metrics.restores.inc();
+        }
+        Ok(())
+    }
+
+    /// The fleet's durability status: WAL/frame counters, checkpoint
+    /// amplification, uploader retry/failure totals, and the configured
+    /// knobs. A fleet built without
+    /// [`durability`](ShardedFixedWindowBuilder::durability) reports the
+    /// all-zero default with `enabled == false`.
+    #[must_use]
+    pub fn wal_status(&self) -> WalStatus {
+        self.durability
+            .as_ref()
+            .map_or_else(WalStatus::default, |d| d.metrics.status(&d.options))
+    }
+
+    /// Blocks until every durability upload enqueued so far has been
+    /// written to the store (a WAL barrier). No-op without durability.
+    pub fn flush_wal(&self) {
+        if let Some(d) = &self.durability {
+            d.flush();
+        }
     }
 
     /// Shuts the workers down and returns the shard summaries, in shard
@@ -1259,6 +1468,7 @@ pub struct ShardedFixedWindowBuilder {
     registry: Option<Arc<MetricsRegistry>>,
     fleet: Option<String>,
     gather_fanout: Option<usize>,
+    durability: Option<DurabilityOptions>,
 }
 
 impl ShardedFixedWindowBuilder {
@@ -1318,12 +1528,32 @@ impl ShardedFixedWindowBuilder {
     /// re-optimizes to `B` buckets, so the tree bounds each merge's input
     /// to `fanout · B` buckets regardless of fleet width — the flat gather
     /// re-optimizes over all `K · B` at once. The extra level composes the
-    /// DESIGN.md §6 error bound one more time (a wider but still bounded
+    /// DESIGN.md §7 error bound one more time (a wider but still bounded
     /// gather term). Must be at least 2; fleets no wider than `fanout`
     /// gather flat.
     #[must_use]
     pub fn gather_fanout(mut self, fanout: usize) -> Self {
         self.gather_fanout = Some(fanout);
+        self
+    }
+
+    /// Enables incremental durability: every accepted record is appended
+    /// to a per-shard write-ahead log shipped to
+    /// [`DurabilityOptions::store`] as CRC-framed segments of
+    /// [`wal_sync`](DurabilityOptions::wal_sync) records, a full
+    /// checkpoint frame is cut every
+    /// [`checkpoint_interval`](DurabilityOptions::checkpoint_interval)
+    /// accepted records (after which the covered log is truncated), and
+    /// [`respawn_shard`](ShardedFixedWindow::respawn_shard) recovers a
+    /// dead shard from the newest frame plus WAL replay — bit-identical
+    /// to a summary that ingested the same prefix directly, with
+    /// `lost_since_checkpoint == 0` for every synced record. With
+    /// durability configured, the auto-checkpoint interval comes from
+    /// these options, not
+    /// [`checkpoint_interval`](Self::checkpoint_interval).
+    #[must_use]
+    pub fn durability(mut self, options: DurabilityOptions) -> Self {
+        self.durability = Some(options);
         self
     }
 
@@ -1359,6 +1589,26 @@ impl ShardedFixedWindowBuilder {
                 message: "aggregation-tree fanout must be at least 2",
             });
         }
+        if let Some(d) = &self.durability {
+            if d.wal_sync == 0 {
+                return Err(StreamhistError::InvalidParameter {
+                    param: "wal_sync",
+                    message: "WAL sync interval must be positive",
+                });
+            }
+            if d.checkpoint_interval == 0 {
+                return Err(StreamhistError::InvalidParameter {
+                    param: "durability.checkpoint_interval",
+                    message: "checkpoint interval must be positive",
+                });
+            }
+            if d.upload_queue_capacity == 0 {
+                return Err(StreamhistError::InvalidParameter {
+                    param: "upload_queue_capacity",
+                    message: "upload queue capacity must be positive",
+                });
+            }
+        }
         // Validate the per-shard summary parameters on the caller's thread
         // so bad configs fail here, not inside a silently-dead worker.
         drop(FixedWindowHistogram::builder(self.capacity, self.b, self.eps).build()?);
@@ -1381,6 +1631,13 @@ impl ShardedFixedWindowBuilder {
             (Some(reg), Some(fleet)) => MergeMetricsInner::registered(reg, fleet),
             _ => MergeMetricsInner::default(),
         };
+        let durability = self.durability.map(|opts| {
+            let wal_metrics = match (&self.registry, &fleet_label) {
+                (Some(reg), Some(fleet)) => Arc::new(WalMetricsInner::registered(reg, fleet)),
+                _ => Arc::new(WalMetricsInner::default()),
+            };
+            FleetDurability::new(opts, wal_metrics)
+        });
         let mut this = ShardedFixedWindow {
             shards: Vec::with_capacity(self.shards),
             capacity: self.capacity,
@@ -1391,6 +1648,7 @@ impl ShardedFixedWindowBuilder {
             gather_fanout: self.gather_fanout,
             global_cache: SnapshotCache::default(),
             merge_metrics,
+            durability,
         };
         for shard in 0..self.shards {
             #[allow(unused_mut)]
@@ -1408,12 +1666,15 @@ impl ShardedFixedWindowBuilder {
                 frame: fw.encode_checkpoint(),
                 accepted_at: 0,
             }));
-            let (sender, handle) = this.spawn_worker(fw, Arc::clone(&metrics), Arc::clone(&slot));
+            let wal = this.shard_wal(shard, 0);
+            let (sender, handle) =
+                this.spawn_worker(fw, Arc::clone(&metrics), Arc::clone(&slot), wal);
             this.shards.push(Shard {
                 sender,
                 handle: Some(handle),
                 metrics,
                 checkpoint: slot,
+                epoch_offset: 0,
             });
         }
         Ok(this)
@@ -2046,5 +2307,184 @@ mod tests {
         let mut sink = Vec::new();
         assert!(sharded.checkpoint_all(&mut sink).is_err());
         let _ = sharded.join();
+    }
+
+    fn durable_fleet(
+        shards: usize,
+        store: Arc<streamhist_core::MemStore>,
+        wal_sync: usize,
+        interval: usize,
+    ) -> ShardedFixedWindow {
+        ShardedFixedWindow::builder(shards, 32, 2, 0.5)
+            .durability(
+                DurabilityOptions::new(store)
+                    .wal_sync(wal_sync)
+                    .checkpoint_interval(interval),
+            )
+            .build()
+            .expect("valid durable fleet")
+    }
+
+    #[test]
+    fn builder_validates_durability_knobs() {
+        let store = Arc::new(streamhist_core::MemStore::new());
+        for bad in [
+            DurabilityOptions::new(Arc::clone(&store) as _).wal_sync(0),
+            DurabilityOptions::new(Arc::clone(&store) as _).checkpoint_interval(0),
+            DurabilityOptions::new(Arc::clone(&store) as _).upload_queue_capacity(0),
+        ] {
+            assert!(ShardedFixedWindow::builder(1, 8, 2, 0.5)
+                .durability(bad)
+                .build()
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn wal_status_reports_progress_and_defaults_off() {
+        let plain = ShardedFixedWindow::new(1, 8, 2, 0.5);
+        assert!(!plain.wal_status().enabled);
+        let _ = plain.join();
+
+        let store = Arc::new(streamhist_core::MemStore::new());
+        let sharded = durable_fleet(1, Arc::clone(&store), 4, 8);
+        sharded
+            .push_batch(0, (0..10).map(f64::from).collect())
+            .expect("alive");
+        let _ = sharded.snapshot(0).expect("barrier");
+        sharded.flush_wal();
+        let status = sharded.wal_status();
+        assert!(status.enabled);
+        assert_eq!(status.wal_sync, 4);
+        assert_eq!(status.checkpoint_interval, 8);
+        assert_eq!(status.bytes_ingested, 80, "10 records × 8 bytes");
+        assert!(status.segments_written >= 2, "two full 4-record segments");
+        assert!(status.frames_written >= 1, "interval of 8 was crossed");
+        assert!(status.amplification > 0.0);
+        assert_eq!(status.failures, 0);
+        let _ = sharded.join();
+    }
+
+    #[test]
+    fn dead_worker_recovers_from_the_store_with_zero_loss_for_synced_records() {
+        let store = Arc::new(streamhist_core::MemStore::new());
+        let mut sharded = durable_fleet(1, Arc::clone(&store), 4, 1024);
+        // 8 records = two full WAL segments, no frame yet (interval 1024).
+        sharded
+            .push_batch(0, (0..8).map(f64::from).collect())
+            .expect("alive");
+        let _ = sharded.snapshot(0).expect("barrier quiesces the shard");
+        sharded.inject_worker_panic(0).expect("delivered");
+        assert_eq!(sharded.snapshot(0), Err(ShardError { shard: 0 }));
+        let report = sharded.respawn_shard(0);
+        assert_eq!(
+            report,
+            RecoveryReport {
+                restored_len: 8,
+                lost_since_checkpoint: 0,
+            },
+            "every record was synced to the WAL before the crash"
+        );
+        let m = sharded.metrics(0);
+        assert_eq!(m.restores, 1);
+        // The recovered summary is bit-identical to a never-crashed one.
+        let mut reference = FixedWindowHistogram::new(32, 2, 0.5);
+        for v in 0..8 {
+            reference.push(f64::from(v));
+        }
+        let summaries = joined_ok(sharded);
+        assert_eq!(
+            summaries[0].encode_checkpoint(),
+            reference.encode_checkpoint()
+        );
+    }
+
+    #[test]
+    fn dead_worker_loss_accounting_is_exact_for_unsynced_tail() {
+        let store = Arc::new(streamhist_core::MemStore::new());
+        let mut sharded = durable_fleet(1, Arc::clone(&store), 4, 1024);
+        // 10 records: segments cover [0,8); the 2-record tail is only in
+        // the dead worker's buffer and must be reported lost.
+        sharded
+            .push_batch(0, (0..10).map(f64::from).collect())
+            .expect("alive");
+        let _ = sharded.snapshot(0).expect("barrier");
+        sharded.inject_worker_panic(0).expect("delivered");
+        assert_eq!(sharded.snapshot(0), Err(ShardError { shard: 0 }));
+        let report = sharded.respawn_shard(0);
+        assert_eq!(
+            report,
+            RecoveryReport {
+                restored_len: 8,
+                lost_since_checkpoint: 2,
+            }
+        );
+        // Loss restarts cleanly: another crash after more synced records
+        // still counts only the new unsynced tail.
+        sharded
+            .push_batch(0, (10..14).map(f64::from).collect())
+            .expect("respawned shard serves");
+        let _ = sharded.snapshot(0).expect("barrier");
+        sharded.inject_worker_panic(0).expect("delivered");
+        assert_eq!(sharded.snapshot(0), Err(ShardError { shard: 0 }));
+        let report = sharded.respawn_shard(0);
+        assert_eq!(
+            report,
+            RecoveryReport {
+                restored_len: 12,
+                lost_since_checkpoint: 0,
+            },
+            "the post-respawn records formed one full segment"
+        );
+        let _ = sharded.join();
+    }
+
+    #[test]
+    fn save_and_load_from_store_roundtrip() {
+        let store = Arc::new(streamhist_core::MemStore::new());
+        let sharded = ShardedFixedWindow::new(2, 16, 2, 0.5);
+        sharded.push_batch(0, vec![1.0, 2.0, 3.0]).expect("alive");
+        sharded.push_batch(1, vec![9.0, 8.0]).expect("alive");
+        let written = sharded
+            .save_to_store(store.as_ref())
+            .expect("healthy fleet saves");
+        assert!(written > 0);
+        let snaps_before = sharded.snapshot_all();
+        let _ = sharded.join();
+
+        // A brand-new fleet (no durability required) loads the same state.
+        let mut restored = ShardedFixedWindow::new(2, 16, 2, 0.5);
+        restored
+            .load_from_store(store.as_ref())
+            .expect("store is valid");
+        assert_eq!(restored.snapshot_all(), snaps_before);
+        assert_eq!(restored.metrics(0).restores, 1);
+        let summaries = joined_ok(restored);
+        assert_eq!(summaries[0].window(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(summaries[1].window(), vec![9.0, 8.0]);
+    }
+
+    #[test]
+    fn load_from_store_replays_the_wal_tail_beyond_the_frame() {
+        let store = Arc::new(streamhist_core::MemStore::new());
+        let sharded = durable_fleet(1, Arc::clone(&store), 4, 8);
+        // The first batch cuts a frame at seq 8 (truncating its segments);
+        // the second forms one synced WAL segment beyond the frame.
+        sharded
+            .push_batch(0, (0..8).map(f64::from).collect())
+            .expect("alive");
+        sharded
+            .push_batch(0, (8..12).map(f64::from).collect())
+            .expect("alive");
+        let _ = sharded.snapshot(0).expect("barrier");
+        sharded.flush_wal();
+        let _ = sharded.join();
+
+        let mut restored = ShardedFixedWindow::new(1, 32, 2, 0.5);
+        restored
+            .load_from_store(store.as_ref())
+            .expect("store is valid");
+        let summaries = joined_ok(restored);
+        assert_eq!(summaries[0].total_pushed(), 12, "frame + WAL tail");
     }
 }

@@ -358,7 +358,7 @@ impl MergeableSummary for TimeWindowHistogram {
     ///
     /// Configurations must agree on `duration`, `b`, `eps` and `delta`;
     /// the approximation error of the merged materialization composes as
-    /// for [`crate::FixedWindowHistogram`] (DESIGN.md §6: the per-part
+    /// for [`crate::FixedWindowHistogram`] (DESIGN.md §7: the per-part
     /// SSE appears as a gather term on top of the `(1+ε)` factor).
     fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
         if self.duration != other.duration {

@@ -142,16 +142,6 @@ impl DynamicWavelet {
         }
     }
 
-    /// Renamed alias kept for source compatibility.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `v` is not finite or the capacity is exhausted.
-    #[deprecated(note = "renamed to `push`")]
-    pub fn append(&mut self, v: f64) {
-        self.push(v);
-    }
-
     /// Restores the signal to all-zero with no appended positions, keeping
     /// the capacity.
     pub fn reset(&mut self) {
@@ -227,7 +217,7 @@ impl DynamicWavelet {
 /// summing the full coefficient arrays yields the **exact** coefficient
 /// set of the superimposed signal `x + y` — point updates applied on
 /// separate workers over the same index domain merge losslessly
-/// (DESIGN.md §6). The appended-position cursor advances to the further
+/// (DESIGN.md §7). The appended-position cursor advances to the further
 /// of the two operands. Padded capacities must match.
 impl MergeableSummary for DynamicWavelet {
     fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {
@@ -389,10 +379,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_append_alias_still_ingests() {
+    fn push_is_the_single_ingest_entry_point() {
         let mut dw = DynamicWavelet::new(4);
-        dw.append(2.0);
+        dw.push(2.0);
         assert_eq!(dw.len(), 1);
         assert!((dw.value(0) - 2.0).abs() < 1e-12);
     }

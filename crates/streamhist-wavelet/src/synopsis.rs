@@ -154,7 +154,7 @@ fn weight(k: usize, c: f64, n_padded: usize) -> f64 {
 /// add into the fleet signal). After the sum the set is re-thresholded to
 /// the larger operand's retained count by MVW energy weight; the
 /// deterministic energy-then-index ordering makes the merge exactly
-/// commutative (DESIGN.md §6). Both synopses must cover identical domains
+/// commutative (DESIGN.md §7). Both synopses must cover identical domains
 /// (`n` and padded length).
 impl MergeableSummary for WaveletSynopsis {
     fn merge_from(&mut self, other: &Self) -> Result<(), StreamhistError> {

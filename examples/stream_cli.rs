@@ -12,11 +12,14 @@
 //! Each report line shows the window mean, the histogram's bucket
 //! boundaries and heights, and the synopsis wire size.
 //!
-//! With `--checkpoint PATH` the monitor is durable across runs: if PATH
-//! exists the window is restored from it at startup (its CRC-checked
-//! frame rejects corruption; the configuration flags are then taken from
-//! the checkpoint, not the command line), and the final state is saved
-//! back to PATH on exit.
+//! With `--checkpoint PATH` the monitor is durable across runs: PATH is a
+//! `DirStore` checkpoint-store directory. At startup the window is
+//! restored from the newest CRC-checked frame in the store (the
+//! configuration flags are then taken from the checkpoint, not the
+//! command line); on exit the final state is saved back via temp-file +
+//! rename, so a crash mid-save never leaves a torn checkpoint. A legacy
+//! single-frame *file* at PATH (from an older version) is still restored
+//! and is migrated to the store layout on the next save.
 //!
 //! With `--metrics-addr ADDR` (e.g. `127.0.0.1:9184`; port 0 picks an
 //! ephemeral port) the monitor serves a Prometheus-style scrape endpoint
@@ -49,7 +52,10 @@ use std::sync::Arc;
 use streamhist::data::utilization_trace;
 use streamhist::obs::{publish_kernel_stats, Counter, ExpositionServer, MetricsRegistry};
 use streamhist::serve::{QuantileMethod, QueryServer, ServeClient, ServeState};
-use streamhist::{codec, Checkpoint, FixedWindowHistogram, FleetHandle, ShardedFixedWindow};
+use streamhist::{
+    codec, Checkpoint, CheckpointStore, DirStore, FixedWindowHistogram, FleetHandle, ObjectKind,
+    ShardedFixedWindow,
+};
 
 /// The scrape endpoint plus the handles the ingest loop ticks.
 struct Telemetry {
@@ -155,7 +161,8 @@ const QUERY_USAGE: &str = "usage: stream_cli query --addr HOST:PORT VERB [ARGS]\
     \x20 selectivity LO HI       fraction of values v with LO < v <= HI\n\
     \x20 shard-stats SHARD       one shard's counters\n\
     \x20 respawn-shard SHARD     respawn one shard's worker\n\
-    \x20 checkpoint-all          checkpoint the fleet server-side";
+    \x20 checkpoint-all          checkpoint the fleet server-side\n\
+    \x20 wal-status              the fleet's durability (WAL) status";
 
 /// The `query` subcommand: the wire protocol's reference client.
 fn run_query(argv: &[String]) -> i32 {
@@ -240,6 +247,30 @@ fn run_query(argv: &[String]) -> i32 {
             ["checkpoint-all"] => Ok(client
                 .checkpoint_all()
                 .map(|bytes| format!("checkpointed {bytes}B server-side"))),
+            ["wal-status"] => Ok(client.wal_status().map(|s| {
+                if s.enabled {
+                    format!(
+                        "wal: sync={} interval={} segments={} ({}B) frames={} ({}B) \
+                         ingested={}B written={}B amplification={:.3} retries={} \
+                         failures={} dropped={} queue_depth={}",
+                        s.wal_sync,
+                        s.checkpoint_interval,
+                        s.segments_written,
+                        s.segment_bytes,
+                        s.frames_written,
+                        s.frame_bytes,
+                        s.bytes_ingested,
+                        s.bytes_written,
+                        s.amplification,
+                        s.retries,
+                        s.failures,
+                        s.segments_dropped,
+                        s.queue_depth
+                    )
+                } else {
+                    "wal: disabled (fleet built without durability)".to_owned()
+                }
+            })),
             _ => {
                 eprintln!("{QUERY_USAGE}");
                 return 2;
@@ -259,6 +290,43 @@ fn run_query(argv: &[String]) -> i32 {
             0
         }
     }
+}
+
+/// The CLI's single window lives in shard 0 of its checkpoint store:
+/// restore the newest frame, or `None` for an empty store.
+fn load_newest_frame(store: &DirStore) -> Result<Option<FixedWindowHistogram>, String> {
+    let ids = store.list(0).map_err(|e| e.to_string())?;
+    let Some(newest) = ids
+        .iter()
+        .filter(|id| id.kind == ObjectKind::Frame)
+        .max_by_key(|id| id.seq)
+    else {
+        return Ok(None);
+    };
+    let frame = store.get(newest).map_err(|e| e.to_string())?;
+    FixedWindowHistogram::restore(&frame)
+        .map(Some)
+        .map_err(|e| e.to_string())
+}
+
+/// Exit-time save: one frame into a [`DirStore`] at `path` (temp file +
+/// rename, so a crash mid-save never leaves a torn checkpoint), then a
+/// truncate so only the newest frame remains. A legacy single-frame file
+/// at `path` is migrated: removed and replaced by the store directory.
+fn save_checkpoint(path: &std::path::Path, fw: &FixedWindowHistogram) -> Result<u64, String> {
+    if path.is_file() {
+        std::fs::remove_file(path).map_err(|e| format!("removing legacy file: {e}"))?;
+        eprintln!(
+            "migrating legacy checkpoint file {} to a store directory",
+            path.display()
+        );
+    }
+    let store = DirStore::open(path).map_err(|e| e.to_string())?;
+    let frame = fw.encode_checkpoint();
+    let seq = fw.total_pushed();
+    store.put_frame(0, seq, &frame).map_err(|e| e.to_string())?;
+    store.truncate(0, seq).map_err(|e| e.to_string())?;
+    Ok(frame.len() as u64)
 }
 
 fn report(t: usize, fw: &FixedWindowHistogram, telemetry: Option<&Telemetry>) {
@@ -345,7 +413,10 @@ fn main() {
     };
 
     let mut fw = match &args.checkpoint {
-        Some(path) if path.exists() => {
+        Some(path) if path.is_file() => {
+            // Legacy layout: PATH is a bare single-frame file from an older
+            // run. Restore it; the exit-time save migrates PATH to a
+            // DirStore directory.
             let bytes = match std::fs::read(path) {
                 Ok(b) => b,
                 Err(e) => {
@@ -356,7 +427,7 @@ fn main() {
             match FixedWindowHistogram::restore(&bytes) {
                 Ok(fw) => {
                     eprintln!(
-                        "restored {} records from {}",
+                        "restored {} records from legacy checkpoint file {}",
                         fw.total_pushed(),
                         path.display()
                     );
@@ -364,6 +435,32 @@ fn main() {
                 }
                 Err(e) => {
                     eprintln!("corrupt checkpoint {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some(path) if path.is_dir() => {
+            // Store layout: PATH is a DirStore root; the window lives in
+            // shard 0's newest frame.
+            let store = match DirStore::open(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open checkpoint store {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            match load_newest_frame(&store) {
+                Ok(Some(fw)) => {
+                    eprintln!(
+                        "restored {} records from checkpoint store {}",
+                        fw.total_pushed(),
+                        path.display()
+                    );
+                    fw
+                }
+                Ok(None) => FixedWindowHistogram::new(args.window, args.buckets, args.eps),
+                Err(e) => {
+                    eprintln!("corrupt checkpoint store {}: {e}", path.display());
                     std::process::exit(2);
                 }
             }
@@ -430,9 +527,11 @@ fn main() {
     println!("--- final ---");
     report(t, &fw, telemetry.as_ref());
     if let Some(path) = &args.checkpoint {
-        let frame = fw.encode_checkpoint();
-        match std::fs::write(path, &frame) {
-            Ok(()) => eprintln!("checkpointed {}B to {}", frame.len(), path.display()),
+        match save_checkpoint(path, &fw) {
+            Ok(bytes) => eprintln!(
+                "checkpointed {bytes}B to store {} (atomic rename)",
+                path.display()
+            ),
             Err(e) => {
                 eprintln!("cannot write checkpoint {}: {e}", path.display());
                 std::process::exit(1);

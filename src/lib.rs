@@ -60,9 +60,10 @@
 
 pub use streamhist_core::{
     evaluate_queries, max_abs_error, sum_abs_error, sum_squared_error, AccuracyReport,
-    BatchOutcome, Bucket, Checkpoint, ExactSummary, GrowableWindowSums, Histogram, HistogramError,
-    MergeableSummary, PrefixProvider, PrefixSums, Query, SequenceSummary, SlidingPrefixSums,
-    StreamSummary, StreamhistError, WindowSums,
+    BatchOutcome, Bucket, Checkpoint, CheckpointStore, DirStore, ExactSummary, FailingStore,
+    GrowableWindowSums, Histogram, HistogramError, MemStore, MergeableSummary, ObjectId,
+    ObjectKind, PrefixProvider, PrefixSums, Query, SequenceSummary, SlidingPrefixSums, StoreError,
+    StreamSummary, StreamhistError, WalSegment, WindowSums,
 };
 
 /// Histogram-to-histogram distances (L1/L2/L∞ over the expanded sequences)
@@ -88,14 +89,12 @@ pub use streamhist_similarity::{
     apca, euclidean, lower_bound_dist, PiecewiseConstant, ReprMethod, SearchStats, Segment,
     SeriesIndex, SubsequenceIndex,
 };
-#[allow(deprecated)]
-pub use streamhist_stream::BuildStats;
 pub use streamhist_stream::{
     approx_histogram, merge_histograms, AgglomerativeBuilder, AgglomerativeHistogram,
-    FixedWindowBuilder, FixedWindowHistogram, FleetHandle, KernelStats, MergeMetrics,
-    NaiveSlidingWindow, NaiveSlidingWindowBuilder, OverloadPolicy, RecoveryReport, ShardError,
-    ShardMetrics, ShardedFixedWindow, ShardedFixedWindowBuilder, ShardedOptions, TimeWindowBuilder,
-    TimeWindowHistogram,
+    DurabilityOptions, FixedWindowBuilder, FixedWindowHistogram, FleetHandle, KernelStats,
+    MergeMetrics, NaiveSlidingWindow, NaiveSlidingWindowBuilder, OverloadPolicy, RecoveryReport,
+    ShardError, ShardMetrics, ShardedFixedWindow, ShardedFixedWindowBuilder, ShardedOptions,
+    TimeWindowBuilder, TimeWindowHistogram, WalStatus,
 };
 pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynopsis};
 

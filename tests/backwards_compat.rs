@@ -1,0 +1,324 @@
+//! Golden-corpus backwards compatibility: committed checkpoint frames from
+//! the era the frame format was introduced (PR 4, `VERSION = 1`) must
+//! decode forever, bit-identically, on every future revision.
+//!
+//! Three layers of pinning:
+//!
+//! 1. **Decode-forever** — every committed frame under `tests/compat/`
+//!    restores through its summary type and re-encodes to the *exact*
+//!    golden bytes. A failure here means a format break: readers in the
+//!    field could no longer load their own checkpoints.
+//! 2. **Encoder stability** — rebuilding each summary from the same
+//!    deterministic inputs still produces the golden bytes, so the
+//!    encoders have not silently drifted either.
+//! 3. **Version skew** — the exact rejection the envelope gives each kind
+//!    of incompatible frame (future version, foreign magic, wrong tag,
+//!    truncation, bit rot) is pinned as a table.
+//!
+//! Regenerate the corpus (only after an *intentional*, version-bumped
+//! format change) with:
+//!
+//! ```text
+//! cargo test --test backwards_compat -- --ignored regenerate
+//! ```
+
+use std::path::PathBuf;
+
+use streamhist::freq::FrequencyVector;
+use streamhist::{
+    approx_histogram, AgglomerativeHistogram, Checkpoint, DynamicWavelet, FixedWindowHistogram,
+    GkSummary, Histogram, MrlSummary, QuantileSummary, SlidingWindowWavelet, StreamSummary,
+    StreamhistError, StreamingEquiDepth, TimeWindowHistogram, WalSegment,
+};
+use streamhist_core::checkpoint::{crc32, tag, MAGIC, VERSION};
+
+/// The deterministic value generator every corpus summary ingests — a
+/// small coprime LCG-ish ramp with no shared state, so the corpus can be
+/// rebuilt bit-identically on any machine, forever.
+fn gen(i: usize) -> f64 {
+    ((i * 31 + 7) % 17) as f64
+}
+
+fn compat_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/compat")
+}
+
+/// Builds every corpus summary from first principles and encodes it.
+/// Returns `(file name, frame bytes)` pairs covering **all eleven**
+/// checkpoint tags.
+fn corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let data200: Vec<f64> = (0..200).map(gen).collect();
+
+    let mut fw = FixedWindowHistogram::new(64, 4, 0.1);
+    for i in 0..300 {
+        fw.push(gen(i));
+    }
+
+    let agg = AgglomerativeHistogram::from_slice(&data200, 4, 0.1);
+
+    let mut tw = TimeWindowHistogram::builder(100, 4, 0.1)
+        .build()
+        .expect("valid time-window params");
+    for ts in 0..150u64 {
+        tw.push_at(ts, gen(ts as usize));
+    }
+
+    let mut gk = GkSummary::new(0.05);
+    let mut mrl = MrlSummary::new(4);
+    let mut eq = StreamingEquiDepth::new(0.05, 8);
+    for i in 0..500 {
+        gk.push(gen(i));
+        mrl.push(gen(i));
+        eq.push(gen(i));
+    }
+
+    let f = FrequencyVector::from_values((0..400).map(|i| ((i * 7 + 3) % 19) as i64), 0, 15);
+
+    let mut dw = DynamicWavelet::new(32);
+    for i in 0..20 {
+        dw.push(gen(i));
+    }
+
+    let mut sw = SlidingWindowWavelet::new(64, 8);
+    for i in 0..200 {
+        sw.push(gen(i));
+    }
+
+    let hist = approx_histogram(&data200, 4, 0.1);
+
+    let seg = WalSegment {
+        shard: 3,
+        base: 128,
+        records: (0..12).map(gen).collect(),
+    };
+
+    vec![
+        ("fixed_window.ckpt", fw.encode_checkpoint()),
+        ("agglomerative.ckpt", agg.encode_checkpoint()),
+        ("time_window.ckpt", tw.encode_checkpoint()),
+        ("gk.ckpt", gk.encode_checkpoint()),
+        ("mrl.ckpt", mrl.encode_checkpoint()),
+        ("equi_depth.ckpt", eq.encode_checkpoint()),
+        ("frequency_vector.ckpt", f.encode_checkpoint()),
+        ("dynamic_wavelet.ckpt", dw.encode_checkpoint()),
+        ("sliding_wavelet.ckpt", sw.encode_checkpoint()),
+        ("histogram.ckpt", hist.encode_checkpoint()),
+        ("wal_segment.ckpt", seg.encode()),
+    ]
+}
+
+fn read_golden(name: &str) -> Vec<u8> {
+    let path = compat_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden frame {} ({e}); run \
+             `cargo test --test backwards_compat -- --ignored regenerate`",
+            path.display()
+        )
+    })
+}
+
+/// Restores golden bytes through the type the file name designates and
+/// re-encodes, returning the round-tripped bytes.
+fn reencode(name: &str, bytes: &[u8]) -> Vec<u8> {
+    match name {
+        "fixed_window.ckpt" => FixedWindowHistogram::restore(bytes)
+            .expect("golden frame must decode")
+            .encode_checkpoint(),
+        "agglomerative.ckpt" => AgglomerativeHistogram::restore(bytes)
+            .expect("golden frame must decode")
+            .encode_checkpoint(),
+        "time_window.ckpt" => TimeWindowHistogram::restore(bytes)
+            .expect("golden frame must decode")
+            .encode_checkpoint(),
+        "gk.ckpt" => GkSummary::restore(bytes)
+            .expect("golden frame must decode")
+            .encode_checkpoint(),
+        "mrl.ckpt" => MrlSummary::restore(bytes)
+            .expect("golden frame must decode")
+            .encode_checkpoint(),
+        "equi_depth.ckpt" => StreamingEquiDepth::restore(bytes)
+            .expect("golden frame must decode")
+            .encode_checkpoint(),
+        "frequency_vector.ckpt" => FrequencyVector::restore(bytes)
+            .expect("golden frame must decode")
+            .encode_checkpoint(),
+        "dynamic_wavelet.ckpt" => DynamicWavelet::restore(bytes)
+            .expect("golden frame must decode")
+            .encode_checkpoint(),
+        "sliding_wavelet.ckpt" => SlidingWindowWavelet::restore(bytes)
+            .expect("golden frame must decode")
+            .encode_checkpoint(),
+        "histogram.ckpt" => Histogram::restore(bytes)
+            .expect("golden frame must decode")
+            .encode_checkpoint(),
+        "wal_segment.ckpt" => WalSegment::decode(bytes)
+            .expect("golden frame must decode")
+            .encode(),
+        other => panic!("no decoder registered for corpus file {other}"),
+    }
+}
+
+/// Writes the corpus to `tests/compat/`. `#[ignore]`d: run explicitly,
+/// and only when a format change is intentional.
+#[test]
+#[ignore = "regenerates the committed golden corpus; run explicitly"]
+fn regenerate() {
+    let dir = compat_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/compat");
+    for (name, bytes) in corpus() {
+        std::fs::write(dir.join(name), &bytes).expect("write golden frame");
+        #[allow(clippy::disallowed_macros)] // regeneration is interactive by design
+        {
+            println!("wrote {name}: {} bytes", bytes.len());
+        }
+    }
+}
+
+#[test]
+fn golden_frames_decode_and_reencode_bit_identically() {
+    for (name, _) in corpus() {
+        let golden = read_golden(name);
+        let roundtripped = reencode(name, &golden);
+        assert_eq!(
+            roundtripped, golden,
+            "{name}: decode→re-encode must reproduce the golden bytes exactly"
+        );
+    }
+}
+
+#[test]
+fn current_encoders_still_produce_the_golden_bytes() {
+    for (name, fresh) in corpus() {
+        let golden = read_golden(name);
+        assert_eq!(
+            fresh, golden,
+            "{name}: rebuilding from the deterministic inputs no longer \
+             matches the committed frame — the encoder drifted without a \
+             version bump"
+        );
+    }
+}
+
+#[test]
+fn golden_fixed_window_pins_exact_state() {
+    let fw = FixedWindowHistogram::restore(&read_golden("fixed_window.ckpt"))
+        .expect("golden frame must decode");
+    assert_eq!(fw.total_pushed(), 300);
+    let expected: Vec<f64> = (236..300).map(gen).collect();
+    assert_eq!(fw.window(), &expected[..], "last 64 of the 300 pushes");
+}
+
+#[test]
+fn golden_quantile_summaries_pin_exact_counts() {
+    let gk = GkSummary::restore(&read_golden("gk.ckpt")).expect("golden frame must decode");
+    assert_eq!(gk.count(), 500);
+    let mrl = MrlSummary::restore(&read_golden("mrl.ckpt")).expect("golden frame must decode");
+    assert_eq!(mrl.count(), 500);
+    let eq = StreamingEquiDepth::restore(&read_golden("equi_depth.ckpt"))
+        .expect("golden frame must decode");
+    assert_eq!(eq.summary().count(), 500);
+}
+
+#[test]
+fn golden_frequency_vector_pins_exact_counts() {
+    let f = FrequencyVector::restore(&read_golden("frequency_vector.ckpt"))
+        .expect("golden frame must decode");
+    // Recompute the exact tallies from the generator.
+    let mut in_range = 0u64;
+    let mut threes = 0u64;
+    for i in 0..400i64 {
+        let v = (i * 7 + 3) % 19;
+        if (0..=15).contains(&v) {
+            in_range += 1;
+            if v == 3 {
+                threes += 1;
+            }
+        }
+    }
+    assert_eq!(f.total(), in_range);
+    assert_eq!(f.out_of_range(), 400 - in_range);
+    assert_eq!(f.count_of(3), threes);
+}
+
+#[test]
+fn golden_wavelet_and_wal_pin_exact_values() {
+    let dw = DynamicWavelet::restore(&read_golden("dynamic_wavelet.ckpt"))
+        .expect("golden frame must decode");
+    assert_eq!(dw.len(), 20);
+    for i in 0..20 {
+        assert!((dw.value(i) - gen(i)).abs() < 1e-12, "position {i}");
+    }
+
+    let seg =
+        WalSegment::decode(&read_golden("wal_segment.ckpt")).expect("golden frame must decode");
+    assert_eq!(seg.shard, 3);
+    assert_eq!(seg.base, 128);
+    assert_eq!(seg.end(), 140);
+    let expected: Vec<f64> = (0..12).map(gen).collect();
+    assert_eq!(seg.records, expected);
+}
+
+/// Replaces the CRC trailer after mutating header bytes, so the mutation
+/// under test — not the checksum — is what the decoder sees.
+fn reseal(mut frame: Vec<u8>) -> Vec<u8> {
+    let body_len = frame.len() - 4;
+    let crc = crc32(&frame[..body_len]);
+    frame[body_len..].copy_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+fn reason_of(err: StreamhistError) -> &'static str {
+    match err {
+        StreamhistError::CorruptCheckpoint { reason } => reason,
+        other => panic!("expected CorruptCheckpoint, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_skew_table_pins_every_rejection() {
+    let golden = read_golden("fixed_window.ckpt");
+    assert_eq!(golden[0], MAGIC);
+    assert_eq!(golden[1], VERSION);
+    assert_eq!(golden[2], tag::FIXED_WINDOW);
+
+    // A frame from a future format version: valid checksum, version 2.
+    let mut future = golden.clone();
+    future[1] = VERSION + 1;
+    let future = reseal(future);
+    let err = FixedWindowHistogram::restore(&future).expect_err("future version");
+    assert_eq!(reason_of(err), "unsupported frame version");
+
+    // A frame from some other protocol entirely (foreign magic).
+    let mut foreign = golden.clone();
+    foreign[0] = b'X';
+    let foreign = reseal(foreign);
+    let err = FixedWindowHistogram::restore(&foreign).expect_err("foreign magic");
+    assert_eq!(reason_of(err), "bad magic byte");
+
+    // A valid frame routed to the wrong summary type.
+    let gk_frame = read_golden("gk.ckpt");
+    let err = FixedWindowHistogram::restore(&gk_frame).expect_err("wrong tag");
+    assert_eq!(reason_of(err), "frame is for a different summary type");
+
+    // Truncated below the minimum envelope.
+    let err = FixedWindowHistogram::restore(&golden[..3]).expect_err("short frame");
+    assert_eq!(reason_of(err), "frame shorter than header + checksum");
+
+    // Truncated mid-payload: the checksum no longer lines up.
+    let err =
+        FixedWindowHistogram::restore(&golden[..golden.len() - 1]).expect_err("cut tail byte");
+    assert_eq!(reason_of(err), "checksum mismatch");
+
+    // Bit rot anywhere without resealing fails the checksum.
+    let mut rotted = golden.clone();
+    rotted[golden.len() / 2] ^= 0x10;
+    let err = FixedWindowHistogram::restore(&rotted).expect_err("flipped bit");
+    assert_eq!(reason_of(err), "checksum mismatch");
+
+    // Trailing garbage shifts the checksum window off the real trailer.
+    let mut padded = golden.clone();
+    padded.push(0);
+    let err = FixedWindowHistogram::restore(&padded).expect_err("trailing byte");
+    assert_eq!(reason_of(err), "checksum mismatch");
+}
