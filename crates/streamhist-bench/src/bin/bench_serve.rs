@@ -34,7 +34,9 @@ use streamhist_bench::full_scale;
 use streamhist_core::Query;
 use streamhist_data::utilization_trace;
 use streamhist_obs::MetricsRegistry;
-use streamhist_serve::{QuantileMethod, QueryServer, Request, ServeClient, ServeState};
+use streamhist_serve::{
+    QuantileMethod, QueryServer, Request, RetryBudget, ServeClient, ServeState, ServerOptions,
+};
 use streamhist_stream::{FleetHandle, ShardedFixedWindow};
 
 /// Per-verb client-observed p99 ceiling, in nanoseconds (50 ms). See the
@@ -77,7 +79,14 @@ fn main() {
         .expect("fleet healthy after ingest");
     let domain = hist.domain_len();
     assert!(domain >= 16, "warmed fleet must have a populated window");
-    let server = QueryServer::start("127.0.0.1:0", state.clone(), threads).expect("bind loopback");
+    // Explicit options on the loopback bench: a generous per-connection
+    // IO deadline so a noisy CI machine can't time out a paced client.
+    let options = ServerOptions {
+        io_timeout: Duration::from_secs(2),
+    };
+    let io_timeout_ms = options.io_timeout.as_millis();
+    let server = QueryServer::start_with("127.0.0.1:0", state.clone(), threads, options)
+        .expect("bind loopback");
     let addr = server.local_addr();
 
     // --- 1. Bit-identity: wire answers == in-process answers. ---
@@ -119,6 +128,7 @@ fn main() {
 
     // --- 2. Load: threads × paced request streams. ---
     let error_frames = Arc::new(AtomicU64::new(0));
+    let retries_total = Arc::new(AtomicU64::new(0));
     let verbs = [
         "range_sum",
         "range_avg",
@@ -132,8 +142,18 @@ fn main() {
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let errors = Arc::clone(&error_frames);
+            let retries = Arc::clone(&retries_total);
             std::thread::spawn(move || {
-                let mut client = ServeClient::connect(addr).expect("connect");
+                // Each client retries transport failures and Overloaded
+                // sheds within a bounded budget; the retry count is a
+                // reported bench output (expected 0 on loopback).
+                let mut client = ServeClient::connect(addr)
+                    .expect("connect")
+                    .with_retry_budget(RetryBudget {
+                        deadline: Duration::from_secs(1),
+                        backoff_start: Duration::from_millis(2),
+                        seed: t as u64,
+                    });
                 // One latency vector per verb, ns.
                 let mut lat: Vec<Vec<u64>> = vec![Vec::new(); 6];
                 let started = Instant::now();
@@ -168,6 +188,7 @@ fn main() {
                         std::thread::sleep(deadline - elapsed);
                     }
                 }
+                retries.fetch_add(client.retries(), Ordering::Relaxed);
                 lat
             })
         })
@@ -181,6 +202,7 @@ fn main() {
     }
     let wall_secs = wall.elapsed().as_secs_f64();
     let errors = error_frames.load(Ordering::Relaxed);
+    let retries = retries_total.load(Ordering::Relaxed);
     let total: usize = merged.iter().map(Vec::len).sum();
 
     let stats: Vec<VerbStats> = verbs
@@ -200,7 +222,8 @@ fn main() {
 
     println!(
         "load: {threads} threads x {per_thread_requests} reqs (pace {qps_per_thread} qps/thread) \
-         = {total} total in {wall_secs:.2}s ({:.0} qps aggregate), {errors} error frames",
+         = {total} total in {wall_secs:.2}s ({:.0} qps aggregate), {errors} error frames, \
+         {retries} retries",
         total as f64 / wall_secs
     );
     println!(
@@ -225,10 +248,12 @@ fn main() {
         json,
         "  \"config\": {{\"shards\": {shards}, \"window_per_shard\": {window}, \"b\": {b}, \
          \"eps\": {eps}, \"threads\": {threads}, \"requests_per_thread\": {per_thread_requests}, \
-         \"qps_per_thread\": {qps_per_thread}, \"p99_gate_ns\": {P99_GATE_NS}}},"
+         \"qps_per_thread\": {qps_per_thread}, \"io_timeout_ms\": {io_timeout_ms}, \
+         \"p99_gate_ns\": {P99_GATE_NS}}},"
     );
     let _ = writeln!(json, "  \"bit_identity_checks\": {checked},");
     let _ = writeln!(json, "  \"error_frames\": {errors},");
+    let _ = writeln!(json, "  \"retries\": {retries},");
     let _ = writeln!(json, "  \"wall_secs\": {wall_secs:.3},");
     json.push_str("  \"verbs\": [\n");
     for (i, s) in stats.iter().enumerate() {

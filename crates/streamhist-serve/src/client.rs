@@ -10,15 +10,64 @@
 //! from frames that fail local validation ([`ClientError::Protocol`]).
 
 use crate::protocol::{
-    read_packet, write_packet, Packet, QuantileMethod, Request, Response, WireError,
+    read_packet, write_packet, ErrorCode, Packet, QuantileMethod, Request, Response, WireError,
 };
 use std::fmt;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 use streamhist_core::checkpoint::tag;
 use streamhist_core::StreamhistError;
-use streamhist_stream::ShardMetrics;
+use streamhist_stream::{Coverage, ShardHealth, ShardMetrics};
+
+/// Ceiling on one retry backoff step, before jitter.
+const RETRY_BACKOFF_CAP: Duration = Duration::from_millis(250);
+
+/// Deterministic jitter fraction in `[0, 0.5)` — splitmix64 finalizer
+/// over `(seed, attempt)`, the same construction the durability layer's
+/// store retries use, so retry timing is reproducible in tests.
+fn jitter_fraction(seed: u64, attempt: u32) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(attempt));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    #[allow(clippy::cast_precision_loss)]
+    let f = (z >> 11) as f64 / (1u64 << 53) as f64;
+    f * 0.5
+}
+
+/// A total-deadline retry policy for [`ServeClient::call`].
+///
+/// Retries apply only to errors that cannot have mutated server state —
+/// transport failures and [`ErrorCode::Overloaded`] shed frames — and
+/// only to idempotent read verbs (queries, `shard_stats`, `wal_status`,
+/// `health`). Admin mutations (`respawn_shard`, `checkpoint_all`) are
+/// never retried: a lost reply leaves their effect unknown, and replaying
+/// them is the caller's decision. Backoff is capped exponential with
+/// deterministic jitter seeded from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudget {
+    /// Total wall-clock budget across all attempts, measured from the
+    /// first send. When the next backoff would cross it, the last error
+    /// is returned instead.
+    pub deadline: Duration,
+    /// First backoff step (doubled per attempt, capped at 250ms).
+    pub backoff_start: Duration,
+    /// Jitter seed — fix it for reproducible retry timing.
+    pub seed: u64,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(2),
+            backoff_start: Duration::from_millis(5),
+            seed: 0,
+        }
+    }
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -59,6 +108,10 @@ impl From<io::Error> for ClientError {
 #[derive(Debug)]
 pub struct ServeClient {
     stream: TcpStream,
+    peer: SocketAddr,
+    timeout: Duration,
+    budget: Option<RetryBudget>,
+    retries: u64,
 }
 
 impl ServeClient {
@@ -78,19 +131,106 @@ impl ServeClient {
     /// The connect/configure error.
     pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        let peer = stream.peer_addr()?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            peer,
+            timeout,
+            budget: None,
+            retries: 0,
+        })
     }
 
-    /// Issues one request and reads its reply.
+    /// Enables a [`RetryBudget`]: idempotent read verbs issued through
+    /// [`call`](Self::call) (and the per-verb helpers) are retried on
+    /// transport errors and `Overloaded` shed frames, reconnecting as
+    /// needed, until the budget's deadline.
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: RetryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Retries performed so far over this client's lifetime (a retry is
+    /// any re-send after a retryable failure; the first attempt of a call
+    /// is not a retry).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Whether a lost or shed `req` can be safely re-sent: every query
+    /// and status verb is a pure read. `respawn_shard` and
+    /// `checkpoint_all` mutate the fleet and are excluded.
+    fn idempotent(req: &Request) -> bool {
+        !matches!(req, Request::RespawnShard { .. } | Request::CheckpointAll)
+    }
+
+    /// `true` for failures that justify a retry: the transport broke
+    /// (nothing reached the server, or its reply was lost — safe for an
+    /// idempotent read) or the server explicitly shed the request.
+    fn retryable(result: &Result<Response, ClientError>) -> bool {
+        match result {
+            Err(ClientError::Io(_)) => true,
+            Err(ClientError::Server(e)) => e.code == ErrorCode::Overloaded,
+            _ => false,
+        }
+    }
+
+    /// Re-dials the peer (the server closes connections it sheds, so a
+    /// retry usually needs a fresh socket). On failure the old stream is
+    /// kept; the next attempt surfaces its I/O error and the deadline
+    /// still bounds the call.
+    fn reconnect(&mut self) {
+        if let Ok(fresh) = TcpStream::connect(self.peer) {
+            if fresh.set_read_timeout(Some(self.timeout)).is_ok()
+                && fresh.set_write_timeout(Some(self.timeout)).is_ok()
+                && fresh.set_nodelay(true).is_ok()
+            {
+                self.stream = fresh;
+            }
+        }
+    }
+
+    /// Issues one request and reads its reply. With a
+    /// [`RetryBudget`](Self::with_retry_budget) attached and an
+    /// idempotent `req`, transport failures and `Overloaded` sheds are
+    /// retried (with capped, jittered backoff) until the budget deadline.
     ///
     /// # Errors
     ///
     /// See [`ClientError`].
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        self.call_raw_frame(&req.encode())
+        let frame = req.encode();
+        let Some(budget) = self.budget else {
+            return self.call_raw_frame(&frame);
+        };
+        if !Self::idempotent(req) {
+            return self.call_raw_frame(&frame);
+        }
+        let start = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self.call_raw_frame(&frame);
+            if !Self::retryable(&result) {
+                return result;
+            }
+            let step = budget
+                .backoff_start
+                .saturating_mul(1u32 << attempt.min(10))
+                .min(RETRY_BACKOFF_CAP);
+            let sleep = step.mul_f64(1.0 + jitter_fraction(budget.seed, attempt));
+            if start.elapsed() + sleep >= budget.deadline {
+                return result;
+            }
+            std::thread::sleep(sleep);
+            self.retries += 1;
+            attempt += 1;
+            self.reconnect();
+        }
     }
 
     /// Sends an already-encoded (possibly deliberately corrupt) frame
@@ -130,8 +270,21 @@ impl ServeClient {
     }
 
     fn scalar(&mut self, req: &Request) -> Result<f64, ClientError> {
+        self.call_scalar(req).map(|(value, _)| value)
+    }
+
+    /// Issues any scalar query verb and returns `(value, coverage)` — the
+    /// coverage report says how much of the fleet's accepted data the
+    /// answer stands on (always complete against a strict-policy server).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn call_scalar(&mut self, req: &Request) -> Result<(f64, Coverage), ClientError> {
         match self.call(req)? {
-            Response::Scalar { value, .. } => Ok(value),
+            Response::Scalar {
+                value, coverage, ..
+            } => Ok((value, coverage)),
             _ => Err(ClientError::UnexpectedResponse("a scalar")),
         }
     }
@@ -242,6 +395,20 @@ impl ServeClient {
         match self.call(&Request::WalStatus)? {
             Response::WalStatus(status) => Ok(status),
             _ => Err(ClientError::UnexpectedResponse("a wal-status report")),
+        }
+    }
+
+    /// Per-shard supervisor health; the flag is `true` when a supervisor
+    /// is attached server-side (entries are its live state machine rather
+    /// than synthesized pings).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn health(&mut self) -> Result<(bool, Vec<ShardHealth>), ClientError> {
+        match self.call(&Request::Health)? {
+            Response::Health { supervised, shards } => Ok((supervised, shards)),
+            _ => Err(ClientError::UnexpectedResponse("a health report")),
         }
     }
 }

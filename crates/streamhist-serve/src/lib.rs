@@ -55,9 +55,9 @@ pub mod protocol;
 pub mod server;
 pub mod state;
 
-pub use client::{ClientError, ServeClient};
+pub use client::{ClientError, RetryBudget, ServeClient};
 pub use protocol::{
     ErrorCode, Packet, QuantileMethod, Request, Response, WireError, MAX_FRAME, MIN_FRAME,
 };
-pub use server::QueryServer;
+pub use server::{QueryServer, ServerOptions};
 pub use state::ServeState;

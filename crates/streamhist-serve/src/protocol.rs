@@ -32,7 +32,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use streamhist_core::checkpoint::{tag, FrameReader, FrameWriter};
 use streamhist_core::{Query, StreamhistError};
-use streamhist_stream::ShardMetrics;
+use streamhist_stream::{Coverage, ShardHealth, ShardMetrics, ShardState};
 
 /// Hard bound on one frame, excluding the length prefix. Requests are
 /// tens of bytes and responses hundreds; the bound exists so a malicious
@@ -80,6 +80,7 @@ mod verb {
     pub const RESPAWN_SHARD: u8 = 17;
     pub const CHECKPOINT_ALL: u8 = 18;
     pub const WAL_STATUS: u8 = 19;
+    pub const HEALTH: u8 = 20;
 }
 
 /// One client request. Index-domain queries (`RangeSum`/`RangeAvg`/
@@ -143,6 +144,9 @@ pub enum Request {
     CheckpointAll,
     /// Admin: the fleet's durability (WAL / checkpoint-store) status.
     WalStatus,
+    /// Admin: per-shard supervisor health (state machine position,
+    /// consecutive failures, restarts).
+    Health,
 }
 
 impl Request {
@@ -161,6 +165,7 @@ impl Request {
             Self::RespawnShard { .. } => "respawn_shard",
             Self::CheckpointAll => "checkpoint_all",
             Self::WalStatus => "wal_status",
+            Self::Health => "health",
         }
     }
 
@@ -179,6 +184,7 @@ impl Request {
             Self::RespawnShard { .. } => verb::RESPAWN_SHARD,
             Self::CheckpointAll => verb::CHECKPOINT_ALL,
             Self::WalStatus => verb::WAL_STATUS,
+            Self::Health => verb::HEALTH,
         }
     }
 
@@ -243,6 +249,9 @@ impl Request {
             Self::WalStatus => {
                 w.put_u8(verb::WAL_STATUS);
             }
+            Self::Health => {
+                w.put_u8(verb::HEALTH);
+            }
         }
         w.finish()
     }
@@ -302,6 +311,7 @@ impl Request {
             },
             verb::CHECKPOINT_ALL => Self::CheckpointAll,
             verb::WAL_STATUS => Self::WalStatus,
+            verb::HEALTH => Self::Health,
             other => {
                 return Err(WireError {
                     code: ErrorCode::Unsupported,
@@ -325,6 +335,11 @@ pub enum Response {
         verb: u8,
         /// The (finite) answer.
         value: f64,
+        /// How much of the fleet's accepted data the answer stands on. A
+        /// strict-policy server always reports complete coverage; a
+        /// degraded-policy server may answer from a partial gather, and
+        /// this field is how it admits it (DESIGN.md invariant 16).
+        coverage: Coverage,
     },
     /// Reply to [`Request::ShardStats`].
     ShardStats {
@@ -349,6 +364,15 @@ pub enum Response {
     },
     /// Reply to [`Request::WalStatus`].
     WalStatus(streamhist_stream::WalStatus),
+    /// Reply to [`Request::Health`].
+    Health {
+        /// `true` when a supervisor is attached and the entries are its
+        /// live state machine; `false` when the server synthesized them
+        /// from one-off liveness pings.
+        supervised: bool,
+        /// One entry per shard, in shard order.
+        shards: Vec<ShardHealth>,
+    },
 }
 
 impl Response {
@@ -357,9 +381,17 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = FrameWriter::new(tag::SERVE_RESPONSE);
         match self {
-            Self::Scalar { verb, value } => {
+            Self::Scalar {
+                verb,
+                value,
+                coverage,
+            } => {
                 w.put_u8(*verb);
                 w.put_f64(*value);
+                w.put_usize(coverage.shards_included);
+                w.put_usize(coverage.shards_total);
+                w.put_varint(coverage.records_represented);
+                w.put_varint(coverage.records_total);
             }
             Self::ShardStats {
                 shard,
@@ -407,6 +439,17 @@ impl Response {
                 w.put_varint(s.failures);
                 w.put_varint(s.segments_dropped);
                 w.put_varint(s.queue_depth);
+            }
+            Self::Health { supervised, shards } => {
+                w.put_u8(verb::HEALTH);
+                w.put_u8(u8::from(*supervised));
+                w.put_usize(shards.len());
+                for h in shards {
+                    w.put_usize(h.shard);
+                    w.put_u8(h.state.as_u8());
+                    w.put_varint(h.consecutive_failures);
+                    w.put_varint(h.restarts);
+                }
             }
         }
         w.finish()
@@ -468,10 +511,58 @@ impl Response {
                     queue_depth: r.get_varint()?,
                 })
             }
-            v if (verb::RANGE_SUM..=verb::SELECTIVITY).contains(&v) => Self::Scalar {
-                verb: v,
-                value: r.get_f64()?,
-            },
+            verb::HEALTH => {
+                let supervised_byte = r.get_u8()?;
+                if supervised_byte > 1 {
+                    return Err(StreamhistError::CorruptCheckpoint {
+                        reason: "health supervised byte out of range",
+                    });
+                }
+                // shard(>=1) + state(1) + two varints(>=1 each) = 4 bytes
+                // minimum per entry.
+                let n = r.get_count(4)?;
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let shard = r.get_usize()?;
+                    let state_byte = r.get_u8()?;
+                    let state = ShardState::from_u8(state_byte).ok_or(
+                        StreamhistError::CorruptCheckpoint {
+                            reason: "unknown shard health state",
+                        },
+                    )?;
+                    shards.push(ShardHealth {
+                        shard,
+                        state,
+                        consecutive_failures: r.get_varint()?,
+                        restarts: r.get_varint()?,
+                    });
+                }
+                Self::Health {
+                    supervised: supervised_byte == 1,
+                    shards,
+                }
+            }
+            v if (verb::RANGE_SUM..=verb::SELECTIVITY).contains(&v) => {
+                let value = r.get_f64()?;
+                let coverage = Coverage {
+                    shards_included: r.get_usize()?,
+                    shards_total: r.get_usize()?,
+                    records_represented: r.get_varint()?,
+                    records_total: r.get_varint()?,
+                };
+                if coverage.shards_included > coverage.shards_total
+                    || coverage.records_represented > coverage.records_total
+                {
+                    return Err(StreamhistError::CorruptCheckpoint {
+                        reason: "coverage claims more than the fleet total",
+                    });
+                }
+                Self::Scalar {
+                    verb: v,
+                    value,
+                    coverage,
+                }
+            }
             _ => {
                 return Err(StreamhistError::CorruptCheckpoint {
                     reason: "unknown response verb",
@@ -706,7 +797,17 @@ mod tests {
             Request::RespawnShard { shard: 0 },
             Request::CheckpointAll,
             Request::WalStatus,
+            Request::Health,
         ]
+    }
+
+    fn full_coverage() -> Coverage {
+        Coverage {
+            shards_included: 4,
+            shards_total: 4,
+            records_represented: 1000,
+            records_total: 1000,
+        }
     }
 
     #[test]
@@ -734,6 +835,17 @@ mod tests {
             Response::Scalar {
                 verb: 1,
                 value: 42.5,
+                coverage: full_coverage(),
+            },
+            Response::Scalar {
+                verb: 4,
+                value: 7.0,
+                coverage: Coverage {
+                    shards_included: 3,
+                    shards_total: 4,
+                    records_represented: 750,
+                    records_total: 1000,
+                },
             },
             Response::ShardStats {
                 shard: 2,
@@ -762,10 +874,73 @@ mod tests {
                 segments_dropped: 2,
                 queue_depth: 4,
             }),
+            Response::Health {
+                supervised: false,
+                shards: Vec::new(),
+            },
+            Response::Health {
+                supervised: true,
+                shards: vec![
+                    ShardHealth {
+                        shard: 0,
+                        state: ShardState::Live,
+                        consecutive_failures: 0,
+                        restarts: 2,
+                    },
+                    ShardHealth {
+                        shard: 1,
+                        state: ShardState::Quarantined,
+                        consecutive_failures: 5,
+                        restarts: 9,
+                    },
+                    ShardHealth {
+                        shard: 2,
+                        state: ShardState::Recovering,
+                        consecutive_failures: 1,
+                        restarts: 1,
+                    },
+                ],
+            },
         ] {
             let frame = resp.encode();
             assert_eq!(Response::decode(&frame).unwrap(), resp, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn overclaiming_coverage_is_rejected() {
+        // shards_included > shards_total and records_represented >
+        // records_total are both impossible claims; decode rejects each.
+        for (inc, tot, rep, all) in [(5usize, 4usize, 10u64, 10u64), (4, 4, 11, 10)] {
+            let mut w = FrameWriter::new(tag::SERVE_RESPONSE);
+            w.put_u8(verb::RANGE_SUM);
+            w.put_f64(1.0);
+            w.put_usize(inc);
+            w.put_usize(tot);
+            w.put_varint(rep);
+            w.put_varint(all);
+            let frame = w.finish();
+            assert!(Response::decode(&frame).is_err(), "{inc}/{tot} {rep}/{all}");
+        }
+    }
+
+    #[test]
+    fn health_state_and_supervised_bytes_are_validated() {
+        let mut w = FrameWriter::new(tag::SERVE_RESPONSE);
+        w.put_u8(verb::HEALTH);
+        w.put_u8(2); // not a bool
+        w.put_usize(0);
+        assert!(Response::decode(&w.finish()).is_err());
+
+        let mut w = FrameWriter::new(tag::SERVE_RESPONSE);
+        w.put_u8(verb::HEALTH);
+        w.put_u8(1);
+        w.put_usize(1);
+        w.put_usize(0);
+        w.put_u8(9); // not a ShardState
+        w.put_varint(0);
+        w.put_varint(0);
+        assert!(Response::decode(&w.finish()).is_err());
     }
 
     #[test]
@@ -826,6 +1001,7 @@ mod tests {
         let frame = Response::Scalar {
             verb: 1,
             value: 1.0,
+            coverage: full_coverage(),
         }
         .encode();
         let err = Request::decode(&frame).expect_err("response is not a request");

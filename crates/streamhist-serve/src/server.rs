@@ -32,13 +32,40 @@ use std::time::Duration;
 
 /// How long the accept loop sleeps between polls when idle.
 const IDLE_POLL: Duration = Duration::from_millis(25);
-/// Per-connection read/write deadline. Reads time out so workers can poll
-/// the stop flag on idle connections; a timeout mid-frame (a stalled
-/// peer) ends the connection.
-const IO_TIMEOUT: Duration = Duration::from_millis(500);
 /// Queued-connection backlog on top of the in-flight ones (per pool, not
 /// per worker).
 const BACKLOG: usize = 16;
+
+/// Operator-tunable server knobs ([`QueryServer::start_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Per-connection read/write deadline. Reads time out so workers can
+    /// poll the stop flag on idle connections; a timeout mid-frame (a
+    /// stalled peer) ends the connection. Must be at least 1ms — a
+    /// sub-millisecond deadline would kill healthy connections between
+    /// two scheduler ticks.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self {
+            io_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ServerOptions {
+    fn validate(&self) -> io::Result<()> {
+        if self.io_timeout < Duration::from_millis(1) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "ServerOptions::io_timeout must be at least 1ms",
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// A running query server. Dropping it (or calling
 /// [`shutdown`](QueryServer::shutdown)) stops the accept loop, drains the
@@ -53,12 +80,29 @@ pub struct QueryServer {
 
 impl QueryServer {
     /// Binds `addr` (port 0 for ephemeral) and starts serving `state`
-    /// with `workers` handler threads (clamped to at least 1).
+    /// with `workers` handler threads (clamped to at least 1) and
+    /// default [`ServerOptions`].
     ///
     /// # Errors
     ///
     /// The bind/configure/spawn error if the server cannot start.
     pub fn start(addr: impl ToSocketAddrs, state: ServeState, workers: usize) -> io::Result<Self> {
+        Self::start_with(addr, state, workers, ServerOptions::default())
+    }
+
+    /// As [`start`](Self::start), with explicit [`ServerOptions`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for out-of-range options, otherwise the
+    /// bind/configure/spawn error if the server cannot start.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        state: ServeState,
+        workers: usize,
+        options: ServerOptions,
+    ) -> io::Result<Self> {
+        options.validate()?;
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -80,7 +124,7 @@ impl QueryServer {
         let stop_flag = Arc::clone(&stop);
         let accept_handle = std::thread::Builder::new()
             .name("streamhist-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &tx, &stop_flag))?;
+            .spawn(move || accept_loop(&listener, &tx, &stop_flag, options.io_timeout))?;
         Ok(Self {
             addr: local,
             stop,
@@ -118,15 +162,20 @@ impl Drop for QueryServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, pool: &SyncSender<TcpStream>, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    pool: &SyncSender<TcpStream>,
+    stop: &AtomicBool,
+    io_timeout: Duration,
+) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 // Configure before queueing so even a shed connection has
                 // deadlines on its farewell write.
                 if stream.set_nonblocking(false).is_err()
-                    || stream.set_read_timeout(Some(IO_TIMEOUT)).is_err()
-                    || stream.set_write_timeout(Some(IO_TIMEOUT)).is_err()
+                    || stream.set_read_timeout(Some(io_timeout)).is_err()
+                    || stream.set_write_timeout(Some(io_timeout)).is_err()
                     || stream.set_nodelay(true).is_err()
                 {
                     continue;

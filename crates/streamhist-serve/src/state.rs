@@ -25,16 +25,21 @@
 
 use crate::protocol::{ErrorCode, QuantileMethod, Request, Response, WireError};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use streamhist_core::StreamhistError;
 use streamhist_obs::{LatencyRecorder, MetricsRegistry};
 use streamhist_quantile::{GkSummary, MrlSummary, QuantileSummary};
-use streamhist_stream::FleetHandle;
+use streamhist_stream::{
+    Coverage, FleetHandle, ShardHealth, ShardState, SnapshotPolicy, SupervisorHandle,
+};
 
 /// Default GK rank-error bound for the serve-side sketch.
 pub const DEFAULT_GK_EPS: f64 = 0.01;
 /// Default MRL buffer width (must be even and `>= 2`).
 pub const DEFAULT_MRL_K: usize = 64;
+/// Liveness-ping deadline used when a `health` request arrives on a
+/// server with no supervisor attached.
+const HEALTH_PING_TIMEOUT: Duration = Duration::from_millis(100);
 
 /// Shared server state: the fleet seam, the value-domain sketches, the
 /// checkpoint save slot, and the per-verb telemetry. Cheap to clone
@@ -49,6 +54,13 @@ pub struct ServeState {
     /// filesystem access.
     save: Arc<Mutex<Option<Vec<u8>>>>,
     registry: Arc<MetricsRegistry>,
+    /// How histogram verbs gather the fleet-global snapshot. `Strict`
+    /// (the default) errors on any dead shard; `Degraded` answers from
+    /// the live subset and reports the coverage honestly.
+    policy: SnapshotPolicy,
+    /// The supervisor's view, when one is running — the `health` verb
+    /// answers from its state machine instead of synthesizing pings.
+    supervisor: Option<SupervisorHandle>,
 }
 
 impl ServeState {
@@ -80,7 +92,33 @@ impl ServeState {
             mrl: Arc::new(Mutex::new(MrlSummary::new(k))),
             save: Arc::new(Mutex::new(None)),
             registry,
+            policy: SnapshotPolicy::Strict,
+            supervisor: None,
         }
+    }
+
+    /// Sets the gather policy for histogram verbs. With
+    /// [`SnapshotPolicy::Degraded`], a dead or quarantined shard no
+    /// longer fails the query: the answer comes from the live subset and
+    /// every scalar response carries the resulting [`Coverage`].
+    #[must_use]
+    pub fn with_policy(mut self, policy: SnapshotPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a supervisor's handle so the `health` verb reports its
+    /// live state machine (instead of synthesizing from one-off pings).
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: SupervisorHandle) -> Self {
+        self.supervisor = Some(supervisor);
+        self
+    }
+
+    /// The gather policy histogram verbs run under.
+    #[must_use]
+    pub fn policy(&self) -> SnapshotPolicy {
+        self.policy
     }
 
     /// The fleet handle (for admin paths outside the wire, e.g. the CLI
@@ -204,19 +242,26 @@ impl ServeState {
 
     fn answer_inner(&self, req: &Request) -> Result<Response, WireError> {
         if let Some(query) = req.as_query() {
-            let (hist, _stats) = self.fleet.snapshot_global().map_err(|e| {
-                WireError::new(
-                    ErrorCode::ShardDead,
-                    format!("shard {} worker has died; respawn it", e.shard),
-                )
-            })?;
+            let (hist, _stats, coverage) =
+                self.fleet.snapshot_global_with(self.policy).map_err(|e| {
+                    let detail = match self.policy {
+                        SnapshotPolicy::Strict => {
+                            format!("shard {} worker has died; respawn it", e.shard)
+                        }
+                        SnapshotPolicy::Degraded { min_coverage } => format!(
+                            "shard {} is down and live coverage is below the {min_coverage} floor",
+                            e.shard
+                        ),
+                    };
+                    WireError::new(ErrorCode::ShardDead, detail)
+                })?;
             query
                 .validate(hist.domain_len())
                 .map_err(|e| WireError::new(ErrorCode::InvalidQuery, e.to_string()))?;
             let value = query
                 .try_estimate(&*hist)
                 .map_err(|e| WireError::new(ErrorCode::InvalidQuery, e.to_string()))?;
-            return self.scalar(req, value);
+            return self.scalar(req, value, coverage);
         }
         match *req {
             Request::Quantile { method, phi } => {
@@ -242,7 +287,7 @@ impl ServeState {
                         mrl.quantile(phi)
                     }
                 };
-                self.scalar(req, value)
+                self.scalar(req, value, self.sketch_coverage())
             }
             Request::Selectivity { lo, hi } => {
                 if !lo.is_finite() || !hi.is_finite() {
@@ -270,7 +315,7 @@ impl ServeState {
                 #[allow(clippy::cast_precision_loss)]
                 let value = ((below_hi - below_lo) / n as f64).clamp(0.0, 1.0);
                 drop(gk);
-                self.scalar(req, value)
+                self.scalar(req, value, self.sketch_coverage())
             }
             Request::ShardStats { shard } => {
                 let metrics = self
@@ -303,11 +348,63 @@ impl ServeState {
                 Ok(Response::Checkpointed { bytes: len })
             }
             Request::WalStatus => Ok(Response::WalStatus(self.fleet.wal_status())),
+            Request::Health => Ok(self.health()),
             // as_query() handled these above.
             Request::RangeSum { .. }
             | Request::RangeAvg { .. }
             | Request::Point { .. }
             | Request::RangeCount { .. } => unreachable!("histogram verbs handled via as_query"),
+        }
+    }
+
+    /// Answers the `health` verb. With a supervisor attached the entries
+    /// are its live state machine; without one the server synthesizes
+    /// Live/Dead from one-off liveness pings (no failure history —
+    /// `consecutive_failures` is 0 and `restarts` comes from each shard's
+    /// respawn counter).
+    fn health(&self) -> Response {
+        if let Some(sup) = &self.supervisor {
+            return Response::Health {
+                supervised: true,
+                shards: sup.health(),
+            };
+        }
+        let shards = (0..self.fleet.shards())
+            .map(|shard| {
+                let alive = self.fleet.ping(shard, HEALTH_PING_TIMEOUT).unwrap_or(false);
+                ShardHealth {
+                    shard,
+                    state: if alive {
+                        ShardState::Live
+                    } else {
+                        ShardState::Dead
+                    },
+                    consecutive_failures: 0,
+                    restarts: self.fleet.metrics(shard).map_or(0, |m| m.respawns),
+                }
+            })
+            .collect();
+        Response::Health {
+            supervised: false,
+            shards,
+        }
+    }
+
+    /// Coverage for a sketch-backed answer: the serve-side sketches are
+    /// process-local and fed synchronously by `ingest`, so they never
+    /// degrade with the fleet — every value they were fed is represented.
+    fn sketch_coverage(&self) -> Coverage {
+        let shards = self.fleet.shards();
+        let n = self
+            .gk
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .count() as u64;
+        Coverage {
+            shards_included: shards,
+            shards_total: shards,
+            records_represented: n,
+            records_total: n,
         }
     }
 
@@ -321,7 +418,7 @@ impl ServeState {
     /// Wraps a scalar answer, refusing to put a non-finite value on the
     /// wire (the codec would reject it at encode time anyway — this turns
     /// that into a structured error instead of a malformed frame).
-    fn scalar(&self, req: &Request, value: f64) -> Result<Response, WireError> {
+    fn scalar(&self, req: &Request, value: f64, coverage: Coverage) -> Result<Response, WireError> {
         if !value.is_finite() {
             return Err(WireError::new(
                 ErrorCode::Internal,
@@ -331,6 +428,7 @@ impl ServeState {
         Ok(Response::Scalar {
             verb: req.wire_verb(),
             value,
+            coverage,
         })
     }
 }
@@ -367,8 +465,15 @@ mod tests {
             .answer(&Request::RangeSum { start: 0, end: 9 })
             .unwrap()
         {
-            Response::Scalar { value, verb } => {
+            Response::Scalar {
+                value,
+                verb,
+                coverage,
+            } => {
                 assert_eq!(verb, Request::RangeSum { start: 0, end: 9 }.wire_verb());
+                assert!(coverage.is_complete(), "healthy strict fleet: {coverage}");
+                assert_eq!(coverage.shards_total, 2);
+                assert_eq!(coverage.records_total, 100);
                 value
             }
             other => panic!("unexpected {other:?}"),
@@ -479,6 +584,104 @@ mod tests {
             Response::WalStatus(status) => {
                 assert!(!status.enabled, "test fleet has no durability pipeline");
                 assert_eq!(status.segments_written, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupervised_health_synthesizes_live_and_dead_from_pings() {
+        let state = state_with_data(32);
+        state.fleet().inject_worker_panic(1).unwrap().unwrap();
+        // Barrier: a failed ping proves the worker exited.
+        assert!(!state
+            .fleet()
+            .ping(1, std::time::Duration::from_secs(5))
+            .unwrap());
+        match state.answer(&Request::Health).unwrap() {
+            Response::Health { supervised, shards } => {
+                assert!(!supervised, "no supervisor attached");
+                assert_eq!(shards.len(), 2);
+                assert_eq!(shards[0].state, ShardState::Live);
+                assert_eq!(shards[1].state, ShardState::Dead);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_policy_answers_over_a_dead_shard_with_honest_coverage() {
+        let fleet = FleetHandle::new(ShardedFixedWindow::new(2, 64, 8, 0.1));
+        let strict = ServeState::new(fleet, Arc::new(MetricsRegistry::new()));
+        let degraded = strict
+            .clone()
+            .with_policy(SnapshotPolicy::Degraded { min_coverage: 0.25 });
+        for i in 0..100u64 {
+            strict.ingest(i, (i % 10) as f64).unwrap();
+        }
+        let _ = strict.fleet().snapshot_global();
+        strict.fleet().inject_worker_panic(1).unwrap().unwrap();
+        assert!(!strict
+            .fleet()
+            .ping(1, std::time::Duration::from_secs(5))
+            .unwrap());
+        // Advance the live shard so the cached healthy snapshot is stale
+        // and the query is forced into a real gather. The per-shard
+        // snapshot is a queue barrier: the push is queued asynchronously,
+        // and without the barrier the strict gather below can run before
+        // the worker bumps its accepted counter, see a fresh-looking
+        // cache, and serve the stale healthy snapshot.
+        strict.fleet().push(0, 1.0).unwrap();
+        strict.fleet().snapshot_shard(0).unwrap().unwrap();
+
+        let err = strict
+            .answer(&Request::RangeSum { start: 0, end: 0 })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::ShardDead, "strict policy must fail");
+
+        // 0..=usize::MAX-1 is out of domain for the shrunken snapshot too,
+        // so query something the live shard can answer.
+        match degraded
+            .answer(&Request::RangeSum { start: 0, end: 0 })
+            .unwrap()
+        {
+            Response::Scalar { coverage, .. } => {
+                assert_eq!(coverage.shards_included, 1);
+                assert_eq!(coverage.shards_total, 2);
+                assert_eq!(coverage.records_total, 101);
+                assert!(
+                    coverage.records_represented < 101,
+                    "dead shard's records must not be claimed: {coverage}"
+                );
+                assert!(!coverage.is_complete());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A floor above what the live shard holds turns the degraded
+        // answer back into a structured error.
+        let floored = strict
+            .clone()
+            .with_policy(SnapshotPolicy::Degraded { min_coverage: 0.99 });
+        let err = floored
+            .answer(&Request::RangeSum { start: 0, end: 0 })
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::ShardDead);
+    }
+
+    #[test]
+    fn sketch_verbs_report_complete_coverage() {
+        let state = state_with_data(50);
+        match state
+            .answer(&Request::Quantile {
+                method: QuantileMethod::Gk,
+                phi: 0.5,
+            })
+            .unwrap()
+        {
+            Response::Scalar { coverage, .. } => {
+                assert!(coverage.is_complete());
+                assert_eq!(coverage.records_total, 50);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -12,9 +12,12 @@ use std::sync::Arc;
 use std::time::Duration;
 use streamhist_obs::MetricsRegistry;
 use streamhist_serve::{
-    ClientError, ErrorCode, QuantileMethod, QueryServer, Request, ServeClient, ServeState,
+    ClientError, ErrorCode, QuantileMethod, QueryServer, Request, RetryBudget, ServeClient,
+    ServeState, ServerOptions,
 };
-use streamhist_stream::{FleetHandle, ShardedFixedWindow};
+use streamhist_stream::{
+    FleetHandle, ShardState, ShardedFixedWindow, SnapshotPolicy, Supervisor, SupervisorOptions,
+};
 
 fn start_server(n: u64, workers: usize) -> (QueryServer, ServeState) {
     let fleet = FleetHandle::new(ShardedFixedWindow::new(2, 128, 8, 0.1));
@@ -245,6 +248,156 @@ fn concurrent_clients_share_the_worker_pool() {
         t.join().unwrap();
     }
     server.shutdown();
+}
+
+#[test]
+fn server_options_validate_the_io_deadline() {
+    let fleet = FleetHandle::new(ShardedFixedWindow::new(1, 32, 4, 0.2));
+    let state = ServeState::new(fleet, Arc::new(MetricsRegistry::new()));
+    let err = QueryServer::start_with(
+        "127.0.0.1:0",
+        state.clone(),
+        1,
+        ServerOptions {
+            io_timeout: Duration::from_micros(500),
+        },
+    )
+    .expect_err("sub-millisecond deadline must be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+    // A custom (legal) deadline serves normally.
+    let server = QueryServer::start_with(
+        "127.0.0.1:0",
+        state.clone(),
+        1,
+        ServerOptions {
+            io_timeout: Duration::from_secs(2),
+        },
+    )
+    .unwrap();
+    state.ingest(0, 1.0).unwrap();
+    let _ = state.fleet().snapshot_global();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    assert!(client.range_count(0, 0).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn health_verb_reports_supervisor_state_end_to_end() {
+    let fleet = FleetHandle::new(ShardedFixedWindow::new(2, 128, 8, 0.1));
+    // Manual supervisor (no probe thread): the test drives probes so the
+    // observed states are deterministic.
+    let sup = Supervisor::attach(
+        fleet.clone(),
+        SupervisorOptions {
+            restart_burst: 100,
+            quarantine_after: 100,
+            flap_window: Duration::ZERO,
+            ..SupervisorOptions::default()
+        },
+    )
+    .unwrap();
+    let state = ServeState::new(fleet.clone(), Arc::new(MetricsRegistry::new()))
+        .with_supervisor(sup.handle());
+    for i in 0..100u64 {
+        state.ingest(i, (i % 8) as f64).unwrap();
+    }
+    let server = QueryServer::start("127.0.0.1:0", state, 2).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    sup.probe_once();
+    let (supervised, shards) = client.health().unwrap();
+    assert!(supervised);
+    assert_eq!(shards.len(), 2);
+    assert!(shards.iter().all(|h| h.state == ShardState::Live));
+
+    // Kill a worker; the next probe detects and restarts it, and the
+    // wire health report shows the restart.
+    fleet.inject_worker_panic(1).unwrap().unwrap();
+    assert!(!fleet.ping(1, Duration::from_secs(5)).unwrap());
+    sup.probe_once();
+    let (_, shards) = client.health().unwrap();
+    assert_eq!(shards[1].restarts, 1, "{shards:?}");
+    server.shutdown();
+}
+
+#[test]
+fn unsupervised_health_is_synthesized_from_pings_over_the_wire() {
+    let (server, _state) = start_server(50, 1);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let (supervised, shards) = client.health().unwrap();
+    assert!(!supervised);
+    assert_eq!(shards.len(), 2);
+    assert!(shards.iter().all(|h| h.state == ShardState::Live));
+    server.shutdown();
+}
+
+#[test]
+fn degraded_server_keeps_answering_with_honest_coverage() {
+    let fleet = FleetHandle::new(ShardedFixedWindow::new(2, 128, 8, 0.1));
+    let state = ServeState::new(fleet.clone(), Arc::new(MetricsRegistry::new()))
+        .with_policy(SnapshotPolicy::Degraded { min_coverage: 0.25 });
+    for i in 0..200u64 {
+        state.ingest(i, (i % 16) as f64).unwrap();
+    }
+    let _ = fleet.snapshot_global();
+    let server = QueryServer::start("127.0.0.1:0", state, 2).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let (_, coverage) = client
+        .call_scalar(&Request::RangeSum { start: 0, end: 5 })
+        .unwrap();
+    assert!(coverage.is_complete(), "healthy fleet: {coverage}");
+
+    fleet.inject_worker_panic(0).unwrap().unwrap();
+    assert!(!fleet.ping(0, Duration::from_secs(5)).unwrap());
+    // Advance the live shard so the cached full snapshot goes stale.
+    fleet.push(1, 3.0).unwrap();
+
+    let (value, coverage) = client
+        .call_scalar(&Request::RangeSum { start: 0, end: 5 })
+        .unwrap();
+    assert!(value.is_finite());
+    assert_eq!(coverage.shards_included, 1);
+    assert_eq!(coverage.shards_total, 2);
+    assert!(!coverage.is_complete(), "{coverage}");
+    assert!(coverage.fraction() < 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn retry_budget_retries_transport_failures_until_the_deadline() {
+    let (server, _state) = start_server(50, 2);
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr)
+        .unwrap()
+        .with_retry_budget(RetryBudget {
+            deadline: Duration::from_millis(300),
+            backoff_start: Duration::from_millis(5),
+            seed: 7,
+        });
+    // Healthy server: no retries spent.
+    assert!(client.range_count(0, 5).is_ok());
+    assert_eq!(client.retries(), 0);
+
+    server.shutdown();
+    // Dead server: the budget retries (reconnects fail) and then gives
+    // up with the transport error inside the deadline.
+    let start = std::time::Instant::now();
+    match client.call(&Request::RangeCount { start: 0, end: 5 }) {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("dead server should surface Io, got {other:?}"),
+    }
+    assert!(client.retries() > 0, "budget must have retried");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "deadline must bound the call"
+    );
+
+    // Mutating admin verbs are never retried, budget or not.
+    let before = client.retries();
+    assert!(client.respawn_shard(0).is_err());
+    assert_eq!(client.retries(), before, "respawn_shard must not retry");
 }
 
 #[test]

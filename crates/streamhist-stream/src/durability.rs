@@ -52,10 +52,29 @@ const BACKOFF_START: Duration = Duration::from_millis(1);
 /// Ceiling on the per-attempt retry backoff.
 const BACKOFF_CAP: Duration = Duration::from_millis(50);
 
+/// Deterministic per-attempt jitter fraction in `[0, 0.5)`, derived from
+/// `(seed, attempt)` by a splitmix64 finalizer. No RNG state, no
+/// nondeterminism: the same shard retries with the same delays every run,
+/// but *different* shards hitting the same failing store desynchronize
+/// instead of hammering it in lockstep.
+fn jitter_fraction(seed: u64, attempt: u32) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(attempt));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64 * 0.5
+}
+
 /// Runs `op` with capped exponential backoff, counting extra attempts into
-/// `retries`. Shared by the uploader (writes) and recovery (reads).
+/// `retries`. Shared by the uploader (writes) and recovery (reads). `seed`
+/// (the shard index) spreads each attempt's sleep by a deterministic
+/// jitter of up to +50%, so a fleet's uploaders back off on staggered
+/// schedules against a commonly-failing store.
 pub(crate) fn with_retry<T>(
     retries: &Counter,
+    seed: u64,
     mut op: impl FnMut() -> Result<T, StoreError>,
 ) -> Result<T, StoreError> {
     let mut backoff = BACKOFF_START;
@@ -63,7 +82,7 @@ pub(crate) fn with_retry<T>(
     for attempt in 0..MAX_ATTEMPTS {
         if attempt > 0 {
             retries.inc();
-            std::thread::sleep(backoff);
+            std::thread::sleep(backoff.mul_f64(1.0 + jitter_fraction(seed, attempt)));
             backoff = (backoff * 2).min(BACKOFF_CAP);
         }
         match op() {
@@ -396,7 +415,9 @@ impl Uploader {
                 m.queue_depth.dec();
                 match job {
                     Job::Segment { shard, seq, bytes } => {
-                        match with_retry(&m.retries, || store.put_wal_segment(shard, seq, &bytes)) {
+                        match with_retry(&m.retries, shard as u64, || {
+                            store.put_wal_segment(shard, seq, &bytes)
+                        }) {
                             Ok(()) => {
                                 m.segments_written.inc();
                                 m.segment_bytes.inc_by(bytes.len() as u64);
@@ -406,7 +427,9 @@ impl Uploader {
                         }
                     }
                     Job::Frame { shard, seq, bytes } => {
-                        match with_retry(&m.retries, || store.put_frame(shard, seq, &bytes)) {
+                        match with_retry(&m.retries, shard as u64, || {
+                            store.put_frame(shard, seq, &bytes)
+                        }) {
                             Ok(()) => {
                                 m.frames_written.inc();
                                 m.frame_bytes.inc_by(bytes.len() as u64);
@@ -414,7 +437,11 @@ impl Uploader {
                                 // Truncate only once the frame is durable:
                                 // if the frame had been lost, deleting the
                                 // log it supersedes would lose data.
-                                if with_retry(&m.retries, || store.truncate(shard, seq)).is_err() {
+                                if with_retry(&m.retries, shard as u64, || {
+                                    store.truncate(shard, seq)
+                                })
+                                .is_err()
+                                {
                                     m.failures.inc();
                                 }
                             }
@@ -588,14 +615,14 @@ pub(crate) fn recover_shard(
     retries: &Counter,
     fresh: impl FnOnce() -> FixedWindowHistogram,
 ) -> Result<FixedWindowHistogram, StoreError> {
-    let ids = with_retry(retries, || store.list(shard))?;
+    let ids = with_retry(retries, shard as u64, || store.list(shard))?;
     let newest_frame = ids
         .iter()
         .filter(|id| id.kind == ObjectKind::Frame)
         .max_by_key(|id| id.seq);
     let mut fw = match newest_frame {
         Some(id) => {
-            let bytes = with_retry(retries, || store.get(id))?;
+            let bytes = with_retry(retries, shard as u64, || store.get(id))?;
             FixedWindowHistogram::restore(&bytes).map_err(|e| StoreError {
                 op: "get",
                 detail: format!("stored frame failed restore: {e}"),
@@ -608,7 +635,7 @@ pub(crate) fn recover_shard(
         if id.seq > expected {
             break; // gap: nothing past it is contiguous
         }
-        let bytes = with_retry(retries, || store.get(id))?;
+        let bytes = with_retry(retries, shard as u64, || store.get(id))?;
         let Ok(seg) = WalSegment::decode(&bytes) else {
             break; // undecodable: stop at the last trustworthy record
         };

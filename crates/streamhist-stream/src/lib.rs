@@ -74,6 +74,7 @@ mod kernel;
 pub mod merge;
 pub mod serve;
 pub mod sharded;
+pub mod supervisor;
 pub mod telemetry;
 pub mod time_window;
 
@@ -85,10 +86,14 @@ pub use kernel::KernelStats;
 pub use merge::merge_histograms;
 pub use serve::FleetHandle;
 pub use sharded::{
-    MergeMetrics, OverloadPolicy, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow,
-    ShardedFixedWindowBuilder, ShardedOptions,
+    Coverage, MergeMetrics, OverloadPolicy, RecoveryReport, ShardError, ShardMetrics,
+    ShardedFixedWindow, ShardedFixedWindowBuilder, ShardedOptions, SnapshotPolicy,
 };
 pub use streamhist_core::{BatchOutcome, Checkpoint, MergeableSummary, StreamSummary};
+pub use supervisor::{
+    ShardHealth, ShardState, Supervisor, SupervisorEvent, SupervisorHandle, SupervisorMetrics,
+    SupervisorOptions,
+};
 pub use time_window::{TimeWindowBuilder, TimeWindowHistogram};
 
 // The `Send + 'static` contract of the streaming summaries, checked at

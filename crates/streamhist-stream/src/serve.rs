@@ -23,9 +23,13 @@
 
 use crate::fixed_window::FixedWindowHistogram;
 use crate::kernel::KernelStats;
-use crate::sharded::{MergeMetrics, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow};
+use crate::sharded::{
+    Coverage, MergeMetrics, RecoveryReport, ShardError, ShardMetrics, ShardedFixedWindow,
+    SnapshotPolicy,
+};
 use std::io;
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 use streamhist_core::{Histogram, StreamhistError};
 
 /// A cloneable, thread-safe handle to a sharded fleet, exposing the
@@ -99,6 +103,19 @@ impl FleetHandle {
         self.read().push(key, v)
     }
 
+    /// Addresses one record to an explicit shard
+    /// (see [`ShardedFixedWindow::push_to`]) — chaos harnesses and tests
+    /// use this to aim traffic at a shard whose health they control.
+    ///
+    /// # Errors
+    ///
+    /// Outer [`StreamhistError::InvalidParameter`] for an out-of-range
+    /// index; inner [`ShardError`] when the addressed worker has died.
+    pub fn push_to(&self, shard: usize, v: f64) -> Result<Result<(), ShardError>, StreamhistError> {
+        self.check_shard(shard)?;
+        Ok(self.read().push_to(shard, v))
+    }
+
     /// Scatters a slab across all shards
     /// (see [`ShardedFixedWindow::push_batch_scatter`]).
     ///
@@ -119,6 +136,32 @@ impl FleetHandle {
     /// The first [`ShardError`] if any worker has died.
     pub fn snapshot_global(&self) -> Result<(Arc<Histogram>, KernelStats), ShardError> {
         self.read().snapshot_global()
+    }
+
+    /// Fleet-global snapshot under an explicit dead-shard policy, with an
+    /// exact [`Coverage`] report
+    /// (see [`ShardedFixedWindow::snapshot_global_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Strict: the first [`ShardError`]. Degraded: the first excluded
+    /// shard's error when coverage falls below the policy's floor.
+    pub fn snapshot_global_with(
+        &self,
+        policy: SnapshotPolicy,
+    ) -> Result<(Arc<Histogram>, KernelStats, Coverage), ShardError> {
+        self.read().snapshot_global_with(policy)
+    }
+
+    /// Liveness probe for one shard (see [`ShardedFixedWindow::ping`]):
+    /// `true` iff the worker answered within `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError::InvalidParameter`] for an out-of-range index.
+    pub fn ping(&self, shard: usize, timeout: Duration) -> Result<bool, StreamhistError> {
+        self.check_shard(shard)?;
+        Ok(self.read().ping(shard, timeout))
     }
 
     /// One shard's materialized histogram (a per-shard barrier, see

@@ -65,6 +65,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use streamhist_core::{Checkpoint, CheckpointStore, Histogram, StreamhistError};
 use streamhist_obs::{Counter, Gauge, MetricsRegistry};
 
@@ -113,6 +114,81 @@ impl fmt::Display for ShardError {
 }
 
 impl std::error::Error for ShardError {}
+
+/// How [`ShardedFixedWindow::snapshot_global_with`] treats dead shards.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SnapshotPolicy {
+    /// All shards or nothing: any dead worker fails the whole gather with
+    /// its [`ShardError`]. This is [`ShardedFixedWindow::snapshot_global`]'s
+    /// behavior and the default.
+    #[default]
+    Strict,
+    /// Gather whatever answers: dead shards are skipped, and the snapshot
+    /// ships with an exact [`Coverage`] report. The gather still fails if
+    /// the covered fraction of accepted records falls below
+    /// `min_coverage` (clamped to `[0, 1]`) or no shard answered at all —
+    /// a snapshot representing too little is worse than an error.
+    Degraded {
+        /// Minimum acceptable [`Coverage::fraction`], clamped to `[0, 1]`.
+        min_coverage: f64,
+    },
+}
+
+/// What fraction of the fleet a (possibly degraded) global snapshot
+/// actually represents.
+///
+/// Record counts live in the *cumulative accepted* domain — each shard's
+/// `pushes_accepted` counter, which includes records accepted by earlier
+/// worker epochs and lost across a crash. That is deliberate: coverage
+/// answers "how much of what the fleet admitted is this snapshot standing
+/// in for", and a record lost by a dead shard is exactly the kind of
+/// absence the report must not hide (DESIGN.md invariant 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Shards whose snapshots made it into the gather.
+    pub shards_included: usize,
+    /// Total shards in the fleet.
+    pub shards_total: usize,
+    /// Accepted records represented by the included shards (worker-reported
+    /// at each shard's snapshot barrier).
+    pub records_represented: u64,
+    /// Accepted records fleet-wide: the included shards' worker-reported
+    /// counts plus the excluded shards' last counter values.
+    pub records_total: u64,
+}
+
+impl Coverage {
+    /// Covered fraction of accepted records, `1.0` for an empty fleet.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.records_total == 0 {
+            1.0
+        } else {
+            self.records_represented as f64 / self.records_total as f64
+        }
+    }
+
+    /// `true` when nothing was skipped: every shard is in and every
+    /// accepted record is represented.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.shards_included == self.shards_total && self.records_represented == self.records_total
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} shards, {}/{} records ({:.1}%)",
+            self.shards_included,
+            self.shards_total,
+            self.records_represented,
+            self.records_total,
+            self.fraction() * 100.0
+        )
+    }
+}
 
 /// What a producer-side push does when the target shard's bounded command
 /// queue is full.
@@ -435,6 +511,11 @@ enum Cmd {
     /// Fault injection: the worker panics on receipt (see
     /// [`ShardedFixedWindow::inject_worker_panic`]).
     InjectPanic,
+    /// Liveness probe: the worker replies `()` as soon as it dequeues
+    /// this, proving the thread is alive *and* draining its queue. The
+    /// supervisor's health probe ([`ShardedFixedWindow::ping`]) is built
+    /// on it.
+    Ping(Sender<()>),
 }
 
 /// What actually travels on a shard queue: the command, plus (when
@@ -657,6 +738,11 @@ impl ShardedFixedWindow {
                         let _ = reply.send((frame, fw.total_pushed()));
                     }
                     Cmd::InjectPanic => panic!("injected shard worker panic (fault injection)"),
+                    Cmd::Ping(reply) => {
+                        // A dropped reply receiver means the prober gave
+                        // up waiting; the worker is fine either way.
+                        let _ = reply.send(());
+                    }
                 }
                 if since_checkpoint >= interval {
                     let frame = checkpoint_now(&fw, &metrics, &slot);
@@ -865,6 +951,39 @@ impl ShardedFixedWindow {
         (0..self.shards()).map(|s| self.snapshot(s)).collect()
     }
 
+    /// Liveness probe: `true` iff the shard's worker dequeued and answered
+    /// a ping within `timeout`.
+    ///
+    /// The probe never blocks on a full queue: a full-but-connected queue
+    /// reports *live* immediately (the worker exists and is backpressured
+    /// — restarting it would destroy queued records), while a
+    /// disconnected queue (the worker's receiver is dropped, full or not)
+    /// reports dead without waiting. Between those, the worker must drain
+    /// to the ping within `timeout`, so a wedged-but-alive thread
+    /// eventually reads as dead to its supervisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn ping(&self, shard: usize, timeout: Duration) -> bool {
+        let s = &self.shards[shard];
+        let (reply_tx, reply_rx) = channel();
+        let env = s.metrics.envelope(Cmd::Ping(reply_tx));
+        s.metrics.queue_depth.inc();
+        match s.sender.try_send(env) {
+            Ok(()) => reply_rx.recv_timeout(timeout).is_ok(),
+            Err(TrySendError::Full(_)) => {
+                s.metrics.queue_depth.dec();
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                s.metrics.queue_depth.dec();
+                false
+            }
+        }
+    }
+
     /// The generation key of the fleet's current logical state: total
     /// records absorbed plus every respawn and restore event (a respawn
     /// can *lose* records and a restore can *rewind* them without moving
@@ -960,6 +1079,84 @@ impl ShardedFixedWindow {
             t.merge.record(at.elapsed());
         }
         Ok(self.global_cache.get_or_build(generation, || built))
+    }
+
+    /// [`snapshot_global`](Self::snapshot_global) with an explicit
+    /// dead-shard policy, returning the gathered histogram *plus* an exact
+    /// [`Coverage`] report.
+    ///
+    /// Under [`SnapshotPolicy::Strict`] this is `snapshot_global` (cached,
+    /// all shards or nothing) with a complete coverage report whose record
+    /// counts are the live accepted counters at call time.
+    ///
+    /// Under [`SnapshotPolicy::Degraded`] the gather snapshots each shard
+    /// independently, skips the ones whose workers are dead, and merges
+    /// the rest. `records_represented` sums the included shards'
+    /// worker-reported counts (read at each shard's snapshot barrier);
+    /// `records_total` adds the excluded shards' last counter values — a
+    /// dead worker's counter is exact, it has no writer left. The degraded
+    /// path never touches the snapshot cache (a partial gather must not be
+    /// served later as a complete one, and must not evict a complete one).
+    ///
+    /// # Errors
+    ///
+    /// Strict: the first dead shard's [`ShardError`]. Degraded: the first
+    /// *excluded* shard's [`ShardError`] when no shard answered or the
+    /// covered record fraction is below `min_coverage`.
+    pub fn snapshot_global_with(
+        &self,
+        policy: SnapshotPolicy,
+    ) -> Result<(Arc<Histogram>, KernelStats, Coverage), ShardError> {
+        let min_coverage = match policy {
+            SnapshotPolicy::Strict => {
+                let (hist, stats) = self.snapshot_global()?;
+                let records = self
+                    .shards
+                    .iter()
+                    .map(|s| s.metrics.pushes_accepted.get())
+                    .sum();
+                let coverage = Coverage {
+                    shards_included: self.shards(),
+                    shards_total: self.shards(),
+                    records_represented: records,
+                    records_total: records,
+                };
+                return Ok((hist, stats, coverage));
+            }
+            SnapshotPolicy::Degraded { min_coverage } => min_coverage.clamp(0.0, 1.0),
+        };
+        let mut snaps: Vec<Arc<Histogram>> = Vec::with_capacity(self.shards());
+        let mut coverage = Coverage {
+            shards_included: 0,
+            shards_total: self.shards(),
+            records_represented: 0,
+            records_total: 0,
+        };
+        let mut first_excluded: Option<usize> = None;
+        for shard in 0..self.shards() {
+            match self.snapshot_with_gen(shard) {
+                Ok((h, _, gen)) => {
+                    coverage.shards_included += 1;
+                    coverage.records_represented += gen;
+                    coverage.records_total += gen;
+                    snaps.push(h);
+                }
+                Err(_) => {
+                    coverage.records_total += self.shards[shard].metrics.pushes_accepted.get();
+                    if first_excluded.is_none() {
+                        first_excluded = Some(shard);
+                    }
+                }
+            }
+        }
+        if let Some(shard) = first_excluded {
+            if coverage.shards_included == 0 || coverage.fraction() < min_coverage {
+                return Err(ShardError { shard });
+            }
+        }
+        let parts: Vec<&Histogram> = snaps.iter().map(AsRef::as_ref).collect();
+        let (hist, stats) = self.gather(&parts);
+        Ok((Arc::new(hist), stats, coverage))
     }
 
     /// Merges the gathered per-shard parts down to `B` buckets, flat or
@@ -2017,6 +2214,77 @@ mod tests {
         let (h4, _) = sharded.snapshot_global().expect("healthy");
         assert!(!Arc::ptr_eq(&h3, &h4));
         assert_eq!(sharded.merge_metrics().merges, before + 1);
+        let _ = sharded.join();
+    }
+
+    #[test]
+    fn strict_policy_snapshot_reports_complete_coverage() {
+        let sharded = ShardedFixedWindow::new(2, 16, 2, 0.5);
+        sharded.push_batch(0, vec![1.0, 2.0]).expect("alive");
+        sharded.push_batch(1, vec![3.0]).expect("alive");
+        let (strict_h, _, coverage) = sharded
+            .snapshot_global_with(SnapshotPolicy::Strict)
+            .expect("healthy");
+        assert!(coverage.is_complete());
+        assert_eq!(coverage.shards_included, 2);
+        assert_eq!(coverage.shards_total, 2);
+        assert_eq!(coverage.records_represented, 3);
+        assert_eq!(coverage.records_total, 3);
+        assert!((coverage.fraction() - 1.0).abs() < 1e-12);
+        // Strict-with-coverage is the same cached snapshot.
+        let (plain_h, _) = sharded.snapshot_global().expect("healthy");
+        assert!(Arc::ptr_eq(&strict_h, &plain_h));
+        let _ = sharded.join();
+    }
+
+    #[test]
+    fn degraded_snapshot_skips_the_dead_shard_and_never_touches_the_cache() {
+        let sharded = ShardedFixedWindow::new(2, 16, 2, 0.5);
+        sharded
+            .push_batch(0, (0..6).map(f64::from).collect())
+            .expect("alive");
+        sharded
+            .push_batch(1, (0..2).map(f64::from).collect())
+            .expect("alive");
+        // Warm the cache while healthy, then kill shard 1.
+        let (healthy, _) = sharded.snapshot_global().expect("healthy");
+        sharded.inject_worker_panic(1).expect("alive");
+        assert!(!sharded.ping(1, Duration::from_secs(5)), "worker is dead");
+        // Degraded serves shard 0 only, with exact accounting.
+        let (degraded, _, coverage) = sharded
+            .snapshot_global_with(SnapshotPolicy::Degraded { min_coverage: 0.5 })
+            .expect("above the floor");
+        assert_eq!(coverage.shards_included, 1);
+        assert_eq!(coverage.records_represented, 6);
+        assert_eq!(coverage.records_total, 8);
+        assert!(!coverage.is_complete());
+        assert_eq!(degraded.domain_len(), 6, "only shard 0's window");
+        // A floor above 6/8 refuses and names the dead shard.
+        assert_eq!(
+            sharded
+                .snapshot_global_with(SnapshotPolicy::Degraded { min_coverage: 0.9 })
+                .unwrap_err(),
+            ShardError { shard: 1 }
+        );
+        // The cache still holds the *healthy* build: the degraded gather
+        // must not have replaced it (the live-counter generation is
+        // unchanged, so a strict caller would still be served `healthy`).
+        let hit = sharded
+            .global_cache
+            .try_get(sharded.global_generation())
+            .expect("cache intact");
+        assert!(Arc::ptr_eq(&healthy, &hit.0));
+        let _ = sharded.join();
+    }
+
+    #[test]
+    fn ping_distinguishes_live_and_dead_workers() {
+        let sharded = ShardedFixedWindow::new(2, 16, 2, 0.5);
+        assert!(sharded.ping(0, Duration::from_secs(5)));
+        sharded.inject_worker_panic(0).expect("alive");
+        assert!(!sharded.ping(0, Duration::from_secs(5)));
+        // The other shard is untouched.
+        assert!(sharded.ping(1, Duration::from_secs(5)));
         let _ = sharded.join();
     }
 

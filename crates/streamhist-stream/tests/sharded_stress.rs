@@ -321,3 +321,210 @@ fn concurrent_producers_respawns_and_overload_keep_the_books_straight() {
         );
     }
 }
+
+/// The supervisor under real concurrency: producers hammer every shard
+/// while a killer thread injects worker panics and a reader takes
+/// degraded snapshots, with the supervisor's probe thread respawning
+/// shards underneath all of it. Asserts what must survive the chaos:
+///
+/// * the fleet settles back to all-Live once the kills stop (self-healing
+///   actually heals);
+/// * fleet-wide conservation — accepted records equal the surviving
+///   summaries' totals plus everything the supervisor reported lost;
+/// * every concurrent degraded snapshot's coverage is internally honest
+///   (never claims more shards or records than the fleet total);
+/// * the supervisor's counters reconcile exactly with the scraped
+///   Prometheus exposition, and per-shard respawn counters match the
+///   supervisor's restart ledger.
+///
+/// Override the seed with `RECOVERY_SEED=<u64>` to replay a CI failure.
+#[test]
+fn supervised_fleet_recovers_under_concurrent_chaos() {
+    use streamhist_stream::{
+        FleetHandle, ShardState, SnapshotPolicy, Supervisor, SupervisorOptions,
+    };
+
+    let seed: u64 = std::env::var("RECOVERY_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0A5_7A15);
+
+    const SHARDS: usize = 4;
+    const PUSHES_PER_SHARD: u64 = 20_000;
+    const KILLS: usize = 12;
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let fleet = ShardedFixedWindow::builder(SHARDS, 64, 4, 0.1)
+        .checkpoint_interval(32)
+        .registry(Arc::clone(&registry))
+        .fleet_label("supervised")
+        .build()
+        .expect("valid parameters");
+    let handle = FleetHandle::new(fleet);
+    let sup = Supervisor::start_with_metrics(
+        handle.clone(),
+        SupervisorOptions {
+            probe_interval: Duration::from_millis(1),
+            ping_timeout: Duration::from_millis(500),
+            restart_burst: 4,
+            // Always-full token bucket plus a zero flap window: this
+            // harness kills on purpose, so rapid deaths are not flapping
+            // and restarts must never be deferred or quarantined.
+            restart_refill: Duration::ZERO,
+            quarantine_after: 1_000_000,
+            quarantine_backoff: Duration::ZERO,
+            flap_window: Duration::ZERO,
+        },
+        &registry,
+        "supervised",
+    )
+    .expect("valid supervisor options");
+
+    let mut kills_delivered = 0u64;
+    std::thread::scope(|scope| {
+        let handle = &handle;
+        for shard in 0..SHARDS {
+            scope.spawn(move || {
+                for i in 0..PUSHES_PER_SHARD {
+                    // Sends to a dead-but-unrecovered shard fail; those
+                    // records were never accepted, so the accepted-based
+                    // conservation identity is untouched.
+                    let v = ((i * 31 + shard as u64 * 7) % 19) as f64;
+                    let _ = handle.push_to(shard, v).expect("valid index");
+                    if i % 256 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        // Reader: concurrent degraded snapshots must always be honest,
+        // even mid-kill — included never exceeds the fleet, represented
+        // never exceeds the total, and the fraction stays in [0, 1].
+        scope.spawn(move || {
+            for _ in 0..200 {
+                if let Ok((_h, _stats, cov)) =
+                    handle.snapshot_global_with(SnapshotPolicy::Degraded { min_coverage: 0.0 })
+                {
+                    assert!(cov.shards_included >= 1, "an Ok gather includes a shard");
+                    assert!(cov.shards_included <= cov.shards_total);
+                    assert!(cov.records_represented <= cov.records_total);
+                    let f = cov.fraction();
+                    assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
+        // Killer: one panic every few milliseconds, round-robin. A kill
+        // can race a supervisor respawn and find the worker already dead;
+        // only delivered kills count.
+        for k in 0..KILLS {
+            std::thread::sleep(Duration::from_millis(3));
+            if handle
+                .inject_worker_panic(k % SHARDS)
+                .expect("valid index")
+                .is_ok()
+            {
+                kills_delivered += 1;
+            }
+        }
+    });
+
+    // Self-healing: with the kills stopped, the supervisor must walk the
+    // whole fleet back to Live on its own.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if sup.health().iter().all(|h| h.state == ShardState::Live) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "seed {seed}: fleet not fully Live 10s after the last kill: {:?}",
+            sup.health()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Quiesce every shard (the snapshot is a barrier), then freeze the
+    // supervisor's ledger before reading it.
+    for shard in 0..SHARDS {
+        handle
+            .snapshot_shard(shard)
+            .expect("valid index")
+            .expect("fleet healthy after recovery");
+    }
+    let health = sup.health();
+    let sm = sup.metrics();
+    sup.shutdown();
+
+    assert!(sm.deaths > 0, "seed {seed}: no death was ever observed");
+    assert!(
+        sm.deaths <= kills_delivered,
+        "seed {seed}: more deaths ({}) than delivered kills ({kills_delivered})",
+        sm.deaths
+    );
+    assert_eq!(
+        sm.restarts, sm.deaths,
+        "seed {seed}: always-full bucket, no quarantine: every death restarts"
+    );
+    assert_eq!(sm.restarts_deferred, 0, "seed {seed}");
+    assert_eq!(sm.quarantines, 0, "seed {seed}: zero flap window");
+    assert_eq!(sm.probations, 0, "seed {seed}");
+
+    // Per-shard: the supervisor is the only respawner, so the fleet's
+    // respawn counters are exactly its restart ledger.
+    let metrics = handle.metrics_all();
+    for (h, m) in health.iter().zip(metrics.iter()) {
+        assert_eq!(
+            m.respawns, h.restarts,
+            "seed {seed} shard {}: respawns == supervisor restarts",
+            h.shard
+        );
+        assert_eq!(m.records_dropped, 0, "Block policy never sheds");
+        assert_eq!(m.queue_depth, 0, "shard {} drained", h.shard);
+    }
+    let restarts_sum: u64 = health.iter().map(|h| h.restarts).sum();
+    assert_eq!(restarts_sum, sm.restarts, "seed {seed}");
+
+    // Registry reconciliation: the scraped supervisor series are served
+    // from the same cells as the struct snapshot.
+    let samples =
+        parse_exposition(&registry.text_exposition()).expect("exposition is valid Prometheus text");
+    let series = |name: &str| -> u64 {
+        let sample = samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels
+                        .iter()
+                        .any(|(k, v)| k == "fleet" && v == "supervised")
+            })
+            .unwrap_or_else(|| panic!("missing series {name}{{fleet=\"supervised\"}}"));
+        sample.value as u64
+    };
+    assert_eq!(series("streamhist_supervisor_deaths_total"), sm.deaths);
+    assert_eq!(series("streamhist_supervisor_restarts_total"), sm.restarts);
+    assert_eq!(
+        series("streamhist_supervisor_records_lost_total"),
+        sm.records_lost
+    );
+    assert_eq!(
+        series("streamhist_supervisor_shards_live"),
+        SHARDS as u64,
+        "the last probe pass saw the whole fleet Live"
+    );
+    assert_eq!(series("streamhist_supervisor_quarantines_total"), 0);
+
+    // Fleet-wide conservation: every accepted record is either in a
+    // surviving summary or in the supervisor's loss ledger.
+    let accepted_total: u64 = metrics.iter().map(|m| m.pushes_accepted).sum();
+    let summaries: Vec<FixedWindowHistogram> = match handle.try_join() {
+        Ok(s) => s.into_iter().map(|r| r.expect("worker alive")).collect(),
+        Err(_) => panic!("seed {seed}: supervisor shutdown must drop its fleet handle"),
+    };
+    let surviving_total: u64 = summaries.iter().map(|s| s.total_pushed()).sum();
+    assert_eq!(
+        accepted_total,
+        surviving_total + sm.records_lost,
+        "seed {seed}: accepted == surviving + supervisor-reported losses"
+    );
+}

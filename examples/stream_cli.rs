@@ -51,10 +51,10 @@ use std::io::BufRead;
 use std::sync::Arc;
 use streamhist::data::utilization_trace;
 use streamhist::obs::{publish_kernel_stats, Counter, ExpositionServer, MetricsRegistry};
-use streamhist::serve::{QuantileMethod, QueryServer, ServeClient, ServeState};
+use streamhist::serve::{QuantileMethod, QueryServer, Request, ServeClient, ServeState};
 use streamhist::{
-    codec, Checkpoint, CheckpointStore, DirStore, FixedWindowHistogram, FleetHandle, ObjectKind,
-    ShardedFixedWindow,
+    codec, Checkpoint, CheckpointStore, Coverage, DirStore, FixedWindowHistogram, FleetHandle,
+    ObjectKind, ShardedFixedWindow, SnapshotPolicy, Supervisor, SupervisorOptions,
 };
 
 /// The scrape endpoint plus the handles the ingest loop ticks.
@@ -99,6 +99,8 @@ struct Args {
     metrics_addr: Option<String>,
     serve: Option<String>,
     shards: usize,
+    supervise: bool,
+    min_coverage: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -112,6 +114,8 @@ fn parse_args() -> Result<Args, String> {
         metrics_addr: None,
         serve: None,
         shards: 2,
+        supervise: false,
+        min_coverage: 0.5,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -132,10 +136,17 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
             "--serve" => args.serve = Some(value("--serve")?),
             "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--supervise" => args.supervise = true,
+            "--min-coverage" => {
+                args.min_coverage = value("--min-coverage")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: stream_cli [--window N] [--buckets B] [--eps E] \
                             [--report-every K] [--demo N] [--checkpoint PATH] \
-                            [--metrics-addr ADDR] [--serve ADDR] [--shards N]\n\
+                            [--metrics-addr ADDR] [--serve ADDR] [--shards N] \
+                            [--supervise] [--min-coverage F]\n\
                             \x20      stream_cli query --addr ADDR VERB ARGS..."
                     .into())
             }
@@ -147,6 +158,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.shards == 0 {
         return Err("shards must be positive".into());
+    }
+    if !(0.0..=1.0).contains(&args.min_coverage) {
+        return Err("min-coverage must be in [0, 1]".into());
     }
     Ok(args)
 }
@@ -162,7 +176,20 @@ const QUERY_USAGE: &str = "usage: stream_cli query --addr HOST:PORT VERB [ARGS]\
     \x20 shard-stats SHARD       one shard's counters\n\
     \x20 respawn-shard SHARD     respawn one shard's worker\n\
     \x20 checkpoint-all          checkpoint the fleet server-side\n\
-    \x20 wal-status              the fleet's durability (WAL) status";
+    \x20 wal-status              the fleet's durability (WAL) status\n\
+    \x20 health                  per-shard supervisor state\n\
+    a degraded answer (some shards down, server in degraded mode) is\n\
+    annotated with its coverage report";
+
+/// Renders a scalar answer, annotating it with the coverage report when
+/// the server answered in degraded mode over a partial fleet.
+fn scalar_line((value, coverage): (f64, Coverage)) -> String {
+    if coverage.is_complete() {
+        format!("{value}")
+    } else {
+        format!("{value}  [degraded: {coverage}]")
+    }
+}
 
 /// The `query` subcommand: the wire protocol's reference client.
 fn run_query(argv: &[String]) -> i32 {
@@ -201,14 +228,27 @@ fn run_query(argv: &[String]) -> i32 {
     let outcome: Result<Result<String, streamhist::serve::ClientError>, String> =
         match rest.iter().map(String::as_str).collect::<Vec<_>>()[..] {
             ["range-sum", _, _] => parse_idx(&rest[1]).and_then(|s| {
-                parse_idx(&rest[2]).map(|e| client.range_sum(s, e).map(|v| format!("{v}")))
+                parse_idx(&rest[2]).map(|e| {
+                    client
+                        .call_scalar(&Request::RangeSum { start: s, end: e })
+                        .map(scalar_line)
+                })
             }),
             ["range-avg", _, _] => parse_idx(&rest[1]).and_then(|s| {
-                parse_idx(&rest[2]).map(|e| client.range_avg(s, e).map(|v| format!("{v}")))
+                parse_idx(&rest[2]).map(|e| {
+                    client
+                        .call_scalar(&Request::RangeAvg { start: s, end: e })
+                        .map(scalar_line)
+                })
             }),
-            ["point", _] => parse_idx(&rest[1]).map(|i| client.point(i).map(|v| format!("{v}"))),
+            ["point", _] => parse_idx(&rest[1])
+                .map(|idx| client.call_scalar(&Request::Point { idx }).map(scalar_line)),
             ["range-count", _, _] => parse_idx(&rest[1]).and_then(|s| {
-                parse_idx(&rest[2]).map(|e| client.range_count(s, e).map(|v| format!("{v}")))
+                parse_idx(&rest[2]).map(|e| {
+                    client
+                        .call_scalar(&Request::RangeCount { start: s, end: e })
+                        .map(scalar_line)
+                })
             }),
             ["quantile", method, _] => {
                 let method = match method {
@@ -217,11 +257,19 @@ fn run_query(argv: &[String]) -> i32 {
                     other => Err(format!("unknown quantile method {other:?} (gk or mrl)")),
                 };
                 method.and_then(|m| {
-                    parse_f64(&rest[2]).map(|phi| client.quantile(m, phi).map(|v| format!("{v}")))
+                    parse_f64(&rest[2]).map(|phi| {
+                        client
+                            .call_scalar(&Request::Quantile { method: m, phi })
+                            .map(scalar_line)
+                    })
                 })
             }
             ["selectivity", _, _] => parse_f64(&rest[1]).and_then(|lo| {
-                parse_f64(&rest[2]).map(|hi| client.selectivity(lo, hi).map(|v| format!("{v}")))
+                parse_f64(&rest[2]).map(|hi| {
+                    client
+                        .call_scalar(&Request::Selectivity { lo, hi })
+                        .map(scalar_line)
+                })
             }),
             ["shard-stats", _] => parse_idx(&rest[1]).map(|s| {
                 client.shard_stats(s).map(|(shards, m)| {
@@ -270,6 +318,23 @@ fn run_query(argv: &[String]) -> i32 {
                 } else {
                     "wal: disabled (fleet built without durability)".to_owned()
                 }
+            })),
+            ["health"] => Ok(client.health().map(|(supervised, shards)| {
+                let mut line = format!(
+                    "fleet health ({}):",
+                    if supervised {
+                        "supervised"
+                    } else {
+                        "synthesized from pings"
+                    }
+                );
+                for h in shards {
+                    line.push_str(&format!(
+                        "\n  shard {}: {} failures={} restarts={}",
+                        h.shard, h.state, h.consecutive_failures, h.restarts
+                    ));
+                }
+                line
             })),
             _ => {
                 eprintln!("{QUERY_USAGE}");
@@ -397,11 +462,41 @@ fn main() {
                 args.buckets,
                 args.eps,
             ));
-            let state = ServeState::new(fleet, registry);
+            let mut state = ServeState::new(fleet.clone(), Arc::clone(&registry));
+            // --supervise: a background supervisor heals dead shards and
+            // the serve policy degrades instead of failing, answering
+            // from the live subset with an honest coverage report.
+            let supervisor = if args.supervise {
+                match Supervisor::start_with_metrics(
+                    fleet,
+                    SupervisorOptions::default(),
+                    &registry,
+                    "cli",
+                ) {
+                    Ok(sup) => {
+                        state = state
+                            .with_policy(SnapshotPolicy::Degraded {
+                                min_coverage: args.min_coverage,
+                            })
+                            .with_supervisor(sup.handle());
+                        eprintln!(
+                            "supervisor running (degraded serving above {:.0}% coverage)",
+                            args.min_coverage * 100.0
+                        );
+                        Some(sup)
+                    }
+                    Err(e) => {
+                        eprintln!("cannot start supervisor: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                None
+            };
             match QueryServer::start(addr.as_str(), state.clone(), 4) {
                 Ok(server) => {
                     eprintln!("serving queries on {}", server.local_addr());
-                    Some((server, state))
+                    Some((server, state, supervisor))
                 }
                 Err(e) => {
                     eprintln!("cannot bind query endpoint {addr}: {e}");
@@ -472,7 +567,7 @@ fn main() {
     if let Some(n) = args.demo {
         for v in utilization_trace(n, 7) {
             fw.push(v);
-            if let Some((_, state)) = &serving {
+            if let Some((_, state, _)) = &serving {
                 if let Err(e) = state.ingest(t as u64, v) {
                     eprintln!("serve ingest error: {e}");
                 }
@@ -502,7 +597,7 @@ fn main() {
             match trimmed.parse::<f64>() {
                 Ok(v) if v.is_finite() => {
                     fw.push(v);
-                    if let Some((_, state)) = &serving {
+                    if let Some((_, state, _)) = &serving {
                         if let Err(e) = state.ingest(t as u64, v) {
                             eprintln!("serve ingest error: {e}");
                         }
@@ -538,7 +633,7 @@ fn main() {
             }
         }
     }
-    if let Some((server, _state)) = serving {
+    if let Some((server, _state, _supervisor)) = serving {
         // Input is drained, but the query surface stays up: this is the
         // "start a demo server, query it from another terminal" shape.
         eprintln!(

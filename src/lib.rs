@@ -90,11 +90,13 @@ pub use streamhist_similarity::{
     SeriesIndex, SubsequenceIndex,
 };
 pub use streamhist_stream::{
-    approx_histogram, merge_histograms, AgglomerativeBuilder, AgglomerativeHistogram,
+    approx_histogram, merge_histograms, AgglomerativeBuilder, AgglomerativeHistogram, Coverage,
     DurabilityOptions, FixedWindowBuilder, FixedWindowHistogram, FleetHandle, KernelStats,
     MergeMetrics, NaiveSlidingWindow, NaiveSlidingWindowBuilder, OverloadPolicy, RecoveryReport,
-    ShardError, ShardMetrics, ShardedFixedWindow, ShardedFixedWindowBuilder, ShardedOptions,
-    TimeWindowBuilder, TimeWindowHistogram, WalStatus,
+    ShardError, ShardHealth, ShardMetrics, ShardState, ShardedFixedWindow,
+    ShardedFixedWindowBuilder, ShardedOptions, SnapshotPolicy, Supervisor, SupervisorEvent,
+    SupervisorHandle, SupervisorMetrics, SupervisorOptions, TimeWindowBuilder, TimeWindowHistogram,
+    WalStatus,
 };
 pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynopsis};
 
@@ -125,7 +127,7 @@ pub mod obs {
 pub mod serve {
     pub use streamhist_serve::{
         ClientError, ErrorCode, Packet, QuantileMethod, QueryServer, Request, Response,
-        ServeClient, ServeState, WireError, MAX_FRAME, MIN_FRAME,
+        RetryBudget, ServeClient, ServeState, ServerOptions, WireError, MAX_FRAME, MIN_FRAME,
     };
 }
 

@@ -23,12 +23,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 use streamhist::freq::FrequencyVector;
 use streamhist::{
     approx_histogram, AgglomerativeHistogram, Checkpoint, CheckpointStore, DurabilityOptions,
-    DynamicWavelet, FailingStore, FixedWindowHistogram, GkSummary, Histogram, MemStore,
-    MergeableSummary, MrlSummary, ObjectKind, ShardedFixedWindow, SlidingWindowWavelet, StoreError,
-    StreamSummary, StreamhistError, StreamingEquiDepth, TimeWindowHistogram, WalSegment,
+    DynamicWavelet, FailingStore, FixedWindowHistogram, FleetHandle, GkSummary, Histogram,
+    MemStore, MergeableSummary, MrlSummary, ObjectKind, ShardState, ShardedFixedWindow,
+    SlidingWindowWavelet, SnapshotPolicy, StoreError, StreamSummary, StreamhistError,
+    StreamingEquiDepth, Supervisor, SupervisorEvent, SupervisorOptions, TimeWindowHistogram,
+    WalSegment,
 };
 
 /// Directory failing frames are dumped to (uploaded by CI on failure).
@@ -634,6 +637,391 @@ fn crash_mid_upload_fuzz() {
             fw.window(),
             tail,
             "seed {seed} shard {shard}: window is the exact lineage tail"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supervised chaos sweep (DESIGN.md "Supervision and degraded serving").
+// ---------------------------------------------------------------------
+
+/// Mirror of the supervisor's per-shard state machine, stepped in
+/// lockstep with [`Supervisor::probe_once`] so every transition the real
+/// supervisor makes can be predicted — and therefore asserted — exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelState {
+    Live,
+    Dead,
+    Recovering,
+    Quarantined,
+}
+
+struct ModelShard {
+    state: ModelState,
+    /// Whether the worker thread is actually running (the supervisor may
+    /// not have noticed a death yet; the model always knows).
+    worker_alive: bool,
+    failures: u64,
+    restarts: u64,
+    /// Once a shard has been restarted, the chaos options' huge
+    /// `flap_window` means its failure count never resets again.
+    ever_restarted: bool,
+}
+
+/// Event shapes for sequence comparison ([`SupervisorEvent::Restarted`]
+/// and `Probation` carry a [`RecoveryReport`](streamhist::RecoveryReport)
+/// the model cannot predict; the reports are verified separately against
+/// the conservation identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventShape {
+    Died(usize),
+    Restarted(usize),
+    Deferred(usize),
+    Quarantined(usize),
+    Probation(usize),
+    Recovered(usize),
+}
+
+fn shape(e: &SupervisorEvent) -> EventShape {
+    match *e {
+        SupervisorEvent::Died { shard } => EventShape::Died(shard),
+        SupervisorEvent::Restarted { shard, .. } => EventShape::Restarted(shard),
+        SupervisorEvent::RestartDeferred { shard } => EventShape::Deferred(shard),
+        SupervisorEvent::Quarantined { shard } => EventShape::Quarantined(shard),
+        SupervisorEvent::Probation { shard, .. } => EventShape::Probation(shard),
+        SupervisorEvent::Recovered { shard } => EventShape::Recovered(shard),
+    }
+}
+
+const CHAOS_QUARANTINE_AFTER: u64 = 3;
+
+/// The model's copy of `decide_dead`: quarantine past the threshold,
+/// restart otherwise (the chaos options keep the token bucket always
+/// full, so deferral is unreachable).
+fn model_decide_dead(m: &mut ModelShard, shard: usize, out: &mut Vec<EventShape>) {
+    if m.failures >= CHAOS_QUARANTINE_AFTER {
+        m.state = ModelState::Quarantined;
+        out.push(EventShape::Quarantined(shard));
+    } else {
+        m.state = ModelState::Recovering;
+        m.worker_alive = true;
+        m.restarts += 1;
+        m.ever_restarted = true;
+        out.push(EventShape::Restarted(shard));
+    }
+}
+
+/// One model probe pass, returning the exact event sequence the real
+/// supervisor must emit for the same pass.
+fn model_probe(model: &mut [ModelShard]) -> Vec<EventShape> {
+    let mut out = Vec::new();
+    for (shard, m) in model.iter_mut().enumerate() {
+        match m.state {
+            ModelState::Live | ModelState::Recovering => {
+                if m.worker_alive {
+                    if m.state == ModelState::Recovering {
+                        m.state = ModelState::Live;
+                        out.push(EventShape::Recovered(shard));
+                    }
+                    // flap_window is huge, so only a shard that has never
+                    // been restarted can reset its failure count.
+                    if !m.ever_restarted {
+                        m.failures = 0;
+                    }
+                } else {
+                    m.state = ModelState::Dead;
+                    m.failures += 1;
+                    out.push(EventShape::Died(shard));
+                    model_decide_dead(m, shard, &mut out);
+                }
+            }
+            ModelState::Dead => model_decide_dead(m, shard, &mut out),
+            ModelState::Quarantined => {
+                // Zero backoff and a full bucket: probation next pass.
+                m.state = ModelState::Recovering;
+                m.worker_alive = true;
+                m.restarts += 1;
+                m.ever_restarted = true;
+                out.push(EventShape::Probation(shard));
+            }
+        }
+    }
+    out
+}
+
+fn to_model(s: ShardState) -> ModelState {
+    match s {
+        ShardState::Live => ModelState::Live,
+        ShardState::Dead => ModelState::Dead,
+        ShardState::Recovering => ModelState::Recovering,
+        ShardState::Quarantined => ModelState::Quarantined,
+    }
+}
+
+/// Supervised chaos sweep: a durable fleet over a fault-injecting store,
+/// random worker kills, and a manually stepped supervisor whose every
+/// probe pass is checked — event for event, state for state — against an
+/// independent model of the Live→Dead→Recovering→Quarantined machine.
+/// Along the way, every `Degraded` snapshot's coverage report is compared
+/// against ground truth computed from the model's own liveness view and
+/// the records the test knows it sent. At the end, exact conservation:
+///
+/// ```text
+/// sent_finite == pushes_accepted            (nothing vanishes in queues)
+/// sent_nan    == values_rejected            (every NaN counted)
+/// 0           == records_dropped            (Block policy never sheds)
+/// accepted    == surviving + sum(lost)      (every loss is reported)
+/// ```
+///
+/// Override the seed with `RECOVERY_SEED=<u64>` to replay a CI failure.
+#[test]
+fn supervised_chaos_sweep() {
+    let seed: u64 = std::env::var("RECOVERY_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_F1EE7);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    const SHARDS: usize = 4;
+    let store = Arc::new(FailingStore::every_nth(MemStore::new(), 7));
+    let fleet = ShardedFixedWindow::builder(SHARDS, 64, 4, 0.2)
+        .checkpoint_interval(16)
+        .durability(
+            DurabilityOptions::new(Arc::clone(&store) as _)
+                .wal_sync(8)
+                .checkpoint_interval(16)
+                .upload_queue_capacity(16),
+        )
+        .build()
+        .expect("valid durable fleet");
+    let handle = FleetHandle::new(fleet);
+    let sup = Supervisor::attach(
+        handle.clone(),
+        SupervisorOptions {
+            ping_timeout: Duration::from_millis(500),
+            restart_burst: 4,
+            // Zero refill period = always-full bucket: restarts are never
+            // deferred, so every pass is exactly predictable.
+            restart_refill: Duration::ZERO,
+            quarantine_after: u32::try_from(CHAOS_QUARANTINE_AFTER).expect("small"),
+            quarantine_backoff: Duration::ZERO,
+            // Huge flap window: every death counts as consecutive, so
+            // quarantine is reachable deterministically.
+            flap_window: Duration::from_secs(3600),
+            ..SupervisorOptions::default()
+        },
+    )
+    .expect("valid supervisor options");
+
+    let mut model: Vec<ModelShard> = (0..SHARDS)
+        .map(|_| ModelShard {
+            state: ModelState::Live,
+            worker_alive: true,
+            failures: 0,
+            restarts: 0,
+            ever_restarted: false,
+        })
+        .collect();
+    let mut sent_finite = [0u64; SHARDS];
+    let mut sent_nan = [0u64; SHARDS];
+    let mut lost = [0u64; SHARDS];
+    let mut degraded_snapshots = 0u32;
+    let mut quarantines_seen = 0u32;
+
+    // One probe pass plus full cross-checks: the event sequence matches
+    // the model's, per-restart reports satisfy the conservation identity
+    // at the instant of recovery, and `health()` mirrors the model.
+    let mut probe_and_verify =
+        |sup: &Supervisor, model: &mut Vec<ModelShard>, lost: &mut [u64; SHARDS], step: usize| {
+            let expected = model_probe(model);
+            let events = sup.probe_once();
+            let got: Vec<EventShape> = events.iter().map(shape).collect();
+            assert_eq!(
+                got, expected,
+                "seed {seed} step {step}: probe pass diverged from the model"
+            );
+            for e in &events {
+                let (shard, report) = match *e {
+                    SupervisorEvent::Restarted { shard, report }
+                    | SupervisorEvent::Probation { shard, report } => (shard, report),
+                    SupervisorEvent::Quarantined { .. } => {
+                        quarantines_seen += 1;
+                        continue;
+                    }
+                    _ => continue,
+                };
+                lost[shard] += report.lost_since_checkpoint;
+                // At the instant of a restart nothing new has been pushed,
+                // so the cumulative accepted counter must equal what was
+                // restored plus everything ever reported lost.
+                let accepted = handle.metrics(shard).expect("valid index").pushes_accepted;
+                assert_eq!(
+                    accepted,
+                    report.restored_len + lost[shard],
+                    "seed {seed} step {step} shard {shard}: restart report breaks conservation"
+                );
+            }
+            for (h, m) in sup.health().iter().zip(model.iter()) {
+                assert_eq!(
+                    to_model(h.state),
+                    m.state,
+                    "seed {seed} step {step} shard {}: state diverged",
+                    h.shard
+                );
+                assert_eq!(h.consecutive_failures, m.failures, "shard {}", h.shard);
+                assert_eq!(h.restarts, m.restarts, "shard {}", h.shard);
+            }
+        };
+
+    for step in 0..400 {
+        let roll: u32 = rng.gen_range(0..100);
+        if roll < 60 {
+            // Push a small batch at a shard whose worker is running; a
+            // sprinkle of NaNs exercises the rejection counter.
+            let alive: Vec<usize> = (0..SHARDS).filter(|&s| model[s].worker_alive).collect();
+            let Some(&shard) = alive.get(rng.gen_range(0..alive.len().max(1))) else {
+                continue;
+            };
+            for _ in 0..rng.gen_range(1..=12) {
+                if rng.gen_range(0..16) == 0 {
+                    handle
+                        .push_to(shard, f64::NAN)
+                        .expect("valid index")
+                        .expect("rejected, not fatal");
+                    sent_nan[shard] += 1;
+                } else {
+                    let v = f64::from(rng.gen_range(0..50u32));
+                    handle
+                        .push_to(shard, v)
+                        .expect("valid index")
+                        .expect("worker alive");
+                    sent_finite[shard] += 1;
+                }
+            }
+        } else if roll < 75 {
+            // Kill a running worker; the supervisor finds out on its next
+            // probe pass, the model knows immediately.
+            let alive: Vec<usize> = (0..SHARDS).filter(|&s| model[s].worker_alive).collect();
+            if let Some(&shard) = alive.get(rng.gen_range(0..alive.len().max(1))) {
+                handle
+                    .inject_worker_panic(shard)
+                    .expect("valid index")
+                    .expect("worker alive");
+                model[shard].worker_alive = false;
+            }
+        } else if roll < 90 {
+            probe_and_verify(&sup, &mut model, &mut lost, step);
+        } else {
+            // Degraded snapshot: its coverage must match ground truth
+            // computed from the model's liveness and the sent counts.
+            let included: usize = model.iter().filter(|m| m.worker_alive).count();
+            let result =
+                handle.snapshot_global_with(SnapshotPolicy::Degraded { min_coverage: 0.0 });
+            if included == 0 {
+                assert!(result.is_err(), "seed {seed} step {step}: empty gather");
+                continue;
+            }
+            let (_hist, _stats, cov) = result.unwrap_or_else(|e| {
+                panic!("seed {seed} step {step}: degraded gather failed over {included} live shards: {e}")
+            });
+            degraded_snapshots += 1;
+            let repr: u64 = (0..SHARDS)
+                .filter(|&s| model[s].worker_alive)
+                .map(|s| sent_finite[s])
+                .sum();
+            let total: u64 = sent_finite.iter().sum();
+            assert_eq!(cov.shards_total, SHARDS, "seed {seed} step {step}");
+            assert_eq!(cov.shards_included, included, "seed {seed} step {step}");
+            assert_eq!(cov.records_represented, repr, "seed {seed} step {step}");
+            assert_eq!(cov.records_total, total, "seed {seed} step {step}");
+            assert_eq!(
+                cov.is_complete(),
+                included == SHARDS,
+                "seed {seed} step {step}"
+            );
+            if included < SHARDS && repr < total {
+                // An unreachable floor must fail the gather rather than
+                // hand out a snapshot claiming coverage it does not have.
+                assert!(
+                    handle
+                        .snapshot_global_with(SnapshotPolicy::Degraded { min_coverage: 1.0 })
+                        .is_err(),
+                    "seed {seed} step {step}: floor above actual coverage must fail"
+                );
+            }
+        }
+    }
+
+    // Drain: with kills stopped, a few passes walk every shard back to
+    // Live (Dead -> Recovering -> Live, Quarantined -> probation -> Live).
+    for extra in 0..8 {
+        if model
+            .iter()
+            .all(|m| m.state == ModelState::Live && m.worker_alive)
+        {
+            break;
+        }
+        probe_and_verify(&sup, &mut model, &mut lost, 400 + extra);
+    }
+    assert!(
+        model.iter().all(|m| m.state == ModelState::Live),
+        "seed {seed}: fleet did not settle back to Live"
+    );
+
+    // The sweep must actually have exercised the interesting paths.
+    let sm = sup.metrics();
+    assert!(sm.deaths > 0, "seed {seed}: no deaths observed");
+    assert_eq!(sm.restarts_deferred, 0, "always-full bucket never defers");
+    assert_eq!(
+        sm.quarantines,
+        u64::from(quarantines_seen),
+        "seed {seed}: quarantine entries"
+    );
+    assert_eq!(
+        sm.probations, sm.quarantines,
+        "seed {seed}: every quarantine entered was exited via probation"
+    );
+    assert_eq!(
+        sm.records_lost,
+        lost.iter().sum::<u64>(),
+        "seed {seed}: supervisor-reported losses match the per-event sum"
+    );
+    assert!(
+        degraded_snapshots > 0,
+        "seed {seed}: no degraded snapshot was ever taken"
+    );
+
+    // Quiesce and check the books: exact conservation per shard.
+    let wal = handle.wal_status();
+    assert!(wal.enabled, "durable fleet reports an enabled WAL");
+    assert_eq!(wal.segments_dropped, 0, "Block policy never sheds segments");
+    for shard in 0..SHARDS {
+        handle
+            .snapshot_shard(shard)
+            .expect("valid index")
+            .expect("fleet healthy at the end");
+        let m = handle.metrics(shard).expect("valid index");
+        assert_eq!(
+            m.pushes_accepted, sent_finite[shard],
+            "seed {seed} shard {shard}: every finite record sent to a live worker is accepted"
+        );
+        assert_eq!(
+            m.values_rejected, sent_nan[shard],
+            "seed {seed} shard {shard}: every NaN is rejected"
+        );
+        assert_eq!(m.records_dropped, 0, "seed {seed} shard {shard}");
+    }
+    sup.shutdown();
+    let summaries = match handle.try_join() {
+        Ok(s) => s,
+        Err(_) => panic!("seed {seed}: supervisor shutdown must drop its fleet handle"),
+    };
+    for (shard, summary) in summaries.into_iter().enumerate() {
+        let surviving = summary.expect("worker alive at join").total_pushed();
+        assert_eq!(
+            sent_finite[shard],
+            surviving + lost[shard],
+            "seed {seed} shard {shard}: accepted == surviving + lost"
         );
     }
 }
