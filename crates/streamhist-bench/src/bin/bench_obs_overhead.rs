@@ -14,12 +14,26 @@
 //! * `obs_off` — registry attached, compiled WITHOUT `--features obs`
 //!   (the production default). Guarded: must stay within
 //!   [`MAX_REGRESSION`] of `baseline` or the bench exits nonzero;
+//! * `recorder` — registry *and* an explicit [`FlightRecorder`] attached,
+//!   compiled WITHOUT `--features obs`. Guarded: must stay within
+//!   [`MAX_REGRESSION`] of `obs_off`, pinning the flight recorder's
+//!   promise that an idle ring (no shard deaths, no overload) costs the
+//!   ingest path nothing beyond noise — the hot path never touches it
+//!   except through the sampled overload probe, which a lossless run
+//!   never takes;
 //! * `obs_on` — registry attached, compiled WITH `--features obs` but no
-//!   kernel tracer installed (one relaxed `OnceLock` load per hook);
-//! * `obs_on_tracing` — registry attached and the kernel tracer
-//!   installed, so every push/build is timed into GK latency summaries.
-//!   Unguarded: this is the opt-in deep-tracing mode and its cost is
-//!   reported, not bounded.
+//!   kernel tracer installed (one thread-local + `OnceLock` load per
+//!   hook);
+//! * `obs_on_tracing` — registry attached and a fleet-scoped kernel
+//!   tracer handed to the builder (worker threads install it
+//!   thread-locally), so every push/build is timed into GK latency
+//!   summaries. Unguarded: this is the opt-in deep-tracing mode and its
+//!   cost is reported, not bounded.
+//!
+//! Every mode's workload ends with one `snapshot_global()`, so the merge
+//! path — including the live accuracy audit that publishes the
+//! `streamhist_snapshot_sse_estimate` / `_error_bound` / `_error_ratio`
+//! gauges — is inside the measured region in all rows.
 //!
 //! One compilation can only observe its own feature state, so the JSON
 //! artifact is *merged*, not overwritten: rows measured by the other
@@ -38,11 +52,14 @@ use std::sync::Arc;
 use std::time::Instant;
 use streamhist_bench::full_scale;
 use streamhist_data::utilization_trace;
-use streamhist_obs::MetricsRegistry;
+use streamhist_obs::{FlightRecorder, MetricsRegistry};
+#[cfg(feature = "obs")]
+use streamhist_stream::telemetry::KernelTracer;
 use streamhist_stream::ShardedFixedWindow;
 
 const REPEATS: usize = 3;
-/// `obs_off` may run at no less than this fraction of `baseline`.
+/// `obs_off` may run at no less than this fraction of `baseline`, and
+/// `recorder` no less than this fraction of `obs_off`.
 #[cfg(not(feature = "obs"))]
 const MAX_REGRESSION: f64 = 0.98;
 
@@ -64,13 +81,30 @@ impl Row {
     }
 }
 
-/// One timed pass: scatter the stream through the fleet in slabs, with a
-/// per-shard snapshot barrier at the end so elapsed time covers every
-/// queued record plus one histogram materialization per shard.
-fn one_pass(stream: &[f64], registry: Option<&Arc<MetricsRegistry>>) -> f64 {
+/// What a pass attaches to the fleet; each mode is one combination.
+#[derive(Clone, Copy, Default)]
+struct PassCfg<'a> {
+    registry: Option<&'a Arc<MetricsRegistry>>,
+    recorder: Option<&'a Arc<FlightRecorder>>,
+    #[cfg(feature = "obs")]
+    tracer: Option<&'a Arc<KernelTracer>>,
+}
+
+/// One timed pass: scatter the stream through the fleet in slabs, then a
+/// per-shard snapshot barrier plus one `snapshot_global()` — so elapsed
+/// time covers every queued record, one histogram materialization per
+/// shard, and one fleet-global merge with its accuracy audit.
+fn one_pass(stream: &[f64], cfg: PassCfg<'_>) -> f64 {
     let mut builder = ShardedFixedWindow::builder(SHARDS, WINDOW, B, EPS).fleet_label("bench");
-    if let Some(reg) = registry {
+    if let Some(reg) = cfg.registry {
         builder = builder.registry(Arc::clone(reg));
+    }
+    if let Some(rec) = cfg.recorder {
+        builder = builder.recorder(Arc::clone(rec));
+    }
+    #[cfg(feature = "obs")]
+    if let Some(tracer) = cfg.tracer {
+        builder = builder.kernel_tracer(Arc::clone(tracer));
     }
     let sw = builder.build().expect("valid config");
     let t0 = Instant::now();
@@ -80,6 +114,7 @@ fn one_pass(stream: &[f64], registry: Option<&Arc<MetricsRegistry>>) -> f64 {
     for s in 0..SHARDS {
         sw.snapshot(s).expect("worker alive");
     }
+    sw.snapshot_global().expect("fleet alive");
     let secs = t0.elapsed().as_secs_f64();
     for r in sw.join() {
         r.expect("worker alive");
@@ -87,11 +122,11 @@ fn one_pass(stream: &[f64], registry: Option<&Arc<MetricsRegistry>>) -> f64 {
     secs
 }
 
-fn bench_mode(mode: &'static str, stream: &[f64], registry: Option<&Arc<MetricsRegistry>>) -> Row {
+fn bench_mode(mode: &'static str, stream: &[f64], cfg: PassCfg<'_>) -> Row {
     // Best-of-N: the minimum is the least-noisy estimator for a
     // throughput bench on a shared machine.
     let secs = (0..REPEATS)
-        .map(|_| one_pass(stream, registry))
+        .map(|_| one_pass(stream, cfg))
         .fold(f64::INFINITY, f64::min);
     Row {
         mode,
@@ -133,7 +168,13 @@ fn to_json(measured: &[Row], preserved: &[String]) -> String {
         ));
     }
     // Canonical order keeps diffs of the committed datapoint readable.
-    let order = ["baseline", "obs_off", "obs_on", "obs_on_tracing"];
+    let order = [
+        "baseline",
+        "obs_off",
+        "recorder",
+        "obs_on",
+        "obs_on_tracing",
+    ];
     lines.sort_by_key(|l| order.iter().position(|m| l.contains(&format!("\"{m}\""))));
     let mut out = String::new();
     out.push_str("{\n");
@@ -154,7 +195,7 @@ fn main() {
 
     // Warm-up pass (untimed): fault in the stream, spin up and tear down
     // one fleet, so the first measured mode is not charged for cold-start.
-    one_pass(&stream, None);
+    one_pass(&stream, PassCfg::default());
 
     println!(
         "BENCH-OBS-OVERHEAD: {SHARDS} shards, window {WINDOW}, B {B}, eps {EPS}, \
@@ -162,18 +203,46 @@ fn main() {
         cfg!(feature = "obs")
     );
 
-    let mut rows = vec![bench_mode("baseline", &stream, None)];
+    let with_registry = PassCfg {
+        registry: Some(&registry),
+        ..PassCfg::default()
+    };
+    let mut rows = vec![bench_mode("baseline", &stream, PassCfg::default())];
     #[cfg(not(feature = "obs"))]
-    rows.push(bench_mode("obs_off", &stream, Some(&registry)));
+    {
+        rows.push(bench_mode("obs_off", &stream, with_registry));
+        let recorder = Arc::new(FlightRecorder::default());
+        // Feature-off, `registry` + `recorder` are ALL the fields, but the
+        // obs build adds `tracer` — keep the update syntax for both.
+        #[allow(clippy::needless_update)]
+        rows.push(bench_mode(
+            "recorder",
+            &stream,
+            PassCfg {
+                registry: Some(&registry),
+                recorder: Some(&recorder),
+                ..PassCfg::default()
+            },
+        ));
+        // A lossless run records nothing; the ring must still be empty.
+        assert_eq!(recorder.recorded(), 0, "idle recorder captured events");
+    }
     #[cfg(feature = "obs")]
     {
-        rows.push(bench_mode("obs_on", &stream, Some(&registry)));
-        // The tracer is a process-global OnceLock, so install it last —
-        // every mode measured after this point would see it.
-        assert!(streamhist_stream::telemetry::install_kernel_tracer(
-            &registry
+        rows.push(bench_mode("obs_on", &stream, with_registry));
+        // Fleet-scoped tracer: the builder hands it to worker threads,
+        // which install it thread-locally — nothing process-global, so
+        // mode order no longer matters.
+        let tracer = Arc::new(KernelTracer::new(&registry));
+        rows.push(bench_mode(
+            "obs_on_tracing",
+            &stream,
+            PassCfg {
+                registry: Some(&registry),
+                tracer: Some(&tracer),
+                ..PassCfg::default()
+            },
         ));
-        rows.push(bench_mode("obs_on_tracing", &stream, Some(&registry)));
     }
 
     for r in &rows {
@@ -198,6 +267,7 @@ fn main() {
     {
         let base = rows.iter().find(|r| r.mode == "baseline").expect("row");
         let off = rows.iter().find(|r| r.mode == "obs_off").expect("row");
+        let rec = rows.iter().find(|r| r.mode == "recorder").expect("row");
         let ratio = off.pps() / base.pps();
         println!(
             "obs_off vs baseline: {:.1}% ({:.0} vs {:.0} points/sec)",
@@ -212,6 +282,21 @@ fn main() {
             100.0 * (1.0 - MAX_REGRESSION),
             off.pps(),
             base.pps()
+        );
+        let rec_ratio = rec.pps() / off.pps();
+        println!(
+            "recorder vs obs_off: {:.1}% ({:.0} vs {:.0} points/sec)",
+            100.0 * rec_ratio,
+            rec.pps(),
+            off.pps()
+        );
+        assert!(
+            rec_ratio >= MAX_REGRESSION,
+            "an idle flight recorder regressed feature-off ingestion by more \
+             than {:.0}%: {:.0} vs {:.0} points/sec",
+            100.0 * (1.0 - MAX_REGRESSION),
+            rec.pps(),
+            off.pps()
         );
     }
 }

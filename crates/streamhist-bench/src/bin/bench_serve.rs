@@ -17,6 +17,17 @@
 //!    microseconds — because CI machines are noisy neighbors; it exists
 //!    to catch order-of-magnitude regressions (a blocking accept loop, a
 //!    lost wakeup, an O(n) frame parse), not microsecond drift.
+//! 4. **Slow-query cross-check** — the server runs with its slow-query
+//!    threshold set to the same 50 ms as the p99 gate, and after the load
+//!    phase the bench drains the flight recorder over the `events` admin
+//!    verb and counts [`SlowQuery`](streamhist_obs::EventKind::SlowQuery)
+//!    events per verb. The two instruments watch the same requests from
+//!    opposite ends of the socket, so they must agree about a regression:
+//!    a verb whose client p99 breaches the gate should have put ≥ 1% of
+//!    its requests in the server's slow-query log, and vice versa. A
+//!    one-sided verdict means one instrument is lying (client-side clock
+//!    bug, server-side phase timer bug, recorder losing events) and the
+//!    run exits nonzero even when the p99 gate alone would pass.
 //!
 //! Output: a human-readable table plus `BENCH_serve.json` (current
 //! directory) with per-verb count/p50/p99/max and the error-frame count —
@@ -33,7 +44,7 @@ use std::time::{Duration, Instant};
 use streamhist_bench::full_scale;
 use streamhist_core::Query;
 use streamhist_data::utilization_trace;
-use streamhist_obs::MetricsRegistry;
+use streamhist_obs::{EventKind, MetricsRegistry};
 use streamhist_serve::{
     QuantileMethod, QueryServer, Request, RetryBudget, ServeClient, ServeState, ServerOptions,
 };
@@ -43,12 +54,21 @@ use streamhist_stream::{FleetHandle, ShardedFixedWindow};
 /// module docs for why it is this loose.
 const P99_GATE_NS: u64 = 50_000_000;
 
+/// Server-side slow-query threshold — deliberately the same 50 ms as the
+/// client-side p99 gate so the two instruments form a cross-check: if a
+/// verb's client p99 breaches the gate, at least 1% of its requests took
+/// ≥ 50 ms end to end, and the server must have logged them as slow.
+const SLOW_QUERY_GATE: Duration = Duration::from_nanos(P99_GATE_NS);
+
 struct VerbStats {
     verb: &'static str,
     count: usize,
     p50_ns: u64,
     p99_ns: u64,
     max_ns: u64,
+    /// Server-side `SlowQuery` events attributed to this verb, drained
+    /// from the flight recorder over the `events` admin verb.
+    slow_count: u64,
 }
 
 fn percentile(sorted: &[u64], phi: f64) -> u64 {
@@ -83,6 +103,7 @@ fn main() {
     // IO deadline so a noisy CI machine can't time out a paced client.
     let options = ServerOptions {
         io_timeout: Duration::from_secs(2),
+        slow_query: SLOW_QUERY_GATE,
     };
     let io_timeout_ms = options.io_timeout.as_millis();
     let server = QueryServer::start_with("127.0.0.1:0", state.clone(), threads, options)
@@ -205,10 +226,42 @@ fn main() {
     let retries = retries_total.load(Ordering::Relaxed);
     let total: usize = merged.iter().map(Vec::len).sum();
 
+    // --- Drain the server's flight recorder and bucket SlowQuery events
+    // by verb. The recorder names verbs with `Request::verb_name()`
+    // ("quantile", not the bench's "quantile_gk" display label), so map
+    // explicitly. A verb outside the workload (e.g. the drain's own
+    // `events` calls going slow) counts against no bucket but is still
+    // reported in the total.
+    let mut drain = ServeClient::connect(addr).expect("connect for events drain");
+    let (recorded, events) = drain
+        .events_all(0)
+        .expect("drain the flight recorder over the wire");
+    drop(drain);
+    let mut slow_counts = [0u64; 6];
+    let mut slow_total = 0u64;
+    for event in &events {
+        if let EventKind::SlowQuery { verb, .. } = &event.kind {
+            slow_total += 1;
+            let slot = match verb.as_str() {
+                "range_sum" => Some(0),
+                "range_avg" => Some(1),
+                "point" => Some(2),
+                "range_count" => Some(3),
+                "quantile" => Some(4),
+                "selectivity" => Some(5),
+                _ => None,
+            };
+            if let Some(s) = slot {
+                slow_counts[s] += 1;
+            }
+        }
+    }
+
     let stats: Vec<VerbStats> = verbs
         .iter()
         .zip(merged.iter_mut())
-        .map(|(verb, lat)| {
+        .zip(slow_counts)
+        .map(|((verb, lat), slow_count)| {
             lat.sort_unstable();
             VerbStats {
                 verb,
@@ -216,6 +269,7 @@ fn main() {
                 p50_ns: percentile(lat, 0.50),
                 p99_ns: percentile(lat, 0.99),
                 max_ns: lat.last().copied().unwrap_or(0),
+                slow_count,
             }
         })
         .collect();
@@ -227,17 +281,24 @@ fn main() {
         total as f64 / wall_secs
     );
     println!(
-        "{:<12} {:>8} {:>12} {:>12} {:>12}",
-        "verb", "count", "p50_us", "p99_us", "max_us"
+        "slow-query log: {slow_total} events over the {:.0}ms threshold \
+         ({recorded} recorder events total, {} retained)",
+        SLOW_QUERY_GATE.as_secs_f64() * 1e3,
+        events.len()
+    );
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>6}",
+        "verb", "count", "p50_us", "p99_us", "max_us", "slow"
     );
     for s in &stats {
         println!(
-            "{:<12} {:>8} {:>12.1} {:>12.1} {:>12.1}",
+            "{:<12} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>6}",
             s.verb,
             s.count,
             s.p50_ns as f64 / 1e3,
             s.p99_ns as f64 / 1e3,
-            s.max_ns as f64 / 1e3
+            s.max_ns as f64 / 1e3,
+            s.slow_count
         );
     }
 
@@ -249,10 +310,13 @@ fn main() {
         "  \"config\": {{\"shards\": {shards}, \"window_per_shard\": {window}, \"b\": {b}, \
          \"eps\": {eps}, \"threads\": {threads}, \"requests_per_thread\": {per_thread_requests}, \
          \"qps_per_thread\": {qps_per_thread}, \"io_timeout_ms\": {io_timeout_ms}, \
-         \"p99_gate_ns\": {P99_GATE_NS}}},"
+         \"p99_gate_ns\": {P99_GATE_NS}, \"slow_query_gate_ns\": {}}},",
+        SLOW_QUERY_GATE.as_nanos()
     );
     let _ = writeln!(json, "  \"bit_identity_checks\": {checked},");
     let _ = writeln!(json, "  \"error_frames\": {errors},");
+    let _ = writeln!(json, "  \"slow_queries\": {slow_total},");
+    let _ = writeln!(json, "  \"recorder_events\": {recorded},");
     let _ = writeln!(json, "  \"retries\": {retries},");
     let _ = writeln!(json, "  \"wall_secs\": {wall_secs:.3},");
     json.push_str("  \"verbs\": [\n");
@@ -260,8 +324,8 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"verb\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
-             \"max_ns\": {}}}",
-            s.verb, s.count, s.p50_ns, s.p99_ns, s.max_ns
+             \"max_ns\": {}, \"slow_queries\": {}}}",
+            s.verb, s.count, s.p50_ns, s.p99_ns, s.max_ns, s.slow_count
         );
         json.push_str(if i + 1 == stats.len() { "\n" } else { ",\n" });
     }
@@ -287,9 +351,31 @@ fn main() {
             );
             failed = true;
         }
+        // Cross-check: the client-side p99 gate and the server-side
+        // slow-query log watch the same requests with the same 50 ms
+        // threshold, so their regression verdicts must match. "Regressed"
+        // per the slow log means ≥ 1% of the verb's requests were logged
+        // slow — the server-side restatement of "p99 over the threshold".
+        let p99_regressed = s.p99_ns > P99_GATE_NS;
+        let slow_regressed = s.slow_count.saturating_mul(100) >= s.count as u64;
+        if p99_regressed != slow_regressed {
+            eprintln!(
+                "GATE FAIL: {} regression verdicts disagree — client p99 {:.1}us \
+                 ({} the gate) vs {} server-side slow queries of {} requests",
+                s.verb,
+                s.p99_ns as f64 / 1e3,
+                if p99_regressed { "over" } else { "under" },
+                s.slow_count,
+                s.count
+            );
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);
     }
-    println!("gates passed: zero error frames, every verb p99 under the gate");
+    println!(
+        "gates passed: zero error frames, every verb p99 under the gate, \
+         slow-query log agrees"
+    );
 }

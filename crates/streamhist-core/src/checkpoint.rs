@@ -79,6 +79,9 @@ pub mod tag {
     pub const SERVE_RESPONSE: u8 = 33;
     /// A `streamhist-serve` structured error frame (code + detail string).
     pub const SERVE_ERROR: u8 = 34;
+    /// A flight-recorder event (`streamhist-obs`), as carried inside the
+    /// serve protocol's `events` admin verb responses.
+    pub const EVENT: u8 = 35;
 }
 
 /// Durable save/restore of a summary's complete state.

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::recorder::FlightRecorder;
 use crate::registry::MetricsRegistry;
 
 /// How long the accept loop sleeps between polls when idle.
@@ -28,6 +29,43 @@ const IDLE_POLL: Duration = Duration::from_millis(25);
 /// Per-connection read/write deadline — protects the loop from a stalled
 /// or malicious client holding the (single-threaded) server hostage.
 const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// What a [`health` closure](ExpositionOptions::health) reports: whether
+/// every shard is Live, and a one-line per-shard summary for the 503 body
+/// when one is not.
+#[derive(Debug, Clone)]
+pub struct HealthStatus {
+    /// `true` iff every shard is Live.
+    pub healthy: bool,
+    /// One-line per-shard state summary (e.g. `shard0=Live shard1=Dead`).
+    pub summary: String,
+}
+
+/// A supervisor-aware health callback for `/healthz`. The closure runs on
+/// the scrape thread, so it must be cheap and never block on the fleet's
+/// hot path.
+pub type HealthSource = Arc<dyn Fn() -> HealthStatus + Send + Sync>;
+
+/// Optional extras for [`ExpositionServer::start_with`].
+#[derive(Default)]
+pub struct ExpositionOptions {
+    /// When set, `GET /events` dumps the recorder's retained tail as text
+    /// (`?after=N` pages by sequence number). Absent → 404.
+    pub recorder: Option<Arc<FlightRecorder>>,
+    /// When set, `GET /healthz` answers 200 when
+    /// [`healthy`](HealthStatus::healthy), else 503 with the summary as
+    /// the body. Absent → 404.
+    pub health: Option<HealthSource>,
+}
+
+impl std::fmt::Debug for ExpositionOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpositionOptions")
+            .field("recorder", &self.recorder.is_some())
+            .field("health", &self.health.is_some())
+            .finish()
+    }
+}
 
 /// A background metrics scrape endpoint. See the [module docs](self).
 #[derive(Debug)]
@@ -45,6 +83,20 @@ impl ExpositionServer {
     ///
     /// Returns the bind/configure error if the listener cannot be set up.
     pub fn start(addr: impl ToSocketAddrs, registry: Arc<MetricsRegistry>) -> io::Result<Self> {
+        Self::start_with(addr, registry, ExpositionOptions::default())
+    }
+
+    /// Like [`start`](Self::start), but with a flight recorder behind
+    /// `GET /events` and/or a health callback behind `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/configure error if the listener cannot be set up.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        options: ExpositionOptions,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -52,7 +104,7 @@ impl ExpositionServer {
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("streamhist-obs-http".to_string())
-            .spawn(move || accept_loop(&listener, &registry, &stop_flag))?;
+            .spawn(move || accept_loop(&listener, &registry, &options, &stop_flag))?;
         Ok(Self {
             addr: local,
             stop,
@@ -85,13 +137,18 @@ impl Drop for ExpositionServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, registry: &MetricsRegistry, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &MetricsRegistry,
+    options: &ExpositionOptions,
+    stop: &AtomicBool,
+) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 // Best-effort: a failed scrape must never take the server
                 // (or the instrumented process) down.
-                let _ = serve_one(stream, registry);
+                let _ = serve_one(stream, registry, options);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(IDLE_POLL);
@@ -149,7 +206,11 @@ pub fn read_line_bounded<R: Read>(stream: &mut R, max: usize) -> io::Result<Stri
     Ok(String::from_utf8_lossy(&line).into_owned())
 }
 
-fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    options: &ExpositionOptions,
+) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
@@ -168,13 +229,32 @@ fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()
     }
     let mut parts = request.split_whitespace();
     let method = parts.next().unwrap_or_default();
-    let path = parts.next().unwrap_or_default();
-    let path = path.split('?').next().unwrap_or_default();
+    let full_path = parts.next().unwrap_or_default();
+    let mut path_parts = full_path.splitn(2, '?');
+    let path = path_parts.next().unwrap_or_default();
+    let query = path_parts.next().unwrap_or_default();
 
     let (status, body) = if method != "GET" {
         ("405 Method Not Allowed", "method not allowed\n".to_string())
     } else if path == "/" || path == "/metrics" {
         ("200 OK", registry.text_exposition())
+    } else if path == "/events" {
+        match &options.recorder {
+            Some(recorder) => ("200 OK", recorder.render_text(events_after(query))),
+            None => ("404 Not Found", "no flight recorder attached\n".to_string()),
+        }
+    } else if path == "/healthz" {
+        match &options.health {
+            Some(health) => {
+                let status = health();
+                if status.healthy {
+                    ("200 OK", format!("ok {}\n", status.summary))
+                } else {
+                    ("503 Service Unavailable", format!("{}\n", status.summary))
+                }
+            }
+            None => ("404 Not Found", "no health source attached\n".to_string()),
+        }
     } else {
         ("404 Not Found", "not found; try /metrics\n".to_string())
     };
@@ -184,6 +264,18 @@ fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// Parses the `after=N` query parameter of `/events`; a missing or
+/// malformed value means "from the beginning". The returned sequence
+/// number is *exclusive* — `after=7` starts the page at seq 8, matching
+/// the "pass the last seq you saw" paging idiom.
+fn events_after(query: &str) -> u64 {
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("after="))
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(0, |n| n.saturating_add(1))
 }
 
 #[cfg(test)]
@@ -270,6 +362,77 @@ mod tests {
             read_line_bounded(&mut bare, 64).unwrap(),
             "no newline at all"
         );
+    }
+
+    #[test]
+    fn events_endpoint_serves_and_pages_the_recorder() {
+        use crate::recorder::{EventKind, FlightRecorder};
+        let reg = Arc::new(MetricsRegistry::new());
+        let recorder = Arc::new(FlightRecorder::with_capacity(32));
+        for shard in 0..5usize {
+            recorder.record(EventKind::ShardDied { shard });
+        }
+        let server = ExpositionServer::start_with(
+            "127.0.0.1:0",
+            reg,
+            ExpositionOptions {
+                recorder: Some(Arc::clone(&recorder)),
+                health: None,
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let all = scrape(addr, "GET /events HTTP/1.1\r\n\r\n");
+        assert!(all.starts_with("HTTP/1.1 200 OK"), "{all}");
+        assert!(all.contains("#0 "), "{all}");
+        assert!(all.contains("shard_died shard=4"), "{all}");
+        let paged = scrape(addr, "GET /events?after=2 HTTP/1.1\r\n\r\n");
+        assert!(!paged.contains("#2 "), "after is exclusive: {paged}");
+        assert!(paged.contains("#3 "), "{paged}");
+        // No health source attached → /healthz is 404.
+        let hz = scrape(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(hz.starts_with("HTTP/1.1 404"), "{hz}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_200_then_503() {
+        use std::sync::atomic::AtomicBool;
+        let reg = Arc::new(MetricsRegistry::new());
+        let sick = Arc::new(AtomicBool::new(false));
+        let sick_view = Arc::clone(&sick);
+        let server = ExpositionServer::start_with(
+            "127.0.0.1:0",
+            reg,
+            ExpositionOptions {
+                recorder: None,
+                health: Some(Arc::new(move || {
+                    if sick_view.load(Ordering::Relaxed) {
+                        HealthStatus {
+                            healthy: false,
+                            summary: "shard0=Dead shard1=Live".to_string(),
+                        }
+                    } else {
+                        HealthStatus {
+                            healthy: true,
+                            summary: "shard0=Live shard1=Live".to_string(),
+                        }
+                    }
+                })),
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let ok = scrape(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        sick.store(true, Ordering::Relaxed);
+        let bad = scrape(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.1 503"), "{bad}");
+        assert!(bad.contains("shard0=Dead shard1=Live"), "{bad}");
+        // No recorder attached → /events is 404.
+        let ev = scrape(addr, "GET /events HTTP/1.1\r\n\r\n");
+        assert!(ev.starts_with("HTTP/1.1 404"), "{ev}");
+        server.shutdown();
     }
 
     #[test]

@@ -40,13 +40,17 @@ pub mod expo;
 pub mod http;
 pub mod latency;
 pub mod ratio;
+pub mod recorder;
 pub mod registry;
+pub mod sliding;
 
 pub use expo::{parse_exposition, ParsedSample};
-pub use http::{read_line_bounded, ExpositionServer, MAX_LINE};
+pub use http::{read_line_bounded, ExpositionOptions, ExpositionServer, HealthStatus, MAX_LINE};
 pub use latency::{LatencyRecorder, LatencySnapshot, LatencySpan};
 pub use ratio::RatioTracker;
+pub use recorder::{Event, EventKind, FlightRecorder, DEFAULT_CAPACITY};
 pub use registry::{
     global, Counter, FamilySnapshot, FloatGauge, Gauge, MetricKind, MetricsRegistry, SampleValue,
     SeriesSnapshot,
 };
+pub use sliding::{RateFamily, SlidingSum};

@@ -1,0 +1,223 @@
+//! O(1)-word sliding-window sums, after Ben Basat et al., "Efficient
+//! Summing over Sliding Windows".
+//!
+//! An exact sliding-window sum needs memory proportional to the window
+//! (one word per bucket). The two-frame estimator below keeps **two
+//! words** per window and trades them for a bounded additive error: time
+//! is cut into frames of length `W` (the window), and the estimate at
+//! time `t` inside the current frame is
+//!
+//! ```text
+//! estimate(t) = prev * (1 - elapsed/W) + cur
+//! ```
+//!
+//! where `prev` is the previous frame's total, `cur` is the running total
+//! of the current frame, and `elapsed` is how far into the current frame
+//! `t` is. The true window `[t - W, t]` overlaps exactly `1 - elapsed/W`
+//! of the previous frame, so the only error is assuming the previous
+//! frame's arrivals were uniform: the estimate is within one previous
+//! frame's *skew* of the truth and never off by more than `prev` itself.
+//! That is precisely the accuracy class the paper shows is optimal for
+//! o(window) memory, and it is plenty for "events per second" gauges.
+//!
+//! [`SlidingSum`] is one window; [`RateFamily`] bundles the standard
+//! 1s/10s/60s triple behind a single mutex for the flight recorder.
+
+use std::sync::{Mutex, PoisonError};
+
+/// A sliding-window sum over a fixed window, in O(1) words.
+///
+/// Timestamps are caller-supplied milliseconds on any monotonic scale
+/// (the flight recorder uses milliseconds since its creation). Feeding a
+/// timestamp older than the current frame start is treated as "now" at
+/// the frame start — the estimator never panics or goes backwards.
+#[derive(Debug, Clone)]
+pub struct SlidingSum {
+    window_ms: u64,
+    /// Start of the current frame on the caller's clock.
+    frame_start: u64,
+    /// Total of the previous (completed) frame.
+    prev: f64,
+    /// Running total of the current frame.
+    cur: f64,
+}
+
+impl SlidingSum {
+    /// A sum over a window of `window_ms` milliseconds (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(window_ms: u64) -> Self {
+        Self {
+            window_ms: window_ms.max(1),
+            frame_start: 0,
+            prev: 0.0,
+            cur: 0.0,
+        }
+    }
+
+    /// The window length in milliseconds.
+    #[must_use]
+    pub fn window_ms(&self) -> u64 {
+        self.window_ms
+    }
+
+    /// Advances frames so `now` falls inside the current frame.
+    fn roll(&mut self, now: u64) {
+        if now < self.frame_start {
+            return; // stale clock reading; stay in this frame
+        }
+        let elapsed = now - self.frame_start;
+        if elapsed < self.window_ms {
+            return;
+        }
+        if elapsed >= 2 * self.window_ms {
+            // A gap of two or more whole frames: both frames are empty.
+            self.prev = 0.0;
+            self.cur = 0.0;
+            // Align the frame start to the window grid so repeated long
+            // gaps do not drift it.
+            self.frame_start = now - (elapsed % self.window_ms);
+        } else {
+            self.prev = self.cur;
+            self.cur = 0.0;
+            self.frame_start += self.window_ms;
+        }
+    }
+
+    /// Adds `n` at time `now`.
+    pub fn add(&mut self, now: u64, n: f64) {
+        self.roll(now);
+        self.cur += n;
+    }
+
+    /// The estimated sum over `[now - window, now]`.
+    ///
+    /// Additive error is at most the previous frame's total (zero when
+    /// arrivals are uniform within frames).
+    #[must_use]
+    pub fn estimate(&mut self, now: u64) -> f64 {
+        self.roll(now);
+        let elapsed = now.saturating_sub(self.frame_start).min(self.window_ms);
+        let carry = 1.0 - (elapsed as f64 / self.window_ms as f64);
+        self.prev * carry + self.cur
+    }
+
+    /// The estimated sum expressed as a per-second rate.
+    #[must_use]
+    pub fn rate_per_sec(&mut self, now: u64) -> f64 {
+        self.estimate(now) * 1000.0 / self.window_ms as f64
+    }
+}
+
+/// A small family of [`SlidingSum`]s over different windows, sharing one
+/// lock — the flight recorder's events-per-second gauges.
+#[derive(Debug)]
+pub struct RateFamily {
+    /// `(window_seconds, sum)` pairs, shortest window first.
+    windows: Mutex<Vec<(u64, SlidingSum)>>,
+}
+
+impl RateFamily {
+    /// A family over the given windows (in seconds, deduplicated order
+    /// preserved).
+    #[must_use]
+    pub fn new(window_secs: &[u64]) -> Self {
+        Self {
+            windows: Mutex::new(
+                window_secs
+                    .iter()
+                    .map(|&s| (s, SlidingSum::new(s.saturating_mul(1000))))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The standard 1s / 10s / 60s triple.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(&[1, 10, 60])
+    }
+
+    /// Records one occurrence at `now_ms`.
+    pub fn observe(&self, now_ms: u64) {
+        let mut windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+        for (_, sum) in windows.iter_mut() {
+            sum.add(now_ms, 1.0);
+        }
+    }
+
+    /// Per-second rates at `now_ms`, as `(window_seconds, rate)` pairs.
+    #[must_use]
+    pub fn rates(&self, now_ms: u64) -> Vec<(u64, f64)> {
+        let mut windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+        windows
+            .iter_mut()
+            .map(|(secs, sum)| (*secs, sum.rate_per_sec(now_ms)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_within_one_frame() {
+        let mut s = SlidingSum::new(1000);
+        s.add(0, 3.0);
+        s.add(500, 4.0);
+        assert!((s.estimate(900) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn previous_frame_decays_linearly() {
+        let mut s = SlidingSum::new(1000);
+        s.add(100, 10.0);
+        // Roll into the next frame; prev = 10, cur = 0.
+        s.add(1000, 0.0);
+        let half = s.estimate(1500);
+        assert!((half - 5.0).abs() < 1e-9, "{half}");
+        let end = s.estimate(1999);
+        assert!(end < 0.1, "{end}");
+    }
+
+    #[test]
+    fn long_gap_zeroes_both_frames() {
+        let mut s = SlidingSum::new(1000);
+        s.add(0, 100.0);
+        assert!(s.estimate(10_000) < 1e-9);
+        // And the estimator still works after the gap.
+        s.add(10_100, 2.0);
+        assert!((s.estimate(10_200) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_timestamps_do_not_panic_or_reverse() {
+        let mut s = SlidingSum::new(1000);
+        s.add(5000, 1.0);
+        s.add(10, 1.0); // stale: counted into the current frame
+        assert!(s.estimate(5000) >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn rate_is_sum_scaled_to_seconds() {
+        let mut s = SlidingSum::new(10_000);
+        for t in 0..10u64 {
+            s.add(t * 1000, 5.0); // 5 events/sec for 10s
+        }
+        let rate = s.rate_per_sec(9_500);
+        assert!((rate - 5.0).abs() < 1.0, "{rate}");
+    }
+
+    #[test]
+    fn family_observes_all_windows() {
+        let fam = RateFamily::standard();
+        for t in 0..100u64 {
+            fam.observe(t * 10); // 100 events over 1s
+        }
+        let rates = fam.rates(999);
+        assert_eq!(rates.len(), 3);
+        assert_eq!(rates[0].0, 1);
+        assert!(rates[0].1 > 50.0, "1s window sees ~100/s: {rates:?}");
+        assert!(rates[2].1 > 0.0, "60s window sees events too");
+    }
+}

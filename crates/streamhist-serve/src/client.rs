@@ -18,6 +18,7 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 use streamhist_core::checkpoint::tag;
 use streamhist_core::StreamhistError;
+use streamhist_obs::Event;
 use streamhist_stream::{Coverage, ShardHealth, ShardMetrics};
 
 /// Ceiling on one retry backoff step, before jitter.
@@ -112,6 +113,13 @@ pub struct ServeClient {
     timeout: Duration,
     budget: Option<RetryBudget>,
     retries: u64,
+    /// Trace id attached to every outgoing request (see the protocol
+    /// module docs); `None` sends untraced requests and lets the server
+    /// assign ids.
+    trace: Option<u64>,
+    /// Trace id on the most recent decoded reply (echoed by the server,
+    /// whether the call succeeded or returned a server error frame).
+    last_trace: Option<u64>,
 }
 
 impl ServeClient {
@@ -141,7 +149,25 @@ impl ServeClient {
             timeout,
             budget: None,
             retries: 0,
+            trace: None,
+            last_trace: None,
         })
+    }
+
+    /// Sets (or clears) the trace id attached to every subsequent
+    /// request. The server echoes it byte-identically on the reply;
+    /// retries of one call re-send the same id.
+    pub fn set_trace(&mut self, trace: Option<u64>) {
+        self.trace = trace;
+    }
+
+    /// The trace id echoed on the most recent decoded reply: the one this
+    /// client sent, or the server-assigned id if the request went out
+    /// untraced. `None` until a reply arrives (or when talking to a
+    /// pre-trace server).
+    #[must_use]
+    pub fn last_trace(&self) -> Option<u64> {
+        self.last_trace
     }
 
     /// Enables a [`RetryBudget`]: idempotent read verbs issued through
@@ -204,7 +230,9 @@ impl ServeClient {
     ///
     /// See [`ClientError`].
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let frame = req.encode();
+        // Encode once: retries re-send the identical frame, so the trace
+        // id ties every attempt of a call together in the server's log.
+        let frame = req.encode_traced(self.trace);
         let Some(budget) = self.budget else {
             return self.call_raw_frame(&frame);
         };
@@ -259,10 +287,18 @@ impl ServeClient {
         };
         // The third frame byte is the type tag; dispatch on it.
         match reply.get(2).copied() {
-            Some(tag::SERVE_RESPONSE) => Response::decode(&reply).map_err(ClientError::Protocol),
-            Some(tag::SERVE_ERROR) => Err(ClientError::Server(
-                WireError::decode(&reply).map_err(ClientError::Protocol)?,
-            )),
+            Some(tag::SERVE_RESPONSE) => {
+                let (resp, trace) =
+                    Response::decode_traced(&reply).map_err(ClientError::Protocol)?;
+                self.last_trace = trace;
+                Ok(resp)
+            }
+            Some(tag::SERVE_ERROR) => {
+                let (err, trace) =
+                    WireError::decode_traced(&reply).map_err(ClientError::Protocol)?;
+                self.last_trace = trace;
+                Err(ClientError::Server(err))
+            }
             _ => Err(ClientError::Protocol(StreamhistError::CorruptCheckpoint {
                 reason: "reply frame has an unknown type tag",
             })),
@@ -409,6 +445,51 @@ impl ServeClient {
         match self.call(&Request::Health)? {
             Response::Health { supervised, shards } => Ok((supervised, shards)),
             _ => Err(ClientError::UnexpectedResponse("a health report")),
+        }
+    }
+
+    /// One page of flight-recorder events with sequence number `>= from`;
+    /// returns `(recorded, events)` where `recorded` is the server's
+    /// total-ever count. Page by passing the last event's `seq + 1`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn events(&mut self, from: u64) -> Result<(u64, Vec<Event>), ClientError> {
+        match self.call(&Request::Events { from })? {
+            Response::Events { recorded, events } => Ok((recorded, events)),
+            _ => Err(ClientError::UnexpectedResponse("an events page")),
+        }
+    }
+
+    /// Every event the server's recorder still retains from `from`
+    /// onward, paging until exhausted; returns `(recorded, events)`.
+    ///
+    /// The drain is a *snapshot*: paging stops at the recorder's sequence
+    /// watermark observed on the first page, so events recorded while the
+    /// drain itself runs are left for the next call. Without the cutoff a
+    /// server that records its own request handling (e.g. a zero
+    /// slow-query threshold logging every `events` page) would feed the
+    /// pager one fresh event per page, forever.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn events_all(&mut self, from: u64) -> Result<(u64, Vec<Event>), ClientError> {
+        let (watermark, mut page) = self.events(from)?;
+        let mut all = Vec::new();
+        loop {
+            let Some(last) = page.last() else {
+                return Ok((watermark, all));
+            };
+            // The cursor advances past the page's raw tail before the
+            // watermark filter, so it grows strictly every round.
+            let next = last.seq + 1;
+            all.extend(page.into_iter().filter(|e| e.seq < watermark));
+            if next >= watermark {
+                return Ok((watermark, all));
+            }
+            page = self.events(next)?.1;
         }
     }
 }

@@ -57,7 +57,8 @@ pub mod state;
 
 pub use client::{ClientError, RetryBudget, ServeClient};
 pub use protocol::{
-    ErrorCode, Packet, QuantileMethod, Request, Response, WireError, MAX_FRAME, MIN_FRAME,
+    decode_event, encode_event, ErrorCode, Packet, QuantileMethod, Request, Response, WireError,
+    EVENTS_PAGE_MAX, MAX_FRAME, MIN_FRAME,
 };
 pub use server::{QueryServer, ServerOptions};
 pub use state::ServeState;

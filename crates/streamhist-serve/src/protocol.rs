@@ -27,11 +27,25 @@
 //! guarantees the recovery suite already fuzzes: CRC-32 catches every
 //! single-bit flip, counts are bounded against the remaining payload, and
 //! trailing bytes are rejected.
+//!
+//! ## Trace ids
+//!
+//! Every frame kind (request, response, error) may carry an optional
+//! **trace id**: a varint appended after the verb payload, inside the
+//! CRC. Presence is signalled by position — a frame whose payload has
+//! bytes left after the verb fields carries a trace. A client that sends
+//! one gets the same id echoed byte-identically on the reply (success or
+//! error); a client that sends none gets a server-assigned id echoed
+//! back, so every request can be correlated with the server's slow-query
+//! log. Pre-trace peers interoperate unchanged: they emit no trailing
+//! varint (decoded as "no trace") and ignore one on receipt
+//! ([`Request::decode`]/[`Response::decode`] discard it).
 
 use std::fmt;
 use std::io::{self, Read, Write};
 use streamhist_core::checkpoint::{tag, FrameReader, FrameWriter};
 use streamhist_core::{Query, StreamhistError};
+use streamhist_obs::{Event, EventKind};
 use streamhist_stream::{Coverage, ShardHealth, ShardMetrics, ShardState};
 
 /// Hard bound on one frame, excluding the length prefix. Requests are
@@ -81,6 +95,28 @@ mod verb {
     pub const CHECKPOINT_ALL: u8 = 18;
     pub const WAL_STATUS: u8 = 19;
     pub const HEALTH: u8 = 20;
+    pub const EVENTS: u8 = 21;
+}
+
+/// Most events one [`Response::Events`] page carries. Bounds the response
+/// frame well under [`MAX_FRAME`]; clients page by sequence number.
+pub const EVENTS_PAGE_MAX: usize = 128;
+
+/// Appends the optional trailing trace-id varint (see the module docs).
+fn put_trace(w: &mut FrameWriter, trace: Option<u64>) {
+    if let Some(t) = trace {
+        w.put_varint(t);
+    }
+}
+
+/// Reads the optional trailing trace-id varint: present iff payload bytes
+/// remain after the verb fields.
+fn get_trace(r: &mut FrameReader<'_>) -> Result<Option<u64>, StreamhistError> {
+    if r.remaining() > 0 {
+        Ok(Some(r.get_varint()?))
+    } else {
+        Ok(None)
+    }
 }
 
 /// One client request. Index-domain queries (`RangeSum`/`RangeAvg`/
@@ -147,6 +183,13 @@ pub enum Request {
     /// Admin: per-shard supervisor health (state machine position,
     /// consecutive failures, restarts).
     Health,
+    /// Admin: a page of flight-recorder events with sequence number
+    /// `>= from` (at most [`EVENTS_PAGE_MAX`] per reply; page by passing
+    /// the last seq seen plus one).
+    Events {
+        /// First sequence number wanted (inclusive).
+        from: u64,
+    },
 }
 
 impl Request {
@@ -166,6 +209,7 @@ impl Request {
             Self::CheckpointAll => "checkpoint_all",
             Self::WalStatus => "wal_status",
             Self::Health => "health",
+            Self::Events { .. } => "events",
         }
     }
 
@@ -185,6 +229,7 @@ impl Request {
             Self::CheckpointAll => verb::CHECKPOINT_ALL,
             Self::WalStatus => verb::WAL_STATUS,
             Self::Health => verb::HEALTH,
+            Self::Events { .. } => verb::EVENTS,
         }
     }
 
@@ -201,9 +246,16 @@ impl Request {
         }
     }
 
-    /// Serializes the request into one self-validating frame.
+    /// Serializes the request into one self-validating frame (no trace
+    /// id; see [`encode_traced`](Self::encode_traced)).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_traced(None)
+    }
+
+    /// Serializes the request with an optional trailing trace id.
+    #[must_use]
+    pub fn encode_traced(&self, trace: Option<u64>) -> Vec<u8> {
         let mut w = FrameWriter::new(tag::SERVE_REQUEST);
         match *self {
             Self::RangeSum { start, end } => {
@@ -252,7 +304,12 @@ impl Request {
             Self::Health => {
                 w.put_u8(verb::HEALTH);
             }
+            Self::Events { from } => {
+                w.put_u8(verb::EVENTS);
+                w.put_varint(from);
+            }
         }
+        put_trace(&mut w, trace);
         w.finish()
     }
 
@@ -266,6 +323,16 @@ impl Request {
     /// [`WireError`] describing the rejection; never panics on arbitrary
     /// input.
     pub fn decode(frame: &[u8]) -> Result<Self, WireError> {
+        Self::decode_traced(frame).map(|(req, _)| req)
+    }
+
+    /// Decodes a request frame together with its optional trailing trace
+    /// id (`None` for pre-trace peers).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`decode`](Self::decode).
+    pub fn decode_traced(frame: &[u8]) -> Result<(Self, Option<u64>), WireError> {
         let malformed = |e: StreamhistError| WireError {
             code: ErrorCode::MalformedFrame,
             detail: e.to_string(),
@@ -312,6 +379,9 @@ impl Request {
             verb::CHECKPOINT_ALL => Self::CheckpointAll,
             verb::WAL_STATUS => Self::WalStatus,
             verb::HEALTH => Self::Health,
+            verb::EVENTS => Self::Events {
+                from: r.get_varint().map_err(malformed)?,
+            },
             other => {
                 return Err(WireError {
                     code: ErrorCode::Unsupported,
@@ -319,8 +389,9 @@ impl Request {
                 })
             }
         };
+        let trace = get_trace(&mut r).map_err(malformed)?;
         r.finish().map_err(malformed)?;
-        Ok(req)
+        Ok((req, trace))
     }
 }
 
@@ -373,12 +444,250 @@ pub enum Response {
         /// One entry per shard, in shard order.
         shards: Vec<ShardHealth>,
     },
+    /// Reply to [`Request::Events`]: one page of flight-recorder events
+    /// in ascending sequence order.
+    Events {
+        /// Total events ever recorded (the recorder's next seq) — lets a
+        /// client tell "no events in range" from "recorder wrapped past
+        /// you".
+        recorded: u64,
+        /// The page, oldest first (at most [`EVENTS_PAGE_MAX`]).
+        events: Vec<Event>,
+    },
+}
+
+/// Wire bytes for [`EventKind`] variants inside an event frame.
+mod ekind {
+    pub const SHARD_DIED: u8 = 1;
+    pub const SHARD_RESTARTED: u8 = 2;
+    pub const RESTART_DEFERRED: u8 = 3;
+    pub const SHARD_QUARANTINED: u8 = 4;
+    pub const SHARD_PROBATION: u8 = 5;
+    pub const SHARD_RECOVERED: u8 = 6;
+    pub const CHECKPOINT_UPLOADED: u8 = 7;
+    pub const UPLOAD_RETRIED: u8 = 8;
+    pub const OVERLOADED: u8 = 9;
+    pub const SLOW_QUERY: u8 = 10;
+    pub const SNAPSHOT_DEGRADED: u8 = 11;
+}
+
+/// Longest `SlowQuery` verb string carried on the wire; longer names are
+/// truncated at encode so an event can never blow the page budget.
+const EVENT_VERB_MAX: usize = 64;
+
+/// Encodes one event as a self-validating `tag::EVENT` frame (nested
+/// inside a [`Response::Events`] page as a length-prefixed blob).
+#[must_use]
+pub fn encode_event(event: &Event) -> Vec<u8> {
+    let mut w = FrameWriter::new(tag::EVENT);
+    w.put_varint(event.seq);
+    w.put_varint(event.at_ms);
+    match &event.kind {
+        EventKind::ShardDied { shard } => {
+            w.put_u8(ekind::SHARD_DIED);
+            w.put_usize(*shard);
+        }
+        EventKind::ShardRestarted {
+            shard,
+            restored_len,
+            lost,
+        } => {
+            w.put_u8(ekind::SHARD_RESTARTED);
+            w.put_usize(*shard);
+            w.put_varint(*restored_len);
+            w.put_varint(*lost);
+        }
+        EventKind::RestartDeferred { shard } => {
+            w.put_u8(ekind::RESTART_DEFERRED);
+            w.put_usize(*shard);
+        }
+        EventKind::ShardQuarantined { shard } => {
+            w.put_u8(ekind::SHARD_QUARANTINED);
+            w.put_usize(*shard);
+        }
+        EventKind::ShardProbation { shard } => {
+            w.put_u8(ekind::SHARD_PROBATION);
+            w.put_usize(*shard);
+        }
+        EventKind::ShardRecovered { shard } => {
+            w.put_u8(ekind::SHARD_RECOVERED);
+            w.put_usize(*shard);
+        }
+        EventKind::CheckpointUploaded {
+            shard,
+            upload_seq,
+            bytes,
+        } => {
+            w.put_u8(ekind::CHECKPOINT_UPLOADED);
+            w.put_usize(*shard);
+            w.put_varint(*upload_seq);
+            w.put_varint(*bytes);
+        }
+        EventKind::UploadRetried { shard, attempt } => {
+            w.put_u8(ekind::UPLOAD_RETRIED);
+            w.put_usize(*shard);
+            w.put_varint(u64::from(*attempt));
+        }
+        EventKind::Overloaded { shard, dropped } => {
+            w.put_u8(ekind::OVERLOADED);
+            match shard {
+                Some(s) => {
+                    w.put_u8(1);
+                    w.put_usize(*s);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_varint(*dropped);
+        }
+        EventKind::SlowQuery {
+            verb,
+            trace,
+            decode_us,
+            answer_us,
+            encode_us,
+            total_us,
+        } => {
+            w.put_u8(ekind::SLOW_QUERY);
+            let mut name = verb.as_str();
+            if name.len() > EVENT_VERB_MAX {
+                let mut cut = EVENT_VERB_MAX;
+                while !name.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                name = &name[..cut];
+            }
+            w.put_bytes(name.as_bytes());
+            match trace {
+                Some(t) => {
+                    w.put_u8(1);
+                    w.put_varint(*t);
+                }
+                None => w.put_u8(0),
+            }
+            w.put_varint(*decode_us);
+            w.put_varint(*answer_us);
+            w.put_varint(*encode_us);
+            w.put_varint(*total_us);
+        }
+        EventKind::SnapshotDegraded {
+            shards_included,
+            shards_total,
+        } => {
+            w.put_u8(ekind::SNAPSHOT_DEGRADED);
+            w.put_usize(*shards_included);
+            w.put_usize(*shards_total);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes one `tag::EVENT` frame.
+///
+/// # Errors
+///
+/// [`StreamhistError`] if the frame fails envelope or payload validation
+/// or carries an unknown event kind.
+pub fn decode_event(frame: &[u8]) -> Result<Event, StreamhistError> {
+    let mut r = FrameReader::open(frame, tag::EVENT)?;
+    let seq = r.get_varint()?;
+    let at_ms = r.get_varint()?;
+    let kind_byte = r.get_u8()?;
+    let kind = match kind_byte {
+        ekind::SHARD_DIED => EventKind::ShardDied {
+            shard: r.get_usize()?,
+        },
+        ekind::SHARD_RESTARTED => EventKind::ShardRestarted {
+            shard: r.get_usize()?,
+            restored_len: r.get_varint()?,
+            lost: r.get_varint()?,
+        },
+        ekind::RESTART_DEFERRED => EventKind::RestartDeferred {
+            shard: r.get_usize()?,
+        },
+        ekind::SHARD_QUARANTINED => EventKind::ShardQuarantined {
+            shard: r.get_usize()?,
+        },
+        ekind::SHARD_PROBATION => EventKind::ShardProbation {
+            shard: r.get_usize()?,
+        },
+        ekind::SHARD_RECOVERED => EventKind::ShardRecovered {
+            shard: r.get_usize()?,
+        },
+        ekind::CHECKPOINT_UPLOADED => EventKind::CheckpointUploaded {
+            shard: r.get_usize()?,
+            upload_seq: r.get_varint()?,
+            bytes: r.get_varint()?,
+        },
+        ekind::UPLOAD_RETRIED => EventKind::UploadRetried {
+            shard: r.get_usize()?,
+            attempt: u32::try_from(r.get_varint()?).map_err(|_| {
+                StreamhistError::CorruptCheckpoint {
+                    reason: "upload-retried attempt exceeds u32",
+                }
+            })?,
+        },
+        ekind::OVERLOADED => {
+            let flag = r.get_u8()?;
+            let shard = match flag {
+                0 => None,
+                1 => Some(r.get_usize()?),
+                _ => {
+                    return Err(StreamhistError::CorruptCheckpoint {
+                        reason: "overloaded shard flag out of range",
+                    })
+                }
+            };
+            EventKind::Overloaded {
+                shard,
+                dropped: r.get_varint()?,
+            }
+        }
+        ekind::SLOW_QUERY => {
+            let verb = String::from_utf8_lossy(r.get_bytes()?).into_owned();
+            let flag = r.get_u8()?;
+            let trace = match flag {
+                0 => None,
+                1 => Some(r.get_varint()?),
+                _ => {
+                    return Err(StreamhistError::CorruptCheckpoint {
+                        reason: "slow-query trace flag out of range",
+                    })
+                }
+            };
+            EventKind::SlowQuery {
+                verb,
+                trace,
+                decode_us: r.get_varint()?,
+                answer_us: r.get_varint()?,
+                encode_us: r.get_varint()?,
+                total_us: r.get_varint()?,
+            }
+        }
+        ekind::SNAPSHOT_DEGRADED => EventKind::SnapshotDegraded {
+            shards_included: r.get_usize()?,
+            shards_total: r.get_usize()?,
+        },
+        _ => {
+            return Err(StreamhistError::CorruptCheckpoint {
+                reason: "unknown event kind",
+            })
+        }
+    };
+    r.finish()?;
+    Ok(Event { seq, at_ms, kind })
 }
 
 impl Response {
-    /// Serializes the response into one self-validating frame.
+    /// Serializes the response into one self-validating frame (no trace
+    /// id; see [`encode_traced`](Self::encode_traced)).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_traced(None)
+    }
+
+    /// Serializes the response with an optional trailing trace id.
+    #[must_use]
+    pub fn encode_traced(&self, trace: Option<u64>) -> Vec<u8> {
         let mut w = FrameWriter::new(tag::SERVE_RESPONSE);
         match self {
             Self::Scalar {
@@ -451,17 +760,39 @@ impl Response {
                     w.put_varint(h.restarts);
                 }
             }
+            Self::Events { recorded, events } => {
+                w.put_u8(verb::EVENTS);
+                w.put_varint(*recorded);
+                let page = &events[..events.len().min(EVENTS_PAGE_MAX)];
+                w.put_usize(page.len());
+                for e in page {
+                    w.put_bytes(&encode_event(e));
+                }
+            }
         }
+        put_trace(&mut w, trace);
         w.finish()
     }
 
-    /// Decodes a response frame.
+    /// Decodes a response frame, discarding any trailing trace id (see
+    /// [`decode_traced`](Self::decode_traced)).
     ///
     /// # Errors
     ///
     /// [`StreamhistError`] if the frame fails envelope or payload
     /// validation.
     pub fn decode(frame: &[u8]) -> Result<Self, StreamhistError> {
+        Self::decode_traced(frame).map(|(resp, _)| resp)
+    }
+
+    /// Decodes a response frame together with its optional trailing
+    /// trace id (`None` for pre-trace peers).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError`] if the frame fails envelope or payload
+    /// validation.
+    pub fn decode_traced(frame: &[u8]) -> Result<(Self, Option<u64>), StreamhistError> {
         let mut r = FrameReader::open(frame, tag::SERVE_RESPONSE)?;
         let verb_byte = r.get_u8()?;
         let resp = match verb_byte {
@@ -542,6 +873,22 @@ impl Response {
                     shards,
                 }
             }
+            verb::EVENTS => {
+                let recorded = r.get_varint()?;
+                // Each entry is a length-prefixed nested frame: at least
+                // a 1-byte length plus MIN_FRAME bytes of frame.
+                let n = r.get_count(1 + MIN_FRAME)?;
+                if n > EVENTS_PAGE_MAX {
+                    return Err(StreamhistError::CorruptCheckpoint {
+                        reason: "events page exceeds the page bound",
+                    });
+                }
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push(decode_event(r.get_bytes()?)?);
+                }
+                Self::Events { recorded, events }
+            }
             v if (verb::RANGE_SUM..=verb::SELECTIVITY).contains(&v) => {
                 let value = r.get_f64()?;
                 let coverage = Coverage {
@@ -569,8 +916,9 @@ impl Response {
                 })
             }
         };
+        let trace = get_trace(&mut r)?;
         r.finish()?;
-        Ok(resp)
+        Ok((resp, trace))
     }
 }
 
@@ -660,6 +1008,13 @@ impl WireError {
     /// error path can never build an oversized frame.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_traced(None)
+    }
+
+    /// Serializes the error with an optional trailing trace id — error
+    /// replies echo the request's trace just like successes do.
+    #[must_use]
+    pub fn encode_traced(&self, trace: Option<u64>) -> Vec<u8> {
         let mut w = FrameWriter::new(tag::SERVE_ERROR);
         w.put_u8(self.code.to_wire());
         let mut detail = self.detail.as_str();
@@ -671,24 +1026,37 @@ impl WireError {
             detail = &detail[..cut];
         }
         w.put_bytes(detail.as_bytes());
+        put_trace(&mut w, trace);
         w.finish()
     }
 
-    /// Decodes an error frame.
+    /// Decodes an error frame, discarding any trailing trace id.
     ///
     /// # Errors
     ///
     /// [`StreamhistError`] if the frame fails validation or carries an
     /// unknown error code.
     pub fn decode(frame: &[u8]) -> Result<Self, StreamhistError> {
+        Self::decode_traced(frame).map(|(e, _)| e)
+    }
+
+    /// Decodes an error frame together with its optional trailing trace
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamhistError`] if the frame fails validation or carries an
+    /// unknown error code.
+    pub fn decode_traced(frame: &[u8]) -> Result<(Self, Option<u64>), StreamhistError> {
         let mut r = FrameReader::open(frame, tag::SERVE_ERROR)?;
         let code_byte = r.get_u8()?;
         let code = ErrorCode::from_wire(code_byte).ok_or(StreamhistError::CorruptCheckpoint {
             reason: "unknown error code",
         })?;
         let detail = String::from_utf8_lossy(r.get_bytes()?).into_owned();
+        let trace = get_trace(&mut r)?;
         r.finish()?;
-        Ok(Self { code, detail })
+        Ok((Self { code, detail }, trace))
     }
 }
 
@@ -798,6 +1166,60 @@ mod tests {
             Request::CheckpointAll,
             Request::WalStatus,
             Request::Health,
+            Request::Events { from: 0 },
+            Request::Events { from: u64::MAX },
+        ]
+    }
+
+    fn all_event_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::ShardDied { shard: 3 },
+            EventKind::ShardRestarted {
+                shard: 1,
+                restored_len: 500,
+                lost: 12,
+            },
+            EventKind::RestartDeferred { shard: 0 },
+            EventKind::ShardQuarantined { shard: 7 },
+            EventKind::ShardProbation { shard: 7 },
+            EventKind::ShardRecovered { shard: 7 },
+            EventKind::CheckpointUploaded {
+                shard: 2,
+                upload_seq: 64,
+                bytes: 4096,
+            },
+            EventKind::UploadRetried {
+                shard: 2,
+                attempt: 3,
+            },
+            EventKind::Overloaded {
+                shard: Some(1),
+                dropped: 256,
+            },
+            EventKind::Overloaded {
+                shard: None,
+                dropped: 9,
+            },
+            EventKind::SlowQuery {
+                verb: "range_sum".to_string(),
+                trace: Some(0xDEAD_BEEF),
+                decode_us: 12,
+                answer_us: 90_000,
+                encode_us: 8,
+                total_us: 90_020,
+            },
+            EventKind::SlowQuery {
+                verb: "quantile".to_string(),
+                trace: None,
+                decode_us: 0,
+                answer_us: 1,
+                encode_us: 0,
+                total_us: 1,
+            },
+            EventKind::SnapshotDegraded {
+                shards_included: 3,
+                shards_total: 4,
+            },
         ]
     }
 
@@ -904,6 +1326,125 @@ mod tests {
         ] {
             let frame = resp.encode();
             assert_eq!(Response::decode(&frame).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn trace_ids_roundtrip_byte_identically_on_every_frame_kind() {
+        for trace in [None, Some(0u64), Some(1), Some(u64::MAX)] {
+            for req in all_requests() {
+                let frame = req.encode_traced(trace);
+                assert_eq!(Request::decode_traced(&frame), Ok((req, trace)), "{req:?}");
+                // Untraced decode still accepts the frame (discards trace).
+                assert_eq!(Request::decode(&frame), Ok(req));
+            }
+            let resp = Response::Scalar {
+                verb: 1,
+                value: 2.5,
+                coverage: full_coverage(),
+            };
+            let frame = resp.encode_traced(trace);
+            assert_eq!(Response::decode_traced(&frame).unwrap(), (resp, trace));
+            let err = WireError::new(ErrorCode::InvalidQuery, "nope");
+            let frame = err.encode_traced(trace);
+            assert_eq!(WireError::decode_traced(&frame).unwrap(), (err, trace));
+        }
+    }
+
+    #[test]
+    fn pre_trace_frames_decode_as_trace_absent() {
+        // encode() emits no trailing varint — exactly what an old peer
+        // sends — and decode_traced must see "no trace".
+        let frame = Request::Health.encode();
+        assert_eq!(Request::decode_traced(&frame), Ok((Request::Health, None)));
+    }
+
+    #[test]
+    fn events_roundtrip_every_kind() {
+        let events: Vec<Event> = all_event_kinds()
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Event {
+                seq: i as u64,
+                at_ms: i as u64 * 10,
+                kind,
+            })
+            .collect();
+        for e in &events {
+            let frame = encode_event(e);
+            assert_eq!(&decode_event(&frame).unwrap(), e, "{e:?}");
+        }
+        let resp = Response::Events {
+            recorded: 99,
+            events,
+        };
+        let frame = resp.encode_traced(Some(7));
+        assert_eq!(Response::decode_traced(&frame).unwrap(), (resp, Some(7)));
+    }
+
+    #[test]
+    fn events_page_is_capped_at_encode_and_validated_at_decode() {
+        let many: Vec<Event> = (0..EVENTS_PAGE_MAX as u64 + 50)
+            .map(|seq| Event {
+                seq,
+                at_ms: seq,
+                kind: EventKind::ShardDied { shard: 0 },
+            })
+            .collect();
+        let frame = Response::Events {
+            recorded: many.len() as u64,
+            events: many,
+        }
+        .encode();
+        assert!(frame.len() <= MAX_FRAME, "page must fit one frame");
+        match Response::decode(&frame).unwrap() {
+            Response::Events { events, .. } => assert_eq!(events.len(), EVENTS_PAGE_MAX),
+            other => panic!("expected events, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_bit_flips_and_truncations_are_rejected() {
+        let frame = encode_event(&Event {
+            seq: 5,
+            at_ms: 17,
+            kind: EventKind::SlowQuery {
+                verb: "point".to_string(),
+                trace: Some(3),
+                decode_us: 1,
+                answer_us: 2,
+                encode_us: 3,
+                total_us: 6,
+            },
+        });
+        for byte in 0..frame.len() {
+            let mut flipped = frame.clone();
+            flipped[byte] ^= 1;
+            assert!(decode_event(&flipped).is_err(), "flip at {byte}");
+        }
+        for cut in 0..frame.len() {
+            assert!(decode_event(&frame[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn slow_query_verb_is_truncated_on_the_wire() {
+        let e = Event {
+            seq: 0,
+            at_ms: 0,
+            kind: EventKind::SlowQuery {
+                verb: "v".repeat(500),
+                trace: None,
+                decode_us: 0,
+                answer_us: 0,
+                encode_us: 0,
+                total_us: 0,
+            },
+        };
+        let decoded = decode_event(&encode_event(&e)).unwrap();
+        match decoded.kind {
+            EventKind::SlowQuery { verb, .. } => assert_eq!(verb.len(), 64),
+            other => panic!("{other:?}"),
         }
     }
 

@@ -24,11 +24,12 @@ use crate::protocol::{read_packet, write_packet, ErrorCode, Packet, Request, Wir
 use crate::state::ServeState;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use streamhist_obs::{EventKind, FlightRecorder};
 
 /// How long the accept loop sleeps between polls when idle.
 const IDLE_POLL: Duration = Duration::from_millis(25);
@@ -45,12 +46,19 @@ pub struct ServerOptions {
     /// sub-millisecond deadline would kill healthy connections between
     /// two scheduler ticks.
     pub io_timeout: Duration,
+    /// Requests whose end-to-end handling time (decode, answer, encode,
+    /// and reply write combined) reaches this threshold land their full
+    /// phase timeline in the fleet's flight recorder as an
+    /// [`EventKind::SlowQuery`] event. `Duration::ZERO` logs every
+    /// request — useful in tests and for short traffic captures.
+    pub slow_query: Duration,
 }
 
 impl Default for ServerOptions {
     fn default() -> Self {
         Self {
             io_timeout: Duration::from_millis(500),
+            slow_query: Duration::from_millis(100),
         }
     }
 }
@@ -118,13 +126,16 @@ impl QueryServer {
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("streamhist-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &state, &stop))?,
+                    .spawn(move || worker_loop(&rx, &state, &stop, options.slow_query))?,
             );
         }
         let stop_flag = Arc::clone(&stop);
+        let recorder = Arc::clone(state.recorder());
         let accept_handle = std::thread::Builder::new()
             .name("streamhist-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &tx, &stop_flag, options.io_timeout))?;
+            .spawn(move || {
+                accept_loop(&listener, &tx, &stop_flag, options.io_timeout, &recorder);
+            })?;
         Ok(Self {
             addr: local,
             stop,
@@ -167,7 +178,11 @@ fn accept_loop(
     pool: &SyncSender<TcpStream>,
     stop: &AtomicBool,
     io_timeout: Duration,
+    recorder: &FlightRecorder,
 ) {
+    // Connections shed by this loop, for the flight-recorder event's
+    // cumulative count.
+    let shed = AtomicU64::new(0);
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -184,6 +199,14 @@ fn accept_loop(
                     Ok(()) => {}
                     Err(TrySendError::Full(mut stream)) => {
                         // Shed load explicitly: one error frame, close.
+                        // `shard: None` marks the serve accept pool (as
+                        // opposed to a shard ingest queue) as the
+                        // overloaded component.
+                        let dropped = shed.fetch_add(1, Ordering::Relaxed) + 1;
+                        recorder.record(EventKind::Overloaded {
+                            shard: None,
+                            dropped,
+                        });
                         let frame = WireError::new(
                             ErrorCode::Overloaded,
                             "worker pool saturated; retry later",
@@ -208,7 +231,12 @@ fn accept_loop(
     // was queued and exit.
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &ServeState, stop: &AtomicBool) {
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    state: &ServeState,
+    stop: &AtomicBool,
+    slow_query: Duration,
+) {
     loop {
         // Hold the lock only for the receive itself, so the pool keeps
         // feeding other workers while this one serves a connection.
@@ -220,7 +248,7 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &ServeState, stop: &
             Ok(stream) => {
                 // Best-effort: a connection failing mid-serve must never
                 // take the worker down.
-                serve_connection(stream, state, stop);
+                serve_connection(stream, state, stop, slow_query);
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::Relaxed) {
@@ -235,19 +263,58 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &ServeState, stop: &
 /// Serves one connection until the peer closes, the stream desyncs, or
 /// shutdown. Infallible by construction: every internal failure either
 /// becomes an error frame or ends this connection only.
-fn serve_connection(mut stream: TcpStream, state: &ServeState, stop: &AtomicBool) {
+///
+/// Every request gets a per-request span timeline (decode → answer →
+/// encode+write), fed into the per-phase latency metrics; a request whose
+/// total reaches `slow_query` lands the full timeline in the flight
+/// recorder. Trace ids: a client-sent id is echoed on the reply (success
+/// or error); a request without one — including one that fails decoding —
+/// gets a server-assigned id echoed back.
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &ServeState,
+    stop: &AtomicBool,
+    slow_query: Duration,
+) {
     loop {
         match read_packet(&mut stream) {
             Ok(Packet::Frame(frame)) => {
-                let reply = match Request::decode(&frame) {
-                    Ok(req) => match state.answer(&req) {
-                        Ok(resp) => resp.encode(),
-                        Err(err) => err.encode(),
-                    },
-                    Err(err) => err.encode(),
+                let start = Instant::now();
+                let decoded = Request::decode_traced(&frame);
+                let decode_elapsed = start.elapsed();
+                let trace = match &decoded {
+                    Ok((_, Some(t))) => *t,
+                    _ => state.new_trace(),
                 };
+                let (verb, reply) = match decoded {
+                    Ok((req, _)) => {
+                        let reply = match state.answer(&req) {
+                            Ok(resp) => resp.encode_traced(Some(trace)),
+                            Err(err) => err.encode_traced(Some(trace)),
+                        };
+                        (req.verb_name(), reply)
+                    }
+                    Err(err) => ("undecodable", err.encode_traced(Some(trace))),
+                };
+                let answer_elapsed = start.elapsed() - decode_elapsed;
+                let encode_start = Instant::now();
                 if write_packet(&mut stream, &reply).is_err() {
                     return;
+                }
+                let encode_elapsed = encode_start.elapsed();
+                let total = start.elapsed();
+                state.phase_latency("decode").record(decode_elapsed);
+                state.phase_latency("answer").record(answer_elapsed);
+                state.phase_latency("encode").record(encode_elapsed);
+                if total >= slow_query {
+                    state.recorder().record(EventKind::SlowQuery {
+                        verb: verb.to_string(),
+                        trace: Some(trace),
+                        decode_us: elapsed_us(decode_elapsed),
+                        answer_us: elapsed_us(answer_elapsed),
+                        encode_us: elapsed_us(encode_elapsed),
+                        total_us: elapsed_us(total),
+                    });
                 }
             }
             Ok(Packet::Http(sniffed)) => {
@@ -256,12 +323,13 @@ fn serve_connection(mut stream: TcpStream, state: &ServeState, stop: &AtomicBool
             }
             Ok(Packet::BadLength(len)) => {
                 // The stream is desynchronized; one final structured
-                // error, then close.
+                // error, then close — still with a server-assigned trace
+                // so the client can quote it.
                 let frame = WireError::new(
                     ErrorCode::MalformedFrame,
                     format!("illegal frame length {len}; closing"),
                 )
-                .encode();
+                .encode_traced(Some(state.new_trace()));
                 let _ = write_packet(&mut stream, &frame);
                 return;
             }
@@ -280,6 +348,11 @@ fn serve_connection(mut stream: TcpStream, state: &ServeState, stop: &AtomicBool
             Err(_) => return,
         }
     }
+}
+
+/// Saturating microseconds for an event timeline field.
+fn elapsed_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// A human pointed an HTTP client at the binary port. Drain their headers

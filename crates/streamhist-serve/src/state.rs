@@ -23,11 +23,12 @@
 //! * every scalar answer is checked finite before encoding, because the
 //!   wire codec rejects non-finite `f64`s by design.
 
-use crate::protocol::{ErrorCode, QuantileMethod, Request, Response, WireError};
+use crate::protocol::{ErrorCode, QuantileMethod, Request, Response, WireError, EVENTS_PAGE_MAX};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use streamhist_core::StreamhistError;
-use streamhist_obs::{LatencyRecorder, MetricsRegistry};
+use streamhist_obs::{EventKind, FlightRecorder, LatencyRecorder, MetricsRegistry};
 use streamhist_quantile::{GkSummary, MrlSummary, QuantileSummary};
 use streamhist_stream::{
     Coverage, FleetHandle, ShardHealth, ShardState, SnapshotPolicy, SupervisorHandle,
@@ -61,6 +62,12 @@ pub struct ServeState {
     /// The supervisor's view, when one is running — the `health` verb
     /// answers from its state machine instead of synthesizing pings.
     supervisor: Option<SupervisorHandle>,
+    /// The fleet's flight recorder: the `events` verb reads it, and the
+    /// serve layer lands slow-query timelines and shed-load events in it.
+    recorder: Arc<FlightRecorder>,
+    /// Counter behind server-assigned trace ids for requests that arrive
+    /// without one (see the protocol module docs).
+    next_trace: Arc<AtomicU64>,
 }
 
 impl ServeState {
@@ -86,6 +93,7 @@ impl ServeState {
         eps: f64,
         k: usize,
     ) -> Self {
+        let recorder = fleet.recorder();
         Self {
             fleet,
             gk: Arc::new(Mutex::new(GkSummary::new(eps))),
@@ -94,6 +102,8 @@ impl ServeState {
             registry,
             policy: SnapshotPolicy::Strict,
             supervisor: None,
+            recorder,
+            next_trace: Arc::new(AtomicU64::new(1)),
         }
     }
 
@@ -132,6 +142,20 @@ impl ServeState {
     #[must_use]
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// The fleet's flight recorder (shared with the supervisor and the
+    /// durability uploader; also behind the `events` verb).
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// A fresh server-assigned trace id, for requests that arrive without
+    /// one. Never 0, so a log line can print 0 for "untraced".
+    #[must_use]
+    pub fn new_trace(&self) -> u64 {
+        self.next_trace.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Bytes of the most recent on-demand checkpoint, if one was taken.
@@ -240,6 +264,17 @@ impl ServeState {
         )
     }
 
+    /// The per-phase latency recorder (decode / answer / encode), fed by
+    /// the connection loop's span timeline.
+    #[must_use]
+    pub fn phase_latency(&self, phase: &str) -> Arc<LatencyRecorder> {
+        self.registry.latency_with(
+            "streamhist_serve_phase_latency_ns",
+            "Request handling latency, by phase (decode/answer/encode).",
+            &[("phase", phase)],
+        )
+    }
+
     fn answer_inner(&self, req: &Request) -> Result<Response, WireError> {
         if let Some(query) = req.as_query() {
             let (hist, _stats, coverage) =
@@ -333,6 +368,15 @@ impl ServeState {
                     .fleet
                     .respawn_shard(shard)
                     .map_err(|e| WireError::new(ErrorCode::InvalidQuery, e.to_string()))?;
+                // Manual (admin-verb) respawns are recorded here; the
+                // supervisor records its own restarts, and the fleet's
+                // respawn primitive itself stays silent so neither path
+                // double-counts.
+                self.recorder.record(EventKind::ShardRestarted {
+                    shard,
+                    restored_len: report.restored_len,
+                    lost: report.lost_since_checkpoint,
+                });
                 Ok(Response::Respawned {
                     restored_len: report.restored_len,
                     lost_since_checkpoint: report.lost_since_checkpoint,
@@ -349,6 +393,10 @@ impl ServeState {
             }
             Request::WalStatus => Ok(Response::WalStatus(self.fleet.wal_status())),
             Request::Health => Ok(self.health()),
+            Request::Events { from } => Ok(Response::Events {
+                recorded: self.recorder.recorded(),
+                events: self.recorder.events_from(from, EVENTS_PAGE_MAX),
+            }),
             // as_query() handled these above.
             Request::RangeSum { .. }
             | Request::RangeAvg { .. }
@@ -682,6 +730,40 @@ mod tests {
             Response::Scalar { coverage, .. } => {
                 assert!(coverage.is_complete());
                 assert_eq!(coverage.records_total, 50);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_verb_pages_the_recorder_and_respawn_is_recorded() {
+        let state = state_with_data(16);
+        match state.answer(&Request::Events { from: 0 }).unwrap() {
+            Response::Events { recorded, events } => {
+                assert_eq!(recorded, 0, "fresh fleet has no events");
+                assert!(events.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        state.answer(&Request::RespawnShard { shard: 0 }).unwrap();
+        match state.answer(&Request::Events { from: 0 }).unwrap() {
+            Response::Events { recorded, events } => {
+                assert_eq!(recorded, 1);
+                assert_eq!(events.len(), 1);
+                assert!(
+                    matches!(events[0].kind, EventKind::ShardRestarted { shard: 0, .. }),
+                    "{events:?}"
+                );
+                // Paging past the end is empty but `recorded` still tells
+                // the client where the stream stands.
+                let next = events[0].seq + 1;
+                match state.answer(&Request::Events { from: next }).unwrap() {
+                    Response::Events { recorded, events } => {
+                        assert_eq!(recorded, 1);
+                        assert!(events.is_empty());
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -260,6 +260,7 @@ fn server_options_validate_the_io_deadline() {
         1,
         ServerOptions {
             io_timeout: Duration::from_micros(500),
+            ..ServerOptions::default()
         },
     )
     .expect_err("sub-millisecond deadline must be rejected");
@@ -272,6 +273,7 @@ fn server_options_validate_the_io_deadline() {
         1,
         ServerOptions {
             io_timeout: Duration::from_secs(2),
+            ..ServerOptions::default()
         },
     )
     .unwrap();
@@ -398,6 +400,146 @@ fn retry_budget_retries_transport_failures_until_the_deadline() {
     let before = client.retries();
     assert!(client.respawn_shard(0).is_err());
     assert_eq!(client.retries(), before, "respawn_shard must not retry");
+}
+
+#[test]
+fn trace_ids_round_trip_byte_identically_on_every_verb() {
+    let (server, _state) = start_server(200, 2);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    // Every verb in the protocol, each sent with a distinct trace id from
+    // across the u64 range (0 is a legal client-chosen id; only
+    // *server-assigned* ids start at 1).
+    let requests = [
+        Request::RangeSum { start: 0, end: 9 },
+        Request::RangeAvg { start: 0, end: 9 },
+        Request::Point { idx: 3 },
+        Request::RangeCount { start: 0, end: 9 },
+        Request::Quantile {
+            method: QuantileMethod::Gk,
+            phi: 0.5,
+        },
+        Request::Quantile {
+            method: QuantileMethod::Mrl,
+            phi: 0.9,
+        },
+        Request::Selectivity { lo: 0.0, hi: 8.0 },
+        Request::ShardStats { shard: 0 },
+        Request::RespawnShard { shard: 1 },
+        Request::CheckpointAll,
+        Request::WalStatus,
+        Request::Health,
+        Request::Events { from: 0 },
+    ];
+    for (i, req) in requests.iter().enumerate() {
+        let sent = match i % 4 {
+            0 => 0u64,
+            1 => u64::MAX,
+            2 => 1 + (i as u64) * 0x0101_0101_0101_0101,
+            _ => u64::MAX - i as u64,
+        };
+        client.set_trace(Some(sent));
+        client.call(req).unwrap_or_else(|e| panic!("{req:?}: {e}"));
+        assert_eq!(
+            client.last_trace(),
+            Some(sent),
+            "{req:?} must echo its trace id byte-identically"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn error_frames_echo_the_trace_id_too() {
+    let (server, _state) = start_server(100, 2);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let bad = [
+        Request::RangeSum { start: 9, end: 3 },
+        Request::Point { idx: usize::MAX },
+        Request::ShardStats { shard: 1000 },
+        Request::Quantile {
+            method: QuantileMethod::Gk,
+            phi: 2.0,
+        },
+    ];
+    for (i, req) in bad.iter().enumerate() {
+        let sent = 0xBAD0 + i as u64;
+        client.set_trace(Some(sent));
+        match client.call(req) {
+            Err(ClientError::Server(_)) => {}
+            other => panic!("{req:?} should earn an error frame, got {other:?}"),
+        }
+        assert_eq!(
+            client.last_trace(),
+            Some(sent),
+            "{req:?}: the error frame must carry the request's trace id"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn untraced_requests_get_a_server_assigned_trace_echoed_back() {
+    let (server, _state) = start_server(100, 2);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_trace(None);
+    assert_eq!(client.last_trace(), None, "no reply yet");
+    client.range_sum(0, 5).unwrap();
+    let first = client
+        .last_trace()
+        .expect("server must assign and echo a trace id");
+    assert!(first >= 1, "server-assigned ids start at 1, got {first}");
+    client.range_sum(0, 5).unwrap();
+    let second = client.last_trace().expect("assigned on every reply");
+    assert_ne!(first, second, "each untraced request gets a fresh id");
+    // An error reply to an untraced request is assigned one as well.
+    let _ = client.call(&Request::RangeSum { start: 7, end: 2 });
+    let third = client.last_trace().expect("assigned on error replies too");
+    assert!(!([first, second].contains(&third)));
+    server.shutdown();
+}
+
+#[test]
+fn slow_query_threshold_zero_logs_every_request_with_its_trace() {
+    let fleet = FleetHandle::new(ShardedFixedWindow::new(2, 128, 8, 0.1));
+    let state = ServeState::new(fleet, Arc::new(MetricsRegistry::new()));
+    for i in 0..100u64 {
+        state.ingest(i, (i % 16) as f64).unwrap();
+    }
+    state.fleet().snapshot_global().unwrap();
+    // Threshold zero: every request is "slow", so the recorder captures a
+    // full phase timeline per request — the short-traffic-capture mode.
+    let server = QueryServer::start_with(
+        "127.0.0.1:0",
+        state.clone(),
+        2,
+        ServerOptions {
+            slow_query: Duration::ZERO,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    client.set_trace(Some(0xCAFE));
+    client.range_sum(0, 9).unwrap();
+    let (_, events) = client.events_all(0).unwrap();
+    let slow: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            streamhist_obs::EventKind::SlowQuery {
+                verb,
+                trace,
+                total_us,
+                ..
+            } => Some((verb.clone(), *trace, *total_us)),
+            _ => None,
+        })
+        .collect();
+    let range_sum = slow
+        .iter()
+        .find(|(verb, _, _)| verb == "range_sum")
+        .expect("the traced range_sum must be in the slow-query log");
+    assert_eq!(range_sum.1, Some(0xCAFE), "timeline carries the trace id");
+    server.shutdown();
 }
 
 #[test]

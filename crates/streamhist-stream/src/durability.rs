@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use streamhist_core::{Checkpoint, CheckpointStore, ObjectKind, StoreError, WalSegment};
-use streamhist_obs::{Counter, Gauge, MetricsRegistry, RatioTracker};
+use streamhist_obs::{Counter, EventKind, FlightRecorder, Gauge, MetricsRegistry, RatioTracker};
 
 /// Bytes of ingest each accepted record represents (one `f64`), the
 /// denominator unit of checkpoint amplification.
@@ -75,6 +75,19 @@ fn jitter_fraction(seed: u64, attempt: u32) -> f64 {
 pub(crate) fn with_retry<T>(
     retries: &Counter,
     seed: u64,
+    op: impl FnMut() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    with_retry_observed(retries, seed, |_| {}, op)
+}
+
+/// [`with_retry`] with a per-retry observer: `on_retry(attempt)` fires
+/// just before each re-attempt (attempt ≥ 1), which is where the uploader
+/// hangs its flight-recorder [`EventKind::UploadRetried`] events — the
+/// counter tells *how many*, the recorder tells *when and which shard*.
+pub(crate) fn with_retry_observed<T>(
+    retries: &Counter,
+    seed: u64,
+    mut on_retry: impl FnMut(u32),
     mut op: impl FnMut() -> Result<T, StoreError>,
 ) -> Result<T, StoreError> {
     let mut backoff = BACKOFF_START;
@@ -82,6 +95,7 @@ pub(crate) fn with_retry<T>(
     for attempt in 0..MAX_ATTEMPTS {
         if attempt > 0 {
             retries.inc();
+            on_retry(attempt);
             std::thread::sleep(backoff.mul_f64(1.0 + jitter_fraction(seed, attempt)));
             backoff = (backoff * 2).min(BACKOFF_CAP);
         }
@@ -406,16 +420,23 @@ impl Uploader {
         store: Arc<dyn CheckpointStore>,
         queue_capacity: usize,
         metrics: Arc<WalMetricsInner>,
+        recorder: Arc<FlightRecorder>,
     ) -> Self {
         let (tx, rx) = sync_channel::<Job>(queue_capacity);
         let thread_metrics = Arc::clone(&metrics);
         let handle = std::thread::spawn(move || {
             let m = thread_metrics;
+            let retried = |shard: usize| {
+                let r = &recorder;
+                move |attempt: u32| {
+                    r.record(EventKind::UploadRetried { shard, attempt });
+                }
+            };
             while let Ok(job) = rx.recv() {
                 m.queue_depth.dec();
                 match job {
                     Job::Segment { shard, seq, bytes } => {
-                        match with_retry(&m.retries, shard as u64, || {
+                        match with_retry_observed(&m.retries, shard as u64, retried(shard), || {
                             store.put_wal_segment(shard, seq, &bytes)
                         }) {
                             Ok(()) => {
@@ -427,19 +448,27 @@ impl Uploader {
                         }
                     }
                     Job::Frame { shard, seq, bytes } => {
-                        match with_retry(&m.retries, shard as u64, || {
+                        match with_retry_observed(&m.retries, shard as u64, retried(shard), || {
                             store.put_frame(shard, seq, &bytes)
                         }) {
                             Ok(()) => {
                                 m.frames_written.inc();
                                 m.frame_bytes.inc_by(bytes.len() as u64);
                                 m.amplification.add_numerator(bytes.len() as u64);
+                                recorder.record(EventKind::CheckpointUploaded {
+                                    shard,
+                                    upload_seq: seq,
+                                    bytes: bytes.len() as u64,
+                                });
                                 // Truncate only once the frame is durable:
                                 // if the frame had been lost, deleting the
                                 // log it supersedes would lose data.
-                                if with_retry(&m.retries, shard as u64, || {
-                                    store.truncate(shard, seq)
-                                })
+                                if with_retry_observed(
+                                    &m.retries,
+                                    shard as u64,
+                                    retried(shard),
+                                    || store.truncate(shard, seq),
+                                )
                                 .is_err()
                                 {
                                     m.failures.inc();
@@ -496,11 +525,16 @@ pub(crate) struct FleetDurability {
 }
 
 impl FleetDurability {
-    pub(crate) fn new(options: DurabilityOptions, metrics: Arc<WalMetricsInner>) -> Self {
+    pub(crate) fn new(
+        options: DurabilityOptions,
+        metrics: Arc<WalMetricsInner>,
+        recorder: Arc<FlightRecorder>,
+    ) -> Self {
         let uploader = Uploader::spawn(
             Arc::clone(&options.store),
             options.upload_queue_capacity,
             Arc::clone(&metrics),
+            recorder,
         );
         Self {
             options,
@@ -765,10 +799,12 @@ mod tests {
     fn uploader_writes_segments_frames_and_truncates() {
         let store: Arc<MemStore> = Arc::new(MemStore::new());
         let metrics = Arc::new(WalMetricsInner::default());
+        let recorder = Arc::new(FlightRecorder::default());
         let uploader = Uploader::spawn(
             Arc::clone(&store) as Arc<dyn CheckpointStore>,
             16,
             Arc::clone(&metrics),
+            Arc::clone(&recorder),
         );
         let handle = uploader.handle(OverloadPolicy::Block, Arc::clone(&metrics));
         let mut wal = ShardWal::new(handle.clone(), 0, 4, 0);
@@ -789,6 +825,24 @@ mod tests {
         assert_eq!(status.bytes_ingested, 80);
         assert!(status.amplification > 0.0);
         assert_eq!(status.failures, 0);
+        // The durable frame landed in the flight recorder with its store
+        // sequence and encoded size.
+        let uploads: Vec<_> = recorder
+            .all_events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::CheckpointUploaded {
+                    shard,
+                    upload_seq,
+                    bytes,
+                } => Some((shard, upload_seq, bytes)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(uploads.len(), 1);
+        assert_eq!(uploads[0].0, 0);
+        assert_eq!(uploads[0].1, 10);
+        assert!(uploads[0].2 > 0);
         // Drop the tx clones before the uploader: its Drop joins the
         // thread, which only exits once every handle is gone.
         drop(wal);
@@ -800,10 +854,12 @@ mod tests {
     fn uploader_retries_against_an_injected_fault_store() {
         let store = Arc::new(FailingStore::every_nth(MemStore::new(), 3));
         let metrics = Arc::new(WalMetricsInner::default());
+        let recorder = Arc::new(FlightRecorder::default());
         let uploader = Uploader::spawn(
             Arc::clone(&store) as Arc<dyn CheckpointStore>,
             16,
             Arc::clone(&metrics),
+            Arc::clone(&recorder),
         );
         let handle = uploader.handle(OverloadPolicy::Block, Arc::clone(&metrics));
         let mut wal = ShardWal::new(handle.clone(), 0, 2, 0);
@@ -815,6 +871,14 @@ mod tests {
         assert_eq!(metrics.failures.get(), 0);
         assert!(metrics.retries.get() > 0, "faults were absorbed by retries");
         assert_eq!(store.inner().list(0).unwrap().len(), 10);
+        // Each retry the counter saw is also on the flight-recorder
+        // timeline, attributed to the shard that retried.
+        let retried = recorder
+            .all_events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, EventKind::UploadRetried { shard: 0, .. }))
+            .count() as u64;
+        assert_eq!(retried, metrics.retries.get());
         drop(wal);
         drop(handle);
         drop(uploader);

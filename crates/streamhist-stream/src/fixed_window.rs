@@ -294,7 +294,7 @@ impl FixedWindowHistogram {
         let rebases0 = self.prefix.rebases();
         self.prefix.push(v);
         #[cfg(feature = "obs")]
-        if let Some(t) = crate::telemetry::kernel_tracer() {
+        if let Some(t) = crate::telemetry::active_kernel_tracer() {
             t.rebases.inc_by((self.prefix.rebases() - rebases0) as u64);
         }
         self.total_pushed += 1;
@@ -353,7 +353,7 @@ impl FixedWindowHistogram {
             self.generation += 1;
         }
         #[cfg(feature = "obs")]
-        if let Some(t) = crate::telemetry::kernel_tracer() {
+        if let Some(t) = crate::telemetry::active_kernel_tracer() {
             t.rebases.inc_by((self.prefix.rebases() - rebases0) as u64);
         }
         out

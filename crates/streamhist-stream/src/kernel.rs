@@ -445,8 +445,8 @@ impl Kernel {
         // Phase tracing (`obs` feature): one relaxed load when no tracer
         // is installed; timing + eval-delta accounting when one is.
         #[cfg(feature = "obs")]
-        let trace =
-            crate::telemetry::kernel_tracer().map(|t| (t, self.evals, std::time::Instant::now()));
+        let trace = crate::telemetry::active_kernel_tracer()
+            .map(|t| (t, self.evals, std::time::Instant::now()));
 
         let c = p.len() - 1;
         self.maybe_compact();
@@ -540,7 +540,7 @@ impl Kernel {
     /// Collects arena garbage immediately, remapping every retained handle.
     pub fn compact_now(&mut self) {
         #[cfg(feature = "obs")]
-        if let Some(t) = crate::telemetry::kernel_tracer() {
+        if let Some(t) = crate::telemetry::active_kernel_tracer() {
             t.compactions.inc();
         }
         let mut roots: Vec<CutId> = self
@@ -770,7 +770,7 @@ impl Kernel {
             a = lo + 1;
         }
         #[cfg(feature = "obs")]
-        if let Some(t) = crate::telemetry::kernel_tracer() {
+        if let Some(t) = crate::telemetry::active_kernel_tracer() {
             t.probes.inc_by(probes);
             t.intervals.inc_by(queue.len() as u64);
         }
@@ -783,7 +783,8 @@ impl Kernel {
     /// histogram. Shared by the count-based and time-based window types.
     pub fn build<P: PrefixProvider>(p: &P, b: usize, delta: f64) -> (Histogram, KernelStats) {
         #[cfg(feature = "obs")]
-        let trace = crate::telemetry::kernel_tracer().map(|t| (t, std::time::Instant::now()));
+        let trace =
+            crate::telemetry::active_kernel_tracer().map(|t| (t, std::time::Instant::now()));
 
         let m = p.len();
         let mut kernel = Kernel::new_batch(b, delta);

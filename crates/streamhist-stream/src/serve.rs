@@ -31,6 +31,7 @@ use std::io;
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 use streamhist_core::{Histogram, StreamhistError};
+use streamhist_obs::FlightRecorder;
 
 /// A cloneable, thread-safe handle to a sharded fleet, exposing the
 /// query/snapshot surface under a read lock and the admin surface under a
@@ -91,6 +92,15 @@ impl FleetHandle {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.read().shards()
+    }
+
+    /// The fleet's shared [`FlightRecorder`]
+    /// (see [`ShardedFixedWindow::recorder`]) — clone of the `Arc`, so the
+    /// caller can read (or co-write) the event timeline without holding
+    /// the fleet lock.
+    #[must_use]
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(self.read().recorder())
     }
 
     /// Routes one record to its key's shard

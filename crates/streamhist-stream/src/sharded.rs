@@ -67,10 +67,10 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use streamhist_core::{Checkpoint, CheckpointStore, Histogram, StreamhistError};
-use streamhist_obs::{Counter, Gauge, MetricsRegistry};
+use streamhist_obs::{Counter, EventKind, FlightRecorder, FloatGauge, Gauge, MetricsRegistry};
 
 #[cfg(feature = "obs")]
-use crate::telemetry::FleetTiming;
+use crate::telemetry::{FleetTiming, KernelTracer};
 #[cfg(feature = "obs")]
 use std::time::Instant;
 
@@ -308,6 +308,14 @@ struct MergeMetricsInner {
     buckets_in: Counter,
     buckets_out: Counter,
     cache_hits: Counter,
+    /// Live accuracy audit, refreshed by every real (non-cache-hit)
+    /// global gather: the fleet-global SSE estimate, the DESIGN.md §7
+    /// gather bound evaluated on the same measured inputs, and their
+    /// quotient (≤ 1 by construction — the estimate is the bound with
+    /// the `√(1+ε)·√G` cross term dropped).
+    sse_estimate: FloatGauge,
+    error_bound: FloatGauge,
+    error_ratio: FloatGauge,
 }
 
 impl MergeMetricsInner {
@@ -336,7 +344,49 @@ impl MergeMetricsInner {
                 "Global snapshots served from the generation cache without a gather.",
                 labels,
             ),
+            sse_estimate: registry.float_gauge_with(
+                "streamhist_snapshot_sse_estimate",
+                "Fleet-global SSE estimate of the last gathered snapshot: \
+                 (sqrt(merge herror) + sqrt(sum of per-shard herrors))^2.",
+                labels,
+            ),
+            error_bound: registry.float_gauge_with(
+                "streamhist_snapshot_error_bound",
+                "DESIGN.md section-7 gather bound on the last snapshot's SSE, evaluated \
+                 on the same measured herror inputs as the estimate.",
+                labels,
+            ),
+            error_ratio: registry.float_gauge_with(
+                "streamhist_snapshot_error_ratio",
+                "sse_estimate / error_bound of the last gathered snapshot (<= 1; 0 when \
+                 the bound is 0, i.e. a perfectly representable window).",
+                labels,
+            ),
         }
+    }
+
+    /// Publishes the accuracy audit for one gathered global snapshot.
+    ///
+    /// `shard_herror_sum` is `G`, the summed per-shard `KernelStats.herror`
+    /// captured at each shard's snapshot barrier; `merged_herror` is `H`,
+    /// the final merge's own `HERROR` over its (bucketized) input. The SSE
+    /// estimate composes them as `(√H + √G)²` (triangle inequality in the
+    /// L2 norm: the fleet's residual is the shards' residual plus the
+    /// merge's). The §7 bound `(√G + √(1+ε)·(√G + √OPT_B))²` is evaluated
+    /// with the conservative substitution `OPT_B ≥ H/(1+ε)` (the merge is
+    /// `(1+ε)`-optimal over its input), which makes
+    /// `bound = (√G + √(1+ε)·√G + √H)² ≥ estimate` — the published ratio
+    /// is ≤ 1 identically, and strictly below 1 whenever the shards carry
+    /// any residual error.
+    fn record_audit(&self, shard_herror_sum: f64, merged_herror: f64, eps: f64) {
+        let g = shard_herror_sum.max(0.0);
+        let h = merged_herror.max(0.0);
+        let estimate = (h.sqrt() + g.sqrt()).powi(2);
+        let bound = (g.sqrt() + ((1.0 + eps).sqrt() * g.sqrt()) + h.sqrt()).powi(2);
+        self.sse_estimate.set(estimate);
+        self.error_bound.set(bound);
+        self.error_ratio
+            .set(if bound > 0.0 { estimate / bound } else { 0.0 });
     }
 
     fn read(&self) -> MergeMetrics {
@@ -594,6 +644,19 @@ pub struct ShardedFixedWindow {
     /// [`global_generation`](Self::global_generation).
     global_cache: SnapshotCache,
     merge_metrics: MergeMetricsInner,
+    /// The flight recorder fleet-level lifecycle events land in: overload
+    /// sheds, degraded gathers, durability uploads, and (via the
+    /// supervisor and serve layer, which share this recorder through
+    /// [`recorder`](Self::recorder)) death/restart/quarantine transitions
+    /// and slow queries. Always present — a fleet built without
+    /// [`recorder`](ShardedFixedWindowBuilder::recorder) gets a private
+    /// default-capacity ring.
+    recorder: Arc<FlightRecorder>,
+    /// The kernel tracer worker threads self-install (thread-scoped), when
+    /// the fleet was built with
+    /// [`kernel_tracer`](ShardedFixedWindowBuilder::kernel_tracer).
+    #[cfg(feature = "obs")]
+    kernel_tracer: Option<Arc<KernelTracer>>,
     /// The durability pipeline, when the fleet was built with
     /// [`durability`](ShardedFixedWindowBuilder::durability). Declared
     /// after `shards` so workers (which hold uploader handles) shut down
@@ -659,6 +722,9 @@ impl ShardedFixedWindow {
             fleet: None,
             gather_fanout: None,
             durability: None,
+            recorder: None,
+            #[cfg(feature = "obs")]
+            kernel_tracer: None,
         }
     }
 
@@ -683,7 +749,15 @@ impl ShardedFixedWindow {
                 d.options.checkpoint_interval
             });
         let (tx, rx) = sync_channel::<Envelope>(self.options.queue_capacity);
+        #[cfg(feature = "obs")]
+        let tracer = self.kernel_tracer.clone();
         let handle = std::thread::spawn(move || {
+            // The worker self-installs the fleet's kernel tracer as its
+            // thread-scoped tracer: every kernel hook this thread fires
+            // reports to the fleet's registry, with no process-global
+            // state involved.
+            #[cfg(feature = "obs")]
+            crate::telemetry::set_thread_kernel_tracer(tracer);
             let mut since_checkpoint = 0usize;
             while let Ok(env) = rx.recv() {
                 metrics.queue_depth.dec();
@@ -775,6 +849,15 @@ impl ShardedFixedWindow {
         &self.options
     }
 
+    /// The fleet's [`FlightRecorder`] — the shared ring its lifecycle
+    /// events land in. Clone the `Arc` into anything that should read or
+    /// co-write the same timeline (supervisor, serve layer, admin
+    /// endpoints).
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
     /// The shard a key routes to (Fibonacci hash of the key, so adjacent
     /// keys spread across shards).
     #[must_use]
@@ -799,7 +882,25 @@ impl ShardedFixedWindow {
                 Ok(()) => false,
                 Err(TrySendError::Full(_)) => {
                     s.metrics.queue_depth.dec();
+                    // Log-sampled flight-recorder event: one record per
+                    // power-of-two cumulative drop count, so a sustained
+                    // overload cannot flood the ring while the first shed
+                    // and every doubling are still on the timeline. The
+                    // counter has concurrent writers, so a racing producer
+                    // may claim the same power twice — acceptable for a
+                    // sampled signal (the exact total is the counter).
+                    let before = s.metrics.records_dropped.get();
                     s.metrics.records_dropped.inc_by(records);
+                    let after = before.saturating_add(records);
+                    let next_pow = before
+                        .checked_add(1)
+                        .map_or(u64::MAX, u64::next_power_of_two);
+                    if next_pow <= after {
+                        self.recorder.record(EventKind::Overloaded {
+                            shard: Some(shard),
+                            dropped: after,
+                        });
+                    }
                     return Ok(());
                 }
                 Err(TrySendError::Disconnected(_)) => true,
@@ -1064,16 +1165,22 @@ impl ShardedFixedWindow {
         // misses and regathers — the cache can serve newer-than-key data
         // never staler).
         let mut generation = self.epoch_perturbation();
+        let mut shard_herror_sum = 0.0f64;
         let snaps = (0..self.shards())
             .map(|s| {
-                self.snapshot_with_gen(s).map(|(h, _, gen)| {
+                self.snapshot_with_gen(s).map(|(h, stats, gen)| {
                     generation = generation.wrapping_add(gen);
+                    // `G` of the §7 gather bound: the summed per-shard
+                    // residual, captured at each shard's barrier.
+                    shard_herror_sum += stats.herror;
                     h
                 })
             })
             .collect::<Result<Vec<_>, ShardError>>()?;
         let parts: Vec<&Histogram> = snaps.iter().map(AsRef::as_ref).collect();
         let built = self.gather(&parts);
+        self.merge_metrics
+            .record_audit(shard_herror_sum, built.1.herror, self.eps);
         #[cfg(feature = "obs")]
         if let Some((t, at)) = merge_start {
             t.merge.record(at.elapsed());
@@ -1133,12 +1240,14 @@ impl ShardedFixedWindow {
             records_total: 0,
         };
         let mut first_excluded: Option<usize> = None;
+        let mut shard_herror_sum = 0.0f64;
         for shard in 0..self.shards() {
             match self.snapshot_with_gen(shard) {
-                Ok((h, _, gen)) => {
+                Ok((h, stats, gen)) => {
                     coverage.shards_included += 1;
                     coverage.records_represented += gen;
                     coverage.records_total += gen;
+                    shard_herror_sum += stats.herror;
                     snaps.push(h);
                 }
                 Err(_) => {
@@ -1154,8 +1263,19 @@ impl ShardedFixedWindow {
                 return Err(ShardError { shard });
             }
         }
+        if coverage.shards_included < coverage.shards_total {
+            // Flight-record every *served* partial gather (refused ones
+            // surface as the error above): readers of the snapshot need
+            // to know it under-represents the fleet.
+            self.recorder.record(EventKind::SnapshotDegraded {
+                shards_included: coverage.shards_included,
+                shards_total: coverage.shards_total,
+            });
+        }
         let parts: Vec<&Histogram> = snaps.iter().map(AsRef::as_ref).collect();
         let (hist, stats) = self.gather(&parts);
+        self.merge_metrics
+            .record_audit(shard_herror_sum, stats.herror, self.eps);
         Ok((Arc::new(hist), stats, coverage))
     }
 
@@ -1666,6 +1786,9 @@ pub struct ShardedFixedWindowBuilder {
     fleet: Option<String>,
     gather_fanout: Option<usize>,
     durability: Option<DurabilityOptions>,
+    recorder: Option<Arc<FlightRecorder>>,
+    #[cfg(feature = "obs")]
+    kernel_tracer: Option<Arc<KernelTracer>>,
 }
 
 impl ShardedFixedWindowBuilder {
@@ -1731,6 +1854,32 @@ impl ShardedFixedWindowBuilder {
     #[must_use]
     pub fn gather_fanout(mut self, fanout: usize) -> Self {
         self.gather_fanout = Some(fanout);
+        self
+    }
+
+    /// Attaches a shared [`FlightRecorder`]: the fleet's lifecycle events
+    /// (overload sheds, degraded gathers, durability uploads and retries)
+    /// land in this ring, and anything holding the same `Arc` — the
+    /// supervisor, the serve layer, an admin endpoint — reads them back
+    /// in sequence order. Without this the fleet still records into a
+    /// private default-capacity ring reachable via
+    /// [`ShardedFixedWindow::recorder`].
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches a [`KernelTracer`] that every worker thread self-installs
+    /// as its thread-scoped tracer (see
+    /// [`telemetry::set_thread_kernel_tracer`](crate::telemetry::set_thread_kernel_tracer)):
+    /// the kernel's phase hooks on those threads report to this tracer's
+    /// registry, replacing the deprecated process-global
+    /// `install_kernel_tracer`. Requires the `obs` cargo feature.
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn kernel_tracer(mut self, tracer: Arc<KernelTracer>) -> Self {
+        self.kernel_tracer = Some(tracer);
         self
     }
 
@@ -1828,12 +1977,15 @@ impl ShardedFixedWindowBuilder {
             (Some(reg), Some(fleet)) => MergeMetricsInner::registered(reg, fleet),
             _ => MergeMetricsInner::default(),
         };
+        // The recorder exists before the durability pipeline: the uploader
+        // thread starts recording upload events the moment it spawns.
+        let recorder = self.recorder.unwrap_or_default();
         let durability = self.durability.map(|opts| {
             let wal_metrics = match (&self.registry, &fleet_label) {
                 (Some(reg), Some(fleet)) => Arc::new(WalMetricsInner::registered(reg, fleet)),
                 _ => Arc::new(WalMetricsInner::default()),
             };
-            FleetDurability::new(opts, wal_metrics)
+            FleetDurability::new(opts, wal_metrics, Arc::clone(&recorder))
         });
         let mut this = ShardedFixedWindow {
             shards: Vec::with_capacity(self.shards),
@@ -1845,6 +1997,9 @@ impl ShardedFixedWindowBuilder {
             gather_fanout: self.gather_fanout,
             global_cache: SnapshotCache::default(),
             merge_metrics,
+            recorder,
+            #[cfg(feature = "obs")]
+            kernel_tracer: self.kernel_tracer,
             durability,
         };
         for shard in 0..self.shards {

@@ -50,7 +50,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use streamhist_core::StreamhistError;
-use streamhist_obs::{Counter, Gauge, MetricsRegistry};
+use streamhist_obs::{Counter, EventKind, FlightRecorder, Gauge, MetricsRegistry};
 
 /// Where a shard sits in the supervisor's state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -341,6 +341,11 @@ struct SupervisorInner {
     control: Mutex<ControlState>,
     stop: AtomicBool,
     metrics: SupervisorMetricsInner,
+    /// The fleet's flight recorder, cloned at attach time: every state
+    /// transition a probe pass makes is recorded exactly once, at the
+    /// pass's single exit — the chaos suite reconstructs whole sweeps
+    /// from this timeline alone.
+    recorder: Arc<FlightRecorder>,
 }
 
 impl SupervisorInner {
@@ -450,6 +455,23 @@ impl SupervisorInner {
                 });
         self.metrics.shards_live.set(live);
         self.metrics.shards_quarantined.set(quarantined);
+        // Flight-record every transition at the pass's single exit — one
+        // recorder event per SupervisorEvent, in the order the pass made
+        // them, so the chaos suite can replay a whole sweep from the ring.
+        for event in &events {
+            self.recorder.record(match *event {
+                SupervisorEvent::Died { shard } => EventKind::ShardDied { shard },
+                SupervisorEvent::Restarted { shard, report } => EventKind::ShardRestarted {
+                    shard,
+                    restored_len: report.restored_len,
+                    lost: report.lost_since_checkpoint,
+                },
+                SupervisorEvent::RestartDeferred { shard } => EventKind::RestartDeferred { shard },
+                SupervisorEvent::Quarantined { shard } => EventKind::ShardQuarantined { shard },
+                SupervisorEvent::Probation { shard, .. } => EventKind::ShardProbation { shard },
+                SupervisorEvent::Recovered { shard } => EventKind::ShardRecovered { shard },
+            });
+        }
         events
     }
 
@@ -591,9 +613,11 @@ impl Supervisor {
             Some((reg, label)) => SupervisorMetricsInner::registered(reg, label),
             None => SupervisorMetricsInner::default(),
         };
+        let recorder = fleet.recorder();
         Ok(Self {
             inner: Arc::new(SupervisorInner {
                 fleet,
+                recorder,
                 options,
                 control: Mutex::new(ControlState {
                     tokens: f64::from(options.restart_burst),

@@ -27,9 +27,12 @@
 //!    disabled every hook compiles to nothing (the `#[cfg]`'d code is
 //!    absent, not dynamically skipped — the `bench_obs_overhead` bin
 //!    enforces a ≤2% budget on the disabled path). With the feature
-//!    enabled the hooks are live only after
-//!    [`install_kernel_tracer`] / a fleet registry attach; un-traced code
-//!    pays one relaxed load and a branch.
+//!    enabled the hooks are live only after a tracer is installed — a
+//!    thread-scoped [`KernelTracer`] via [`set_thread_kernel_tracer`] or
+//!    [`ShardedFixedWindowBuilder::kernel_tracer`](crate::ShardedFixedWindowBuilder::kernel_tracer)
+//!    (worker threads self-install), or the deprecated process-global
+//!    [`install_kernel_tracer`] — and un-traced code pays one
+//!    thread-local read and a branch.
 
 use streamhist_obs::MetricsRegistry;
 
@@ -113,19 +116,27 @@ pub fn publish_kernel_stats(
 }
 
 #[cfg(feature = "obs")]
-pub use tracing::{install_kernel_tracer, kernel_tracer, KernelTracer};
+#[allow(deprecated)]
+pub use tracing::{install_kernel_tracer, kernel_tracer, set_thread_kernel_tracer, KernelTracer};
 
 #[cfg(feature = "obs")]
-pub(crate) use tracing::FleetTiming;
+pub(crate) use tracing::{active_kernel_tracer, FleetTiming};
 
 #[cfg(feature = "obs")]
 mod tracing {
-    //! The `obs`-gated phase tracer: process-global handles the kernel
-    //! hooks write through. Global because the kernel is constructed deep
-    //! inside summaries that have no registry parameter — the tracer is
-    //! installed once (typically by `stream_cli --metrics-addr` or a
-    //! bench) and every kernel in the process reports to it.
+    //! The `obs`-gated phase tracer the kernel hooks write through.
+    //!
+    //! The kernel is constructed deep inside summaries that have no
+    //! registry parameter, so the hooks resolve their tracer out of band:
+    //! first a **thread-scoped** handle (installed by
+    //! [`set_thread_kernel_tracer`] — fleet worker threads install their
+    //! fleet's tracer automatically when built with
+    //! `ShardedFixedWindowBuilder::kernel_tracer`), then the deprecated
+    //! process-global fallback ([`install_kernel_tracer`]). Thread scoping
+    //! means two fleets in one process can report to different registries,
+    //! which the global never could.
 
+    use std::cell::RefCell;
     use std::sync::{Arc, OnceLock};
 
     use streamhist_obs::{Counter, LatencyRecorder, MetricsRegistry};
@@ -157,6 +168,20 @@ mod tracing {
     }
 
     impl KernelTracer {
+        /// Registers a tracer's metric families into `registry` and
+        /// returns the handles. Two tracers built against the same
+        /// registry share the same cells (registration is idempotent per
+        /// family), so this is cheap to call per fleet. Install the
+        /// result with
+        /// [`kernel_tracer`](crate::ShardedFixedWindowBuilder::kernel_tracer)
+        /// on a fleet builder (worker threads pick it up automatically) or
+        /// [`set_thread_kernel_tracer`] on threads that push into
+        /// summaries directly.
+        #[must_use]
+        pub fn new(registry: &MetricsRegistry) -> Self {
+            Self::register(registry)
+        }
+
         fn register(registry: &MetricsRegistry) -> Self {
             Self {
                 builds: registry.counter(
@@ -254,25 +279,64 @@ mod tracing {
         }
     }
 
-    static TRACER: OnceLock<KernelTracer> = OnceLock::new();
+    static TRACER: OnceLock<Arc<KernelTracer>> = OnceLock::new();
+
+    thread_local! {
+        /// The thread-scoped tracer the kernel hooks prefer over the
+        /// deprecated process-global one.
+        static THREAD_TRACER: RefCell<Option<Arc<KernelTracer>>> = const { RefCell::new(None) };
+    }
+
+    /// Installs (or clears, with `None`) the calling thread's kernel
+    /// tracer. Kernel hooks on this thread report to it from now on,
+    /// taking precedence over any process-global tracer. Fleet worker
+    /// threads call this themselves when the fleet is built with
+    /// [`kernel_tracer`](crate::ShardedFixedWindowBuilder::kernel_tracer);
+    /// call it directly only on threads that push into summaries without
+    /// going through a fleet.
+    pub fn set_thread_kernel_tracer(tracer: Option<Arc<KernelTracer>>) {
+        THREAD_TRACER.with(|t| *t.borrow_mut() = tracer);
+    }
 
     /// Installs the process-global kernel tracer, registering its metric
     /// families into `registry`. Idempotent: the first call wins and
     /// returns `true`; later calls are no-ops returning `false` (the
     /// hooks keep reporting to the first registry).
+    #[deprecated(
+        since = "0.1.0",
+        note = "process-global state cannot serve two fleets; build the fleet with \
+                `ShardedFixedWindowBuilder::kernel_tracer` (or call \
+                `set_thread_kernel_tracer`) instead"
+    )]
     pub fn install_kernel_tracer(registry: &MetricsRegistry) -> bool {
         let mut fresh = false;
         TRACER.get_or_init(|| {
             fresh = true;
-            KernelTracer::register(registry)
+            Arc::new(KernelTracer::register(registry))
         });
         fresh
     }
 
-    /// The installed tracer, if any — the kernel hooks' fast path.
+    /// The installed process-global tracer, if any.
+    #[deprecated(
+        since = "0.1.0",
+        note = "reads only the deprecated process-global tracer; thread-scoped tracers \
+                installed via `set_thread_kernel_tracer` are invisible to it"
+    )]
     #[inline(always)]
     pub fn kernel_tracer() -> Option<&'static KernelTracer> {
-        TRACER.get()
+        TRACER.get().map(Arc::as_ref)
+    }
+
+    /// The tracer the kernel hooks should report to right now: the
+    /// thread-scoped tracer when one is installed, else the deprecated
+    /// process-global one. This is the hooks' only entry point.
+    #[inline(always)]
+    pub(crate) fn active_kernel_tracer() -> Option<Arc<KernelTracer>> {
+        if let Some(t) = THREAD_TRACER.with(|t| t.borrow().clone()) {
+            return Some(t);
+        }
+        TRACER.get().cloned()
     }
 }
 
@@ -315,6 +379,7 @@ mod tests {
 
     #[cfg(feature = "obs")]
     #[test]
+    #[allow(deprecated)]
     fn tracer_install_is_idempotent() {
         let registry = MetricsRegistry::new();
         let first = install_kernel_tracer(&registry);
@@ -325,5 +390,30 @@ mod tests {
         // tracer must now be visible to the hooks.
         let _ = first;
         assert!(kernel_tracer().is_some());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn thread_tracer_takes_precedence_and_is_clearable() {
+        use std::sync::Arc;
+        let registry = MetricsRegistry::new();
+        let tracer = Arc::new(KernelTracer::new(&registry));
+        // Run on a fresh thread so another test's thread-local state (or
+        // this one's) cannot leak across.
+        std::thread::spawn(move || {
+            set_thread_kernel_tracer(Some(Arc::clone(&tracer)));
+            let active = super::tracing::active_kernel_tracer().expect("thread tracer installed");
+            active.pushes.inc();
+            assert_eq!(tracer.pushes.get(), 1, "hooks must hit the thread tracer");
+            set_thread_kernel_tracer(None);
+            // With the thread tracer cleared, only the process-global
+            // fallback (whatever test ordering installed) remains.
+            if let Some(fallback) = super::tracing::active_kernel_tracer() {
+                fallback.pushes.inc();
+                assert_eq!(tracer.pushes.get(), 1, "cleared tracer must not be hit");
+            }
+        })
+        .join()
+        .expect("tracer thread panicked");
     }
 }

@@ -25,8 +25,12 @@
 //! ephemeral port) the monitor serves a Prometheus-style scrape endpoint
 //! on a background thread: ingest counters, plus the kernel diagnostics
 //! (queue sizes, HERROR evals, search probes, arena occupancy) published
-//! as gauges at every report. Built with `--features obs`, the kernel
-//! phase tracer is installed too, adding push/build latency summaries:
+//! as gauges at every report. The same endpoint serves the flight
+//! recorder's event timeline on `/events` (`?after=N` pages by sequence)
+//! and a supervisor-aware liveness probe on `/healthz` (200 only when
+//! every shard is Live). Built with `--features obs`, a fleet-scoped
+//! kernel phase tracer is attached too, adding push/build latency
+//! summaries:
 //!
 //!   cargo run --release --features obs --example stream_cli -- \
 //!       --demo 100000 --metrics-addr 127.0.0.1:9184
@@ -45,17 +49,38 @@
 //!       --addr 127.0.0.1:9185 range-sum 0 63
 //!   cargo run --release --example stream_cli -- query \
 //!       --addr 127.0.0.1:9185 quantile gk 0.99
+//!
+//! The `trace` subcommand runs any query verb with a trace id carried in
+//! the wire frames (the server echoes it on success and error replies
+//! alike), and `events` drains the server's flight recorder — shard
+//! deaths and restarts, checkpoint uploads, overload sheds, slow
+//! queries — over the admin protocol:
+//!
+//!   cargo run --release --example stream_cli -- trace \
+//!       --addr 127.0.0.1:9185 range-sum 0 63
+//!   cargo run --release --example stream_cli -- events \
+//!       --addr 127.0.0.1:9185 --from 0
 
 #![allow(clippy::disallowed_macros)] // report binaries print by design
 use std::io::BufRead;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use streamhist::data::utilization_trace;
-use streamhist::obs::{publish_kernel_stats, Counter, ExpositionServer, MetricsRegistry};
+#[cfg(feature = "obs")]
+use streamhist::obs::KernelTracer;
+use streamhist::obs::{
+    publish_kernel_stats, Counter, ExpositionOptions, ExpositionServer, FlightRecorder,
+    HealthStatus, MetricsRegistry,
+};
 use streamhist::serve::{QuantileMethod, QueryServer, Request, ServeClient, ServeState};
 use streamhist::{
     codec, Checkpoint, CheckpointStore, Coverage, DirStore, FixedWindowHistogram, FleetHandle,
-    ObjectKind, ShardedFixedWindow, SnapshotPolicy, Supervisor, SupervisorOptions,
+    ObjectKind, ShardState, ShardedFixedWindow, SnapshotPolicy, Supervisor, SupervisorHandle,
+    SupervisorOptions,
 };
+
+/// Shared slot the `/healthz` closure reads: the supervisor starts after
+/// the metrics endpoint, so the handle arrives late.
+type SupervisorSlot = Arc<Mutex<Option<SupervisorHandle>>>;
 
 /// The scrape endpoint plus the handles the ingest loop ticks.
 struct Telemetry {
@@ -66,8 +91,12 @@ struct Telemetry {
 }
 
 impl Telemetry {
-    fn start(addr: &str) -> std::io::Result<Self> {
-        let registry = Arc::new(MetricsRegistry::new());
+    fn start(
+        addr: &str,
+        registry: Arc<MetricsRegistry>,
+        recorder: Arc<FlightRecorder>,
+        supervisor: SupervisorSlot,
+    ) -> std::io::Result<Self> {
         let records = registry.counter(
             "streamhist_cli_records_total",
             "Finite records ingested into the window",
@@ -76,9 +105,34 @@ impl Telemetry {
             "streamhist_cli_skipped_total",
             "Input lines skipped as non-numeric or non-finite",
         );
-        #[cfg(feature = "obs")]
-        streamhist::obs::install_kernel_tracer(&registry);
-        let server = ExpositionServer::start(addr, Arc::clone(&registry))?;
+        // `/healthz`: 200 only when every supervised shard is Live. With
+        // no supervisor attached there is nothing to contradict liveness —
+        // the process answering is the health signal.
+        let health = Arc::new(move || match supervisor.lock().unwrap().as_ref() {
+            Some(handle) => {
+                let shards = handle.health();
+                HealthStatus {
+                    healthy: shards.iter().all(|h| h.state == ShardState::Live),
+                    summary: shards
+                        .iter()
+                        .map(|h| format!("shard{}={}", h.shard, h.state))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                }
+            }
+            None => HealthStatus {
+                healthy: true,
+                summary: "unsupervised".to_owned(),
+            },
+        });
+        let server = ExpositionServer::start_with(
+            addr,
+            Arc::clone(&registry),
+            ExpositionOptions {
+                recorder: Some(recorder),
+                health: Some(health),
+            },
+        )?;
         Ok(Self {
             registry,
             server,
@@ -179,7 +233,11 @@ const QUERY_USAGE: &str = "usage: stream_cli query --addr HOST:PORT VERB [ARGS]\
     \x20 wal-status              the fleet's durability (WAL) status\n\
     \x20 health                  per-shard supervisor state\n\
     a degraded answer (some shards down, server in degraded mode) is\n\
-    annotated with its coverage report";
+    annotated with its coverage report\n\
+    `stream_cli trace [--id N] --addr HOST:PORT VERB [ARGS]` runs the\n\
+    same verbs with a trace id on the wire and prints the echoed id;\n\
+    `stream_cli events --addr HOST:PORT [--from N]` dumps the server's\n\
+    flight recorder (shard deaths, restarts, slow queries, ...)";
 
 /// Renders a scalar answer, annotating it with the coverage report when
 /// the server answered in degraded mode over a partial fleet.
@@ -191,8 +249,10 @@ fn scalar_line((value, coverage): (f64, Coverage)) -> String {
     }
 }
 
-/// The `query` subcommand: the wire protocol's reference client.
-fn run_query(argv: &[String]) -> i32 {
+/// The `query` subcommand: the wire protocol's reference client. With
+/// `trace` set (the `trace` subcommand), the id rides the request frame
+/// and the server's echo is printed after the answer.
+fn run_query(argv: &[String], trace: Option<u64>) -> i32 {
     let mut addr = None;
     let mut rest = Vec::new();
     let mut it = argv.iter();
@@ -225,6 +285,7 @@ fn run_query(argv: &[String]) -> i32 {
             return 1;
         }
     };
+    client.set_trace(trace);
     let outcome: Result<Result<String, streamhist::serve::ClientError>, String> =
         match rest.iter().map(String::as_str).collect::<Vec<_>>()[..] {
             ["range-sum", _, _] => parse_idx(&rest[1]).and_then(|s| {
@@ -341,7 +402,7 @@ fn run_query(argv: &[String]) -> i32 {
                 return 2;
             }
         };
-    match outcome {
+    let code = match outcome {
         Err(usage) => {
             eprintln!("{usage}");
             2
@@ -353,6 +414,118 @@ fn run_query(argv: &[String]) -> i32 {
         Ok(Ok(line)) => {
             println!("{line}");
             0
+        }
+    };
+    if let Some(sent) = trace {
+        // Error frames echo the trace too, so report it on any outcome
+        // that reached the server.
+        match client.last_trace() {
+            Some(echoed) if echoed == sent => println!("trace: {sent:#x} (echoed)"),
+            Some(echoed) => println!("trace: sent {sent:#x}, server echoed {echoed:#x}"),
+            None => println!("trace: sent {sent:#x}, no echo (request never reached a reply)"),
+        }
+    }
+    code
+}
+
+/// The `trace` subcommand: `query` with a trace id on the wire. Without
+/// `--id N` a process-unique id is derived from the clock and PID.
+fn run_trace(argv: &[String]) -> i32 {
+    let mut id = None;
+    let mut rest = Vec::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        if a == "--id" {
+            match it.next().map(|v| {
+                let digits = v.strip_prefix("0x").unwrap_or(v);
+                if v.starts_with("0x") {
+                    u64::from_str_radix(digits, 16)
+                } else {
+                    digits.parse()
+                }
+            }) {
+                Some(Ok(v)) => id = Some(v),
+                Some(Err(e)) => {
+                    eprintln!("--id: {e}");
+                    return 2;
+                }
+                None => {
+                    eprintln!("--id needs a value");
+                    return 2;
+                }
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let id = id.unwrap_or_else(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| {
+                u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0)
+            });
+        nanos ^ (u64::from(std::process::id()) << 32)
+    });
+    run_query(&rest, Some(id))
+}
+
+/// The `events` subcommand: drain the server's flight recorder over the
+/// `events` admin verb and print one line per retained event.
+fn run_events(argv: &[String]) -> i32 {
+    let mut addr = None;
+    let mut from = 0u64;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => {
+                    eprintln!("--addr needs a value");
+                    return 2;
+                }
+            },
+            "--from" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => from = v,
+                Some(Err(e)) => {
+                    eprintln!("--from: {e}");
+                    return 2;
+                }
+                None => {
+                    eprintln!("--from needs a value");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("events: unknown argument {other}\n{QUERY_USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("{QUERY_USAGE}");
+        return 2;
+    };
+    let mut client = match ServeClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.events_all(from) {
+        Ok((recorded, events)) => {
+            println!(
+                "{recorded} events recorded, {} retained from #{from}",
+                events.len()
+            );
+            for e in &events {
+                println!("{e}");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
         }
     }
 }
@@ -420,8 +593,11 @@ fn report(t: usize, fw: &FixedWindowHistogram, telemetry: Option<&Telemetry>) {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("query") {
-        std::process::exit(run_query(&argv[1..]));
+    match argv.first().map(String::as_str) {
+        Some("query") => std::process::exit(run_query(&argv[1..], None)),
+        Some("trace") => std::process::exit(run_trace(&argv[1..])),
+        Some("events") => std::process::exit(run_events(&argv[1..])),
+        _ => {}
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -431,20 +607,41 @@ fn main() {
         }
     };
 
+    // One registry and one flight recorder for everything this process
+    // runs — the CLI window, the fleet, the serve layer, the supervisor —
+    // created before any of them so each can be handed the same handles.
+    let registry = Arc::new(MetricsRegistry::new());
+    let recorder = Arc::new(FlightRecorder::default());
+    let sup_slot: SupervisorSlot = Arc::new(Mutex::new(None));
+    #[cfg(feature = "obs")]
+    let tracer = Arc::new(KernelTracer::new(&registry));
+    // The CLI's own window pushes on this thread; give its kernel hooks
+    // the tracer thread-locally (fleet workers get it via the builder).
+    #[cfg(feature = "obs")]
+    streamhist::obs::set_thread_kernel_tracer(Some(Arc::clone(&tracer)));
+
     let telemetry = match &args.metrics_addr {
-        Some(addr) => match Telemetry::start(addr) {
-            Ok(tel) => {
-                eprintln!(
-                    "serving metrics on http://{}/metrics",
-                    tel.server.local_addr()
-                );
-                Some(tel)
+        Some(addr) => {
+            match Telemetry::start(
+                addr,
+                Arc::clone(&registry),
+                Arc::clone(&recorder),
+                Arc::clone(&sup_slot),
+            ) {
+                Ok(tel) => {
+                    eprintln!(
+                        "serving metrics on http://{0}/metrics \
+                         (events on /events, health on /healthz)",
+                        tel.server.local_addr()
+                    );
+                    Some(tel)
+                }
+                Err(e) => {
+                    eprintln!("cannot bind metrics endpoint {addr}: {e}");
+                    std::process::exit(2);
+                }
             }
-            Err(e) => {
-                eprintln!("cannot bind metrics endpoint {addr}: {e}");
-                std::process::exit(2);
-            }
-        },
+        }
         None => None,
     };
 
@@ -452,16 +649,20 @@ fn main() {
     // put the query surface on the wire.
     let serving = match &args.serve {
         Some(addr) => {
-            let registry = telemetry.as_ref().map_or_else(
-                || Arc::new(MetricsRegistry::new()),
-                |t| Arc::clone(&t.registry),
-            );
-            let fleet = FleetHandle::new(ShardedFixedWindow::new(
-                args.shards,
-                args.window,
-                args.buckets,
-                args.eps,
-            ));
+            let builder =
+                ShardedFixedWindow::builder(args.shards, args.window, args.buckets, args.eps)
+                    .fleet_label("cli")
+                    .registry(Arc::clone(&registry))
+                    .recorder(Arc::clone(&recorder));
+            #[cfg(feature = "obs")]
+            let builder = builder.kernel_tracer(Arc::clone(&tracer));
+            let fleet = match builder.build() {
+                Ok(sw) => FleetHandle::new(sw),
+                Err(e) => {
+                    eprintln!("cannot build fleet: {e}");
+                    std::process::exit(2);
+                }
+            };
             let mut state = ServeState::new(fleet.clone(), Arc::clone(&registry));
             // --supervise: a background supervisor heals dead shards and
             // the serve policy degrades instead of failing, answering
@@ -479,6 +680,7 @@ fn main() {
                                 min_coverage: args.min_coverage,
                             })
                             .with_supervisor(sup.handle());
+                        *sup_slot.lock().unwrap() = Some(sup.handle());
                         eprintln!(
                             "supervisor running (degraded serving above {:.0}% coverage)",
                             args.min_coverage * 100.0

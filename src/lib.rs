@@ -110,13 +110,17 @@ pub use streamhist_wavelet::{DynamicWavelet, SlidingWindowWavelet, WaveletSynops
 /// default, compiles to no-ops when disabled).
 pub mod obs {
     pub use streamhist_obs::{
-        global, parse_exposition, Counter, ExpositionServer, FamilySnapshot, FloatGauge, Gauge,
-        LatencyRecorder, LatencySnapshot, LatencySpan, MetricKind, MetricsRegistry, ParsedSample,
-        SampleValue, SeriesSnapshot,
+        global, parse_exposition, Counter, Event, EventKind, ExpositionOptions, ExpositionServer,
+        FamilySnapshot, FlightRecorder, FloatGauge, Gauge, HealthStatus, LatencyRecorder,
+        LatencySnapshot, LatencySpan, MetricKind, MetricsRegistry, ParsedSample, RateFamily,
+        SampleValue, SeriesSnapshot, SlidingSum, DEFAULT_CAPACITY,
     };
     pub use streamhist_stream::telemetry::publish_kernel_stats;
+    #[allow(deprecated)]
     #[cfg(feature = "obs")]
-    pub use streamhist_stream::telemetry::{install_kernel_tracer, kernel_tracer, KernelTracer};
+    pub use streamhist_stream::telemetry::{install_kernel_tracer, kernel_tracer};
+    #[cfg(feature = "obs")]
+    pub use streamhist_stream::telemetry::{set_thread_kernel_tracer, KernelTracer};
 }
 
 /// The query path on the wire: a framed TCP front-end over a live
@@ -126,8 +130,9 @@ pub mod obs {
 /// frame, never a panic or a dropped connection.
 pub mod serve {
     pub use streamhist_serve::{
-        ClientError, ErrorCode, Packet, QuantileMethod, QueryServer, Request, Response,
-        RetryBudget, ServeClient, ServeState, ServerOptions, WireError, MAX_FRAME, MIN_FRAME,
+        decode_event, encode_event, ClientError, ErrorCode, Packet, QuantileMethod, QueryServer,
+        Request, Response, RetryBudget, ServeClient, ServeState, ServerOptions, WireError,
+        EVENTS_PAGE_MAX, MAX_FRAME, MIN_FRAME,
     };
 }
 

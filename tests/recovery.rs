@@ -25,6 +25,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 use streamhist::freq::FrequencyVector;
+use streamhist::obs::{EventKind, FlightRecorder};
 use streamhist::{
     approx_histogram, AgglomerativeHistogram, Checkpoint, CheckpointStore, DurabilityOptions,
     DynamicWavelet, FailingStore, FixedWindowHistogram, FleetHandle, GkSummary, Histogram,
@@ -784,8 +785,13 @@ fn supervised_chaos_sweep() {
 
     const SHARDS: usize = 4;
     let store = Arc::new(FailingStore::every_nth(MemStore::new(), 7));
+    // Big enough that nothing the sweep emits (supervisor transitions,
+    // checkpoint uploads, upload retries, degraded snapshots) is ever
+    // evicted: the reconstruction check below requires the full tape.
+    let recorder = Arc::new(FlightRecorder::with_capacity(8192));
     let fleet = ShardedFixedWindow::builder(SHARDS, 64, 4, 0.2)
         .checkpoint_interval(16)
+        .recorder(Arc::clone(&recorder))
         .durability(
             DurabilityOptions::new(Arc::clone(&store) as _)
                 .wal_sync(8)
@@ -826,7 +832,11 @@ fn supervised_chaos_sweep() {
     let mut sent_nan = [0u64; SHARDS];
     let mut lost = [0u64; SHARDS];
     let mut degraded_snapshots = 0u32;
+    let mut partial_snapshots = 0u64;
     let mut quarantines_seen = 0u32;
+    // The model-predicted supervisor timeline, accumulated probe pass by
+    // probe pass; the flight recorder must replay it exactly at the end.
+    let mut expected_timeline: Vec<EventShape> = Vec::new();
 
     // One probe pass plus full cross-checks: the event sequence matches
     // the model's, per-restart reports satisfy the conservation identity
@@ -840,6 +850,7 @@ fn supervised_chaos_sweep() {
                 got, expected,
                 "seed {seed} step {step}: probe pass diverged from the model"
             );
+            expected_timeline.extend_from_slice(&expected);
             for e in &events {
                 let (shard, report) = match *e {
                     SupervisorEvent::Restarted { shard, report }
@@ -939,6 +950,9 @@ fn supervised_chaos_sweep() {
                 included == SHARDS,
                 "seed {seed} step {step}"
             );
+            if included < SHARDS {
+                partial_snapshots += 1;
+            }
             if included < SHARDS && repr < total {
                 // An unreachable floor must fail the gather rather than
                 // hand out a snapshot claiming coverage it does not have.
@@ -989,6 +1003,66 @@ fn supervised_chaos_sweep() {
     assert!(
         degraded_snapshots > 0,
         "seed {seed}: no degraded snapshot was ever taken"
+    );
+
+    // --- Flight-recorder reconstruction. The whole chaos run must be
+    // replayable from the recorder alone: every model-predicted
+    // Died/Restarted/Quarantined/Probation/Recovered transition appears
+    // exactly once, in sequence order, with matching shard indices.
+    assert!(
+        recorder.recorded() <= recorder.capacity() as u64,
+        "seed {seed}: recorder overflowed ({} events into {} slots) — \
+         the reconstruction check needs the full tape",
+        recorder.recorded(),
+        recorder.capacity()
+    );
+    let tape = recorder.all_events();
+    assert!(
+        tape.windows(2).all(|w| w[0].seq < w[1].seq),
+        "seed {seed}: recorder tape must be strictly sequence-ordered"
+    );
+    let replayed: Vec<EventShape> = tape
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::ShardDied { shard } => Some(EventShape::Died(*shard)),
+            EventKind::ShardRestarted { shard, .. } => Some(EventShape::Restarted(*shard)),
+            EventKind::RestartDeferred { shard } => Some(EventShape::Deferred(*shard)),
+            EventKind::ShardQuarantined { shard } => Some(EventShape::Quarantined(*shard)),
+            EventKind::ShardProbation { shard } => Some(EventShape::Probation(*shard)),
+            EventKind::ShardRecovered { shard } => Some(EventShape::Recovered(*shard)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        replayed, expected_timeline,
+        "seed {seed}: the supervisor timeline replayed from the flight \
+         recorder diverged from the model's"
+    );
+    // The durability pipeline and the degraded-serving path left their
+    // own tracks on the same tape, interleaved with the supervisor's.
+    let uploads = tape
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::CheckpointUploaded { .. }))
+        .count();
+    assert!(
+        uploads > 0,
+        "seed {seed}: a durable fleet must have recorded checkpoint uploads"
+    );
+    let retried = tape
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::UploadRetried { .. }))
+        .count();
+    assert!(
+        retried > 0,
+        "seed {seed}: a FailingStore(every 7th) run must have recorded retries"
+    );
+    let degraded_served = tape
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::SnapshotDegraded { .. }))
+        .count() as u64;
+    assert_eq!(
+        degraded_served, partial_snapshots,
+        "seed {seed}: one SnapshotDegraded event per served partial gather"
     );
 
     // Quiesce and check the books: exact conservation per shard.
